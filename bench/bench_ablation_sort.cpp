@@ -1,0 +1,68 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Ablation A3 (google-benchmark): retrieval strategies inside the exact /
+// truncated Shapley computation for one query —
+//   * full argsort of all N training points (Algorithm 1's literal step);
+//   * bounded-heap partial top-K* selection (enough for Theorem 2);
+//   * kd-tree exact top-K* (the classic [MA98] alternative to LSH).
+// Partial selection wins once K* << N; the kd-tree depends on dimension.
+
+#include <benchmark/benchmark.h>
+
+#include "dataset/synthetic.h"
+#include "knn/kd_tree.h"
+#include "knn/neighbors.h"
+#include "util/random.h"
+
+using namespace knnshap;
+
+namespace {
+
+Dataset MakeData(size_t n) {
+  Rng rng(1);
+  return MakeMnistLike(n, &rng);
+}
+
+void BM_FullArgsort(benchmark::State& state) {
+  Dataset data = MakeData(static_cast<size_t>(state.range(0)));
+  Rng rng(2);
+  std::vector<float> query(data.Dim());
+  for (auto& c : query) c = static_cast<float>(rng.NextGaussian(0.0, 0.3));
+  for (auto _ : state) {
+    auto order = ArgsortByDistance(data.features, query);
+    benchmark::DoNotOptimize(order);
+  }
+}
+
+void BM_PartialTopKStar(benchmark::State& state) {
+  Dataset data = MakeData(static_cast<size_t>(state.range(0)));
+  Rng rng(2);
+  std::vector<float> query(data.Dim());
+  for (auto& c : query) c = static_cast<float>(rng.NextGaussian(0.0, 0.3));
+  const size_t k_star = 10;  // eps = 0.1
+  for (auto _ : state) {
+    auto top = TopKNeighbors(data.features, query, k_star);
+    benchmark::DoNotOptimize(top);
+  }
+}
+
+void BM_KdTreeTopKStar(benchmark::State& state) {
+  Dataset data = MakeData(static_cast<size_t>(state.range(0)));
+  KdTree tree(&data.features);
+  Rng rng(2);
+  std::vector<float> query(data.Dim());
+  for (auto& c : query) c = static_cast<float>(rng.NextGaussian(0.0, 0.3));
+  const size_t k_star = 10;
+  for (auto _ : state) {
+    auto top = tree.Query(query, k_star);
+    benchmark::DoNotOptimize(top);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_FullArgsort)->Arg(10000)->Arg(100000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PartialTopKStar)->Arg(10000)->Arg(100000)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_KdTreeTopKStar)->Arg(10000)->Arg(100000)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

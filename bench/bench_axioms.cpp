@@ -1,0 +1,103 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Group-rationality / additivity audit (Sec 2.1 properties) across every
+// exact algorithm in the library at moderate scale. The residual
+// |sum_i s_i - (nu(I) - nu(empty))| must be at numerical noise level —
+// this is the property a marketplace actually banks on when it pays out.
+
+#include <cmath>
+#include <numeric>
+
+#include "bench_util.h"
+#include "core/composite_game.h"
+#include "core/exact_knn_shapley.h"
+#include "core/knn_regression_shapley.h"
+#include "core/multi_seller_shapley.h"
+#include "core/weighted_knn_shapley.h"
+#include "core/utility.h"
+#include "dataset/synthetic.h"
+#include "util/cli.h"
+
+using namespace knnshap;
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  bench::Banner("Axiom audit — group rationality of every exact algorithm",
+                "sum of values == nu(I) - nu(empty), exactly (1e-9 tolerance)");
+
+  Rng rng(1);
+  Dataset train = MakeMnistLike(static_cast<size_t>(2000 * cli.Scale()), &rng);
+  Rng trng(2);
+  Dataset test = MakeMnistLike(20, &trng);
+  Rng rrng(3);
+  Dataset reg_train = train;
+  AttachLinearTargets(&reg_train, 0.1, &rrng);
+  Dataset reg_test = test;
+  AttachLinearTargets(&reg_test, 0.1, &rrng);
+
+  bench::Row("%-44s %14s %10s\n", "algorithm", "residual", "verdict");
+  auto report = [&](const char* name, double residual) {
+    bench::Row("%-44s %14.3e %10s\n", name, residual,
+               std::fabs(residual) < 1e-9 ? "OK" : "VIOLATION");
+  };
+
+  {
+    auto sv = ExactKnnShapley(train, test, 5);
+    KnnSubsetUtility u(&train, &test, 5, KnnTask::kClassification);
+    report("Theorem 1 (unweighted classification)",
+           std::accumulate(sv.begin(), sv.end(), 0.0) - u.GrandValue());
+  }
+  {
+    auto sv = ExactKnnRegressionShapley(reg_train, reg_test, 5);
+    KnnSubsetUtility u(&reg_train, &reg_test, 5, KnnTask::kRegression);
+    double empty = 0.0;
+    for (size_t j = 0; j < reg_test.Size(); ++j) {
+      empty -= reg_test.targets[j] * reg_test.targets[j];
+    }
+    empty /= static_cast<double>(reg_test.Size());
+    report("Theorem 6 (unweighted regression)",
+           std::accumulate(sv.begin(), sv.end(), 0.0) - (u.GrandValue() - empty));
+  }
+  {
+    Dataset small = train.Subset([&] {
+      std::vector<int> rows;
+      for (int i = 0; i < 120; ++i) rows.push_back(i);
+      return rows;
+    }());
+    Dataset small_test = test.Subset(std::vector<int>{0, 1, 2, 3});
+    WeightedShapleyOptions options;
+    options.k = 3;
+    options.weights.kernel = WeightKernel::kInverseDistance;
+    auto sv = ExactWeightedKnnShapley(small, small_test, options);
+    KnnSubsetUtility u(&small, &small_test, 3, KnnTask::kWeightedClassification,
+                       options.weights);
+    report("Theorem 7 (weighted classification)",
+           std::accumulate(sv.begin(), sv.end(), 0.0) - u.GrandValue());
+  }
+  {
+    Rng org(4);
+    auto owners = OwnerAssignment::Random(train.Size(), 40, &org);
+    MultiSellerShapleyOptions options;
+    options.k = 2;
+    options.task = KnnTask::kClassification;
+    auto sv = MultiSellerShapley(train, owners, test, options);
+    KnnSubsetUtility u(&train, &test, 2, KnnTask::kClassification);
+    report("Theorem 8 (multi-seller)",
+           std::accumulate(sv.begin(), sv.end(), 0.0) - u.GrandValue());
+  }
+  {
+    auto result = CompositeKnnShapley(train, test, 5);
+    double total = result.analyst_value +
+                   std::accumulate(result.seller_values.begin(),
+                                   result.seller_values.end(), 0.0);
+    report("Theorem 9 (composite classification)", total - result.total_utility);
+  }
+  {
+    auto result = CompositeKnnRegressionShapley(reg_train, reg_test, 5);
+    double total = result.analyst_value +
+                   std::accumulate(result.seller_values.begin(),
+                                   result.seller_values.end(), 0.0);
+    report("Theorem 10 (composite regression)", total - result.total_utility);
+  }
+  return 0;
+}

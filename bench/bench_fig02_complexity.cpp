@@ -1,0 +1,72 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Figure 2: the paper's complexity table for computing the KNN SV. This
+// harness prints the analytic bounds implemented by the library side by
+// side with measured exemplars (tiny instances) demonstrating each regime.
+
+#include <cmath>
+
+#include "bench_util.h"
+#include "core/bennett.h"
+#include "core/exact_knn_shapley.h"
+#include "core/weighted_knn_shapley.h"
+#include "dataset/synthetic.h"
+#include "lsh/tuning.h"
+#include "util/cli.h"
+
+using namespace knnshap;
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  bench::Banner("Figure 2 — time complexity for computing the SV for KNN models",
+                "exact unweighted: N log N; LSH: N^{g} log N sublinear when C>1; "
+                "weighted: N^K; multi-seller: M^K; MC bounds per Sec 2.2 / Thm 5");
+
+  const double eps = 0.1, delta = 0.1;
+  bench::Row("%-34s | %-28s | %s\n", "setting", "exact", "(eps,delta)-approximate");
+  bench::Row("%-34s | %-28s | %s\n", "----------------------------------",
+             "----------------------------", "----------------------------");
+  bench::Row("%-34s | %-28s | %s\n", "baseline (Sec 2.2)", "2^N * N log N",
+             "N^2/eps^2 log N log(N/delta) (Hoeffding)");
+  bench::Row("%-34s | %-28s | %s\n", "unweighted KNN classifier (Thm 1/4)",
+             "N log N", "N^{h(eps,K)} log N log(K*/delta) (LSH)");
+  bench::Row("%-34s | %-28s | %s\n", "unweighted KNN regression (Thm 6)", "N log N",
+             "-");
+  bench::Row("%-34s | %-28s | %s\n", "weighted KNN (Thm 7)", "N^K",
+             "N/eps^2 logK log(K/delta) (Thm 5)");
+  bench::Row("%-34s | %-28s | %s\n", "multi-seller KNN (Thm 8)", "M^K",
+             "N/eps^2 logK log(K/delta) (Thm 5)");
+
+  bench::Row("\nconcrete bound instantiations (eps=delta=0.1, r=1/K):\n");
+  bench::Row("%10s %6s | %14s %14s %16s\n", "N", "K", "Hoeffding T", "Bennett T*",
+             "approx T~ (Eq134)");
+  for (int64_t n : {1000LL, 100000LL, 10000000LL}) {
+    for (int k : {1, 5}) {
+      double r = 1.0 / k;
+      bench::Row("%10lld %6d | %14lld %14lld %16lld\n",
+                 static_cast<long long>(n), k,
+                 static_cast<long long>(HoeffdingPermutations(n, eps, delta, r)),
+                 static_cast<long long>(BennettPermutations(n, k, eps, delta, r)),
+                 static_cast<long long>(ApproxBennettPermutations(k, eps, delta, r)));
+    }
+  }
+
+  bench::Row("\nLSH exponent h(eps,K) = g(C_{K*}) on the contrast presets:\n");
+  bench::Row("%-26s %10s %10s\n", "preset", "contrast", "g(C)");
+  Rng rng(1);
+  for (auto [name, contrast] :
+       {std::pair{"deep-like(high)", 1.55}, std::pair{"gist-like(mid)", 1.35},
+        std::pair{"dogfish-like(low)", 1.12}}) {
+    double width = SelectWidth(contrast);
+    bench::Row("%-26s %10.3f %10.3f\n", name, contrast, GExponent(contrast, width));
+  }
+
+  bench::Row("\nexact-weighted evaluation counts (Eq 78 bound, utility evals):\n");
+  bench::Row("%8s %4s %18s\n", "N", "K", "evaluations");
+  for (int n : {50, 100, 200}) {
+    for (int k : {1, 2, 3}) {
+      bench::Row("%8d %4d %18.3g\n", n, k, WeightedShapleyEvalCount(n, k));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Figure 10: the theoretical complexity exponent of the LSH method.
+//   (a) as eps grows, K* = max(K, 1/eps) shrinks, the relative contrast
+//       C_{K*} grows, and the exponent g(C_{K*}) (with the width chosen to
+//       minimize it) drops below 1 — except at eps = 0.001 where C < 1 and
+//       LSH is theoretically worse than the exact algorithm;
+//   (b) g(C_{K*}) as a function of the projection width r: large after a
+//       knee, then flat — motivating the paper's grid search.
+
+#include <vector>
+
+#include "bench_util.h"
+#include "core/lsh_knn_shapley.h"
+#include "dataset/contrast.h"
+#include "dataset/synthetic.h"
+#include "lsh/tuning.h"
+#include "util/cli.h"
+#include "util/csv.h"
+
+using namespace knnshap;
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const int k = 1;
+  const size_t n = static_cast<size_t>(30000 * cli.Scale());
+
+  bench::Banner("Figure 10 — g(C_{K*}) and C_{K*} vs eps; g vs projection width",
+                "C grows with eps; g < 1 for all eps except eps=0.001; g(r) "
+                "levels off past a knee");
+
+  // A low-contrast dataset puts the eps = 0.001 regime near C ~ 1, where
+  // the paper finds LSH theoretically unattractive. Queries are fresh
+  // draws (not training rows) so D_1 > 0.
+  Rng rng(51);
+  Dataset train = MakeLowContrast(n, &rng);
+  Rng qrng(55);
+  Dataset queries = MakeLowContrast(20, &qrng);
+  // Normalize D_mean = 1 once, with a clean estimate.
+  {
+    Rng crng(52);
+    auto base = EstimateRelativeContrast(train, queries, 1, 20, 4000, &crng);
+    train.features.Scale(1.0 / base.d_mean);
+    queries.features.Scale(1.0 / base.d_mean);
+  }
+
+  CsvWriter csv(cli.CsvPath());
+  csv.Header({"eps", "k_star", "contrast", "g"});
+
+  bench::Row("(a) eps sweep (K=1)\n");
+  bench::Row("%10s %8s %12s %14s %12s\n", "eps", "K*", "C_{K*}", "best width r",
+             "g(C_{K*})");
+  for (double eps : {0.001, 0.01, 0.1, 1.0}) {
+    int k_star = KStar(k, eps);
+    if (static_cast<size_t>(k_star) >= train.Size()) k_star = static_cast<int>(train.Size()) - 1;
+    Rng crng(53);
+    auto est = EstimateRelativeContrast(train, queries, k_star, 20, 4000, &crng);
+    double width = SelectWidth(std::max(est.c_k, 0.5), 0.25, 32.0, 96);
+    double g = GExponent(est.c_k, width);
+    bench::Row("%10.3f %8d %12.4f %14.3f %12.4f%s\n", eps, k_star, est.c_k, width, g,
+               g < 1.0 ? "  (sublinear)" : "  (worse than exact!)");
+    csv.Row({eps, static_cast<double>(k_star), est.c_k, g});
+  }
+
+  bench::Row("\n(b) g vs projection width r, for the eps=0.01 and eps=0.1 contrasts\n");
+  bench::Row("%10s", "width r");
+  std::vector<double> widths = {0.5, 1.0, 2.0, 4.0, 8.0, 16.0};
+  for (double w : widths) bench::Row(" %9.2f", w);
+  bench::Row("\n");
+  for (double eps : {0.01, 0.1}) {
+    int k_star = KStar(k, eps);
+    Rng crng(54);
+    auto est = EstimateRelativeContrast(train, queries, k_star, 20, 4000, &crng);
+    bench::Row("eps=%-6.2f", eps);
+    for (double w : widths) bench::Row(" %9.4f", GExponent(est.c_k, w));
+    bench::Row("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Figure 17 (Appendix A.1): the Figure 7 runtime table repeated for
+// K = 2 and K = 5. The paper's observation: runtimes barely differ from
+// the K = 1 case and the LSH speedup (3-5x) persists.
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/exact_knn_shapley.h"
+#include "core/lsh_knn_shapley.h"
+#include "dataset/contrast.h"
+#include "dataset/synthetic.h"
+#include "lsh/tuning.h"
+#include "util/cli.h"
+#include "util/csv.h"
+
+using namespace knnshap;
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const double eps = 0.1;
+  const size_t n_queries = 30;
+
+  bench::Banner("Figure 17 (App A.1) — per-query runtime for K = 2 and K = 5",
+                "the 3-5x LSH speedup persists; runtimes are close to K=1");
+
+  struct Preset {
+    std::string name;
+    size_t size;
+    Dataset (*make)(size_t, Rng*);
+  };
+  std::vector<Preset> presets = {
+      {"cifar10-like", static_cast<size_t>(60000 * cli.Scale()), MakeCifar10Contrast},
+      {"imagenet-like", static_cast<size_t>(100000 * cli.Scale()),
+       MakeImageNetContrast},
+      {"yahoo10m-like", static_cast<size_t>(200000 * cli.Scale()),
+       MakeYahoo10mContrast},
+  };
+
+  CsvWriter csv(cli.CsvPath());
+  csv.Header({"preset", "k", "exact_ms", "lsh_ms", "speedup"});
+  bench::Row("%-15s %9s | %12s %12s %8s | %12s %12s %8s\n", "dataset", "size",
+             "exact K=2", "lsh K=2", "x", "exact K=5", "lsh K=5", "x");
+
+  for (size_t pi = 0; pi < presets.size(); ++pi) {
+    const auto& preset = presets[pi];
+    // Held-out rows of the same mixture instance, split into evaluation
+    // queries and a validation slice for empirical parameter selection.
+    const size_t n_validation = 20;
+    Rng rng(11);
+    Dataset all = preset.make(preset.size + n_queries + n_validation, &rng);
+    std::vector<int> train_rows, query_rows, validation_rows;
+    for (size_t i = 0; i < preset.size; ++i) train_rows.push_back(static_cast<int>(i));
+    for (size_t i = 0; i < n_queries; ++i) {
+      query_rows.push_back(static_cast<int>(preset.size + i));
+    }
+    for (size_t i = 0; i < n_validation; ++i) {
+      validation_rows.push_back(static_cast<int>(preset.size + n_queries + i));
+    }
+    Dataset train = all.Subset(train_rows);
+    Dataset test = all.Subset(query_rows);
+    Dataset validation = all.Subset(validation_rows);
+    Rng crng(13);
+    auto base = EstimateRelativeContrast(train, test, 10, n_queries, 3000, &crng);
+    train.features.Scale(1.0 / base.d_mean);
+    test.features.Scale(1.0 / base.d_mean);
+    validation.features.Scale(1.0 / base.d_mean);
+
+    double ms[2][2];
+    int ks[2] = {2, 5};
+    for (int i = 0; i < 2; ++i) {
+      int k = ks[i];
+      const int k_star = KStar(k, eps);
+      Rng c2(14);
+      auto contrast =
+          EstimateRelativeContrast(train, test, k_star, n_queries, 3000, &c2);
+      WallTimer exact_timer;
+      ExactKnnShapley(train, test, k, /*parallel=*/false);
+      ms[i][0] = exact_timer.Millis() / static_cast<double>(n_queries);
+      LshConfig config =
+          TuneLshEmpirically(train, validation, k, eps, contrast.c_k);
+      LshIndex index(&train.features, config);
+      WallTimer lsh_timer;
+      LshKnnShapley(train, test, k, eps, index, nullptr, /*parallel=*/false);
+      ms[i][1] = lsh_timer.Millis() / static_cast<double>(n_queries);
+      csv.Row({static_cast<double>(pi), static_cast<double>(k), ms[i][0], ms[i][1],
+               ms[i][0] / ms[i][1]});
+    }
+    bench::Row("%-15s %9zu | %10.3fms %10.3fms %7.2fx | %10.3fms %10.3fms %7.2fx\n",
+               preset.name.c_str(), preset.size, ms[0][0], ms[0][1],
+               ms[0][0] / ms[0][1], ms[1][0], ms[1][1], ms[1][0] / ms[1][1]);
+  }
+  return 0;
+}

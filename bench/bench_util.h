@@ -1,0 +1,41 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Shared plumbing for the figure-reproduction harnesses: banner printing,
+// fixed-width rows, and the --scale / --csv flags every bench honors.
+
+#ifndef KNNSHAP_BENCH_BENCH_UTIL_H_
+#define KNNSHAP_BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "util/cli.h"
+#include "util/csv.h"
+#include "util/timer.h"
+
+namespace knnshap {
+namespace bench {
+
+/// Prints the experiment banner: which paper artifact this reproduces and
+/// the shape EXPERIMENTS.md checks.
+inline void Banner(const std::string& figure, const std::string& claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("paper shape: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+/// printf-style row helper (flushes so interleaved progress is visible).
+inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::fflush(stdout);
+}
+
+}  // namespace bench
+}  // namespace knnshap
+
+#endif  // KNNSHAP_BENCH_BENCH_UTIL_H_

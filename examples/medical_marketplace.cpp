@@ -1,0 +1,93 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// The paper's motivating scenario (Figure 1): a clinical-trial data
+// marketplace. Patients upload medical records (several records each), a
+// buyer pays for a KNN model trained on the pooled records, and an analyst
+// provides the computation. The payment must be split fairly between the
+// patients and the analyst.
+//
+// This example exercises the multi-data-per-curator extension (Theorem 8)
+// and the composite data+computation game (Theorem 12), then maps Shapley
+// values to dollars with an affine revenue model (Sec 7).
+
+#include <cstdio>
+#include <numeric>
+
+#include "core/composite_game.h"
+#include "core/multi_seller_shapley.h"
+#include "dataset/owners.h"
+#include "dataset/synthetic.h"
+#include "market/payment.h"
+#include "market/valuation_report.h"
+#include "util/random.h"
+
+using namespace knnshap;
+
+int main() {
+  // Synthetic "patient records": features resemble lab-test embeddings,
+  // the label is a binary diagnosis. 40 patients contribute 5-15 records
+  // each; the buyer evaluates on a held-out cohort.
+  Rng rng(11);
+  SyntheticSpec spec;
+  spec.name = "clinical";
+  spec.num_classes = 2;
+  spec.dim = 24;
+  spec.size = 400;
+  spec.cluster_stddev = 0.35;
+  Dataset records = MakeGaussianMixture(spec, &rng);
+  Rng split_rng(12);
+  TrainTestSplit split = SplitTrainTest(records, 0.15, &split_rng);
+
+  const int num_patients = 40;
+  Rng owner_rng(13);
+  OwnerAssignment patients =
+      OwnerAssignment::Random(split.train.Size(), num_patients, &owner_rng);
+  std::printf("marketplace: %d patients, %zu records, %zu evaluation records\n",
+              num_patients, split.train.Size(), split.test.Size());
+
+  const int k = 3;
+
+  // --- Data-only game: the full model utility is split among patients.
+  MultiSellerShapleyOptions options;
+  options.k = k;
+  options.task = KnnTask::kClassification;
+  std::vector<double> patient_sv =
+      MultiSellerShapley(split.train, patients, split.test, options);
+
+  // --- Composite game: the analyst is a player too (Theorem 12).
+  CompositeShapleyResult composite = CompositeMultiSellerShapley(
+      split.train, patients, split.test, k, KnnTask::kClassification);
+
+  std::printf("\nmodel utility nu(I) = %.4f (mean per-test KNN likelihood)\n",
+              composite.total_utility);
+  std::printf("analyst share (composite game): %.4f (%.1f%% of total)\n",
+              composite.analyst_value,
+              100.0 * composite.analyst_value / composite.total_utility);
+
+  // --- Monetary allocation: the buyer pays $10,000 per unit of utility.
+  AffineRevenueModel revenue;
+  revenue.slope = 10000.0;
+  std::vector<double> all_players = composite.seller_values;
+  all_players.push_back(composite.analyst_value);
+  PaymentAllocation payments = AllocateRevenue(all_players, revenue);
+
+  std::printf("\ntotal payout: $%.2f (analyst $%.2f)\n", payments.total,
+              payments.payments.back());
+  std::printf("\n%-9s %8s | %12s %12s\n", "patient", "records", "data-only $",
+              "composite $");
+  auto data_payments = AllocateRevenue(patient_sv, revenue);
+  for (int p = 0; p < num_patients; ++p) {
+    std::printf("%-9d %8zu | %12.2f %12.2f\n", p, patients.RowsOf(p).size(),
+                data_payments.payments[static_cast<size_t>(p)],
+                payments.payments[static_cast<size_t>(p)]);
+  }
+
+  // Sanity: both games distribute the full revenue they commit to.
+  double data_total = std::accumulate(patient_sv.begin(), patient_sv.end(), 0.0);
+  std::printf("\npatients' collective share: data-only %.4f vs composite %.4f "
+              "(analyst absorbs the difference)\n",
+              data_total,
+              std::accumulate(composite.seller_values.begin(),
+                              composite.seller_values.end(), 0.0));
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Quickstart: value every training point of a KNN classifier, exactly, in
+// O(N log N) per test point (Theorem 1 of Jia et al., VLDB 2019).
+//
+//   $ ./quickstart
+//
+// Walks through the typical flow: make (or load) a dataset, compute exact
+// Shapley values, inspect the ranking, and verify group rationality.
+
+#include <cstdio>
+#include <numeric>
+
+#include "core/exact_knn_shapley.h"
+#include "core/utility.h"
+#include "dataset/synthetic.h"
+#include "market/valuation_report.h"
+#include "util/random.h"
+
+using namespace knnshap;
+
+int main() {
+  // 1. A dataset. Real applications load feature vectors (e.g. CNN
+  //    embeddings) into Dataset::features and labels into Dataset::labels;
+  //    here we synthesize a 10-class mixture resembling deep features,
+  //    with 8% label noise so the value ranking has something to find.
+  SyntheticSpec spec;
+  spec.num_classes = 10;
+  spec.dim = 64;
+  spec.size = 2000;
+  spec.cluster_stddev = 0.12;
+  spec.label_noise = 0.08;
+  Rng rng(7);
+  Dataset data = MakeGaussianMixture(spec, &rng);
+  Rng split_rng(8);
+  TrainTestSplit split = SplitTrainTest(data, /*test_fraction=*/0.05, &split_rng);
+  std::printf("train: %zu points, test: %zu points, dim: %zu\n",
+              split.train.Size(), split.test.Size(), split.train.Dim());
+
+  // 2. Exact Shapley values of all training points under the KNN utility
+  //    (Eq 5/8), averaged over the test set. K is the KNN hyperparameter.
+  const int k = 5;
+  std::vector<double> values = ExactKnnShapley(split.train, split.test, k);
+
+  // 3. Inspect: the most and least valuable contributions.
+  std::printf("\n%s", FormatRanking(TopValued(values, 5), "highest-valued points").c_str());
+  std::printf("\n%s", FormatRanking(BottomValued(values, 5), "lowest-valued points").c_str());
+
+  // 4. The values form an exact revenue split: they sum to the utility of
+  //    training on everything (group rationality).
+  KnnSubsetUtility utility(&split.train, &split.test, k, KnnTask::kClassification);
+  double total = std::accumulate(values.begin(), values.end(), 0.0);
+  std::printf("\nsum of values = %.6f; model utility nu(I) = %.6f\n", total,
+              utility.GrandValue());
+
+  ValueSummary summary = Summarize(values);
+  std::printf("mean=%.2e  min=%.2e  max=%.2e  %.1f%% of points have negative value\n",
+              summary.mean, summary.min, summary.max,
+              100.0 * summary.fraction_negative);
+  return 0;
+}

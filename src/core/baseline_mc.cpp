@@ -1,0 +1,57 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "core/baseline_mc.h"
+
+#include "core/bennett.h"
+#include "util/common.h"
+#include "util/random.h"
+
+namespace knnshap {
+
+McEstimate BaselineMcShapley(const SubsetUtility& utility,
+                             const BaselineMcOptions& options) {
+  const int n = utility.NumPlayers();
+  KNNSHAP_CHECK(n >= 1, "no players");
+  int64_t budget = options.max_permutations >= 0
+                       ? options.max_permutations
+                       : HoeffdingPermutations(n, options.epsilon, options.delta,
+                                               options.utility_range);
+
+  Rng rng(options.seed);
+  McEstimate result;
+  result.shapley.assign(static_cast<size_t>(n), 0.0);
+  std::vector<double> sums(static_cast<size_t>(n), 0.0);
+  std::vector<int> prefix;
+  prefix.reserve(static_cast<size_t>(n));
+
+  for (int64_t t = 1; t <= budget; ++t) {
+    std::vector<int> perm = rng.Permutation(n);
+    prefix.clear();
+    double prev = utility.Value(prefix);
+    ++result.utility_evaluations;
+    for (int i = 0; i < n; ++i) {
+      prefix.push_back(perm[static_cast<size_t>(i)]);
+      double cur = utility.Value(prefix);
+      ++result.utility_evaluations;
+      sums[static_cast<size_t>(perm[static_cast<size_t>(i)])] += cur - prev;
+      prev = cur;
+    }
+    result.permutations = t;
+    if (options.snapshot_every > 0 && options.snapshot &&
+        (t % options.snapshot_every == 0 || t == budget)) {
+      std::vector<double> estimate(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i) {
+        estimate[static_cast<size_t>(i)] =
+            sums[static_cast<size_t>(i)] / static_cast<double>(t);
+      }
+      options.snapshot(t, estimate);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    result.shapley[static_cast<size_t>(i)] =
+        sums[static_cast<size_t>(i)] / static_cast<double>(result.permutations);
+  }
+  return result;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,53 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// The baseline Monte-Carlo Shapley estimator (Sec 2.2, Eq 4): sample
+// uniform permutations, accumulate each player's marginal contribution
+// along the permutation, and average. Each prefix utility is evaluated
+// from scratch through SubsetUtility::Value — for KNN that re-sorts the
+// prefix, reproducing the O(N^2 log N (r^2/eps^2) log(N/delta)) cost the
+// paper assigns to this baseline.
+
+#ifndef KNNSHAP_CORE_BASELINE_MC_H_
+#define KNNSHAP_CORE_BASELINE_MC_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/utility.h"
+
+namespace knnshap {
+
+/// Options for the baseline estimator.
+struct BaselineMcOptions {
+  double epsilon = 0.1;
+  double delta = 0.1;
+  /// Range r of the utility difference phi_i (1/K for the unweighted KNN
+  /// classifier; conservatively the utility range otherwise).
+  double utility_range = 1.0;
+  /// Cap on permutations; <0 means "use the Hoeffding bound".
+  int64_t max_permutations = -1;
+  uint64_t seed = 1;
+  /// Invoked after every `snapshot_every` permutations with (t, current
+  /// estimate); 0 disables. Used by the Fig 5 convergence study.
+  int64_t snapshot_every = 0;
+  std::function<void(int64_t, const std::vector<double>&)> snapshot;
+};
+
+/// Result of a Monte-Carlo Shapley run.
+struct McEstimate {
+  std::vector<double> shapley;
+  int64_t permutations = 0;
+  int64_t utility_evaluations = 0;
+  /// Player insertions skipped by TMC truncation (improved MC only).
+  int64_t truncated_insertions = 0;
+};
+
+/// Runs the baseline estimator until the Hoeffding permutation count (or
+/// the explicit cap) is reached.
+McEstimate BaselineMcShapley(const SubsetUtility& utility,
+                             const BaselineMcOptions& options);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_CORE_BASELINE_MC_H_

@@ -1,0 +1,78 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "core/bennett.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/common.h"
+
+namespace knnshap {
+
+double BennettH(double u) {
+  KNNSHAP_CHECK(u >= 0.0, "h(u) requires u >= 0");
+  return (1.0 + u) * std::log1p(u) - u;
+}
+
+int64_t HoeffdingPermutations(int64_t n, double epsilon, double delta, double range) {
+  KNNSHAP_CHECK(n >= 1 && epsilon > 0.0 && delta > 0.0 && delta < 1.0 && range > 0.0,
+                "bad arguments");
+  double t = range * range / (2.0 * epsilon * epsilon) *
+             std::log(2.0 * static_cast<double>(n) / delta);
+  return std::max<int64_t>(1, static_cast<int64_t>(std::ceil(t)));
+}
+
+int64_t BennettPermutations(int64_t n, int k, double epsilon, double delta,
+                            double range) {
+  KNNSHAP_CHECK(n >= 1 && k >= 1 && epsilon > 0.0 && delta > 0.0 && delta < 1.0 &&
+                    range > 0.0,
+                "bad arguments");
+  // Per-index decay rates a_i = (1 - q_i^2) h(eps / ((1 - q_i^2) r)) with
+  // q_i = 0 for i <= K and (i-K)/i beyond (Eq 33). The first K indices
+  // share a rate; the rest are computed individually.
+  std::vector<double> rates;
+  rates.reserve(static_cast<size_t>(std::min<int64_t>(n, 1 << 22)));
+  double head_rate = BennettH(epsilon / range);  // q = 0.
+  auto lhs = [&](double t) {
+    double total = static_cast<double>(std::min<int64_t>(n, k)) *
+                   std::exp(-t * head_rate);
+    for (double a : rates) total += std::exp(-t * a);
+    return total;
+  };
+  for (int64_t i = static_cast<int64_t>(k) + 1; i <= n; ++i) {
+    double q = static_cast<double>(i - k) / static_cast<double>(i);
+    double v = 1.0 - q * q;  // variance factor (1 - q_i^2)
+    rates.push_back(v * BennettH(epsilon / (v * range)));
+  }
+  // Bisection on T: lhs is strictly decreasing from N (at T=0) to 0.
+  double target = delta / 2.0;
+  double lo = 0.0, hi = 1.0;
+  while (lhs(hi) > target) {
+    hi *= 2.0;
+    KNNSHAP_CHECK(hi < 1e18, "Bennett bisection diverged");
+  }
+  for (int iter = 0; iter < 200 && hi - lo > 0.5; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    if (lhs(mid) > target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::max<int64_t>(1, static_cast<int64_t>(std::ceil(hi)));
+}
+
+int64_t ApproxBennettPermutations(int k, double epsilon, double delta, double range) {
+  KNNSHAP_CHECK(k >= 1 && epsilon > 0.0 && delta > 0.0 && delta < 1.0 && range > 0.0,
+                "bad arguments");
+  double t = std::log(2.0 * static_cast<double>(k) / delta) / BennettH(epsilon / range);
+  return std::max<int64_t>(1, static_cast<int64_t>(std::ceil(t)));
+}
+
+double BennettLowerBound(int k, double epsilon, double delta, double range) {
+  return range * range / (epsilon * epsilon) *
+         std::log(2.0 * static_cast<double>(k) / delta);
+}
+
+}  // namespace knnshap

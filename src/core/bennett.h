@@ -1,0 +1,43 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Sample-complexity bounds for permutation-sampling Shapley estimation.
+//
+//  * Hoeffding (baseline, Sec 2.2 / [MTTH+13]): T >= r^2/(2 eps^2) log(2N/delta).
+//  * Bennett (Theorem 5): exploits that for KNN the marginal phi_i is zero
+//    with probability q_i = (i-K)/i for i > K, so Var[phi_i] <=
+//    (1-q_i^2) r^2. T* solves
+//      sum_{i=1}^{N} exp(-T (1-q_i^2) h(eps / ((1-q_i^2) r))) = delta / 2
+//    with h(u) = (1+u) log(1+u) - u; T* is N-independent in the large-N
+//    limit (Fig 11).
+//  * Approximate closed form (Eq 133-134): T~ = log(2K/delta) / h(eps/r),
+//    lower-bounded by r^2/eps^2 log(2K/delta) (Eq 135).
+
+#ifndef KNNSHAP_CORE_BENNETT_H_
+#define KNNSHAP_CORE_BENNETT_H_
+
+#include <cstdint>
+
+namespace knnshap {
+
+/// h(u) = (1+u) log(1+u) - u, the Bennett rate function (u >= 0).
+double BennettH(double u);
+
+/// Baseline permutation count from Hoeffding's inequality. `range` is the
+/// range r of the utility difference (1/K for the unweighted KNN
+/// classifier; twice the utility range in general).
+int64_t HoeffdingPermutations(int64_t n, double epsilon, double delta, double range);
+
+/// T* of Theorem 5, solved numerically (bisection; the left side of Eq 32
+/// is strictly decreasing in T).
+int64_t BennettPermutations(int64_t n, int k, double epsilon, double delta,
+                            double range);
+
+/// The closed-form approximation T~ of Eq (134).
+int64_t ApproxBennettPermutations(int k, double epsilon, double delta, double range);
+
+/// The simplified lower bound r^2/eps^2 log(2K/delta) of Eq (135).
+double BennettLowerBound(int k, double epsilon, double delta, double range);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_CORE_BENNETT_H_

@@ -1,0 +1,81 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// The composite data + computation game (Sec 4 "Valuing Computation",
+// Appendix E.4). Players are the N data sellers plus one analyst C; the
+// utility nu_c (Eq 28) is zero unless the coalition contains the analyst
+// *and* at least one seller, in which case it equals the data-only utility
+// of the sellers present.
+//
+// Theorems 9-12 give closed forms for the sellers' values in each model
+// family; the analyst receives the remainder nu(I) - sum_i s_i (group
+// rationality), which Theorem 9's ratio analysis shows is at least half of
+// the total utility.
+
+#ifndef KNNSHAP_CORE_COMPOSITE_GAME_H_
+#define KNNSHAP_CORE_COMPOSITE_GAME_H_
+
+#include <span>
+#include <vector>
+
+#include "core/utility.h"
+#include "dataset/dataset.h"
+#include "dataset/owners.h"
+#include "knn/metric.h"
+#include "knn/weights.h"
+
+namespace knnshap {
+
+/// Result of a composite-game valuation.
+struct CompositeShapleyResult {
+  std::vector<double> seller_values;  ///< SV per training row (or per seller).
+  double analyst_value = 0.0;         ///< SV of the analyst C.
+  double total_utility = 0.0;         ///< nu(I): utility of the grand coalition.
+};
+
+/// Theorem 9: composite-game SVs for the unweighted KNN classifier, per
+/// test point in O(N log N):
+///   s_{alpha_N} = 1[y=y_test] (min(N,K)+1) / (2 N (N+1))
+///   s_{alpha_i} = s_{alpha_{i+1}} + (1[y_i]-1[y_{i+1}])/K
+///                 * min(i,K)(min(i,K)+1) / (2 i (i+1))
+///   s_C = nu(I) - sum_i s_i.
+CompositeShapleyResult CompositeKnnShapley(const Dataset& train, const Dataset& test,
+                                           int k, bool parallel = true,
+                                           Metric metric = Metric::kL2);
+
+/// Theorem 9 recursion on a pre-sorted label sequence (rank order).
+/// Returns seller values only; exposed for tests.
+std::vector<double> CompositeKnnShapleyRecursion(const std::vector<int>& sorted_labels,
+                                                 int test_label, int k);
+
+/// Theorem 10: composite-game SVs for unweighted KNN regression.
+CompositeShapleyResult CompositeKnnRegressionShapley(const Dataset& train,
+                                                     const Dataset& test, int k,
+                                                     bool parallel = true,
+                                                     Metric metric = Metric::kL2);
+
+/// Theorem 10 recursion on pre-sorted targets (rank order); seller values.
+std::vector<double> CompositeKnnRegressionShapleyRecursion(
+    const std::vector<double>& sorted_targets, double test_target, int k);
+
+/// Theorem 11: composite-game SVs for weighted KNN (classification or
+/// regression), O(N^K) via the weighted exact machinery.
+CompositeShapleyResult CompositeWeightedKnnShapley(const Dataset& train,
+                                                   const Dataset& test, int k,
+                                                   const WeightConfig& weights,
+                                                   KnnTask task,
+                                                   bool parallel = true,
+                                                   Metric metric = Metric::kL2);
+
+/// Theorem 12: composite-game SVs per *seller* in the multi-data-per-seller
+/// setting, O(M^K).
+CompositeShapleyResult CompositeMultiSellerShapley(const Dataset& train,
+                                                   const OwnerAssignment& owners,
+                                                   const Dataset& test, int k,
+                                                   KnnTask task,
+                                                   const WeightConfig& weights = {},
+                                                   bool parallel = true,
+                                                   Metric metric = Metric::kL2);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_CORE_COMPOSITE_GAME_H_

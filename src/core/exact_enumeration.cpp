@@ -1,0 +1,74 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "core/exact_enumeration.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/binomial.h"
+#include "util/common.h"
+
+namespace knnshap {
+
+std::vector<double> ShapleyByEnumeration(const SubsetUtility& utility) {
+  const int n = utility.NumPlayers();
+  KNNSHAP_CHECK(n >= 1 && n <= 24, "enumeration oracle limited to N <= 24");
+  const uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1u);
+
+  // Memoize nu over all subsets, indexed by bitmask.
+  std::vector<double> value(static_cast<size_t>(full) + 1, 0.0);
+  std::vector<int> members;
+  members.reserve(static_cast<size_t>(n));
+  for (uint32_t mask = 0; mask <= full; ++mask) {
+    members.clear();
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) members.push_back(i);
+    }
+    value[mask] = utility.Value(members);
+  }
+
+  // Precompute the Shapley kernel 1 / (N * binom(N-1, k)).
+  std::vector<double> kernel(static_cast<size_t>(n), 0.0);
+  for (int k = 0; k < n; ++k) {
+    kernel[static_cast<size_t>(k)] = 1.0 / (static_cast<double>(n) * Choose(n - 1, k));
+  }
+
+  std::vector<double> shapley(static_cast<size_t>(n), 0.0);
+  for (uint32_t mask = 0; mask <= full; ++mask) {
+    int k = std::popcount(mask);
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1u << i)) continue;
+      double marginal = value[mask | (1u << i)] - value[mask];
+      shapley[static_cast<size_t>(i)] += kernel[static_cast<size_t>(k)] * marginal;
+    }
+  }
+  return shapley;
+}
+
+std::vector<double> ShapleyByAllPermutations(const SubsetUtility& utility) {
+  const int n = utility.NumPlayers();
+  KNNSHAP_CHECK(n >= 1 && n <= 10, "permutation oracle limited to N <= 10");
+  std::vector<int> perm(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+
+  std::vector<double> shapley(static_cast<size_t>(n), 0.0);
+  size_t count = 0;
+  std::vector<int> prefix;
+  prefix.reserve(static_cast<size_t>(n));
+  do {
+    prefix.clear();
+    double prev = utility.Value(prefix);  // nu(empty set)
+    for (int i = 0; i < n; ++i) {
+      prefix.push_back(perm[static_cast<size_t>(i)]);
+      double cur = utility.Value(prefix);
+      shapley[static_cast<size_t>(perm[static_cast<size_t>(i)])] += cur - prev;
+      prev = cur;
+    }
+    ++count;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  for (auto& s : shapley) s /= static_cast<double>(count);
+  return shapley;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,30 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Ground-truth Shapley values by exhaustive enumeration of Eq (2):
+//   s_i = (1/N) * sum_{S subseteq I\{i}} [nu(S u {i}) - nu(S)] / binom(N-1,|S|).
+// O(2^N) utility evaluations — usable only for N <= ~20, which is exactly
+// its role here: the oracle every polynomial/quasi-linear algorithm in this
+// library is validated against.
+
+#ifndef KNNSHAP_CORE_EXACT_ENUMERATION_H_
+#define KNNSHAP_CORE_EXACT_ENUMERATION_H_
+
+#include <vector>
+
+#include "core/utility.h"
+
+namespace knnshap {
+
+/// Exact Shapley values of every player by full subset enumeration.
+/// Requires utility.NumPlayers() <= 24 (2^24 utility evaluations).
+std::vector<double> ShapleyByEnumeration(const SubsetUtility& utility);
+
+/// Exact Shapley values by averaging marginals over *all* N! permutations
+/// (Eq 3). Requires N <= 10. Slower than enumeration; kept as an
+/// independent second oracle so the two formulations cross-check each
+/// other in tests.
+std::vector<double> ShapleyByAllPermutations(const SubsetUtility& utility);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_CORE_EXACT_ENUMERATION_H_

@@ -1,0 +1,110 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "core/exact_knn_shapley.h"
+
+#include <algorithm>
+
+#include "knn/neighbors.h"
+#include "util/common.h"
+#include "util/thread_pool.h"
+
+namespace knnshap {
+
+std::vector<double> KnnShapleyRecursion(const std::vector<int>& sorted_labels,
+                                        int test_label, int k) {
+  const int n = static_cast<int>(sorted_labels.size());
+  KNNSHAP_CHECK(n >= 1, "empty training set");
+  KNNSHAP_CHECK(k >= 1, "k must be >= 1");
+  std::vector<double> sv(static_cast<size_t>(n), 0.0);
+  const double kd = static_cast<double>(k);
+
+  // Farthest point (Eq 6, generalized to K > N via min(K, N)).
+  double match_n = sorted_labels[static_cast<size_t>(n - 1)] == test_label ? 1.0 : 0.0;
+  sv[static_cast<size_t>(n - 1)] =
+      match_n * static_cast<double>(std::min(k, n)) / (static_cast<double>(n) * kd);
+
+  // Backward recursion (Eq 7); i below is the 1-based rank.
+  for (int i = n - 1; i >= 1; --i) {
+    double match_i = sorted_labels[static_cast<size_t>(i - 1)] == test_label ? 1.0 : 0.0;
+    double match_next = sorted_labels[static_cast<size_t>(i)] == test_label ? 1.0 : 0.0;
+    sv[static_cast<size_t>(i - 1)] =
+        sv[static_cast<size_t>(i)] +
+        (match_i - match_next) / kd * static_cast<double>(std::min(k, i)) /
+            static_cast<double>(i);
+  }
+  return sv;
+}
+
+std::vector<double> KnnShapleyClosedForm(const std::vector<int>& sorted_labels,
+                                         int test_label, int k) {
+  const int n = static_cast<int>(sorted_labels.size());
+  KNNSHAP_CHECK(n >= 1 && k >= 1, "bad arguments");
+  std::vector<double> sv(static_cast<size_t>(n), 0.0);
+  auto match = [&](int rank) {  // rank is 1-based
+    return sorted_labels[static_cast<size_t>(rank - 1)] == test_label ? 1.0 : 0.0;
+  };
+  // Suffix sums T(i) = sum_{j=i+1}^{N} 1[y_j = y]/(j (j-1)), per Eq (45).
+  std::vector<double> suffix(static_cast<size_t>(n) + 2, 0.0);
+  for (int j = n; j >= 2; --j) {
+    suffix[static_cast<size_t>(j - 1)] =
+        suffix[static_cast<size_t>(j)] +
+        match(j) / (static_cast<double>(j) * static_cast<double>(j - 1));
+  }
+  const int kc = std::min(k, n);
+  for (int i = 1; i <= n; ++i) {
+    if (i >= k) {
+      // Eq (45) (covers i = N since the suffix there is empty).
+      sv[static_cast<size_t>(i - 1)] =
+          match(i) / static_cast<double>(i) - suffix[static_cast<size_t>(i)];
+    } else {
+      // Eq (46); the suffix starts at min(K, N) so that K > N degenerates
+      // to s_i = 1[y_i = y]/K, matching the recursion.
+      sv[static_cast<size_t>(i - 1)] =
+          match(i) / static_cast<double>(k) - suffix[static_cast<size_t>(kc)];
+    }
+  }
+  return sv;
+}
+
+std::vector<double> ExactKnnShapleySingle(const Dataset& train,
+                                          std::span<const float> query, int test_label,
+                                          int k, Metric metric) {
+  KNNSHAP_CHECK(train.HasLabels(), "labels required");
+  std::vector<int> order = ArgsortByDistance(train.features, query, metric);
+  std::vector<int> sorted_labels(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    sorted_labels[i] = train.labels[static_cast<size_t>(order[i])];
+  }
+  std::vector<double> by_rank = KnnShapleyRecursion(sorted_labels, test_label, k);
+  std::vector<double> sv(train.Size(), 0.0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    sv[static_cast<size_t>(order[i])] = by_rank[i];
+  }
+  return sv;
+}
+
+std::vector<double> ExactKnnShapley(const Dataset& train, const Dataset& test, int k,
+                                    bool parallel, Metric metric) {
+  KNNSHAP_CHECK(test.Size() > 0, "empty test set");
+  KNNSHAP_CHECK(test.HasLabels(), "test labels required");
+  const size_t n = train.Size();
+  const size_t num_tests = test.Size();
+  std::vector<std::vector<double>> per_test(num_tests);
+  auto run_one = [&](size_t j) {
+    per_test[j] =
+        ExactKnnShapleySingle(train, test.features.Row(j), test.labels[j], k, metric);
+  };
+  if (parallel && num_tests > 1) {
+    ThreadPool::Shared().ParallelFor(num_tests, run_one);
+  } else {
+    for (size_t j = 0; j < num_tests; ++j) run_one(j);
+  }
+  std::vector<double> sv(n, 0.0);
+  for (const auto& row : per_test) {
+    for (size_t i = 0; i < n; ++i) sv[i] += row[i];
+  }
+  for (auto& s : sv) s /= static_cast<double>(num_tests);
+  return sv;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,54 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// The paper's headline result (Theorem 1 / Algorithm 1): the exact Shapley
+// value of every training point under the unweighted KNN classification
+// utility (Eq 5) in O(N log N) per test point — an exponential improvement
+// over the 2^N-evaluation definition.
+//
+// For a single test point, with training points sorted ascending by
+// distance (alpha_i = index of the i-th nearest):
+//   s_{alpha_N} = 1[y_{alpha_N} = y_test] * min(K, N) / (N K)
+//   s_{alpha_i} = s_{alpha_{i+1}}
+//               + (1[y_{alpha_i}=y_test] - 1[y_{alpha_{i+1}}=y_test]) / K
+//                 * min(K, i) / i
+// Multi-test values are the average of per-test values (additivity, Eq 8).
+
+#ifndef KNNSHAP_CORE_EXACT_KNN_SHAPLEY_H_
+#define KNNSHAP_CORE_EXACT_KNN_SHAPLEY_H_
+
+#include <span>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "knn/metric.h"
+
+namespace knnshap {
+
+/// Exact SVs of all training rows for one test point (Theorem 1).
+/// Returns a vector indexed by training row. O(N (d + log N)).
+std::vector<double> ExactKnnShapleySingle(const Dataset& train,
+                                          std::span<const float> query, int test_label,
+                                          int k, Metric metric = Metric::kL2);
+
+/// Recursion evaluated on an externally supplied distance ordering:
+/// `sorted_labels[i]` is the label of the (i+1)-th nearest training point.
+/// Returns SVs in *rank* order (index i = i-th nearest). This is the pure
+/// O(N) core of Theorem 1, exposed for reuse by the LSH/truncated variants
+/// and for property tests.
+std::vector<double> KnnShapleyRecursion(const std::vector<int>& sorted_labels,
+                                        int test_label, int k);
+
+/// Non-recursive closed form (Eq 44-46), in rank order. Must agree with
+/// KnnShapleyRecursion to floating-point accuracy; exposed for tests and
+/// for the error analysis of Theorem 2.
+std::vector<double> KnnShapleyClosedForm(const std::vector<int>& sorted_labels,
+                                         int test_label, int k);
+
+/// Exact SVs averaged over a test set (Algorithm 1). Parallelizes over
+/// test points when `parallel` is true. O(N_test * N (d + log N)).
+std::vector<double> ExactKnnShapley(const Dataset& train, const Dataset& test, int k,
+                                    bool parallel = true, Metric metric = Metric::kL2);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_CORE_EXACT_KNN_SHAPLEY_H_

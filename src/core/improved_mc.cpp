@@ -1,0 +1,307 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "core/improved_mc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bennett.h"
+#include "knn/neighbors.h"
+#include "util/common.h"
+#include "util/random.h"
+
+namespace knnshap {
+
+IncrementalKnnUtility::IncrementalKnnUtility(const Dataset* train, const Dataset* test,
+                                             int k, KnnTask task, WeightConfig weights,
+                                             const OwnerAssignment* owners,
+                                             Metric metric)
+    : train_(train),
+      test_(test),
+      k_(k),
+      task_(task),
+      weights_(weights),
+      owners_(owners),
+      metric_(metric) {
+  KNNSHAP_CHECK(train != nullptr && test != nullptr, "null dataset");
+  KNNSHAP_CHECK(k >= 1, "k must be >= 1");
+  KNNSHAP_CHECK(test->Size() > 0, "empty test set");
+  if (owners != nullptr) {
+    KNNSHAP_CHECK(owners->NumRows() == train->Size(), "ownership size mismatch");
+  }
+  heaps_.reserve(test->Size());
+  for (size_t j = 0; j < test->Size(); ++j) {
+    heaps_.emplace_back(static_cast<size_t>(k));
+  }
+  test_utilities_.assign(test->Size(), 0.0);
+  // Cache the full test x train distance matrix when it fits comfortably
+  // (it removes the O(d) factor from every insertion). Doubles, not
+  // floats: the weighted utilities are sensitive to distance rounding and
+  // must agree bit-for-bit with the batch evaluation.
+  const size_t cells = train->Size() * test->Size();
+  cache_distances_ = cells <= (32u << 20);  // <= 256 MB of doubles
+  if (cache_distances_) {
+    distance_cache_.resize(cells);
+    for (size_t j = 0; j < test->Size(); ++j) {
+      auto query = test->features.Row(j);
+      for (size_t i = 0; i < train->Size(); ++i) {
+        distance_cache_[j * train->Size() + i] =
+            Distance(train->features.Row(i), query, metric_);
+      }
+    }
+  }
+  Reset();
+}
+
+int IncrementalKnnUtility::NumPlayers() const {
+  return owners_ != nullptr ? owners_->NumSellers()
+                            : static_cast<int>(train_->Size());
+}
+
+double IncrementalKnnUtility::EmptyValue() const {
+  switch (task_) {
+    case KnnTask::kClassification:
+    case KnnTask::kWeightedClassification:
+      return 0.0;
+    case KnnTask::kRegression:
+    case KnnTask::kWeightedRegression: {
+      // Eq (25) on the empty set: -(0 - y_test)^2, averaged over tests.
+      double total = 0.0;
+      for (size_t j = 0; j < test_->Size(); ++j) {
+        total -= test_->targets[j] * test_->targets[j];
+      }
+      return total / static_cast<double>(test_->Size());
+    }
+  }
+  KNNSHAP_CHECK(false, "unknown task");
+}
+
+void IncrementalKnnUtility::Reset() {
+  for (auto& heap : heaps_) heap.Clear();
+  double empty_per_test;
+  switch (task_) {
+    case KnnTask::kClassification:
+    case KnnTask::kWeightedClassification:
+      empty_per_test = 0.0;
+      break;
+    default:
+      empty_per_test = 0.0;  // overwritten below per test point
+  }
+  total_utility_ = 0.0;
+  for (size_t j = 0; j < test_->Size(); ++j) {
+    if (task_ == KnnTask::kRegression || task_ == KnnTask::kWeightedRegression) {
+      test_utilities_[j] = -test_->targets[j] * test_->targets[j];
+    } else {
+      test_utilities_[j] = empty_per_test;
+    }
+    total_utility_ += test_utilities_[j];
+  }
+}
+
+double IncrementalKnnUtility::RowDistance(int row, size_t test_idx) const {
+  if (cache_distances_) {
+    return distance_cache_[test_idx * train_->Size() + static_cast<size_t>(row)];
+  }
+  return Distance(train_->features.Row(static_cast<size_t>(row)),
+                  test_->features.Row(test_idx), metric_);
+}
+
+double IncrementalKnnUtility::TestUtility(size_t test_idx) const {
+  const auto& heap = heaps_[test_idx];
+  if (heap.Empty()) {
+    if (task_ == KnnTask::kRegression || task_ == KnnTask::kWeightedRegression) {
+      return -test_->targets[test_idx] * test_->targets[test_idx];
+    }
+    return 0.0;
+  }
+  switch (task_) {
+    case KnnTask::kClassification: {
+      double correct = 0.0;
+      for (const auto& e : heap.Entries()) {
+        if (train_->labels[static_cast<size_t>(e.payload)] ==
+            test_->labels[test_idx]) {
+          correct += 1.0;
+        }
+      }
+      return correct / static_cast<double>(k_);
+    }
+    case KnnTask::kRegression: {
+      double sum = 0.0;
+      for (const auto& e : heap.Entries()) {
+        sum += train_->targets[static_cast<size_t>(e.payload)];
+      }
+      double err = sum / static_cast<double>(k_) - test_->targets[test_idx];
+      return -err * err;
+    }
+    case KnnTask::kWeightedClassification:
+    case KnnTask::kWeightedRegression: {
+      auto sorted = heap.SortedEntries();
+      std::vector<double> dists;
+      dists.reserve(sorted.size());
+      for (const auto& e : sorted) dists.push_back(e.key);
+      auto w = ComputeWeights(dists, weights_);
+      if (task_ == KnnTask::kWeightedClassification) {
+        double utility = 0.0;
+        for (size_t i = 0; i < sorted.size(); ++i) {
+          if (train_->labels[static_cast<size_t>(sorted[i].payload)] ==
+              test_->labels[test_idx]) {
+            utility += w[i];
+          }
+        }
+        return utility;
+      }
+      double estimate = 0.0;
+      for (size_t i = 0; i < sorted.size(); ++i) {
+        estimate += w[i] * train_->targets[static_cast<size_t>(sorted[i].payload)];
+      }
+      double err = estimate - test_->targets[test_idx];
+      return -err * err;
+    }
+  }
+  KNNSHAP_CHECK(false, "unknown task");
+}
+
+void IncrementalKnnUtility::AddRow(int row) {
+  for (size_t j = 0; j < heaps_.size(); ++j) {
+    // Algorithm 2 line 16: only re-evaluate when the K-NN heap changed.
+    if (heaps_[j].Push(RowDistance(row, j), row)) {
+      double updated = TestUtility(j);
+      total_utility_ += updated - test_utilities_[j];
+      test_utilities_[j] = updated;
+    }
+  }
+}
+
+double IncrementalKnnUtility::AddPlayer(int player) {
+  if (owners_ != nullptr) {
+    for (int row : owners_->RowsOf(player)) AddRow(row);
+  } else {
+    AddRow(player);
+  }
+  return total_utility_ / static_cast<double>(test_->Size());
+}
+
+CompositeIncrementalUtility::CompositeIncrementalUtility(IncrementalUtility* base)
+    : base_(base) {
+  KNNSHAP_CHECK(base != nullptr, "null base utility");
+}
+
+int CompositeIncrementalUtility::NumPlayers() const {
+  return base_->NumPlayers() + 1;
+}
+
+double CompositeIncrementalUtility::EmptyValue() const { return 0.0; }
+
+void CompositeIncrementalUtility::Reset() {
+  base_->Reset();
+  analyst_in_ = false;
+  sellers_in_ = 0;
+  base_value_ = base_->EmptyValue();
+}
+
+double CompositeIncrementalUtility::AddPlayer(int player) {
+  if (player == AnalystId()) {
+    analyst_in_ = true;
+  } else {
+    base_value_ = base_->AddPlayer(player);
+    ++sellers_in_;
+  }
+  // Eq (28): value is zero without both computation and data.
+  if (!analyst_in_ || sellers_in_ == 0) return 0.0;
+  return base_value_;
+}
+
+int64_t StoppingRulePermutations(const ImprovedMcOptions& options, int64_t n) {
+  switch (options.stopping) {
+    case McStoppingRule::kHoeffding:
+      return HoeffdingPermutations(n, options.epsilon, options.delta,
+                                   options.utility_range);
+    case McStoppingRule::kBennett:
+      return BennettPermutations(n, options.k, options.epsilon, options.delta,
+                                 options.utility_range);
+    case McStoppingRule::kApproxBennett:
+      return ApproxBennettPermutations(options.k, options.epsilon, options.delta,
+                                       options.utility_range);
+    case McStoppingRule::kHeuristic:
+      // The heuristic has no a-priori bound; fall back to Bennett as a cap.
+      return BennettPermutations(n, options.k, options.epsilon, options.delta,
+                                 options.utility_range);
+  }
+  KNNSHAP_CHECK(false, "unknown stopping rule");
+}
+
+McEstimate ImprovedMcShapley(IncrementalUtility* utility,
+                             const ImprovedMcOptions& options) {
+  KNNSHAP_CHECK(utility != nullptr, "null utility");
+  const int n = utility->NumPlayers();
+  KNNSHAP_CHECK(n >= 1, "no players");
+
+  int64_t budget = StoppingRulePermutations(options, n);
+  if (options.max_permutations >= 0) {
+    budget = std::min(budget, options.max_permutations);
+  }
+  const bool heuristic = options.stopping == McStoppingRule::kHeuristic;
+  const double threshold = options.epsilon / options.heuristic_divisor;
+
+  // TMC truncation needs the grand-coalition utility as its reference.
+  double grand_value = 0.0;
+  if (options.tmc_tolerance > 0.0) {
+    utility->Reset();
+    grand_value = utility->EmptyValue();
+    for (int i = 0; i < n; ++i) grand_value = utility->AddPlayer(i);
+  }
+
+  Rng rng(options.seed);
+  McEstimate result;
+  std::vector<double> sums(static_cast<size_t>(n), 0.0);
+  std::vector<double> previous_estimate(static_cast<size_t>(n), 0.0);
+
+  int64_t t = 0;
+  while (t < budget) {
+    ++t;
+    std::vector<int> perm = rng.Permutation(n);
+    utility->Reset();
+    double prev = utility->EmptyValue();
+    int evaluated = 0;
+    for (int i = 0; i < n; ++i) {
+      int player = perm[static_cast<size_t>(i)];
+      double cur = utility->AddPlayer(player);
+      sums[static_cast<size_t>(player)] += cur - prev;
+      prev = cur;
+      ++evaluated;
+      // TMC: the utility has effectively converged to nu(I); remaining
+      // marginals are ~0, so end the pass (their sums are left untouched).
+      if (options.tmc_tolerance > 0.0 &&
+          std::fabs(cur - grand_value) < options.tmc_tolerance) {
+        result.truncated_insertions += n - evaluated;
+        break;
+      }
+    }
+    result.utility_evaluations += evaluated;
+    if (heuristic && t >= options.min_permutations) {
+      // Max change of the running estimate vs the previous iteration.
+      double worst = 0.0;
+      for (int i = 0; i < n; ++i) {
+        double estimate = sums[static_cast<size_t>(i)] / static_cast<double>(t);
+        worst = std::max(worst,
+                         std::fabs(estimate - previous_estimate[static_cast<size_t>(i)]));
+        previous_estimate[static_cast<size_t>(i)] = estimate;
+      }
+      if (worst < threshold) break;
+    } else if (heuristic) {
+      for (int i = 0; i < n; ++i) {
+        previous_estimate[static_cast<size_t>(i)] =
+            sums[static_cast<size_t>(i)] / static_cast<double>(t);
+      }
+    }
+  }
+  result.permutations = t;
+  result.shapley.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    result.shapley[static_cast<size_t>(i)] =
+        sums[static_cast<size_t>(i)] / static_cast<double>(t);
+  }
+  return result;
+}
+
+}  // namespace knnshap

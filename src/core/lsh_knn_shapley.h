@@ -1,0 +1,74 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// (epsilon, delta)-approximate KNN Shapley values (Theorems 2 and 4).
+//
+// Theorem 2: only the K* = max(K, ceil(1/epsilon)) nearest neighbors need
+// nonzero values — truncating the Theorem 1 recursion there (anchoring
+// s_{alpha_{K*}} = 0) yields an (epsilon, 0)-approximation, because the
+// true |s_{alpha_i}| <= min(1/i, 1/K). Theorem 4 replaces the exact top-K*
+// retrieval with LSH retrieval that succeeds with probability 1 - delta,
+// giving sublinear O(N^{g(C_{K*})} log N) time per query when the relative
+// contrast C_{K*} > 1.
+
+#ifndef KNNSHAP_CORE_LSH_KNN_SHAPLEY_H_
+#define KNNSHAP_CORE_LSH_KNN_SHAPLEY_H_
+
+#include <span>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "knn/neighbors.h"
+#include "lsh/lsh_index.h"
+
+namespace knnshap {
+
+/// K* = max(K, ceil(1/epsilon)), the retrieval depth of Theorem 2.
+int KStar(int k, double epsilon);
+
+/// Truncated Theorem-1 recursion over retrieved neighbors (ascending by
+/// distance). Entries of the returned vector parallel `neighbors`; ranks
+/// >= K* get value 0 (their true SV is below epsilon in magnitude). If
+/// fewer than K* neighbors are supplied the recursion anchors at the last
+/// one.
+std::vector<double> TruncatedShapleyFromNeighbors(const Dataset& train,
+                                                  std::span<const Neighbor> neighbors,
+                                                  int test_label, int k, int k_star);
+
+/// (epsilon, 0)-approximation using *exact* top-K* retrieval (partial
+/// selection instead of a full sort). Isolates the truncation error of
+/// Theorem 2 from LSH retrieval error; also the practical choice when
+/// epsilon is moderate but no index has been built.
+std::vector<double> TruncatedKnnShapley(const Dataset& train, const Dataset& test,
+                                        int k, double epsilon, bool parallel = true);
+
+/// Aggregate retrieval statistics for an LshKnnShapley run (Fig 9 metrics).
+struct LshShapleyStats {
+  double mean_candidates = 0.0;  ///< Mean distinct candidates scanned/query.
+  double mean_returned = 0.0;    ///< Mean neighbors returned (<= K*).
+  size_t queries = 0;
+};
+
+/// Empirical LSH parameter selection as in Sec 6.1: the projection width
+/// and m come from the contrast analysis, but the *table count* is the
+/// smallest power of two whose measured SV error on a held-out validation
+/// query set stays within epsilon. This is how the paper actually sizes
+/// its indexes — the Theorem-3 count is a worst-case guarantee and badly
+/// overshoots at low contrast. `validation` must be labeled and disjoint
+/// from the evaluation queries. Returns the chosen config; `achieved_error`
+/// (optional) receives the validation error of the final config.
+LshConfig TuneLshEmpirically(const Dataset& train, const Dataset& validation, int k,
+                             double epsilon, double contrast, size_t max_tables = 256,
+                             double* achieved_error = nullptr);
+
+/// Theorem 4: (epsilon, delta)-approximate SVs for all training rows,
+/// averaged over the test set, using LSH retrieval of the K* nearest
+/// neighbors. `index` must be built over train.features; delta is
+/// controlled by the index's table count (see lsh/tuning.h).
+std::vector<double> LshKnnShapley(const Dataset& train, const Dataset& test, int k,
+                                  double epsilon, const LshIndex& index,
+                                  LshShapleyStats* stats = nullptr,
+                                  bool parallel = true);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_CORE_LSH_KNN_SHAPLEY_H_

@@ -1,0 +1,61 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Exact Shapley values when each seller (data curator) contributes
+// multiple training points (Theorem 8 / Appendix E.3) — the player is the
+// seller, and a seller entering a coalition inserts *all* of their rows.
+//
+// Key structure: the utility of a seller coalition T depends only on
+// S = the top-K rows of the union of T's data. There are at most O(M^K)
+// distinct top-K sets A = { S : S-tilde <= K sellers, S = topK(their rows),
+// every listed seller contributes a row }. For seller j and each S in A
+// not involving j, the coalitions that realize S are h(S) plus any subset
+// of G(S, j) — the sellers whose nearest row lies beyond the farthest row
+// of S — giving the closed form of Eq (84):
+//   s_j = (1/M) sum_{S in A\j} sum_{t=0}^{|G|} binom(|G|,t)/binom(M-1,|h(S)|+t)
+//           * [nu(topK(h(S) u {j})) - nu(S)].
+// Theorem 12's composite game uses 1/(M+1) and binom(M, |h(S)|+t+1).
+//
+// For K = 1 the set A collapses to single-seller coalitions and the method
+// is O(M log M), matching the paper's remark.
+
+#ifndef KNNSHAP_CORE_MULTI_SELLER_SHAPLEY_H_
+#define KNNSHAP_CORE_MULTI_SELLER_SHAPLEY_H_
+
+#include <span>
+#include <vector>
+
+#include "core/utility.h"
+#include "dataset/dataset.h"
+#include "dataset/owners.h"
+#include "knn/metric.h"
+#include "knn/weights.h"
+
+namespace knnshap {
+
+/// Options for the multi-seller exact algorithm.
+struct MultiSellerShapleyOptions {
+  int k = 1;
+  KnnTask task = KnnTask::kClassification;
+  WeightConfig weights;  ///< Used by the weighted tasks.
+  Metric metric = Metric::kL2;
+  /// Theorem 12 (composite game) instead of Theorem 8 (data-only game).
+  bool composite_game = false;
+};
+
+/// Exact per-seller SVs for one test point. O(M^K) coalition patterns.
+std::vector<double> MultiSellerShapleySingle(const Dataset& train,
+                                             const OwnerAssignment& owners,
+                                             std::span<const float> query,
+                                             int test_label, double test_target,
+                                             const MultiSellerShapleyOptions& options);
+
+/// Exact per-seller SVs averaged over a test set.
+std::vector<double> MultiSellerShapley(const Dataset& train,
+                                       const OwnerAssignment& owners,
+                                       const Dataset& test,
+                                       const MultiSellerShapleyOptions& options,
+                                       bool parallel = true);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_CORE_MULTI_SELLER_SHAPLEY_H_

@@ -1,0 +1,44 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "core/piecewise.h"
+
+#include <algorithm>
+
+#include "util/binomial.h"
+#include "util/common.h"
+
+namespace knnshap {
+
+double ShapleyDifferenceFromPiecewise(int n,
+                                      const std::vector<PiecewiseGroup>& groups) {
+  KNNSHAP_CHECK(n >= 2, "need at least two players");
+  double total = 0.0;
+  for (const auto& group : groups) {
+    KNNSHAP_CHECK(static_cast<int>(group.size_counts.size()) <= n - 1,
+                  "size_counts longer than N-1");
+    double inner = 0.0;
+    for (size_t k = 0; k < group.size_counts.size(); ++k) {
+      double denom = Choose(n - 2, static_cast<int>(k));
+      KNNSHAP_CHECK(denom > 0.0, "invalid subset size");
+      inner += group.size_counts[k] / denom;
+    }
+    total += group.coefficient * inner;
+  }
+  return total / static_cast<double>(n - 1);
+}
+
+std::vector<double> UnweightedKnnGroupCounts(int n, int k, int i) {
+  KNNSHAP_CHECK(n >= 2 && i >= 1 && i < n && k >= 1, "bad arguments");
+  std::vector<double> counts(static_cast<size_t>(n - 1), 0.0);
+  for (int size = 0; size <= n - 2; ++size) {
+    double total = 0.0;
+    int m_max = std::min(k - 1, size);
+    for (int m = 0; m <= m_max; ++m) {
+      total += Choose(i - 1, m) * Choose(n - i - 1, size - m);
+    }
+    counts[static_cast<size_t>(size)] = total;
+  }
+  return counts;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,39 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// The generic "piecewise utility difference" framework (Sec 4 comments +
+// Appendix F). When nu(S u {i}) - nu(S u {j}) = sum_t C_t 1[S in S_t],
+// Lemma 1 reduces the SV difference between i and j to a counting problem
+// (Eq 31):
+//   s_i - s_j = 1/(N-1) sum_t C_t [ sum_k |{S in S_t : |S|=k}| / binom(N-2,k) ].
+// This module evaluates that reduction given group coefficients and
+// per-size counts, and provides the counts for the unweighted-KNN group
+// S_1 of Eq (100). Tests use it to re-derive Theorem 1 independently of
+// the recursion.
+
+#ifndef KNNSHAP_CORE_PIECEWISE_H_
+#define KNNSHAP_CORE_PIECEWISE_H_
+
+#include <vector>
+
+namespace knnshap {
+
+/// One group of the piecewise decomposition.
+struct PiecewiseGroup {
+  /// C_t: constant utility difference on this group.
+  double coefficient = 0.0;
+  /// size_counts[k] = |{S in S_t : |S| = k}| for k = 0..N-2.
+  std::vector<double> size_counts;
+};
+
+/// Eq (31): the SV difference s_i - s_j implied by the groups.
+double ShapleyDifferenceFromPiecewise(int n, const std::vector<PiecewiseGroup>& groups);
+
+/// Counts for the unweighted KNN classification group of Eq (100):
+/// S_1 = { S subseteq I\{i, i+1} : fewer than K elements of S rank before
+/// i }, with ranks 1..N by distance. Returns counts[k] for k = 0..N-2:
+///   counts[k] = sum_{m=0}^{min(K-1,k)} binom(i-1, m) binom(N-i-1, k-m).
+std::vector<double> UnweightedKnnGroupCounts(int n, int k, int i);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_CORE_PIECEWISE_H_

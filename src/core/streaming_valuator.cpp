@@ -1,0 +1,96 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "core/streaming_valuator.h"
+
+#include <algorithm>
+
+#include "core/lsh_knn_shapley.h"
+#include "dataset/contrast.h"
+#include "knn/neighbors.h"
+#include "lsh/tuning.h"
+#include "util/common.h"
+
+namespace knnshap {
+
+StreamingValuator::StreamingValuator(const Dataset& corpus,
+                                     const StreamingValuatorOptions& options)
+    : corpus_(corpus), options_(options) {
+  KNNSHAP_CHECK(corpus_.HasLabels(), "labeled corpus required");
+  KNNSHAP_CHECK(corpus_.Size() >= 2, "corpus too small");
+  k_star_ = KStar(options_.k, options_.epsilon);
+  values_.assign(corpus_.Size(), 0.0);
+  sums_.assign(corpus_.Size(), 0.0);
+
+  // Contrast estimation against held-in corpus rows: the (K*+1)-th
+  // neighbor of a corpus row skips the row itself.
+  Rng rng(options_.seed);
+  size_t sample = std::min(options_.contrast_sample, corpus_.Size());
+  ContrastEstimate est = EstimateRelativeContrast(
+      corpus_, corpus_, std::min<int>(k_star_ + 1, static_cast<int>(corpus_.Size()) - 1),
+      sample, 4 * sample, &rng);
+  contrast_ = est.c_k;
+  if (est.d_mean > 0.0) {
+    scale_ = 1.0 / est.d_mean;
+    corpus_.features.Scale(scale_);
+  }
+
+  switch (options_.backend) {
+    case RetrievalBackend::kBruteForce:
+      break;
+    case RetrievalBackend::kKdTree:
+      kd_tree_ = std::make_unique<KdTree>(&corpus_.features);
+      break;
+    case RetrievalBackend::kLsh: {
+      LshConfig config =
+          TuneForContrast(corpus_.Size(), std::max(contrast_, 1.01), k_star_,
+                          options_.delta, /*alpha=*/1.0, options_.seed);
+      lsh_ = std::make_unique<LshIndex>(&corpus_.features, config);
+      break;
+    }
+  }
+}
+
+std::vector<Neighbor> StreamingValuator::Retrieve(std::span<const float> query) const {
+  const size_t depth = static_cast<size_t>(k_star_);
+  switch (options_.backend) {
+    case RetrievalBackend::kBruteForce:
+      return TopKNeighbors(corpus_.features, query, depth);
+    case RetrievalBackend::kKdTree:
+      return kd_tree_->Query(query, depth);
+    case RetrievalBackend::kLsh:
+      return lsh_->Query(query, depth);
+  }
+  KNNSHAP_CHECK(false, "unknown backend");
+}
+
+size_t StreamingValuator::ProcessQuery(std::span<const float> query, int label) {
+  KNNSHAP_CHECK(query.size() == corpus_.Dim(), "query dimension mismatch");
+  // The corpus copy was rescaled; queries arrive in the original space.
+  std::vector<float> scaled(query.begin(), query.end());
+  for (auto& x : scaled) x = static_cast<float>(x * scale_);
+
+  std::vector<Neighbor> neighbors = Retrieve(scaled);
+  std::vector<double> by_rank =
+      TruncatedShapleyFromNeighbors(corpus_, neighbors, label, options_.k, k_star_);
+  ++queries_seen_;
+  values_dirty_ = true;
+  size_t touched = 0;
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    if (by_rank[i] != 0.0) {
+      sums_[static_cast<size_t>(neighbors[i].index)] += by_rank[i];
+      ++touched;
+    }
+  }
+  return touched;
+}
+
+const std::vector<double>& StreamingValuator::Values() const {
+  if (values_dirty_ && queries_seen_ > 0) {
+    const double inv = 1.0 / static_cast<double>(queries_seen_);
+    for (size_t i = 0; i < values_.size(); ++i) values_[i] = sums_[i] * inv;
+    values_dirty_ = false;
+  }
+  return values_;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,92 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Online data valuation (the use case motivating Sec 3.2): test queries
+// arrive one at a time — e.g. document retrieval — and every corpus
+// point's running value must be updated per query without re-sorting the
+// corpus. StreamingValuator owns the retrieval structure, normalizes the
+// corpus to D_mean = 1, and maintains the running mean of per-query
+// Shapley contributions; by additivity the running mean after Q queries
+// equals the multi-test SV over those Q queries.
+//
+// Three retrieval backends, all serving the truncated recursion of
+// Theorem 2 at depth K* = max(K, 1/eps):
+//   * kLsh     — Theorem 4, sublinear per query when contrast > 1;
+//   * kKdTree  — exact K* retrieval via kd-tree [MA98];
+//   * kBruteForce — exact partial selection, O(N log K*) per query.
+
+#ifndef KNNSHAP_CORE_STREAMING_VALUATOR_H_
+#define KNNSHAP_CORE_STREAMING_VALUATOR_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "knn/kd_tree.h"
+#include "lsh/lsh_index.h"
+
+namespace knnshap {
+
+/// Retrieval structure used to find the K* nearest corpus points.
+enum class RetrievalBackend {
+  kBruteForce,  ///< Exact bounded-heap scan.
+  kKdTree,      ///< Exact kd-tree search.
+  kLsh,         ///< Approximate, Theorem-3-tuned LSH.
+};
+
+/// Configuration for a StreamingValuator.
+struct StreamingValuatorOptions {
+  int k = 1;              ///< KNN hyperparameter.
+  double epsilon = 0.1;   ///< Per-query value error budget (Theorem 2).
+  double delta = 0.1;     ///< Retrieval failure probability (LSH backend).
+  RetrievalBackend backend = RetrievalBackend::kLsh;
+  uint64_t seed = 7;      ///< Seed for contrast estimation + hashing.
+  /// Corpus rows sampled when estimating the relative contrast.
+  size_t contrast_sample = 500;
+};
+
+/// Accumulates running Shapley values of a fixed labeled corpus as queries
+/// stream in. Thread-compatible (one instance per thread); queries are
+/// processed strictly sequentially.
+class StreamingValuator {
+ public:
+  /// Copies and normalizes the corpus features (D_mean = 1) and builds the
+  /// retrieval backend. The corpus must be labeled.
+  StreamingValuator(const Dataset& corpus, const StreamingValuatorOptions& options);
+
+  /// Processes one query with its ground-truth label; updates the running
+  /// values of the touched corpus points. Returns the number of corpus
+  /// points whose value changed (<= K*). O(retrieval + K*).
+  size_t ProcessQuery(std::span<const float> query, int label);
+
+  /// Running mean of per-query Shapley contributions — the (approximate)
+  /// multi-test SV over all queries seen so far. Materialized lazily in
+  /// O(N); ProcessQuery itself only touches the retrieved points.
+  const std::vector<double>& Values() const;
+
+  size_t QueriesSeen() const { return queries_seen_; }
+  int KStarDepth() const { return k_star_; }
+  double Contrast() const { return contrast_; }
+  const LshConfig* LshConfiguration() const {
+    return lsh_ ? &lsh_->Config() : nullptr;
+  }
+
+ private:
+  std::vector<Neighbor> Retrieve(std::span<const float> query) const;
+
+  Dataset corpus_;  // normalized private copy
+  StreamingValuatorOptions options_;
+  int k_star_;
+  double scale_ = 1.0;     // 1 / D_mean used to normalize
+  double contrast_ = 0.0;  // C_{K*} estimate
+  std::unique_ptr<LshIndex> lsh_;
+  std::unique_ptr<KdTree> kd_tree_;
+  mutable std::vector<double> values_;  // lazily refreshed running means
+  mutable bool values_dirty_ = false;
+  std::vector<double> sums_;            // per-point contribution sums
+  size_t queries_seen_ = 0;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_CORE_STREAMING_VALUATOR_H_

@@ -1,0 +1,46 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "dataset/contrast.h"
+
+#include <algorithm>
+
+#include "knn/neighbors.h"
+#include "util/common.h"
+
+namespace knnshap {
+
+ContrastEstimate EstimateRelativeContrast(const Dataset& train, const Dataset& queries,
+                                          int k, size_t num_queries, size_t num_pairs,
+                                          Rng* rng) {
+  KNNSHAP_CHECK(train.Size() > static_cast<size_t>(k), "k must be < train size");
+  KNNSHAP_CHECK(queries.Size() > 0, "no query rows");
+  num_queries = std::min(num_queries, queries.Size());
+
+  // D_mean: expected distance between a random query and a random train row.
+  double d_mean_sum = 0.0;
+  for (size_t p = 0; p < num_pairs; ++p) {
+    size_t qi = rng->NextIndex(queries.Size());
+    size_t ti = rng->NextIndex(train.Size());
+    d_mean_sum += Distance(queries.features.Row(qi), train.features.Row(ti), Metric::kL2);
+  }
+  double d_mean = d_mean_sum / static_cast<double>(num_pairs);
+
+  // D_K: expected distance to the Kth nearest neighbor over sampled queries.
+  auto picks = rng->SampleWithoutReplacement(static_cast<int>(queries.Size()),
+                                             static_cast<int>(num_queries));
+  double d_k_sum = 0.0;
+  for (int qi : picks) {
+    auto nns = TopKNeighbors(train.features, queries.features.Row(static_cast<size_t>(qi)),
+                             static_cast<size_t>(k));
+    d_k_sum += nns.back().distance;
+  }
+  double d_k = d_k_sum / static_cast<double>(picks.size());
+
+  ContrastEstimate est;
+  est.d_mean = d_mean;
+  est.d_k = d_k;
+  est.c_k = d_k > 0.0 ? d_mean / d_k : 0.0;
+  return est;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,35 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Relative-contrast estimation (Theorem 3). C_K = D_mean / D_K where D_mean
+// is the expected query-to-random-training-point distance and D_K the
+// expected query-to-Kth-nearest-neighbor distance. C_K governs how hard
+// approximate nearest-neighbor retrieval is, and therefore the complexity
+// exponent g(C_K) of the LSH-based Shapley approximation.
+
+#ifndef KNNSHAP_DATASET_CONTRAST_H_
+#define KNNSHAP_DATASET_CONTRAST_H_
+
+#include <cstddef>
+
+#include "dataset/dataset.h"
+#include "util/random.h"
+
+namespace knnshap {
+
+/// Monte-Carlo estimates of the quantities in Eq (21)-(22).
+struct ContrastEstimate {
+  double d_mean = 0.0;  ///< E[distance(query, random training point)].
+  double d_k = 0.0;     ///< E[distance(query, its Kth nearest neighbor)].
+  double c_k = 0.0;     ///< Relative contrast D_mean / D_K.
+};
+
+/// Estimates the Kth relative contrast of `train` using `num_queries` rows
+/// sampled from `queries` (often the test set) and `num_pairs` random pairs
+/// for D_mean. L2 distances.
+ContrastEstimate EstimateRelativeContrast(const Dataset& train, const Dataset& queries,
+                                          int k, size_t num_queries, size_t num_pairs,
+                                          Rng* rng);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_DATASET_CONTRAST_H_

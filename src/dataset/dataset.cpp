@@ -1,0 +1,63 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "dataset/dataset.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace knnshap {
+
+Dataset Dataset::Subset(std::span<const int> rows) const {
+  Dataset out;
+  out.name = name;
+  out.features = Matrix(rows.size(), Dim());
+  if (HasLabels()) out.labels.reserve(rows.size());
+  if (HasTargets()) out.targets.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    int r = rows[i];
+    KNNSHAP_CHECK(r >= 0 && static_cast<size_t>(r) < Size(), "row out of range");
+    auto src = features.Row(static_cast<size_t>(r));
+    std::copy(src.begin(), src.end(), out.features.MutableRow(i).begin());
+    if (HasLabels()) out.labels.push_back(labels[static_cast<size_t>(r)]);
+    if (HasTargets()) out.targets.push_back(targets[static_cast<size_t>(r)]);
+  }
+  return out;
+}
+
+void Dataset::Validate() const {
+  if (HasLabels()) {
+    KNNSHAP_CHECK(labels.size() == Size(), "labels/features size mismatch");
+  }
+  if (HasTargets()) {
+    KNNSHAP_CHECK(targets.size() == Size(), "targets/features size mismatch");
+  }
+}
+
+TrainTestSplit SplitTrainTest(const Dataset& data, double test_fraction, Rng* rng) {
+  KNNSHAP_CHECK(test_fraction > 0.0 && test_fraction < 1.0,
+                "test fraction must be in (0,1)");
+  KNNSHAP_CHECK(data.Size() >= 2, "need at least two rows to split");
+  const int n = static_cast<int>(data.Size());
+  std::vector<int> order = rng->Permutation(n);
+  int test_count = std::clamp(static_cast<int>(test_fraction * n), 1, n - 1);
+  std::vector<int> test_rows(order.begin(), order.begin() + test_count);
+  std::vector<int> train_rows(order.begin() + test_count, order.end());
+  TrainTestSplit split;
+  split.test = data.Subset(test_rows);
+  split.train = data.Subset(train_rows);
+  return split;
+}
+
+Dataset Bootstrap(const Dataset& data, size_t size, Rng* rng) {
+  KNNSHAP_CHECK(data.Size() > 0, "bootstrap of empty dataset");
+  std::vector<int> rows(size);
+  for (auto& r : rows) {
+    r = static_cast<int>(rng->NextIndex(data.Size()));
+  }
+  Dataset out = data.Subset(rows);
+  out.name = data.name + "-bootstrap";
+  return out;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,56 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Dataset container shared by every algorithm: features plus either class
+// labels (classification) or real-valued targets (regression). The paper's
+// games treat each training instance as a player; the Dataset row index is
+// the player id.
+
+#ifndef KNNSHAP_DATASET_DATASET_H_
+#define KNNSHAP_DATASET_DATASET_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/matrix.h"
+#include "util/random.h"
+
+namespace knnshap {
+
+/// Feature matrix with per-row labels and/or regression targets.
+struct Dataset {
+  Matrix features;
+  std::vector<int> labels;      ///< Class ids; empty for pure regression data.
+  std::vector<double> targets;  ///< Regression targets; empty for pure classification.
+  std::string name;             ///< Human-readable identifier for reports.
+
+  size_t Size() const { return features.Rows(); }
+  size_t Dim() const { return features.Cols(); }
+  bool HasLabels() const { return !labels.empty(); }
+  bool HasTargets() const { return !targets.empty(); }
+
+  /// Returns a copy containing only the given rows, in the given order.
+  Dataset Subset(std::span<const int> rows) const;
+
+  /// Aborts if the label/target vectors are inconsistent with the matrix.
+  void Validate() const;
+};
+
+/// A train/test partition of a dataset.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Randomly splits `data` into train/test with `test_fraction` of rows in
+/// the test part (at least one row in each part when possible).
+TrainTestSplit SplitTrainTest(const Dataset& data, double test_fraction, Rng* rng);
+
+/// Bootstrap resample of `data` with `size` rows (sampling with
+/// replacement). The paper bootstraps MNIST to synthesize larger training
+/// sets for the Figure 6 scaling study.
+Dataset Bootstrap(const Dataset& data, size_t size, Rng* rng);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_DATASET_DATASET_H_

@@ -1,0 +1,53 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// CSV import/export for datasets, so real feature matrices (e.g. CNN
+// embeddings exported from Python) can be valued without recompiling.
+//
+// Format: one row per point. By default the *last* column is the label
+// (classification) or target (regression); every other column is a
+// feature. A single optional header line is detected and skipped.
+
+#ifndef KNNSHAP_DATASET_IO_H_
+#define KNNSHAP_DATASET_IO_H_
+
+#include <string>
+
+#include "dataset/dataset.h"
+
+namespace knnshap {
+
+/// How to interpret the trailing column of a CSV file.
+enum class CsvTarget {
+  kLabel,    ///< Last column is an integer class label.
+  kTarget,   ///< Last column is a real-valued regression target.
+  kNone,     ///< All columns are features (unlabeled data).
+};
+
+/// Result of a load: the dataset plus parse diagnostics.
+struct CsvLoadResult {
+  Dataset data;
+  size_t rows_parsed = 0;
+  size_t rows_skipped = 0;  ///< Malformed rows (wrong arity / non-numeric).
+  bool had_header = false;
+  std::string error;        ///< Non-empty on fatal failure (file unreadable...).
+
+  bool ok() const { return error.empty(); }
+};
+
+/// Loads a dataset from `path`. Rows with the wrong column count or
+/// non-numeric cells are skipped and counted, not fatal; an unreadable
+/// file or zero usable rows is fatal.
+CsvLoadResult LoadCsvDataset(const std::string& path, CsvTarget target);
+
+/// Writes `data` to `path` (features then label/target per row, no
+/// header). Returns false on I/O failure.
+bool SaveCsvDataset(const Dataset& data, const std::string& path);
+
+/// Writes per-point values next to their row index and (if present) label:
+/// columns `index,value[,label]`. Returns false on I/O failure.
+bool SaveValuesCsv(const std::vector<double>& values, const Dataset& data,
+                   const std::string& path);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_DATASET_IO_H_

@@ -1,0 +1,66 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "dataset/owners.h"
+
+#include <algorithm>
+
+#include "util/common.h"
+
+namespace knnshap {
+
+OwnerAssignment::OwnerAssignment(std::vector<int> owner_of)
+    : owner_of_(std::move(owner_of)) {
+  KNNSHAP_CHECK(!owner_of_.empty(), "empty ownership map");
+  num_sellers_ = *std::max_element(owner_of_.begin(), owner_of_.end()) + 1;
+  rows_of_.resize(static_cast<size_t>(num_sellers_));
+  for (size_t row = 0; row < owner_of_.size(); ++row) {
+    int owner = owner_of_[row];
+    KNNSHAP_CHECK(owner >= 0, "negative seller id");
+    rows_of_[static_cast<size_t>(owner)].push_back(static_cast<int>(row));
+  }
+  for (int s = 0; s < num_sellers_; ++s) {
+    KNNSHAP_CHECK(!rows_of_[static_cast<size_t>(s)].empty(),
+                  "seller ids must be dense (every seller owns >= 1 row)");
+  }
+}
+
+std::vector<int> OwnerAssignment::RowsOfSellers(const std::vector<int>& sellers) const {
+  std::vector<int> rows;
+  for (int s : sellers) {
+    const auto& r = RowsOf(s);
+    rows.insert(rows.end(), r.begin(), r.end());
+  }
+  return rows;
+}
+
+OwnerAssignment OwnerAssignment::RoundRobin(size_t num_rows, int num_sellers) {
+  KNNSHAP_CHECK(num_sellers >= 1, "need at least one seller");
+  KNNSHAP_CHECK(num_rows >= static_cast<size_t>(num_sellers),
+                "fewer rows than sellers");
+  std::vector<int> owner_of(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) {
+    owner_of[i] = static_cast<int>(i % static_cast<size_t>(num_sellers));
+  }
+  return OwnerAssignment(std::move(owner_of));
+}
+
+OwnerAssignment OwnerAssignment::Random(size_t num_rows, int num_sellers, Rng* rng) {
+  KNNSHAP_CHECK(num_sellers >= 1, "need at least one seller");
+  KNNSHAP_CHECK(num_rows >= static_cast<size_t>(num_sellers),
+                "fewer rows than sellers");
+  std::vector<int> owner_of(num_rows);
+  // First give each seller one row, then assign the rest uniformly.
+  std::vector<int> rows(num_rows);
+  for (size_t i = 0; i < num_rows; ++i) rows[i] = static_cast<int>(i);
+  rng->Shuffle(&rows);
+  for (int s = 0; s < num_sellers; ++s) {
+    owner_of[static_cast<size_t>(rows[static_cast<size_t>(s)])] = s;
+  }
+  for (size_t i = static_cast<size_t>(num_sellers); i < num_rows; ++i) {
+    owner_of[static_cast<size_t>(rows[i])] =
+        static_cast<int>(rng->NextIndex(static_cast<uint64_t>(num_sellers)));
+  }
+  return OwnerAssignment(std::move(owner_of));
+}
+
+}  // namespace knnshap

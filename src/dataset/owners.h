@@ -1,0 +1,49 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Ownership maps for the multi-data-per-curator setting (Sec 4 / Appendix
+// E.3): each of M sellers owns one or more training rows, and valuation is
+// per seller rather than per row.
+
+#ifndef KNNSHAP_DATASET_OWNERS_H_
+#define KNNSHAP_DATASET_OWNERS_H_
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace knnshap {
+
+/// Maps training rows to seller ids in [0, NumSellers).
+class OwnerAssignment {
+ public:
+  /// owner_of[i] = seller owning row i. Seller ids must be dense 0..M-1.
+  explicit OwnerAssignment(std::vector<int> owner_of);
+
+  int NumSellers() const { return num_sellers_; }
+  size_t NumRows() const { return owner_of_.size(); }
+  int OwnerOf(int row) const { return owner_of_[static_cast<size_t>(row)]; }
+
+  /// Rows owned by a seller.
+  const std::vector<int>& RowsOf(int seller) const {
+    return rows_of_[static_cast<size_t>(seller)];
+  }
+
+  /// Every row of every seller in `sellers`, concatenated.
+  std::vector<int> RowsOfSellers(const std::vector<int>& sellers) const;
+
+  /// Deals rows round-robin to `num_sellers` sellers.
+  static OwnerAssignment RoundRobin(size_t num_rows, int num_sellers);
+
+  /// Assigns each row to a uniformly random seller (each seller is
+  /// guaranteed at least one row when num_rows >= num_sellers).
+  static OwnerAssignment Random(size_t num_rows, int num_sellers, Rng* rng);
+
+ private:
+  std::vector<int> owner_of_;
+  std::vector<std::vector<int>> rows_of_;
+  int num_sellers_ = 0;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_DATASET_OWNERS_H_

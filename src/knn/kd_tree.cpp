@@ -1,0 +1,106 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "knn/kd_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/bounded_heap.h"
+#include "util/common.h"
+
+namespace knnshap {
+
+KdTree::KdTree(const Matrix* train, size_t leaf_size) : train_(train) {
+  KNNSHAP_CHECK(train != nullptr, "null training matrix");
+  KNNSHAP_CHECK(leaf_size >= 1, "leaf size must be >= 1");
+  points_.resize(train->Rows());
+  for (size_t i = 0; i < points_.size(); ++i) points_[i] = static_cast<int>(i);
+  if (!points_.empty()) root_ = Build(0, points_.size(), leaf_size);
+}
+
+std::unique_ptr<KdTree::Node> KdTree::Build(size_t begin, size_t end,
+                                            size_t leaf_size) {
+  auto node = std::make_unique<Node>();
+  node->begin = begin;
+  node->end = end;
+  if (end - begin <= leaf_size) return node;
+
+  // Split on the dimension with the widest extent over this node's points.
+  const size_t dim = train_->Cols();
+  int best_dim = 0;
+  float best_extent = -1.0f;
+  for (size_t d = 0; d < dim; ++d) {
+    float lo = std::numeric_limits<float>::max();
+    float hi = std::numeric_limits<float>::lowest();
+    for (size_t i = begin; i < end; ++i) {
+      float v = train_->At(static_cast<size_t>(points_[i]), d);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (hi - lo > best_extent) {
+      best_extent = hi - lo;
+      best_dim = static_cast<int>(d);
+    }
+  }
+  if (best_extent <= 0.0f) return node;  // All points identical: keep as leaf.
+
+  size_t mid = begin + (end - begin) / 2;
+  std::nth_element(points_.begin() + static_cast<long>(begin),
+                   points_.begin() + static_cast<long>(mid),
+                   points_.begin() + static_cast<long>(end), [&](int a, int b) {
+                     return train_->At(static_cast<size_t>(a),
+                                       static_cast<size_t>(best_dim)) <
+                            train_->At(static_cast<size_t>(b),
+                                       static_cast<size_t>(best_dim));
+                   });
+  node->split_dim = best_dim;
+  node->split_value =
+      train_->At(static_cast<size_t>(points_[mid]), static_cast<size_t>(best_dim));
+  node->left = Build(begin, mid, leaf_size);
+  node->right = Build(mid, end, leaf_size);
+  return node;
+}
+
+void KdTree::Search(const Node* node, std::span<const float> query,
+                    BoundedMaxHeap<int>* heap) const {
+  if (node->IsLeaf()) {
+    for (size_t i = node->begin; i < node->end; ++i) {
+      int row = points_[i];
+      double dist =
+          std::sqrt(SquaredL2(train_->Row(static_cast<size_t>(row)), query));
+      ++last_distance_evals_;
+      heap->Push(dist, row);
+    }
+    return;
+  }
+  double diff = static_cast<double>(query[static_cast<size_t>(node->split_dim)]) -
+                static_cast<double>(node->split_value);
+  const Node* near = diff < 0.0 ? node->left.get() : node->right.get();
+  const Node* far = diff < 0.0 ? node->right.get() : node->left.get();
+  Search(near, query, heap);
+  // Prune the far side unless the splitting hyperplane is closer than the
+  // current K-th best distance (or the heap is not yet full).
+  if (!heap->Full() || std::fabs(diff) < heap->MaxKey()) {
+    Search(far, query, heap);
+  }
+}
+
+std::vector<Neighbor> KdTree::Query(std::span<const float> query, size_t k) const {
+  last_distance_evals_ = 0;
+  k = std::min(k, points_.size());
+  if (k == 0) return {};
+  BoundedMaxHeap<int> heap(k);
+  Search(root_.get(), query, &heap);
+  auto sorted = heap.SortedEntries();
+  std::vector<Neighbor> out;
+  out.reserve(sorted.size());
+  for (const auto& e : sorted) out.push_back({e.payload, e.key});
+  std::stable_sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;
+  });
+  return out;
+}
+
+}  // namespace knnshap

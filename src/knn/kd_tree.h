@@ -1,0 +1,61 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// kd-tree for exact k-nearest-neighbor search [MA98]. The paper cites
+// kd-trees as the classic alternative to LSH for accelerating the neighbor
+// retrieval inside the Shapley approximation; this implementation backs the
+// ablation comparing brute force, kd-tree and LSH retrieval (DESIGN.md A3)
+// and is exact (branch-and-bound pruning, no approximation).
+
+#ifndef KNNSHAP_KNN_KD_TREE_H_
+#define KNNSHAP_KNN_KD_TREE_H_
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "knn/neighbors.h"
+#include "util/bounded_heap.h"
+#include "util/matrix.h"
+
+namespace knnshap {
+
+/// Exact k-NN index; efficient in low-to-moderate dimension. Distances are
+/// Euclidean (L2), matching the paper's analysis.
+class KdTree {
+ public:
+  /// Builds the tree over all rows of `train` (the matrix must outlive the
+  /// tree). `leaf_size` tunes the recursion cutoff.
+  explicit KdTree(const Matrix* train, size_t leaf_size = 16);
+
+  /// The k nearest rows to `query`, ascending by distance.
+  std::vector<Neighbor> Query(std::span<const float> query, size_t k) const;
+
+  /// Number of distance evaluations performed by the last Query call on
+  /// this thread (instrumentation for the retrieval ablation).
+  size_t LastQueryDistanceEvals() const { return last_distance_evals_; }
+
+ private:
+  struct Node {
+    // Leaf: [begin, end) into points_. Internal: split dim/value + children.
+    size_t begin = 0;
+    size_t end = 0;
+    int split_dim = -1;
+    float split_value = 0.0f;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+    bool IsLeaf() const { return split_dim < 0; }
+  };
+
+  std::unique_ptr<Node> Build(size_t begin, size_t end, size_t leaf_size);
+  void Search(const Node* node, std::span<const float> query,
+              BoundedMaxHeap<int>* heap) const;
+
+  const Matrix* train_;
+  std::vector<int> points_;  // Row ids, permuted during construction.
+  std::unique_ptr<Node> root_;
+  mutable size_t last_distance_evals_ = 0;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_KNN_KD_TREE_H_

@@ -1,0 +1,115 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "knn/knn_classifier.h"
+
+#include <algorithm>
+
+#include "knn/neighbors.h"
+#include "util/common.h"
+
+namespace knnshap {
+
+namespace {
+
+// Top-min(k,|subset|) rows of `subset` by distance to `query`, with their
+// distances, ascending.
+std::vector<Neighbor> SubsetTopK(const Dataset& train, std::span<const int> subset,
+                                 std::span<const float> query, int k, Metric metric) {
+  std::vector<Neighbor> all;
+  all.reserve(subset.size());
+  for (int row : subset) {
+    all.push_back({row, Distance(train.features.Row(static_cast<size_t>(row)), query,
+                                 metric)});
+  }
+  size_t keep = std::min<size_t>(static_cast<size_t>(k), all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(keep), all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      if (a.distance != b.distance) return a.distance < b.distance;
+                      return a.index < b.index;
+                    });
+  all.resize(keep);
+  return all;
+}
+
+}  // namespace
+
+KnnClassifier::KnnClassifier(const Dataset* train, int k, WeightConfig weights,
+                             Metric metric)
+    : train_(train), k_(k), weights_(weights), metric_(metric) {
+  KNNSHAP_CHECK(train != nullptr && train->HasLabels(), "labeled training data required");
+  KNNSHAP_CHECK(k >= 1, "k must be >= 1");
+  num_classes_ = *std::max_element(train->labels.begin(), train->labels.end()) + 1;
+}
+
+double KnnClassifier::PredictProba(std::span<const float> query, int label) const {
+  auto nns = TopKNeighbors(train_->features, query, static_cast<size_t>(k_), metric_);
+  std::vector<double> dists;
+  dists.reserve(nns.size());
+  for (const auto& nn : nns) dists.push_back(nn.distance);
+  auto weights = ComputeWeights(dists, weights_);
+  double proba = 0.0;
+  for (size_t i = 0; i < nns.size(); ++i) {
+    if (train_->labels[static_cast<size_t>(nns[i].index)] == label) proba += weights[i];
+  }
+  return proba;
+}
+
+int KnnClassifier::Predict(std::span<const float> query) const {
+  auto nns = TopKNeighbors(train_->features, query, static_cast<size_t>(k_), metric_);
+  std::vector<double> dists;
+  dists.reserve(nns.size());
+  for (const auto& nn : nns) dists.push_back(nn.distance);
+  auto weights = ComputeWeights(dists, weights_);
+  std::vector<double> votes(static_cast<size_t>(num_classes_), 0.0);
+  for (size_t i = 0; i < nns.size(); ++i) {
+    int label = train_->labels[static_cast<size_t>(nns[i].index)];
+    if (label >= num_classes_) votes.resize(static_cast<size_t>(label) + 1, 0.0);
+    votes[static_cast<size_t>(label)] += weights[i];
+  }
+  return static_cast<int>(std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+double KnnClassifier::Accuracy(const Dataset& test) const {
+  KNNSHAP_CHECK(test.HasLabels(), "test labels required");
+  if (test.Size() == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < test.Size(); ++i) {
+    if (Predict(test.features.Row(i)) == test.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.Size());
+}
+
+double UnweightedKnnClassUtility(const Dataset& train, std::span<const int> subset,
+                                 std::span<const float> query, int test_label, int k,
+                                 Metric metric) {
+  KNNSHAP_CHECK(k >= 1, "k must be >= 1");
+  if (subset.empty()) return 0.0;
+  auto top = SubsetTopK(train, subset, query, k, metric);
+  double correct = 0.0;
+  for (const auto& nn : top) {
+    if (train.labels[static_cast<size_t>(nn.index)] == test_label) correct += 1.0;
+  }
+  // Eq (5): normalize by K even when |S| < K.
+  return correct / static_cast<double>(k);
+}
+
+double WeightedKnnClassUtility(const Dataset& train, std::span<const int> subset,
+                               std::span<const float> query, int test_label, int k,
+                               const WeightConfig& config, Metric metric) {
+  KNNSHAP_CHECK(k >= 1, "k must be >= 1");
+  if (subset.empty()) return 0.0;
+  auto top = SubsetTopK(train, subset, query, k, metric);
+  std::vector<double> dists;
+  dists.reserve(top.size());
+  for (const auto& nn : top) dists.push_back(nn.distance);
+  auto weights = ComputeWeights(dists, config);
+  double utility = 0.0;
+  for (size_t i = 0; i < top.size(); ++i) {
+    if (train.labels[static_cast<size_t>(top[i].index)] == test_label) {
+      utility += weights[i];
+    }
+  }
+  return utility;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,64 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// K-nearest-neighbor classifier (the ML model whose utility the paper
+// values) plus the KNN utility function nu(S) of Eq (5)/(8)/(26).
+
+#ifndef KNNSHAP_KNN_KNN_CLASSIFIER_H_
+#define KNNSHAP_KNN_KNN_CLASSIFIER_H_
+
+#include <span>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "knn/metric.h"
+#include "knn/weights.h"
+
+namespace knnshap {
+
+/// Unweighted or weighted KNN classifier over a training Dataset.
+class KnnClassifier {
+ public:
+  /// The training data must have labels. `k` >= 1.
+  KnnClassifier(const Dataset* train, int k, WeightConfig weights = {},
+                Metric metric = Metric::kL2);
+
+  /// P[query -> label] = (weighted) fraction of the K nearest neighbors
+  /// carrying `label`.
+  double PredictProba(std::span<const float> query, int label) const;
+
+  /// Most probable label for the query (ties broken toward the smaller id).
+  int Predict(std::span<const float> query) const;
+
+  /// Mean accuracy over a labeled test set.
+  double Accuracy(const Dataset& test) const;
+
+  int K() const { return k_; }
+  const Dataset& Train() const { return *train_; }
+
+ private:
+  const Dataset* train_;
+  int k_;
+  WeightConfig weights_;
+  Metric metric_;
+  int num_classes_;
+};
+
+/// The KNN utility of Eq (5) evaluated on an explicit subset S of training
+/// rows for one test point: nu(S) = (1/K) sum_{k<=min(K,|S|)}
+/// 1[label of the k-th nearest row in S == test_label].
+/// `subset` holds training-row ids; the function is the ground-truth
+/// evaluator used by the enumeration oracle and the Monte-Carlo baselines.
+double UnweightedKnnClassUtility(const Dataset& train, std::span<const int> subset,
+                                 std::span<const float> query, int test_label, int k,
+                                 Metric metric = Metric::kL2);
+
+/// Weighted variant (Eq 26): sum over the top-K rows in S of
+/// w_k * 1[label == test_label], with weights from `config` normalized over
+/// the retrieved neighbors.
+double WeightedKnnClassUtility(const Dataset& train, std::span<const int> subset,
+                               std::span<const float> query, int test_label, int k,
+                               const WeightConfig& config, Metric metric = Metric::kL2);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_KNN_KNN_CLASSIFIER_H_

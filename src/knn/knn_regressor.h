@@ -1,0 +1,55 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// K-nearest-neighbor regressor and the regression utility of Eq (25)/(27):
+// the negative squared error of the (weighted) KNN estimate.
+
+#ifndef KNNSHAP_KNN_KNN_REGRESSOR_H_
+#define KNNSHAP_KNN_KNN_REGRESSOR_H_
+
+#include <span>
+
+#include "dataset/dataset.h"
+#include "knn/metric.h"
+#include "knn/weights.h"
+
+namespace knnshap {
+
+/// Unweighted or weighted KNN regressor over a training Dataset.
+class KnnRegressor {
+ public:
+  /// The training data must have targets. `k` >= 1.
+  KnnRegressor(const Dataset* train, int k, WeightConfig weights = {},
+               Metric metric = Metric::kL2);
+
+  /// Weighted mean of the K nearest targets. For the unweighted estimator
+  /// this is sum(y_topK) / K as in Eq (25) (note: divided by K, not by
+  /// min(K,|S|), matching the paper).
+  double Predict(std::span<const float> query) const;
+
+  /// Mean squared error over a test set with targets.
+  double MeanSquaredError(const Dataset& test) const;
+
+  int K() const { return k_; }
+
+ private:
+  const Dataset* train_;
+  int k_;
+  WeightConfig weights_;
+  Metric metric_;
+};
+
+/// Eq (25): nu(S) = -((1/K) sum_{k<=min(K,|S|)} y_{alpha_k(S)} - y_test)^2.
+/// An empty S evaluates to -y_test^2 (the paper's formula taken literally).
+double UnweightedKnnRegressionUtility(const Dataset& train, std::span<const int> subset,
+                                      std::span<const float> query, double test_target,
+                                      int k, Metric metric = Metric::kL2);
+
+/// Eq (27): weighted squared-error utility with kernel `config`.
+double WeightedKnnRegressionUtility(const Dataset& train, std::span<const int> subset,
+                                    std::span<const float> query, double test_target,
+                                    int k, const WeightConfig& config,
+                                    Metric metric = Metric::kL2);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_KNN_KNN_REGRESSOR_H_

@@ -1,0 +1,64 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "knn/metric.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace knnshap {
+
+double SquaredL2(std::span<const float> a, std::span<const float> b) {
+  KNNSHAP_CHECK(a.size() == b.size(), "dimension mismatch");
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+double Distance(std::span<const float> a, std::span<const float> b, Metric metric) {
+  switch (metric) {
+    case Metric::kSquaredL2:
+      return SquaredL2(a, b);
+    case Metric::kL2:
+      return std::sqrt(SquaredL2(a, b));
+    case Metric::kL1: {
+      KNNSHAP_CHECK(a.size() == b.size(), "dimension mismatch");
+      double acc = 0.0;
+      for (size_t i = 0; i < a.size(); ++i) {
+        acc += std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+      }
+      return acc;
+    }
+    case Metric::kCosine: {
+      KNNSHAP_CHECK(a.size() == b.size(), "dimension mismatch");
+      double dot = 0.0, na = 0.0, nb = 0.0;
+      for (size_t i = 0; i < a.size(); ++i) {
+        dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+        na += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+        nb += static_cast<double>(b[i]) * static_cast<double>(b[i]);
+      }
+      if (na == 0.0 || nb == 0.0) return 1.0;
+      return 1.0 - dot / std::sqrt(na * nb);
+    }
+  }
+  KNNSHAP_CHECK(false, "unknown metric");
+}
+
+const char* MetricName(Metric metric) {
+  switch (metric) {
+    case Metric::kL2:
+      return "l2";
+    case Metric::kSquaredL2:
+      return "squared-l2";
+    case Metric::kL1:
+      return "l1";
+    case Metric::kCosine:
+      return "cosine";
+  }
+  return "unknown";
+}
+
+}  // namespace knnshap

@@ -1,0 +1,34 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Distance metrics for feature vectors. The paper's analysis is for the L2
+// norm (its LSH family is the 2-stable one); L1 and cosine are provided for
+// the library's general k-NN substrate.
+
+#ifndef KNNSHAP_KNN_METRIC_H_
+#define KNNSHAP_KNN_METRIC_H_
+
+#include <span>
+
+namespace knnshap {
+
+/// Supported distance metrics.
+enum class Metric {
+  kL2,         ///< Euclidean distance.
+  kSquaredL2,  ///< Squared Euclidean (same ranking as kL2, cheaper).
+  kL1,         ///< Manhattan distance.
+  kCosine,     ///< 1 - cosine similarity.
+};
+
+/// Distance between two equal-length vectors under `metric`.
+double Distance(std::span<const float> a, std::span<const float> b, Metric metric);
+
+/// Squared L2 distance (the hot path; kept separate so callers can avoid
+/// the sqrt when only the ranking matters).
+double SquaredL2(std::span<const float> a, std::span<const float> b);
+
+/// Human-readable metric name.
+const char* MetricName(Metric metric);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_KNN_METRIC_H_

@@ -1,0 +1,70 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "knn/neighbors.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/bounded_heap.h"
+#include "util/common.h"
+
+namespace knnshap {
+
+std::vector<double> AllDistances(const Matrix& train, std::span<const float> query,
+                                 Metric metric) {
+  std::vector<double> dists(train.Rows());
+  for (size_t i = 0; i < train.Rows(); ++i) {
+    dists[i] = Distance(train.Row(i), query, metric);
+  }
+  return dists;
+}
+
+std::vector<int> ArgsortByDistance(const Matrix& train, std::span<const float> query,
+                                   Metric metric) {
+  std::vector<double> dists = AllDistances(train, query, metric);
+  std::vector<int> order(train.Rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&dists](int a, int b) {
+    double da = dists[static_cast<size_t>(a)];
+    double db = dists[static_cast<size_t>(b)];
+    if (da != db) return da < db;
+    return a < b;  // Deterministic tie-break.
+  });
+  return order;
+}
+
+std::vector<Neighbor> TopKNeighbors(const Matrix& train, std::span<const float> query,
+                                    size_t k, Metric metric) {
+  k = std::min(k, train.Rows());
+  if (k == 0) return {};
+  BoundedMaxHeap<int> heap(k);
+  for (size_t i = 0; i < train.Rows(); ++i) {
+    heap.Push(Distance(train.Row(i), query, metric), static_cast<int>(i));
+  }
+  auto sorted = heap.SortedEntries();
+  std::vector<Neighbor> out;
+  out.reserve(sorted.size());
+  for (const auto& e : sorted) out.push_back({e.payload, e.key});
+  // Deterministic tie-break by index within equal distances.
+  std::stable_sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;
+  });
+  return out;
+}
+
+BruteForceIndex::BruteForceIndex(const Matrix* train, Metric metric)
+    : train_(train), metric_(metric) {
+  KNNSHAP_CHECK(train != nullptr, "null training matrix");
+}
+
+std::vector<Neighbor> BruteForceIndex::Query(std::span<const float> query,
+                                             size_t k) const {
+  return TopKNeighbors(*train_, query, k, metric_);
+}
+
+std::vector<int> BruteForceIndex::FullOrder(std::span<const float> query) const {
+  return ArgsortByDistance(*train_, query, metric_);
+}
+
+}  // namespace knnshap

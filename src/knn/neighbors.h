@@ -1,0 +1,59 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Exact nearest-neighbor primitives over a Dataset:
+//  * ArgsortByDistance — the full ascending ordering Algorithm 1 needs;
+//  * TopKNeighbors     — partial selection when only K* neighbors matter
+//                        (the truncated recursion of Theorem 2);
+//  * BruteForceIndex   — convenience wrapper caching the training matrix.
+// Distances default to L2, matching the paper.
+
+#ifndef KNNSHAP_KNN_NEIGHBORS_H_
+#define KNNSHAP_KNN_NEIGHBORS_H_
+
+#include <span>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "knn/metric.h"
+
+namespace knnshap {
+
+/// A retrieved neighbor: training-row index plus its distance to the query.
+struct Neighbor {
+  int index;
+  double distance;
+};
+
+/// Indices of all training rows sorted by ascending distance to `query`
+/// (ties broken by index, making results deterministic).
+std::vector<int> ArgsortByDistance(const Matrix& train, std::span<const float> query,
+                                   Metric metric = Metric::kL2);
+
+/// The k nearest rows to `query`, ascending by distance. k is clamped to
+/// the number of rows. Uses a bounded heap: O(N log k).
+std::vector<Neighbor> TopKNeighbors(const Matrix& train, std::span<const float> query,
+                                    size_t k, Metric metric = Metric::kL2);
+
+/// Distances from `query` to every training row.
+std::vector<double> AllDistances(const Matrix& train, std::span<const float> query,
+                                 Metric metric = Metric::kL2);
+
+/// Thin exact-search index over a training matrix.
+class BruteForceIndex {
+ public:
+  explicit BruteForceIndex(const Matrix* train, Metric metric = Metric::kL2);
+
+  std::vector<Neighbor> Query(std::span<const float> query, size_t k) const;
+  std::vector<int> FullOrder(std::span<const float> query) const;
+
+  const Matrix& Train() const { return *train_; }
+  Metric GetMetric() const { return metric_; }
+
+ private:
+  const Matrix* train_;
+  Metric metric_;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_KNN_NEIGHBORS_H_

@@ -1,0 +1,52 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "knn/weights.h"
+
+#include <cmath>
+
+#include "util/common.h"
+
+namespace knnshap {
+
+std::vector<double> ComputeWeights(const std::vector<double>& distances,
+                                   const WeightConfig& config) {
+  std::vector<double> weights(distances.size());
+  if (distances.empty()) return weights;
+  double total = 0.0;
+  switch (config.kernel) {
+    case WeightKernel::kUniform:
+      for (auto& w : weights) w = 1.0;
+      break;
+    case WeightKernel::kInverseDistance:
+      for (size_t i = 0; i < distances.size(); ++i) {
+        KNNSHAP_CHECK(distances[i] >= 0.0, "negative distance");
+        weights[i] = 1.0 / (distances[i] + config.epsilon);
+      }
+      break;
+    case WeightKernel::kGaussian: {
+      double inv = 1.0 / (2.0 * config.sigma * config.sigma);
+      for (size_t i = 0; i < distances.size(); ++i) {
+        weights[i] = std::exp(-distances[i] * distances[i] * inv);
+      }
+      break;
+    }
+  }
+  for (double w : weights) total += w;
+  KNNSHAP_CHECK(total > 0.0, "degenerate weights");
+  for (auto& w : weights) w /= total;
+  return weights;
+}
+
+const char* KernelName(WeightKernel kernel) {
+  switch (kernel) {
+    case WeightKernel::kUniform:
+      return "uniform";
+    case WeightKernel::kInverseDistance:
+      return "inverse-distance";
+    case WeightKernel::kGaussian:
+      return "gaussian";
+  }
+  return "unknown";
+}
+
+}  // namespace knnshap

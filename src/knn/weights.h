@@ -1,0 +1,38 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Neighbor weight kernels for weighted KNN (Sec 4, Eq 26-27). The paper's
+// experiments weigh each neighbor inversely proportional to its distance to
+// the test point [Dud76]; a Gaussian kernel is included for completeness.
+
+#ifndef KNNSHAP_KNN_WEIGHTS_H_
+#define KNNSHAP_KNN_WEIGHTS_H_
+
+#include <vector>
+
+namespace knnshap {
+
+/// Weight kernels applied to the K retrieved neighbors.
+enum class WeightKernel {
+  kUniform,          ///< w_k = 1/K (recovers the unweighted estimator).
+  kInverseDistance,  ///< w_k proportional to 1/(d_k + eps), normalized.
+  kGaussian,         ///< w_k proportional to exp(-d_k^2 / (2 sigma^2)), normalized.
+};
+
+/// Parameters of a weight kernel.
+struct WeightConfig {
+  WeightKernel kernel = WeightKernel::kUniform;
+  double epsilon = 1e-8;  ///< Regularizer for inverse distance.
+  double sigma = 1.0;     ///< Bandwidth for the Gaussian kernel.
+};
+
+/// Computes normalized weights (summing to 1) for neighbors at the given
+/// ascending distances. Empty input yields an empty result.
+std::vector<double> ComputeWeights(const std::vector<double>& distances,
+                                   const WeightConfig& config);
+
+/// Human-readable kernel name.
+const char* KernelName(WeightKernel kernel);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_KNN_WEIGHTS_H_

@@ -1,0 +1,38 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "lsh/hash_table.h"
+
+#include "util/common.h"
+
+namespace knnshap {
+
+LshHashTable::LshHashTable(size_t dim, size_t num_projections, double width, Rng* rng) {
+  KNNSHAP_CHECK(num_projections >= 1, "need at least one projection");
+  hashes_.reserve(num_projections);
+  for (size_t i = 0; i < num_projections; ++i) {
+    hashes_.emplace_back(dim, width, rng);
+  }
+}
+
+uint64_t LshHashTable::Key(std::span<const float> x) const {
+  // Mix the m hash values into one 64-bit bucket key (FNV-style). A rare
+  // mixing collision only adds spurious candidates, which the exact
+  // re-ranking step filters out; correctness is unaffected.
+  uint64_t key = 1469598103934665603ull;
+  for (const auto& h : hashes_) {
+    uint64_t v = static_cast<uint64_t>(h.Hash(x));
+    key ^= v + 0x9E3779B97F4A7C15ull + (key << 6) + (key >> 2);
+  }
+  return key;
+}
+
+void LshHashTable::Insert(std::span<const float> x, int id) {
+  buckets_[Key(x)].push_back(id);
+}
+
+const std::vector<int>& LshHashTable::Candidates(std::span<const float> x) const {
+  auto it = buckets_.find(Key(x));
+  return it == buckets_.end() ? empty_ : it->second;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,76 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "lsh/lsh_index.h"
+
+#include <algorithm>
+
+#include "util/bounded_heap.h"
+#include "util/common.h"
+
+namespace knnshap {
+
+LshIndex::LshIndex(const Matrix* train, const LshConfig& config)
+    : train_(train), config_(config) {
+  KNNSHAP_CHECK(train != nullptr, "null training matrix");
+  KNNSHAP_CHECK(config.num_tables >= 1, "need at least one table");
+  Rng rng(config.seed);
+  tables_.reserve(config.num_tables);
+  for (size_t t = 0; t < config.num_tables; ++t) {
+    tables_.emplace_back(train->Cols(), config.num_projections, config.width, &rng);
+  }
+  for (size_t t = 0; t < config.num_tables; ++t) {
+    for (size_t i = 0; i < train->Rows(); ++i) {
+      tables_[t].Insert(train->Row(i), static_cast<int>(i));
+    }
+  }
+}
+
+std::vector<Neighbor> LshIndex::Query(std::span<const float> query, size_t k,
+                                      LshQueryStats* stats) const {
+  // Gather the union of bucket contents across tables, deduplicated with a
+  // visited bitmap, and exactly re-rank by true distance.
+  std::vector<uint8_t> visited(train_->Rows(), 0);
+  BoundedMaxHeap<int> heap(std::max<size_t>(k, 1));
+  size_t candidates = 0;
+  for (const auto& table : tables_) {
+    for (int id : table.Candidates(query)) {
+      auto& seen = visited[static_cast<size_t>(id)];
+      if (seen) continue;
+      seen = 1;
+      ++candidates;
+      heap.Push(Distance(train_->Row(static_cast<size_t>(id)), query, Metric::kL2), id);
+    }
+  }
+  auto sorted = heap.SortedEntries();
+  std::vector<Neighbor> out;
+  out.reserve(sorted.size());
+  for (const auto& e : sorted) out.push_back({e.payload, e.key});
+  std::stable_sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;
+  });
+  if (stats != nullptr) {
+    stats->candidates = candidates;
+    stats->returned = out.size();
+  }
+  return out;
+}
+
+double LshIndex::Recall(std::span<const float> query, size_t k) const {
+  auto approx = Query(query, k);
+  auto exact = TopKNeighbors(*train_, query, k);
+  if (exact.empty()) return 1.0;
+  std::vector<uint8_t> in_approx(train_->Rows(), 0);
+  for (const auto& nn : approx) in_approx[static_cast<size_t>(nn.index)] = 1;
+  size_t hit = 0;
+  for (const auto& nn : exact) hit += in_approx[static_cast<size_t>(nn.index)];
+  return static_cast<double>(hit) / static_cast<double>(exact.size());
+}
+
+size_t LshIndex::MemoryBuckets() const {
+  size_t total = 0;
+  for (const auto& t : tables_) total += t.NumBuckets();
+  return total;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,67 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "lsh/pstable.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/common.h"
+
+namespace knnshap {
+
+namespace {
+
+// Standard normal CDF.
+double NormCdf(double x) { return 0.5 * std::erfc(-x / std::numbers::sqrt2); }
+
+// pdf of |Z| for Z ~ N(0,1).
+double AbsGaussianPdf(double x) {
+  return std::sqrt(2.0 / std::numbers::pi) * std::exp(-0.5 * x * x);
+}
+
+}  // namespace
+
+double GaussianCollisionProbability(double c, double width) {
+  KNNSHAP_CHECK(width > 0.0, "width must be positive");
+  KNNSHAP_CHECK(c >= 0.0, "distance must be non-negative");
+  if (c == 0.0) return 1.0;
+  double ratio = width / c;
+  double term1 = 1.0 - 2.0 * NormCdf(-ratio);
+  double term2 = 2.0 / (std::sqrt(2.0 * std::numbers::pi) * ratio) *
+                 (1.0 - std::exp(-0.5 * ratio * ratio));
+  return term1 - term2;
+}
+
+double NumericalCollisionProbability(double c, double width, int steps) {
+  KNNSHAP_CHECK(width > 0.0 && c >= 0.0 && steps >= 2, "bad arguments");
+  if (c == 0.0) return 1.0;
+  // Integrand of Eq (20): (1/c) f2(t/c) (1 - t/width) over t in [0, width].
+  auto integrand = [&](double t) {
+    return (1.0 / c) * AbsGaussianPdf(t / c) * (1.0 - t / width);
+  };
+  // Simpson's rule (even number of intervals).
+  if (steps % 2 == 1) ++steps;
+  double h = width / steps;
+  double acc = integrand(0.0) + integrand(width);
+  for (int i = 1; i < steps; ++i) {
+    acc += integrand(h * i) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return acc * h / 3.0;
+}
+
+PStableHash::PStableHash(size_t dim, double width, Rng* rng) : width_(width) {
+  KNNSHAP_CHECK(width > 0.0, "width must be positive");
+  KNNSHAP_CHECK(dim >= 1, "dimension must be >= 1");
+  w_.resize(dim);
+  for (auto& x : w_) x = rng->NextGaussian();
+  b_ = rng->NextUniform(0.0, width);
+}
+
+int64_t PStableHash::Hash(std::span<const float> x) const {
+  KNNSHAP_CHECK(x.size() == w_.size(), "dimension mismatch");
+  double dot = b_;
+  for (size_t i = 0; i < w_.size(); ++i) dot += w_[i] * static_cast<double>(x[i]);
+  return static_cast<int64_t>(std::floor(dot / width_));
+}
+
+}  // namespace knnshap

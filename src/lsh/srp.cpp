@@ -1,0 +1,109 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "lsh/srp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/bounded_heap.h"
+#include "util/common.h"
+
+namespace knnshap {
+
+double SrpBitCollisionProbability(double theta) {
+  KNNSHAP_CHECK(theta >= 0.0 && theta <= std::numbers::pi + 1e-9,
+                "angle out of [0, pi]");
+  return 1.0 - theta / std::numbers::pi;
+}
+
+double AngleBetween(std::span<const float> a, std::span<const float> b) {
+  KNNSHAP_CHECK(a.size() == b.size(), "dimension mismatch");
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+    na += static_cast<double>(a[i]) * static_cast<double>(a[i]);
+    nb += static_cast<double>(b[i]) * static_cast<double>(b[i]);
+  }
+  if (na == 0.0 || nb == 0.0) return std::numbers::pi / 2.0;
+  double cosine = std::clamp(dot / std::sqrt(na * nb), -1.0, 1.0);
+  return std::acos(cosine);
+}
+
+SrpHash::SrpHash(size_t dim, size_t bits, Rng* rng) : dim_(dim), bits_(bits) {
+  KNNSHAP_CHECK(bits >= 1 && bits <= 64, "bits must be in [1, 64]");
+  KNNSHAP_CHECK(dim >= 1, "dimension must be >= 1");
+  planes_.resize(bits * dim);
+  for (auto& x : planes_) x = rng->NextGaussian();
+}
+
+uint64_t SrpHash::Signature(std::span<const float> x) const {
+  KNNSHAP_CHECK(x.size() == dim_, "dimension mismatch");
+  uint64_t signature = 0;
+  for (size_t b = 0; b < bits_; ++b) {
+    const double* plane = &planes_[b * dim_];
+    double dot = 0.0;
+    for (size_t d = 0; d < dim_; ++d) dot += plane[d] * static_cast<double>(x[d]);
+    if (dot >= 0.0) signature |= (uint64_t{1} << b);
+  }
+  return signature;
+}
+
+SrpIndex::SrpIndex(const Matrix* data, const SrpConfig& config)
+    : data_(data), config_(config) {
+  KNNSHAP_CHECK(data != nullptr, "null data matrix");
+  KNNSHAP_CHECK(config.num_tables >= 1, "need at least one table");
+  Rng rng(config.seed);
+  hashes_.reserve(config.num_tables);
+  tables_.resize(config.num_tables);
+  for (size_t t = 0; t < config.num_tables; ++t) {
+    hashes_.emplace_back(data->Cols(), config.bits, &rng);
+  }
+  for (size_t t = 0; t < config.num_tables; ++t) {
+    for (size_t i = 0; i < data->Rows(); ++i) {
+      tables_[t][hashes_[t].Signature(data->Row(i))].push_back(static_cast<int>(i));
+    }
+  }
+}
+
+std::vector<Neighbor> SrpIndex::Query(std::span<const float> query, size_t k,
+                                      size_t* candidates_out) const {
+  std::vector<uint8_t> visited(data_->Rows(), 0);
+  BoundedMaxHeap<int> heap(std::max<size_t>(k, 1));
+  size_t candidates = 0;
+  for (size_t t = 0; t < tables_.size(); ++t) {
+    auto it = tables_[t].find(hashes_[t].Signature(query));
+    if (it == tables_[t].end()) continue;
+    for (int id : it->second) {
+      auto& seen = visited[static_cast<size_t>(id)];
+      if (seen) continue;
+      seen = 1;
+      ++candidates;
+      heap.Push(Distance(data_->Row(static_cast<size_t>(id)), query, Metric::kCosine),
+                id);
+    }
+  }
+  if (candidates_out != nullptr) *candidates_out = candidates;
+  auto sorted = heap.SortedEntries();
+  std::vector<Neighbor> out;
+  out.reserve(sorted.size());
+  for (const auto& e : sorted) out.push_back({e.payload, e.key});
+  std::stable_sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.index < b.index;
+  });
+  return out;
+}
+
+double SrpIndex::Recall(std::span<const float> query, size_t k) const {
+  auto approx = Query(query, k);
+  auto exact = TopKNeighbors(*data_, query, k, Metric::kCosine);
+  if (exact.empty()) return 1.0;
+  std::vector<uint8_t> in_approx(data_->Rows(), 0);
+  for (const auto& nn : approx) in_approx[static_cast<size_t>(nn.index)] = 1;
+  size_t hit = 0;
+  for (const auto& nn : exact) hit += in_approx[static_cast<size_t>(nn.index)];
+  return static_cast<double>(hit) / static_cast<double>(exact.size());
+}
+
+}  // namespace knnshap

@@ -1,0 +1,80 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Sign-random-projection (SimHash) LSH for the cosine metric [Cha02], the
+// second hash family the paper cites for approximate KNN under different
+// distance measures. A hash bit is sign(w^T x) with w ~ N(0, I); two
+// vectors at angle theta collide on one bit with probability 1 - theta/pi.
+// Used when corpus similarity is angular (e.g. normalized embeddings);
+// plugs into the same truncated-Shapley pipeline as the p-stable index.
+
+#ifndef KNNSHAP_LSH_SRP_H_
+#define KNNSHAP_LSH_SRP_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "knn/neighbors.h"
+#include "util/matrix.h"
+#include "util/random.h"
+
+namespace knnshap {
+
+/// Collision probability of one sign bit for two vectors at angle `theta`
+/// (radians): 1 - theta/pi.
+double SrpBitCollisionProbability(double theta);
+
+/// Angle (radians) between two vectors; 0 for parallel, pi for opposite.
+double AngleBetween(std::span<const float> a, std::span<const float> b);
+
+/// One m-bit SimHash signature function (m <= 64).
+class SrpHash {
+ public:
+  SrpHash(size_t dim, size_t bits, Rng* rng);
+
+  /// m-bit signature of x.
+  uint64_t Signature(std::span<const float> x) const;
+
+  size_t Bits() const { return bits_; }
+
+ private:
+  size_t dim_;
+  size_t bits_;
+  std::vector<double> planes_;  // bits x dim hyperplane normals
+};
+
+/// Parameters of an SRP index.
+struct SrpConfig {
+  size_t bits = 12;       ///< Signature bits per table.
+  size_t num_tables = 16; ///< Independent tables (union of candidates).
+  uint64_t seed = 7;
+};
+
+/// Multi-table SimHash index answering approximate k-NN under the cosine
+/// metric, with exact re-ranking of the candidate union.
+class SrpIndex {
+ public:
+  /// Builds over all rows of `data` (must outlive the index).
+  SrpIndex(const Matrix* data, const SrpConfig& config);
+
+  /// Approximate k nearest rows by cosine distance, ascending. `stats_out`
+  /// (optional) receives the distinct candidate count.
+  std::vector<Neighbor> Query(std::span<const float> query, size_t k,
+                              size_t* candidates_out = nullptr) const;
+
+  /// Fraction of the true cosine k-NN retrieved for `query`.
+  double Recall(std::span<const float> query, size_t k) const;
+
+  const SrpConfig& Config() const { return config_; }
+
+ private:
+  const Matrix* data_;
+  SrpConfig config_;
+  std::vector<SrpHash> hashes_;
+  std::vector<std::unordered_map<uint64_t, std::vector<int>>> tables_;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_LSH_SRP_H_

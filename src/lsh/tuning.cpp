@@ -1,0 +1,74 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "lsh/tuning.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lsh/pstable.h"
+#include "util/common.h"
+
+namespace knnshap {
+
+double GExponent(double contrast, double width) {
+  KNNSHAP_CHECK(contrast > 0.0, "contrast must be positive");
+  double p_nn = GaussianCollisionProbability(1.0 / contrast, width);
+  double p_rand = GaussianCollisionProbability(1.0, width);
+  KNNSHAP_CHECK(p_nn > 0.0 && p_nn < 1.0 && p_rand > 0.0 && p_rand < 1.0,
+                "collision probabilities out of (0,1); adjust width");
+  return std::log(p_nn) / std::log(p_rand);
+}
+
+double SelectWidth(double contrast, double lo, double hi, int grid) {
+  KNNSHAP_CHECK(lo > 0.0 && hi > lo && grid >= 2, "bad grid");
+  double best_width = lo;
+  double best_g = GExponent(contrast, lo);
+  double log_lo = std::log(lo);
+  double step = (std::log(hi) - log_lo) / (grid - 1);
+  for (int i = 1; i < grid; ++i) {
+    double w = std::exp(log_lo + step * i);
+    double g = GExponent(contrast, w);
+    if (g < best_g) {
+      best_g = g;
+      best_width = w;
+    }
+  }
+  return best_width;
+}
+
+size_t NumProjections(size_t n, double width, double alpha) {
+  KNNSHAP_CHECK(n >= 2, "need n >= 2");
+  double p_rand = GaussianCollisionProbability(1.0, width);
+  double m = alpha * std::log(static_cast<double>(n)) / std::log(1.0 / p_rand);
+  return std::max<size_t>(1, static_cast<size_t>(std::ceil(m)));
+}
+
+size_t NumTables(double contrast, double width, size_t num_projections, int k,
+                 double delta) {
+  KNNSHAP_CHECK(k >= 1 && delta > 0.0 && delta < 1.0, "bad k/delta");
+  double p_nn = GaussianCollisionProbability(1.0 / contrast, width);
+  double l = std::pow(p_nn, -static_cast<double>(num_projections)) *
+             std::log(static_cast<double>(k) / delta);
+  // log(K/delta) can be <= 0 when delta >= K; at least one table always.
+  return std::max<size_t>(1, static_cast<size_t>(std::ceil(l)));
+}
+
+LshConfig TuneForContrast(size_t n, double contrast, int k_star, double delta,
+                          double alpha, uint64_t seed, size_t max_tables) {
+  LshConfig config;
+  config.width = SelectWidth(contrast);
+  config.num_projections = NumProjections(n, config.width, alpha);
+  config.num_tables = NumTables(contrast, config.width, config.num_projections,
+                                k_star, delta);
+  // Back off m until the Theorem-3 table count fits the practical budget.
+  while (config.num_tables > max_tables && config.num_projections > 1) {
+    --config.num_projections;
+    config.num_tables = NumTables(contrast, config.width, config.num_projections,
+                                  k_star, delta);
+  }
+  config.num_tables = std::min(config.num_tables, max_tables);
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,55 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Parameter selection for the LSH index following Sec 6.1 and the proof of
+// Theorem 3:
+//   * the complexity exponent g(C) = log f_h(1/C) / log f_h(1) for data
+//     normalized to D_mean = 1 (Fig 10 plots this quantity);
+//   * projections per table m = alpha * log N / log(1/f_h(D_mean));
+//   * tables l = ceil(p_nn^{-m} * log(K/delta)) which guarantees all K true
+//     neighbors are retrieved with probability >= 1 - delta (Eq 56-60).
+
+#ifndef KNNSHAP_LSH_TUNING_H_
+#define KNNSHAP_LSH_TUNING_H_
+
+#include <cstddef>
+
+#include "lsh/lsh_index.h"
+
+namespace knnshap {
+
+/// g(C) = log f_h(1/C) / log f_h(1) for projection width `width`, assuming
+/// distances are normalized so D_mean = 1. Monotonically decreasing in C;
+/// g < 1 iff C > 1.
+double GExponent(double contrast, double width);
+
+/// The width minimizing g(C) over a log-spaced grid in [lo, hi] (Fig 10b:
+/// g flattens past a knee; the paper grid-searches this).
+double SelectWidth(double contrast, double lo = 0.5, double hi = 16.0,
+                   int grid = 64);
+
+/// m = ceil(alpha * ln N / ln(1/f_h(1))): projections per table such that a
+/// random point collides with the query in a full table with probability
+/// ~ N^{-alpha} (following [GIM+99]).
+size_t NumProjections(size_t n, double width, double alpha = 1.0);
+
+/// l = ceil(p_nn^{-m} * ln(K/delta)) tables so that each of the K true
+/// neighbors is missed with probability <= delta/K (union bound, Eq 56-57).
+size_t NumTables(double contrast, double width, size_t num_projections, int k,
+                 double delta);
+
+/// Convenience: assembles a full LshConfig for a dataset with the given
+/// relative contrast at K* (after D_mean normalization), per Theorem 4.
+/// `max_tables` caps the Theorem-3 table count at a practical budget: at
+/// low contrast the bound l ~ N^{g} explodes, and the paper's own grid
+/// search implicitly trades recall for build cost in that regime. When the
+/// cap binds, the projection count is reduced so the capped table count
+/// still meets the Theorem-3 recall target (fewer projections -> higher
+/// per-table collision probability -> fewer tables needed, at the price of
+/// scanning more candidates).
+LshConfig TuneForContrast(size_t n, double contrast, int k_star, double delta,
+                          double alpha = 1.0, uint64_t seed = 7,
+                          size_t max_tables = 128);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_LSH_TUNING_H_

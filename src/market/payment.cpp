@@ -1,0 +1,32 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "market/payment.h"
+
+#include "util/common.h"
+
+namespace knnshap {
+
+PaymentAllocation AllocateRevenue(const std::vector<double>& shapley_values,
+                                  const AffineRevenueModel& model) {
+  KNNSHAP_CHECK(!shapley_values.empty(), "no contributors");
+  PaymentAllocation allocation;
+  allocation.payments.reserve(shapley_values.size());
+  const double per_head =
+      model.intercept / static_cast<double>(shapley_values.size());
+  for (double sv : shapley_values) {
+    double payment = model.slope * sv + per_head;
+    allocation.payments.push_back(payment);
+    allocation.total += payment;
+  }
+  return allocation;
+}
+
+double GroupRationalityResidual(const PaymentAllocation& allocation,
+                                double grand_utility, double empty_utility,
+                                const AffineRevenueModel& model) {
+  double expected =
+      model.slope * (grand_utility - empty_utility) + model.intercept;
+  return allocation.total - expected;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,40 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// From Shapley values to monetary rewards (Sec 7). With an affine revenue
+// model R(S) = a nu(S) + b the additivity axiom gives each contributor's
+// monetary share directly from their SV: s(R, i) = a s(nu, i) + b/N.
+
+#ifndef KNNSHAP_MARKET_PAYMENT_H_
+#define KNNSHAP_MARKET_PAYMENT_H_
+
+#include <vector>
+
+namespace knnshap {
+
+/// Affine mapping from model utility to revenue.
+struct AffineRevenueModel {
+  double slope = 1.0;      ///< a: dollars per unit of utility.
+  double intercept = 0.0;  ///< b: fixed payment split equally.
+};
+
+/// Monetary allocation for a set of contributors.
+struct PaymentAllocation {
+  std::vector<double> payments;  ///< Per-contributor dollars.
+  double total = 0.0;            ///< Sum of payments = R(I) - R(empty share).
+};
+
+/// Converts Shapley values (under utility nu) into payments under the
+/// affine revenue model. By additivity the intercept is distributed
+/// equally (it is the value of the constant game b).
+PaymentAllocation AllocateRevenue(const std::vector<double>& shapley_values,
+                                  const AffineRevenueModel& model);
+
+/// Verifies group rationality within `tolerance`: payments sum to
+/// slope * (nu(I) - nu(empty)) + intercept. Returns the signed residual.
+double GroupRationalityResidual(const PaymentAllocation& allocation,
+                                double grand_utility, double empty_utility,
+                                const AffineRevenueModel& model);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_MARKET_PAYMENT_H_

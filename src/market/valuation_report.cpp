@@ -1,0 +1,88 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "market/valuation_report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <numeric>
+
+#include "util/common.h"
+
+namespace knnshap {
+
+namespace {
+
+std::vector<RankedValue> RankAll(const std::vector<double>& values, bool descending) {
+  std::vector<RankedValue> ranked(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    ranked[i] = {static_cast<int>(i), values[i]};
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [descending](const RankedValue& a, const RankedValue& b) {
+              if (a.value != b.value) {
+                return descending ? a.value > b.value : a.value < b.value;
+              }
+              return a.index < b.index;
+            });
+  return ranked;
+}
+
+}  // namespace
+
+std::vector<RankedValue> TopValued(const std::vector<double>& values, size_t count) {
+  auto ranked = RankAll(values, /*descending=*/true);
+  ranked.resize(std::min(count, ranked.size()));
+  return ranked;
+}
+
+std::vector<RankedValue> BottomValued(const std::vector<double>& values, size_t count) {
+  auto ranked = RankAll(values, /*descending=*/false);
+  ranked.resize(std::min(count, ranked.size()));
+  return ranked;
+}
+
+ValueSummary Summarize(const std::vector<double>& values) {
+  ValueSummary summary;
+  if (values.empty()) return summary;
+  summary.min = std::numeric_limits<double>::max();
+  summary.max = std::numeric_limits<double>::lowest();
+  size_t negative = 0;
+  for (double v : values) {
+    summary.total += v;
+    summary.min = std::min(summary.min, v);
+    summary.max = std::max(summary.max, v);
+    if (v < 0.0) ++negative;
+  }
+  summary.mean = summary.total / static_cast<double>(values.size());
+  summary.fraction_negative =
+      static_cast<double>(negative) / static_cast<double>(values.size());
+  return summary;
+}
+
+std::vector<double> GroupTotals(const std::vector<double>& values,
+                                const std::vector<int>& group_of, int num_groups) {
+  KNNSHAP_CHECK(values.size() == group_of.size(), "size mismatch");
+  KNNSHAP_CHECK(num_groups >= 1, "need at least one group");
+  std::vector<double> totals(static_cast<size_t>(num_groups), 0.0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    int g = group_of[i];
+    KNNSHAP_CHECK(g >= 0 && g < num_groups, "group id out of range");
+    totals[static_cast<size_t>(g)] += values[i];
+  }
+  return totals;
+}
+
+std::string FormatRanking(const std::vector<RankedValue>& ranking,
+                          const std::string& title) {
+  std::string out = title + "\n";
+  char line[96];
+  for (size_t r = 0; r < ranking.size(); ++r) {
+    std::snprintf(line, sizeof(line), "  #%-3zu  point %-6d  value % .6e\n", r + 1,
+                  ranking[r].index, ranking[r].value);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace knnshap

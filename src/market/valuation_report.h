@@ -1,0 +1,49 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Reporting helpers over a vector of data values: rankings, summaries and
+// a plain-text table, used by the examples and the dog-fish study (Fig 14).
+
+#ifndef KNNSHAP_MARKET_VALUATION_REPORT_H_
+#define KNNSHAP_MARKET_VALUATION_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace knnshap {
+
+/// A (point id, value) pair in a ranking.
+struct RankedValue {
+  int index;
+  double value;
+};
+
+/// Indices of the `count` highest-valued points, descending by value.
+std::vector<RankedValue> TopValued(const std::vector<double>& values, size_t count);
+
+/// Indices of the `count` lowest-valued points, ascending by value.
+std::vector<RankedValue> BottomValued(const std::vector<double>& values, size_t count);
+
+/// Summary statistics of a value vector.
+struct ValueSummary {
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double total = 0.0;
+  double fraction_negative = 0.0;  ///< Share of points that hurt the model.
+};
+
+/// Computes summary statistics.
+ValueSummary Summarize(const std::vector<double>& values);
+
+/// Per-group (e.g. per-class or per-seller) totals of a value vector;
+/// `group_of[i]` must be a dense id in [0, num_groups).
+std::vector<double> GroupTotals(const std::vector<double>& values,
+                                const std::vector<int>& group_of, int num_groups);
+
+/// Formats a compact two-column table "rank | index | value" for reports.
+std::string FormatRanking(const std::vector<RankedValue>& ranking,
+                          const std::string& title);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_MARKET_VALUATION_REPORT_H_

@@ -1,0 +1,123 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/common.h"
+
+namespace knnshap {
+
+LogisticRegression::LogisticRegression(LogisticRegressionOptions options)
+    : options_(options) {}
+
+void LogisticRegression::Fit(const Dataset& train) {
+  std::vector<int> all(train.Size());
+  std::iota(all.begin(), all.end(), 0);
+  FitSubset(train, all);
+}
+
+void LogisticRegression::FitSubset(const Dataset& train, std::span<const int> rows) {
+  KNNSHAP_CHECK(train.HasLabels(), "labels required");
+  TrainOn(train, rows);
+}
+
+void LogisticRegression::TrainOn(const Dataset& train, std::span<const int> rows) {
+  dim_ = train.Dim();
+  num_classes_ = options_.num_classes;
+  if (num_classes_ == 0) {
+    int max_label = 0;
+    for (int label : train.labels) max_label = std::max(max_label, label);
+    num_classes_ = max_label + 1;
+  }
+  weights_.assign(static_cast<size_t>(num_classes_) * dim_, 0.0);
+  biases_.assign(static_cast<size_t>(num_classes_), 0.0);
+  if (rows.empty()) return;
+
+  const double inv_n = 1.0 / static_cast<double>(rows.size());
+  std::vector<double> grad_w(weights_.size());
+  std::vector<double> grad_b(biases_.size());
+  std::vector<double> probs(static_cast<size_t>(num_classes_));
+
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    std::fill(grad_w.begin(), grad_w.end(), 0.0);
+    std::fill(grad_b.begin(), grad_b.end(), 0.0);
+    for (int row : rows) {
+      auto x = train.features.Row(static_cast<size_t>(row));
+      // Softmax with max-logit stabilization.
+      double max_logit = -1e300;
+      for (int c = 0; c < num_classes_; ++c) {
+        double z = biases_[static_cast<size_t>(c)];
+        const double* w = &weights_[static_cast<size_t>(c) * dim_];
+        for (size_t d = 0; d < dim_; ++d) z += w[d] * static_cast<double>(x[d]);
+        probs[static_cast<size_t>(c)] = z;
+        max_logit = std::max(max_logit, z);
+      }
+      double denom = 0.0;
+      for (int c = 0; c < num_classes_; ++c) {
+        probs[static_cast<size_t>(c)] = std::exp(probs[static_cast<size_t>(c)] - max_logit);
+        denom += probs[static_cast<size_t>(c)];
+      }
+      for (int c = 0; c < num_classes_; ++c) probs[static_cast<size_t>(c)] /= denom;
+
+      int y = train.labels[static_cast<size_t>(row)];
+      for (int c = 0; c < num_classes_; ++c) {
+        double err = probs[static_cast<size_t>(c)] - (c == y ? 1.0 : 0.0);
+        double* gw = &grad_w[static_cast<size_t>(c) * dim_];
+        for (size_t d = 0; d < dim_; ++d) gw[d] += err * static_cast<double>(x[d]);
+        grad_b[static_cast<size_t>(c)] += err;
+      }
+    }
+    for (size_t i = 0; i < weights_.size(); ++i) {
+      weights_[i] -= options_.learning_rate *
+                     (grad_w[i] * inv_n + options_.l2 * weights_[i]);
+    }
+    for (size_t c = 0; c < biases_.size(); ++c) {
+      biases_[c] -= options_.learning_rate * grad_b[c] * inv_n;
+    }
+  }
+}
+
+std::vector<double> LogisticRegression::Logits(std::span<const float> x) const {
+  KNNSHAP_CHECK(x.size() == dim_, "dimension mismatch");
+  std::vector<double> logits(static_cast<size_t>(num_classes_), 0.0);
+  for (int c = 0; c < num_classes_; ++c) {
+    double z = biases_[static_cast<size_t>(c)];
+    const double* w = &weights_[static_cast<size_t>(c) * dim_];
+    for (size_t d = 0; d < dim_; ++d) z += w[d] * static_cast<double>(x[d]);
+    logits[static_cast<size_t>(c)] = z;
+  }
+  return logits;
+}
+
+int LogisticRegression::Predict(std::span<const float> x) const {
+  auto logits = Logits(x);
+  return static_cast<int>(std::max_element(logits.begin(), logits.end()) -
+                          logits.begin());
+}
+
+std::vector<double> LogisticRegression::PredictProba(std::span<const float> x) const {
+  auto logits = Logits(x);
+  double max_logit = *std::max_element(logits.begin(), logits.end());
+  double denom = 0.0;
+  for (auto& z : logits) {
+    z = std::exp(z - max_logit);
+    denom += z;
+  }
+  for (auto& z : logits) z /= denom;
+  return logits;
+}
+
+double LogisticRegression::Accuracy(const Dataset& test) const {
+  KNNSHAP_CHECK(test.HasLabels(), "labels required");
+  if (test.Size() == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < test.Size(); ++i) {
+    if (Predict(test.features.Row(i)) == test.labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.Size());
+}
+
+}  // namespace knnshap

@@ -1,0 +1,64 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Multinomial logistic regression (softmax) trained by batch gradient
+// descent. The paper uses logistic regression twice: as the accuracy
+// comparison for KNN on deep features (Fig 8) and as the target model
+// whose (Monte-Carlo) Shapley values the KNN SV is shown to track (Fig 16
+// and Sec 7's surrogate argument).
+
+#ifndef KNNSHAP_ML_LOGISTIC_REGRESSION_H_
+#define KNNSHAP_ML_LOGISTIC_REGRESSION_H_
+
+#include <span>
+#include <vector>
+
+#include "dataset/dataset.h"
+
+namespace knnshap {
+
+/// Training hyperparameters.
+struct LogisticRegressionOptions {
+  int num_classes = 0;       ///< 0 = infer from the training labels.
+  int iterations = 200;      ///< Gradient steps (full batch).
+  double learning_rate = 0.5;
+  double l2 = 1e-4;          ///< L2 regularization strength.
+};
+
+/// Softmax classifier with per-class weight vectors and biases.
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticRegressionOptions options = {});
+
+  /// Trains on a labeled dataset; any prior state is discarded. Training
+  /// on an empty dataset leaves the model predicting class 0.
+  void Fit(const Dataset& train);
+
+  /// Fits on an explicit row subset of `train` (the "retrain on S" step of
+  /// subset-utility evaluation).
+  void FitSubset(const Dataset& train, std::span<const int> rows);
+
+  /// Most probable class of a feature vector.
+  int Predict(std::span<const float> x) const;
+
+  /// Class probabilities (softmax output).
+  std::vector<double> PredictProba(std::span<const float> x) const;
+
+  /// Mean accuracy over a labeled dataset.
+  double Accuracy(const Dataset& test) const;
+
+  int NumClasses() const { return num_classes_; }
+
+ private:
+  void TrainOn(const Dataset& train, std::span<const int> rows);
+  std::vector<double> Logits(std::span<const float> x) const;
+
+  LogisticRegressionOptions options_;
+  int num_classes_ = 0;
+  size_t dim_ = 0;
+  std::vector<double> weights_;  // num_classes x dim, row-major
+  std::vector<double> biases_;   // num_classes
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_ML_LOGISTIC_REGRESSION_H_

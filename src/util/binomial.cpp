@@ -1,0 +1,70 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "util/binomial.h"
+
+#include <cmath>
+#include <limits>
+#include <mutex>
+
+#include "util/common.h"
+
+namespace knnshap {
+
+namespace {
+
+// Grow-only cache of ln(n!). Guarded by a mutex; reads after warm-up are
+// contention-free in practice because benches touch a fixed N range.
+std::vector<double>& LogFactorialTable() {
+  static std::vector<double> table = {0.0, 0.0};
+  return table;
+}
+std::mutex table_mutex;
+
+}  // namespace
+
+double LogFactorial(int n) {
+  KNNSHAP_CHECK(n >= 0, "factorial of negative number");
+  std::lock_guard<std::mutex> lock(table_mutex);
+  auto& table = LogFactorialTable();
+  while (static_cast<int>(table.size()) <= n) {
+    table.push_back(table.back() + std::log(static_cast<double>(table.size())));
+  }
+  return table[static_cast<size_t>(n)];
+}
+
+double LogChoose(int n, int k) {
+  if (k < 0 || k > n || n < 0) return -std::numeric_limits<double>::infinity();
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double Choose(int n, int k) {
+  double lc = LogChoose(n, k);
+  if (lc == -std::numeric_limits<double>::infinity()) return 0.0;
+  return std::exp(lc);
+}
+
+double ChooseRatio(int a, int b, int c, int d) {
+  double num = LogChoose(a, b);
+  double den = LogChoose(c, d);
+  if (num == -std::numeric_limits<double>::infinity()) return 0.0;
+  KNNSHAP_CHECK(den != -std::numeric_limits<double>::infinity(),
+                "ChooseRatio denominator is zero");
+  return std::exp(num - den);
+}
+
+double Theorem1InnerSum(int big_n, int big_k, int i) {
+  KNNSHAP_CHECK(big_n >= 2 && i >= 1 && i <= big_n && big_k >= 1, "bad arguments");
+  double total = 0.0;
+  for (int k = 0; k <= big_n - 2; ++k) {
+    double inner = 0.0;
+    int m_max = std::min(big_k - 1, k);
+    for (int m = 0; m <= m_max; ++m) {
+      inner += std::exp(LogChoose(i - 1, m) + LogChoose(big_n - i - 1, k - m) -
+                        LogChoose(big_n - 2, k));
+    }
+    total += inner;
+  }
+  return total;
+}
+
+}  // namespace knnshap

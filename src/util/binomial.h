@@ -1,0 +1,37 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Binomial-coefficient machinery. The exact Shapley algorithms for weighted
+// KNN (Theorem 7) and multi-seller KNN (Theorem 8) weight subsets by
+// 1/binom(N-1, k) and 1/binom(M-1, k); N can reach the tens of thousands, so
+// coefficients are evaluated in log space and combined as ratios to stay in
+// double range.
+
+#ifndef KNNSHAP_UTIL_BINOMIAL_H_
+#define KNNSHAP_UTIL_BINOMIAL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace knnshap {
+
+/// ln(n!) with a cached table; exact to double precision.
+double LogFactorial(int n);
+
+/// ln(binom(n, k)); -inf when k < 0 or k > n.
+double LogChoose(int n, int k);
+
+/// binom(n, k) as a double; 0 when out of range, +inf on overflow.
+double Choose(int n, int k);
+
+/// Ratio binom(a, b) / binom(c, d) computed in log space.
+double ChooseRatio(int a, int b, int c, int d);
+
+/// The binomial identity used in the proof of Theorem 1 (Eq 11-13):
+///   sum_{k=0}^{N-2} (1/binom(N-2,k)) * sum_{m=0}^{min(K-1,k)}
+///        binom(i-1,m) binom(N-i-1,k-m)  ==  min(K,i) * (N-1) / i.
+/// Exposed so tests can verify the closed form numerically.
+double Theorem1InnerSum(int big_n, int big_k, int i);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_UTIL_BINOMIAL_H_

@@ -1,0 +1,85 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Bounded max-heap for maintaining the K nearest neighbors of a query while
+// training points stream in. This is the data structure behind Algorithm 2
+// (improved Monte Carlo) in the paper: inserting into the heap costs
+// O(log K), so incrementally tracking the K-NN along a permutation costs
+// O(N log K) instead of the O(N log N) full re-sort of the baseline.
+
+#ifndef KNNSHAP_UTIL_BOUNDED_HEAP_H_
+#define KNNSHAP_UTIL_BOUNDED_HEAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/common.h"
+
+namespace knnshap {
+
+/// Keeps the `capacity` smallest keys seen so far (a max-heap on the key, so
+/// the root is the current K-th nearest distance). Each entry carries an
+/// opaque payload, typically a training-point index.
+template <typename Payload>
+class BoundedMaxHeap {
+ public:
+  struct Entry {
+    double key;
+    Payload payload;
+  };
+
+  explicit BoundedMaxHeap(size_t capacity) : capacity_(capacity) {
+    KNNSHAP_CHECK(capacity > 0, "heap capacity must be positive");
+    entries_.reserve(capacity);
+  }
+
+  /// Offers (key, payload). Returns true iff the heap contents changed,
+  /// i.e. the element entered the current top-K. This is exactly the
+  /// "if H changes" test in Algorithm 2 of the paper.
+  bool Push(double key, const Payload& payload) {
+    if (entries_.size() < capacity_) {
+      entries_.push_back({key, payload});
+      std::push_heap(entries_.begin(), entries_.end(), Less);
+      return true;
+    }
+    if (key >= entries_.front().key) return false;
+    std::pop_heap(entries_.begin(), entries_.end(), Less);
+    entries_.back() = {key, payload};
+    std::push_heap(entries_.begin(), entries_.end(), Less);
+    return true;
+  }
+
+  /// Largest key currently retained (the K-th nearest distance once full).
+  double MaxKey() const {
+    KNNSHAP_CHECK(!entries_.empty(), "heap is empty");
+    return entries_.front().key;
+  }
+
+  bool Full() const { return entries_.size() == capacity_; }
+  size_t Size() const { return entries_.size(); }
+  size_t Capacity() const { return capacity_; }
+  bool Empty() const { return entries_.empty(); }
+
+  /// Unordered view of the retained entries.
+  const std::vector<Entry>& Entries() const { return entries_; }
+
+  /// Entries sorted by ascending key (nearest first). O(K log K).
+  std::vector<Entry> SortedEntries() const {
+    std::vector<Entry> sorted = entries_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry& a, const Entry& b) { return a.key < b.key; });
+    return sorted;
+  }
+
+  void Clear() { entries_.clear(); }
+
+ private:
+  static bool Less(const Entry& a, const Entry& b) { return a.key < b.key; }
+
+  size_t capacity_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_UTIL_BOUNDED_HEAP_H_

@@ -1,0 +1,48 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/common.h"
+
+namespace knnshap {
+
+CommandLine::CommandLine(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) continue;
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "1";
+    }
+  }
+}
+
+bool CommandLine::Has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string CommandLine::GetString(const std::string& name,
+                                   const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double CommandLine::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  double v = std::strtod(it->second.c_str(), &end);
+  KNNSHAP_CHECK(end != it->second.c_str(), "flag --" + name + " is not a number");
+  return v;
+}
+
+int CommandLine::GetInt(const std::string& name, int fallback) const {
+  return static_cast<int>(GetDouble(name, fallback));
+}
+
+}  // namespace knnshap

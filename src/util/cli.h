@@ -1,0 +1,37 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Minimal command-line flag parsing for the bench and example binaries.
+// Supports --name=value and --name value forms plus bare --flag booleans.
+
+#ifndef KNNSHAP_UTIL_CLI_H_
+#define KNNSHAP_UTIL_CLI_H_
+
+#include <map>
+#include <string>
+
+namespace knnshap {
+
+/// Parsed command line. Unknown flags are retained (benches share a parser),
+/// but a typo in a known flag's value aborts with a message.
+class CommandLine {
+ public:
+  CommandLine(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name, const std::string& fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  int GetInt(const std::string& name, int fallback) const;
+
+  /// Dataset-size multiplier shared by all benches (--scale).
+  double Scale() const { return GetDouble("scale", 1.0); }
+
+  /// Optional CSV export path (--csv).
+  std::string CsvPath() const { return GetString("csv", ""); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_UTIL_CLI_H_

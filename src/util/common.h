@@ -1,0 +1,40 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Project-wide primitives: fatal-check macro and small shared helpers.
+
+#ifndef KNNSHAP_UTIL_COMMON_H_
+#define KNNSHAP_UTIL_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace knnshap {
+
+namespace internal {
+
+[[noreturn]] inline void FatalError(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "[knnshap fatal] %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+/// Aborts with a diagnostic if `cond` is false. Used to guard API
+/// preconditions; always active (valuation results silently computed from
+/// inconsistent inputs are worse than a crash in this domain).
+#define KNNSHAP_CHECK(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::knnshap::internal::FatalError(__FILE__, __LINE__,                   \
+                                      std::string("check failed: " #cond   \
+                                                  " — ") +                  \
+                                          (msg));                           \
+    }                                                                       \
+  } while (0)
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_UTIL_COMMON_H_

@@ -1,0 +1,45 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "util/csv.h"
+
+#include <cstdio>
+
+namespace knnshap {
+
+CsvWriter::CsvWriter(const std::string& path) {
+  if (!path.empty()) {
+    out_.open(path);
+    enabled_ = out_.is_open();
+  }
+}
+
+CsvWriter::~CsvWriter() {
+  if (enabled_) out_.flush();
+}
+
+void CsvWriter::Header(const std::vector<std::string>& columns) {
+  RawRow(columns);
+}
+
+void CsvWriter::Row(const std::vector<double>& values) {
+  if (!enabled_) return;
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  char buf[64];
+  for (double v : values) {
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    cells.emplace_back(buf);
+  }
+  RawRow(cells);
+}
+
+void CsvWriter::RawRow(const std::vector<std::string>& cells) {
+  if (!enabled_) return;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace knnshap

@@ -1,0 +1,41 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// CSV export for benchmark series so figures can be re-plotted outside the
+// binary.
+
+#ifndef KNNSHAP_UTIL_CSV_H_
+#define KNNSHAP_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace knnshap {
+
+/// Buffered CSV writer. Construct with a path (empty path = disabled; all
+/// calls become no-ops, which lets benches pass through an optional --csv
+/// flag without branching).
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  bool Enabled() const { return enabled_; }
+
+  /// Writes a header row once.
+  void Header(const std::vector<std::string>& columns);
+
+  /// Writes one data row; values are formatted with %.10g.
+  void Row(const std::vector<double>& values);
+
+  /// Writes one mixed row of preformatted cells.
+  void RawRow(const std::vector<std::string>& cells);
+
+ private:
+  bool enabled_ = false;
+  std::ofstream out_;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_UTIL_CSV_H_

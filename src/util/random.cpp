@@ -1,0 +1,103 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "util/random.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/common.h"
+
+namespace knnshap {
+
+namespace {
+
+// SplitMix64: seeds the xoshiro state from a single 64-bit value.
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(&s);
+}
+
+uint64_t Rng::NextUint64() {
+  // xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextUniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+uint64_t Rng::NextIndex(uint64_t n) {
+  KNNSHAP_CHECK(n > 0, "NextIndex requires n > 0");
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = (0ull - n) % n;
+  for (;;) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box–Muller; u1 in (0,1] to avoid log(0).
+  double u1 = 1.0 - NextDouble();
+  double u2 = NextDouble();
+  double radius = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * std::numbers::pi * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+std::vector<int> Rng::Permutation(int n) {
+  std::vector<int> perm(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+  Shuffle(&perm);
+  return perm;
+}
+
+std::vector<int> Rng::SampleWithoutReplacement(int n, int k) {
+  KNNSHAP_CHECK(k >= 0 && k <= n, "sample size out of range");
+  // Partial Fisher–Yates over an index array: O(n) space, O(n + k) time.
+  std::vector<int> pool(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) pool[static_cast<size_t>(i)] = i;
+  for (int i = 0; i < k; ++i) {
+    size_t j = static_cast<size_t>(i) +
+               static_cast<size_t>(NextIndex(static_cast<uint64_t>(n - i)));
+    std::swap(pool[static_cast<size_t>(i)], pool[j]);
+  }
+  pool.resize(static_cast<size_t>(k));
+  return pool;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64() ^ 0xA5A5A5A5A5A5A5A5ull); }
+
+}  // namespace knnshap

@@ -1,0 +1,96 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/common.h"
+
+namespace knnshap {
+
+void RunningMoments::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningMoments::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningMoments::StdDev() const { return std::sqrt(Variance()); }
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  RunningMoments m;
+  for (double x : xs) m.Add(x);
+  return m.Variance();
+}
+
+double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys) {
+  KNNSHAP_CHECK(xs.size() == ys.size() && !xs.empty(), "length mismatch");
+  double mx = Mean(xs);
+  double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double dx = xs[i] - mx;
+    double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> FractionalRanks(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&xs](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average 1-based rank over the tie block [i, j].
+    double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& xs, const std::vector<double>& ys) {
+  KNNSHAP_CHECK(xs.size() == ys.size() && !xs.empty(), "length mismatch");
+  return PearsonCorrelation(FractionalRanks(xs), FractionalRanks(ys));
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  KNNSHAP_CHECK(!xs.empty(), "quantile of empty vector");
+  KNNSHAP_CHECK(q >= 0.0 && q <= 1.0, "quantile fraction out of range");
+  std::sort(xs.begin(), xs.end());
+  double pos = q * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double MaxAbsDifference(const std::vector<double>& a, const std::vector<double>& b) {
+  KNNSHAP_CHECK(a.size() == b.size(), "length mismatch");
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) worst = std::max(worst, std::fabs(a[i] - b[i]));
+  return worst;
+}
+
+}  // namespace knnshap

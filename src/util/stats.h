@@ -1,0 +1,55 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Descriptive statistics used across the evaluation harnesses: running
+// moments, correlations (Pearson for Fig 14/15/16, Spearman for rank
+// agreement), and quantiles.
+
+#ifndef KNNSHAP_UTIL_STATS_H_
+#define KNNSHAP_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace knnshap {
+
+/// Single-pass accumulator for mean/variance (Welford).
+class RunningMoments {
+ public:
+  void Add(double x);
+  size_t Count() const { return count_; }
+  double Mean() const { return mean_; }
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double Variance() const;
+  double StdDev() const;
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance; 0 when fewer than two observations.
+double Variance(const std::vector<double>& xs);
+
+/// Pearson correlation coefficient. Returns 0 when either input is
+/// constant. Requires equal, nonzero lengths.
+double PearsonCorrelation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Spearman rank correlation (Pearson on fractional ranks, ties averaged).
+double SpearmanCorrelation(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// q-th quantile (0 <= q <= 1) by linear interpolation on the sorted copy.
+double Quantile(std::vector<double> xs, double q);
+
+/// Largest absolute componentwise difference: max_i |a_i - b_i|.
+double MaxAbsDifference(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Fractional ranks of xs (average rank for ties), 1-based.
+std::vector<double> FractionalRanks(const std::vector<double>& xs);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_UTIL_STATS_H_

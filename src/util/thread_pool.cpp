@@ -1,0 +1,82 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace knnshap {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  const size_t num_blocks = std::min(count, NumThreads());
+  if (num_blocks <= 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> remaining{num_blocks};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  const size_t block = (count + num_blocks - 1) / num_blocks;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = b * block;
+    const size_t end = std::min(count, begin + block);
+    Submit([&, begin, end] {
+      for (size_t i = begin; i < end; ++i) fn(i);
+      if (remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace knnshap

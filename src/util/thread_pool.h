@@ -1,0 +1,53 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Fixed-size worker pool with a blocking parallel-for. The exact Shapley
+// algorithm is embarrassingly parallel over test points (Algorithm 1's
+// outer loop), and the large-dataset benches need that parallelism to stay
+// within a laptop-scale time budget.
+
+#ifndef KNNSHAP_UTIL_THREAD_POOL_H_
+#define KNNSHAP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace knnshap {
+
+/// Fixed pool of worker threads.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t NumThreads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count) across the pool and blocks until all
+  /// iterations complete. Iterations are distributed in contiguous blocks.
+  void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Process-wide pool, sized to the machine.
+  static ThreadPool& Shared();
+
+ private:
+  void Submit(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_UTIL_THREAD_POOL_H_

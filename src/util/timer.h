@@ -1,0 +1,35 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Minimal wall-clock timer used by the benchmark harnesses.
+
+#ifndef KNNSHAP_UTIL_TIMER_H_
+#define KNNSHAP_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace knnshap {
+
+/// Wall-clock stopwatch. Starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_UTIL_TIMER_H_

@@ -1,0 +1,226 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dataset/contrast.h"
+#include "dataset/dataset.h"
+#include "dataset/owners.h"
+#include "dataset/synthetic.h"
+#include "test_util.h"
+
+namespace knnshap {
+namespace {
+
+using testing_util::RandomClassDataset;
+
+TEST(DatasetTest, SubsetPreservesRowsAndLabels) {
+  Dataset data = RandomClassDataset(10, 3, 4, 1);
+  std::vector<int> rows = {7, 2, 2, 9};
+  Dataset sub = data.Subset(rows);
+  ASSERT_EQ(sub.Size(), 4u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(sub.labels[i], data.labels[static_cast<size_t>(rows[i])]);
+    for (size_t d = 0; d < data.Dim(); ++d) {
+      EXPECT_FLOAT_EQ(sub.features.Row(i)[d],
+                      data.features.Row(static_cast<size_t>(rows[i]))[d]);
+    }
+  }
+}
+
+TEST(DatasetTest, SplitPartitionsAllRows) {
+  Dataset data = RandomClassDataset(100, 2, 3, 2);
+  Rng rng(3);
+  auto split = SplitTrainTest(data, 0.25, &rng);
+  EXPECT_EQ(split.train.Size() + split.test.Size(), 100u);
+  EXPECT_EQ(split.test.Size(), 25u);
+}
+
+TEST(DatasetTest, SplitAlwaysLeavesBothSidesNonEmpty) {
+  Dataset data = RandomClassDataset(2, 2, 2, 4);
+  Rng rng(5);
+  auto split = SplitTrainTest(data, 0.01, &rng);
+  EXPECT_GE(split.test.Size(), 1u);
+  EXPECT_GE(split.train.Size(), 1u);
+}
+
+TEST(DatasetTest, BootstrapHasRequestedSize) {
+  Dataset data = RandomClassDataset(10, 2, 2, 6);
+  Rng rng(7);
+  Dataset boot = Bootstrap(data, 250, &rng);
+  EXPECT_EQ(boot.Size(), 250u);
+  EXPECT_EQ(boot.Dim(), data.Dim());
+  // All labels must come from the source label set.
+  for (int label : boot.labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 2);
+  }
+}
+
+TEST(SyntheticTest, MixtureRespectsSpec) {
+  SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.dim = 16;
+  spec.size = 500;
+  Rng rng(8);
+  Dataset data = MakeGaussianMixture(spec, &rng);
+  EXPECT_EQ(data.Size(), 500u);
+  EXPECT_EQ(data.Dim(), 16u);
+  std::set<int> labels(data.labels.begin(), data.labels.end());
+  EXPECT_GE(labels.size(), 3u);  // all four classes should almost surely appear
+  EXPECT_LE(*labels.rbegin(), 3);
+}
+
+TEST(SyntheticTest, LabelNoiseFlipsRoughlyRequestedFraction) {
+  // With two well-separated tight clusters, a 1-NN classifier trained on
+  // clean data disagrees with a noisy dataset's labels on ~ the flipped
+  // fraction of points.
+  SyntheticSpec clean_spec;
+  clean_spec.num_classes = 2;
+  clean_spec.dim = 8;
+  clean_spec.size = 2000;
+  clean_spec.cluster_stddev = 0.01;
+  Rng rng_a(9), rng_b(9);  // identical streams -> identical features
+  Dataset clean = MakeGaussianMixture(clean_spec, &rng_a);
+  SyntheticSpec noisy_spec = clean_spec;
+  noisy_spec.label_noise = 0.3;
+  Dataset noisy = MakeGaussianMixture(noisy_spec, &rng_b);
+  size_t flipped = 0;
+  for (size_t i = 0; i < clean.Size(); ++i) {
+    flipped += clean.labels[i] != noisy.labels[i];
+  }
+  EXPECT_NEAR(static_cast<double>(flipped) / 2000.0, 0.3, 0.05);
+}
+
+TEST(SyntheticTest, GeneratorIsDeterministicGivenSeed) {
+  Rng rng_a(10), rng_b(10);
+  Dataset a = MakeMnistLike(100, &rng_a);
+  Dataset b = MakeMnistLike(100, &rng_b);
+  ASSERT_EQ(a.Size(), b.Size());
+  for (size_t i = 0; i < a.Size(); ++i) {
+    EXPECT_EQ(a.labels[i], b.labels[i]);
+    EXPECT_FLOAT_EQ(a.features.Row(i)[0], b.features.Row(i)[0]);
+  }
+}
+
+TEST(SyntheticTest, LinearTargetsAreConsistent) {
+  Dataset data = RandomClassDataset(50, 2, 6, 11);
+  Rng rng(12);
+  auto weights = AttachLinearTargets(&data, 0.0, &rng);
+  ASSERT_EQ(weights.size(), 6u);
+  // Noise-free targets must equal the inner product exactly.
+  for (size_t i = 0; i < data.Size(); ++i) {
+    double y = 0.0;
+    auto row = data.features.Row(i);
+    for (size_t d = 0; d < 6; ++d) y += weights[d] * row[d];
+    EXPECT_NEAR(data.targets[i], y, 1e-9);
+  }
+}
+
+TEST(ContrastTest, PresetOrderingMatchesDesign) {
+  // Figure 9's three datasets must come out ordered by relative contrast:
+  // high (deep) > mid (gist) > low (dog-fish).
+  Rng rng(13);
+  Dataset high = MakeHighContrast(3000, &rng);
+  Dataset mid = MakeMidContrast(3000, &rng);
+  Dataset low = MakeLowContrast(3000, &rng);
+  Rng qrng(14);
+  auto ck = [&](const Dataset& d) {
+    return EstimateRelativeContrast(d, d, /*k=*/10, /*num_queries=*/50,
+                                    /*num_pairs=*/4000, &qrng)
+        .c_k;
+  };
+  double c_high = ck(high), c_mid = ck(mid), c_low = ck(low);
+  EXPECT_GT(c_high, c_mid);
+  EXPECT_GT(c_mid, c_low);
+  EXPECT_GT(c_low, 0.9);  // contrast is >= ~1 by construction
+}
+
+TEST(ContrastTest, TighterClustersRaiseContrast) {
+  SyntheticSpec spec;
+  spec.num_classes = 5;
+  spec.dim = 32;
+  spec.size = 2000;
+  spec.cluster_stddev = 0.3;
+  Rng rng(15);
+  Dataset loose = MakeGaussianMixture(spec, &rng);
+  spec.cluster_stddev = 0.05;
+  Dataset tight = MakeGaussianMixture(spec, &rng);
+  Rng qrng(16);
+  auto c_loose = EstimateRelativeContrast(loose, loose, 5, 40, 3000, &qrng).c_k;
+  auto c_tight = EstimateRelativeContrast(tight, tight, 5, 40, 3000, &qrng).c_k;
+  EXPECT_GT(c_tight, c_loose);
+}
+
+TEST(ContrastTest, RetrievalPresetsMatchPaperValues) {
+  // The Fig 7 presets are calibrated to the paper's measured relative
+  // contrasts: CIFAR-10 1.28, ImageNet 1.22, Yahoo10m 1.35 (at K = 10,
+  // in-distribution queries).
+  struct Case {
+    Dataset (*make)(size_t, Rng*);
+    double target;
+  };
+  for (auto [make, target] : {Case{MakeCifar10Contrast, 1.28},
+                              Case{MakeImageNetContrast, 1.22},
+                              Case{MakeYahoo10mContrast, 1.35}}) {
+    Rng rng(77);
+    Dataset all = make(16000, &rng);
+    std::vector<int> train_rows, query_rows;
+    for (int i = 0; i < 15000; ++i) train_rows.push_back(i);
+    for (int i = 15000; i < 16000; ++i) query_rows.push_back(i);
+    Dataset train = all.Subset(train_rows);
+    Dataset queries = all.Subset(query_rows);
+    Rng crng(78);
+    auto est = EstimateRelativeContrast(train, queries, 10, 50, 3000, &crng);
+    EXPECT_NEAR(est.c_k, target, 0.08) << all.name;
+  }
+}
+
+TEST(ContrastTest, DMeanAndDkPositive) {
+  Dataset data = RandomClassDataset(200, 2, 8, 17);
+  Rng rng(18);
+  auto est = EstimateRelativeContrast(data, data, 3, 20, 500, &rng);
+  EXPECT_GT(est.d_mean, 0.0);
+  EXPECT_GT(est.d_k, 0.0);
+  EXPECT_GT(est.c_k, 1.0);  // the Kth NN is closer than a random point
+}
+
+TEST(OwnersTest, RoundRobinBalances) {
+  auto owners = OwnerAssignment::RoundRobin(10, 3);
+  EXPECT_EQ(owners.NumSellers(), 3);
+  EXPECT_EQ(owners.RowsOf(0).size(), 4u);
+  EXPECT_EQ(owners.RowsOf(1).size(), 3u);
+  EXPECT_EQ(owners.RowsOf(2).size(), 3u);
+}
+
+TEST(OwnersTest, RandomAssignmentCoversAllSellers) {
+  Rng rng(19);
+  auto owners = OwnerAssignment::Random(20, 7, &rng);
+  EXPECT_EQ(owners.NumSellers(), 7);
+  size_t total = 0;
+  for (int s = 0; s < 7; ++s) {
+    EXPECT_GE(owners.RowsOf(s).size(), 1u);
+    total += owners.RowsOf(s).size();
+  }
+  EXPECT_EQ(total, 20u);
+}
+
+TEST(OwnersTest, RowsOfSellersConcatenates) {
+  auto owners = OwnerAssignment::RoundRobin(6, 2);
+  auto rows = owners.RowsOfSellers({0, 1});
+  std::set<int> unique(rows.begin(), rows.end());
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(OwnersTest, OwnerOfIsConsistentWithRowsOf) {
+  Rng rng(20);
+  auto owners = OwnerAssignment::Random(30, 5, &rng);
+  for (int s = 0; s < 5; ++s) {
+    for (int row : owners.RowsOf(s)) EXPECT_EQ(owners.OwnerOf(row), s);
+  }
+}
+
+}  // namespace
+}  // namespace knnshap

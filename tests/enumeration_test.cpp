@@ -1,0 +1,140 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/exact_enumeration.h"
+#include "core/utility.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace knnshap {
+namespace {
+
+using testing_util::ExpectVectorNear;
+
+// A random supermodular-ish game with memoized random subset values.
+class RandomGame {
+ public:
+  RandomGame(int n, uint64_t seed) : n_(n), values_(1u << n) {
+    Rng rng(seed);
+    for (auto& v : values_) v = rng.NextDouble();
+    values_[0] = 0.0;
+  }
+
+  CallableUtility AsUtility() const {
+    return CallableUtility(n_, [this](std::span<const int> subset) {
+      uint32_t mask = 0;
+      for (int p : subset) mask |= 1u << p;
+      return values_[mask];
+    });
+  }
+
+  int n_;
+  std::vector<double> values_;
+};
+
+TEST(EnumerationTest, TwoPlayerClosedForm) {
+  // nu({}) = 0, nu({0}) = 1, nu({1}) = 2, nu({0,1}) = 5.
+  CallableUtility utility(2, [](std::span<const int> subset) {
+    bool a = false, b = false;
+    for (int p : subset) (p == 0 ? a : b) = true;
+    if (a && b) return 5.0;
+    if (a) return 1.0;
+    if (b) return 2.0;
+    return 0.0;
+  });
+  auto sv = ShapleyByEnumeration(utility);
+  // s_0 = 1/2 (1-0) + 1/2 (5-2) = 2;  s_1 = 1/2 (2-0) + 1/2 (5-1) = 3.
+  EXPECT_NEAR(sv[0], 2.0, 1e-12);
+  EXPECT_NEAR(sv[1], 3.0, 1e-12);
+}
+
+TEST(EnumerationTest, AdditiveGameGivesSingletonValues) {
+  // nu(S) = sum of (player id + 1): additive game, SV = own contribution.
+  CallableUtility utility(6, [](std::span<const int> subset) {
+    double total = 0.0;
+    for (int p : subset) total += p + 1.0;
+    return total;
+  });
+  auto sv = ShapleyByEnumeration(utility);
+  for (int i = 0; i < 6; ++i) EXPECT_NEAR(sv[static_cast<size_t>(i)], i + 1.0, 1e-12);
+}
+
+TEST(EnumerationTest, SymmetricPlayersGetEqualShares) {
+  // Majority game: nu(S) = 1 iff |S| >= 3 of 5 players. All symmetric.
+  CallableUtility utility(5, [](std::span<const int> subset) {
+    return subset.size() >= 3 ? 1.0 : 0.0;
+  });
+  auto sv = ShapleyByEnumeration(utility);
+  for (double s : sv) EXPECT_NEAR(s, 0.2, 1e-12);
+}
+
+TEST(EnumerationTest, NullPlayerGetsZero) {
+  // Player 3 never changes the value.
+  CallableUtility utility(4, [](std::span<const int> subset) {
+    double total = 0.0;
+    for (int p : subset) {
+      if (p != 3) total += 1.0;
+    }
+    return total;
+  });
+  auto sv = ShapleyByEnumeration(utility);
+  EXPECT_NEAR(sv[3], 0.0, 1e-12);
+}
+
+class RandomGameTest : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(RandomGameTest, EnumerationMatchesPermutationOracle) {
+  auto [n, seed] = GetParam();
+  RandomGame game(n, seed);
+  auto utility = game.AsUtility();
+  auto by_subsets = ShapleyByEnumeration(utility);
+  auto by_perms = ShapleyByAllPermutations(utility);
+  ExpectVectorNear(by_subsets, by_perms, 1e-10);
+}
+
+TEST_P(RandomGameTest, EfficiencyAxiomHolds) {
+  auto [n, seed] = GetParam();
+  RandomGame game(n, seed);
+  auto utility = game.AsUtility();
+  auto sv = ShapleyByEnumeration(utility);
+  double total = std::accumulate(sv.begin(), sv.end(), 0.0);
+  std::vector<int> everyone(static_cast<size_t>(n));
+  std::iota(everyone.begin(), everyone.end(), 0);
+  EXPECT_NEAR(total, utility.Value(everyone) - utility.Value({}), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomGameTest,
+                         ::testing::Combine(::testing::Values(2, 3, 5, 7),
+                                            ::testing::Values(11u, 22u, 33u)));
+
+TEST(EnumerationTest, AdditivityOfGames) {
+  // SV of a sum game equals the sum of SVs (the additivity axiom the
+  // multi-test-point decomposition relies on).
+  RandomGame g1(6, 100), g2(6, 200);
+  auto u1 = g1.AsUtility();
+  auto u2 = g2.AsUtility();
+  CallableUtility sum(6, [&](std::span<const int> subset) {
+    return u1.Value(subset) + u2.Value(subset);
+  });
+  auto s1 = ShapleyByEnumeration(u1);
+  auto s2 = ShapleyByEnumeration(u2);
+  auto s12 = ShapleyByEnumeration(sum);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_NEAR(s12[static_cast<size_t>(i)],
+                s1[static_cast<size_t>(i)] + s2[static_cast<size_t>(i)], 1e-10);
+  }
+}
+
+TEST(EnumerationTest, GrandValueHelper) {
+  RandomGame game(4, 7);
+  auto utility = game.AsUtility();
+  std::vector<int> everyone = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(utility.GrandValue(), utility.Value(everyone));
+}
+
+}  // namespace
+}  // namespace knnshap

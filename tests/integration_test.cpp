@@ -1,0 +1,177 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Cross-module integration tests: the end-to-end behaviors the paper's
+// qualitative claims rest on (noisy data gets low value, the dog-fish
+// asymmetry, the full LSH valuation pipeline, market payouts).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/composite_game.h"
+#include "core/exact_knn_shapley.h"
+#include "core/lsh_knn_shapley.h"
+#include "core/weighted_knn_shapley.h"
+#include "dataset/contrast.h"
+#include "dataset/synthetic.h"
+#include "lsh/tuning.h"
+#include "market/payment.h"
+#include "market/valuation_report.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace knnshap {
+namespace {
+
+TEST(IntegrationTest, MislabeledPointsGetLowerValues) {
+  // Sec 2.1 / 7: noisy (label-flipped) points should receive lower SVs —
+  // the data-poisoning defense claim. Train and test must come from the
+  // same mixture, so draw once and split.
+  Rng rng(1);
+  SyntheticSpec spec;
+  spec.num_classes = 2;
+  spec.dim = 8;
+  spec.size = 350;
+  spec.cluster_stddev = 0.15;
+  Dataset data = MakeGaussianMixture(spec, &rng);
+  Rng srng(2);
+  auto split = SplitTrainTest(data, 50.0 / 350.0, &srng);
+  // Flip the labels of the first 45 training points (15%).
+  for (size_t i = 0; i < 45; ++i) split.train.labels[i] = 1 - split.train.labels[i];
+  auto sv = ExactKnnShapley(split.train, split.test, 5, false);
+  double flipped_mean = 0.0, clean_mean = 0.0;
+  for (size_t i = 0; i < 45; ++i) flipped_mean += sv[i] / 45.0;
+  for (size_t i = 45; i < split.train.Size(); ++i) {
+    clean_mean += sv[i] / static_cast<double>(split.train.Size() - 45);
+  }
+  EXPECT_LT(flipped_mean, clean_mean);
+  EXPECT_LT(flipped_mean, 0.0);  // wrong labels actively hurt
+}
+
+TEST(IntegrationTest, MislabeledPointsDominateBottomRanking) {
+  Rng rng(3);
+  SyntheticSpec spec;
+  spec.num_classes = 2;
+  spec.dim = 8;
+  spec.size = 240;
+  spec.cluster_stddev = 0.1;
+  Dataset data = MakeGaussianMixture(spec, &rng);
+  Rng srng(4);
+  auto split = SplitTrainTest(data, 40.0 / 240.0, &srng);
+  for (size_t i = 0; i < 20; ++i) split.train.labels[i] = 1 - split.train.labels[i];
+  auto sv = ExactKnnShapley(split.train, split.test, 3, false);
+  auto bottom = BottomValued(sv, 20);
+  size_t flipped_in_bottom = 0;
+  for (const auto& rv : bottom) {
+    flipped_in_bottom += rv.index < 20;
+  }
+  EXPECT_GE(flipped_in_bottom, 14u);  // at least 70% precision at the bottom
+}
+
+TEST(IntegrationTest, DogFishAsymmetry) {
+  // Fig 14(b)(c): with the fish class more diffuse, most label-inconsistent
+  // neighbors are fish, and dog training points earn more total value.
+  Rng rng(5);
+  Dataset train = MakeDogFishLike(600, &rng);
+  SyntheticSpec probe_spec;  // test set from the same generator
+  Rng qrng(6);
+  Dataset test = MakeDogFishLike(150, &qrng);
+  const int k = 3;
+  auto sv = ExactKnnShapley(train, test, k, false);
+  auto class_totals = GroupTotals(sv, train.labels, 2);
+  EXPECT_GT(class_totals[0], class_totals[1]);  // dogs (class 0) worth more
+
+  // Count label-inconsistent top-K neighbors per class (Fig 14c).
+  size_t inconsistent_fish = 0, inconsistent_dog = 0;
+  for (size_t j = 0; j < test.Size(); ++j) {
+    auto nns = TopKNeighbors(train.features, test.features.Row(j), k);
+    for (const auto& nn : nns) {
+      int label = train.labels[static_cast<size_t>(nn.index)];
+      if (label != test.labels[j]) {
+        (label == 1 ? inconsistent_fish : inconsistent_dog) += 1;
+      }
+    }
+  }
+  EXPECT_GT(inconsistent_fish, inconsistent_dog);
+}
+
+TEST(IntegrationTest, UnweightedAndWeightedSvCorrelate) {
+  // Fig 14(b): unweighted vs inverse-distance-weighted SVs are close in
+  // high-dimensional feature space.
+  Rng rng(7);
+  Dataset train = MakeDogFishLike(60, &rng);
+  Rng qrng(8);
+  Dataset test = MakeDogFishLike(10, &qrng);
+  auto unweighted = ExactKnnShapley(train, test, 3, false);
+  WeightedShapleyOptions options;
+  options.k = 3;
+  options.weights.kernel = WeightKernel::kInverseDistance;
+  options.task = KnnTask::kWeightedClassification;
+  auto weighted = ExactWeightedKnnShapley(train, test, options, true);
+  EXPECT_GT(PearsonCorrelation(unweighted, weighted), 0.9);
+}
+
+TEST(IntegrationTest, FullLshValuationPipeline) {
+  // contrast estimation -> normalization -> tuning -> index -> valuation,
+  // checked against the exact values.
+  Rng rng(9);
+  Dataset train = MakeYahoo10mLike(3000, &rng);
+  std::vector<int> rows;
+  for (int i = 0; i < 10; ++i) rows.push_back(2 + 13 * i);
+  Dataset test = train.Subset(rows);
+  const int k = 1;
+  const double eps = 0.1;
+  Rng crng(10);
+  auto contrast =
+      EstimateRelativeContrast(train, test, KStar(k, eps), 10, 3000, &crng);
+  train.features.Scale(1.0 / contrast.d_mean);
+  test.features.Scale(1.0 / contrast.d_mean);
+  LshConfig config = TuneForContrast(train.Size(), contrast.c_k, KStar(k, eps), 0.1);
+  LshIndex index(&train.features, config);
+  auto exact = ExactKnnShapley(train, test, k, false);
+  auto approx = LshKnnShapley(train, test, k, eps, index);
+  EXPECT_LE(MaxAbsDifference(exact, approx), eps + 0.05);
+}
+
+TEST(IntegrationTest, MarketPayoutEndToEnd) {
+  // Sellers -> composite game -> affine revenue -> payments that cover the
+  // full revenue, with the analyst's share largest.
+  Rng rng(11);
+  Dataset train = MakeDogFishLike(120, &rng);
+  Rng qrng(12);
+  Dataset test = MakeDogFishLike(30, &qrng);
+  auto result = CompositeKnnShapley(train, test, 5, false);
+  AffineRevenueModel model;
+  model.slope = 1000.0;
+  std::vector<double> all_values = result.seller_values;
+  all_values.push_back(result.analyst_value);
+  auto allocation = AllocateRevenue(all_values, model);
+  EXPECT_NEAR(allocation.total, model.slope * result.total_utility, 1e-6);
+  // The analyst's payment dominates any single seller's.
+  double max_seller = *std::max_element(result.seller_values.begin(),
+                                        result.seller_values.end());
+  EXPECT_GT(result.analyst_value, max_seller);
+}
+
+TEST(IntegrationTest, ValuesAreStableAcrossTestSubsampling) {
+  // Additivity consequence: valuations over two halves of the test set
+  // average to the full-set valuation.
+  Rng rng(13);
+  Dataset train = MakeMnistLike(200, &rng);
+  Rng qrng(14);
+  Dataset test = MakeMnistLike(40, &qrng);
+  std::vector<int> first_half, second_half;
+  for (int i = 0; i < 20; ++i) first_half.push_back(i);
+  for (int i = 20; i < 40; ++i) second_half.push_back(i);
+  Dataset test_a = test.Subset(first_half);
+  Dataset test_b = test.Subset(second_half);
+  auto sv_full = ExactKnnShapley(train, test, 3, false);
+  auto sv_a = ExactKnnShapley(train, test_a, 3, false);
+  auto sv_b = ExactKnnShapley(train, test_b, 3, false);
+  for (size_t i = 0; i < train.Size(); ++i) {
+    EXPECT_NEAR(sv_full[i], 0.5 * (sv_a[i] + sv_b[i]), 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace knnshap

@@ -1,0 +1,324 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "dataset/synthetic.h"
+#include "knn/kd_tree.h"
+#include "knn/knn_classifier.h"
+#include "knn/knn_regressor.h"
+#include "knn/metric.h"
+#include "knn/neighbors.h"
+#include "knn/weights.h"
+#include "test_util.h"
+
+namespace knnshap {
+namespace {
+
+using testing_util::RandomClassDataset;
+using testing_util::RandomRegDataset;
+
+// ---------------------------------------------------------------- metric --
+
+TEST(MetricTest, L2KnownValues) {
+  std::vector<float> a = {0.0f, 0.0f}, b = {3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(Distance(a, b, Metric::kL2), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b, Metric::kSquaredL2), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b, Metric::kL1), 7.0);
+}
+
+TEST(MetricTest, CosineOrthogonalAndParallel) {
+  std::vector<float> x = {1.0f, 0.0f}, y = {0.0f, 1.0f}, x2 = {2.0f, 0.0f};
+  EXPECT_NEAR(Distance(x, y, Metric::kCosine), 1.0, 1e-12);
+  EXPECT_NEAR(Distance(x, x2, Metric::kCosine), 0.0, 1e-12);
+}
+
+TEST(MetricTest, IdentityOfIndiscernibles) {
+  std::vector<float> a = {1.5f, -2.0f, 0.25f};
+  for (Metric m : {Metric::kL2, Metric::kSquaredL2, Metric::kL1}) {
+    EXPECT_DOUBLE_EQ(Distance(a, a, m), 0.0);
+  }
+}
+
+TEST(MetricTest, SquaredL2PreservesRanking) {
+  Rng rng(1);
+  std::vector<float> q(8), x(8), y(8);
+  for (int t = 0; t < 100; ++t) {
+    for (auto* v : {&q, &x, &y}) {
+      for (auto& c : *v) c = static_cast<float>(rng.NextGaussian());
+    }
+    bool l2 = Distance(q, x, Metric::kL2) < Distance(q, y, Metric::kL2);
+    bool sq = Distance(q, x, Metric::kSquaredL2) < Distance(q, y, Metric::kSquaredL2);
+    EXPECT_EQ(l2, sq);
+  }
+}
+
+// ------------------------------------------------------------- neighbors --
+
+TEST(NeighborsTest, ArgsortIsSortedAndComplete) {
+  Dataset data = RandomClassDataset(100, 2, 6, 2);
+  std::vector<float> query(6, 0.1f);
+  auto order = ArgsortByDistance(data.features, query);
+  ASSERT_EQ(order.size(), 100u);
+  auto dists = AllDistances(data.features, query);
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LE(dists[static_cast<size_t>(order[i - 1])],
+              dists[static_cast<size_t>(order[i])]);
+  }
+  std::vector<int> sorted = order;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(NeighborsTest, TopKMatchesArgsortPrefix) {
+  Dataset data = RandomClassDataset(200, 2, 4, 3);
+  std::vector<float> query(4, -0.3f);
+  auto order = ArgsortByDistance(data.features, query);
+  for (size_t k : {1u, 5u, 17u}) {
+    auto top = TopKNeighbors(data.features, query, k);
+    ASSERT_EQ(top.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_EQ(top[i].index, order[i]) << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(NeighborsTest, TopKClampsToDatasetSize) {
+  Dataset data = RandomClassDataset(5, 2, 3, 4);
+  std::vector<float> query(3, 0.0f);
+  auto top = TopKNeighbors(data.features, query, 50);
+  EXPECT_EQ(top.size(), 5u);
+}
+
+TEST(NeighborsTest, DeterministicTieBreakByIndex) {
+  // Three identical points: order must be by index.
+  Matrix m(3, 2);
+  for (size_t i = 0; i < 3; ++i) {
+    m.At(i, 0) = 1.0f;
+    m.At(i, 1) = 1.0f;
+  }
+  std::vector<float> query = {0.0f, 0.0f};
+  auto order = ArgsortByDistance(m, query);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  auto top = TopKNeighbors(m, query, 2);
+  EXPECT_EQ(top[0].index, 0);
+  EXPECT_EQ(top[1].index, 1);
+}
+
+TEST(NeighborsTest, BruteForceIndexAgrees) {
+  Dataset data = RandomClassDataset(64, 2, 5, 5);
+  BruteForceIndex index(&data.features);
+  std::vector<float> query(5, 0.2f);
+  auto a = index.Query(query, 7);
+  auto b = TopKNeighbors(data.features, query, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].index, b[i].index);
+}
+
+// --------------------------------------------------------------- kd-tree --
+
+class KdTreeParamTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(KdTreeParamTest, MatchesBruteForce) {
+  auto [n, dim, k] = GetParam();
+  Dataset data = RandomClassDataset(static_cast<size_t>(n), 2,
+                                    static_cast<size_t>(dim), 6);
+  KdTree tree(&data.features, /*leaf_size=*/8);
+  Rng rng(7);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<float> query(static_cast<size_t>(dim));
+    for (auto& c : query) c = static_cast<float>(rng.NextGaussian());
+    auto exact = TopKNeighbors(data.features, query, static_cast<size_t>(k));
+    auto approx = tree.Query(query, static_cast<size_t>(k));
+    ASSERT_EQ(exact.size(), approx.size());
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_NEAR(exact[i].distance, approx[i].distance, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KdTreeParamTest,
+                         ::testing::Values(std::tuple{50, 2, 1}, std::tuple{200, 3, 5},
+                                           std::tuple{500, 8, 3},
+                                           std::tuple{100, 16, 10},
+                                           std::tuple{64, 4, 64}));
+
+TEST(KdTreeTest, PrunesInLowDimension) {
+  Rng rng(8);
+  SyntheticSpec spec;
+  spec.num_classes = 2;
+  spec.dim = 2;
+  spec.size = 4000;
+  Dataset data = MakeGaussianMixture(spec, &rng);
+  KdTree tree(&data.features, 16);
+  std::vector<float> query = {0.0f, 0.0f};
+  tree.Query(query, 5);
+  // In 2-D the tree should touch far fewer points than brute force.
+  EXPECT_LT(tree.LastQueryDistanceEvals(), 2000u);
+}
+
+TEST(KdTreeTest, HandlesDuplicatePoints) {
+  Matrix m(10, 2);
+  for (size_t i = 0; i < 10; ++i) {
+    m.At(i, 0) = 1.0f;  // all identical
+    m.At(i, 1) = 2.0f;
+  }
+  KdTree tree(&m, 2);
+  std::vector<float> query = {1.0f, 2.0f};
+  auto result = tree.Query(query, 3);
+  ASSERT_EQ(result.size(), 3u);
+  for (const auto& nn : result) EXPECT_DOUBLE_EQ(nn.distance, 0.0);
+}
+
+// --------------------------------------------------------------- weights --
+
+TEST(WeightsTest, UniformIsOneOverCount) {
+  WeightConfig config;
+  auto w = ComputeWeights({0.5, 1.0, 2.0}, config);
+  for (double x : w) EXPECT_NEAR(x, 1.0 / 3.0, 1e-12);
+}
+
+TEST(WeightsTest, InverseDistanceFavorsCloser) {
+  WeightConfig config;
+  config.kernel = WeightKernel::kInverseDistance;
+  auto w = ComputeWeights({0.1, 1.0, 10.0}, config);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_GT(w[1], w[2]);
+  EXPECT_NEAR(w[0] + w[1] + w[2], 1.0, 1e-12);
+}
+
+TEST(WeightsTest, GaussianMonotone) {
+  WeightConfig config;
+  config.kernel = WeightKernel::kGaussian;
+  config.sigma = 0.7;
+  auto w = ComputeWeights({0.2, 0.4, 0.9}, config);
+  EXPECT_GT(w[0], w[1]);
+  EXPECT_GT(w[1], w[2]);
+}
+
+TEST(WeightsTest, EmptyInputGivesEmptyOutput) {
+  EXPECT_TRUE(ComputeWeights({}, {}).empty());
+}
+
+TEST(WeightsTest, ZeroDistanceHandledByEpsilon) {
+  WeightConfig config;
+  config.kernel = WeightKernel::kInverseDistance;
+  auto w = ComputeWeights({0.0, 1.0}, config);
+  EXPECT_GT(w[0], 0.99);
+}
+
+// ------------------------------------------------------------ classifier --
+
+TEST(KnnClassifierTest, PerfectOnSeparatedClusters) {
+  Rng rng(9);
+  SyntheticSpec spec;
+  spec.num_classes = 3;
+  spec.dim = 8;
+  spec.size = 600;
+  spec.cluster_stddev = 0.02;
+  Dataset data = MakeGaussianMixture(spec, &rng);
+  Rng srng(10);
+  auto split = SplitTrainTest(data, 0.2, &srng);
+  KnnClassifier knn(&split.train, 5);
+  EXPECT_GT(knn.Accuracy(split.test), 0.99);
+}
+
+TEST(KnnClassifierTest, ProbaIsNeighborFraction) {
+  // 1-D layout: 3 nearest of query (at 0) are labels {0, 0, 1}.
+  Dataset train;
+  train.features = Matrix(4, 1);
+  train.features.At(0, 0) = 0.1f;
+  train.features.At(1, 0) = 0.2f;
+  train.features.At(2, 0) = 0.3f;
+  train.features.At(3, 0) = 5.0f;
+  train.labels = {0, 0, 1, 1};
+  KnnClassifier knn(&train, 3);
+  std::vector<float> query = {0.0f};
+  EXPECT_NEAR(knn.PredictProba(query, 0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(knn.PredictProba(query, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(knn.Predict(query), 0);
+}
+
+TEST(KnnUtilityTest, MatchesDefinitionOnSmallSubsets) {
+  Dataset train;
+  train.features = Matrix(4, 1);
+  train.features.At(0, 0) = 1.0f;
+  train.features.At(1, 0) = 2.0f;
+  train.features.At(2, 0) = 3.0f;
+  train.features.At(3, 0) = 4.0f;
+  train.labels = {1, 0, 1, 1};
+  std::vector<float> query = {0.0f};
+  // K=2, subset {1, 2}: neighbors are rows 1 (label 0) and 2 (label 1).
+  std::vector<int> subset = {1, 2};
+  EXPECT_NEAR(UnweightedKnnClassUtility(train, subset, query, 1, 2), 0.5, 1e-12);
+  // Subset smaller than K still divides by K (Eq 5).
+  std::vector<int> one = {0};
+  EXPECT_NEAR(UnweightedKnnClassUtility(train, one, query, 1, 2), 0.5, 1e-12);
+  EXPECT_NEAR(UnweightedKnnClassUtility(train, {}, query, 1, 2), 0.0, 1e-12);
+}
+
+TEST(KnnUtilityTest, WeightedUniformKernelNormalizesOverRetrieved) {
+  Dataset train;
+  train.features = Matrix(3, 1);
+  train.features.At(0, 0) = 1.0f;
+  train.features.At(1, 0) = 2.0f;
+  train.features.At(2, 0) = 3.0f;
+  train.labels = {1, 1, 0};
+  std::vector<float> query = {0.0f};
+  WeightConfig uniform;
+  // With |S| = 1 < K the weighted utility normalizes over 1 neighbor
+  // (Eq 26), unlike the unweighted Eq (5) which divides by K.
+  std::vector<int> one = {0};
+  EXPECT_NEAR(WeightedKnnClassUtility(train, one, query, 1, 2, uniform), 1.0, 1e-12);
+}
+
+// ------------------------------------------------------------- regressor --
+
+TEST(KnnRegressorTest, RecoversLocallyConstantFunction) {
+  Rng rng(11);
+  Dataset data = RandomRegDataset(400, 3, 12);
+  // Targets equal the first feature; a 1-NN regressor should track it.
+  for (size_t i = 0; i < data.Size(); ++i) {
+    data.targets[i] = data.features.Row(i)[0];
+  }
+  Rng srng(13);
+  auto split = SplitTrainTest(data, 0.1, &srng);
+  KnnRegressor knn(&split.train, 1);
+  EXPECT_LT(knn.MeanSquaredError(split.test), 0.2);
+}
+
+TEST(KnnRegressorTest, UnweightedPredictDividesByK) {
+  Dataset train;
+  train.features = Matrix(2, 1);
+  train.features.At(0, 0) = 1.0f;
+  train.features.At(1, 0) = 10.0f;
+  train.targets = {4.0, 8.0};
+  KnnRegressor knn(&train, 4);  // K larger than the data: Eq (25) divides by K
+  std::vector<float> query = {0.0f};
+  EXPECT_NEAR(knn.Predict(query), (4.0 + 8.0) / 4.0, 1e-12);
+}
+
+TEST(KnnRegressionUtilityTest, EmptySubsetIsNegativeTargetSquared) {
+  Dataset train = RandomRegDataset(5, 2, 14);
+  std::vector<float> query = {0.0f, 0.0f};
+  EXPECT_NEAR(UnweightedKnnRegressionUtility(train, {}, query, 3.0, 2), -9.0, 1e-12);
+  EXPECT_NEAR(WeightedKnnRegressionUtility(train, {}, query, 3.0, 2, {}), -9.0, 1e-12);
+}
+
+TEST(KnnRegressionUtilityTest, PerfectPredictionGivesZero) {
+  Dataset train;
+  train.features = Matrix(2, 1);
+  train.features.At(0, 0) = 1.0f;
+  train.features.At(1, 0) = 2.0f;
+  train.targets = {3.0, 5.0};
+  std::vector<float> query = {0.0f};
+  std::vector<int> both = {0, 1};
+  // K=2 estimate = (3+5)/2 = 4; utility = -(4-4)^2 = 0.
+  EXPECT_NEAR(UnweightedKnnRegressionUtility(train, both, query, 4.0, 2), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace knnshap

@@ -1,0 +1,237 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dataset/contrast.h"
+#include "dataset/synthetic.h"
+#include "knn/neighbors.h"
+#include "lsh/hash_table.h"
+#include "lsh/lsh_index.h"
+#include "lsh/pstable.h"
+#include "lsh/tuning.h"
+#include "test_util.h"
+
+namespace knnshap {
+namespace {
+
+using testing_util::RandomClassDataset;
+
+// ---------------------------------------------------------------- pstable --
+
+TEST(PStableTest, CollisionProbabilityAtZeroDistanceIsOne) {
+  EXPECT_DOUBLE_EQ(GaussianCollisionProbability(0.0, 4.0), 1.0);
+}
+
+TEST(PStableTest, ClosedFormMatchesNumericalIntegral) {
+  for (double width : {0.8, 2.0, 4.0, 8.0}) {
+    for (double c : {0.1, 0.5, 1.0, 2.0, 5.0}) {
+      EXPECT_NEAR(GaussianCollisionProbability(c, width),
+                  NumericalCollisionProbability(c, width), 1e-6)
+          << "width=" << width << " c=" << c;
+    }
+  }
+}
+
+TEST(PStableTest, MonotonicallyDecreasingInDistance) {
+  double prev = 1.0;
+  for (double c = 0.1; c < 10.0; c += 0.1) {
+    double p = GaussianCollisionProbability(c, 4.0);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(PStableTest, WiderBucketsRaiseCollisionProbability) {
+  EXPECT_LT(GaussianCollisionProbability(1.0, 1.0),
+            GaussianCollisionProbability(1.0, 4.0));
+}
+
+TEST(PStableTest, EmpiricalCollisionRateMatchesTheory) {
+  // Monte-Carlo check of Eq (20): hash many point pairs at controlled
+  // distance and compare the empirical collision rate with f_h.
+  const double width = 4.0;
+  const double c = 1.5;
+  const size_t dim = 16;
+  Rng rng(1);
+  int collisions = 0;
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    PStableHash hash(dim, width, &rng);
+    std::vector<float> x(dim, 0.0f), y(dim, 0.0f);
+    // y = x + c * e1.
+    x[0] = 0.0f;
+    y[0] = static_cast<float>(c);
+    collisions += hash.Hash(x) == hash.Hash(y);
+  }
+  double expected = GaussianCollisionProbability(c, width);
+  EXPECT_NEAR(static_cast<double>(collisions) / trials, expected, 0.015);
+}
+
+TEST(PStableTest, HashIsDeterministic) {
+  Rng rng(2);
+  PStableHash hash(8, 4.0, &rng);
+  std::vector<float> x = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(hash.Hash(x), hash.Hash(x));
+}
+
+// -------------------------------------------------------------- hash table --
+
+TEST(LshHashTableTest, SamePointSameBucket) {
+  Rng rng(3);
+  LshHashTable table(4, 6, 4.0, &rng);
+  std::vector<float> x = {0.1f, 0.2f, 0.3f, 0.4f};
+  table.Insert(x, 17);
+  auto candidates = table.Candidates(x);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], 17);
+}
+
+TEST(LshHashTableTest, FarPointsUsuallySeparate) {
+  Rng rng(4);
+  LshHashTable table(4, 8, 0.5, &rng);
+  std::vector<float> x = {0, 0, 0, 0};
+  std::vector<float> y = {100, 100, 100, 100};
+  table.Insert(x, 0);
+  EXPECT_TRUE(table.Candidates(y).empty());
+}
+
+// ------------------------------------------------------------------ index --
+
+TEST(LshIndexTest, HighRecallWithGenerousTables) {
+  Rng rng(5);
+  Dataset data = MakeMnistLike(2000, &rng);
+  LshConfig config;
+  config.width = 4.0;
+  config.num_projections = 6;
+  config.num_tables = 32;
+  LshIndex index(&data.features, config);
+  double recall_sum = 0.0;
+  for (size_t q = 0; q < 30; ++q) {
+    recall_sum += index.Recall(data.features.Row(q * 7), 10);
+  }
+  EXPECT_GT(recall_sum / 30.0, 0.9);
+}
+
+TEST(LshIndexTest, ReturnedNeighborsSortedByTrueDistance) {
+  Rng rng(6);
+  Dataset data = RandomClassDataset(500, 2, 8, 7);
+  LshConfig config;
+  config.width = 8.0;
+  config.num_projections = 2;
+  config.num_tables = 8;
+  LshIndex index(&data.features, config);
+  LshQueryStats stats;
+  auto result = index.Query(data.features.Row(0), 20, &stats);
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].distance, result[i].distance);
+  }
+  EXPECT_GE(stats.candidates, result.size());
+}
+
+TEST(LshIndexTest, QueryPointRetrievesItself) {
+  Rng rng(8);
+  Dataset data = RandomClassDataset(300, 2, 6, 9);
+  LshConfig config;
+  config.width = 4.0;
+  config.num_projections = 4;
+  config.num_tables = 8;
+  LshIndex index(&data.features, config);
+  auto result = index.Query(data.features.Row(42), 1);
+  ASSERT_FALSE(result.empty());
+  EXPECT_EQ(result[0].index, 42);
+  EXPECT_DOUBLE_EQ(result[0].distance, 0.0);
+}
+
+TEST(LshIndexTest, MoreTablesNeverLowerRecall) {
+  Rng rng(10);
+  Dataset data = MakeMidContrast(1500, &rng);
+  LshConfig small;
+  small.width = 2.0;
+  small.num_projections = 8;
+  small.num_tables = 2;
+  small.seed = 99;
+  LshConfig big = small;
+  big.num_tables = 24;
+  LshIndex index_small(&data.features, small);
+  LshIndex index_big(&data.features, big);
+  double recall_small = 0.0, recall_big = 0.0;
+  for (size_t q = 0; q < 25; ++q) {
+    recall_small += index_small.Recall(data.features.Row(q * 11), 10);
+    recall_big += index_big.Recall(data.features.Row(q * 11), 10);
+  }
+  EXPECT_GE(recall_big + 1e-9, recall_small);
+}
+
+// ----------------------------------------------------------------- tuning --
+
+TEST(TuningTest, GExponentBelowOneForContrastAboveOne) {
+  for (double c : {1.2, 1.5, 2.0, 4.0}) {
+    EXPECT_LT(GExponent(c, 4.0), 1.0) << "contrast " << c;
+  }
+}
+
+TEST(TuningTest, GExponentIsOneAtUnitContrast) {
+  EXPECT_NEAR(GExponent(1.0, 4.0), 1.0, 1e-12);
+}
+
+TEST(TuningTest, GExponentAboveOneForContrastBelowOne) {
+  EXPECT_GT(GExponent(0.8, 4.0), 1.0);
+}
+
+TEST(TuningTest, GExponentDecreasesWithContrast) {
+  double prev = GExponent(1.01, 4.0);
+  for (double c = 1.2; c < 5.0; c += 0.2) {
+    double g = GExponent(c, 4.0);
+    EXPECT_LT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(TuningTest, SelectWidthReturnsGridMinimum) {
+  double best = SelectWidth(1.5, 0.5, 16.0, 64);
+  double g_best = GExponent(1.5, best);
+  for (double w : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    EXPECT_LE(g_best, GExponent(1.5, w) + 1e-9);
+  }
+}
+
+TEST(TuningTest, NumProjectionsGrowsWithN) {
+  EXPECT_LT(NumProjections(1000, 4.0), NumProjections(1000000, 4.0));
+}
+
+TEST(TuningTest, NumTablesGrowsWithProjectionsAndK) {
+  EXPECT_LE(NumTables(1.5, 4.0, 4, 5, 0.1), NumTables(1.5, 4.0, 8, 5, 0.1));
+  EXPECT_LE(NumTables(1.5, 4.0, 6, 1, 0.1), NumTables(1.5, 4.0, 6, 50, 0.1));
+}
+
+TEST(TuningTest, LowerContrastNeedsMoreTables) {
+  EXPECT_GT(NumTables(1.1, 4.0, 8, 10, 0.1), NumTables(2.0, 4.0, 8, 10, 0.1));
+}
+
+TEST(TuningTest, TheoremThreeRecallGuarantee) {
+  // End-to-end: tune an index for delta = 0.1 on a normalized dataset and
+  // verify that all K true neighbors are found for >= 90% of queries
+  // (allowing slack for Monte-Carlo noise).
+  Rng rng(11);
+  Dataset data = MakeHighContrast(3000, &rng);
+  const int k = 5;
+  Rng crng(12);
+  auto contrast = EstimateRelativeContrast(data, data, k, 60, 4000, &crng);
+  // Normalize so D_mean = 1 (the assumption in the proof of Theorem 3).
+  data.features.Scale(1.0 / contrast.d_mean);
+  LshConfig config = TuneForContrast(data.Size(), contrast.c_k, k, /*delta=*/0.1);
+  LshIndex index(&data.features, config);
+  int perfect = 0;
+  const int queries = 40;
+  for (int q = 0; q < queries; ++q) {
+    double recall = index.Recall(data.features.Row(static_cast<size_t>(q * 37)),
+                                 static_cast<size_t>(k));
+    perfect += recall >= 1.0 - 1e-12;
+  }
+  EXPECT_GE(perfect, static_cast<int>(queries * 0.8));
+}
+
+}  // namespace
+}  // namespace knnshap

@@ -1,0 +1,87 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/exact_knn_shapley.h"
+#include "core/utility.h"
+#include "market/payment.h"
+#include "market/valuation_report.h"
+#include "test_util.h"
+
+namespace knnshap {
+namespace {
+
+using testing_util::RandomClassDataset;
+
+TEST(PaymentTest, AffineMappingScalesAndShifts) {
+  std::vector<double> sv = {0.1, 0.3, 0.6};
+  AffineRevenueModel model;
+  model.slope = 100.0;
+  model.intercept = 30.0;
+  auto allocation = AllocateRevenue(sv, model);
+  ASSERT_EQ(allocation.payments.size(), 3u);
+  EXPECT_NEAR(allocation.payments[0], 10.0 + 10.0, 1e-12);
+  EXPECT_NEAR(allocation.payments[1], 30.0 + 10.0, 1e-12);
+  EXPECT_NEAR(allocation.payments[2], 60.0 + 10.0, 1e-12);
+  EXPECT_NEAR(allocation.total, 130.0, 1e-12);
+}
+
+TEST(PaymentTest, GroupRationalityResidualIsZeroForShapley) {
+  // Payments derived from exact KNN SVs satisfy R-group-rationality.
+  Dataset train = RandomClassDataset(20, 2, 3, 1);
+  Dataset test = RandomClassDataset(4, 2, 3, 2);
+  auto sv = ExactKnnShapley(train, test, 3, false);
+  AffineRevenueModel model;
+  model.slope = 250.0;
+  model.intercept = 75.0;
+  auto allocation = AllocateRevenue(sv, model);
+  KnnSubsetUtility utility(&train, &test, 3, KnnTask::kClassification);
+  double residual = GroupRationalityResidual(allocation, utility.GrandValue(),
+                                             /*empty_utility=*/0.0, model);
+  EXPECT_NEAR(residual, 0.0, 1e-7);
+}
+
+TEST(ReportTest, TopAndBottomRankings) {
+  std::vector<double> values = {0.5, -0.2, 0.9, 0.0, 0.9};
+  auto top = TopValued(values, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].index, 2);  // tie broken by index
+  EXPECT_EQ(top[1].index, 4);
+  auto bottom = BottomValued(values, 1);
+  EXPECT_EQ(bottom[0].index, 1);
+}
+
+TEST(ReportTest, SummaryStatistics) {
+  std::vector<double> values = {1.0, -1.0, 3.0, -2.0};
+  auto summary = Summarize(values);
+  EXPECT_DOUBLE_EQ(summary.total, 1.0);
+  EXPECT_DOUBLE_EQ(summary.mean, 0.25);
+  EXPECT_DOUBLE_EQ(summary.min, -2.0);
+  EXPECT_DOUBLE_EQ(summary.max, 3.0);
+  EXPECT_DOUBLE_EQ(summary.fraction_negative, 0.5);
+}
+
+TEST(ReportTest, GroupTotalsSumByGroup) {
+  std::vector<double> values = {1, 2, 3, 4};
+  std::vector<int> groups = {0, 1, 0, 1};
+  auto totals = GroupTotals(values, groups, 2);
+  EXPECT_DOUBLE_EQ(totals[0], 4.0);
+  EXPECT_DOUBLE_EQ(totals[1], 6.0);
+}
+
+TEST(ReportTest, FormatRankingContainsEntries) {
+  auto text = FormatRanking({{3, 0.5}, {1, 0.25}}, "top points");
+  EXPECT_NE(text.find("top points"), std::string::npos);
+  EXPECT_NE(text.find("point 3"), std::string::npos);
+  EXPECT_NE(text.find("point 1"), std::string::npos);
+}
+
+TEST(ReportTest, RequestingMoreThanAvailableClamps) {
+  std::vector<double> values = {1.0, 2.0};
+  EXPECT_EQ(TopValued(values, 10).size(), 2u);
+}
+
+}  // namespace
+}  // namespace knnshap

@@ -1,0 +1,128 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Extensions of the Monte-Carlo machinery: the composite-game incremental
+// adapter (lets Algorithm 2 estimate Theorems 9-12's values) and TMC
+// truncation (the Ghorbani-Zou heuristic discussed in the paper's related
+// work).
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/composite_game.h"
+#include "core/exact_enumeration.h"
+#include "core/improved_mc.h"
+#include "core/utility.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace knnshap {
+namespace {
+
+using testing_util::RandomClassDataset;
+
+TEST(CompositeIncrementalTest, MatchesCompositeBatchUtility) {
+  Dataset train = RandomClassDataset(12, 2, 3, 1);
+  Dataset test = RandomClassDataset(2, 2, 3, 2);
+  KnnSubsetUtility base_batch(&train, &test, 2, KnnTask::kClassification);
+  CompositeSubsetUtility composite_batch(&base_batch);
+  IncrementalKnnUtility base_inc(&train, &test, 2, KnnTask::kClassification);
+  CompositeIncrementalUtility composite_inc(&base_inc);
+  ASSERT_EQ(composite_inc.NumPlayers(), 13);
+  Rng rng(3);
+  for (int trial = 0; trial < 3; ++trial) {
+    auto perm = rng.Permutation(13);
+    composite_inc.Reset();
+    std::vector<int> prefix;
+    EXPECT_NEAR(composite_inc.EmptyValue(), composite_batch.Value(prefix), 1e-12);
+    for (int player : perm) {
+      prefix.push_back(player);
+      EXPECT_NEAR(composite_inc.AddPlayer(player), composite_batch.Value(prefix),
+                  1e-9);
+    }
+  }
+}
+
+TEST(CompositeIncrementalTest, McEstimatesMatchTheorem9) {
+  Dataset train = RandomClassDataset(25, 2, 3, 4);
+  Dataset test = RandomClassDataset(2, 2, 3, 5);
+  const int k = 2;
+  auto exact = CompositeKnnShapley(train, test, k, false);
+  IncrementalKnnUtility base(&train, &test, k, KnnTask::kClassification);
+  CompositeIncrementalUtility composite(&base);
+  ImprovedMcOptions options;
+  options.k = k;
+  options.epsilon = 0.1;
+  options.delta = 0.05;
+  options.utility_range = 1.0;
+  options.seed = 6;
+  auto mc = ImprovedMcShapley(&composite, options);
+  for (size_t i = 0; i < train.Size(); ++i) {
+    EXPECT_NEAR(mc.shapley[i], exact.seller_values[i], options.epsilon)
+        << "seller " << i;
+  }
+  EXPECT_NEAR(mc.shapley[train.Size()], exact.analyst_value, options.epsilon);
+}
+
+TEST(TmcTest, DisabledByDefaultMatchesPlainRun) {
+  Dataset train = RandomClassDataset(20, 2, 3, 7);
+  Dataset test = RandomClassDataset(2, 2, 3, 8);
+  IncrementalKnnUtility u1(&train, &test, 2, KnnTask::kClassification);
+  IncrementalKnnUtility u2(&train, &test, 2, KnnTask::kClassification);
+  ImprovedMcOptions options;
+  options.k = 2;
+  options.max_permutations = 60;
+  options.seed = 9;
+  auto plain = ImprovedMcShapley(&u1, options);
+  options.tmc_tolerance = 0.0;
+  auto tmc_off = ImprovedMcShapley(&u2, options);
+  testing_util::ExpectVectorNear(plain.shapley, tmc_off.shapley, 0.0);
+  EXPECT_EQ(tmc_off.truncated_insertions, 0);
+}
+
+TEST(TmcTest, TruncationSkipsWorkAndKeepsGroupRationality) {
+  // TMC is a *biased* heuristic (a permutation is cut the moment the
+  // running utility touches nu(I), even though a later nearest neighbor
+  // could still move it — the paper's related work notes TMC carries no
+  // error guarantee). What it does preserve: each truncated permutation's
+  // marginals still telescope to within the tolerance of nu(I), so the
+  // estimates remain approximately group-rational while skipping work.
+  Dataset train = RandomClassDataset(120, 2, 4, 10);
+  Dataset test = RandomClassDataset(2, 2, 4, 11);
+  IncrementalKnnUtility u1(&train, &test, 1, KnnTask::kClassification);
+  IncrementalKnnUtility u2(&train, &test, 1, KnnTask::kClassification);
+  ImprovedMcOptions options;
+  options.k = 1;
+  options.max_permutations = 400;
+  options.seed = 12;
+  auto plain = ImprovedMcShapley(&u1, options);
+  options.tmc_tolerance = 1e-9;
+  auto tmc = ImprovedMcShapley(&u2, options);
+  EXPECT_GT(tmc.truncated_insertions, 0);
+  EXPECT_LT(tmc.utility_evaluations, plain.utility_evaluations);
+  KnnSubsetUtility batch(&train, &test, 1, KnnTask::kClassification);
+  double grand = batch.GrandValue();
+  double plain_total = std::accumulate(plain.shapley.begin(), plain.shapley.end(), 0.0);
+  double tmc_total = std::accumulate(tmc.shapley.begin(), tmc.shapley.end(), 0.0);
+  EXPECT_NEAR(plain_total, grand, 1e-9);  // telescoping is exact without TMC
+  EXPECT_NEAR(tmc_total, grand, options.tmc_tolerance + 1e-6);
+}
+
+TEST(TmcTest, AggressiveToleranceTruncatesMore) {
+  Dataset train = RandomClassDataset(100, 2, 4, 13);
+  Dataset test = RandomClassDataset(2, 2, 4, 14);
+  IncrementalKnnUtility u1(&train, &test, 1, KnnTask::kClassification);
+  IncrementalKnnUtility u2(&train, &test, 1, KnnTask::kClassification);
+  ImprovedMcOptions options;
+  options.k = 1;
+  options.max_permutations = 100;
+  options.seed = 15;
+  options.tmc_tolerance = 1e-9;
+  auto strict = ImprovedMcShapley(&u1, options);
+  options.tmc_tolerance = 0.05;
+  auto loose = ImprovedMcShapley(&u2, options);
+  EXPECT_GE(loose.truncated_insertions, strict.truncated_insertions);
+}
+
+}  // namespace
+}  // namespace knnshap

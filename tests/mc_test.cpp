@@ -1,0 +1,348 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Monte-Carlo machinery: the baseline estimator (Sec 2.2), the improved
+// estimator (Algorithm 2), the incremental-utility invariant, and the
+// Hoeffding/Bennett sample bounds (Theorem 5).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/baseline_mc.h"
+#include "core/bennett.h"
+#include "core/exact_enumeration.h"
+#include "core/exact_knn_shapley.h"
+#include "core/improved_mc.h"
+#include "core/knn_regression_shapley.h"
+#include "core/multi_seller_shapley.h"
+#include "core/utility.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace knnshap {
+namespace {
+
+using testing_util::ExpectVectorNear;
+using testing_util::RandomClassDataset;
+using testing_util::RandomRegDataset;
+using testing_util::SingleQuery;
+
+// ----------------------------------------------------------- sample bounds --
+
+TEST(BennettTest, HFunctionBasics) {
+  EXPECT_DOUBLE_EQ(BennettH(0.0), 0.0);
+  EXPECT_GT(BennettH(1.0), 0.0);
+  // h is increasing and convex-ish; check monotonicity.
+  double prev = 0.0;
+  for (double u = 0.1; u < 5.0; u += 0.1) {
+    double h = BennettH(u);
+    EXPECT_GT(h, prev);
+    prev = h;
+  }
+  // h(u) <= u^2 (used for the lower bound of Eq 135).
+  for (double u : {0.01, 0.1, 0.5, 1.0, 3.0}) EXPECT_LE(BennettH(u), u * u);
+}
+
+TEST(BennettTest, HoeffdingGrowsLogarithmicallyWithN) {
+  int64_t t1 = HoeffdingPermutations(1000, 0.1, 0.1, 1.0);
+  int64_t t2 = HoeffdingPermutations(1000000, 0.1, 0.1, 1.0);
+  EXPECT_GT(t2, t1);
+  // log growth: ratio should be modest.
+  EXPECT_LT(static_cast<double>(t2) / static_cast<double>(t1), 2.5);
+}
+
+TEST(BennettTest, BennettFlatInNForLargeN) {
+  // Theorem 5's headline property: T* is nearly independent of N.
+  int64_t t_small = BennettPermutations(10000, 1, 0.1, 0.1, 1.0);
+  int64_t t_large = BennettPermutations(1000000, 1, 0.1, 0.1, 1.0);
+  EXPECT_LT(std::abs(t_large - t_small),
+            std::max<int64_t>(8, t_small / 10));
+}
+
+TEST(BennettTest, BennettBeatsHoeffdingAtScale) {
+  const double eps = 0.1, delta = 0.1, r = 1.0;
+  int64_t hoeffding = HoeffdingPermutations(1000000, eps, delta, r);
+  int64_t bennett = BennettPermutations(1000000, 1, eps, delta, r);
+  EXPECT_LT(bennett, hoeffding);
+}
+
+TEST(BennettTest, SolvedTSatisfiesEquation32) {
+  const int64_t n = 500;
+  const int k = 3;
+  const double eps = 0.1, delta = 0.1, r = 1.0;
+  int64_t t_star = BennettPermutations(n, k, eps, delta, r);
+  auto lhs = [&](double t) {
+    double total = 0.0;
+    for (int64_t i = 1; i <= n; ++i) {
+      double q = i <= k ? 0.0 : static_cast<double>(i - k) / static_cast<double>(i);
+      double v = 1.0 - q * q;
+      total += std::exp(-t * v * BennettH(eps / (v * r)));
+    }
+    return total;
+  };
+  // At T* the constraint must hold; slightly below it must not.
+  EXPECT_LE(lhs(static_cast<double>(t_star)), delta / 2.0 + 1e-9);
+  if (t_star > 4) {
+    EXPECT_GT(lhs(static_cast<double>(t_star) * 0.8), delta / 2.0);
+  }
+}
+
+TEST(BennettTest, ApproxBoundIsReasonable) {
+  // T~ approximates T* within a small factor for moderate N.
+  const double eps = 0.1, delta = 0.1, r = 1.0;
+  int64_t t_star = BennettPermutations(100000, 2, eps, delta, r);
+  int64_t t_approx = ApproxBennettPermutations(2, eps, delta, r);
+  EXPECT_GT(t_approx, t_star / 8);
+  EXPECT_LT(t_approx, t_star * 8);
+  // Eq (135): since h(u) <= u^2, the closed form log(2K/delta)/h(eps/r)
+  // dominates r^2/eps^2 log(2K/delta); for eps/r = 0.1 the gap is ~2x.
+  double lower = BennettLowerBound(2, eps, delta, r);
+  EXPECT_LE(lower, static_cast<double>(t_approx));
+  EXPECT_GE(lower, static_cast<double>(t_approx) / 3.0);
+}
+
+TEST(BennettTest, TighterEpsilonNeedsMorePermutations) {
+  EXPECT_GT(BennettPermutations(1000, 1, 0.01, 0.1, 1.0),
+            BennettPermutations(1000, 1, 0.1, 0.1, 1.0));
+  EXPECT_GT(HoeffdingPermutations(1000, 0.01, 0.1, 1.0),
+            HoeffdingPermutations(1000, 0.1, 0.1, 1.0));
+}
+
+// ----------------------------------------------------------- baseline MC --
+
+TEST(BaselineMcTest, ConvergesToEnumerationOracle) {
+  Dataset train = RandomClassDataset(8, 2, 3, 1);
+  Dataset test = SingleQuery(3, 2, 1);
+  KnnSubsetUtility utility(&train, &test, 2, KnnTask::kClassification);
+  auto oracle = ShapleyByEnumeration(utility);
+  BaselineMcOptions options;
+  options.max_permutations = 20000;
+  options.seed = 3;
+  auto mc = BaselineMcShapley(utility, options);
+  EXPECT_LE(MaxAbsDifference(mc.shapley, oracle), 0.02);
+}
+
+TEST(BaselineMcTest, HonorsPermutationCap) {
+  Dataset train = RandomClassDataset(10, 2, 3, 4);
+  Dataset test = SingleQuery(3, 5, 0);
+  KnnSubsetUtility utility(&train, &test, 1, KnnTask::kClassification);
+  BaselineMcOptions options;
+  options.max_permutations = 7;
+  auto mc = BaselineMcShapley(utility, options);
+  EXPECT_EQ(mc.permutations, 7);
+  EXPECT_EQ(mc.utility_evaluations, 7 * 11);  // N evals + empty set per permutation
+}
+
+TEST(BaselineMcTest, SnapshotCallbackFires) {
+  Dataset train = RandomClassDataset(6, 2, 3, 6);
+  Dataset test = SingleQuery(3, 7, 0);
+  KnnSubsetUtility utility(&train, &test, 1, KnnTask::kClassification);
+  BaselineMcOptions options;
+  options.max_permutations = 10;
+  options.snapshot_every = 5;
+  int fired = 0;
+  options.snapshot = [&](int64_t t, const std::vector<double>& estimate) {
+    ++fired;
+    EXPECT_EQ(estimate.size(), 6u);
+    EXPECT_TRUE(t == 5 || t == 10);
+  };
+  BaselineMcShapley(utility, options);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(BaselineMcTest, EpsilonDeltaGuaranteeEmpirically) {
+  // With the Hoeffding permutation count and r = 1/K, the estimate must be
+  // within epsilon of the truth (with margin to spare at delta = 0.1).
+  Dataset train = RandomClassDataset(12, 2, 3, 8);
+  Dataset test = SingleQuery(3, 9, 1);
+  const int k = 2;
+  KnnSubsetUtility utility(&train, &test, k, KnnTask::kClassification);
+  auto oracle = ShapleyByEnumeration(utility);
+  BaselineMcOptions options;
+  options.epsilon = 0.1;
+  options.delta = 0.1;
+  options.utility_range = 1.0 / k;
+  options.seed = 10;
+  auto mc = BaselineMcShapley(utility, options);
+  EXPECT_LE(MaxAbsDifference(mc.shapley, oracle), options.epsilon);
+}
+
+// ----------------------------------------- incremental utility invariant --
+
+struct IncrementalCase {
+  int n;
+  int k;
+  KnnTask task;
+  uint64_t seed;
+};
+
+class IncrementalUtilityTest : public ::testing::TestWithParam<IncrementalCase> {};
+
+TEST_P(IncrementalUtilityTest, MatchesBatchUtilityAlongPermutations) {
+  // The heap-incremental utility must equal the from-scratch utility for
+  // every prefix of random permutations — the core correctness property of
+  // Algorithm 2.
+  auto [n, k, task, seed] = GetParam();
+  bool regression = task == KnnTask::kRegression || task == KnnTask::kWeightedRegression;
+  Dataset train = regression
+                      ? RandomRegDataset(static_cast<size_t>(n), 3, seed)
+                      : RandomClassDataset(static_cast<size_t>(n), 3, 3, seed);
+  Dataset test = regression ? RandomRegDataset(2, 3, seed + 1)
+                            : RandomClassDataset(2, 3, 3, seed + 1);
+  WeightConfig weights;
+  weights.kernel = WeightKernel::kInverseDistance;
+  KnnSubsetUtility batch(&train, &test, k, task, weights);
+  IncrementalKnnUtility incremental(&train, &test, k, task, weights);
+  Rng rng(seed + 2);
+  for (int trial = 0; trial < 3; ++trial) {
+    auto perm = rng.Permutation(n);
+    incremental.Reset();
+    std::vector<int> prefix;
+    EXPECT_NEAR(incremental.EmptyValue(), batch.Value(prefix), 1e-9);
+    for (int i = 0; i < n; ++i) {
+      prefix.push_back(perm[static_cast<size_t>(i)]);
+      double inc = incremental.AddPlayer(perm[static_cast<size_t>(i)]);
+      double ref = batch.Value(prefix);
+      ASSERT_NEAR(inc, ref, 1e-9) << "prefix size " << prefix.size();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IncrementalUtilityTest,
+    ::testing::Values(
+        IncrementalCase{12, 1, KnnTask::kClassification, 1},
+        IncrementalCase{20, 3, KnnTask::kClassification, 2},
+        IncrementalCase{15, 2, KnnTask::kWeightedClassification, 3},
+        IncrementalCase{15, 2, KnnTask::kRegression, 4},
+        IncrementalCase{12, 3, KnnTask::kWeightedRegression, 5},
+        IncrementalCase{25, 5, KnnTask::kClassification, 6},
+        IncrementalCase{10, 10, KnnTask::kClassification, 7}));  // K = N
+
+TEST(IncrementalUtilityTest, SellerModeMatchesSellerBatchUtility) {
+  Dataset train = RandomClassDataset(18, 2, 3, 10);
+  Dataset test = RandomClassDataset(2, 2, 3, 11);
+  Rng org(12);
+  auto owners = OwnerAssignment::Random(18, 5, &org);
+  KnnSubsetUtility row_utility(&train, &test, 2, KnnTask::kClassification);
+  SellerSubsetUtility batch(&row_utility, &owners);
+  IncrementalKnnUtility incremental(&train, &test, 2, KnnTask::kClassification, {},
+                                    &owners);
+  EXPECT_EQ(incremental.NumPlayers(), 5);
+  Rng rng(13);
+  auto perm = rng.Permutation(5);
+  incremental.Reset();
+  std::vector<int> prefix;
+  for (int s : perm) {
+    prefix.push_back(s);
+    EXPECT_NEAR(incremental.AddPlayer(s), batch.Value(prefix), 1e-9);
+  }
+}
+
+// ----------------------------------------------------------- improved MC --
+
+TEST(ImprovedMcTest, MatchesExactShapleyWithinEpsilon) {
+  Dataset train = RandomClassDataset(40, 2, 4, 20);
+  Dataset test = RandomClassDataset(3, 2, 4, 21);
+  const int k = 2;
+  auto exact = ExactKnnShapley(train, test, k, false);
+  IncrementalKnnUtility utility(&train, &test, k, KnnTask::kClassification);
+  ImprovedMcOptions options;
+  options.k = k;
+  options.epsilon = 0.1;
+  options.delta = 0.05;
+  options.utility_range = 1.0 / k;
+  options.stopping = McStoppingRule::kBennett;
+  options.seed = 22;
+  auto mc = ImprovedMcShapley(&utility, options);
+  EXPECT_LE(MaxAbsDifference(mc.shapley, exact), options.epsilon);
+}
+
+TEST(ImprovedMcTest, RegressionMatchesTheorem6) {
+  Dataset train = RandomRegDataset(30, 3, 23);
+  // Scale targets to [-1, 1]-ish so the default range applies.
+  for (auto& t : train.targets) t = std::tanh(t);
+  Dataset test = RandomRegDataset(2, 3, 24);
+  for (auto& t : test.targets) t = std::tanh(t);
+  const int k = 3;
+  auto exact = ExactKnnRegressionShapley(train, test, k, false);
+  IncrementalKnnUtility utility(&train, &test, k, KnnTask::kRegression);
+  ImprovedMcOptions options;
+  options.k = k;
+  options.epsilon = 0.15;
+  options.delta = 0.05;
+  options.utility_range = 4.0;  // |nu| <= (max |y-t|)^2-ish
+  options.seed = 25;
+  auto mc = ImprovedMcShapley(&utility, options);
+  EXPECT_LE(MaxAbsDifference(mc.shapley, exact), options.epsilon);
+}
+
+TEST(ImprovedMcTest, HeuristicStopsEarlierThanBennett) {
+  Dataset train = RandomClassDataset(60, 2, 4, 26);
+  Dataset test = RandomClassDataset(2, 2, 4, 27);
+  IncrementalKnnUtility utility(&train, &test, 1, KnnTask::kClassification);
+  ImprovedMcOptions bennett;
+  bennett.k = 1;
+  bennett.epsilon = 0.1;
+  bennett.delta = 0.1;
+  bennett.utility_range = 1.0;
+  bennett.stopping = McStoppingRule::kBennett;
+  bennett.seed = 28;
+  auto full = ImprovedMcShapley(&utility, bennett);
+  ImprovedMcOptions heuristic = bennett;
+  heuristic.stopping = McStoppingRule::kHeuristic;
+  auto early = ImprovedMcShapley(&utility, heuristic);
+  EXPECT_LE(early.permutations, full.permutations);
+}
+
+TEST(ImprovedMcTest, StoppingRuleBudgetsOrdered) {
+  ImprovedMcOptions options;
+  options.k = 1;
+  options.epsilon = 0.1;
+  options.delta = 0.1;
+  options.utility_range = 1.0;
+  options.stopping = McStoppingRule::kHoeffding;
+  int64_t hoeffding = StoppingRulePermutations(options, 100000);
+  options.stopping = McStoppingRule::kBennett;
+  int64_t bennett = StoppingRulePermutations(options, 100000);
+  EXPECT_LT(bennett, hoeffding);
+}
+
+TEST(ImprovedMcTest, SellerGameEstimatesMatchTheorem8) {
+  Dataset train = RandomClassDataset(20, 2, 3, 30);
+  Dataset test = RandomClassDataset(2, 2, 3, 31);
+  Rng org(32);
+  auto owners = OwnerAssignment::Random(20, 5, &org);
+  MultiSellerShapleyOptions exact_options;
+  exact_options.k = 2;
+  exact_options.task = KnnTask::kClassification;
+  auto exact = MultiSellerShapley(train, owners, test, exact_options, false);
+  IncrementalKnnUtility utility(&train, &test, 2, KnnTask::kClassification, {},
+                                &owners);
+  ImprovedMcOptions options;
+  options.k = 2;
+  options.epsilon = 0.1;
+  options.delta = 0.05;
+  options.utility_range = 1.0;
+  options.seed = 33;
+  auto mc = ImprovedMcShapley(&utility, options);
+  EXPECT_LE(MaxAbsDifference(mc.shapley, exact), options.epsilon);
+}
+
+TEST(ImprovedMcTest, DeterministicGivenSeed) {
+  Dataset train = RandomClassDataset(15, 2, 3, 34);
+  Dataset test = RandomClassDataset(2, 2, 3, 35);
+  IncrementalKnnUtility u1(&train, &test, 1, KnnTask::kClassification);
+  IncrementalKnnUtility u2(&train, &test, 1, KnnTask::kClassification);
+  ImprovedMcOptions options;
+  options.k = 1;
+  options.max_permutations = 50;
+  options.seed = 36;
+  auto a = ImprovedMcShapley(&u1, options);
+  auto b = ImprovedMcShapley(&u2, options);
+  ExpectVectorNear(a.shapley, b.shapley, 0.0);
+}
+
+}  // namespace
+}  // namespace knnshap

@@ -1,0 +1,106 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.h"
+#include "knn/knn_classifier.h"
+#include "ml/logistic_regression.h"
+#include "test_util.h"
+
+namespace knnshap {
+namespace {
+
+using testing_util::RandomClassDataset;
+
+TEST(LogisticRegressionTest, LearnsLinearlySeparableData) {
+  Rng rng(1);
+  SyntheticSpec spec;
+  spec.num_classes = 2;
+  spec.dim = 4;
+  spec.size = 400;
+  spec.cluster_stddev = 0.1;
+  Dataset data = MakeGaussianMixture(spec, &rng);
+  Rng srng(2);
+  auto split = SplitTrainTest(data, 0.25, &srng);
+  LogisticRegression lr;
+  lr.Fit(split.train);
+  EXPECT_GT(lr.Accuracy(split.test), 0.97);
+}
+
+TEST(LogisticRegressionTest, MulticlassSoftmaxWorks) {
+  Rng rng(3);
+  SyntheticSpec spec;
+  spec.num_classes = 4;
+  spec.dim = 6;
+  spec.size = 800;
+  spec.cluster_stddev = 0.08;
+  Dataset data = MakeGaussianMixture(spec, &rng);
+  Rng srng(4);
+  auto split = SplitTrainTest(data, 0.25, &srng);
+  LogisticRegression lr;
+  lr.Fit(split.train);
+  EXPECT_GT(lr.Accuracy(split.test), 0.95);
+  EXPECT_EQ(lr.NumClasses(), 4);
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesSumToOne) {
+  Rng rng(5);
+  Dataset data = RandomClassDataset(50, 3, 4, 6);
+  LogisticRegression lr;
+  lr.Fit(data);
+  auto proba = lr.PredictProba(data.features.Row(0));
+  double total = 0.0;
+  for (double p : proba) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(LogisticRegressionTest, SubsetTrainingUsesOnlyGivenRows) {
+  // Train on a subset whose labels are all class 1: the model must predict
+  // class 1 everywhere.
+  Dataset data = RandomClassDataset(30, 2, 3, 7);
+  std::vector<int> ones;
+  for (size_t i = 0; i < data.Size(); ++i) {
+    if (data.labels[i] == 1) ones.push_back(static_cast<int>(i));
+  }
+  ASSERT_GE(ones.size(), 2u);
+  LogisticRegressionOptions options;
+  options.num_classes = 2;
+  LogisticRegression lr(options);
+  lr.FitSubset(data, ones);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(lr.Predict(data.features.Row(i)), 1);
+  }
+}
+
+TEST(LogisticRegressionTest, EmptySubsetFallsBackToDefault) {
+  Dataset data = RandomClassDataset(10, 2, 3, 8);
+  LogisticRegressionOptions options;
+  options.num_classes = 2;
+  LogisticRegression lr(options);
+  lr.FitSubset(data, {});
+  // Zero weights: class 0 wins ties deterministically.
+  EXPECT_EQ(lr.Predict(data.features.Row(0)), 0);
+}
+
+TEST(LogisticRegressionTest, ComparableToKnnOnDeepLikeFeatures) {
+  // Fig 8's qualitative claim: on deep-feature-like (well-clustered) data,
+  // KNN accuracy is comparable to logistic regression.
+  Rng rng(9);
+  Dataset data = MakeCifar10Like(2500, &rng);
+  Rng srng(10);
+  auto split = SplitTrainTest(data, 0.2, &srng);
+  LogisticRegression lr;
+  lr.Fit(split.train);
+  KnnClassifier knn(&split.train, 1);
+  double lr_acc = lr.Accuracy(split.test);
+  double knn_acc = knn.Accuracy(split.test);
+  EXPECT_GT(lr_acc, 0.9);
+  EXPECT_GT(knn_acc, 0.9);
+  EXPECT_NEAR(lr_acc, knn_acc, 0.08);
+}
+
+}  // namespace
+}  // namespace knnshap

@@ -1,0 +1,178 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Validation of Theorem 8 (multi-data-per-seller Shapley in O(M^K)) and
+// Theorem 12 (its composite-game analog) against the enumeration oracle
+// over seller-level games.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/exact_enumeration.h"
+#include "core/exact_knn_shapley.h"
+#include "core/multi_seller_shapley.h"
+#include "core/utility.h"
+#include "test_util.h"
+
+namespace knnshap {
+namespace {
+
+using testing_util::ExpectVectorNear;
+using testing_util::RandomClassDataset;
+using testing_util::RandomRegDataset;
+using testing_util::SingleQuery;
+
+struct SellerCase {
+  int rows;
+  int sellers;
+  int k;
+  uint64_t seed;
+};
+
+class MultiSellerVsOracleTest : public ::testing::TestWithParam<SellerCase> {};
+
+TEST_P(MultiSellerVsOracleTest, ClassificationMatchesSellerOracle) {
+  auto [rows, sellers, k, seed] = GetParam();
+  Dataset train = RandomClassDataset(static_cast<size_t>(rows), 2, 3, seed);
+  Dataset test = SingleQuery(3, seed + 11, 1);
+  Rng rng(seed + 22);
+  auto owners = OwnerAssignment::Random(static_cast<size_t>(rows), sellers, &rng);
+  KnnSubsetUtility row_utility(&train, &test, k, KnnTask::kClassification);
+  SellerSubsetUtility seller_utility(&row_utility, &owners);
+  auto oracle = ShapleyByEnumeration(seller_utility);
+  MultiSellerShapleyOptions options;
+  options.k = k;
+  options.task = KnnTask::kClassification;
+  auto fast = MultiSellerShapley(train, owners, test, options, /*parallel=*/false);
+  ExpectVectorNear(fast, oracle, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiSellerVsOracleTest,
+    ::testing::Values(SellerCase{6, 3, 1, 1}, SellerCase{10, 4, 1, 2},
+                      SellerCase{12, 4, 2, 3}, SellerCase{14, 5, 2, 4},
+                      SellerCase{12, 6, 3, 5}, SellerCase{16, 4, 3, 6},
+                      SellerCase{9, 9, 2, 7},    // one row per seller
+                      SellerCase{18, 3, 2, 8},   // many rows per seller
+                      SellerCase{10, 5, 5, 9},   // K = M
+                      SellerCase{8, 4, 6, 10})); // K > M
+
+TEST(MultiSellerTest, WeightedTaskMatchesOracle) {
+  Dataset train = RandomClassDataset(12, 2, 3, 20);
+  Dataset test = SingleQuery(3, 21, 0);
+  Rng rng(22);
+  auto owners = OwnerAssignment::Random(12, 4, &rng);
+  WeightConfig weights;
+  weights.kernel = WeightKernel::kInverseDistance;
+  KnnSubsetUtility row_utility(&train, &test, 2, KnnTask::kWeightedClassification,
+                               weights);
+  SellerSubsetUtility seller_utility(&row_utility, &owners);
+  auto oracle = ShapleyByEnumeration(seller_utility);
+  MultiSellerShapleyOptions options;
+  options.k = 2;
+  options.task = KnnTask::kWeightedClassification;
+  options.weights = weights;
+  auto fast = MultiSellerShapley(train, owners, test, options, false);
+  ExpectVectorNear(fast, oracle, 1e-9);
+}
+
+TEST(MultiSellerTest, RegressionTaskMatchesOracle) {
+  Dataset train = RandomRegDataset(12, 3, 23);
+  Dataset test = SingleQuery(3, 24, 0, 0.6);
+  Rng rng(25);
+  auto owners = OwnerAssignment::Random(12, 4, &rng);
+  KnnSubsetUtility row_utility(&train, &test, 2, KnnTask::kRegression);
+  SellerSubsetUtility seller_utility(&row_utility, &owners);
+  auto oracle = ShapleyByEnumeration(seller_utility);
+  MultiSellerShapleyOptions options;
+  options.k = 2;
+  options.task = KnnTask::kRegression;
+  auto fast = MultiSellerShapley(train, owners, test, options, false);
+  ExpectVectorNear(fast, oracle, 1e-9);
+}
+
+TEST(MultiSellerTest, SingleRowPerSellerReducesToPointShapley) {
+  // With one row per seller the seller game *is* the point game, so
+  // Theorem 8 must reproduce Theorem 1 exactly.
+  Dataset train = RandomClassDataset(15, 3, 4, 30);
+  Dataset test = RandomClassDataset(3, 3, 4, 31);
+  std::vector<int> owner_of(15);
+  std::iota(owner_of.begin(), owner_of.end(), 0);
+  OwnerAssignment owners(owner_of);
+  MultiSellerShapleyOptions options;
+  options.k = 2;
+  options.task = KnnTask::kClassification;
+  auto seller_sv = MultiSellerShapley(train, owners, test, options, false);
+  auto point_sv = ExactKnnShapley(train, test, 2, false);
+  ExpectVectorNear(seller_sv, point_sv, 1e-9);
+}
+
+TEST(MultiSellerTest, GroupRationality) {
+  Dataset train = RandomClassDataset(20, 2, 4, 32);
+  Dataset test = RandomClassDataset(4, 2, 4, 33);
+  Rng rng(34);
+  auto owners = OwnerAssignment::Random(20, 6, &rng);
+  MultiSellerShapleyOptions options;
+  options.k = 3;
+  options.task = KnnTask::kClassification;
+  auto sv = MultiSellerShapley(train, owners, test, options, false);
+  KnnSubsetUtility utility(&train, &test, 3, KnnTask::kClassification);
+  EXPECT_NEAR(std::accumulate(sv.begin(), sv.end(), 0.0), utility.GrandValue(), 1e-9);
+}
+
+TEST(MultiSellerTest, SellerWithAllWrongLabelsGetsNonPositiveTotal) {
+  // A seller whose rows all carry the wrong label can only hurt accuracy.
+  Dataset train;
+  train.features = Matrix(8, 1);
+  for (size_t i = 0; i < 8; ++i) train.features.At(i, 0) = 1.0f + 0.1f * i;
+  train.labels = {1, 1, 0, 0, 1, 1, 1, 1};
+  Dataset test;
+  test.features = Matrix(1, 1);
+  test.features.At(0, 0) = 0.0f;
+  test.labels = {1};
+  // Seller 1 owns the two wrong-label rows (2, 3).
+  OwnerAssignment owners({0, 0, 1, 1, 2, 2, 3, 3});
+  MultiSellerShapleyOptions options;
+  options.k = 2;
+  options.task = KnnTask::kClassification;
+  auto sv = MultiSellerShapley(train, owners, test, options, false);
+  EXPECT_LT(sv[1], 1e-12);
+  for (int s : {0, 2, 3}) EXPECT_GE(sv[static_cast<size_t>(s)], -1e-12);
+}
+
+// ---------------------- composite game (Theorem 12) -----------------------
+
+class CompositeMultiSellerVsOracleTest
+    : public ::testing::TestWithParam<SellerCase> {};
+
+TEST_P(CompositeMultiSellerVsOracleTest, MatchesCompositeSellerOracle) {
+  auto [rows, sellers, k, seed] = GetParam();
+  Dataset train = RandomClassDataset(static_cast<size_t>(rows), 2, 3, seed);
+  Dataset test = SingleQuery(3, seed + 44, 1);
+  Rng rng(seed + 55);
+  auto owners = OwnerAssignment::Random(static_cast<size_t>(rows), sellers, &rng);
+  KnnSubsetUtility row_utility(&train, &test, k, KnnTask::kClassification);
+  SellerSubsetUtility seller_utility(&row_utility, &owners);
+  CompositeSubsetUtility composite(&seller_utility);
+  auto oracle = ShapleyByEnumeration(composite);
+  MultiSellerShapleyOptions options;
+  options.k = k;
+  options.task = KnnTask::kClassification;
+  options.composite_game = true;
+  auto fast = MultiSellerShapley(train, owners, test, options, false);
+  for (int s = 0; s < sellers; ++s) {
+    EXPECT_NEAR(fast[static_cast<size_t>(s)], oracle[static_cast<size_t>(s)], 1e-9);
+  }
+  double seller_total = std::accumulate(fast.begin(), fast.end(), 0.0);
+  EXPECT_NEAR(row_utility.GrandValue() - seller_total,
+              oracle[static_cast<size_t>(sellers)], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CompositeMultiSellerVsOracleTest,
+                         ::testing::Values(SellerCase{8, 3, 1, 60},
+                                           SellerCase{10, 4, 2, 61},
+                                           SellerCase{12, 5, 2, 62},
+                                           SellerCase{12, 4, 3, 63}));
+
+}  // namespace
+}  // namespace knnshap

@@ -1,0 +1,122 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Sign-random-projection (SimHash) LSH for the cosine metric [Cha02].
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dataset/synthetic.h"
+#include "knn/neighbors.h"
+#include "lsh/srp.h"
+#include "test_util.h"
+
+namespace knnshap {
+namespace {
+
+using testing_util::RandomClassDataset;
+
+TEST(SrpTest, BitCollisionProbabilityEndpoints) {
+  EXPECT_DOUBLE_EQ(SrpBitCollisionProbability(0.0), 1.0);
+  EXPECT_NEAR(SrpBitCollisionProbability(std::numbers::pi), 0.0, 1e-12);
+  EXPECT_NEAR(SrpBitCollisionProbability(std::numbers::pi / 2.0), 0.5, 1e-12);
+}
+
+TEST(SrpTest, AngleBetweenKnownVectors) {
+  std::vector<float> x = {1.0f, 0.0f}, y = {0.0f, 1.0f}, neg = {-1.0f, 0.0f};
+  EXPECT_NEAR(AngleBetween(x, y), std::numbers::pi / 2.0, 1e-9);
+  EXPECT_NEAR(AngleBetween(x, x), 0.0, 1e-6);
+  EXPECT_NEAR(AngleBetween(x, neg), std::numbers::pi, 1e-9);
+}
+
+TEST(SrpTest, EmpiricalBitCollisionMatchesTheory) {
+  // Charikar's identity: P[sign(w.x) == sign(w.y)] = 1 - angle/pi.
+  Rng rng(1);
+  std::vector<float> x = {1.0f, 0.0f, 0.0f};
+  // y at 60 degrees from x in the xy-plane.
+  double theta = std::numbers::pi / 3.0;
+  std::vector<float> y = {static_cast<float>(std::cos(theta)),
+                          static_cast<float>(std::sin(theta)), 0.0f};
+  int collisions = 0;
+  const int trials = 30000;
+  for (int t = 0; t < trials; ++t) {
+    SrpHash hash(3, 1, &rng);
+    collisions += hash.Signature(x) == hash.Signature(y);
+  }
+  EXPECT_NEAR(static_cast<double>(collisions) / trials,
+              SrpBitCollisionProbability(theta), 0.01);
+}
+
+TEST(SrpTest, SignatureDeterministic) {
+  Rng rng(2);
+  SrpHash hash(8, 16, &rng);
+  std::vector<float> x = {1, -2, 3, -4, 5, -6, 7, -8};
+  EXPECT_EQ(hash.Signature(x), hash.Signature(x));
+}
+
+TEST(SrpTest, ScaleInvariance) {
+  // SimHash depends only on direction.
+  Rng rng(3);
+  SrpHash hash(4, 32, &rng);
+  std::vector<float> x = {0.5f, -1.0f, 2.0f, 0.25f};
+  std::vector<float> scaled = {1.5f, -3.0f, 6.0f, 0.75f};
+  EXPECT_EQ(hash.Signature(x), hash.Signature(scaled));
+}
+
+TEST(SrpIndexTest, SelfQueryReturnsSelf) {
+  Dataset data = RandomClassDataset(300, 2, 8, 4);
+  SrpConfig config;
+  config.bits = 8;
+  config.num_tables = 16;
+  SrpIndex index(&data.features, config);
+  auto result = index.Query(data.features.Row(17), 1);
+  ASSERT_FALSE(result.empty());
+  EXPECT_EQ(result[0].index, 17);
+}
+
+TEST(SrpIndexTest, ResultsSortedByCosineDistance) {
+  Dataset data = RandomClassDataset(400, 2, 8, 5);
+  SrpConfig config;
+  config.bits = 6;
+  config.num_tables = 12;
+  SrpIndex index(&data.features, config);
+  size_t candidates = 0;
+  auto result = index.Query(data.features.Row(0), 10, &candidates);
+  EXPECT_GE(candidates, result.size());
+  for (size_t i = 1; i < result.size(); ++i) {
+    EXPECT_LE(result[i - 1].distance, result[i].distance);
+  }
+}
+
+TEST(SrpIndexTest, HighRecallWithGenerousTables) {
+  Rng rng(6);
+  Dataset data = MakeMnistLike(2000, &rng);
+  SrpConfig config;
+  config.bits = 10;
+  config.num_tables = 48;
+  SrpIndex index(&data.features, config);
+  double recall = 0.0;
+  for (size_t q = 0; q < 25; ++q) {
+    recall += index.Recall(data.features.Row(q * 13), 10);
+  }
+  EXPECT_GT(recall / 25.0, 0.85);
+}
+
+TEST(SrpIndexTest, MoreBitsFewerCandidates) {
+  Dataset data = RandomClassDataset(2000, 2, 16, 7);
+  SrpConfig coarse;
+  coarse.bits = 4;
+  coarse.num_tables = 4;
+  SrpConfig fine = coarse;
+  fine.bits = 16;
+  SrpIndex coarse_index(&data.features, coarse);
+  SrpIndex fine_index(&data.features, fine);
+  size_t coarse_candidates = 0, fine_candidates = 0;
+  coarse_index.Query(data.features.Row(3), 5, &coarse_candidates);
+  fine_index.Query(data.features.Row(3), 5, &fine_candidates);
+  EXPECT_GT(coarse_candidates, fine_candidates);
+}
+
+}  // namespace
+}  // namespace knnshap

@@ -1,0 +1,125 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// StreamingValuator: the online API must agree with the batch truncated /
+// exact algorithms and respect the Theorem-2 error budget, across all
+// three retrieval backends.
+
+#include <gtest/gtest.h>
+
+#include "core/exact_knn_shapley.h"
+#include "core/lsh_knn_shapley.h"
+#include "core/streaming_valuator.h"
+#include "dataset/synthetic.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace knnshap {
+namespace {
+
+struct StreamSetup {
+  Dataset corpus;
+  Dataset queries;
+};
+
+StreamSetup MakeSetup(size_t n, size_t q, uint64_t seed) {
+  Rng rng(seed);
+  Dataset all = MakeMnistLike(n + q, &rng);
+  StreamSetup setup;
+  std::vector<int> corpus_rows, query_rows;
+  for (size_t i = 0; i < n; ++i) corpus_rows.push_back(static_cast<int>(i));
+  for (size_t i = 0; i < q; ++i) query_rows.push_back(static_cast<int>(n + i));
+  setup.corpus = all.Subset(corpus_rows);
+  setup.queries = all.Subset(query_rows);
+  return setup;
+}
+
+class BackendTest : public ::testing::TestWithParam<RetrievalBackend> {};
+
+TEST_P(BackendTest, WithinEpsilonOfExactBatch) {
+  auto setup = MakeSetup(1500, 10, 1);
+  StreamingValuatorOptions options;
+  options.k = 2;
+  options.epsilon = 0.1;
+  options.backend = GetParam();
+  StreamingValuator valuator(setup.corpus, options);
+  for (size_t j = 0; j < setup.queries.Size(); ++j) {
+    valuator.ProcessQuery(setup.queries.features.Row(j), setup.queries.labels[j]);
+  }
+  EXPECT_EQ(valuator.QueriesSeen(), 10u);
+  // Scaling features by 1/D_mean does not change neighbor *order*, so the
+  // exact values of the original corpus are the reference.
+  auto exact = ExactKnnShapley(setup.corpus, setup.queries, 2);
+  double slack = GetParam() == RetrievalBackend::kLsh ? 0.05 : 1e-9;
+  EXPECT_LE(MaxAbsDifference(valuator.Values(), exact), options.epsilon + slack);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendTest,
+                         ::testing::Values(RetrievalBackend::kBruteForce,
+                                           RetrievalBackend::kKdTree,
+                                           RetrievalBackend::kLsh));
+
+TEST(StreamingValuatorTest, ExactBackendsMatchBatchTruncated) {
+  auto setup = MakeSetup(800, 6, 2);
+  const int k = 1;
+  const double eps = 0.2;
+  auto batch = TruncatedKnnShapley(setup.corpus, setup.queries, k, eps);
+  for (auto backend : {RetrievalBackend::kBruteForce, RetrievalBackend::kKdTree}) {
+    StreamingValuatorOptions options;
+    options.k = k;
+    options.epsilon = eps;
+    options.backend = backend;
+    StreamingValuator valuator(setup.corpus, options);
+    for (size_t j = 0; j < setup.queries.Size(); ++j) {
+      valuator.ProcessQuery(setup.queries.features.Row(j),
+                            setup.queries.labels[j]);
+    }
+    testing_util::ExpectVectorNear(valuator.Values(), batch, 1e-9);
+  }
+}
+
+TEST(StreamingValuatorTest, TouchesAtMostKStarPointsPerQuery) {
+  auto setup = MakeSetup(500, 3, 3);
+  StreamingValuatorOptions options;
+  options.k = 1;
+  options.epsilon = 0.25;  // K* = 4
+  options.backend = RetrievalBackend::kBruteForce;
+  StreamingValuator valuator(setup.corpus, options);
+  EXPECT_EQ(valuator.KStarDepth(), 4);
+  for (size_t j = 0; j < setup.queries.Size(); ++j) {
+    size_t touched = valuator.ProcessQuery(setup.queries.features.Row(j),
+                                           setup.queries.labels[j]);
+    EXPECT_LE(touched, 4u);
+  }
+}
+
+TEST(StreamingValuatorTest, RunningMeanMatchesPrefixBatch) {
+  // After q queries the running values must equal the batch valuation of
+  // exactly those q queries (additivity).
+  auto setup = MakeSetup(600, 5, 4);
+  StreamingValuatorOptions options;
+  options.k = 2;
+  options.epsilon = 0.1;
+  options.backend = RetrievalBackend::kBruteForce;
+  StreamingValuator valuator(setup.corpus, options);
+  for (size_t q = 0; q < setup.queries.Size(); ++q) {
+    valuator.ProcessQuery(setup.queries.features.Row(q), setup.queries.labels[q]);
+    std::vector<int> prefix_rows;
+    for (size_t j = 0; j <= q; ++j) prefix_rows.push_back(static_cast<int>(j));
+    Dataset prefix = setup.queries.Subset(prefix_rows);
+    auto batch = TruncatedKnnShapley(setup.corpus, prefix, 2, 0.1);
+    testing_util::ExpectVectorNear(valuator.Values(), batch, 1e-9);
+  }
+}
+
+TEST(StreamingValuatorTest, ContrastEstimatePositive) {
+  auto setup = MakeSetup(400, 2, 5);
+  StreamingValuatorOptions options;
+  options.backend = RetrievalBackend::kLsh;
+  StreamingValuator valuator(setup.corpus, options);
+  EXPECT_GT(valuator.Contrast(), 1.0);
+  ASSERT_NE(valuator.LshConfiguration(), nullptr);
+  EXPECT_GE(valuator.LshConfiguration()->num_tables, 1u);
+}
+
+}  // namespace
+}  // namespace knnshap

@@ -1,0 +1,162 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Validation of Theorems 2 and 4: the truncated recursion's epsilon error
+// bound, rank preservation among the K* nearest neighbors, and the
+// LSH-backed pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_knn_shapley.h"
+#include "core/lsh_knn_shapley.h"
+#include "dataset/contrast.h"
+#include "dataset/synthetic.h"
+#include "lsh/tuning.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace knnshap {
+namespace {
+
+using testing_util::RandomClassDataset;
+
+TEST(KStarTest, MatchesDefinition) {
+  EXPECT_EQ(KStar(1, 0.1), 10);
+  EXPECT_EQ(KStar(1, 0.5), 2);
+  EXPECT_EQ(KStar(50, 0.1), 50);   // K dominates
+  EXPECT_EQ(KStar(2, 0.01), 100);  // 1/eps dominates
+  EXPECT_EQ(KStar(3, 0.3), 4);     // ceil(1/0.3) = 4
+}
+
+struct TruncCase {
+  int n;
+  int k;
+  double epsilon;
+  uint64_t seed;
+};
+
+class TruncatedErrorTest : public ::testing::TestWithParam<TruncCase> {};
+
+TEST_P(TruncatedErrorTest, ErrorBoundedByEpsilon) {
+  auto [n, k, epsilon, seed] = GetParam();
+  Dataset train = RandomClassDataset(static_cast<size_t>(n), 3, 4, seed);
+  Dataset test = RandomClassDataset(3, 3, 4, seed + 1);
+  auto exact = ExactKnnShapley(train, test, k, false);
+  auto truncated = TruncatedKnnShapley(train, test, k, epsilon, false);
+  // Theorem 2: the truncated values are an (epsilon, 0)-approximation.
+  EXPECT_LE(MaxAbsDifference(exact, truncated), epsilon + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TruncatedErrorTest,
+    ::testing::Values(TruncCase{200, 1, 0.1, 1}, TruncCase{200, 5, 0.1, 2},
+                      TruncCase{500, 1, 0.05, 3}, TruncCase{500, 3, 0.02, 4},
+                      TruncCase{100, 2, 0.5, 5}, TruncCase{50, 1, 1.0, 6},
+                      TruncCase{300, 10, 0.01, 7},
+                      TruncCase{30, 1, 0.001, 8}));  // K* > N degenerates to exact
+
+TEST(TruncatedShapleyTest, KStarBeyondNEqualsExact) {
+  Dataset train = RandomClassDataset(25, 2, 3, 10);
+  Dataset test = RandomClassDataset(2, 2, 3, 11);
+  auto exact = ExactKnnShapley(train, test, 2, false);
+  auto truncated = TruncatedKnnShapley(train, test, 2, /*epsilon=*/1e-6, false);
+  testing_util::ExpectVectorNear(exact, truncated, 1e-12);
+}
+
+TEST(TruncatedShapleyTest, RankPreservedAmongTopKStar) {
+  // Theorem 2: s-hat_i - s-hat_{i+1} = s_i - s_{i+1} for i <= K*-1, so the
+  // value *ranking* of the K* nearest neighbors is preserved.
+  Dataset train = RandomClassDataset(150, 2, 4, 12);
+  Dataset test = RandomClassDataset(1, 2, 4, 13);
+  const int k = 2;
+  const double eps = 0.05;  // K* = 20
+  auto order = ArgsortByDistance(train.features, test.features.Row(0));
+  auto exact = ExactKnnShapley(train, test, k, false);
+  auto truncated = TruncatedKnnShapley(train, test, k, eps, false);
+  int k_star = KStar(k, eps);
+  for (int i = 0; i + 1 < k_star - 1; ++i) {
+    double d_exact = exact[static_cast<size_t>(order[static_cast<size_t>(i)])] -
+                     exact[static_cast<size_t>(order[static_cast<size_t>(i + 1)])];
+    double d_trunc =
+        truncated[static_cast<size_t>(order[static_cast<size_t>(i)])] -
+        truncated[static_cast<size_t>(order[static_cast<size_t>(i + 1)])];
+    EXPECT_NEAR(d_exact, d_trunc, 1e-10) << "rank " << i;
+  }
+}
+
+TEST(TruncatedShapleyTest, FarPointsGetExactlyZero) {
+  Dataset train = RandomClassDataset(100, 2, 4, 14);
+  Dataset test = RandomClassDataset(1, 2, 4, 15);
+  const int k = 1;
+  const double eps = 0.2;  // K* = 5
+  auto truncated = TruncatedKnnShapley(train, test, k, eps, false);
+  auto order = ArgsortByDistance(train.features, test.features.Row(0));
+  int k_star = KStar(k, eps);
+  size_t nonzero = 0;
+  for (size_t i = static_cast<size_t>(k_star); i < order.size(); ++i) {
+    nonzero += truncated[static_cast<size_t>(order[i])] != 0.0;
+  }
+  EXPECT_EQ(nonzero, 0u);
+}
+
+TEST(TruncatedShapleyTest, EmptyNeighborListYieldsNoValues) {
+  Dataset train = RandomClassDataset(10, 2, 3, 16);
+  auto sv = TruncatedShapleyFromNeighbors(train, {}, 1, 1, 5);
+  EXPECT_TRUE(sv.empty());
+}
+
+TEST(LshShapleyTest, MatchesTruncatedWhenRecallIsPerfect) {
+  // With a generously tuned index, LSH retrieval returns the true top-K*
+  // and the LSH Shapley values equal the truncated-exact ones.
+  Rng rng(17);
+  Dataset train = MakeHighContrast(1200, &rng);
+  Dataset test;
+  {
+    std::vector<int> rows;
+    for (int i = 0; i < 5; ++i) rows.push_back(i * 31);
+    test = train.Subset(rows);
+  }
+  const int k = 2;
+  const double eps = 0.25;  // K* = 4: small retrieval depth
+  LshConfig config;
+  config.width = 4.0;
+  config.num_projections = 6;
+  config.num_tables = 48;
+  LshIndex index(&train.features, config);
+  auto truncated = TruncatedKnnShapley(train, test, k, eps, false);
+  LshShapleyStats stats;
+  auto lsh = LshKnnShapley(train, test, k, eps, index, &stats);
+  EXPECT_EQ(stats.queries, 5u);
+  EXPECT_GT(stats.mean_returned, 3.0);
+  EXPECT_LE(MaxAbsDifference(truncated, lsh), 0.05);
+}
+
+TEST(LshShapleyTest, ErrorWithinEpsilonOfExactOnTunedIndex) {
+  // Theorem 4 end-to-end: tuned index (delta = 0.1) => (eps, delta)
+  // approximation of the exact values.
+  Rng rng(18);
+  Dataset train = MakeHighContrast(2000, &rng);
+  std::vector<int> rows;
+  for (int i = 0; i < 8; ++i) rows.push_back(1 + i * 17);
+  Dataset test = train.Subset(rows);
+  const int k = 1;
+  const double eps = 0.1;
+  const int k_star = KStar(k, eps);
+  Rng crng(19);
+  auto contrast = EstimateRelativeContrast(train, test, k_star, 8, 2000, &crng);
+  Dataset normalized = train;
+  normalized.features.Scale(1.0 / contrast.d_mean);
+  Dataset normalized_test = test;
+  normalized_test.features.Scale(1.0 / contrast.d_mean);
+  LshConfig config =
+      TuneForContrast(normalized.Size(), contrast.c_k, k_star, /*delta=*/0.1);
+  LshIndex index(&normalized.features, config);
+  auto exact = ExactKnnShapley(normalized, normalized_test, k, false);
+  auto approx = LshKnnShapley(normalized, normalized_test, k, eps, index);
+  // Allow a small slack over eps for the delta-probability misses.
+  EXPECT_LE(MaxAbsDifference(exact, approx), eps + 0.05);
+}
+
+}  // namespace
+}  // namespace knnshap

@@ -1,0 +1,177 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// knnshap_value — command-line data valuation over CSV feature dumps.
+//
+//   knnshap_value --train=train.csv --test=test.csv --out=values.csv
+//                 [--task=classification|regression]
+//                 [--method=exact|truncated|lsh|mc]
+//                 [--k=5] [--epsilon=0.1] [--delta=0.1] [--weighted]
+//
+// CSV format: one point per row, features first, label/target in the last
+// column (a header row is auto-detected). Values are written as
+// index,value[,label] rows.
+//
+//   knnshap_value --selftest   exercises the full pipeline on generated
+//                              data and exits nonzero on any mismatch.
+
+#include <cstdio>
+#include <numeric>
+#include <string>
+
+#include "core/exact_knn_shapley.h"
+#include "core/improved_mc.h"
+#include "core/knn_regression_shapley.h"
+#include "core/lsh_knn_shapley.h"
+#include "core/streaming_valuator.h"
+#include "core/weighted_knn_shapley.h"
+#include "dataset/io.h"
+#include "dataset/synthetic.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+using namespace knnshap;
+
+namespace {
+
+int Usage(const char* msg) {
+  std::fprintf(stderr, "error: %s\n", msg);
+  std::fprintf(stderr,
+               "usage: knnshap_value --train=T.csv --test=E.csv --out=V.csv\n"
+               "       [--task=classification|regression] [--method=exact|"
+               "truncated|lsh|mc]\n"
+               "       [--k=5] [--epsilon=0.1] [--delta=0.1] [--weighted]\n"
+               "       knnshap_value --selftest\n");
+  return 2;
+}
+
+std::vector<double> Compute(const Dataset& train, const Dataset& test,
+                            const std::string& task, const std::string& method,
+                            int k, double epsilon, double delta, bool weighted) {
+  if (weighted) {
+    WeightedShapleyOptions options;
+    options.k = k;
+    options.weights.kernel = WeightKernel::kInverseDistance;
+    options.task = task == "regression" ? KnnTask::kWeightedRegression
+                                        : KnnTask::kWeightedClassification;
+    return ExactWeightedKnnShapley(train, test, options);
+  }
+  if (task == "regression") {
+    return ExactKnnRegressionShapley(train, test, k);
+  }
+  if (method == "exact") {
+    return ExactKnnShapley(train, test, k);
+  }
+  if (method == "truncated") {
+    return TruncatedKnnShapley(train, test, k, epsilon);
+  }
+  if (method == "lsh") {
+    // The StreamingValuator bundles contrast estimation, normalization and
+    // Theorem-3 tuning; feeding it the test set reproduces LshKnnShapley.
+    StreamingValuatorOptions options;
+    options.k = k;
+    options.epsilon = epsilon;
+    options.delta = delta;
+    StreamingValuator valuator(train, options);
+    for (size_t j = 0; j < test.Size(); ++j) {
+      valuator.ProcessQuery(test.features.Row(j), test.labels[j]);
+    }
+    return valuator.Values();
+  }
+  if (method == "mc") {
+    IncrementalKnnUtility utility(&train, &test, k, KnnTask::kClassification);
+    ImprovedMcOptions options;
+    options.k = k;
+    options.epsilon = epsilon;
+    options.delta = delta;
+    options.utility_range = 1.0 / k;
+    return ImprovedMcShapley(&utility, options).shapley;
+  }
+  std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
+  std::exit(2);
+}
+
+int SelfTest() {
+  // Generate, save, reload, value with every method, verify agreement.
+  Rng rng(5);
+  Dataset data = MakeMnistLike(400, &rng);
+  Rng srng(6);
+  auto split = SplitTrainTest(data, 0.1, &srng);
+  std::string dir = "/tmp";
+  std::string train_path = dir + "/knnshap_selftest_train.csv";
+  std::string test_path = dir + "/knnshap_selftest_test.csv";
+  if (!SaveCsvDataset(split.train, train_path) ||
+      !SaveCsvDataset(split.test, test_path)) {
+    std::fprintf(stderr, "selftest: save failed\n");
+    return 1;
+  }
+  auto train = LoadCsvDataset(train_path, CsvTarget::kLabel);
+  auto test = LoadCsvDataset(test_path, CsvTarget::kLabel);
+  if (!train.ok() || !test.ok() || train.rows_skipped || test.rows_skipped) {
+    std::fprintf(stderr, "selftest: reload failed\n");
+    return 1;
+  }
+  auto exact = Compute(train.data, test.data, "classification", "exact", 3, 0.1,
+                       0.1, false);
+  auto reference = ExactKnnShapley(split.train, split.test, 3);
+  // float32 round-trip through text: tolerate tiny differences.
+  if (MaxAbsDifference(exact, reference) > 1e-4) {
+    std::fprintf(stderr, "selftest: CSV round-trip changed exact values\n");
+    return 1;
+  }
+  for (const char* method : {"truncated", "lsh", "mc"}) {
+    auto approx = Compute(train.data, test.data, "classification", method, 3,
+                          0.1, 0.1, false);
+    double err = MaxAbsDifference(approx, exact);
+    if (err > 0.12) {  // eps=0.1 plus retrieval slack
+      std::fprintf(stderr, "selftest: %s error %.4f exceeds budget\n", method, err);
+      return 1;
+    }
+  }
+  std::remove(train_path.c_str());
+  std::remove(test_path.c_str());
+  std::printf("selftest: all methods within budget\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  if (cli.Has("selftest")) return SelfTest();
+
+  std::string train_path = cli.GetString("train", "");
+  std::string test_path = cli.GetString("test", "");
+  std::string out_path = cli.GetString("out", "");
+  if (train_path.empty() || test_path.empty() || out_path.empty()) {
+    return Usage("--train, --test and --out are required");
+  }
+  std::string task = cli.GetString("task", "classification");
+  std::string method = cli.GetString("method", "exact");
+  int k = cli.GetInt("k", 5);
+  double epsilon = cli.GetDouble("epsilon", 0.1);
+  double delta = cli.GetDouble("delta", 0.1);
+  bool weighted = cli.Has("weighted");
+  CsvTarget target = task == "regression" ? CsvTarget::kTarget : CsvTarget::kLabel;
+
+  auto train = LoadCsvDataset(train_path, target);
+  if (!train.ok()) return Usage(train.error.c_str());
+  auto test = LoadCsvDataset(test_path, target);
+  if (!test.ok()) return Usage(test.error.c_str());
+  std::printf("train: %zu rows (%zu skipped), test: %zu rows, dim %zu\n",
+              train.rows_parsed, train.rows_skipped, test.rows_parsed,
+              train.data.Dim());
+
+  WallTimer timer;
+  auto values =
+      Compute(train.data, test.data, task, method, k, epsilon, delta, weighted);
+  std::printf("%s/%s valuation of %zu points in %.3fs\n", task.c_str(),
+              method.c_str(), values.size(), timer.Seconds());
+
+  if (!SaveValuesCsv(values, train.data, out_path)) {
+    return Usage(("cannot write " + out_path).c_str());
+  }
+  double total = std::accumulate(values.begin(), values.end(), 0.0);
+  std::printf("wrote %s (sum of values = %.6f)\n", out_path.c_str(), total);
+  return 0;
+}
