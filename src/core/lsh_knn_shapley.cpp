@@ -6,12 +6,38 @@
 #include <cmath>
 
 #include "core/exact_knn_shapley.h"
+#include "dataset/contrast.h"
 #include "lsh/tuning.h"
 #include "util/common.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
 
 namespace knnshap {
+
+LshCorpusPrep PrepareCorpusForRetrieval(Dataset* corpus, int k, double epsilon,
+                                        uint64_t seed, size_t contrast_sample) {
+  KNNSHAP_CHECK(corpus != nullptr && corpus->Size() >= 2, "corpus too small");
+  LshCorpusPrep prep;
+  prep.k_star = KStar(k, epsilon);
+  Rng rng(seed);
+  size_t sample = std::min(contrast_sample, corpus->Size());
+  ContrastEstimate est = EstimateRelativeContrast(
+      *corpus, *corpus,
+      std::min<int>(prep.k_star + 1, static_cast<int>(corpus->Size()) - 1), sample,
+      4 * sample, &rng);
+  prep.contrast = est.c_k;
+  if (est.d_mean > 0.0) {
+    prep.scale = 1.0 / est.d_mean;
+    corpus->features.Scale(prep.scale);
+  }
+  return prep;
+}
+
+LshConfig TuneForPreparedCorpus(size_t corpus_size, const LshCorpusPrep& prep,
+                                double delta, uint64_t seed) {
+  return TuneForContrast(corpus_size, std::max(prep.contrast, 1.01), prep.k_star,
+                         delta, /*alpha=*/1.0, seed);
+}
 
 int KStar(int k, double epsilon) {
   KNNSHAP_CHECK(k >= 1, "k must be >= 1");

@@ -60,6 +60,28 @@ LshConfig TuneLshEmpirically(const Dataset& train, const Dataset& validation, in
                              double epsilon, double contrast, size_t max_tables = 256,
                              double* achieved_error = nullptr);
 
+/// Result of preparing a corpus for K*-depth approximate retrieval: the
+/// truncation depth, the D_mean normalization factor applied, and the
+/// relative-contrast estimate that drives Theorem-3 tuning.
+struct LshCorpusPrep {
+  int k_star = 0;
+  double scale = 1.0;     ///< Factor the corpus features were multiplied by.
+  double contrast = 0.0;  ///< C_{K*} estimate after normalization.
+};
+
+/// Shared fit pipeline of the streaming valuator and the engine's LSH
+/// adapter: estimates the relative contrast at depth K*+1 against held-in
+/// corpus rows (the extra neighbor skips the row itself), then rescales the
+/// corpus features in place to D_mean = 1 (the normalization Theorem 3
+/// assumes). Queries must be scaled by `scale` before retrieval.
+LshCorpusPrep PrepareCorpusForRetrieval(Dataset* corpus, int k, double epsilon,
+                                        uint64_t seed, size_t contrast_sample);
+
+/// Theorem-3/4 LSH configuration for a corpus prepared by
+/// PrepareCorpusForRetrieval.
+LshConfig TuneForPreparedCorpus(size_t corpus_size, const LshCorpusPrep& prep,
+                                double delta, uint64_t seed);
+
 /// Theorem 4: (epsilon, delta)-approximate SVs for all training rows,
 /// averaged over the test set, using LSH retrieval of the K* nearest
 /// neighbors. `index` must be built over train.features; delta is

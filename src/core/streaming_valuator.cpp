@@ -5,9 +5,7 @@
 #include <algorithm>
 
 #include "core/lsh_knn_shapley.h"
-#include "dataset/contrast.h"
 #include "knn/neighbors.h"
-#include "lsh/tuning.h"
 #include "util/common.h"
 
 namespace knnshap {
@@ -16,23 +14,14 @@ StreamingValuator::StreamingValuator(const Dataset& corpus,
                                      const StreamingValuatorOptions& options)
     : corpus_(corpus), options_(options) {
   KNNSHAP_CHECK(corpus_.HasLabels(), "labeled corpus required");
-  KNNSHAP_CHECK(corpus_.Size() >= 2, "corpus too small");
-  k_star_ = KStar(options_.k, options_.epsilon);
   values_.assign(corpus_.Size(), 0.0);
   sums_.assign(corpus_.Size(), 0.0);
 
-  // Contrast estimation against held-in corpus rows: the (K*+1)-th
-  // neighbor of a corpus row skips the row itself.
-  Rng rng(options_.seed);
-  size_t sample = std::min(options_.contrast_sample, corpus_.Size());
-  ContrastEstimate est = EstimateRelativeContrast(
-      corpus_, corpus_, std::min<int>(k_star_ + 1, static_cast<int>(corpus_.Size()) - 1),
-      sample, 4 * sample, &rng);
-  contrast_ = est.c_k;
-  if (est.d_mean > 0.0) {
-    scale_ = 1.0 / est.d_mean;
-    corpus_.features.Scale(scale_);
-  }
+  LshCorpusPrep prep = PrepareCorpusForRetrieval(
+      &corpus_, options_.k, options_.epsilon, options_.seed, options_.contrast_sample);
+  k_star_ = prep.k_star;
+  scale_ = prep.scale;
+  contrast_ = prep.contrast;
 
   switch (options_.backend) {
     case RetrievalBackend::kBruteForce:
@@ -42,8 +31,7 @@ StreamingValuator::StreamingValuator(const Dataset& corpus,
       break;
     case RetrievalBackend::kLsh: {
       LshConfig config =
-          TuneForContrast(corpus_.Size(), std::max(contrast_, 1.01), k_star_,
-                          options_.delta, /*alpha=*/1.0, options_.seed);
+          TuneForPreparedCorpus(corpus_.Size(), prep, options_.delta, options_.seed);
       lsh_ = std::make_unique<LshIndex>(&corpus_.features, config);
       break;
     }

@@ -1,0 +1,181 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/fingerprint.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace knnshap {
+
+size_t ValuationEngine::FittedKeyHash::operator()(const FittedKey& key) const {
+  Fnv64 hash;
+  hash.Add(key.train_fingerprint);
+  hash.AddString(key.method);
+  hash.Add(key.params_fingerprint);
+  return static_cast<size_t>(hash.Digest());
+}
+
+ValuationEngine::ValuationEngine(const EngineOptions& options)
+    : options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &ValuatorRegistry::Global()),
+      cache_(options.result_cache_capacity) {}
+
+ValuationReport ValuationEngine::Value(const ValuationRequest& request) {
+  ValuationReport report;
+  report.method = request.method;
+  WallTimer timer;
+
+  // --- Request validation: errors are responses, not aborts. ------------
+  if (!registry_->Contains(request.method)) {
+    report.error = "unknown method '" + request.method + "' (registered: " +
+                   registry_->MethodNames() + ")";
+    return report;
+  }
+  if (request.train == nullptr || request.train->Size() == 0) {
+    report.error = "empty training set";
+    return report;
+  }
+  if (request.test == nullptr || request.test->Size() == 0) {
+    report.error = "empty test batch";
+    return report;
+  }
+  if (request.train->Dim() != request.test->Dim()) {
+    report.error = "train/test dimension mismatch";
+    return report;
+  }
+  std::unique_ptr<Valuator> probe = registry_->Create(request.method, request.params);
+  if (probe == nullptr) {
+    report.error = "factory for '" + request.method + "' returned null";
+    return report;
+  }
+  if (probe->RequiresLabels() &&
+      (!request.train->HasLabels() || !request.test->HasLabels())) {
+    report.error = "method '" + request.method + "' requires labeled data";
+    return report;
+  }
+  if (probe->RequiresTargets() &&
+      (!request.train->HasTargets() || !request.test->HasTargets())) {
+    report.error = "method '" + request.method + "' requires regression targets";
+    return report;
+  }
+
+  report.train_size = request.train->Size();
+  report.num_queries = request.test->Size();
+
+  const uint64_t train_fp = DatasetFingerprint(*request.train);
+  const uint64_t params_fp = request.params.Fingerprint();
+
+  // --- Result cache. ----------------------------------------------------
+  ResultCacheKey cache_key{train_fp, DatasetFingerprint(*request.test),
+                           request.method, params_fp};
+  if (request.use_cache) {
+    if (auto cached = cache_.Get(cache_key)) {
+      report.values = *cached;
+      report.summary = Summarize(report.values);
+      report.cache_hit = true;
+      report.cache = cache_.Counters();
+      report.seconds = timer.Seconds();
+      return report;
+    }
+  }
+
+  // --- Fit (or reuse) and run. ------------------------------------------
+  FittedKey fitted_key{train_fp, request.method, params_fp};
+  std::shared_ptr<Valuator> valuator =
+      GetOrFit(fitted_key, request, &report.fit_reused);
+  report.values = Run(*valuator, *request.test, request.parallel);
+  report.summary = Summarize(report.values);
+
+  if (request.use_cache) {
+    cache_.Put(cache_key,
+               std::make_shared<const std::vector<double>>(report.values));
+  }
+  report.cache = cache_.Counters();
+  report.seconds = timer.Seconds();
+  return report;
+}
+
+std::shared_ptr<Valuator> ValuationEngine::GetOrFit(const FittedKey& key,
+                                                    const ValuationRequest& request,
+                                                    bool* reused) {
+  // Fitting runs under the lock: concurrent requests for the same corpus
+  // must not build the same kd-tree / LSH index twice, and fits are the
+  // expensive, rare event in a serving workload.
+  std::lock_guard<std::mutex> lock(fitted_mutex_);
+  auto it = fitted_index_.find(key);
+  if (it != fitted_index_.end()) {
+    fitted_.splice(fitted_.begin(), fitted_, it->second);
+    ++fit_reuses_;
+    *reused = true;
+    return it->second->second;
+  }
+  std::shared_ptr<Valuator> valuator =
+      registry_->Create(request.method, request.params);
+  valuator->Fit(request.train);
+  fitted_.emplace_front(key, valuator);
+  fitted_index_[key] = fitted_.begin();
+  while (fitted_.size() > std::max<size_t>(options_.fitted_capacity, 1)) {
+    fitted_index_.erase(fitted_.back().first);
+    fitted_.pop_back();
+  }
+  *reused = false;
+  return valuator;
+}
+
+std::vector<double> ValuationEngine::Run(const Valuator& valuator,
+                                         const Dataset& test, bool parallel) const {
+  if (!valuator.SupportsPerQuery()) {
+    return valuator.ValueBatch(test);
+  }
+  // Shard queries across the pool (ParallelFor hands out contiguous
+  // blocks). Per-query results are folded into the accumulator strictly in
+  // query order, so neither thread count nor chunking can change a single
+  // bit of the output — which lets the scheduler bound resident memory to
+  // O(chunk * N) instead of O(num_queries * N) on huge batches.
+  const size_t chunk =
+      std::min<size_t>(std::max<size_t>(options_.max_resident_queries, 1),
+                       test.Size());
+  std::vector<double> sv(valuator.Train().Size(), 0.0);
+  std::vector<std::vector<double>> per_query(chunk);
+  for (size_t start = 0; start < test.Size(); start += chunk) {
+    const size_t count = std::min(chunk, test.Size() - start);
+    auto run_one = [&](size_t j) {
+      per_query[j] = valuator.ValueOne(test, start + j);
+    };
+    if (parallel && count > 1) {
+      ThreadPool::Shared().ParallelFor(count, run_one);
+    } else {
+      for (size_t j = 0; j < count; ++j) run_one(j);
+    }
+    for (size_t j = 0; j < count; ++j) {
+      valuator.MergeInto(&sv, per_query[j]);
+      per_query[j] = {};  // release before the next chunk computes
+    }
+  }
+  valuator.Finalize(&sv, test.Size());
+  return sv;
+}
+
+size_t ValuationEngine::FittedCount() const {
+  std::lock_guard<std::mutex> lock(fitted_mutex_);
+  return fitted_.size();
+}
+
+uint64_t ValuationEngine::FitReuses() const {
+  std::lock_guard<std::mutex> lock(fitted_mutex_);
+  return fit_reuses_;
+}
+
+void ValuationEngine::InvalidateAll() {
+  cache_.Clear();
+  std::lock_guard<std::mutex> lock(fitted_mutex_);
+  fitted_.clear();
+  fitted_index_.clear();
+}
+
+}  // namespace knnshap

@@ -1,0 +1,122 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// ValuationEngine — the one front door to every valuation method. A
+// request names a method by registry key and carries the train/test
+// datasets; the engine
+//
+//   * validates the request and answers errors as responses, never aborts;
+//   * serves repeated requests from an LRU result cache keyed by content
+//     fingerprints (same corpus + queries + method + hyperparameters =>
+//     cache hit, bit-identical values, no recomputation);
+//   * reuses fitted valuators — and therefore their kd-tree / LSH index —
+//     across requests against the same corpus;
+//   * shards the test batch across ThreadPool::Shared() in contiguous
+//     blocks for per-query methods, merging by additivity (Eq 8) in query
+//     order so parallel and serial runs are bitwise equal.
+//
+// The engine is thread-safe: concurrent Value calls are allowed (cache and
+// fitted-valuator bookkeeping are mutex-guarded; fitted valuators are
+// immutable after Fit and shared).
+
+#ifndef KNNSHAP_ENGINE_ENGINE_H_
+#define KNNSHAP_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "engine/registry.h"
+#include "engine/result_cache.h"
+#include "engine/valuator.h"
+#include "market/valuation_report.h"
+
+namespace knnshap {
+
+/// One valuation request: value every row of `train` against the query
+/// batch `test` with the given method. Datasets are shared_ptr so the
+/// engine can keep fitted valuators alive across requests without copying.
+struct ValuationRequest {
+  std::string method = "exact";  ///< Registry key (see ValuatorRegistry).
+  ValuatorParams params;
+  std::shared_ptr<const Dataset> train;
+  std::shared_ptr<const Dataset> test;
+  bool use_cache = true;   ///< Consult/populate the result cache.
+  bool parallel = true;    ///< Shard queries across the shared pool.
+};
+
+/// Engine construction options.
+struct EngineOptions {
+  size_t result_cache_capacity = 64;  ///< Entries; 0 disables caching.
+  size_t fitted_capacity = 8;         ///< Fitted valuators kept resident.
+  /// Per-query result vectors resident at once: memory is bounded by
+  /// max_resident_queries * train_size doubles regardless of batch size.
+  /// Accumulation stays in query order, so this never changes output bits.
+  size_t max_resident_queries = 256;
+  /// Registry to resolve methods against (default: the global one).
+  ValuatorRegistry* registry = nullptr;
+};
+
+/// Serves batched valuation requests over any registered method.
+class ValuationEngine {
+ public:
+  explicit ValuationEngine(const EngineOptions& options = {});
+
+  /// Serves one request. Never aborts on malformed requests — inspect
+  /// report.ok() / report.error.
+  ValuationReport Value(const ValuationRequest& request);
+
+  /// Engine-wide result-cache counters.
+  CacheCounters CacheStats() const { return cache_.Counters(); }
+
+  /// Fitted valuators currently resident.
+  size_t FittedCount() const;
+
+  /// Times a fitted valuator was reused instead of refitted.
+  uint64_t FitReuses() const;
+
+  /// Drops the result cache and all fitted valuators.
+  void InvalidateAll();
+
+ private:
+  struct FittedKey {
+    uint64_t train_fingerprint = 0;
+    std::string method;
+    uint64_t params_fingerprint = 0;
+
+    bool operator==(const FittedKey& other) const = default;
+  };
+  struct FittedKeyHash {
+    size_t operator()(const FittedKey& key) const;
+  };
+  using FittedList = std::list<std::pair<FittedKey, std::shared_ptr<Valuator>>>;
+
+  /// Returns a fitted valuator for (train, method, params), creating and
+  /// fitting one on first use. Serialized: fitting is expensive and must
+  /// not run twice for the same key.
+  std::shared_ptr<Valuator> GetOrFit(const FittedKey& key,
+                                     const ValuationRequest& request,
+                                     bool* reused);
+
+  /// Runs the per-query sharded path (or the batch path) on a fitted
+  /// valuator.
+  std::vector<double> Run(const Valuator& valuator, const Dataset& test,
+                          bool parallel) const;
+
+  EngineOptions options_;
+  ValuatorRegistry* registry_;
+  ResultCache cache_;
+
+  mutable std::mutex fitted_mutex_;
+  FittedList fitted_;  // MRU-first
+  std::unordered_map<FittedKey, FittedList::iterator, FittedKeyHash> fitted_index_;
+  uint64_t fit_reuses_ = 0;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_ENGINE_ENGINE_H_

@@ -1,0 +1,59 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "engine/registry.h"
+
+namespace knnshap {
+
+ValuatorRegistry& ValuatorRegistry::Global() {
+  static ValuatorRegistry* registry = [] {
+    auto* r = new ValuatorRegistry();
+    RegisterBuiltinValuators(r);
+    return r;
+  }();
+  return *registry;
+}
+
+void ValuatorRegistry::Register(const std::string& name,
+                                const std::string& description,
+                                ValuatorFactory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[name] = Entry{description, std::move(factory)};
+}
+
+bool ValuatorRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(name) > 0;
+}
+
+std::unique_ptr<Valuator> ValuatorRegistry::Create(
+    const std::string& name, const ValuatorParams& params) const {
+  ValuatorFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) return nullptr;
+    factory = it->second.factory;
+  }
+  return factory(params);
+}
+
+std::vector<MethodInfo> ValuatorRegistry::Methods() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MethodInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back(MethodInfo{name, entry.description});
+  }
+  return out;
+}
+
+std::string ValuatorRegistry::MethodNames() const {
+  std::string out;
+  for (const auto& info : Methods()) {
+    if (!out.empty()) out += ", ";
+    out += info.name;
+  }
+  return out;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,75 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// String-keyed valuation method registry: methods are selected by config
+// ("exact", "lsh", ...) rather than by #include, so new algorithms — e.g.
+// the corrected WKNN-Shapley recursion of Wang & Jia (arXiv:2304.04258) —
+// plug in by registering a factory instead of growing another parallel
+// entry point.
+
+#ifndef KNNSHAP_ENGINE_REGISTRY_H_
+#define KNNSHAP_ENGINE_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/valuator.h"
+
+namespace knnshap {
+
+/// Creates an unfitted valuator from hyperparameters.
+using ValuatorFactory =
+    std::function<std::unique_ptr<Valuator>(const ValuatorParams&)>;
+
+/// Registered metadata of a valuation method.
+struct MethodInfo {
+  std::string name;         ///< Registry key.
+  std::string description;  ///< One line, including the paper section.
+};
+
+/// Process-wide registry of valuation methods.
+class ValuatorRegistry {
+ public:
+  /// The global registry, with the built-in methods pre-registered.
+  static ValuatorRegistry& Global();
+
+  /// Registers a method; re-registering a name replaces the factory (tests
+  /// use this to inject instrumented valuators).
+  void Register(const std::string& name, const std::string& description,
+                ValuatorFactory factory);
+
+  bool Contains(const std::string& name) const;
+
+  /// Instantiates an unfitted valuator; nullptr for an unknown method.
+  std::unique_ptr<Valuator> Create(const std::string& name,
+                                   const ValuatorParams& params) const;
+
+  /// Registered methods, sorted by name.
+  std::vector<MethodInfo> Methods() const;
+
+  /// "a, b, c" — for error messages.
+  std::string MethodNames() const;
+
+ private:
+  ValuatorRegistry() = default;
+
+  struct Entry {
+    std::string description;
+    ValuatorFactory factory;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Registers the six built-in adapters (exact, truncated, lsh, mc,
+/// weighted, regression). Called once by ValuatorRegistry::Global(); safe
+/// to call again (idempotent re-registration).
+void RegisterBuiltinValuators(ValuatorRegistry* registry);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_ENGINE_REGISTRY_H_

@@ -1,0 +1,68 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "engine/result_cache.h"
+
+#include "util/fingerprint.h"
+
+namespace knnshap {
+
+size_t ResultCache::KeyHash::operator()(const ResultCacheKey& key) const {
+  Fnv64 hash;
+  hash.Add(key.train_fingerprint);
+  hash.Add(key.test_fingerprint);
+  hash.AddString(key.method);
+  hash.Add(key.params_fingerprint);
+  return static_cast<size_t>(hash.Digest());
+}
+
+ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const std::vector<double>> ResultCache::Get(
+    const ResultCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  entries_.splice(entries_.begin(), entries_, it->second);  // move to MRU
+  return it->second->second;
+}
+
+void ResultCache::Put(const ResultCacheKey& key,
+                      std::shared_ptr<const std::vector<double>> values) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(values);
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return;
+  }
+  entries_.emplace_front(key, std::move(values));
+  index_[key] = entries_.begin();
+  while (entries_.size() > capacity_) {
+    index_.erase(entries_.back().first);
+    entries_.pop_back();
+    ++counters_.evictions;
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  index_.clear();
+}
+
+size_t ResultCache::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+CacheCounters ResultCache::Counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,77 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// LRU cache of finished valuation results, keyed by the *contents* of the
+// request: (train fingerprint, test fingerprint, method, hyperparameter
+// fingerprint). Production valuation traffic is highly repetitive — the
+// same corpus is re-valued whenever a marketplace report, a pricing run and
+// a mislabel sweep all ask for the same values — and a hit returns the
+// stored vector without touching the corpus. Hit/miss/eviction counters
+// are surfaced through ValuationReport.
+
+#ifndef KNNSHAP_ENGINE_RESULT_CACHE_H_
+#define KNNSHAP_ENGINE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "market/valuation_report.h"
+
+namespace knnshap {
+
+/// Content-derived identity of a valuation request.
+struct ResultCacheKey {
+  uint64_t train_fingerprint = 0;
+  uint64_t test_fingerprint = 0;
+  std::string method;
+  uint64_t params_fingerprint = 0;
+
+  bool operator==(const ResultCacheKey& other) const = default;
+};
+
+/// Thread-safe LRU cache of value vectors.
+class ResultCache {
+ public:
+  /// `capacity` = maximum resident entries; 0 disables caching entirely
+  /// (every Get misses, every Put is dropped).
+  explicit ResultCache(size_t capacity = 64);
+
+  /// Returns the cached values and refreshes recency, or nullptr on miss.
+  /// The vector is shared, not copied; callers must not mutate it.
+  std::shared_ptr<const std::vector<double>> Get(const ResultCacheKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least recently used
+  /// entry when over capacity.
+  void Put(const ResultCacheKey& key, std::shared_ptr<const std::vector<double>> values);
+
+  /// Drops all entries (counters are retained).
+  void Clear();
+
+  size_t Size() const;
+  size_t Capacity() const { return capacity_; }
+
+  /// Lifetime hit/miss/eviction counts.
+  CacheCounters Counters() const;
+
+ private:
+  struct KeyHash {
+    size_t operator()(const ResultCacheKey& key) const;
+  };
+  // MRU-first list; the map indexes into it.
+  using LruList =
+      std::list<std::pair<ResultCacheKey, std::shared_ptr<const std::vector<double>>>>;
+
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  LruList entries_;
+  std::unordered_map<ResultCacheKey, LruList::iterator, KeyHash> index_;
+  CacheCounters counters_;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_ENGINE_RESULT_CACHE_H_

@@ -1,0 +1,125 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// The unified valuation interface behind the engine. Each algorithm of the
+// paper is exposed as a Valuator: Fit(train) once (building whatever
+// retrieval structure the method needs — a kd-tree, a tuned LSH index, or
+// nothing), then Value per test batch, many times. Methods whose multi-test
+// value decomposes per query (additivity, Eq 8) implement ValueOne and let
+// the ValuationEngine shard queries across the shared thread pool; methods
+// that only make sense over a whole batch (the Monte-Carlo estimator, whose
+// permutation sampling amortizes over the full test utility) implement
+// BatchValue instead.
+//
+// Bitwise-compatibility contract: for per-query methods the engine merges
+// per-query vectors in query order and divides by the query count — the
+// exact float operation order of the pre-engine entry points
+// (ExactKnnShapley et al.) — so routing through the engine changes no bits
+// of any result, serial or parallel.
+
+#ifndef KNNSHAP_ENGINE_VALUATOR_H_
+#define KNNSHAP_ENGINE_VALUATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/utility.h"
+#include "dataset/dataset.h"
+#include "knn/metric.h"
+#include "knn/weights.h"
+
+namespace knnshap {
+
+/// Hyperparameters shared by all valuation methods. Each adapter reads the
+/// fields it understands and ignores the rest; the full struct is hashed
+/// into cache keys so any change invalidates dependent entries.
+struct ValuatorParams {
+  int k = 5;                      ///< KNN hyperparameter.
+  double epsilon = 0.1;           ///< Approximation budget (Theorems 2/4/5).
+  double delta = 0.1;             ///< Failure probability (Theorems 4/5).
+  KnnTask task = KnnTask::kClassification;
+  WeightConfig weights;           ///< Kernel for the weighted methods.
+  Metric metric = Metric::kL2;
+  uint64_t seed = 7;              ///< Seed for MC sampling / LSH hashing.
+  size_t contrast_sample = 500;   ///< Corpus rows sampled for contrast.
+  double utility_range = 0.0;     ///< MC utility range r; 0 = auto (1/k).
+  int64_t max_permutations = -1;  ///< MC cap; <0 = stopping rule only.
+
+  /// Content hash over every field, for cache keys.
+  uint64_t Fingerprint() const;
+};
+
+/// A valuation method fitted to a training corpus.
+class Valuator {
+ public:
+  explicit Valuator(ValuatorParams params) : params_(std::move(params)) {}
+  virtual ~Valuator() = default;
+
+  Valuator(const Valuator&) = delete;
+  Valuator& operator=(const Valuator&) = delete;
+
+  /// Registry key of the method ("exact", "lsh", ...).
+  virtual const char* Method() const = 0;
+
+  /// Fits the valuator to `train`: keeps a reference and builds the
+  /// method's retrieval structure. Must be called exactly once before any
+  /// Value call; the engine reuses a fitted valuator across requests that
+  /// share a corpus. Aborts (KNNSHAP_CHECK) on data the method cannot
+  /// value, e.g. a corpus without labels for a classification method.
+  void Fit(std::shared_ptr<const Dataset> train);
+  bool Fitted() const { return train_ != nullptr; }
+
+  /// Data requirements, so the engine can reject an incompatible request
+  /// with an error response instead of tripping a fatal check mid-fit.
+  /// Defaults follow params.task; adapters pinned to one task override.
+  virtual bool RequiresLabels() const;
+  virtual bool RequiresTargets() const;
+
+  /// True when the multi-test value is the mean of per-query values (Eq 8)
+  /// and ValueOne is implemented; the engine then parallelizes over
+  /// queries. False for batch-only methods (ValueBatch is used instead).
+  virtual bool SupportsPerQuery() const { return true; }
+
+  /// Dense per-query values, indexed by training row. Must be const and
+  /// thread-safe after Fit (the engine calls it concurrently).
+  virtual std::vector<double> ValueOne(const Dataset& test, size_t row) const;
+
+  /// Folds one query's values into the running accumulator. The engine
+  /// calls this strictly in query order — the accumulation order is the
+  /// bitwise contract, so the scheduler may bound how many per-query
+  /// vectors are resident without changing a single output bit.
+  virtual void MergeInto(std::vector<double>* accumulator,
+                         const std::vector<double>& one_query) const;
+
+  /// Final normalization after all queries are folded in. Default: divide
+  /// by the query count — the legacy operation order. The LSH adapter
+  /// overrides this to match the streaming path's multiply-by-reciprocal.
+  virtual void Finalize(std::vector<double>* accumulator, size_t num_queries) const;
+
+  /// Convenience: MergeInto in order + Finalize over fully materialized
+  /// per-query results (tests use this to cross-check the scheduler).
+  std::vector<double> Merge(const std::vector<std::vector<double>>& per_query) const;
+
+  /// Whole-batch valuation for methods with SupportsPerQuery() == false.
+  virtual std::vector<double> ValueBatch(const Dataset& test) const;
+
+  /// Serial convenience entry (primarily for tests and tools that bypass
+  /// the engine): per-query loop + Merge, or ValueBatch.
+  std::vector<double> Value(const Dataset& test) const;
+
+  const ValuatorParams& Params() const { return params_; }
+  const Dataset& Train() const;
+
+ protected:
+  /// Hook for building method-specific structures; runs inside Fit after
+  /// train_ is set.
+  virtual void OnFit() {}
+
+  ValuatorParams params_;
+  std::shared_ptr<const Dataset> train_;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_ENGINE_VALUATOR_H_

@@ -1,0 +1,210 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "engine/valuators.h"
+
+#include <algorithm>
+
+#include "core/exact_knn_shapley.h"
+#include "core/improved_mc.h"
+#include "core/knn_regression_shapley.h"
+#include "core/lsh_knn_shapley.h"
+#include "core/weighted_knn_shapley.h"
+#include "engine/registry.h"
+#include "util/common.h"
+
+namespace knnshap {
+
+namespace {
+
+// Scatters rank-ordered values of retrieved neighbors into a dense
+// row-indexed vector (zeros elsewhere).
+std::vector<double> ScatterByRank(size_t n, const std::vector<Neighbor>& neighbors,
+                                  const std::vector<double>& by_rank) {
+  std::vector<double> sv(n, 0.0);
+  for (size_t i = 0; i < neighbors.size(); ++i) {
+    sv[static_cast<size_t>(neighbors[i].index)] = by_rank[i];
+  }
+  return sv;
+}
+
+int TestLabel(const Dataset& test, size_t row) {
+  return test.HasLabels() ? test.labels[row] : 0;
+}
+
+double TestTarget(const Dataset& test, size_t row) {
+  return test.HasTargets() ? test.targets[row] : 0.0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// exact
+// ---------------------------------------------------------------------------
+
+void ExactValuator::OnFit() {
+  KNNSHAP_CHECK(Train().HasLabels(), "exact: labeled corpus required");
+}
+
+std::vector<double> ExactValuator::ValueOne(const Dataset& test, size_t row) const {
+  return ExactKnnShapleySingle(Train(), test.features.Row(row), TestLabel(test, row),
+                               params_.k, params_.metric);
+}
+
+// ---------------------------------------------------------------------------
+// truncated
+// ---------------------------------------------------------------------------
+
+void TruncatedValuator::OnFit() {
+  KNNSHAP_CHECK(Train().HasLabels(), "truncated: labeled corpus required");
+  k_star_ = KStar(params_.k, params_.epsilon);
+  kd_tree_ = std::make_unique<KdTree>(&Train().features);
+}
+
+std::vector<double> TruncatedValuator::ValueOne(const Dataset& test,
+                                                size_t row) const {
+  std::vector<Neighbor> neighbors =
+      kd_tree_->Query(test.features.Row(row), static_cast<size_t>(k_star_));
+  std::vector<double> by_rank = TruncatedShapleyFromNeighbors(
+      Train(), neighbors, TestLabel(test, row), params_.k, k_star_);
+  return ScatterByRank(Train().Size(), neighbors, by_rank);
+}
+
+// ---------------------------------------------------------------------------
+// lsh
+// ---------------------------------------------------------------------------
+
+void LshValuator::OnFit() {
+  const Dataset& train = Train();
+  KNNSHAP_CHECK(train.HasLabels(), "lsh: labeled corpus required");
+  KNNSHAP_CHECK(train.Size() >= 2, "lsh: corpus too small");
+  corpus_ = train;  // private copy; rescaled by the prep below
+
+  LshCorpusPrep prep = PrepareCorpusForRetrieval(
+      &corpus_, params_.k, params_.epsilon, params_.seed, params_.contrast_sample);
+  k_star_ = prep.k_star;
+  scale_ = prep.scale;
+  contrast_ = prep.contrast;
+  LshConfig config =
+      TuneForPreparedCorpus(corpus_.Size(), prep, params_.delta, params_.seed);
+  index_ = std::make_unique<LshIndex>(&corpus_.features, config);
+}
+
+std::vector<double> LshValuator::ValueOne(const Dataset& test, size_t row) const {
+  auto query = test.features.Row(row);
+  // The corpus copy was rescaled; queries arrive in the original space.
+  std::vector<float> scaled(query.begin(), query.end());
+  for (auto& x : scaled) x = static_cast<float>(x * scale_);
+  std::vector<Neighbor> neighbors =
+      index_->Query(scaled, static_cast<size_t>(k_star_));
+  std::vector<double> by_rank = TruncatedShapleyFromNeighbors(
+      corpus_, neighbors, TestLabel(test, row), params_.k, k_star_);
+  return ScatterByRank(corpus_.Size(), neighbors, by_rank);
+}
+
+void LshValuator::Finalize(std::vector<double>* accumulator,
+                           size_t num_queries) const {
+  // StreamingValuator materializes values as sums * (1/Q); match that
+  // operation order so engine results are bit-identical to the streaming
+  // path on the same query sequence.
+  const double inv = 1.0 / static_cast<double>(num_queries);
+  for (auto& s : *accumulator) s *= inv;
+}
+
+// ---------------------------------------------------------------------------
+// mc
+// ---------------------------------------------------------------------------
+
+void McValuator::OnFit() {
+  const bool regression =
+      params_.task == KnnTask::kRegression || params_.task == KnnTask::kWeightedRegression;
+  KNNSHAP_CHECK(regression ? Train().HasTargets() : Train().HasLabels(),
+                "mc: corpus lacks the task's labels/targets");
+}
+
+std::vector<double> McValuator::ValueBatch(const Dataset& test) const {
+  IncrementalKnnUtility utility(&Train(), &test, params_.k, params_.task,
+                                params_.weights, /*owners=*/nullptr, params_.metric);
+  ImprovedMcOptions options;
+  options.k = params_.k;
+  options.epsilon = params_.epsilon;
+  options.delta = params_.delta;
+  options.utility_range =
+      params_.utility_range > 0.0 ? params_.utility_range : 1.0 / params_.k;
+  options.seed = params_.seed;
+  options.max_permutations = params_.max_permutations;
+  return ImprovedMcShapley(&utility, options).shapley;
+}
+
+// ---------------------------------------------------------------------------
+// weighted
+// ---------------------------------------------------------------------------
+
+void WeightedValuator::OnFit() {
+  const bool regression = params_.task == KnnTask::kWeightedRegression;
+  KNNSHAP_CHECK(regression ? Train().HasTargets() : Train().HasLabels(),
+                "weighted: corpus lacks the task's labels/targets");
+}
+
+std::vector<double> WeightedValuator::ValueOne(const Dataset& test, size_t row) const {
+  WeightedShapleyOptions options;
+  options.k = params_.k;
+  options.weights = params_.weights;
+  options.task = params_.task == KnnTask::kWeightedRegression
+                     ? KnnTask::kWeightedRegression
+                     : KnnTask::kWeightedClassification;
+  options.metric = params_.metric;
+  return ExactWeightedKnnShapleySingle(Train(), test.features.Row(row),
+                                       TestLabel(test, row), TestTarget(test, row),
+                                       options);
+}
+
+// ---------------------------------------------------------------------------
+// regression
+// ---------------------------------------------------------------------------
+
+void RegressionValuator::OnFit() {
+  KNNSHAP_CHECK(Train().HasTargets(), "regression: corpus targets required");
+}
+
+std::vector<double> RegressionValuator::ValueOne(const Dataset& test,
+                                                 size_t row) const {
+  return ExactKnnRegressionShapleySingle(Train(), test.features.Row(row),
+                                         TestTarget(test, row), params_.k,
+                                         params_.metric);
+}
+
+// ---------------------------------------------------------------------------
+// registration
+// ---------------------------------------------------------------------------
+
+void RegisterBuiltinValuators(ValuatorRegistry* registry) {
+  auto add = [registry](const char* name, const char* description, auto make) {
+    registry->Register(name, description, make);
+  };
+  add("exact", "Exact KNN classification SVs, O(N log N)/query (Thm 1, Alg 1)",
+      [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
+        return std::make_unique<ExactValuator>(p);
+      });
+  add("truncated", "(eps,0)-approx via top-K* truncation, kd-tree retrieval (Thm 2)",
+      [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
+        return std::make_unique<TruncatedValuator>(p);
+      });
+  add("lsh", "(eps,delta)-approx via contrast-tuned LSH retrieval (Thms 3-4)",
+      [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
+        return std::make_unique<LshValuator>(p);
+      });
+  add("mc", "Improved Monte-Carlo estimator, any KNN task (Alg 2, Thm 5)",
+      [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
+        return std::make_unique<McValuator>(p);
+      });
+  add("weighted", "Exact weighted KNN SVs, O(N^K)/query (Thm 7)",
+      [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
+        return std::make_unique<WeightedValuator>(p);
+      });
+  add("regression", "Exact unweighted KNN regression SVs (Thm 6)",
+      [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
+        return std::make_unique<RegressionValuator>(p);
+      });
+}
+
+}  // namespace knnshap

@@ -1,0 +1,135 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Built-in Valuator adapters, one per algorithm family of the paper:
+//
+//   exact       Theorem 1 / Algorithm 1   O(N log N) exact recursion
+//   truncated   Theorem 2                 top-K* truncation, kd-tree retrieval
+//   lsh         Theorems 3-4              LSH retrieval, contrast-tuned
+//   mc          Algorithm 2 / Theorem 5   improved Monte-Carlo estimator
+//   weighted    Theorem 7                 exact weighted KNN, O(N^K)
+//   regression  Theorem 6                 exact unweighted KNN regression
+//
+// Each adapter is a thin shim over the corresponding src/core function, so
+// the engine path produces bit-identical values to the standalone entry
+// points (see the contract in engine/valuator.h). The truncated and lsh
+// adapters build their retrieval structure once in Fit and reuse it across
+// every subsequent batch — the serving win the engine exists for.
+
+#ifndef KNNSHAP_ENGINE_VALUATORS_H_
+#define KNNSHAP_ENGINE_VALUATORS_H_
+
+#include <memory>
+#include <vector>
+
+#include "engine/valuator.h"
+#include "knn/kd_tree.h"
+#include "lsh/lsh_index.h"
+
+namespace knnshap {
+
+/// Exact recursion of Theorem 1. No fitted structure: each query argsorts
+/// the corpus (O(N log N)), which is already optimal for exact values.
+class ExactValuator : public Valuator {
+ public:
+  using Valuator::Valuator;
+  const char* Method() const override { return "exact"; }
+  bool RequiresLabels() const override { return true; }
+  bool RequiresTargets() const override { return false; }
+  std::vector<double> ValueOne(const Dataset& test, size_t row) const override;
+
+ protected:
+  void OnFit() override;
+};
+
+/// (epsilon, 0)-approximation of Theorem 2: only the K* nearest neighbors
+/// carry value. Fit builds a kd-tree over the corpus; each query retrieves
+/// exactly the top K* through it.
+class TruncatedValuator : public Valuator {
+ public:
+  using Valuator::Valuator;
+  const char* Method() const override { return "truncated"; }
+  bool RequiresLabels() const override { return true; }
+  bool RequiresTargets() const override { return false; }
+  std::vector<double> ValueOne(const Dataset& test, size_t row) const override;
+
+  int KStarDepth() const { return k_star_; }
+
+ protected:
+  void OnFit() override;
+
+ private:
+  int k_star_ = 0;
+  std::unique_ptr<KdTree> kd_tree_;
+};
+
+/// (epsilon, delta)-approximation of Theorem 4: LSH retrieval of the K*
+/// nearest neighbors. Fit normalizes a private corpus copy to D_mean = 1,
+/// estimates the relative contrast, and builds a Theorem-3-tuned index —
+/// the same pipeline as StreamingValuator, and bit-identical to it on any
+/// fixed query sequence.
+class LshValuator : public Valuator {
+ public:
+  using Valuator::Valuator;
+  const char* Method() const override { return "lsh"; }
+  bool RequiresLabels() const override { return true; }
+  bool RequiresTargets() const override { return false; }
+  std::vector<double> ValueOne(const Dataset& test, size_t row) const override;
+  void Finalize(std::vector<double>* accumulator, size_t num_queries) const override;
+
+  int KStarDepth() const { return k_star_; }
+  double Contrast() const { return contrast_; }
+  const LshConfig* Config() const { return index_ ? &index_->Config() : nullptr; }
+
+ protected:
+  void OnFit() override;
+
+ private:
+  Dataset corpus_;  // normalized private copy
+  int k_star_ = 0;
+  double scale_ = 1.0;
+  double contrast_ = 0.0;
+  std::unique_ptr<LshIndex> index_;
+};
+
+/// Improved Monte-Carlo estimator (Algorithm 2). Batch-only: permutation
+/// sampling amortizes over the whole test utility, so there is no per-query
+/// decomposition to shard.
+class McValuator : public Valuator {
+ public:
+  using Valuator::Valuator;
+  const char* Method() const override { return "mc"; }
+  bool SupportsPerQuery() const override { return false; }
+  std::vector<double> ValueBatch(const Dataset& test) const override;
+
+ protected:
+  void OnFit() override;
+};
+
+/// Exact weighted KNN values (Theorem 7), classification or regression per
+/// params.task. O(N^K) per query — small K only.
+class WeightedValuator : public Valuator {
+ public:
+  using Valuator::Valuator;
+  const char* Method() const override { return "weighted"; }
+  std::vector<double> ValueOne(const Dataset& test, size_t row) const override;
+
+ protected:
+  void OnFit() override;
+};
+
+/// Exact unweighted KNN regression values (Theorem 6).
+class RegressionValuator : public Valuator {
+ public:
+  using Valuator::Valuator;
+  const char* Method() const override { return "regression"; }
+  bool RequiresLabels() const override { return false; }
+  bool RequiresTargets() const override { return true; }
+  std::vector<double> ValueOne(const Dataset& test, size_t row) const override;
+
+ protected:
+  void OnFit() override;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_ENGINE_VALUATORS_H_

@@ -11,6 +11,13 @@
 
 namespace knnshap {
 
+namespace {
+// Per-thread instrumentation counter; Query resets it, Search increments it.
+thread_local size_t tls_distance_evals = 0;
+}  // namespace
+
+size_t KdTree::LastQueryDistanceEvals() const { return tls_distance_evals; }
+
 KdTree::KdTree(const Matrix* train, size_t leaf_size) : train_(train) {
   KNNSHAP_CHECK(train != nullptr, "null training matrix");
   KNNSHAP_CHECK(leaf_size >= 1, "leaf size must be >= 1");
@@ -69,7 +76,7 @@ void KdTree::Search(const Node* node, std::span<const float> query,
       int row = points_[i];
       double dist =
           std::sqrt(SquaredL2(train_->Row(static_cast<size_t>(row)), query));
-      ++last_distance_evals_;
+      ++tls_distance_evals;
       heap->Push(dist, row);
     }
     return;
@@ -87,7 +94,7 @@ void KdTree::Search(const Node* node, std::span<const float> query,
 }
 
 std::vector<Neighbor> KdTree::Query(std::span<const float> query, size_t k) const {
-  last_distance_evals_ = 0;
+  tls_distance_evals = 0;
   k = std::min(k, points_.size());
   if (k == 0) return {};
   BoundedMaxHeap<int> heap(k);

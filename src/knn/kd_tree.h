@@ -31,8 +31,10 @@ class KdTree {
   std::vector<Neighbor> Query(std::span<const float> query, size_t k) const;
 
   /// Number of distance evaluations performed by the last Query call on
-  /// this thread (instrumentation for the retrieval ablation).
-  size_t LastQueryDistanceEvals() const { return last_distance_evals_; }
+  /// this thread (instrumentation for the retrieval ablation). Kept in
+  /// thread-local storage so concurrent queries — the valuation engine
+  /// shards test batches over the shared pool — stay race-free.
+  size_t LastQueryDistanceEvals() const;
 
  private:
   struct Node {
@@ -53,7 +55,6 @@ class KdTree {
   const Matrix* train_;
   std::vector<int> points_;  // Row ids, permuted during construction.
   std::unique_ptr<Node> root_;
-  mutable size_t last_distance_evals_ = 0;
 };
 
 }  // namespace knnshap

@@ -3,6 +3,7 @@
 #include "lsh/lsh_index.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "util/bounded_heap.h"
 #include "util/common.h"
@@ -25,18 +26,47 @@ LshIndex::LshIndex(const Matrix* train, const LshConfig& config)
   }
 }
 
+namespace {
+
+// Epoch-stamped visited marks, reused across queries on the same thread:
+// the valuation engine drives many queries per thread, and a fresh N-byte
+// bitmap per query would dominate small-candidate lookups. Bumping the
+// epoch invalidates all marks in O(1); the buffer is only rezeroed when the
+// corpus size grows or the epoch counter wraps.
+thread_local std::vector<uint32_t> tls_visited_stamp;
+thread_local uint32_t tls_visited_epoch = 0;
+
+uint32_t NextVisitedEpoch(size_t rows) {
+  // Shrink when the buffer is far larger than the active index (e.g. a
+  // long-lived server that once held a huge corpus), so pool threads do
+  // not retain the high-water mark forever. The 64 KiB floor keeps small
+  // indexes from thrashing the allocation.
+  constexpr size_t kShrinkFloor = 1 << 16;
+  const bool oversized =
+      tls_visited_stamp.size() > kShrinkFloor && tls_visited_stamp.size() > 4 * rows;
+  if (tls_visited_stamp.size() < rows || oversized ||
+      tls_visited_epoch == UINT32_MAX) {
+    tls_visited_stamp.assign(rows, 0);
+    tls_visited_stamp.shrink_to_fit();
+    tls_visited_epoch = 0;
+  }
+  return ++tls_visited_epoch;
+}
+
+}  // namespace
+
 std::vector<Neighbor> LshIndex::Query(std::span<const float> query, size_t k,
                                       LshQueryStats* stats) const {
-  // Gather the union of bucket contents across tables, deduplicated with a
-  // visited bitmap, and exactly re-rank by true distance.
-  std::vector<uint8_t> visited(train_->Rows(), 0);
+  // Gather the union of bucket contents across tables, deduplicated with
+  // the per-thread visited marks, and exactly re-rank by true distance.
+  const uint32_t epoch = NextVisitedEpoch(train_->Rows());
   BoundedMaxHeap<int> heap(std::max<size_t>(k, 1));
   size_t candidates = 0;
   for (const auto& table : tables_) {
     for (int id : table.Candidates(query)) {
-      auto& seen = visited[static_cast<size_t>(id)];
-      if (seen) continue;
-      seen = 1;
+      auto& seen = tls_visited_stamp[static_cast<size_t>(id)];
+      if (seen == epoch) continue;
+      seen = epoch;
       ++candidates;
       heap.Push(Distance(train_->Row(static_cast<size_t>(id)), query, Metric::kL2), id);
     }

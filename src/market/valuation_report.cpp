@@ -85,4 +85,21 @@ std::string FormatRanking(const std::vector<RankedValue>& ranking,
   return out;
 }
 
+std::string ValuationReport::FormatStatusLine() const {
+  char line[256];
+  if (!ok()) {
+    std::snprintf(line, sizeof(line), "error: %s", error.c_str());
+    return line;
+  }
+  std::snprintf(line, sizeof(line),
+                "%s: %zu points x %zu queries in %.3fs%s%s (cache %llu hit / "
+                "%llu miss)",
+                method.c_str(), train_size, num_queries, seconds,
+                cache_hit ? " [cache hit]" : "",
+                fit_reused ? " [fit reused]" : "",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses));
+  return line;
+}
+
 }  // namespace knnshap

@@ -1,11 +1,15 @@
 // Copyright 2026 the knnshap authors. Apache-2.0 license.
 //
 // Reporting helpers over a vector of data values: rankings, summaries and
-// a plain-text table, used by the examples and the dog-fish study (Fig 14).
+// a plain-text table, used by the examples and the dog-fish study (Fig 14)
+// — plus ValuationReport, the engine's response envelope carrying the
+// values together with provenance (method, timing, cache behaviour).
 
 #ifndef KNNSHAP_MARKET_VALUATION_REPORT_H_
 #define KNNSHAP_MARKET_VALUATION_REPORT_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -43,6 +47,35 @@ std::vector<double> GroupTotals(const std::vector<double>& values,
 /// Formats a compact two-column table "rank | index | value" for reports.
 std::string FormatRanking(const std::vector<RankedValue>& ranking,
                           const std::string& title);
+
+/// Lifetime counters of the engine's result cache.
+struct CacheCounters {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+};
+
+/// Response envelope of a ValuationEngine request: the values plus the
+/// provenance a serving deployment needs to log — which method ran, how
+/// long it took, whether the result came from cache, and the engine-wide
+/// cache counters at response time.
+struct ValuationReport {
+  std::string method;           ///< Registry key that produced the values.
+  std::vector<double> values;   ///< One value per training row.
+  ValueSummary summary;         ///< Summary statistics over `values`.
+  size_t train_size = 0;        ///< Corpus rows valued.
+  size_t num_queries = 0;       ///< Test rows in the request batch.
+  double seconds = 0.0;         ///< Wall time spent serving the request.
+  bool cache_hit = false;       ///< Served from the result cache.
+  bool fit_reused = false;      ///< Reused an already-fitted valuator.
+  CacheCounters cache;          ///< Engine-wide counters at response time.
+  std::string error;            ///< Non-empty when the request failed.
+
+  bool ok() const { return error.empty(); }
+
+  /// One-line human-readable summary for logs and CLI output.
+  std::string FormatStatusLine() const;
+};
 
 }  // namespace knnshap
 

@@ -1,0 +1,38 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "util/fingerprint.h"
+
+#include "dataset/dataset.h"
+
+namespace knnshap {
+
+Fnv64& Fnv64::Update(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = state_;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<uint64_t>(bytes[i]);
+    h *= 0x100000001b3ull;  // FNV prime.
+  }
+  state_ = h;
+  return *this;
+}
+
+Fnv64& Fnv64::AddString(std::string_view s) {
+  Add(s.size());
+  return Update(s.data(), s.size());
+}
+
+uint64_t DatasetFingerprint(const Dataset& data) {
+  Fnv64 hash;
+  hash.Add(data.Size());
+  hash.Add(data.Dim());
+  for (size_t r = 0; r < data.features.Rows(); ++r) {
+    auto row = data.features.Row(r);
+    hash.Update(row.data(), row.size() * sizeof(float));
+  }
+  hash.AddSpan(std::span<const int>(data.labels));
+  hash.AddSpan(std::span<const double>(data.targets));
+  return hash.Digest();
+}
+
+}  // namespace knnshap

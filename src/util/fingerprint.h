@@ -1,0 +1,59 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Content fingerprints for cache keys. The valuation engine caches results
+// and fitted retrieval structures by the *contents* of a dataset (not its
+// address or name), so repeated valuations of the same corpus are served
+// without recomputation while any mutation — one flipped label, one edited
+// feature — invalidates every dependent entry.
+//
+// FNV-1a (64-bit) is used: not cryptographic, but fast, dependency-free and
+// stable across platforms for our fixed-width inputs.
+
+#ifndef KNNSHAP_UTIL_FINGERPRINT_H_
+#define KNNSHAP_UTIL_FINGERPRINT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace knnshap {
+
+struct Dataset;
+
+/// Streaming 64-bit FNV-1a hasher.
+class Fnv64 {
+ public:
+  /// Absorbs `size` raw bytes.
+  Fnv64& Update(const void* data, size_t size);
+
+  /// Absorbs the bytes of a trivially-copyable value (ints, floats, enums).
+  template <typename T>
+  Fnv64& Add(const T& value) {
+    return Update(&value, sizeof(T));
+  }
+
+  /// Absorbs a length-prefixed string (so "ab","c" != "a","bc").
+  Fnv64& AddString(std::string_view s);
+
+  /// Absorbs a length-prefixed span of trivially-copyable elements.
+  template <typename T>
+  Fnv64& AddSpan(std::span<const T> values) {
+    Add(values.size());
+    return Update(values.data(), values.size() * sizeof(T));
+  }
+
+  uint64_t Digest() const { return state_; }
+
+ private:
+  uint64_t state_ = 0xcbf29ce484222325ull;  // FNV offset basis.
+};
+
+/// Fingerprint of a dataset's full contents: shape, feature bits, labels
+/// and targets. The name is deliberately excluded — two datasets with equal
+/// contents are the same corpus for valuation purposes.
+uint64_t DatasetFingerprint(const Dataset& data);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_UTIL_FINGERPRINT_H_

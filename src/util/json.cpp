@@ -1,0 +1,331 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace knnshap {
+
+namespace {
+
+const JsonValue kNullValue;
+
+// Recursive-descent parser over a bounded character range.
+class Parser {
+ public:
+  Parser(const char* begin, const char* end) : p_(begin), end_(end) {}
+
+  JsonParseResult Run() {
+    JsonParseResult result;
+    result.value = ParseValue(&result.error);
+    if (!result.error.empty()) return result;
+    SkipWhitespace();
+    if (p_ != end_) result.error = "trailing characters after document";
+    return result;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (p_ != end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    const char* q = p_;
+    while (*lit) {
+      if (q == end_ || *q != *lit) return false;
+      ++q;
+      ++lit;
+    }
+    p_ = q;
+    return true;
+  }
+
+  JsonValue ParseValue(std::string* error) {
+    SkipWhitespace();
+    if (p_ == end_) {
+      *error = "unexpected end of input";
+      return JsonValue();
+    }
+    switch (*p_) {
+      case '{':
+        return ParseObject(error);
+      case '[':
+        return ParseArray(error);
+      case '"':
+        return ParseString(error);
+      case 't':
+        if (ConsumeLiteral("true")) return JsonValue(true);
+        break;
+      case 'f':
+        if (ConsumeLiteral("false")) return JsonValue(false);
+        break;
+      case 'n':
+        if (ConsumeLiteral("null")) return JsonValue();
+        break;
+      default:
+        return ParseNumber(error);
+    }
+    *error = "invalid token";
+    return JsonValue();
+  }
+
+  JsonValue ParseObject(std::string* error) {
+    ++p_;  // '{'
+    JsonValue obj = JsonValue::MakeObject();
+    SkipWhitespace();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWhitespace();
+      if (p_ == end_ || *p_ != '"') {
+        *error = "expected object key";
+        return obj;
+      }
+      JsonValue key = ParseString(error);
+      if (!error->empty()) return obj;
+      SkipWhitespace();
+      if (!Consume(':')) {
+        *error = "expected ':' after key";
+        return obj;
+      }
+      JsonValue value = ParseValue(error);
+      if (!error->empty()) return obj;
+      obj.Set(key.AsString(), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return obj;
+      if (!Consume(',')) {
+        *error = "expected ',' or '}' in object";
+        return obj;
+      }
+    }
+  }
+
+  JsonValue ParseArray(std::string* error) {
+    ++p_;  // '['
+    JsonValue arr = JsonValue::MakeArray();
+    SkipWhitespace();
+    if (Consume(']')) return arr;
+    while (true) {
+      JsonValue value = ParseValue(error);
+      if (!error->empty()) return arr;
+      arr.Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return arr;
+      if (!Consume(',')) {
+        *error = "expected ',' or ']' in array";
+        return arr;
+      }
+    }
+  }
+
+  JsonValue ParseString(std::string* error) {
+    ++p_;  // '"'
+    std::string out;
+    while (p_ != end_) {
+      char c = *p_++;
+      if (c == '"') return JsonValue(std::move(out));
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (p_ == end_) break;
+      char esc = *p_++;
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (p_ == end_ || !std::isxdigit(static_cast<unsigned char>(*p_))) {
+              *error = "bad \\u escape";
+              return JsonValue(std::move(out));
+            }
+            char h = *p_++;
+            code = code * 16 +
+                   static_cast<unsigned>(h <= '9' ? h - '0' : (h | 0x20) - 'a' + 10);
+          }
+          out.push_back(code < 0x80 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          *error = "bad escape character";
+          return JsonValue(std::move(out));
+      }
+    }
+    *error = "unterminated string";
+    return JsonValue(std::move(out));
+  }
+
+  JsonValue ParseNumber(std::string* error) {
+    const char* start = p_;
+    if (p_ != end_ && (*p_ == '-' || *p_ == '+')) ++p_;
+    bool digits = false;
+    while (p_ != end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                          *p_ == '.' || *p_ == 'e' || *p_ == 'E' || *p_ == '-' ||
+                          *p_ == '+')) {
+      if (std::isdigit(static_cast<unsigned char>(*p_))) digits = true;
+      ++p_;
+    }
+    if (!digits) {
+      *error = "invalid number";
+      return JsonValue();
+    }
+    std::string text(start, p_);
+    char* parse_end = nullptr;
+    double value = std::strtod(text.c_str(), &parse_end);
+    if (parse_end != text.c_str() + text.size()) {
+      *error = "invalid number";
+      return JsonValue();
+    }
+    return JsonValue(value);
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+void EscapeInto(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void DumpInto(const JsonValue& v, std::string* out) {
+  switch (v.GetType()) {
+    case JsonValue::Type::kNull:
+      *out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      *out += v.AsBool() ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber: {
+      double n = v.AsNumber();
+      if (!std::isfinite(n)) {
+        *out += "null";  // JSON has no Inf/NaN.
+        break;
+      }
+      char buf[40];
+      // %.17g round-trips doubles exactly; trim to %g when lossless-short.
+      std::snprintf(buf, sizeof buf, "%.17g", n);
+      double back = std::strtod(buf, nullptr);
+      char shorter[40];
+      std::snprintf(shorter, sizeof shorter, "%g", n);
+      if (std::strtod(shorter, nullptr) == back) {
+        *out += shorter;
+      } else {
+        *out += buf;
+      }
+      break;
+    }
+    case JsonValue::Type::kString:
+      EscapeInto(v.AsString(), out);
+      break;
+    case JsonValue::Type::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const auto& item : v.Items()) {
+        if (!first) out->push_back(',');
+        first = false;
+        DumpInto(item, out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : v.Fields()) {
+        if (!first) out->push_back(',');
+        first = false;
+        EscapeInto(key, out);
+        out->push_back(':');
+        DumpInto(value, out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+const JsonValue& JsonValue::Get(const std::string& key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return v;
+  }
+  return kNullValue;
+}
+
+bool JsonValue::Has(const std::string& key) const {
+  for (const auto& [k, v] : fields_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+void JsonValue::Set(const std::string& key, JsonValue value) {
+  if (type_ != Type::kObject) {
+    *this = MakeObject();
+  }
+  for (auto& [k, v] : fields_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  fields_.emplace_back(key, std::move(value));
+}
+
+void JsonValue::Append(JsonValue value) {
+  if (type_ != Type::kArray) {
+    *this = MakeArray();
+  }
+  items_.push_back(std::move(value));
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpInto(*this, &out);
+  return out;
+}
+
+JsonParseResult ParseJson(const std::string& text) {
+  Parser parser(text.data(), text.data() + text.size());
+  return parser.Run();
+}
+
+}  // namespace knnshap

@@ -1,0 +1,94 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Tests for the minimal JSON module backing the knnshap_serve protocol.
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace knnshap {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(ParseJson("null").value.IsNull());
+  EXPECT_TRUE(ParseJson("true").value.AsBool());
+  EXPECT_FALSE(ParseJson("false").value.AsBool(true));
+  EXPECT_DOUBLE_EQ(ParseJson("3.25").value.AsNumber(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseJson("-1e3").value.AsNumber(), -1000.0);
+  EXPECT_EQ(ParseJson("\"hi\\nthere\"").value.AsString(), "hi\nthere");
+}
+
+TEST(JsonParseTest, NestedDocument) {
+  auto result = ParseJson(
+      R"({"op":"value","k":5,"rows":[[1,2,0],[3,4,1]],"cache":true,"who":null})");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const JsonValue& v = result.value;
+  EXPECT_EQ(v.Get("op").AsString(), "value");
+  EXPECT_EQ(static_cast<int>(v.Get("k").AsNumber()), 5);
+  ASSERT_TRUE(v.Get("rows").IsArray());
+  ASSERT_EQ(v.Get("rows").Items().size(), 2u);
+  EXPECT_DOUBLE_EQ(v.Get("rows").Items()[1].Items()[0].AsNumber(), 3.0);
+  EXPECT_TRUE(v.Get("cache").AsBool());
+  EXPECT_TRUE(v.Get("who").IsNull());
+  EXPECT_FALSE(v.Has("absent"));
+  EXPECT_TRUE(v.Get("absent").IsNull());
+}
+
+TEST(JsonParseTest, Whitespace) {
+  auto result = ParseJson("  { \"a\" : [ 1 , 2 ] }  ");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.value.Get("a").Items().size(), 2u);
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("nulll").ok());        // trailing characters
+  EXPECT_FALSE(ParseJson("{} {}").ok());        // two documents on one line
+  EXPECT_FALSE(ParseJson("{1:2}").ok());        // non-string key
+  EXPECT_FALSE(ParseJson("--3").ok());
+}
+
+TEST(JsonDumpTest, RoundTrip) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("ok", JsonValue(true));
+  obj.Set("name", JsonValue("corpus \"a\"\n"));
+  obj.Set("count", JsonValue(3.0));
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(JsonValue(0.1));
+  arr.Append(JsonValue());
+  obj.Set("values", arr);
+
+  std::string text = obj.Dump();
+  auto reparsed = ParseJson(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+  EXPECT_TRUE(reparsed.value.Get("ok").AsBool());
+  EXPECT_EQ(reparsed.value.Get("name").AsString(), "corpus \"a\"\n");
+  EXPECT_DOUBLE_EQ(reparsed.value.Get("count").AsNumber(), 3.0);
+  EXPECT_EQ(reparsed.value.Get("values").Items().size(), 2u);
+}
+
+TEST(JsonDumpTest, DoublesRoundTripExactly) {
+  // The serve protocol carries Shapley values; serialization must not lose
+  // bits (%.17g fallback when %g is lossy).
+  for (double v : {1.0 / 3.0, 0.1, 1e-17, 123456789.123456789, -0.0037037}) {
+    std::string text = JsonValue(v).Dump();
+    auto parsed = ParseJson(text);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value.AsNumber(), v) << text;
+  }
+}
+
+TEST(JsonDumpTest, SetReplacesExistingKey) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("a", JsonValue(1.0));
+  obj.Set("a", JsonValue(2.0));
+  EXPECT_EQ(obj.Fields().size(), 1u);
+  EXPECT_DOUBLE_EQ(obj.Get("a").AsNumber(), 2.0);
+}
+
+}  // namespace
+}  // namespace knnshap

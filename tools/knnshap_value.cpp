@@ -1,34 +1,34 @@
 // Copyright 2026 the knnshap authors. Apache-2.0 license.
 //
-// knnshap_value — command-line data valuation over CSV feature dumps.
+// knnshap_value — command-line data valuation over CSV feature dumps,
+// served through the ValuationEngine (see src/engine/).
 //
 //   knnshap_value --train=train.csv --test=test.csv --out=values.csv
 //                 [--task=classification|regression]
-//                 [--method=exact|truncated|lsh|mc]
+//                 [--method=exact|truncated|lsh|mc|weighted|regression]
 //                 [--k=5] [--epsilon=0.1] [--delta=0.1] [--weighted]
+//                 [--seed=N] [--serial] [--no-cache]
 //
 // CSV format: one point per row, features first, label/target in the last
 // column (a header row is auto-detected). Values are written as
 // index,value[,label] rows.
 //
+//   knnshap_value --methods    lists the registered valuation methods.
 //   knnshap_value --selftest   exercises the full pipeline on generated
 //                              data and exits nonzero on any mismatch.
 
 #include <cstdio>
+#include <memory>
 #include <numeric>
 #include <string>
 
 #include "core/exact_knn_shapley.h"
-#include "core/improved_mc.h"
-#include "core/knn_regression_shapley.h"
-#include "core/lsh_knn_shapley.h"
-#include "core/streaming_valuator.h"
-#include "core/weighted_knn_shapley.h"
 #include "dataset/io.h"
 #include "dataset/synthetic.h"
+#include "engine/engine.h"
+#include "engine/registry.h"
 #include "util/cli.h"
 #include "util/stats.h"
-#include "util/timer.h"
 
 using namespace knnshap;
 
@@ -39,56 +39,59 @@ int Usage(const char* msg) {
   std::fprintf(stderr,
                "usage: knnshap_value --train=T.csv --test=E.csv --out=V.csv\n"
                "       [--task=classification|regression] [--method=exact|"
-               "truncated|lsh|mc]\n"
+               "truncated|lsh|mc|weighted|regression]\n"
                "       [--k=5] [--epsilon=0.1] [--delta=0.1] [--weighted]\n"
+               "       [--seed=N] [--serial] [--no-cache]\n"
+               "       knnshap_value --methods\n"
                "       knnshap_value --selftest\n");
   return 2;
 }
 
-std::vector<double> Compute(const Dataset& train, const Dataset& test,
-                            const std::string& task, const std::string& method,
-                            int k, double epsilon, double delta, bool weighted) {
+/// Maps the CLI surface onto an engine request. The legacy flags are kept:
+/// --weighted wins over --method, and --task=regression without --weighted
+/// selects the regression method, mirroring the pre-engine dispatch.
+ValuationRequest BuildRequest(const CommandLine& cli,
+                              std::shared_ptr<const Dataset> train,
+                              std::shared_ptr<const Dataset> test) {
+  ValuationRequest request;
+  std::string task = cli.GetString("task", "classification");
+  std::string method = cli.GetString("method", "exact");
+  bool weighted = cli.Has("weighted");
+
   if (weighted) {
-    WeightedShapleyOptions options;
-    options.k = k;
-    options.weights.kernel = WeightKernel::kInverseDistance;
-    options.task = task == "regression" ? KnnTask::kWeightedRegression
-                                        : KnnTask::kWeightedClassification;
-    return ExactWeightedKnnShapley(train, test, options);
+    request.method = "weighted";
+    request.params.task = task == "regression" ? KnnTask::kWeightedRegression
+                                               : KnnTask::kWeightedClassification;
+    request.params.weights.kernel = WeightKernel::kInverseDistance;
+  } else if (task == "regression") {
+    request.method = "regression";
+    request.params.task = KnnTask::kRegression;
+  } else {
+    request.method = method;
   }
-  if (task == "regression") {
-    return ExactKnnRegressionShapley(train, test, k);
+
+  request.params.k = cli.GetInt("k", 5);
+  request.params.epsilon = cli.GetDouble("epsilon", 0.1);
+  request.params.delta = cli.GetDouble("delta", 0.1);
+  // Method-specific legacy seeds: the MC estimator defaulted to
+  // ImprovedMcOptions::seed == 1, the LSH pipeline to
+  // StreamingValuatorOptions::seed == 7.
+  uint64_t default_seed = request.method == "mc" ? 1 : 7;
+  request.params.seed =
+      static_cast<uint64_t>(cli.GetInt("seed", static_cast<int>(default_seed)));
+  request.train = std::move(train);
+  request.test = std::move(test);
+  request.parallel = !cli.Has("serial");
+  request.use_cache = !cli.Has("no-cache");
+  return request;
+}
+
+int ListMethods() {
+  std::printf("registered valuation methods:\n");
+  for (const auto& info : ValuatorRegistry::Global().Methods()) {
+    std::printf("  %-10s  %s\n", info.name.c_str(), info.description.c_str());
   }
-  if (method == "exact") {
-    return ExactKnnShapley(train, test, k);
-  }
-  if (method == "truncated") {
-    return TruncatedKnnShapley(train, test, k, epsilon);
-  }
-  if (method == "lsh") {
-    // The StreamingValuator bundles contrast estimation, normalization and
-    // Theorem-3 tuning; feeding it the test set reproduces LshKnnShapley.
-    StreamingValuatorOptions options;
-    options.k = k;
-    options.epsilon = epsilon;
-    options.delta = delta;
-    StreamingValuator valuator(train, options);
-    for (size_t j = 0; j < test.Size(); ++j) {
-      valuator.ProcessQuery(test.features.Row(j), test.labels[j]);
-    }
-    return valuator.Values();
-  }
-  if (method == "mc") {
-    IncrementalKnnUtility utility(&train, &test, k, KnnTask::kClassification);
-    ImprovedMcOptions options;
-    options.k = k;
-    options.epsilon = epsilon;
-    options.delta = delta;
-    options.utility_range = 1.0 / k;
-    return ImprovedMcShapley(&utility, options).shapley;
-  }
-  std::fprintf(stderr, "unknown method '%s'\n", method.c_str());
-  std::exit(2);
+  return 0;
 }
 
 int SelfTest() {
@@ -105,24 +108,69 @@ int SelfTest() {
     std::fprintf(stderr, "selftest: save failed\n");
     return 1;
   }
-  auto train = LoadCsvDataset(train_path, CsvTarget::kLabel);
-  auto test = LoadCsvDataset(test_path, CsvTarget::kLabel);
-  if (!train.ok() || !test.ok() || train.rows_skipped || test.rows_skipped) {
+  auto train_load = LoadCsvDataset(train_path, CsvTarget::kLabel);
+  auto test_load = LoadCsvDataset(test_path, CsvTarget::kLabel);
+  if (!train_load.ok() || !test_load.ok() || train_load.rows_skipped ||
+      test_load.rows_skipped) {
     std::fprintf(stderr, "selftest: reload failed\n");
     return 1;
   }
-  auto exact = Compute(train.data, test.data, "classification", "exact", 3, 0.1,
-                       0.1, false);
-  auto reference = ExactKnnShapley(split.train, split.test, 3);
+  auto train = std::make_shared<const Dataset>(std::move(train_load.data));
+  auto test = std::make_shared<const Dataset>(std::move(test_load.data));
+
+  ValuationEngine engine;
+  ValuationRequest request;
+  request.method = "exact";
+  request.params.k = 3;
+  request.train = train;
+  request.test = test;
+
+  ValuationReport exact = engine.Value(request);
+  if (!exact.ok()) {
+    std::fprintf(stderr, "selftest: exact failed: %s\n", exact.error.c_str());
+    return 1;
+  }
+  // Engine output must be bit-identical to the pre-engine entry point.
+  std::vector<double> legacy = ExactKnnShapley(*train, *test, 3);
+  if (exact.values != legacy) {
+    std::fprintf(stderr, "selftest: engine changed exact values\n");
+    return 1;
+  }
   // float32 round-trip through text: tolerate tiny differences.
-  if (MaxAbsDifference(exact, reference) > 1e-4) {
+  std::vector<double> reference = ExactKnnShapley(split.train, split.test, 3);
+  if (MaxAbsDifference(exact.values, reference) > 1e-4) {
     std::fprintf(stderr, "selftest: CSV round-trip changed exact values\n");
     return 1;
   }
+
+  // A repeat of the same request must be a cache hit with bitwise-equal
+  // values.
+  ValuationReport repeat = engine.Value(request);
+  if (!repeat.cache_hit || repeat.values != exact.values) {
+    std::fprintf(stderr, "selftest: cache repeat mismatch (hit=%d)\n",
+                 repeat.cache_hit ? 1 : 0);
+    return 1;
+  }
+
+  // Unknown methods are errors, not aborts.
+  ValuationRequest bogus = request;
+  bogus.method = "not-a-method";
+  if (engine.Value(bogus).ok()) {
+    std::fprintf(stderr, "selftest: unknown method not rejected\n");
+    return 1;
+  }
+
   for (const char* method : {"truncated", "lsh", "mc"}) {
-    auto approx = Compute(train.data, test.data, "classification", method, 3,
-                          0.1, 0.1, false);
-    double err = MaxAbsDifference(approx, exact);
+    ValuationRequest approx_request = request;
+    approx_request.method = method;
+    approx_request.params.seed = std::string(method) == "mc" ? 1 : 7;
+    ValuationReport approx = engine.Value(approx_request);
+    if (!approx.ok()) {
+      std::fprintf(stderr, "selftest: %s failed: %s\n", method,
+                   approx.error.c_str());
+      return 1;
+    }
+    double err = MaxAbsDifference(approx.values, exact.values);
     if (err > 0.12) {  // eps=0.1 plus retrieval slack
       std::fprintf(stderr, "selftest: %s error %.4f exceeds budget\n", method, err);
       return 1;
@@ -130,7 +178,10 @@ int SelfTest() {
   }
   std::remove(train_path.c_str());
   std::remove(test_path.c_str());
-  std::printf("selftest: all methods within budget\n");
+  CacheCounters counters = engine.CacheStats();
+  std::printf("selftest: all methods within budget (cache %llu hit / %llu miss)\n",
+              static_cast<unsigned long long>(counters.hits),
+              static_cast<unsigned long long>(counters.misses));
   return 0;
 }
 
@@ -139,6 +190,7 @@ int SelfTest() {
 int main(int argc, char** argv) {
   CommandLine cli(argc, argv);
   if (cli.Has("selftest")) return SelfTest();
+  if (cli.Has("methods")) return ListMethods();
 
   std::string train_path = cli.GetString("train", "");
   std::string test_path = cli.GetString("test", "");
@@ -147,31 +199,30 @@ int main(int argc, char** argv) {
     return Usage("--train, --test and --out are required");
   }
   std::string task = cli.GetString("task", "classification");
-  std::string method = cli.GetString("method", "exact");
-  int k = cli.GetInt("k", 5);
-  double epsilon = cli.GetDouble("epsilon", 0.1);
-  double delta = cli.GetDouble("delta", 0.1);
-  bool weighted = cli.Has("weighted");
   CsvTarget target = task == "regression" ? CsvTarget::kTarget : CsvTarget::kLabel;
 
-  auto train = LoadCsvDataset(train_path, target);
-  if (!train.ok()) return Usage(train.error.c_str());
-  auto test = LoadCsvDataset(test_path, target);
-  if (!test.ok()) return Usage(test.error.c_str());
+  auto train_load = LoadCsvDataset(train_path, target);
+  if (!train_load.ok()) return Usage(train_load.error.c_str());
+  auto test_load = LoadCsvDataset(test_path, target);
+  if (!test_load.ok()) return Usage(test_load.error.c_str());
   std::printf("train: %zu rows (%zu skipped), test: %zu rows, dim %zu\n",
-              train.rows_parsed, train.rows_skipped, test.rows_parsed,
-              train.data.Dim());
+              train_load.rows_parsed, train_load.rows_skipped, test_load.rows_parsed,
+              train_load.data.Dim());
 
-  WallTimer timer;
-  auto values =
-      Compute(train.data, test.data, task, method, k, epsilon, delta, weighted);
-  std::printf("%s/%s valuation of %zu points in %.3fs\n", task.c_str(),
-              method.c_str(), values.size(), timer.Seconds());
+  auto train = std::make_shared<const Dataset>(std::move(train_load.data));
+  auto test = std::make_shared<const Dataset>(std::move(test_load.data));
+  ValuationRequest request = BuildRequest(cli, train, test);
 
-  if (!SaveValuesCsv(values, train.data, out_path)) {
+  ValuationEngine engine;
+  ValuationReport report = engine.Value(request);
+  if (!report.ok()) return Usage(report.error.c_str());
+  std::printf("%s\n", report.FormatStatusLine().c_str());
+
+  if (!SaveValuesCsv(report.values, *train, out_path)) {
     return Usage(("cannot write " + out_path).c_str());
   }
-  double total = std::accumulate(values.begin(), values.end(), 0.0);
+  double total =
+      std::accumulate(report.values.begin(), report.values.end(), 0.0);
   std::printf("wrote %s (sum of values = %.6f)\n", out_path.c_str(), total);
   return 0;
 }
