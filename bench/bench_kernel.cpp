@@ -1,0 +1,199 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Kernel benchmark: the pre-kernel scalar distance path (per-pair
+// Distance() calls + comparator argsort — exactly what AllDistances /
+// ArgsortByDistance compiled to before the batched kernel subsystem)
+// against the new batched kernels, per distance kernel (blocked fallback
+// and, when the CPU supports it, AVX2/FMA), plus the packed-key argsort
+// against the indirect comparator std::sort. Seeds the perf trajectory:
+// results land in BENCH_kernel.json.
+//
+// Usage:
+//   bench_kernel                   # full grid (N up to 1M rows; minutes)
+//   bench_kernel --smoke           # tiny grid for CI (seconds)
+//   bench_kernel --json=out.json   # result path (default BENCH_kernel.json)
+//
+// Modes reported per (N, d, metric):
+//   scalar_per_query_ms    old path: per-pair Distance() over all rows
+//   kernel_ms[kind]        batched ComputeDistances with fitted norms
+//   batch_kernel_ms[kind]  ComputeDistanceMatrix amortized per query
+//                          (the engine's many-queries-per-corpus shape)
+//   speedup[kind]          scalar / batch-kernel per-query time
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "knn/distance_kernel.h"
+#include "knn/metric.h"
+#include "knn/neighbors.h"
+#include "util/random.h"
+
+using namespace knnshap;
+
+namespace {
+
+struct GridPoint {
+  size_t n;
+  size_t d;
+};
+
+struct ModeResult {
+  double kernel_ms = 0.0;        // single-query batched pass
+  double batch_kernel_ms = 0.0;  // per-query cost inside a query block
+  double argsort_ms = 0.0;       // packed-key argsort (distances precomputed)
+};
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    auto row = m.MutableRow(i);
+    for (auto& x : row) x = static_cast<float>(rng.NextGaussian());
+  }
+  return m;
+}
+
+// Old scalar path: per-pair Distance() (one KNNSHAP_CHECK + switch per
+// row), serial double accumulation.
+double TimeScalar(const Matrix& corpus, const Matrix& queries, Metric metric,
+                  std::vector<double>* dists) {
+  WallTimer timer;
+  for (size_t j = 0; j < queries.Rows(); ++j) {
+    auto query = queries.Row(j);
+    for (size_t i = 0; i < corpus.Rows(); ++i) {
+      (*dists)[i] = Distance(corpus.Row(i), query, metric);
+    }
+  }
+  return timer.Millis() / static_cast<double>(queries.Rows());
+}
+
+// Old ordering: indirect comparator std::sort over row indices.
+double TimeComparatorArgsort(const std::vector<double>& dists, size_t repeats) {
+  std::vector<int> order(dists.size());
+  WallTimer timer;
+  for (size_t r = 0; r < repeats; ++r) {
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(), [&dists](int a, int b) {
+      double da = dists[static_cast<size_t>(a)];
+      double db = dists[static_cast<size_t>(b)];
+      if (da != db) return da < db;
+      return a < b;
+    });
+  }
+  return timer.Millis() / static_cast<double>(repeats);
+}
+
+ModeResult TimeKernel(const Matrix& corpus, const Matrix& queries, Metric metric,
+                      KernelKind kind, size_t argsort_repeats) {
+  SetKernelOverride(kind);
+  const CorpusNorms norms(corpus);  // fitted once, like the engine valuators
+  std::vector<double> dists(corpus.Rows());
+  ModeResult result;
+  {
+    WallTimer timer;
+    for (size_t j = 0; j < queries.Rows(); ++j) {
+      ComputeDistances(corpus, queries.Row(j), metric, &norms, dists);
+    }
+    result.kernel_ms = timer.Millis() / static_cast<double>(queries.Rows());
+  }
+  {
+    std::vector<double> matrix(corpus.Rows() * queries.Rows());
+    WallTimer timer;
+    ComputeDistanceMatrix(corpus, queries, metric, &norms, matrix);
+    result.batch_kernel_ms = timer.Millis() / static_cast<double>(queries.Rows());
+  }
+  {
+    std::vector<int> order;
+    WallTimer timer;
+    for (size_t r = 0; r < argsort_repeats; ++r) ArgsortDistances(dists, &order);
+    result.argsort_ms = timer.Millis() / static_cast<double>(argsort_repeats);
+  }
+  SetKernelOverride(KernelKind::kAuto);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const bool smoke = cli.Has("smoke");
+  const std::string json_path = cli.GetString("json", "BENCH_kernel.json");
+  const size_t num_queries = static_cast<size_t>(cli.GetInt("queries", smoke ? 4 : 8));
+
+  bench::Banner("BENCH kernel — batched SIMD distance kernels vs scalar path",
+                "batched kernel >= 3x over per-pair scalar at N=100k d=128 "
+                "(squared-l2, fallback path)");
+
+  std::vector<GridPoint> grid;
+  if (smoke) {
+    grid = {{2000, 16}, {1000, 1}, {1500, 17}};
+  } else {
+    grid = {{100000, 16}, {100000, 128}, {100000, 784}, {1000000, 16}};
+  }
+  std::vector<Metric> metrics = {Metric::kSquaredL2};
+  if (!smoke) metrics.push_back(Metric::kL2);
+
+  std::vector<KernelKind> kinds = {KernelKind::kBlocked};
+  if (CpuSupportsAvx2Fma()) kinds.push_back(KernelKind::kAvx2);
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"kernel\",\n  \"smoke\": %s,\n",
+               smoke ? "true" : "false");
+  std::fprintf(json, "  \"queries\": %zu,\n  \"cpu_avx2_fma\": %s,\n",
+               num_queries, CpuSupportsAvx2Fma() ? "true" : "false");
+  std::fprintf(json, "  \"results\": [\n");
+
+  bool first = true;
+  for (const GridPoint& g : grid) {
+    Matrix corpus = RandomMatrix(g.n, g.d, /*seed=*/17);
+    Matrix queries = RandomMatrix(num_queries, g.d, /*seed=*/29);
+    const size_t argsort_repeats = smoke ? 3 : (g.n >= 1000000 ? 3 : 10);
+    for (Metric metric : metrics) {
+      std::vector<double> dists(g.n);
+      SetKernelOverride(KernelKind::kReference);
+      double scalar_ms = TimeScalar(corpus, queries, metric, &dists);
+      double comparator_sort_ms = TimeComparatorArgsort(dists, argsort_repeats);
+      SetKernelOverride(KernelKind::kAuto);
+
+      bench::Row("N=%-8zu d=%-4zu %-10s scalar %9.3f ms/query  cmp-sort %8.3f ms\n",
+                 g.n, g.d, MetricName(metric), scalar_ms, comparator_sort_ms);
+
+      if (!first) std::fprintf(json, ",\n");
+      first = false;
+      std::fprintf(json,
+                   "    {\"n\": %zu, \"d\": %zu, \"metric\": \"%s\",\n"
+                   "     \"scalar_per_query_ms\": %.4f,\n"
+                   "     \"comparator_argsort_ms\": %.4f",
+                   g.n, g.d, MetricName(metric), scalar_ms, comparator_sort_ms);
+
+      for (KernelKind kind : kinds) {
+        ModeResult r = TimeKernel(corpus, queries, metric, kind, argsort_repeats);
+        double speedup = r.batch_kernel_ms > 0.0 ? scalar_ms / r.batch_kernel_ms : 0.0;
+        double single_speedup = r.kernel_ms > 0.0 ? scalar_ms / r.kernel_ms : 0.0;
+        bench::Row(
+            "    %-9s kernel %9.3f ms/query (%.2fx)  batched %9.3f ms/query "
+            "(%.2fx)  packed-sort %8.3f ms\n",
+            KernelName(kind), r.kernel_ms, single_speedup, r.batch_kernel_ms,
+            speedup, r.argsort_ms);
+        std::fprintf(json,
+                     ",\n     \"%s\": {\"kernel_ms\": %.4f, \"batch_kernel_ms\": "
+                     "%.4f, \"packed_argsort_ms\": %.4f, \"speedup_vs_scalar\": "
+                     "%.2f, \"batch_speedup_vs_scalar\": %.2f}",
+                     KernelName(kind), r.kernel_ms, r.batch_kernel_ms, r.argsort_ms,
+                     single_speedup, speedup);
+      }
+      std::fprintf(json, "}");
+    }
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  bench::Row("wrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -62,10 +62,11 @@ CompositeShapleyResult CompositeKnnShapley(const Dataset& train, const Dataset& 
                                            int k, bool parallel, Metric metric) {
   KNNSHAP_CHECK(train.HasLabels() && test.HasLabels(), "labels required");
   KNNSHAP_CHECK(test.Size() > 0, "empty test set");
+  const CorpusNorms norms = NormsForMetric(train.features, metric);
   std::vector<std::vector<double>> per_test(test.Size());
   auto run_one = [&](size_t j) {
     std::vector<int> order = ArgsortByDistance(train.features, test.features.Row(j),
-                                               metric);
+                                               metric, &norms);
     std::vector<int> sorted_labels(order.size());
     for (size_t i = 0; i < order.size(); ++i) {
       sorted_labels[i] = train.labels[static_cast<size_t>(order[i])];
@@ -154,10 +155,11 @@ CompositeShapleyResult CompositeKnnRegressionShapley(const Dataset& train,
                                                      bool parallel, Metric metric) {
   KNNSHAP_CHECK(train.HasTargets() && test.HasTargets(), "targets required");
   KNNSHAP_CHECK(test.Size() > 0, "empty test set");
+  const CorpusNorms norms = NormsForMetric(train.features, metric);
   std::vector<std::vector<double>> per_test(test.Size());
   auto run_one = [&](size_t j) {
     std::vector<int> order = ArgsortByDistance(train.features, test.features.Row(j),
-                                               metric);
+                                               metric, &norms);
     std::vector<double> sorted_targets(order.size());
     for (size_t i = 0; i < order.size(); ++i) {
       sorted_targets[i] = train.targets[static_cast<size_t>(order[i])];

@@ -68,9 +68,10 @@ std::vector<double> KnnShapleyClosedForm(const std::vector<int>& sorted_labels,
 
 std::vector<double> ExactKnnShapleySingle(const Dataset& train,
                                           std::span<const float> query, int test_label,
-                                          int k, Metric metric) {
+                                          int k, Metric metric,
+                                          const CorpusNorms* norms) {
   KNNSHAP_CHECK(train.HasLabels(), "labels required");
-  std::vector<int> order = ArgsortByDistance(train.features, query, metric);
+  std::vector<int> order = ArgsortByDistance(train.features, query, metric, norms);
   std::vector<int> sorted_labels(order.size());
   for (size_t i = 0; i < order.size(); ++i) {
     sorted_labels[i] = train.labels[static_cast<size_t>(order[i])];
@@ -89,10 +90,12 @@ std::vector<double> ExactKnnShapley(const Dataset& train, const Dataset& test, i
   KNNSHAP_CHECK(test.HasLabels(), "test labels required");
   const size_t n = train.Size();
   const size_t num_tests = test.Size();
+  // Row norms are shared by every query (and every pool thread) below.
+  const CorpusNorms norms = NormsForMetric(train.features, metric);
   std::vector<std::vector<double>> per_test(num_tests);
   auto run_one = [&](size_t j) {
-    per_test[j] =
-        ExactKnnShapleySingle(train, test.features.Row(j), test.labels[j], k, metric);
+    per_test[j] = ExactKnnShapleySingle(train, test.features.Row(j), test.labels[j], k,
+                                        metric, &norms);
   };
   if (parallel && num_tests > 1) {
     ThreadPool::Shared().ParallelFor(num_tests, run_one);

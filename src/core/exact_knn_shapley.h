@@ -20,15 +20,19 @@
 #include <vector>
 
 #include "dataset/dataset.h"
+#include "knn/distance_kernel.h"
 #include "knn/metric.h"
 
 namespace knnshap {
 
 /// Exact SVs of all training rows for one test point (Theorem 1).
-/// Returns a vector indexed by training row. O(N (d + log N)).
+/// Returns a vector indexed by training row. O(N (d + log N)). `norms`
+/// (optional) are precomputed row norms of train.features, letting
+/// repeat-query callers amortize the per-row norm work.
 std::vector<double> ExactKnnShapleySingle(const Dataset& train,
                                           std::span<const float> query, int test_label,
-                                          int k, Metric metric = Metric::kL2);
+                                          int k, Metric metric = Metric::kL2,
+                                          const CorpusNorms* norms = nullptr);
 
 /// Recursion evaluated on an externally supplied distance ordering:
 /// `sorted_labels[i]` is the label of the (i+1)-th nearest training point.

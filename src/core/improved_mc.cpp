@@ -37,16 +37,26 @@ IncrementalKnnUtility::IncrementalKnnUtility(const Dataset* train, const Dataset
   // Cache the full test x train distance matrix when it fits comfortably
   // (it removes the O(d) factor from every insertion). Doubles, not
   // floats: the weighted utilities are sensitive to distance rounding and
-  // must agree bit-for-bit with the batch evaluation.
+  // must agree bit-for-bit with the batch evaluation. That agreement pins
+  // this fill to the scalar *reference* distance (the same per-pair loop
+  // behind Distance(), which TopKAmongRows and the uncached RowDistance
+  // fallback use) rather than the batched fast kernels: one distance
+  // definition everywhere keeps MC results independent of whether the
+  // corpus crosses the cache threshold, at the cost of the kernel speedup
+  // on this one-time fill. Only the per-pair dimension check is hoisted.
   const size_t cells = train->Size() * test->Size();
   cache_distances_ = cells <= (32u << 20);  // <= 256 MB of doubles
   if (cache_distances_) {
+    KNNSHAP_CHECK(train->Size() == 0 ||
+                      test->features.Cols() == train->features.Cols(),
+                  "test dimension mismatch");
     distance_cache_.resize(cells);
+    const size_t d = train->features.Cols();
     for (size_t j = 0; j < test->Size(); ++j) {
-      auto query = test->features.Row(j);
+      const float* query = test->features.Row(j).data();
       for (size_t i = 0; i < train->Size(); ++i) {
-        distance_cache_[j * train->Size() + i] =
-            Distance(train->features.Row(i), query, metric_);
+        distance_cache_[j * train->Size() + i] = internal::DistanceUnchecked(
+            train->features.Row(i).data(), query, d, metric_);
       }
     }
   }

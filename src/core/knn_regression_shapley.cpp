@@ -77,9 +77,10 @@ std::vector<double> KnnRegressionShapleyRecursion(
 std::vector<double> ExactKnnRegressionShapleySingle(const Dataset& train,
                                                     std::span<const float> query,
                                                     double test_target, int k,
-                                                    Metric metric) {
+                                                    Metric metric,
+                                                    const CorpusNorms* norms) {
   KNNSHAP_CHECK(train.HasTargets(), "targets required");
-  std::vector<int> order = ArgsortByDistance(train.features, query, metric);
+  std::vector<int> order = ArgsortByDistance(train.features, query, metric, norms);
   std::vector<double> sorted_targets(order.size());
   for (size_t i = 0; i < order.size(); ++i) {
     sorted_targets[i] = train.targets[static_cast<size_t>(order[i])];
@@ -97,10 +98,11 @@ std::vector<double> ExactKnnRegressionShapley(const Dataset& train, const Datase
                                               int k, bool parallel, Metric metric) {
   KNNSHAP_CHECK(test.Size() > 0 && test.HasTargets(), "test targets required");
   const size_t n = train.Size();
+  const CorpusNorms norms = NormsForMetric(train.features, metric);
   std::vector<std::vector<double>> per_test(test.Size());
   auto run_one = [&](size_t j) {
     per_test[j] = ExactKnnRegressionShapleySingle(train, test.features.Row(j),
-                                                  test.targets[j], k, metric);
+                                                  test.targets[j], k, metric, &norms);
   };
   if (parallel && test.Size() > 1) {
     ThreadPool::Shared().ParallelFor(test.Size(), run_one);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "dataset/dataset.h"
+#include "knn/distance_kernel.h"
 #include "knn/metric.h"
 
 namespace knnshap {
@@ -26,10 +27,12 @@ std::vector<double> KnnRegressionShapleyRecursion(
     const std::vector<double>& sorted_targets, double test_target, int k);
 
 /// Exact SVs of all training rows for one test point. O(N (d + log N)).
+/// `norms` (optional) are precomputed row norms of train.features.
 std::vector<double> ExactKnnRegressionShapleySingle(const Dataset& train,
                                                     std::span<const float> query,
                                                     double test_target, int k,
-                                                    Metric metric = Metric::kL2);
+                                                    Metric metric = Metric::kL2,
+                                                    const CorpusNorms* norms = nullptr);
 
 /// Exact SVs averaged over a test set with targets (additivity over test
 /// points, as in Eq 8).

@@ -123,10 +123,11 @@ std::vector<double> TruncatedShapleyOverTests(const Dataset& train, const Datase
 
 std::vector<double> TruncatedKnnShapley(const Dataset& train, const Dataset& test,
                                         int k, double epsilon, bool parallel) {
+  const CorpusNorms norms(train.features);
   return TruncatedShapleyOverTests(
       train, test, k, epsilon, parallel, [&](size_t j, int k_star) {
         return TopKNeighbors(train.features, test.features.Row(j),
-                             static_cast<size_t>(k_star));
+                             static_cast<size_t>(k_star), Metric::kL2, &norms);
       });
 }
 

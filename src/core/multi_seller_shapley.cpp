@@ -8,6 +8,7 @@
 
 #include "knn/knn_classifier.h"
 #include "knn/knn_regressor.h"
+#include "knn/neighbors.h"
 #include "util/binomial.h"
 #include "util/common.h"
 #include "util/thread_pool.h"
@@ -72,17 +73,16 @@ std::vector<double> MultiSellerShapleySingle(const Dataset& train,
                                              const OwnerAssignment& owners,
                                              std::span<const float> query,
                                              int test_label, double test_target,
-                                             const MultiSellerShapleyOptions& options) {
+                                             const MultiSellerShapleyOptions& options,
+                                             const CorpusNorms* norms) {
   const int m = owners.NumSellers();
   const int k = options.k;
   KNNSHAP_CHECK(m >= 1 && k >= 1, "bad arguments");
   KNNSHAP_CHECK(owners.NumRows() == train.Size(), "ownership map size mismatch");
 
-  // Per-row keys and per-seller rows sorted by key.
-  std::vector<double> dist(train.Size());
-  for (size_t i = 0; i < train.Size(); ++i) {
-    dist[i] = Distance(train.features.Row(i), query, options.metric);
-  }
+  // Per-row keys (one batched kernel pass) and per-seller rows sorted by key.
+  std::vector<double> dist =
+      AllDistances(train.features, query, options.metric, norms);
   auto key_of = [&](int row) {
     return RowKey{dist[static_cast<size_t>(row)], row};
   };
@@ -207,12 +207,13 @@ std::vector<double> MultiSellerShapley(const Dataset& train,
                                        bool parallel) {
   KNNSHAP_CHECK(test.Size() > 0, "empty test set");
   const size_t m = static_cast<size_t>(owners.NumSellers());
+  const CorpusNorms norms = NormsForMetric(train.features, options.metric);
   std::vector<std::vector<double>> per_test(test.Size());
   auto run_one = [&](size_t j) {
     int label = test.HasLabels() ? test.labels[j] : 0;
     double target = test.HasTargets() ? test.targets[j] : 0.0;
     per_test[j] = MultiSellerShapleySingle(train, owners, test.features.Row(j), label,
-                                           target, options);
+                                           target, options, &norms);
   };
   if (parallel && test.Size() > 1) {
     ThreadPool::Shared().ParallelFor(test.Size(), run_one);

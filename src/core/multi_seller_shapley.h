@@ -27,6 +27,7 @@
 #include "core/utility.h"
 #include "dataset/dataset.h"
 #include "dataset/owners.h"
+#include "knn/distance_kernel.h"
 #include "knn/metric.h"
 #include "knn/weights.h"
 
@@ -43,11 +44,14 @@ struct MultiSellerShapleyOptions {
 };
 
 /// Exact per-seller SVs for one test point. O(M^K) coalition patterns.
+/// `norms` (optional) are precomputed row norms of train.features for the
+/// batched distance pass.
 std::vector<double> MultiSellerShapleySingle(const Dataset& train,
                                              const OwnerAssignment& owners,
                                              std::span<const float> query,
                                              int test_label, double test_target,
-                                             const MultiSellerShapleyOptions& options);
+                                             const MultiSellerShapleyOptions& options,
+                                             const CorpusNorms* norms = nullptr);
 
 /// Exact per-seller SVs averaged over a test set.
 std::vector<double> MultiSellerShapley(const Dataset& train,

@@ -25,6 +25,7 @@ StreamingValuator::StreamingValuator(const Dataset& corpus,
 
   switch (options_.backend) {
     case RetrievalBackend::kBruteForce:
+      norms_ = CorpusNorms(corpus_.features);
       break;
     case RetrievalBackend::kKdTree:
       kd_tree_ = std::make_unique<KdTree>(&corpus_.features);
@@ -42,7 +43,7 @@ std::vector<Neighbor> StreamingValuator::Retrieve(std::span<const float> query) 
   const size_t depth = static_cast<size_t>(k_star_);
   switch (options_.backend) {
     case RetrievalBackend::kBruteForce:
-      return TopKNeighbors(corpus_.features, query, depth);
+      return TopKNeighbors(corpus_.features, query, depth, Metric::kL2, &norms_);
     case RetrievalBackend::kKdTree:
       return kd_tree_->Query(query, depth);
     case RetrievalBackend::kLsh:

@@ -29,7 +29,7 @@ namespace knnshap {
 
 /// Retrieval structure used to find the K* nearest corpus points.
 enum class RetrievalBackend {
-  kBruteForce,  ///< Exact bounded-heap scan.
+  kBruteForce,  ///< Exact batched-kernel scan with precomputed norms.
   kKdTree,      ///< Exact kd-tree search.
   kLsh,         ///< Approximate, Theorem-3-tuned LSH.
 };
@@ -79,6 +79,7 @@ class StreamingValuator {
   int k_star_;
   double scale_ = 1.0;     // 1 / D_mean used to normalize
   double contrast_ = 0.0;  // C_{K*} estimate
+  CorpusNorms norms_;      // row norms of the normalized corpus (brute force)
   std::unique_ptr<LshIndex> lsh_;
   std::unique_ptr<KdTree> kd_tree_;
   mutable std::vector<double> values_;  // lazily refreshed running means

@@ -100,13 +100,15 @@ double WeightedShapleyEvalCount(int n, int k) {
 
 std::vector<double> ExactWeightedKnnShapleySingle(
     const Dataset& train, std::span<const float> query, int test_label,
-    double test_target, const WeightedShapleyOptions& options) {
+    double test_target, const WeightedShapleyOptions& options,
+    const CorpusNorms* norms) {
   const int n = static_cast<int>(train.Size());
   const int k = options.k;
   KNNSHAP_CHECK(n >= 2, "need at least two training points");
   KNNSHAP_CHECK(k >= 1, "k must be >= 1");
 
-  std::vector<int> order = ArgsortByDistance(train.features, query, options.metric);
+  std::vector<int> order =
+      ArgsortByDistance(train.features, query, options.metric, norms);
   RankUtility nu(train, order, query, test_label, test_target, options);
 
   // Shapley weight of a group of coalitions in the relevant game. In the
@@ -228,12 +230,13 @@ std::vector<double> ExactWeightedKnnShapley(const Dataset& train, const Dataset&
                                             bool parallel) {
   KNNSHAP_CHECK(test.Size() > 0, "empty test set");
   const size_t n = train.Size();
+  const CorpusNorms norms = NormsForMetric(train.features, options.metric);
   std::vector<std::vector<double>> per_test(test.Size());
   auto run_one = [&](size_t j) {
     int label = test.HasLabels() ? test.labels[j] : 0;
     double target = test.HasTargets() ? test.targets[j] : 0.0;
     per_test[j] = ExactWeightedKnnShapleySingle(train, test.features.Row(j), label,
-                                                target, options);
+                                                target, options, &norms);
   };
   if (parallel && test.Size() > 1) {
     ThreadPool::Shared().ParallelFor(test.Size(), run_one);

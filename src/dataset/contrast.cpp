@@ -28,10 +28,11 @@ ContrastEstimate EstimateRelativeContrast(const Dataset& train, const Dataset& q
   // D_K: expected distance to the Kth nearest neighbor over sampled queries.
   auto picks = rng->SampleWithoutReplacement(static_cast<int>(queries.Size()),
                                              static_cast<int>(num_queries));
+  const CorpusNorms norms(train.features);
   double d_k_sum = 0.0;
   for (int qi : picks) {
     auto nns = TopKNeighbors(train.features, queries.features.Row(static_cast<size_t>(qi)),
-                             static_cast<size_t>(k));
+                             static_cast<size_t>(k), Metric::kL2, &norms);
     d_k_sum += nns.back().distance;
   }
   double d_k = d_k_sum / static_cast<double>(picks.size());

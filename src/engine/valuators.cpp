@@ -43,11 +43,13 @@ double TestTarget(const Dataset& test, size_t row) {
 
 void ExactValuator::OnFit() {
   KNNSHAP_CHECK(Train().HasLabels(), "exact: labeled corpus required");
+  // Norms amortize across every request sharing this fitted corpus.
+  norms_ = NormsForMetric(Train().features, params_.metric);
 }
 
 std::vector<double> ExactValuator::ValueOne(const Dataset& test, size_t row) const {
   return ExactKnnShapleySingle(Train(), test.features.Row(row), TestLabel(test, row),
-                               params_.k, params_.metric);
+                               params_.k, params_.metric, &norms_);
 }
 
 // ---------------------------------------------------------------------------
@@ -143,6 +145,7 @@ void WeightedValuator::OnFit() {
   const bool regression = params_.task == KnnTask::kWeightedRegression;
   KNNSHAP_CHECK(regression ? Train().HasTargets() : Train().HasLabels(),
                 "weighted: corpus lacks the task's labels/targets");
+  norms_ = NormsForMetric(Train().features, params_.metric);
 }
 
 std::vector<double> WeightedValuator::ValueOne(const Dataset& test, size_t row) const {
@@ -155,7 +158,7 @@ std::vector<double> WeightedValuator::ValueOne(const Dataset& test, size_t row) 
   options.metric = params_.metric;
   return ExactWeightedKnnShapleySingle(Train(), test.features.Row(row),
                                        TestLabel(test, row), TestTarget(test, row),
-                                       options);
+                                       options, &norms_);
 }
 
 // ---------------------------------------------------------------------------
@@ -164,13 +167,14 @@ std::vector<double> WeightedValuator::ValueOne(const Dataset& test, size_t row) 
 
 void RegressionValuator::OnFit() {
   KNNSHAP_CHECK(Train().HasTargets(), "regression: corpus targets required");
+  norms_ = NormsForMetric(Train().features, params_.metric);
 }
 
 std::vector<double> RegressionValuator::ValueOne(const Dataset& test,
                                                  size_t row) const {
   return ExactKnnRegressionShapleySingle(Train(), test.features.Row(row),
                                          TestTarget(test, row), params_.k,
-                                         params_.metric);
+                                         params_.metric, &norms_);
 }
 
 // ---------------------------------------------------------------------------

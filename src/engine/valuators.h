@@ -27,8 +27,9 @@
 
 namespace knnshap {
 
-/// Exact recursion of Theorem 1. No fitted structure: each query argsorts
-/// the corpus (O(N log N)), which is already optimal for exact values.
+/// Exact recursion of Theorem 1. Fit precomputes corpus row norms so each
+/// query's distance pass runs the fast kernel path; the norms amortize
+/// across every request sharing the corpus, like the kd-tree/LSH reuse.
 class ExactValuator : public Valuator {
  public:
   using Valuator::Valuator;
@@ -39,6 +40,9 @@ class ExactValuator : public Valuator {
 
  protected:
   void OnFit() override;
+
+ private:
+  CorpusNorms norms_;
 };
 
 /// (epsilon, 0)-approximation of Theorem 2: only the K* nearest neighbors
@@ -106,7 +110,8 @@ class McValuator : public Valuator {
 };
 
 /// Exact weighted KNN values (Theorem 7), classification or regression per
-/// params.task. O(N^K) per query — small K only.
+/// params.task. O(N^K) per query — small K only. Fit caches corpus norms
+/// for the per-query distance ordering.
 class WeightedValuator : public Valuator {
  public:
   using Valuator::Valuator;
@@ -115,9 +120,13 @@ class WeightedValuator : public Valuator {
 
  protected:
   void OnFit() override;
+
+ private:
+  CorpusNorms norms_;
 };
 
-/// Exact unweighted KNN regression values (Theorem 6).
+/// Exact unweighted KNN regression values (Theorem 6). Fit caches corpus
+/// norms for the per-query distance pass.
 class RegressionValuator : public Valuator {
  public:
   using Valuator::Valuator;
@@ -128,6 +137,9 @@ class RegressionValuator : public Valuator {
 
  protected:
   void OnFit() override;
+
+ private:
+  CorpusNorms norms_;
 };
 
 }  // namespace knnshap

@@ -74,8 +74,8 @@ void KdTree::Search(const Node* node, std::span<const float> query,
   if (node->IsLeaf()) {
     for (size_t i = node->begin; i < node->end; ++i) {
       int row = points_[i];
-      double dist =
-          std::sqrt(SquaredL2(train_->Row(static_cast<size_t>(row)), query));
+      double dist = std::sqrt(internal::SquaredL2Unchecked(
+          train_->Row(static_cast<size_t>(row)).data(), query.data(), query.size()));
       ++tls_distance_evals;
       heap->Push(dist, row);
     }
@@ -87,8 +87,11 @@ void KdTree::Search(const Node* node, std::span<const float> query,
   const Node* far = diff < 0.0 ? node->right.get() : node->left.get();
   Search(near, query, heap);
   // Prune the far side unless the splitting hyperplane is closer than the
-  // current K-th best distance (or the heap is not yet full).
-  if (!heap->Full() || std::fabs(diff) < heap->MaxKey()) {
+  // current K-th best distance (or the heap is not yet full). <= rather
+  // than <: a far-side point tying the K-th distance may still enter the
+  // heap on the index tie-break, and visiting it keeps the result
+  // identical to brute force on tie-heavy data.
+  if (!heap->Full() || std::fabs(diff) <= heap->MaxKey()) {
     Search(far, query, heap);
   }
 }
@@ -97,16 +100,14 @@ std::vector<Neighbor> KdTree::Query(std::span<const float> query, size_t k) cons
   tls_distance_evals = 0;
   k = std::min(k, points_.size());
   if (k == 0) return {};
+  KNNSHAP_CHECK(query.size() == train_->Cols(), "query dimension mismatch");
   BoundedMaxHeap<int> heap(k);
   Search(root_.get(), query, &heap);
+  // SortedEntries is (distance, index)-ordered already.
   auto sorted = heap.SortedEntries();
   std::vector<Neighbor> out;
   out.reserve(sorted.size());
   for (const auto& e : sorted) out.push_back({e.payload, e.key});
-  std::stable_sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.index < b.index;
-  });
   return out;
 }
 

@@ -9,40 +9,18 @@
 
 namespace knnshap {
 
-namespace {
-
-// Top-min(k,|subset|) rows of `subset` by distance to `query`, with their
-// distances, ascending.
-std::vector<Neighbor> SubsetTopK(const Dataset& train, std::span<const int> subset,
-                                 std::span<const float> query, int k, Metric metric) {
-  std::vector<Neighbor> all;
-  all.reserve(subset.size());
-  for (int row : subset) {
-    all.push_back({row, Distance(train.features.Row(static_cast<size_t>(row)), query,
-                                 metric)});
-  }
-  size_t keep = std::min<size_t>(static_cast<size_t>(k), all.size());
-  std::partial_sort(all.begin(), all.begin() + static_cast<long>(keep), all.end(),
-                    [](const Neighbor& a, const Neighbor& b) {
-                      if (a.distance != b.distance) return a.distance < b.distance;
-                      return a.index < b.index;
-                    });
-  all.resize(keep);
-  return all;
-}
-
-}  // namespace
-
 KnnClassifier::KnnClassifier(const Dataset* train, int k, WeightConfig weights,
                              Metric metric)
     : train_(train), k_(k), weights_(weights), metric_(metric) {
   KNNSHAP_CHECK(train != nullptr && train->HasLabels(), "labeled training data required");
   KNNSHAP_CHECK(k >= 1, "k must be >= 1");
   num_classes_ = *std::max_element(train->labels.begin(), train->labels.end()) + 1;
+  norms_ = NormsForMetric(train->features, metric_);
 }
 
 double KnnClassifier::PredictProba(std::span<const float> query, int label) const {
-  auto nns = TopKNeighbors(train_->features, query, static_cast<size_t>(k_), metric_);
+  auto nns =
+      TopKNeighbors(train_->features, query, static_cast<size_t>(k_), metric_, &norms_);
   std::vector<double> dists;
   dists.reserve(nns.size());
   for (const auto& nn : nns) dists.push_back(nn.distance);
@@ -54,8 +32,7 @@ double KnnClassifier::PredictProba(std::span<const float> query, int label) cons
   return proba;
 }
 
-int KnnClassifier::Predict(std::span<const float> query) const {
-  auto nns = TopKNeighbors(train_->features, query, static_cast<size_t>(k_), metric_);
+int KnnClassifier::PredictFromNeighbors(const std::vector<Neighbor>& nns) const {
   std::vector<double> dists;
   dists.reserve(nns.size());
   for (const auto& nn : nns) dists.push_back(nn.distance);
@@ -69,13 +46,21 @@ int KnnClassifier::Predict(std::span<const float> query) const {
   return static_cast<int>(std::max_element(votes.begin(), votes.end()) - votes.begin());
 }
 
+int KnnClassifier::Predict(std::span<const float> query) const {
+  return PredictFromNeighbors(
+      TopKNeighbors(train_->features, query, static_cast<size_t>(k_), metric_,
+                    &norms_));
+}
+
 double KnnClassifier::Accuracy(const Dataset& test) const {
   KNNSHAP_CHECK(test.HasLabels(), "test labels required");
   if (test.Size() == 0) return 0.0;
   size_t correct = 0;
-  for (size_t i = 0; i < test.Size(); ++i) {
-    if (Predict(test.features.Row(i)) == test.labels[i]) ++correct;
-  }
+  ForEachBatchedTopK(
+      train_->features, test.features, static_cast<size_t>(k_), metric_, &norms_,
+      [&](size_t row, const std::vector<Neighbor>& nns) {
+        if (PredictFromNeighbors(nns) == test.labels[row]) ++correct;
+      });
   return static_cast<double>(correct) / static_cast<double>(test.Size());
 }
 
@@ -84,7 +69,7 @@ double UnweightedKnnClassUtility(const Dataset& train, std::span<const int> subs
                                  Metric metric) {
   KNNSHAP_CHECK(k >= 1, "k must be >= 1");
   if (subset.empty()) return 0.0;
-  auto top = SubsetTopK(train, subset, query, k, metric);
+  auto top = TopKAmongRows(train.features, subset, query, static_cast<size_t>(k), metric);
   double correct = 0.0;
   for (const auto& nn : top) {
     if (train.labels[static_cast<size_t>(nn.index)] == test_label) correct += 1.0;
@@ -98,7 +83,7 @@ double WeightedKnnClassUtility(const Dataset& train, std::span<const int> subset
                                const WeightConfig& config, Metric metric) {
   KNNSHAP_CHECK(k >= 1, "k must be >= 1");
   if (subset.empty()) return 0.0;
-  auto top = SubsetTopK(train, subset, query, k, metric);
+  auto top = TopKAmongRows(train.features, subset, query, static_cast<size_t>(k), metric);
   std::vector<double> dists;
   dists.reserve(top.size());
   for (const auto& nn : top) dists.push_back(nn.distance);

@@ -10,12 +10,16 @@
 #include <vector>
 
 #include "dataset/dataset.h"
+#include "knn/distance_kernel.h"
 #include "knn/metric.h"
+#include "knn/neighbors.h"
 #include "knn/weights.h"
 
 namespace knnshap {
 
 /// Unweighted or weighted KNN classifier over a training Dataset.
+/// Precomputes corpus row norms at construction so every prediction runs
+/// the fast kernel path.
 class KnnClassifier {
  public:
   /// The training data must have labels. `k` >= 1.
@@ -29,18 +33,24 @@ class KnnClassifier {
   /// Most probable label for the query (ties broken toward the smaller id).
   int Predict(std::span<const float> query) const;
 
-  /// Mean accuracy over a labeled test set.
+  /// Mean accuracy over a labeled test set. Runs the query-block ×
+  /// corpus batched kernel (chunked so the distance buffer stays bounded);
+  /// per-query predictions are bit-identical to Predict().
   double Accuracy(const Dataset& test) const;
 
   int K() const { return k_; }
   const Dataset& Train() const { return *train_; }
 
  private:
+  /// Voting over already-retrieved neighbors (shared by Predict/Accuracy).
+  int PredictFromNeighbors(const std::vector<Neighbor>& nns) const;
+
   const Dataset* train_;
   int k_;
   WeightConfig weights_;
   Metric metric_;
   int num_classes_;
+  CorpusNorms norms_;
 };
 
 /// The KNN utility of Eq (5) evaluated on an explicit subset S of training

@@ -9,37 +9,15 @@
 
 namespace knnshap {
 
-namespace {
-
-std::vector<Neighbor> SubsetTopK(const Dataset& train, std::span<const int> subset,
-                                 std::span<const float> query, int k, Metric metric) {
-  std::vector<Neighbor> all;
-  all.reserve(subset.size());
-  for (int row : subset) {
-    all.push_back({row, Distance(train.features.Row(static_cast<size_t>(row)), query,
-                                 metric)});
-  }
-  size_t keep = std::min<size_t>(static_cast<size_t>(k), all.size());
-  std::partial_sort(all.begin(), all.begin() + static_cast<long>(keep), all.end(),
-                    [](const Neighbor& a, const Neighbor& b) {
-                      if (a.distance != b.distance) return a.distance < b.distance;
-                      return a.index < b.index;
-                    });
-  all.resize(keep);
-  return all;
-}
-
-}  // namespace
-
 KnnRegressor::KnnRegressor(const Dataset* train, int k, WeightConfig weights,
                            Metric metric)
     : train_(train), k_(k), weights_(weights), metric_(metric) {
   KNNSHAP_CHECK(train != nullptr && train->HasTargets(), "targets required");
   KNNSHAP_CHECK(k >= 1, "k must be >= 1");
+  norms_ = NormsForMetric(train->features, metric_);
 }
 
-double KnnRegressor::Predict(std::span<const float> query) const {
-  auto nns = TopKNeighbors(train_->features, query, static_cast<size_t>(k_), metric_);
+double KnnRegressor::PredictFromNeighbors(const std::vector<Neighbor>& nns) const {
   if (nns.empty()) return 0.0;
   if (weights_.kernel == WeightKernel::kUniform) {
     double sum = 0.0;
@@ -57,14 +35,22 @@ double KnnRegressor::Predict(std::span<const float> query) const {
   return estimate;
 }
 
+double KnnRegressor::Predict(std::span<const float> query) const {
+  return PredictFromNeighbors(
+      TopKNeighbors(train_->features, query, static_cast<size_t>(k_), metric_,
+                    &norms_));
+}
+
 double KnnRegressor::MeanSquaredError(const Dataset& test) const {
   KNNSHAP_CHECK(test.HasTargets(), "test targets required");
   if (test.Size() == 0) return 0.0;
   double total = 0.0;
-  for (size_t i = 0; i < test.Size(); ++i) {
-    double err = Predict(test.features.Row(i)) - test.targets[i];
-    total += err * err;
-  }
+  ForEachBatchedTopK(
+      train_->features, test.features, static_cast<size_t>(k_), metric_, &norms_,
+      [&](size_t row, const std::vector<Neighbor>& nns) {
+        double err = PredictFromNeighbors(nns) - test.targets[row];
+        total += err * err;
+      });
   return total / static_cast<double>(test.Size());
 }
 
@@ -72,7 +58,7 @@ double UnweightedKnnRegressionUtility(const Dataset& train, std::span<const int>
                                       std::span<const float> query, double test_target,
                                       int k, Metric metric) {
   KNNSHAP_CHECK(k >= 1, "k must be >= 1");
-  auto top = SubsetTopK(train, subset, query, k, metric);
+  auto top = TopKAmongRows(train.features, subset, query, static_cast<size_t>(k), metric);
   double sum = 0.0;
   for (const auto& nn : top) sum += train.targets[static_cast<size_t>(nn.index)];
   double err = sum / static_cast<double>(k) - test_target;
@@ -83,7 +69,7 @@ double WeightedKnnRegressionUtility(const Dataset& train, std::span<const int> s
                                     std::span<const float> query, double test_target,
                                     int k, const WeightConfig& config, Metric metric) {
   KNNSHAP_CHECK(k >= 1, "k must be >= 1");
-  auto top = SubsetTopK(train, subset, query, k, metric);
+  auto top = TopKAmongRows(train.features, subset, query, static_cast<size_t>(k), metric);
   if (top.empty()) return -test_target * test_target;
   std::vector<double> dists;
   dists.reserve(top.size());

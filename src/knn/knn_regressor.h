@@ -9,12 +9,16 @@
 #include <span>
 
 #include "dataset/dataset.h"
+#include "knn/distance_kernel.h"
 #include "knn/metric.h"
+#include "knn/neighbors.h"
 #include "knn/weights.h"
 
 namespace knnshap {
 
 /// Unweighted or weighted KNN regressor over a training Dataset.
+/// Precomputes corpus row norms at construction so every prediction runs
+/// the fast kernel path.
 class KnnRegressor {
  public:
   /// The training data must have targets. `k` >= 1.
@@ -26,16 +30,22 @@ class KnnRegressor {
   /// min(K,|S|), matching the paper).
   double Predict(std::span<const float> query) const;
 
-  /// Mean squared error over a test set with targets.
+  /// Mean squared error over a test set with targets. Runs the
+  /// query-block × corpus batched kernel (chunked so the distance buffer
+  /// stays bounded); per-query estimates are bit-identical to Predict().
   double MeanSquaredError(const Dataset& test) const;
 
   int K() const { return k_; }
 
  private:
+  /// Estimate over already-retrieved neighbors (shared by Predict/MSE).
+  double PredictFromNeighbors(const std::vector<Neighbor>& nns) const;
+
   const Dataset* train_;
   int k_;
   WeightConfig weights_;
   Metric metric_;
+  CorpusNorms norms_;
 };
 
 /// Eq (25): nu(S) = -((1/K) sum_{k<=min(K,|S|)} y_{alpha_k(S)} - y_test)^2.

@@ -8,34 +8,33 @@
 
 namespace knnshap {
 
-double SquaredL2(std::span<const float> a, std::span<const float> b) {
-  KNNSHAP_CHECK(a.size() == b.size(), "dimension mismatch");
+namespace internal {
+
+double SquaredL2Unchecked(const float* a, const float* b, size_t d) {
   double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
+  for (size_t i = 0; i < d; ++i) {
     double diff = static_cast<double>(a[i]) - static_cast<double>(b[i]);
     acc += diff * diff;
   }
   return acc;
 }
 
-double Distance(std::span<const float> a, std::span<const float> b, Metric metric) {
+double DistanceUnchecked(const float* a, const float* b, size_t d, Metric metric) {
   switch (metric) {
     case Metric::kSquaredL2:
-      return SquaredL2(a, b);
+      return SquaredL2Unchecked(a, b, d);
     case Metric::kL2:
-      return std::sqrt(SquaredL2(a, b));
+      return std::sqrt(SquaredL2Unchecked(a, b, d));
     case Metric::kL1: {
-      KNNSHAP_CHECK(a.size() == b.size(), "dimension mismatch");
       double acc = 0.0;
-      for (size_t i = 0; i < a.size(); ++i) {
+      for (size_t i = 0; i < d; ++i) {
         acc += std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
       }
       return acc;
     }
     case Metric::kCosine: {
-      KNNSHAP_CHECK(a.size() == b.size(), "dimension mismatch");
       double dot = 0.0, na = 0.0, nb = 0.0;
-      for (size_t i = 0; i < a.size(); ++i) {
+      for (size_t i = 0; i < d; ++i) {
         dot += static_cast<double>(a[i]) * static_cast<double>(b[i]);
         na += static_cast<double>(a[i]) * static_cast<double>(a[i]);
         nb += static_cast<double>(b[i]) * static_cast<double>(b[i]);
@@ -45,6 +44,18 @@ double Distance(std::span<const float> a, std::span<const float> b, Metric metri
     }
   }
   KNNSHAP_CHECK(false, "unknown metric");
+}
+
+}  // namespace internal
+
+double SquaredL2(std::span<const float> a, std::span<const float> b) {
+  KNNSHAP_CHECK(a.size() == b.size(), "dimension mismatch");
+  return internal::SquaredL2Unchecked(a.data(), b.data(), a.size());
+}
+
+double Distance(std::span<const float> a, std::span<const float> b, Metric metric) {
+  KNNSHAP_CHECK(a.size() == b.size(), "dimension mismatch");
+  return internal::DistanceUnchecked(a.data(), b.data(), a.size(), metric);
 }
 
 const char* MetricName(Metric metric) {

@@ -7,6 +7,7 @@
 #ifndef KNNSHAP_KNN_METRIC_H_
 #define KNNSHAP_KNN_METRIC_H_
 
+#include <cstddef>
 #include <span>
 
 namespace knnshap {
@@ -28,6 +29,18 @@ double SquaredL2(std::span<const float> a, std::span<const float> b);
 
 /// Human-readable metric name.
 const char* MetricName(Metric metric);
+
+namespace internal {
+
+/// Unchecked per-pair loops — the scalar *reference* semantics shared by
+/// Distance()/SquaredL2() and the batch kernels. Callers must have
+/// validated dimensions once per batch; keeping the precondition check out
+/// of these loops is what lets Release builds stop paying a branch per
+/// corpus row (knn/distance_kernel.h owns the batch entry points).
+double SquaredL2Unchecked(const float* a, const float* b, size_t d);
+double DistanceUnchecked(const float* a, const float* b, size_t d, Metric metric);
+
+}  // namespace internal
 
 }  // namespace knnshap
 

@@ -3,68 +3,121 @@
 #include "knn/neighbors.h"
 
 #include <algorithm>
-#include <numeric>
 
-#include "util/bounded_heap.h"
 #include "util/common.h"
 
 namespace knnshap {
 
+namespace {
+
+// Per-thread distance scratch: the valuation engine drives many queries
+// per pool thread, and a fresh N-double buffer per query would dominate
+// small-corpus requests. ResizeScratch frees the buffer again once a
+// request is far smaller than the retained high-water mark.
+std::vector<double>& DistanceScratch(size_t rows) {
+  static thread_local std::vector<double> scratch;
+  ResizeScratch(&scratch, rows);
+  return scratch;
+}
+
+}  // namespace
+
 std::vector<double> AllDistances(const Matrix& train, std::span<const float> query,
-                                 Metric metric) {
+                                 Metric metric, const CorpusNorms* norms) {
   std::vector<double> dists(train.Rows());
-  for (size_t i = 0; i < train.Rows(); ++i) {
-    dists[i] = Distance(train.Row(i), query, metric);
-  }
+  ComputeDistances(train, query, metric, norms, dists);
   return dists;
 }
 
 std::vector<int> ArgsortByDistance(const Matrix& train, std::span<const float> query,
-                                   Metric metric) {
-  std::vector<double> dists = AllDistances(train, query, metric);
-  std::vector<int> order(train.Rows());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [&dists](int a, int b) {
-    double da = dists[static_cast<size_t>(a)];
-    double db = dists[static_cast<size_t>(b)];
-    if (da != db) return da < db;
-    return a < b;  // Deterministic tie-break.
-  });
+                                   Metric metric, const CorpusNorms* norms) {
+  std::vector<double>& dists = DistanceScratch(train.Rows());
+  ComputeDistances(train, query, metric, norms, dists);
+  std::vector<int> order;
+  ArgsortDistances(dists, &order);
   return order;
 }
 
 std::vector<Neighbor> TopKNeighbors(const Matrix& train, std::span<const float> query,
-                                    size_t k, Metric metric) {
+                                    size_t k, Metric metric, const CorpusNorms* norms) {
   k = std::min(k, train.Rows());
   if (k == 0) return {};
-  BoundedMaxHeap<int> heap(k);
-  for (size_t i = 0; i < train.Rows(); ++i) {
-    heap.Push(Distance(train.Row(i), query, metric), static_cast<int>(i));
+  std::vector<double>& dists = DistanceScratch(train.Rows());
+  ComputeDistances(train, query, metric, norms, dists);
+  return SelectTopK(dists, {}, k);
+}
+
+void ForEachBatchedTopK(
+    const Matrix& train, const Matrix& queries, size_t k, Metric metric,
+    const CorpusNorms* norms,
+    const std::function<void(size_t, const std::vector<Neighbor>&)>& fn) {
+  const size_t rows = train.Rows();
+  const size_t num_queries = queries.Rows();
+  k = std::min(k, rows);
+  if (num_queries == 0 || k == 0) {
+    const std::vector<Neighbor> empty;
+    for (size_t j = 0; j < num_queries; ++j) fn(j, empty);
+    return;
   }
-  auto sorted = heap.SortedEntries();
-  std::vector<Neighbor> out;
-  out.reserve(sorted.size());
-  for (const auto& e : sorted) out.push_back({e.payload, e.key});
-  // Deterministic tie-break by index within equal distances.
-  std::stable_sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.index < b.index;
-  });
-  return out;
+  // Chunk so the distance buffer stays <= ~32 MB however large the corpus.
+  // The buffer is call-local (reused across chunks) rather than
+  // thread_local: `fn` is caller code and may legally re-enter this
+  // function on the same thread.
+  constexpr size_t kMaxBufferDoubles = size_t{4} << 20;
+  const size_t chunk =
+      std::max<size_t>(1, std::min<size_t>(16, kMaxBufferDoubles / rows));
+  std::vector<double> buffer;
+  Matrix block;
+  for (size_t q0 = 0; q0 < num_queries; q0 += chunk) {
+    const size_t q1 = std::min(num_queries, q0 + chunk);
+    block = Matrix(q1 - q0, queries.Cols());
+    for (size_t j = q0; j < q1; ++j) {
+      auto src = queries.Row(j);
+      std::copy(src.begin(), src.end(), block.MutableRow(j - q0).begin());
+    }
+    buffer.resize((q1 - q0) * rows);
+    ComputeDistanceMatrix(train, block, metric, norms, buffer);
+    for (size_t j = q0; j < q1; ++j) {
+      fn(j, SelectTopK(std::span<const double>(buffer.data() + (j - q0) * rows, rows),
+                       {}, k));
+    }
+  }
+}
+
+std::vector<Neighbor> TopKAmongRows(const Matrix& train, std::span<const int> rows,
+                                    std::span<const float> query, size_t k,
+                                    Metric metric) {
+  KNNSHAP_CHECK(query.size() == train.Cols(), "query dimension mismatch");
+  std::vector<Neighbor> all;
+  all.reserve(rows.size());
+  for (int row : rows) {
+    all.push_back({row, internal::DistanceUnchecked(
+                            train.Row(static_cast<size_t>(row)).data(), query.data(),
+                            query.size(), metric)});
+  }
+  size_t keep = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<long>(keep), all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      if (a.distance != b.distance) return a.distance < b.distance;
+                      return a.index < b.index;
+                    });
+  all.resize(keep);
+  return all;
 }
 
 BruteForceIndex::BruteForceIndex(const Matrix* train, Metric metric)
     : train_(train), metric_(metric) {
   KNNSHAP_CHECK(train != nullptr, "null training matrix");
+  norms_ = CorpusNorms(*train);
 }
 
 std::vector<Neighbor> BruteForceIndex::Query(std::span<const float> query,
                                              size_t k) const {
-  return TopKNeighbors(*train_, query, k, metric_);
+  return TopKNeighbors(*train_, query, k, metric_, &norms_);
 }
 
 std::vector<int> BruteForceIndex::FullOrder(std::span<const float> query) const {
-  return ArgsortByDistance(*train_, query, metric_);
+  return ArgsortByDistance(*train_, query, metric_, &norms_);
 }
 
 }  // namespace knnshap

@@ -4,16 +4,25 @@
 //  * ArgsortByDistance — the full ascending ordering Algorithm 1 needs;
 //  * TopKNeighbors     — partial selection when only K* neighbors matter
 //                        (the truncated recursion of Theorem 2);
-//  * BruteForceIndex   — convenience wrapper caching the training matrix.
-// Distances default to L2, matching the paper.
+//  * BruteForceIndex   — convenience wrapper caching the training matrix
+//                        and its per-row norms.
+// Distances default to L2, matching the paper. All entry points run
+// through the batched kernels of knn/distance_kernel.h: distances come
+// from the runtime-dispatched SIMD/blocked path (or the scalar reference
+// when selected), and orderings from the packed-key sort, which breaks
+// ties by row index by construction. Callers that value many queries
+// against one corpus should build a CorpusNorms once and pass it in so
+// the per-row norm work amortizes.
 
 #ifndef KNNSHAP_KNN_NEIGHBORS_H_
 #define KNNSHAP_KNN_NEIGHBORS_H_
 
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "dataset/dataset.h"
+#include "knn/distance_kernel.h"
 #include "knn/metric.h"
 
 namespace knnshap {
@@ -27,18 +36,43 @@ struct Neighbor {
 /// Indices of all training rows sorted by ascending distance to `query`
 /// (ties broken by index, making results deterministic).
 std::vector<int> ArgsortByDistance(const Matrix& train, std::span<const float> query,
-                                   Metric metric = Metric::kL2);
+                                   Metric metric = Metric::kL2,
+                                   const CorpusNorms* norms = nullptr);
 
 /// The k nearest rows to `query`, ascending by distance. k is clamped to
-/// the number of rows. Uses a bounded heap: O(N log k).
+/// the number of rows. One batched distance pass plus O(N + k log k)
+/// packed-key selection.
 std::vector<Neighbor> TopKNeighbors(const Matrix& train, std::span<const float> query,
-                                    size_t k, Metric metric = Metric::kL2);
+                                    size_t k, Metric metric = Metric::kL2,
+                                    const CorpusNorms* norms = nullptr);
+
+/// Calls fn(query_row, neighbors) for every row of `queries`, retrieving
+/// the k nearest training rows through the query-block × corpus batched
+/// kernel. Queries are processed in chunks sized so the distance buffer
+/// stays bounded (~32 MB); neighbor lists are bit-identical to per-query
+/// TopKNeighbors. The batch evaluation path for classifier accuracy /
+/// regressor MSE style sweeps.
+void ForEachBatchedTopK(
+    const Matrix& train, const Matrix& queries, size_t k, Metric metric,
+    const CorpusNorms* norms,
+    const std::function<void(size_t, const std::vector<Neighbor>&)>& fn);
+
+/// Top-min(k, |rows|) of the listed training rows by distance to `query`,
+/// ascending, ties broken by row id. The subset-utility evaluator behind
+/// Eq (5)/(25)-(27): the enumeration oracle and Monte-Carlo baselines call
+/// it O(2^N) times, so the dimension check is hoisted out of the per-row
+/// loop.
+std::vector<Neighbor> TopKAmongRows(const Matrix& train, std::span<const int> rows,
+                                    std::span<const float> query, size_t k,
+                                    Metric metric = Metric::kL2);
 
 /// Distances from `query` to every training row.
 std::vector<double> AllDistances(const Matrix& train, std::span<const float> query,
-                                 Metric metric = Metric::kL2);
+                                 Metric metric = Metric::kL2,
+                                 const CorpusNorms* norms = nullptr);
 
-/// Thin exact-search index over a training matrix.
+/// Thin exact-search index over a training matrix. Precomputes row norms
+/// at construction so every query hits the fast kernel path.
 class BruteForceIndex {
  public:
   explicit BruteForceIndex(const Matrix* train, Metric metric = Metric::kL2);
@@ -48,10 +82,12 @@ class BruteForceIndex {
 
   const Matrix& Train() const { return *train_; }
   Metric GetMetric() const { return metric_; }
+  const CorpusNorms& Norms() const { return norms_; }
 
  private:
   const Matrix* train_;
   Metric metric_;
+  CorpusNorms norms_;
 };
 
 }  // namespace knnshap

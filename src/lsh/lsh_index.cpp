@@ -5,7 +5,6 @@
 #include <algorithm>
 #include <cstdint>
 
-#include "util/bounded_heap.h"
 #include "util/common.h"
 
 namespace knnshap {
@@ -14,6 +13,7 @@ LshIndex::LshIndex(const Matrix* train, const LshConfig& config)
     : train_(train), config_(config) {
   KNNSHAP_CHECK(train != nullptr, "null training matrix");
   KNNSHAP_CHECK(config.num_tables >= 1, "need at least one table");
+  norms_ = CorpusNorms(*train);
   Rng rng(config.seed);
   tables_.reserve(config.num_tables);
   for (size_t t = 0; t < config.num_tables; ++t) {
@@ -58,29 +58,29 @@ uint32_t NextVisitedEpoch(size_t rows) {
 std::vector<Neighbor> LshIndex::Query(std::span<const float> query, size_t k,
                                       LshQueryStats* stats) const {
   // Gather the union of bucket contents across tables, deduplicated with
-  // the per-thread visited marks, and exactly re-rank by true distance.
+  // the per-thread visited marks, then exactly re-rank by true distance
+  // through one batched kernel pass over the gathered candidates.
   const uint32_t epoch = NextVisitedEpoch(train_->Rows());
-  BoundedMaxHeap<int> heap(std::max<size_t>(k, 1));
-  size_t candidates = 0;
+  static thread_local std::vector<int> candidate_ids;
+  static thread_local std::vector<double> candidate_dists;
+  ShrinkScratch(&candidate_ids, train_->Rows());
+  ShrinkScratch(&candidate_dists, train_->Rows());
+  candidate_ids.clear();
   for (const auto& table : tables_) {
     for (int id : table.Candidates(query)) {
       auto& seen = tls_visited_stamp[static_cast<size_t>(id)];
       if (seen == epoch) continue;
       seen = epoch;
-      ++candidates;
-      heap.Push(Distance(train_->Row(static_cast<size_t>(id)), query, Metric::kL2), id);
+      candidate_ids.push_back(id);
     }
   }
-  auto sorted = heap.SortedEntries();
-  std::vector<Neighbor> out;
-  out.reserve(sorted.size());
-  for (const auto& e : sorted) out.push_back({e.payload, e.key});
-  std::stable_sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.index < b.index;
-  });
+  candidate_dists.resize(candidate_ids.size());
+  ComputeDistancesFor(*train_, candidate_ids, query, Metric::kL2, &norms_,
+                      candidate_dists);
+  std::vector<Neighbor> out =
+      SelectTopK(candidate_dists, candidate_ids, std::max<size_t>(k, 1));
   if (stats != nullptr) {
-    stats->candidates = candidates;
+    stats->candidates = candidate_ids.size();
     stats->returned = out.size();
   }
   return out;
@@ -88,7 +88,7 @@ std::vector<Neighbor> LshIndex::Query(std::span<const float> query, size_t k,
 
 double LshIndex::Recall(std::span<const float> query, size_t k) const {
   auto approx = Query(query, k);
-  auto exact = TopKNeighbors(*train_, query, k);
+  auto exact = TopKNeighbors(*train_, query, k, Metric::kL2, &norms_);
   if (exact.empty()) return 1.0;
   std::vector<uint8_t> in_approx(train_->Rows(), 0);
   for (const auto& nn : approx) in_approx[static_cast<size_t>(nn.index)] = 1;

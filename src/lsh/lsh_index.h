@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "lsh/hash_table.h"
+#include "knn/distance_kernel.h"
 #include "knn/neighbors.h"
 #include "util/matrix.h"
 #include "util/random.h"
@@ -55,6 +56,7 @@ class LshIndex {
  private:
   const Matrix* train_;
   LshConfig config_;
+  CorpusNorms norms_;  // per-row norms for the batched candidate rescoring
   std::vector<LshHashTable> tables_;
 };
 

@@ -6,7 +6,6 @@
 #include <cmath>
 #include <numbers>
 
-#include "util/bounded_heap.h"
 #include "util/common.h"
 
 namespace knnshap {
@@ -53,6 +52,7 @@ SrpIndex::SrpIndex(const Matrix* data, const SrpConfig& config)
     : data_(data), config_(config) {
   KNNSHAP_CHECK(data != nullptr, "null data matrix");
   KNNSHAP_CHECK(config.num_tables >= 1, "need at least one table");
+  norms_ = CorpusNorms(*data);
   Rng rng(config.seed);
   hashes_.reserve(config.num_tables);
   tables_.resize(config.num_tables);
@@ -69,8 +69,7 @@ SrpIndex::SrpIndex(const Matrix* data, const SrpConfig& config)
 std::vector<Neighbor> SrpIndex::Query(std::span<const float> query, size_t k,
                                       size_t* candidates_out) const {
   std::vector<uint8_t> visited(data_->Rows(), 0);
-  BoundedMaxHeap<int> heap(std::max<size_t>(k, 1));
-  size_t candidates = 0;
+  std::vector<int> candidate_ids;
   for (size_t t = 0; t < tables_.size(); ++t) {
     auto it = tables_[t].find(hashes_[t].Signature(query));
     if (it == tables_[t].end()) continue;
@@ -78,26 +77,20 @@ std::vector<Neighbor> SrpIndex::Query(std::span<const float> query, size_t k,
       auto& seen = visited[static_cast<size_t>(id)];
       if (seen) continue;
       seen = 1;
-      ++candidates;
-      heap.Push(Distance(data_->Row(static_cast<size_t>(id)), query, Metric::kCosine),
-                id);
+      candidate_ids.push_back(id);
     }
   }
-  if (candidates_out != nullptr) *candidates_out = candidates;
-  auto sorted = heap.SortedEntries();
-  std::vector<Neighbor> out;
-  out.reserve(sorted.size());
-  for (const auto& e : sorted) out.push_back({e.payload, e.key});
-  std::stable_sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
-    if (a.distance != b.distance) return a.distance < b.distance;
-    return a.index < b.index;
-  });
-  return out;
+  if (candidates_out != nullptr) *candidates_out = candidate_ids.size();
+  // Exact re-ranking via one batched kernel pass over the candidate union.
+  std::vector<double> candidate_dists(candidate_ids.size());
+  ComputeDistancesFor(*data_, candidate_ids, query, Metric::kCosine, &norms_,
+                      candidate_dists);
+  return SelectTopK(candidate_dists, candidate_ids, std::max<size_t>(k, 1));
 }
 
 double SrpIndex::Recall(std::span<const float> query, size_t k) const {
   auto approx = Query(query, k);
-  auto exact = TopKNeighbors(*data_, query, k, Metric::kCosine);
+  auto exact = TopKNeighbors(*data_, query, k, Metric::kCosine, &norms_);
   if (exact.empty()) return 1.0;
   std::vector<uint8_t> in_approx(data_->Rows(), 0);
   for (const auto& nn : approx) in_approx[static_cast<size_t>(nn.index)] = 1;

@@ -15,6 +15,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "knn/distance_kernel.h"
 #include "knn/neighbors.h"
 #include "util/matrix.h"
 #include "util/random.h"
@@ -71,6 +72,7 @@ class SrpIndex {
  private:
   const Matrix* data_;
   SrpConfig config_;
+  CorpusNorms norms_;  // per-row norms for the batched candidate rescoring
   std::vector<SrpHash> hashes_;
   std::vector<std::unordered_map<uint64_t, std::vector<int>>> tables_;
 };

@@ -17,9 +17,13 @@
 
 namespace knnshap {
 
-/// Keeps the `capacity` smallest keys seen so far (a max-heap on the key, so
-/// the root is the current K-th nearest distance). Each entry carries an
-/// opaque payload, typically a training-point index.
+/// Keeps the `capacity` lexicographically smallest (key, payload) pairs
+/// seen so far (a max-heap on the pair, so the root is the current K-th
+/// nearest distance). Each entry carries a payload — typically a
+/// training-point index — which doubles as the tie-break: ordering on the
+/// full pair makes the retained set and SortedEntries() independent of
+/// insertion order, so kd-tree, heap, and brute-force retrieval agree
+/// exactly even on tie-heavy data. Payload must be less-than comparable.
 template <typename Payload>
 class BoundedMaxHeap {
  public:
@@ -42,7 +46,10 @@ class BoundedMaxHeap {
       std::push_heap(entries_.begin(), entries_.end(), Less);
       return true;
     }
-    if (key >= entries_.front().key) return false;
+    const Entry& root = entries_.front();
+    if (key > root.key || (key == root.key && !(payload < root.payload))) {
+      return false;
+    }
     std::pop_heap(entries_.begin(), entries_.end(), Less);
     entries_.back() = {key, payload};
     std::push_heap(entries_.begin(), entries_.end(), Less);
@@ -63,18 +70,23 @@ class BoundedMaxHeap {
   /// Unordered view of the retained entries.
   const std::vector<Entry>& Entries() const { return entries_; }
 
-  /// Entries sorted by ascending key (nearest first). O(K log K).
+  /// Entries sorted ascending by (key, payload) — nearest first, ties
+  /// broken by payload so equal-distance entries have a deterministic
+  /// order. O(K log K).
   std::vector<Entry> SortedEntries() const {
     std::vector<Entry> sorted = entries_;
     std::sort(sorted.begin(), sorted.end(),
-              [](const Entry& a, const Entry& b) { return a.key < b.key; });
+              [](const Entry& a, const Entry& b) { return Less(a, b); });
     return sorted;
   }
 
   void Clear() { entries_.clear(); }
 
  private:
-  static bool Less(const Entry& a, const Entry& b) { return a.key < b.key; }
+  static bool Less(const Entry& a, const Entry& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.payload < b.payload;
+  }
 
   size_t capacity_;
   std::vector<Entry> entries_;

@@ -5,11 +5,13 @@
 #ifndef KNNSHAP_UTIL_COMMON_H_
 #define KNNSHAP_UTIL_COMMON_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace knnshap {
 
@@ -34,6 +36,31 @@ namespace internal {
                                           (msg));                           \
     }                                                                       \
   } while (0)
+
+/// Frees a per-thread scratch vector's backing store when its capacity far
+/// exceeds the current need (e.g. one huge corpus passed through a
+/// long-lived pool thread), then resizes it. The floor keeps small
+/// workloads from thrashing the allocator. Mirrors the shrink policy of
+/// the LSH visited-marks buffer.
+template <typename T>
+void ResizeScratch(std::vector<T>* scratch, size_t needed) {
+  constexpr size_t kShrinkFloor = size_t{1} << 16;
+  if (scratch->capacity() > kShrinkFloor && scratch->capacity() > 4 * needed) {
+    std::vector<T>().swap(*scratch);
+  }
+  scratch->resize(needed);
+}
+
+/// Shrink-only variant for scratch vectors that grow by push_back:
+/// releases the buffer when its capacity dwarfs `bound`, the caller's
+/// upper bound on this use's growth.
+template <typename T>
+void ShrinkScratch(std::vector<T>* scratch, size_t bound) {
+  constexpr size_t kShrinkFloor = size_t{1} << 16;
+  if (scratch->capacity() > kShrinkFloor && scratch->capacity() > 4 * bound) {
+    std::vector<T>().swap(*scratch);
+  }
+}
 
 }  // namespace knnshap
 
