@@ -1,0 +1,307 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// bench_serve — throughput and latency of the serving subsystem. Drives a
+// scripted mixed-method JSONL workload through RequestPipeline in three
+// configurations and checks they answer byte-identically:
+//
+//   serial_rehash   one request at a time, corpus rehashed per request —
+//                   the pre-serve-subsystem knnshap_serve behavior
+//   serial          one request at a time, CorpusStore fingerprints
+//                   (isolates the incremental-fingerprint lever)
+//   pipelined       concurrent dispatch + store fingerprints (the default
+//                   serve path; the concurrency lever needs real cores —
+//                   workers and hardware_concurrency are recorded)
+//
+// Then measures cache-serving latency: the same value workload replayed
+// against a warm engine (all hits), and against a *fresh* pipeline that
+// warm-started from a save_cache/load_cache round trip (the restart
+// story). Results land in BENCH_serve.json.
+//
+//   bench_serve --smoke            # CI-sized run
+//   bench_serve --workers=4       # pipelined worker count
+//   bench_serve --json=out.json   # result path (default BENCH_serve.json)
+
+#include <cstdio>
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "serve/pipeline.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace knnshap;
+
+namespace {
+
+std::string RowsJson(size_t n, size_t dim, int num_classes, bool regression,
+                     uint64_t seed) {
+  Rng rng(seed);
+  std::string out = "[";
+  for (size_t r = 0; r < n; ++r) {
+    if (r > 0) out += ",";
+    out += "[";
+    for (size_t d = 0; d < dim; ++d) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.4f,", rng.NextGaussian());
+      out += buf;
+    }
+    if (regression) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.4f", rng.NextGaussian());
+      out += buf;
+    } else {
+      out += std::to_string(rng.NextIndex(static_cast<uint64_t>(num_classes)));
+    }
+    out += "]";
+  }
+  out += "]";
+  return out;
+}
+
+struct Workload {
+  std::string setup;   // corpus loads
+  std::string values;  // the timed value traffic
+};
+
+/// Mixed-method traffic: the big corpus takes exact / exact-corrected /
+/// truncated / capped-mc requests (where per-request rehash hurts most),
+/// the small corpus weighted + exact, the regression corpus its own
+/// method. Every request carries distinct inline queries, so nothing is
+/// served from the result cache within a pass.
+Workload MakeWorkload(size_t big_rows, size_t big_dim, size_t requests) {
+  Workload w;
+  std::ostringstream setup;
+  setup << R"({"op":"load","name":"big","rows":)"
+        << RowsJson(big_rows, big_dim, 3, false, 1) << R"(,"target":"label"})"
+        << "\n";
+  setup << R"({"op":"load","name":"small","rows":)" << RowsJson(150, 16, 2, false, 2)
+        << R"(,"target":"label"})" << "\n";
+  setup << R"({"op":"load","name":"medium","rows":)"
+        << RowsJson(5000, 16, 3, false, 4) << R"(,"target":"label"})" << "\n";
+  setup << R"({"op":"load","name":"reg","rows":)" << RowsJson(2000, 32, 0, true, 3)
+        << R"(,"target":"target"})" << "\n";
+  w.setup = setup.str();
+
+  // 16-slot round robin. 12 of 16 requests hit the big corpus — the
+  // traffic shape where the pre-subsystem loop paid a full corpus rehash
+  // per request — and the expensive-compute methods (capped mc, weighted)
+  // appear at realistic minority rates so valuation cost does not drown
+  // the serving-layer effects being measured.
+  std::ostringstream values;
+  auto big_value = [&](size_t qseed, const char* method, size_t queries,
+                       const char* extra) {
+    values << R"({"op":"value","train":"big","queries":)"
+           << RowsJson(queries, big_dim, 3, false, qseed) << R"(,"method":")"
+           << method << R"(",)" << extra << R"("include_values":false})" << "\n";
+  };
+  for (size_t i = 0; i < requests; ++i) {
+    const uint64_t qseed = 1000 + i;
+    switch (i % 16) {
+      case 0:
+      case 2:
+      case 4:
+      case 8:
+      case 10:
+      case 12:
+        big_value(qseed, "exact", 1, R"("k":5,)");
+        break;
+      case 1:
+      case 5:
+      case 6:
+      case 9:
+      case 14:
+        big_value(qseed, "exact-corrected", 1, R"("k":5,)");
+        break;
+      case 13:
+        big_value(qseed, "mc", 1, R"("k":3,"max_permutations":8,)");
+        break;
+      case 3:
+        values << R"({"op":"value","train":"medium","queries":)"
+               << RowsJson(2, 16, 3, false, qseed)
+               << R"(,"method":"truncated","k":5,"epsilon":0.1,"include_values":false})"
+               << "\n";
+        break;
+      case 7:
+        values << R"({"op":"value","train":"small","queries":)"
+               << RowsJson(2, 16, 2, false, qseed)
+               << R"(,"method":"weighted","k":2,"kernel":"inverse","task":"weighted-classification","include_values":false})"
+               << "\n";
+        break;
+      case 11:
+        values << R"({"op":"value","train":"reg","queries":)"
+               << RowsJson(2, 32, 0, true, qseed)
+               << R"(,"method":"regression","k":5,"task":"regression","include_values":false})"
+               << "\n";
+        break;
+      case 15:
+        values << R"({"op":"value","train":"small","queries":)"
+               << RowsJson(4, 16, 2, false, qseed)
+               << R"(,"method":"exact","k":5,"include_values":false})" << "\n";
+        break;
+    }
+  }
+  w.values = values.str();
+  return w;
+}
+
+struct PassResult {
+  double seconds = 0.0;
+  std::string output;
+  size_t cache_hits = 0;
+};
+
+/// Runs setup (untimed) then the value traffic (timed) on one pipeline.
+PassResult RunPass(RequestPipeline* pipeline, const Workload& w, bool run_setup) {
+  PassResult result;
+  std::ostringstream sink;
+  if (run_setup) {
+    std::istringstream setup(w.setup);
+    pipeline->Run(setup, sink);
+    sink.str("");
+  }
+  std::istringstream values(w.values + "{\"op\":\"sync\"}\n");
+  WallTimer timer;
+  pipeline->Run(values, sink);
+  result.seconds = timer.Seconds();
+  result.output = sink.str();
+  size_t pos = 0;
+  while ((pos = result.output.find("\"cache_hit\":true", pos)) != std::string::npos) {
+    ++result.cache_hits;
+    ++pos;
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CommandLine cli(argc, argv);
+  const bool smoke = cli.Has("smoke");
+  const std::string json_path = cli.GetString("json", "BENCH_serve.json");
+  const size_t workers = static_cast<size_t>(cli.GetInt("workers", static_cast<int>(std::max(1u, std::thread::hardware_concurrency()))));
+  const size_t big_rows = static_cast<size_t>(
+      cli.GetInt("rows", smoke ? 16000 : 80000));
+  const size_t big_dim = static_cast<size_t>(cli.GetInt("dim", smoke ? 64 : 96));
+  const size_t requests = static_cast<size_t>(
+      cli.GetInt("requests", smoke ? 64 : 192));
+
+  bench::Banner("bench_serve — serial vs pipelined JSONL serving",
+                "pipelined serve >= 3x serial-with-rehash on a multi-core "
+                "mixed-method workload; ordered responses byte-identical");
+  bench::Row("corpus %zux%zu, %zu requests, %zu workers (hw %u)\n\n", big_rows,
+             big_dim, requests, workers, std::thread::hardware_concurrency());
+
+  Workload workload = MakeWorkload(big_rows, big_dim, requests);
+
+  // --- Arm 1: the pre-subsystem loop — serial, full rehash per request.
+  // Cache capacity covers the whole workload so the warm-replay and
+  // save/load passes measure hits, not LRU churn.
+  PipelineOptions serial_rehash_options;
+  serial_rehash_options.pipelined = false;
+  serial_rehash_options.emit_timing = false;
+  serial_rehash_options.trust_store_fingerprints = false;
+  serial_rehash_options.engine.result_cache_capacity = requests + 8;
+  RequestPipeline serial_rehash_pipeline(serial_rehash_options);
+  PassResult serial_rehash = RunPass(&serial_rehash_pipeline, workload, true);
+  bench::Row("serial+rehash   %7.3f s   (%.1f req/s)\n", serial_rehash.seconds,
+             requests / serial_rehash.seconds);
+
+  // --- Arm 2: serial with store fingerprints (the fingerprint lever).
+  PipelineOptions serial_options = serial_rehash_options;
+  serial_options.trust_store_fingerprints = true;
+  RequestPipeline serial_pipeline(serial_options);
+  PassResult serial = RunPass(&serial_pipeline, workload, true);
+  bench::Row("serial          %7.3f s   (%.1f req/s)\n", serial.seconds,
+             requests / serial.seconds);
+
+  // --- Arm 3: the serve path — pipelined + store fingerprints.
+  ThreadPool pool(workers);
+  PipelineOptions pipelined_options;
+  pipelined_options.pool = &pool;
+  pipelined_options.emit_timing = false;
+  pipelined_options.engine.result_cache_capacity = requests + 8;
+  RequestPipeline pipelined_pipeline(pipelined_options);
+  PassResult pipelined = RunPass(&pipelined_pipeline, workload, true);
+  bench::Row("pipelined       %7.3f s   (%.1f req/s)\n", pipelined.seconds,
+             requests / pipelined.seconds);
+
+  const bool identical = serial_rehash.output == serial.output &&
+                         serial.output == pipelined.output;
+  bench::Row("ordered responses identical across arms: %s\n",
+             identical ? "yes" : "NO — BUG");
+
+  // --- Cache serving: warm engine replay, and a save/restart/load replay.
+  PassResult warm = RunPass(&pipelined_pipeline, workload, false);
+  bench::Row("warm replay     %7.3f s   (%zu/%zu hits)\n", warm.seconds,
+             warm.cache_hits, requests);
+
+  const std::string cache_path = "bench_serve.cache";
+  {
+    std::istringstream save(R"({"op":"save_cache","path":")" + cache_path + "\"}\n");
+    std::ostringstream sink;
+    pipelined_pipeline.Run(save, sink);
+  }
+  PipelineOptions restart_options = pipelined_options;
+  RequestPipeline restarted(restart_options);
+  {
+    std::istringstream load(workload.setup + R"({"op":"load_cache","path":")" +
+                            cache_path + "\"}\n");
+    std::ostringstream sink;
+    restarted.Run(load, sink);
+  }
+  PassResult restart_warm = RunPass(&restarted, workload, false);
+  bench::Row("restart+load_cache replay %7.3f s   (%zu/%zu hits)\n\n",
+             restart_warm.seconds, restart_warm.cache_hits, requests);
+  std::remove(cache_path.c_str());
+
+  const double speedup_total = serial_rehash.seconds / pipelined.seconds;
+  const double speedup_fingerprint = serial_rehash.seconds / serial.seconds;
+  const double speedup_concurrency = serial.seconds / pipelined.seconds;
+  bench::Row("speedup pipelined vs serial+rehash: %.2fx "
+             "(fingerprints %.2fx, concurrency %.2fx)\n",
+             speedup_total, speedup_fingerprint, speedup_concurrency);
+
+  FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+  std::fprintf(json, "  \"bench\": \"serve\",\n");
+  std::fprintf(json, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(json, "  \"corpus_rows\": %zu,\n  \"corpus_dim\": %zu,\n", big_rows,
+               big_dim);
+  std::fprintf(json, "  \"requests\": %zu,\n", requests);
+  std::fprintf(json,
+               "  \"methods\": [\"exact\", \"exact-corrected\", \"truncated\", "
+               "\"regression\", \"mc\", \"weighted\"],\n");
+  std::fprintf(json, "  \"workers\": %zu,\n", workers);
+  std::fprintf(json, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(json, "  \"serial_rehash_seconds\": %.4f,\n", serial_rehash.seconds);
+  std::fprintf(json, "  \"serial_seconds\": %.4f,\n", serial.seconds);
+  std::fprintf(json, "  \"pipelined_seconds\": %.4f,\n", pipelined.seconds);
+  std::fprintf(json, "  \"speedup_pipelined_vs_serial_rehash\": %.2f,\n",
+               speedup_total);
+  std::fprintf(json, "  \"speedup_from_incremental_fingerprints\": %.2f,\n",
+               speedup_fingerprint);
+  std::fprintf(json, "  \"speedup_from_concurrent_dispatch\": %.2f,\n",
+               speedup_concurrency);
+  std::fprintf(json, "  \"ordered_responses_identical\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(json, "  \"cold_seconds\": %.4f,\n", pipelined.seconds);
+  std::fprintf(json, "  \"warm_cache_seconds\": %.4f,\n", warm.seconds);
+  std::fprintf(json, "  \"warm_cache_hits\": %zu,\n", warm.cache_hits);
+  std::fprintf(json, "  \"restart_load_cache_seconds\": %.4f,\n",
+               restart_warm.seconds);
+  std::fprintf(json, "  \"restart_load_cache_hits\": %zu\n", restart_warm.cache_hits);
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  bench::Row("wrote %s\n", json_path.c_str());
+  return identical ? 0 : 2;
+}

@@ -1,0 +1,96 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "core/corrected_knn_shapley.h"
+
+#include <algorithm>
+
+#include "knn/neighbors.h"
+#include "util/common.h"
+
+namespace knnshap {
+
+namespace {
+
+// Rank-independent contribution of all coalitions with |S| < K: the point's
+// own vote enters a mean over min(K, |S|+1) voters, and the other votes
+// average hypergeometrically. g is affine in the match indicator a; G is
+// the total match count over all N training points.
+//
+//   g(a) = (1/N) [ a + sum_{m=1}^{min(K,N)-1}
+//                      ( (m (G-a)/(N-1) + a) / (m+1)  -  (G-a)/(N-1) ) ]
+double SmallCoalitionTerm(double a, double total_matches, int n, int k) {
+  const double nd = static_cast<double>(n);
+  double sum = a;  // m = 0: nu({i}) - nu(emptyset) = a.
+  if (n > 1) {
+    const double others = total_matches - a;  // matches among the other N-1
+    const double mean_match = others / (nd - 1.0);
+    const int m_end = std::min(k, n) - 1;
+    for (int m = 1; m <= m_end; ++m) {
+      const double md = static_cast<double>(m);
+      sum += (md * mean_match + a) / (md + 1.0) - mean_match;
+    }
+  }
+  return sum / nd;
+}
+
+}  // namespace
+
+std::vector<double> CorrectedKnnShapleyRecursion(const std::vector<int>& sorted_labels,
+                                                 int test_label, int k) {
+  const int n = static_cast<int>(sorted_labels.size());
+  KNNSHAP_CHECK(n >= 1, "empty training set");
+  KNNSHAP_CHECK(k >= 1, "k must be >= 1");
+
+  auto match = [&](int rank) {  // rank is 1-based
+    return sorted_labels[static_cast<size_t>(rank - 1)] == test_label ? 1.0 : 0.0;
+  };
+  double total_matches = 0.0;
+  for (int r = 1; r <= n; ++r) total_matches += match(r);
+
+  const double nd = static_cast<double>(n);
+  const double kd = static_cast<double>(k);
+  // Difference of the rank-independent term between a matching and a
+  // non-matching point (g is affine in a, so only the gap is needed).
+  const double g_gap = SmallCoalitionTerm(1.0, total_matches, n, k) -
+                       SmallCoalitionTerm(0.0, total_matches, n, k);
+
+  std::vector<double> sv(static_cast<size_t>(n), 0.0);
+  // Farthest point: every coalition of size >= K has K closer members, so
+  // only the small-coalition term survives.
+  sv[static_cast<size_t>(n - 1)] = SmallCoalitionTerm(match(n), total_matches, n, k);
+
+  for (int r = n - 1; r >= 1; --r) {
+    // W_r = sum_{m=K}^{N-1} Pr[< K of the r-1 closer points land in a
+    // uniform m-subset of the other N-1] — closed form via the expected
+    // position of the K-th closer point.
+    double w = 0.0;
+    if (n - 1 >= k) {
+      w = r <= k ? nd - kd : kd * (nd - static_cast<double>(r)) / static_cast<double>(r);
+    }
+    sv[static_cast<size_t>(r - 1)] =
+        sv[static_cast<size_t>(r)] +
+        (match(r) - match(r + 1)) * (g_gap + w / (nd * kd));
+  }
+  return sv;
+}
+
+std::vector<double> CorrectedKnnShapleySingle(const Dataset& train,
+                                              std::span<const float> query,
+                                              int test_label, int k, Metric metric,
+                                              const CorpusNorms* norms) {
+  KNNSHAP_CHECK(train.HasLabels(), "labels required");
+  std::vector<int> order = ArgsortByDistance(train.features, query, metric, norms);
+  std::vector<int> sorted_labels(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    sorted_labels[i] = train.labels[static_cast<size_t>(order[i])];
+  }
+  std::vector<double> by_rank =
+      CorrectedKnnShapleyRecursion(sorted_labels, test_label, k);
+  std::vector<double> sv(train.Size(), 0.0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    sv[static_cast<size_t>(order[i])] = by_rank[i];
+  }
+  return sv;
+}
+
+}  // namespace knnshap

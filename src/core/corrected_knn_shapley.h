@@ -1,0 +1,63 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Corrected exact KNN-Shapley (Wang & Jia, arXiv:2304.04258). The source
+// paper's Theorem 1 derivation evaluates the KNN utility of a coalition S
+// with |S| < K as (1/K) * sum of the matches among *all* of S — i.e. it
+// keeps dividing by K even when fewer than K neighbors exist. The note
+// points out that the natural soft-label KNN classifier normalizes by the
+// number of neighbors actually voting, and derives the exact Shapley value
+// under the corrected utility
+//
+//   nu(S) = (1 / min(K, |S|)) * sum_{j=1}^{min(K,|S|)} 1[y_{alpha_j(S)} = y],
+//   nu(emptyset) = 0,
+//
+// still in O(N log N) per test point. Our recursion (verified against
+// brute-force subset enumeration in tests/corrected_shapley_test.cpp)
+// splits the Shapley sum at coalition size K:
+//
+//   * |S| < K — every member votes, so the marginal gain of i depends only
+//     on |S| and the match count of S; averaging the hypergeometric match
+//     count gives a rank-independent term g(a_i), affine in the match
+//     indicator a_i = 1[y_i = y].
+//   * |S| >= K — adding i evicts the K-th neighbor of S, and pairing
+//     coalitions of adjacent-rank points telescopes into
+//       phi_{alpha_r} - phi_{alpha_{r+1}} =
+//           (a_r - a_{r+1}) * (g(1) - g(0) + W_r / (N K)),
+//     where W_r = sum over coalition sizes of the probability that fewer
+//     than K members outrank alpha_r. The expected position of the K-th of
+//     r-1 marked items in a random arrangement of N-1 items collapses W_r
+//     to the closed form  W_r = N - K for r <= K,  K (N - r) / r otherwise.
+//
+// Ties in distance are broken by training-row index, matching
+// ArgsortByDistance everywhere else in the library.
+
+#ifndef KNNSHAP_CORE_CORRECTED_KNN_SHAPLEY_H_
+#define KNNSHAP_CORE_CORRECTED_KNN_SHAPLEY_H_
+
+#include <span>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "knn/distance_kernel.h"
+#include "knn/metric.h"
+
+namespace knnshap {
+
+/// Corrected-utility Shapley values in *rank* order: `sorted_labels[i]` is
+/// the label of the (i+1)-th nearest training point and the returned value
+/// at index i belongs to that point. O(N + K) after sorting.
+std::vector<double> CorrectedKnnShapleyRecursion(const std::vector<int>& sorted_labels,
+                                                 int test_label, int k);
+
+/// Corrected-utility Shapley values of all training rows for one test
+/// point, indexed by training row. O(N (d + log N)). `norms` (optional)
+/// are precomputed row norms of train.features.
+std::vector<double> CorrectedKnnShapleySingle(const Dataset& train,
+                                              std::span<const float> query,
+                                              int test_label, int k,
+                                              Metric metric = Metric::kL2,
+                                              const CorpusNorms* norms = nullptr);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_CORE_CORRECTED_KNN_SHAPLEY_H_

@@ -67,12 +67,16 @@ ValuationReport ValuationEngine::Value(const ValuationRequest& request) {
   report.train_size = request.train->Size();
   report.num_queries = request.test->Size();
 
-  const uint64_t train_fp = DatasetFingerprint(*request.train);
+  const uint64_t train_fp = request.train_fingerprint != 0
+                                ? request.train_fingerprint
+                                : DatasetFingerprint(*request.train);
+  const uint64_t test_fp = request.test_fingerprint != 0
+                               ? request.test_fingerprint
+                               : DatasetFingerprint(*request.test);
   const uint64_t params_fp = request.params.Fingerprint();
 
   // --- Result cache. ----------------------------------------------------
-  ResultCacheKey cache_key{train_fp, DatasetFingerprint(*request.test),
-                           request.method, params_fp};
+  ResultCacheKey cache_key{train_fp, test_fp, request.method, params_fp};
   if (request.use_cache) {
     if (auto cached = cache_.Get(cache_key)) {
       report.values = *cached;
@@ -176,6 +180,23 @@ void ValuationEngine::InvalidateAll() {
   std::lock_guard<std::mutex> lock(fitted_mutex_);
   fitted_.clear();
   fitted_index_.clear();
+}
+
+ValuationEngine::InvalidationStats ValuationEngine::InvalidateTrain(
+    uint64_t train_fingerprint) {
+  InvalidationStats stats;
+  stats.cache_evicted = cache_.EraseFingerprint(train_fingerprint);
+  std::lock_guard<std::mutex> lock(fitted_mutex_);
+  for (auto it = fitted_.begin(); it != fitted_.end();) {
+    if (it->first.train_fingerprint == train_fingerprint) {
+      fitted_index_.erase(it->first);
+      it = fitted_.erase(it);
+      ++stats.fitted_evicted;
+    } else {
+      ++it;
+    }
+  }
+  return stats;
 }
 
 }  // namespace knnshap

@@ -47,6 +47,13 @@ struct ValuationRequest {
   std::shared_ptr<const Dataset> test;
   bool use_cache = true;   ///< Consult/populate the result cache.
   bool parallel = true;    ///< Shard queries across the shared pool.
+  /// Precomputed content fingerprints (0 = unset: the engine hashes the
+  /// dataset itself). The serve layer's CorpusStore maintains fingerprints
+  /// incrementally across mutations and passes them here, so a request
+  /// against a million-row corpus costs no rehash at all. Callers setting
+  /// these own the contract that the value equals DatasetFingerprint(data).
+  uint64_t train_fingerprint = 0;
+  uint64_t test_fingerprint = 0;
 };
 
 /// Engine construction options.
@@ -81,6 +88,31 @@ class ValuationEngine {
 
   /// Drops the result cache and all fitted valuators.
   void InvalidateAll();
+
+  /// Eviction counts returned by InvalidateTrain.
+  struct InvalidationStats {
+    size_t fitted_evicted = 0;
+    size_t cache_evicted = 0;
+  };
+
+  /// Evicts every fitted valuator whose training corpus has the given
+  /// content fingerprint, and every result-cache entry that names it as
+  /// train *or* test dataset. The serve layer calls this when a corpus is
+  /// dropped or mutated, so stale structures are reclaimed immediately
+  /// instead of lingering until LRU pressure.
+  InvalidationStats InvalidateTrain(uint64_t train_fingerprint);
+
+  /// Persists the result cache to a versioned binary file (see
+  /// ResultCache::SaveTo). Returns entries written, or fills *error.
+  size_t SaveCache(const std::string& path, std::string* error) const {
+    return cache_.SaveTo(path, error);
+  }
+
+  /// Merges a SaveCache file into the result cache so a restarted server
+  /// warm-starts. Returns entries loaded, or fills *error.
+  size_t LoadCache(const std::string& path, std::string* error) {
+    return cache_.LoadFrom(path, error);
+  }
 
  private:
   struct FittedKey {

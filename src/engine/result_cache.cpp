@@ -2,6 +2,10 @@
 
 #include "engine/result_cache.h"
 
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
 #include "util/fingerprint.h"
 
 namespace knnshap {
@@ -53,6 +57,133 @@ void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   index_.clear();
+}
+
+size_t ResultCache::EraseFingerprint(uint64_t fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t erased = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.train_fingerprint == fingerprint ||
+        it->first.test_fingerprint == fingerprint) {
+      index_.erase(it->first);
+      it = entries_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
+}
+
+namespace {
+
+// Cache file framing: magic + format version, then length-prefixed
+// entries. Bump kCacheFileVersion on any layout change; Load rejects
+// mismatches instead of guessing.
+constexpr char kCacheFileMagic[8] = {'K', 'S', 'H', 'A', 'P', 'R', 'C', '\0'};
+constexpr uint32_t kCacheFileVersion = 1;
+
+template <typename T>
+void WriteRaw(std::ofstream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(std::ifstream& in, T* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.good();
+}
+
+}  // namespace
+
+size_t ResultCache::SaveTo(const std::string& path, std::string* error) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    *error = "cannot open '" + path + "' for writing";
+    return 0;
+  }
+  out.write(kCacheFileMagic, sizeof(kCacheFileMagic));
+  WriteRaw(out, kCacheFileVersion);
+  WriteRaw(out, static_cast<uint64_t>(entries_.size()));
+  for (const auto& [key, values] : entries_) {  // MRU first
+    WriteRaw(out, key.train_fingerprint);
+    WriteRaw(out, key.test_fingerprint);
+    WriteRaw(out, key.params_fingerprint);
+    WriteRaw(out, static_cast<uint32_t>(key.method.size()));
+    out.write(key.method.data(), static_cast<std::streamsize>(key.method.size()));
+    WriteRaw(out, static_cast<uint64_t>(values->size()));
+    out.write(reinterpret_cast<const char*>(values->data()),
+              static_cast<std::streamsize>(values->size() * sizeof(double)));
+  }
+  if (!out) {
+    *error = "write to '" + path + "' failed";
+    return 0;
+  }
+  return entries_.size();
+}
+
+size_t ResultCache::LoadFrom(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open '" + path + "'";
+    return 0;
+  }
+  char magic[sizeof(kCacheFileMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kCacheFileMagic, sizeof(magic)) != 0) {
+    *error = "'" + path + "' is not a knnshap cache file";
+    return 0;
+  }
+  uint32_t version = 0;
+  if (!ReadRaw(in, &version) || version != kCacheFileVersion) {
+    *error = "unsupported cache file version";
+    return 0;
+  }
+  uint64_t count = 0;
+  if (!ReadRaw(in, &count)) {
+    *error = "truncated cache file";
+    return 0;
+  }
+  // Parse everything before touching the cache so a corrupt tail cannot
+  // leave a half-merged state.
+  std::vector<std::pair<ResultCacheKey, std::shared_ptr<const std::vector<double>>>>
+      loaded;
+  // The header count is untrusted input: reserve only a sane prefix and
+  // let push_back grow for (legitimate) larger files — a corrupt count
+  // must yield the error path below, not an allocation failure here.
+  loaded.reserve(static_cast<size_t>(std::min<uint64_t>(count, 4096)));
+  for (uint64_t i = 0; i < count; ++i) {
+    ResultCacheKey key;
+    uint32_t method_len = 0;
+    if (!ReadRaw(in, &key.train_fingerprint) || !ReadRaw(in, &key.test_fingerprint) ||
+        !ReadRaw(in, &key.params_fingerprint) || !ReadRaw(in, &method_len) ||
+        method_len > 4096) {
+      *error = "truncated cache file";
+      return 0;
+    }
+    key.method.resize(method_len);
+    in.read(key.method.data(), method_len);
+    uint64_t num_values = 0;
+    if (!in.good() || !ReadRaw(in, &num_values) || num_values > (1ull << 31)) {
+      *error = "truncated cache file";
+      return 0;
+    }
+    auto values = std::make_shared<std::vector<double>>(static_cast<size_t>(num_values));
+    in.read(reinterpret_cast<char*>(values->data()),
+            static_cast<std::streamsize>(num_values * sizeof(double)));
+    if (!in.good()) {
+      *error = "truncated cache file";
+      return 0;
+    }
+    loaded.emplace_back(std::move(key), std::move(values));
+  }
+  // Insert least recent first so Put's MRU ordering reproduces the saved
+  // recency order.
+  for (auto it = loaded.rbegin(); it != loaded.rend(); ++it) {
+    Put(it->first, std::move(it->second));
+  }
+  return loaded.size();
 }
 
 size_t ResultCache::Size() const {

@@ -51,6 +51,24 @@ class ResultCache {
   /// Drops all entries (counters are retained).
   void Clear();
 
+  /// Drops every entry whose train *or* test fingerprint equals
+  /// `fingerprint` (a dropped or mutated corpus may appear on either side
+  /// of a request). Returns the number of entries erased; they do not
+  /// count as evictions.
+  size_t EraseFingerprint(uint64_t fingerprint);
+
+  /// Serializes the resident entries (MRU first) to a versioned binary
+  /// file so a restarted server warm-starts. Native endianness — the file
+  /// is a same-machine restart artifact, not an interchange format.
+  /// Returns the number of entries written, or fills *error.
+  size_t SaveTo(const std::string& path, std::string* error) const;
+
+  /// Merges entries from a SaveTo file into the cache (least recent
+  /// first, so relative recency survives the round trip; capacity and
+  /// eviction apply as usual). Returns entries read, or fills *error on a
+  /// missing/corrupt/mismatched-version file (cache left unchanged).
+  size_t LoadFrom(const std::string& path, std::string* error);
+
   size_t Size() const;
   size_t Capacity() const { return capacity_; }
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "core/corrected_knn_shapley.h"
 #include "core/exact_knn_shapley.h"
 #include "core/improved_mc.h"
 #include "core/knn_regression_shapley.h"
@@ -50,6 +51,22 @@ void ExactValuator::OnFit() {
 std::vector<double> ExactValuator::ValueOne(const Dataset& test, size_t row) const {
   return ExactKnnShapleySingle(Train(), test.features.Row(row), TestLabel(test, row),
                                params_.k, params_.metric, &norms_);
+}
+
+// ---------------------------------------------------------------------------
+// exact-corrected
+// ---------------------------------------------------------------------------
+
+void CorrectedValuator::OnFit() {
+  KNNSHAP_CHECK(Train().HasLabels(), "exact-corrected: labeled corpus required");
+  norms_ = NormsForMetric(Train().features, params_.metric);
+}
+
+std::vector<double> CorrectedValuator::ValueOne(const Dataset& test,
+                                                size_t row) const {
+  return CorrectedKnnShapleySingle(Train(), test.features.Row(row),
+                                   TestLabel(test, row), params_.k, params_.metric,
+                                   &norms_);
 }
 
 // ---------------------------------------------------------------------------
@@ -188,6 +205,11 @@ void RegisterBuiltinValuators(ValuatorRegistry* registry) {
   add("exact", "Exact KNN classification SVs, O(N log N)/query (Thm 1, Alg 1)",
       [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
         return std::make_unique<ExactValuator>(p);
+      });
+  add("exact-corrected",
+      "Exact SVs under the min(K,|S|)-normalized KNN utility (arXiv:2304.04258)",
+      [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
+        return std::make_unique<CorrectedValuator>(p);
       });
   add("truncated", "(eps,0)-approx via top-K* truncation, kd-tree retrieval (Thm 2)",
       [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {

@@ -2,7 +2,8 @@
 //
 // Built-in Valuator adapters, one per algorithm family of the paper:
 //
-//   exact       Theorem 1 / Algorithm 1   O(N log N) exact recursion
+//   exact            Theorem 1 / Algorithm 1   O(N log N) exact recursion
+//   exact-corrected  arXiv:2304.04258          min(K,|S|)-normalized utility
 //   truncated   Theorem 2                 top-K* truncation, kd-tree retrieval
 //   lsh         Theorems 3-4              LSH retrieval, contrast-tuned
 //   mc          Algorithm 2 / Theorem 5   improved Monte-Carlo estimator
@@ -34,6 +35,26 @@ class ExactValuator : public Valuator {
  public:
   using Valuator::Valuator;
   const char* Method() const override { return "exact"; }
+  bool RequiresLabels() const override { return true; }
+  bool RequiresTargets() const override { return false; }
+  std::vector<double> ValueOne(const Dataset& test, size_t row) const override;
+
+ protected:
+  void OnFit() override;
+
+ private:
+  CorpusNorms norms_;
+};
+
+/// Corrected exact recursion (Wang & Jia, arXiv:2304.04258): the KNN
+/// utility normalized by min(K, |S|) — the vote count a soft-label KNN
+/// classifier actually uses on coalitions smaller than K — instead of the
+/// source paper's constant K. Same O(N log N)/query shape and norm reuse as
+/// ExactValuator.
+class CorrectedValuator : public Valuator {
+ public:
+  using Valuator::Valuator;
+  const char* Method() const override { return "exact-corrected"; }
   bool RequiresLabels() const override { return true; }
   bool RequiresTargets() const override { return false; }
   std::vector<double> ValueOne(const Dataset& test, size_t row) const override;

@@ -1,0 +1,130 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "serve/corpus_store.h"
+
+#include <utility>
+
+namespace knnshap {
+
+CorpusMutation CorpusStore::InstallLocked(const std::string& name, Dataset next,
+                                          CorpusDigests digests, Entry* entry) {
+  CorpusMutation result;
+  result.old_fingerprint = entry->fingerprint;
+  next.name = name;
+  entry->data = std::make_shared<const Dataset>(std::move(next));
+  entry->digests = std::move(digests);
+  entry->fingerprint = entry->digests.Combined();
+  entry->version += 1;
+  result.snapshot = {entry->data, entry->fingerprint, entry->version};
+  return result;
+}
+
+CorpusMutation CorpusStore::Put(const std::string& name, Dataset data) {
+  CorpusDigests digests = ComputeCorpusDigests(data);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return InstallLocked(name, std::move(data), std::move(digests), &entries_[name]);
+}
+
+std::optional<CorpusSnapshot> CorpusStore::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  return CorpusSnapshot{it->second.data, it->second.fingerprint, it->second.version};
+}
+
+bool CorpusStore::Append(const std::string& name, const Dataset& rows,
+                         CorpusMutation* out, std::string* error) {
+  if (rows.Size() == 0) {
+    *error = "append: no rows";
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    *error = "unknown dataset '" + name + "'";
+    return false;
+  }
+  const Dataset& current = *it->second.data;
+  if (rows.Dim() != current.Dim()) {
+    *error = "append: dimension mismatch (corpus " + std::to_string(current.Dim()) +
+             ", rows " + std::to_string(rows.Dim()) + ")";
+    return false;
+  }
+  if (rows.HasLabels() != current.HasLabels() ||
+      rows.HasTargets() != current.HasTargets()) {
+    *error = "append: label/target schema mismatch";
+    return false;
+  }
+
+  const size_t old_rows = current.Size();
+  Dataset next = current;  // copy-on-write: readers keep the old version
+  for (size_t r = 0; r < rows.Size(); ++r) next.features.AppendRow(rows.features.Row(r));
+  next.labels.insert(next.labels.end(), rows.labels.begin(), rows.labels.end());
+  next.targets.insert(next.targets.end(), rows.targets.begin(), rows.targets.end());
+
+  // Incremental: only the trailing (possibly partial) block and the new
+  // blocks are rehashed.
+  CorpusDigests digests = it->second.digests;
+  RehashBlocksFrom(next, old_rows, &digests);
+  *out = InstallLocked(name, std::move(next), std::move(digests), &it->second);
+  return true;
+}
+
+bool CorpusStore::RemoveRow(const std::string& name, size_t row, CorpusMutation* out,
+                            std::string* error) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    *error = "unknown dataset '" + name + "'";
+    return false;
+  }
+  const Dataset& current = *it->second.data;
+  if (row >= current.Size()) {
+    *error = "remove: row " + std::to_string(row) + " out of range (corpus has " +
+             std::to_string(current.Size()) + " rows)";
+    return false;
+  }
+  if (current.Size() == 1) {
+    *error = "remove: would leave an empty corpus; use drop instead";
+    return false;
+  }
+  std::vector<int> keep;
+  keep.reserve(current.Size() - 1);
+  for (size_t r = 0; r < current.Size(); ++r) {
+    if (r != row) keep.push_back(static_cast<int>(r));
+  }
+  Dataset next = current.Subset(keep);
+
+  // Blocks before `row`'s block are untouched by the shift-down.
+  CorpusDigests digests = it->second.digests;
+  RehashBlocksFrom(next, row, &digests);
+  *out = InstallLocked(name, std::move(next), std::move(digests), &it->second);
+  return true;
+}
+
+bool CorpusStore::Drop(const std::string& name, uint64_t* old_fingerprint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  *old_fingerprint = it->second.fingerprint;
+  entries_.erase(it);
+  return true;
+}
+
+std::vector<CorpusStore::ListedCorpus> CorpusStore::List() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ListedCorpus> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) {
+    out.push_back({name, entry.data->Size(), entry.data->Dim(), entry.version,
+                   entry.fingerprint});
+  }
+  return out;
+}
+
+size_t CorpusStore::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace knnshap

@@ -1,0 +1,108 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// CorpusStore — the serving subsystem's owner of named, versioned corpora.
+//
+// Every mutation (put / append / remove) installs a *new* immutable Dataset
+// behind a shared_ptr and bumps the version: readers holding a snapshot —
+// in-flight valuation requests on pool workers — keep valuing the exact
+// corpus they were parsed against, unaffected by later mutations
+// (copy-on-write semantics; the copy is taken once per mutation, never per
+// reader).
+//
+// Each entry also carries the corpus's block-digest fingerprint (see
+// util/fingerprint.h), maintained *incrementally*: a one-row append
+// rehashes only the trailing block, a removal at row r rehashes from r's
+// block onward, and a snapshot hands the precomputed fingerprint to the
+// ValuationEngine so the serve path never rehashes a corpus per request.
+// The invariant `fingerprint == DatasetFingerprint(*data)` is what
+// tests/fingerprint_test.cpp pins across randomized mutation sequences.
+//
+// Thread-safe: all operations are mutex-guarded; snapshots are immutable.
+
+#ifndef KNNSHAP_SERVE_CORPUS_STORE_H_
+#define KNNSHAP_SERVE_CORPUS_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "util/fingerprint.h"
+
+namespace knnshap {
+
+/// Immutable view of one corpus version.
+struct CorpusSnapshot {
+  std::shared_ptr<const Dataset> data;
+  uint64_t fingerprint = 0;  ///< == DatasetFingerprint(*data).
+  uint64_t version = 0;      ///< 1 on first put, bumped per mutation.
+};
+
+/// Outcome of a mutating operation: the new snapshot plus the fingerprint
+/// the corpus had before (0 for a fresh name) — the handle the caller
+/// needs to invalidate engine state keyed by the old contents.
+struct CorpusMutation {
+  CorpusSnapshot snapshot;
+  uint64_t old_fingerprint = 0;
+};
+
+/// Named, versioned, fingerprinted corpora.
+class CorpusStore {
+ public:
+  /// Inserts or replaces `name` with `data` (full digest computation —
+  /// this is the one place a complete hash of the corpus happens).
+  CorpusMutation Put(const std::string& name, Dataset data);
+
+  /// Snapshot of the current version; nullopt for an unknown name.
+  std::optional<CorpusSnapshot> Get(const std::string& name) const;
+
+  /// Appends `rows` (same dim / label / target schema) to `name`.
+  /// Incremental digest update: only blocks from the old row count onward
+  /// are rehashed. Returns false with *error on schema mismatch or an
+  /// unknown name.
+  bool Append(const std::string& name, const Dataset& rows, CorpusMutation* out,
+              std::string* error);
+
+  /// Removes row `row` from `name`; digests are rehashed from `row`'s
+  /// block onward.
+  bool RemoveRow(const std::string& name, size_t row, CorpusMutation* out,
+                 std::string* error);
+
+  /// Drops `name`; returns the dropped corpus's fingerprint via
+  /// *old_fingerprint (for engine invalidation). False if unknown.
+  bool Drop(const std::string& name, uint64_t* old_fingerprint);
+
+  /// Stats-level listing, sorted by name.
+  struct ListedCorpus {
+    std::string name;
+    size_t rows = 0;
+    size_t dim = 0;
+    uint64_t version = 0;
+    uint64_t fingerprint = 0;
+  };
+  std::vector<ListedCorpus> List() const;
+
+  size_t Size() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Dataset> data;
+    CorpusDigests digests;
+    uint64_t fingerprint = 0;
+    uint64_t version = 0;
+  };
+
+  CorpusMutation InstallLocked(const std::string& name, Dataset next,
+                               CorpusDigests digests, Entry* entry);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_SERVE_CORPUS_STORE_H_

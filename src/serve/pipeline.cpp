@@ -1,0 +1,636 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "serve/pipeline.h"
+
+#include <condition_variable>
+#include <cstdio>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "dataset/io.h"
+#include "engine/registry.h"
+#include "market/valuation_report.h"
+
+namespace knnshap {
+
+namespace {
+
+JsonValue ErrorResponse(const std::string& message) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("ok", JsonValue(false));
+  out.Set("error", JsonValue(message));
+  return out;
+}
+
+JsonValue OkResponse() {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("ok", JsonValue(true));
+  return out;
+}
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+JsonValue CountersJson(const CacheCounters& counters) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("hits", JsonValue(static_cast<double>(counters.hits)));
+  out.Set("misses", JsonValue(static_cast<double>(counters.misses)));
+  out.Set("evictions", JsonValue(static_cast<double>(counters.evictions)));
+  return out;
+}
+
+bool ParseTargetMode(const std::string& mode, CsvTarget* out) {
+  if (mode.empty() || mode == "label") {
+    *out = CsvTarget::kLabel;
+  } else if (mode == "target") {
+    *out = CsvTarget::kTarget;
+  } else if (mode == "none") {
+    *out = CsvTarget::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+KnnTask ParseTask(const std::string& task, std::string* error) {
+  if (task.empty() || task == "classification") return KnnTask::kClassification;
+  if (task == "regression") return KnnTask::kRegression;
+  if (task == "weighted-classification") return KnnTask::kWeightedClassification;
+  if (task == "weighted-regression") return KnnTask::kWeightedRegression;
+  *error = "unknown task '" + task + "'";
+  return KnnTask::kClassification;
+}
+
+bool FromInlineRows(const JsonValue& rows, CsvTarget target, Dataset* data,
+                    std::string* error) {
+  if (!rows.IsArray() || rows.Items().empty()) {
+    *error = "'rows' must be a non-empty array of rows";
+    return false;
+  }
+  for (const auto& row : rows.Items()) {
+    if (!row.IsArray() || row.Items().empty()) {
+      *error = "each row must be a non-empty array of numbers";
+      return false;
+    }
+    size_t arity = row.Items().size();
+    size_t num_features = target == CsvTarget::kNone ? arity : arity - 1;
+    if (num_features == 0) {
+      *error = "row has no feature columns";
+      return false;
+    }
+    std::vector<float> features;
+    features.reserve(num_features);
+    for (size_t c = 0; c < num_features; ++c) {
+      const JsonValue& cell = row.Items()[c];
+      if (!cell.IsNumber()) {
+        *error = "non-numeric feature cell";
+        return false;
+      }
+      features.push_back(static_cast<float>(cell.AsNumber()));
+    }
+    if (!data->features.Empty() && features.size() != data->Dim()) {
+      *error = "inconsistent row arity";
+      return false;
+    }
+    data->features.AppendRow(features);
+    if (target != CsvTarget::kNone) {
+      const JsonValue& last = row.Items()[arity - 1];
+      if (!last.IsNumber()) {
+        *error = "non-numeric label/target cell";
+        return false;
+      }
+      if (target == CsvTarget::kLabel) {
+        data->labels.push_back(static_cast<int>(last.AsNumber()));
+      } else {
+        data->targets.push_back(last.AsNumber());
+      }
+    }
+  }
+  return true;
+}
+
+/// In-order response emitter. Ordered responses occupy sequence slots
+/// reserved at parse time on the reader thread; whichever thread fills the
+/// head slot flushes the contiguous prefix. Unordered responses bypass the
+/// slots entirely.
+class OrderedEmitter {
+ public:
+  explicit OrderedEmitter(std::ostream* out) : out_(out) {}
+
+  uint64_t ReserveSlot() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return next_slot_++;
+  }
+
+  void EmitAt(uint64_t slot, std::string line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_[slot] = std::move(line);
+    while (!pending_.empty() && pending_.begin()->first == next_emit_) {
+      WriteLocked(pending_.begin()->second);
+      pending_.erase(pending_.begin());
+      ++next_emit_;
+    }
+  }
+
+  /// Reserve + emit in one step (reader-thread synchronous responses).
+  void EmitOrdered(std::string line) { EmitAt(ReserveSlot(), std::move(line)); }
+
+  void EmitNow(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    WriteLocked(line);
+  }
+
+ private:
+  void WriteLocked(const std::string& line) {
+    (*out_) << line << '\n';
+    out_->flush();
+  }
+
+  std::ostream* out_;
+  std::mutex mutex_;
+  uint64_t next_slot_ = 0;
+  uint64_t next_emit_ = 0;
+  std::map<uint64_t, std::string> pending_;
+};
+
+/// Bounded in-flight window: the reader blocks while `limit` value jobs
+/// are outstanding (backpressure), and drains to zero at sync/quit/EOF.
+class InFlightWindow {
+ public:
+  void Acquire(size_t limit) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return count_ < limit; });
+    ++count_;
+  }
+
+  void Release() {
+    // Notify while holding the lock: a post-unlock notify could run after
+    // a drained Run() has already destroyed this stack-local window.
+    std::lock_guard<std::mutex> lock(mutex_);
+    --count_;
+    cv_.notify_all();
+  }
+
+  void Drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return count_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  size_t count_ = 0;
+};
+
+}  // namespace
+
+/// A value request after parse/validation: the engine request with corpus
+/// snapshots resolved (so later mutations cannot affect it) plus the
+/// response shaping fields.
+struct RequestPipeline::PreparedValue {
+  ValuationRequest engine_request;
+  bool include_values = true;
+  bool ordered = true;
+  /// The request carried an explicit "parallel":true — run it inline with
+  /// intra-request query sharding instead of dispatching to one worker.
+  bool explicit_parallel = false;
+  uint64_t seed = 0;
+  bool has_id = false;
+  JsonValue id;
+};
+
+RequestPipeline::RequestPipeline(const PipelineOptions& options)
+    : options_(options),
+      pool_(options.pool != nullptr ? options.pool : &ThreadPool::Shared()),
+      max_in_flight_(options.max_in_flight != 0 ? options.max_in_flight
+                                                : 2 * pool_->NumThreads()),
+      engine_(options.engine) {}
+
+size_t RequestPipeline::Run(std::istream& in, std::ostream& out) {
+  OrderedEmitter emitter(&out);
+  InFlightWindow window;
+  size_t served = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++served;
+    JsonParseResult parsed = ParseJson(line);
+    if (!parsed.ok()) {
+      emitter.EmitOrdered(ErrorResponse("parse error: " + parsed.error).Dump());
+      continue;
+    }
+    const std::string& op = parsed.value.Get("op").AsString();
+
+    if (op == "quit" || op == "sync") {
+      // Barrier ops: wait for every in-flight value, then answer.
+      window.Drain();
+      JsonValue response = OkResponse();
+      if (op == "quit") response.Set("bye", JsonValue(true));
+      emitter.EmitOrdered(response.Dump());
+      if (op == "quit") return served;
+      continue;
+    }
+
+    // Control-plane ops are barriers too: in-flight values populate the
+    // result cache and fitted set as they finish, so draining first makes
+    // mutation-driven invalidation (and stats / save_cache contents)
+    // deterministic instead of racing job completion. Value traffic — the
+    // data plane — is never stalled by other values. methods/ping answer
+    // from constants and skip the barrier (ping stays a liveness probe).
+    if (op == "load" || op == "append" || op == "remove" || op == "drop" ||
+        op == "save_cache" || op == "load_cache" || op == "stats") {
+      window.Drain();
+    }
+
+    if (op == "value" && options_.pipelined) {
+      auto prepared = std::make_shared<PreparedValue>();
+      JsonValue error_response;
+      if (!PrepareValue(parsed.value, prepared.get(), &error_response)) {
+        emitter.EmitOrdered(error_response.Dump());
+        continue;
+      }
+      // A request that *explicitly* asks for intra-request sharding runs
+      // inline on the reader (sharded across the pool, like --serial) —
+      // the escape hatch for lone heavy batches in an otherwise idle
+      // session, where per-request dispatch would leave cores idle.
+      // Values are bitwise independent of this choice, so the transcript
+      // is unchanged; in-flight jobs stay unaffected (snapshots).
+      if (prepared->explicit_parallel) {
+        window.Drain();  // keep response-completion order == request order
+        emitter.EmitOrdered(RunValue(*prepared).Dump());
+        continue;
+      }
+      // Otherwise cross-request concurrency replaces intra-request
+      // sharding: a pool worker must not re-enter ParallelFor
+      // (non-reentrant, see util/thread_pool.h).
+      prepared->engine_request.parallel = false;
+      const bool ordered = prepared->ordered;
+      const uint64_t slot = ordered ? emitter.ReserveSlot() : 0;
+      window.Acquire(max_in_flight_);
+      pool_->Submit([this, prepared, ordered, slot, &emitter, &window] {
+        std::string response = RunValue(*prepared).Dump();
+        if (ordered) {
+          emitter.EmitAt(slot, std::move(response));
+        } else {
+          emitter.EmitNow(response);
+        }
+        window.Release();
+      });
+      continue;
+    }
+
+    emitter.EmitOrdered(HandleSync(parsed.value).Dump());
+  }
+  window.Drain();
+  return served;
+}
+
+JsonValue RequestPipeline::HandleSync(const JsonValue& request) {
+  if (!request.IsObject()) return ErrorResponse("request must be a JSON object");
+  const std::string& op = request.Get("op").AsString();
+  if (op == "value") {
+    PreparedValue prepared;
+    JsonValue error_response;
+    if (!PrepareValue(request, &prepared, &error_response)) return error_response;
+    return RunValue(prepared);
+  }
+  if (op == "load") return Load(request);
+  if (op == "append") return AppendRows(request);
+  if (op == "remove") return RemoveRow(request);
+  if (op == "drop") return Drop(request);
+  if (op == "methods") return Methods();
+  if (op == "stats") return Stats();
+  if (op == "save_cache") return SaveCache(request);
+  if (op == "load_cache") return LoadCache(request);
+  if (op == "ping" || op == "sync") return OkResponse();
+  if (op == "quit") {
+    JsonValue response = OkResponse();
+    response.Set("bye", JsonValue(true));
+    return response;
+  }
+  return ErrorResponse("unknown op '" + op + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Corpus ops
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void SetSnapshotFields(JsonValue* out, const std::string& name,
+                       const CorpusSnapshot& snapshot) {
+  out->Set("name", JsonValue(name));
+  out->Set("rows", JsonValue(static_cast<double>(snapshot.data->Size())));
+  out->Set("dim", JsonValue(static_cast<double>(snapshot.data->Dim())));
+  out->Set("version", JsonValue(static_cast<double>(snapshot.version)));
+  out->Set("fingerprint", JsonValue(FingerprintHex(snapshot.fingerprint)));
+}
+
+}  // namespace
+
+void RequestPipeline::InvalidateOld(uint64_t old_fingerprint) {
+  if (old_fingerprint != 0) engine_.InvalidateTrain(old_fingerprint);
+}
+
+JsonValue RequestPipeline::Load(const JsonValue& request) {
+  const std::string& name = request.Get("name").AsString();
+  if (name.empty()) return ErrorResponse("load: 'name' is required");
+  CsvTarget target;
+  if (!ParseTargetMode(request.Get("target").AsString(), &target)) {
+    return ErrorResponse("load: target must be label|target|none");
+  }
+
+  Dataset data;
+  if (request.Has("path")) {
+    CsvLoadResult loaded = LoadCsvDataset(request.Get("path").AsString(), target);
+    if (!loaded.ok()) return ErrorResponse("load: " + loaded.error);
+    data = std::move(loaded.data);
+  } else if (request.Has("rows")) {
+    std::string error;
+    if (!FromInlineRows(request.Get("rows"), target, &data, &error)) {
+      return ErrorResponse("load: " + error);
+    }
+  } else {
+    return ErrorResponse("load: need 'path' or 'rows'");
+  }
+
+  CorpusMutation mutation = store_.Put(name, std::move(data));
+  // Replacing a name retires its old contents' engine state.
+  if (mutation.old_fingerprint != mutation.snapshot.fingerprint) {
+    InvalidateOld(mutation.old_fingerprint);
+  }
+  JsonValue out = OkResponse();
+  SetSnapshotFields(&out, name, mutation.snapshot);
+  return out;
+}
+
+JsonValue RequestPipeline::AppendRows(const JsonValue& request) {
+  const std::string& name = request.Get("name").AsString();
+  auto current = store_.Get(name);
+  if (!current) return ErrorResponse("append: unknown dataset '" + name + "'");
+  CsvTarget target = current->data->HasLabels()
+                         ? CsvTarget::kLabel
+                         : (current->data->HasTargets() ? CsvTarget::kTarget
+                                                        : CsvTarget::kNone);
+  Dataset rows;
+  std::string error;
+  if (!FromInlineRows(request.Get("rows"), target, &rows, &error)) {
+    return ErrorResponse("append: " + error);
+  }
+  const size_t appended = rows.Size();
+  CorpusMutation mutation;
+  if (!store_.Append(name, rows, &mutation, &error)) {
+    return ErrorResponse("append: " + error);
+  }
+  InvalidateOld(mutation.old_fingerprint);
+  JsonValue out = OkResponse();
+  SetSnapshotFields(&out, name, mutation.snapshot);
+  out.Set("appended", JsonValue(static_cast<double>(appended)));
+  return out;
+}
+
+JsonValue RequestPipeline::RemoveRow(const JsonValue& request) {
+  const std::string& name = request.Get("name").AsString();
+  if (!request.Get("row").IsNumber()) {
+    return ErrorResponse("remove: 'row' (index) is required");
+  }
+  const double row = request.Get("row").AsNumber();
+  // Integrality + range before the size_t cast: a fractional index would
+  // silently truncate and an unrepresentable one is UB per [conv.fpint].
+  if (row < 0 || row > 1e15 || row != static_cast<double>(static_cast<size_t>(row))) {
+    return ErrorResponse("remove: 'row' must be a non-negative integer");
+  }
+  CorpusMutation mutation;
+  std::string error;
+  if (!store_.RemoveRow(name, static_cast<size_t>(row), &mutation, &error)) {
+    return ErrorResponse("remove: " + error);
+  }
+  InvalidateOld(mutation.old_fingerprint);
+  JsonValue out = OkResponse();
+  SetSnapshotFields(&out, name, mutation.snapshot);
+  out.Set("removed_row", JsonValue(row));
+  return out;
+}
+
+JsonValue RequestPipeline::Drop(const JsonValue& request) {
+  const std::string& name = request.Get("name").AsString();
+  uint64_t old_fingerprint = 0;
+  if (!store_.Drop(name, &old_fingerprint)) {
+    return ErrorResponse("drop: unknown dataset '" + name + "'");
+  }
+  // The satellite fix: dropping a corpus reclaims its fitted valuators and
+  // cache entries immediately instead of waiting for LRU pressure.
+  ValuationEngine::InvalidationStats stats = engine_.InvalidateTrain(old_fingerprint);
+  JsonValue out = OkResponse();
+  out.Set("name", JsonValue(name));
+  out.Set("fitted_evicted", JsonValue(static_cast<double>(stats.fitted_evicted)));
+  out.Set("cache_evicted", JsonValue(static_cast<double>(stats.cache_evicted)));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Introspection and cache ops
+// ---------------------------------------------------------------------------
+
+JsonValue RequestPipeline::Methods() const {
+  JsonValue out = OkResponse();
+  JsonValue methods = JsonValue::MakeArray();
+  for (const auto& info : ValuatorRegistry::Global().Methods()) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("name", JsonValue(info.name));
+    entry.Set("description", JsonValue(info.description));
+    methods.Append(entry);
+  }
+  out.Set("methods", methods);
+  return out;
+}
+
+JsonValue RequestPipeline::Stats() const {
+  JsonValue out = OkResponse();
+  out.Set("cache", CountersJson(engine_.CacheStats()));
+  out.Set("fitted_valuators",
+          JsonValue(static_cast<double>(engine_.FittedCount())));
+  out.Set("fit_reuses", JsonValue(static_cast<double>(engine_.FitReuses())));
+  JsonValue datasets = JsonValue::MakeArray();
+  for (const auto& corpus : store_.List()) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("name", JsonValue(corpus.name));
+    entry.Set("rows", JsonValue(static_cast<double>(corpus.rows)));
+    entry.Set("dim", JsonValue(static_cast<double>(corpus.dim)));
+    entry.Set("version", JsonValue(static_cast<double>(corpus.version)));
+    entry.Set("fingerprint", JsonValue(FingerprintHex(corpus.fingerprint)));
+    datasets.Append(entry);
+  }
+  out.Set("datasets", datasets);
+  return out;
+}
+
+JsonValue RequestPipeline::SaveCache(const JsonValue& request) {
+  const std::string& path = request.Get("path").AsString();
+  if (path.empty()) return ErrorResponse("save_cache: 'path' is required");
+  std::string error;
+  size_t entries = engine_.SaveCache(path, &error);
+  if (!error.empty()) return ErrorResponse("save_cache: " + error);
+  JsonValue out = OkResponse();
+  out.Set("path", JsonValue(path));
+  out.Set("entries", JsonValue(static_cast<double>(entries)));
+  return out;
+}
+
+JsonValue RequestPipeline::LoadCache(const JsonValue& request) {
+  const std::string& path = request.Get("path").AsString();
+  if (path.empty()) return ErrorResponse("load_cache: 'path' is required");
+  std::string error;
+  size_t entries = engine_.LoadCache(path, &error);
+  if (!error.empty()) return ErrorResponse("load_cache: " + error);
+  JsonValue out = OkResponse();
+  out.Set("path", JsonValue(path));
+  out.Set("entries", JsonValue(static_cast<double>(entries)));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// value
+// ---------------------------------------------------------------------------
+
+bool RequestPipeline::PrepareValue(const JsonValue& request, PreparedValue* prepared,
+                                   JsonValue* error_response) {
+  auto fail = [&](const std::string& message) {
+    *error_response = ErrorResponse(message);
+    if (request.Has("id")) error_response->Set("id", request.Get("id"));
+    return false;
+  };
+
+  ValuationRequest& engine_request = prepared->engine_request;
+  engine_request.method = request.Get("method").IsString()
+                              ? request.Get("method").AsString()
+                              : "exact";
+
+  auto train = store_.Get(request.Get("train").AsString());
+  if (!train) {
+    return fail("value: unknown train dataset '" + request.Get("train").AsString() +
+                "'");
+  }
+  engine_request.train = train->data;
+  if (options_.trust_store_fingerprints) {
+    engine_request.train_fingerprint = train->fingerprint;
+  }
+
+  std::string task_error;
+  KnnTask task = ParseTask(request.Get("task").AsString(), &task_error);
+  if (!task_error.empty()) return fail("value: " + task_error);
+
+  if (request.Has("test")) {
+    auto test = store_.Get(request.Get("test").AsString());
+    if (!test) {
+      return fail("value: unknown test dataset '" + request.Get("test").AsString() +
+                  "'");
+    }
+    engine_request.test = test->data;
+    if (options_.trust_store_fingerprints) {
+      engine_request.test_fingerprint = test->fingerprint;
+    }
+  } else if (request.Has("queries")) {
+    // Inline one-shot query batch; labeled/targeted per the task.
+    CsvTarget target =
+        (task == KnnTask::kRegression || task == KnnTask::kWeightedRegression)
+            ? CsvTarget::kTarget
+            : CsvTarget::kLabel;
+    Dataset queries;
+    std::string error;
+    if (!FromInlineRows(request.Get("queries"), target, &queries, &error)) {
+      return fail("value: " + error);
+    }
+    queries.name = "inline-queries";
+    engine_request.test = std::make_shared<const Dataset>(std::move(queries));
+  } else {
+    return fail("value: need 'test' (dataset name) or 'queries'");
+  }
+
+  ValuatorParams& params = engine_request.params;
+  params.task = task;
+  // Hyperparameters are validated here because the core algorithms enforce
+  // them with fatal KNNSHAP_CHECKs — a malformed request must answer
+  // {"ok":false}, never abort the server.
+  if (request.Get("k").IsNumber()) {
+    const double k_raw = request.Get("k").AsNumber();
+    if (k_raw < 1.0 || k_raw > 1e6 || k_raw != static_cast<int>(k_raw)) {
+      return fail("value: 'k' must be a positive integer");
+    }
+    params.k = static_cast<int>(k_raw);
+  }
+  params.epsilon = request.Get("epsilon").AsNumber(params.epsilon);
+  params.delta = request.Get("delta").AsNumber(params.delta);
+  if (params.epsilon <= 0.0 || params.delta <= 0.0) {
+    return fail("value: 'epsilon' and 'delta' must be > 0");
+  }
+  // One uniform default seed for every method (the old loop special-cased
+  // mc to 1); the effective value is echoed in the response.
+  params.seed = static_cast<uint64_t>(
+      request.Get("seed").AsNumber(static_cast<double>(params.seed)));
+  if (request.Get("max_permutations").IsNumber()) {
+    params.max_permutations =
+        static_cast<int64_t>(request.Get("max_permutations").AsNumber());
+  }
+  const std::string& kernel = request.Get("kernel").AsString();
+  if (kernel == "inverse") {
+    params.weights.kernel = WeightKernel::kInverseDistance;
+  } else if (kernel == "gaussian") {
+    params.weights.kernel = WeightKernel::kGaussian;
+  } else if (!kernel.empty() && kernel != "uniform") {
+    return fail("value: unknown kernel '" + kernel + "'");
+  }
+  engine_request.use_cache = request.Get("cache").AsBool(true);
+  engine_request.parallel = request.Get("parallel").AsBool(true);
+  prepared->explicit_parallel =
+      request.Has("parallel") && request.Get("parallel").AsBool();
+
+  prepared->seed = params.seed;
+  prepared->include_values = request.Get("include_values").AsBool(true);
+  prepared->ordered = request.Get("ordered").AsBool(true);
+  prepared->has_id = request.Has("id");
+  if (prepared->has_id) prepared->id = request.Get("id");
+  return true;
+}
+
+JsonValue RequestPipeline::RunValue(const PreparedValue& prepared) {
+  ValuationReport report = engine_.Value(prepared.engine_request);
+  if (!report.ok()) {
+    JsonValue error_response = ErrorResponse(report.error);
+    if (prepared.has_id) error_response.Set("id", prepared.id);
+    return error_response;
+  }
+
+  JsonValue out = OkResponse();
+  if (prepared.has_id) out.Set("id", prepared.id);
+  out.Set("method", JsonValue(report.method));
+  out.Set("train_size", JsonValue(static_cast<double>(report.train_size)));
+  out.Set("num_queries", JsonValue(static_cast<double>(report.num_queries)));
+  out.Set("seed", JsonValue(static_cast<double>(prepared.seed)));
+  out.Set("cache_hit", JsonValue(report.cache_hit));
+  JsonValue summary = JsonValue::MakeObject();
+  summary.Set("mean", JsonValue(report.summary.mean));
+  summary.Set("min", JsonValue(report.summary.min));
+  summary.Set("max", JsonValue(report.summary.max));
+  summary.Set("total", JsonValue(report.summary.total));
+  summary.Set("fraction_negative", JsonValue(report.summary.fraction_negative));
+  out.Set("summary", summary);
+  if (prepared.include_values) {
+    JsonValue values = JsonValue::MakeArray();
+    for (double v : report.values) values.Append(JsonValue(v));
+    out.Set("values", values);
+  }
+  if (options_.emit_timing) out.Set("seconds", JsonValue(report.seconds));
+  return out;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,117 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// RequestPipeline — the concurrent JSONL serving loop over the
+// ValuationEngine and the CorpusStore.
+//
+// The loop keeps a strict division of labor:
+//
+//   * The main thread reads stdin, parses and validates every request, and
+//     executes all corpus / cache / introspection ops inline, in arrival
+//     order. Mutations are therefore totally ordered, and every `value`
+//     request snapshots its corpora (data + fingerprint) at parse time —
+//     it values exactly the corpus version that was current when it
+//     arrived, no matter what mutations land while it computes.
+//
+//   * Independent `value` requests are dispatched onto the thread pool and
+//     run concurrently against the (thread-safe) ValuationEngine. Each job
+//     runs the engine with intra-request query sharding disabled — the
+//     pool's ParallelFor is non-reentrant, and cross-request concurrency
+//     is the serving win — computes the response line, and hands it to the
+//     in-order emitter.
+//
+//   * Responses are emitted in request order (the JSONL protocol stays a
+//     deterministic transcript: pipelined ordered-mode output is
+//     byte-identical to the serial loop). A request carrying
+//     {"ordered":false} opts out: its response is written the moment it
+//     completes, tagged with its echoed "id" for correlation.
+//
+// See src/serve/README.md for the full ordering/concurrency contract and
+// README.md for the request/response protocol.
+
+#ifndef KNNSHAP_SERVE_PIPELINE_H_
+#define KNNSHAP_SERVE_PIPELINE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "engine/engine.h"
+#include "serve/corpus_store.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+namespace knnshap {
+
+/// Pipeline construction options.
+struct PipelineOptions {
+  /// Pool the value jobs run on; nullptr = ThreadPool::Shared().
+  ThreadPool* pool = nullptr;
+  /// Max value jobs submitted but not yet finished; the reader blocks when
+  /// the window is full (backpressure). 0 = 2 * pool threads.
+  size_t max_in_flight = 0;
+  /// false = run every request inline on the reader thread (the pre-serve
+  /// loop; the bench's serial baseline and a debugging aid).
+  bool pipelined = true;
+  /// false = omit the "seconds" field from value responses so transcripts
+  /// are byte-for-byte reproducible (golden tests, the bench's
+  /// ordered-identity check).
+  bool emit_timing = true;
+  /// Pass the CorpusStore's incrementally maintained fingerprints to the
+  /// engine (skips the per-request corpus rehash). false reproduces the
+  /// pre-store behavior of hashing every corpus per request — kept for the
+  /// bench's before/after attribution.
+  bool trust_store_fingerprints = true;
+  EngineOptions engine;
+};
+
+/// The serving state: corpus store + engine + the pipelined request loop.
+class RequestPipeline {
+ public:
+  explicit RequestPipeline(const PipelineOptions& options = {});
+
+  RequestPipeline(const RequestPipeline&) = delete;
+  RequestPipeline& operator=(const RequestPipeline&) = delete;
+
+  /// Runs the JSONL loop until EOF or {"op":"quit"}; all in-flight work is
+  /// drained before returning. Returns the number of requests answered.
+  size_t Run(std::istream& in, std::ostream& out);
+
+  /// Handles one parsed request synchronously on the calling thread
+  /// (value requests included). Tests and embedding tools use this; Run is
+  /// the concurrent path.
+  JsonValue HandleSync(const JsonValue& request);
+
+  ValuationEngine& Engine() { return engine_; }
+  CorpusStore& Store() { return store_; }
+
+ private:
+  struct PreparedValue;  // parsed+validated value request (pipeline.cpp)
+
+  JsonValue Load(const JsonValue& request);
+  JsonValue AppendRows(const JsonValue& request);
+  JsonValue RemoveRow(const JsonValue& request);
+  JsonValue Drop(const JsonValue& request);
+  JsonValue Methods() const;
+  JsonValue Stats() const;
+  JsonValue SaveCache(const JsonValue& request);
+  JsonValue LoadCache(const JsonValue& request);
+
+  /// Parses/validates a value request against current store state. On
+  /// error returns false with *error_response filled.
+  bool PrepareValue(const JsonValue& request, PreparedValue* prepared,
+                    JsonValue* error_response);
+  JsonValue RunValue(const PreparedValue& prepared);
+
+  /// Invalidate engine state keyed by a corpus's pre-mutation contents.
+  void InvalidateOld(uint64_t old_fingerprint);
+
+  PipelineOptions options_;
+  ThreadPool* pool_;
+  size_t max_in_flight_;
+  CorpusStore store_;
+  ValuationEngine engine_;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_SERVE_PIPELINE_H_

@@ -2,7 +2,10 @@
 
 #include "util/fingerprint.h"
 
+#include <algorithm>
+
 #include "dataset/dataset.h"
+#include "util/common.h"
 
 namespace knnshap {
 
@@ -22,17 +25,78 @@ Fnv64& Fnv64::AddString(std::string_view s) {
   return Update(s.data(), s.size());
 }
 
-uint64_t DatasetFingerprint(const Dataset& data) {
+namespace {
+
+// Digest of one row block [begin, end) of each content stream. Every block
+// digest starts from the FNV offset basis, so a block's digest depends only
+// on its own rows — the property the incremental path relies on.
+uint64_t FeatureBlockDigest(const Dataset& data, size_t begin, size_t end) {
   Fnv64 hash;
-  hash.Add(data.Size());
-  hash.Add(data.Dim());
-  for (size_t r = 0; r < data.features.Rows(); ++r) {
-    auto row = data.features.Row(r);
-    hash.Update(row.data(), row.size() * sizeof(float));
+  if (data.Dim() > 0 && end > begin) {
+    // Rows are contiguous in the row-major matrix: one flat pass.
+    hash.Update(data.features.Row(begin).data(), (end - begin) * data.Dim() * sizeof(float));
   }
-  hash.AddSpan(std::span<const int>(data.labels));
-  hash.AddSpan(std::span<const double>(data.targets));
   return hash.Digest();
+}
+
+uint64_t LabelBlockDigest(const Dataset& data, size_t begin, size_t end) {
+  Fnv64 hash;
+  hash.Update(data.labels.data() + begin, (end - begin) * sizeof(int));
+  return hash.Digest();
+}
+
+uint64_t TargetBlockDigest(const Dataset& data, size_t begin, size_t end) {
+  Fnv64 hash;
+  hash.Update(data.targets.data() + begin, (end - begin) * sizeof(double));
+  return hash.Digest();
+}
+
+void RehashRange(const Dataset& data, size_t first_block, CorpusDigests* d) {
+  const size_t num_blocks = d->NumBlocks();
+  d->feature_blocks.resize(num_blocks);
+  d->label_blocks.resize(data.HasLabels() ? num_blocks : 0);
+  d->target_blocks.resize(data.HasTargets() ? num_blocks : 0);
+  for (size_t b = first_block; b < num_blocks; ++b) {
+    const size_t begin = b * d->block_rows;
+    const size_t end = std::min(d->rows, begin + d->block_rows);
+    d->feature_blocks[b] = FeatureBlockDigest(data, begin, end);
+    if (data.HasLabels()) d->label_blocks[b] = LabelBlockDigest(data, begin, end);
+    if (data.HasTargets()) d->target_blocks[b] = TargetBlockDigest(data, begin, end);
+  }
+}
+
+}  // namespace
+
+uint64_t CorpusDigests::Combined() const {
+  Fnv64 hash;
+  hash.Add(rows);
+  hash.Add(cols);
+  hash.AddSpan(std::span<const uint64_t>(feature_blocks));
+  hash.AddSpan(std::span<const uint64_t>(label_blocks));
+  hash.AddSpan(std::span<const uint64_t>(target_blocks));
+  return hash.Digest();
+}
+
+CorpusDigests ComputeCorpusDigests(const Dataset& data, size_t block_rows) {
+  KNNSHAP_CHECK(block_rows >= 1, "fingerprint block size must be >= 1");
+  CorpusDigests digests;
+  digests.rows = data.Size();
+  digests.cols = data.Dim();
+  digests.block_rows = block_rows;
+  RehashRange(data, 0, &digests);
+  return digests;
+}
+
+void RehashBlocksFrom(const Dataset& data, size_t first_row, CorpusDigests* digests) {
+  KNNSHAP_CHECK(digests->cols == data.Dim() || data.Size() == 0,
+                "fingerprint: column count changed");
+  digests->rows = data.Size();
+  digests->cols = data.Dim();
+  RehashRange(data, std::min(first_row, data.Size()) / digests->block_rows, digests);
+}
+
+uint64_t DatasetFingerprint(const Dataset& data) {
+  return ComputeCorpusDigests(data).Combined();
 }
 
 }  // namespace knnshap

@@ -32,13 +32,21 @@ class ThreadPool {
 
   /// Runs fn(i) for i in [0, count) across the pool and blocks until all
   /// iterations complete. Iterations are distributed in contiguous blocks.
+  /// Blocking and non-reentrant: must not be called from a pool worker —
+  /// the caller parks on a condition variable, so workers calling back in
+  /// can deadlock the pool. Multiple *external* threads may call it
+  /// concurrently.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
+
+  /// Enqueues one task and returns immediately. The serve pipeline uses
+  /// this to run whole requests on workers; such tasks must not call
+  /// ParallelFor (see above).
+  void Submit(std::function<void()> task);
 
   /// Process-wide pool, sized to the machine.
   static ThreadPool& Shared();
 
  private:
-  void Submit(std::function<void()> task);
   void WorkerLoop();
 
   std::vector<std::thread> workers_;

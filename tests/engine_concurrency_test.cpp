@@ -1,0 +1,206 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Concurrency coverage for ValuationEngine: N threads firing mixed
+// methods over multiple corpora must produce bitwise the same values as
+// the serial path, with and without the result cache, and racing
+// InvalidateTrain calls must never corrupt state. Assertions are written
+// to be TSan-friendly: shared state is only read after thread joins.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.h"
+#include "test_util.h"
+#include "util/fingerprint.h"
+
+namespace knnshap {
+namespace {
+
+using testing_util::RandomClassDataset;
+using testing_util::RandomRegDataset;
+
+struct Workload {
+  std::string method;
+  std::shared_ptr<const Dataset> train;
+  std::shared_ptr<const Dataset> test;
+  ValuatorParams params;
+};
+
+ValuationRequest ToRequest(const Workload& w, bool parallel, bool use_cache) {
+  ValuationRequest request;
+  request.method = w.method;
+  request.train = w.train;
+  request.test = w.test;
+  request.params = w.params;
+  request.parallel = parallel;
+  request.use_cache = use_cache;
+  return request;
+}
+
+std::vector<Workload> MixedWorkloads() {
+  auto class_a =
+      std::make_shared<const Dataset>(RandomClassDataset(60, 3, 4, 101));
+  auto class_b =
+      std::make_shared<const Dataset>(RandomClassDataset(45, 2, 4, 102));
+  auto reg = std::make_shared<const Dataset>(RandomRegDataset(50, 4, 103));
+  auto class_q = std::make_shared<const Dataset>(RandomClassDataset(8, 3, 4, 104));
+  auto class_q2 = std::make_shared<const Dataset>(RandomClassDataset(5, 2, 4, 105));
+  auto reg_q = std::make_shared<const Dataset>(RandomRegDataset(6, 4, 106));
+
+  std::vector<Workload> workloads;
+  ValuatorParams params;
+  params.k = 3;
+  workloads.push_back({"exact", class_a, class_q, params});
+  workloads.push_back({"exact-corrected", class_a, class_q, params});
+  workloads.push_back({"truncated", class_b, class_q2, params});
+  workloads.push_back({"exact", class_b, class_q2, params});
+  ValuatorParams reg_params;
+  reg_params.k = 3;
+  reg_params.task = KnnTask::kRegression;
+  workloads.push_back({"regression", reg, reg_q, reg_params});
+  ValuatorParams mc_params;
+  mc_params.k = 3;
+  mc_params.max_permutations = 20;
+  workloads.push_back({"mc", class_b, class_q2, mc_params});
+  ValuatorParams weighted_params;
+  weighted_params.k = 2;
+  weighted_params.task = KnnTask::kWeightedClassification;
+  workloads.push_back({"weighted", class_a, class_q, weighted_params});
+  return workloads;
+}
+
+TEST(EngineConcurrencyTest, MixedMethodsAcrossThreadsMatchSerial) {
+  std::vector<Workload> workloads = MixedWorkloads();
+
+  // Serial reference values, computed on a cache-less engine.
+  std::vector<std::vector<double>> expected;
+  {
+    EngineOptions options;
+    options.result_cache_capacity = 0;
+    ValuationEngine serial(options);
+    for (const auto& w : workloads) {
+      ValuationReport report = serial.Value(ToRequest(w, /*parallel=*/false,
+                                                      /*use_cache=*/false));
+      ASSERT_TRUE(report.ok()) << report.error;
+      expected.push_back(report.values);
+    }
+  }
+
+  const size_t kThreads = 8;
+  const int kRoundsPerThread = 6;
+  ValuationEngine engine;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  std::vector<std::string> errors(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRoundsPerThread; ++round) {
+        // Stagger the workload order per thread, alternate cache and
+        // intra-request parallelism so the fitted set, the cache and the
+        // shared pool are all contended.
+        const size_t w = (t + static_cast<size_t>(round)) % workloads.size();
+        const bool parallel = (t + static_cast<size_t>(round)) % 2 == 0;
+        const bool use_cache = t % 2 == 0;
+        ValuationReport report =
+            engine.Value(ToRequest(workloads[w], parallel, use_cache));
+        if (!report.ok()) {
+          errors[t] = report.error;
+          failures.fetch_add(1);
+          return;
+        }
+        if (report.values != expected[w]) {  // bitwise comparison
+          errors[t] = "values diverged for " + workloads[w].method;
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0) << errors[0] << errors[1] << errors[2] << errors[3]
+                                << errors[4] << errors[5] << errors[6] << errors[7];
+  // Every workload fitted at most once per (train, method, params) key.
+  EXPECT_LE(engine.FittedCount(), workloads.size());
+}
+
+TEST(EngineConcurrencyTest, InvalidateTrainRacesWithTraffic) {
+  std::vector<Workload> workloads = MixedWorkloads();
+  ValuationEngine engine;
+  const uint64_t target_fp = DatasetFingerprint(*workloads[0].train);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 12; ++round) {
+        const size_t w = (t + static_cast<size_t>(round)) % workloads.size();
+        ValuationReport report =
+            engine.Value(ToRequest(workloads[w], /*parallel=*/false,
+                                   /*use_cache=*/true));
+        if (!report.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  std::thread invalidator([&] {
+    while (!stop.load()) {
+      engine.InvalidateTrain(target_fp);
+      std::this_thread::yield();
+    }
+  });
+  for (auto& thread : threads) thread.join();
+  stop.store(true);
+  invalidator.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // After the storm, a fresh request still computes correct values.
+  ValuationReport report = engine.Value(
+      ToRequest(workloads[0], /*parallel=*/false, /*use_cache=*/false));
+  ASSERT_TRUE(report.ok()) << report.error;
+  EngineOptions options;
+  options.result_cache_capacity = 0;
+  ValuationEngine serial(options);
+  ValuationReport expected = serial.Value(
+      ToRequest(workloads[0], /*parallel=*/false, /*use_cache=*/false));
+  ASSERT_TRUE(expected.ok()) << expected.error;
+  EXPECT_EQ(report.values, expected.values);
+}
+
+TEST(EngineConcurrencyTest, PrecomputedFingerprintsMatchEngineHashing) {
+  std::vector<Workload> workloads = MixedWorkloads();
+  ValuationEngine engine;
+  // Prime the cache through the hashed path.
+  ValuationReport first =
+      engine.Value(ToRequest(workloads[0], /*parallel=*/false, /*use_cache=*/true));
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_FALSE(first.cache_hit);
+  // A request carrying the precomputed fingerprints must hit the same
+  // cache entry — the serve layer's CorpusStore relies on this identity.
+  ValuationRequest request =
+      ToRequest(workloads[0], /*parallel=*/false, /*use_cache=*/true);
+  request.train_fingerprint = DatasetFingerprint(*workloads[0].train);
+  request.test_fingerprint = DatasetFingerprint(*workloads[0].test);
+  ValuationReport second = engine.Value(request);
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.values, first.values);
+
+  // InvalidateTrain by that fingerprint evicts both the fitted valuator
+  // and the cache entry (the drop-leak satellite fix).
+  ValuationEngine::InvalidationStats stats =
+      engine.InvalidateTrain(request.train_fingerprint);
+  EXPECT_EQ(stats.fitted_evicted, 1u);
+  EXPECT_EQ(stats.cache_evicted, 1u);
+  ValuationReport third = engine.Value(request);
+  ASSERT_TRUE(third.ok()) << third.error;
+  EXPECT_FALSE(third.cache_hit);
+  EXPECT_EQ(third.values, first.values);
+}
+
+}  // namespace
+}  // namespace knnshap

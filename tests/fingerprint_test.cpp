@@ -1,0 +1,151 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Pins the incremental block-fingerprint path against the from-scratch
+// full hash: a CorpusStore that appends and removes rows must always hold
+// digests bit-identical to ComputeCorpusDigests of the final contents,
+// and its fingerprint must equal DatasetFingerprint.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "serve/corpus_store.h"
+#include "test_util.h"
+#include "util/fingerprint.h"
+#include "util/random.h"
+
+namespace knnshap {
+namespace {
+
+using testing_util::RandomClassDataset;
+
+Dataset RandomRows(size_t n, size_t dim, bool labels, bool targets, Rng* rng) {
+  Dataset rows;
+  rows.features = Matrix(n, dim);
+  for (size_t r = 0; r < n; ++r) {
+    auto row = rows.features.MutableRow(r);
+    for (size_t d = 0; d < dim; ++d) row[d] = static_cast<float>(rng->NextGaussian());
+    if (labels) rows.labels.push_back(static_cast<int>(rng->NextIndex(3)));
+    if (targets) rows.targets.push_back(rng->NextGaussian());
+  }
+  return rows;
+}
+
+TEST(FingerprintTest, CombinedEqualsDatasetFingerprint) {
+  for (size_t n : {1u, 7u, 255u, 256u, 257u, 513u}) {
+    Dataset data = RandomClassDataset(n, 3, 5, 1000 + n);
+    EXPECT_EQ(ComputeCorpusDigests(data).Combined(), DatasetFingerprint(data));
+  }
+}
+
+TEST(FingerprintTest, NameIsExcludedContentIsNot) {
+  Dataset a = RandomClassDataset(20, 2, 4, 1);
+  Dataset b = a;
+  b.name = "other";
+  EXPECT_EQ(DatasetFingerprint(a), DatasetFingerprint(b));
+  b.labels[3] ^= 1;
+  EXPECT_NE(DatasetFingerprint(a), DatasetFingerprint(b));
+  Dataset c = a;
+  c.features.At(7, 2) += 1e-3f;
+  EXPECT_NE(DatasetFingerprint(a), DatasetFingerprint(c));
+}
+
+TEST(FingerprintTest, RehashBlocksFromMatchesFullRecompute) {
+  // Small block size so append/remove cross many block boundaries.
+  const size_t kBlock = 4;
+  Rng rng(42);
+  Dataset data = RandomClassDataset(10, 3, 3, 7);
+  CorpusDigests digests = ComputeCorpusDigests(data, kBlock);
+  for (int step = 0; step < 200; ++step) {
+    if (rng.NextDouble() < 0.6 || data.Size() <= 1) {
+      const size_t old_rows = data.Size();
+      const size_t extra = 1 + rng.NextIndex(6);
+      Dataset rows = RandomRows(extra, data.Dim(), true, false, &rng);
+      for (size_t r = 0; r < extra; ++r) {
+        data.features.AppendRow(rows.features.Row(r));
+        data.labels.push_back(rows.labels[r]);
+      }
+      RehashBlocksFrom(data, old_rows, &digests);
+    } else {
+      const size_t victim = rng.NextIndex(data.Size());
+      std::vector<int> keep;
+      for (size_t r = 0; r < data.Size(); ++r) {
+        if (r != victim) keep.push_back(static_cast<int>(r));
+      }
+      data = data.Subset(keep);
+      RehashBlocksFrom(data, victim, &digests);
+    }
+    CorpusDigests full = ComputeCorpusDigests(data, kBlock);
+    ASSERT_EQ(digests.feature_blocks, full.feature_blocks) << "step " << step;
+    ASSERT_EQ(digests.label_blocks, full.label_blocks) << "step " << step;
+    ASSERT_EQ(digests.target_blocks, full.target_blocks) << "step " << step;
+    ASSERT_EQ(digests.Combined(), full.Combined()) << "step " << step;
+  }
+}
+
+TEST(CorpusStoreTest, RandomizedMutationsKeepFingerprintExact) {
+  Rng rng(7);
+  CorpusStore store;
+  Dataset seed_data = RandomClassDataset(300, 3, 6, 11);
+  store.Put("corpus", seed_data);
+  for (int step = 0; step < 60; ++step) {
+    if (rng.NextDouble() < 0.5) {
+      Dataset rows = RandomRows(1 + rng.NextIndex(4), 6, true, false, &rng);
+      CorpusMutation mutation;
+      std::string error;
+      ASSERT_TRUE(store.Append("corpus", rows, &mutation, &error)) << error;
+    } else {
+      auto snapshot = store.Get("corpus");
+      ASSERT_TRUE(snapshot.has_value());
+      if (snapshot->data->Size() <= 1) continue;
+      CorpusMutation mutation;
+      std::string error;
+      ASSERT_TRUE(store.RemoveRow("corpus", rng.NextIndex(snapshot->data->Size()),
+                                  &mutation, &error))
+          << error;
+    }
+    auto snapshot = store.Get("corpus");
+    ASSERT_TRUE(snapshot.has_value());
+    // The store's incrementally maintained fingerprint must equal the
+    // full-matrix hash of the current contents, bit for bit.
+    ASSERT_EQ(snapshot->fingerprint, DatasetFingerprint(*snapshot->data))
+        << "step " << step;
+    ASSERT_EQ(snapshot->version, static_cast<uint64_t>(step + 2));
+  }
+}
+
+TEST(CorpusStoreTest, MutationsAreCopyOnWrite) {
+  CorpusStore store;
+  store.Put("c", RandomClassDataset(10, 2, 3, 5));
+  auto before = store.Get("c");
+  ASSERT_TRUE(before.has_value());
+  Rng rng(9);
+  Dataset rows = RandomRows(2, 3, true, false, &rng);
+  CorpusMutation mutation;
+  std::string error;
+  ASSERT_TRUE(store.Append("c", rows, &mutation, &error)) << error;
+  // The old snapshot is untouched: same object, same contents.
+  EXPECT_EQ(before->data->Size(), 10u);
+  EXPECT_EQ(DatasetFingerprint(*before->data), before->fingerprint);
+  EXPECT_NE(mutation.snapshot.fingerprint, before->fingerprint);
+  EXPECT_EQ(mutation.old_fingerprint, before->fingerprint);
+  EXPECT_EQ(mutation.snapshot.data->Size(), 12u);
+}
+
+TEST(CorpusStoreTest, AppendValidatesSchema) {
+  CorpusStore store;
+  store.Put("c", RandomClassDataset(4, 2, 3, 5));
+  CorpusMutation mutation;
+  std::string error;
+  Rng rng(1);
+  EXPECT_FALSE(store.Append("c", RandomRows(1, 5, true, false, &rng), &mutation, &error));
+  EXPECT_FALSE(store.Append("c", RandomRows(1, 3, false, true, &rng), &mutation, &error));
+  EXPECT_FALSE(store.Append("missing", RandomRows(1, 3, true, false, &rng), &mutation,
+                            &error));
+  EXPECT_FALSE(store.RemoveRow("c", 99, &mutation, &error));
+}
+
+}  // namespace
+}  // namespace knnshap

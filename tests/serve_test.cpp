@@ -1,0 +1,318 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// RequestPipeline coverage: ordered pipelined output must be
+// byte-identical to the serial loop, unordered mode must answer every
+// request, mutations must version corpora and invalidate engine state
+// deterministically, the cache must survive a simulated restart, and the
+// checked-in golden transcript must reproduce bit for bit (the same
+// session/golden pair the CI smoke test pipes through the real binary).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "knn/distance_kernel.h"
+#include "serve/pipeline.h"
+#include "test_util.h"
+#include "util/json.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace knnshap {
+namespace {
+
+std::string RowsJson(size_t n, size_t dim, int num_classes, uint64_t seed) {
+  Rng rng(seed);
+  std::string out = "[";
+  for (size_t r = 0; r < n; ++r) {
+    if (r > 0) out += ",";
+    out += "[";
+    for (size_t d = 0; d < dim; ++d) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.4f,", rng.NextGaussian());
+      out += buf;
+    }
+    out += std::to_string(rng.NextIndex(static_cast<uint64_t>(num_classes)));
+    out += "]";
+  }
+  out += "]";
+  return out;
+}
+
+/// A deterministic mixed-method session: loads, interleaved value traffic
+/// over two corpora, mutations (which are pipeline barriers), error
+/// requests, repeated requests for cache hits, and a final stats.
+std::vector<std::string> MixedSession() {
+  std::vector<std::string> lines;
+  lines.push_back(R"({"op":"load","name":"a","rows":)" + RowsJson(40, 3, 2, 1) +
+                  R"(,"target":"label"})");
+  lines.push_back(R"({"op":"load","name":"b","rows":)" + RowsJson(25, 3, 3, 2) +
+                  R"(,"target":"label"})");
+  lines.push_back(R"({"op":"load","name":"q1","rows":)" + RowsJson(4, 3, 2, 3) +
+                  R"(,"target":"label"})");
+  lines.push_back(R"({"op":"load","name":"q2","rows":)" + RowsJson(3, 3, 3, 4) +
+                  R"(,"target":"label"})");
+  const char* methods[] = {"exact", "exact-corrected", "truncated", "mc"};
+  for (int round = 0; round < 3; ++round) {
+    for (const char* method : methods) {
+      lines.push_back(std::string(R"({"op":"value","train":"a","test":"q1","method":")") +
+                      method + R"(","k":)" + std::to_string(2 + round) + "}");
+      lines.push_back(std::string(R"({"op":"value","train":"b","test":"q2","method":")") +
+                      method + R"(","k":)" + std::to_string(2 + round) + "}");
+    }
+  }
+  lines.push_back(R"({"op":"value","train":"a","test":"q1","method":"weighted","k":2,"kernel":"inverse"})");
+  lines.push_back(R"({"op":"value","train":"missing","test":"q1"})");
+  lines.push_back(R"({"op":"value","train":"a","test":"q1","method":"nope"})");
+  lines.push_back(R"({"op":"append","name":"a","rows":)" + RowsJson(2, 3, 2, 5) + "}");
+  lines.push_back(R"({"op":"value","train":"a","test":"q1","method":"exact","k":3})");
+  lines.push_back(R"({"op":"remove","name":"a","row":40})");
+  lines.push_back(R"({"op":"value","train":"a","test":"q1","method":"exact","k":3})");
+  // Identical repeats, separated by a sync barrier: deterministic hits.
+  lines.push_back(R"({"op":"sync"})");
+  lines.push_back(R"({"op":"value","train":"a","test":"q1","method":"exact","k":3})");
+  lines.push_back(R"({"op":"value","train":"b","test":"q2","method":"exact-corrected","k":2})");
+  lines.push_back(R"({"op":"drop","name":"b"})");
+  lines.push_back(R"({"op":"stats"})");
+  lines.push_back(R"({"op":"quit"})");
+  return lines;
+}
+
+std::string Join(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const auto& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string RunSession(const std::string& input, const PipelineOptions& options) {
+  RequestPipeline pipeline(options);
+  std::istringstream in(input);
+  std::ostringstream out;
+  pipeline.Run(in, out);
+  return out.str();
+}
+
+TEST(ServeTest, OrderedPipelinedOutputIsByteIdenticalToSerial) {
+  const std::string input = Join(MixedSession());
+  ThreadPool pool(4);
+
+  PipelineOptions serial;
+  serial.pipelined = false;
+  serial.emit_timing = false;
+  const std::string serial_out = RunSession(input, serial);
+
+  PipelineOptions pipelined;
+  pipelined.pool = &pool;
+  pipelined.emit_timing = false;
+  const std::string pipelined_out = RunSession(input, pipelined);
+
+  EXPECT_EQ(serial_out, pipelined_out);
+  // Same session again: the transcript is a pure function of the input.
+  EXPECT_EQ(pipelined_out, RunSession(input, pipelined));
+}
+
+TEST(ServeTest, UnorderedModeAnswersEveryRequest) {
+  std::vector<std::string> lines;
+  lines.push_back(R"({"op":"load","name":"a","rows":)" + RowsJson(30, 3, 2, 1) +
+                  R"(,"target":"label"})");
+  const int kRequests = 24;
+  for (int i = 0; i < kRequests; ++i) {
+    lines.push_back(R"({"op":"value","train":"a","queries":)" +
+                    RowsJson(2, 3, 2, 100 + static_cast<uint64_t>(i)) +
+                    R"(,"method":"exact","k":3,"ordered":false,"id":)" +
+                    std::to_string(i) + ",\"include_values\":false}");
+  }
+  lines.push_back(R"({"op":"quit"})");
+
+  ThreadPool pool(4);
+  PipelineOptions options;
+  options.pool = &pool;
+  options.emit_timing = false;
+  const std::string output = RunSession(Join(lines), options);
+
+  std::istringstream parse(output);
+  std::string line;
+  std::set<int> seen_ids;
+  size_t responses = 0;
+  while (std::getline(parse, line)) {
+    ++responses;
+    JsonParseResult parsed = ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    EXPECT_TRUE(parsed.value.Get("ok").AsBool()) << line;
+    if (parsed.value.Has("id")) {
+      seen_ids.insert(static_cast<int>(parsed.value.Get("id").AsNumber()));
+    }
+  }
+  EXPECT_EQ(responses, lines.size());
+  EXPECT_EQ(seen_ids.size(), static_cast<size_t>(kRequests));
+}
+
+TEST(ServeTest, MutationsInvalidateAndVersionDeterministically) {
+  std::vector<std::string> lines;
+  lines.push_back(R"({"op":"load","name":"a","rows":)" + RowsJson(20, 3, 2, 1) +
+                  R"(,"target":"label"})");
+  lines.push_back(R"({"op":"value","train":"a","queries":)" + RowsJson(2, 3, 2, 9) +
+                  R"(,"method":"exact","k":3})");
+  lines.push_back(R"({"op":"append","name":"a","rows":)" + RowsJson(1, 3, 2, 10) + "}");
+  lines.push_back(R"({"op":"stats"})");
+  lines.push_back(R"({"op":"drop","name":"a"})");
+  lines.push_back(R"({"op":"stats"})");
+  lines.push_back(R"({"op":"quit"})");
+
+  ThreadPool pool(4);
+  PipelineOptions options;
+  options.pool = &pool;
+  options.emit_timing = false;
+  const std::string output = RunSession(Join(lines), options);
+
+  std::vector<JsonValue> responses;
+  std::istringstream parse(output);
+  std::string line;
+  while (std::getline(parse, line)) {
+    JsonParseResult parsed = ParseJson(line);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    responses.push_back(parsed.value);
+  }
+  ASSERT_EQ(responses.size(), lines.size());
+  EXPECT_EQ(responses[0].Get("version").AsNumber(), 1.0);
+  EXPECT_EQ(responses[2].Get("version").AsNumber(), 2.0);
+  // After append, the old fingerprint's fitted valuator is gone; nothing
+  // has been fitted against the new version yet.
+  EXPECT_EQ(responses[3].Get("fitted_valuators").AsNumber(), 0.0);
+  // Nothing fitted or cached against version 2, so drop evicts nothing —
+  // but the corpus disappears from stats.
+  EXPECT_TRUE(responses[4].Get("ok").AsBool());
+  EXPECT_EQ(responses[5].Get("datasets").Items().size(), 0u);
+}
+
+TEST(ServeTest, CachePersistenceWarmStartsARestart) {
+  const std::string cache_path = "serve_test_cache.bin";
+  std::remove(cache_path.c_str());
+  const std::string corpus = RowsJson(30, 3, 2, 21);
+  const std::string queries = RowsJson(3, 3, 2, 22);
+
+  std::vector<std::string> first_session;
+  first_session.push_back(R"({"op":"load","name":"a","rows":)" + corpus +
+                          R"(,"target":"label"})");
+  first_session.push_back(R"({"op":"value","train":"a","queries":)" + queries +
+                          R"(,"method":"exact","k":3})");
+  first_session.push_back(R"({"op":"save_cache","path":")" + cache_path + R"("})");
+  first_session.push_back(R"({"op":"quit"})");
+
+  PipelineOptions options;
+  options.emit_timing = false;
+  const std::string first_out = RunSession(Join(first_session), options);
+  ASSERT_NE(first_out.find("\"entries\":1"), std::string::npos) << first_out;
+
+  // A brand-new pipeline (fresh engine — the restarted process), same
+  // corpus contents: the replayed request must hit the reloaded cache.
+  std::vector<std::string> second_session;
+  second_session.push_back(R"({"op":"load","name":"renamed","rows":)" + corpus +
+                           R"(,"target":"label"})");
+  second_session.push_back(R"({"op":"load_cache","path":")" + cache_path + R"("})");
+  second_session.push_back(R"({"op":"value","train":"renamed","queries":)" + queries +
+                           R"(,"method":"exact","k":3})");
+  second_session.push_back(R"({"op":"quit"})");
+  const std::string second_out = RunSession(Join(second_session), options);
+
+  std::istringstream parse(second_out);
+  std::string line;
+  std::vector<JsonValue> responses;
+  while (std::getline(parse, line)) {
+    responses.push_back(ParseJson(line).value);
+  }
+  ASSERT_EQ(responses.size(), second_session.size());
+  EXPECT_EQ(responses[1].Get("entries").AsNumber(), 1.0);
+  EXPECT_TRUE(responses[2].Get("cache_hit").AsBool()) << second_out;
+
+  // Corrupt file: load_cache reports an error response, engine unharmed.
+  std::ofstream(cache_path, std::ios::trunc) << "not a cache";
+  RequestPipeline pipeline(options);
+  JsonParseResult bad = ParseJson(R"({"op":"load_cache","path":")" + cache_path + R"("})");
+  JsonValue response = pipeline.HandleSync(bad.value);
+  EXPECT_FALSE(response.Get("ok").AsBool());
+  std::remove(cache_path.c_str());
+}
+
+TEST(ServeTest, MalformedRequestsAnswerErrorsNotAborts) {
+  PipelineOptions options;
+  options.emit_timing = false;
+  RequestPipeline pipeline(options);
+  auto handle = [&](const std::string& line) {
+    JsonParseResult parsed = ParseJson(line);
+    EXPECT_TRUE(parsed.ok()) << parsed.error;
+    return pipeline.HandleSync(parsed.value);
+  };
+  handle(R"({"op":"load","name":"a","rows":)" + RowsJson(10, 3, 2, 1) +
+         R"(,"target":"label"})");
+  // Core algorithms guard hyperparameters with fatal checks; the serve
+  // layer must convert every such case into an error response.
+  EXPECT_FALSE(handle(R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],"k":0})")
+                   .Get("ok")
+                   .AsBool());
+  EXPECT_FALSE(
+      handle(R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],"k":2.5})")
+          .Get("ok")
+          .AsBool());
+  EXPECT_FALSE(
+      handle(R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],"epsilon":0})")
+          .Get("ok")
+          .AsBool());
+  EXPECT_FALSE(handle(R"({"op":"remove","name":"a","row":2.9})").Get("ok").AsBool());
+  EXPECT_FALSE(handle(R"({"op":"remove","name":"a","row":1e300})").Get("ok").AsBool());
+  // The store is intact and a well-formed request still works.
+  JsonValue good =
+      handle(R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],"k":3})");
+  EXPECT_TRUE(good.Get("ok").AsBool()) << good.Dump();
+}
+
+TEST(ServeTest, ExplicitParallelRunsInlineWithIdenticalValues) {
+  const std::string corpus = RowsJson(40, 3, 2, 31);
+  const std::string queries = RowsJson(6, 3, 2, 32);
+  auto session = [&](const std::string& extra) {
+    return R"({"op":"load","name":"a","rows":)" + corpus + R"(,"target":"label"})" +
+           "\n" + R"({"op":"value","train":"a","queries":)" + queries +
+           R"(,"method":"exact","k":3)" + extra + "}\n" + R"({"op":"quit"})" + "\n";
+  };
+  ThreadPool pool(4);
+  PipelineOptions options;
+  options.pool = &pool;
+  options.emit_timing = false;
+  // Dispatched (default) and inline-sharded ("parallel":true) must answer
+  // byte-identically — the engine's bitwise contract seen end to end.
+  EXPECT_EQ(RunSession(session(""), options),
+            RunSession(session(R"(,"parallel":true)"), options));
+}
+
+TEST(ServeTest, GoldenTranscriptReproduces) {
+  // The same session/golden pair CI pipes through the knnshap_serve
+  // binary. Reference kernel pinned: value bytes must not depend on the
+  // CI job's KNNSHAP_KERNEL forcing.
+  const std::string dir = KNNSHAP_TEST_DATA_DIR;
+  std::ifstream session_file(dir + "/serve_session.jsonl");
+  std::ifstream golden_file(dir + "/serve_golden.jsonl");
+  ASSERT_TRUE(session_file.good() && golden_file.good());
+  std::stringstream session, golden;
+  session << session_file.rdbuf();
+  golden << golden_file.rdbuf();
+
+  SetKernelOverride(KernelKind::kReference);
+  ThreadPool pool(4);
+  PipelineOptions options;
+  options.pool = &pool;
+  options.emit_timing = false;
+  const std::string output = RunSession(session.str(), options);
+  SetKernelOverride(KernelKind::kAuto);
+  EXPECT_EQ(output, golden.str());
+}
+
+}  // namespace
+}  // namespace knnshap

@@ -1,328 +1,74 @@
 // Copyright 2026 the knnshap authors. Apache-2.0 license.
 //
-// knnshap_serve — JSONL request loop over the ValuationEngine: one JSON
-// request per stdin line, one JSON response per stdout line. The process
-// holds loaded corpora, fitted retrieval structures and the result cache
-// across requests, which is the serving win the engine exists for.
+// knnshap_serve — JSONL serving front end: one JSON request per stdin
+// line, one JSON response per stdout line. All of the serving machinery —
+// the versioned CorpusStore, the concurrent RequestPipeline, in-order
+// response emission, engine invalidation and cache persistence — lives in
+// src/serve/; this binary just parses flags and runs the loop.
 //
-// Protocol (see README.md for the full request/response model):
+// Flags:
+//   --serial          process requests inline on the reader thread (the
+//                     pre-pipeline behavior; value requests still shard
+//                     queries across the pool)
+//   --no-timing       omit "seconds" from value responses, making the
+//                     transcript byte-for-byte reproducible (golden tests)
+//   --threads=N       run value jobs on a private pool of N workers
+//                     instead of the shared machine-sized pool
+//   --in-flight=N     cap on concurrently dispatched value requests
+//   --cache=N         result-cache capacity in entries (default 64)
+//   --kernel=K        force the distance kernel (reference|blocked|avx2|
+//                     auto); outranks the KNNSHAP_KERNEL environment
+//                     variable — used with --no-timing for deterministic
+//                     transcripts
 //
-//   {"op":"load","name":"corpus","path":"train.csv","target":"label"}
-//   {"op":"load","name":"q","rows":[[0.1,0.2,1],[0.3,0.1,0]],"target":"label"}
-//   {"op":"value","train":"corpus","test":"q","method":"exact","k":5}
-//   {"op":"methods"}   {"op":"stats"}   {"op":"drop","name":"q"}   {"op":"quit"}
-//
-// Every response carries "ok"; failures answer {"ok":false,"error":...} and
-// the loop continues. Responses to "value" include cache/fit provenance so
-// a load balancer can observe hit rates.
+// See README.md for the protocol and src/serve/README.md for the
+// ordering/concurrency contract.
 
 #include <cstdio>
 #include <iostream>
-#include <map>
 #include <memory>
 #include <string>
 
-#include "dataset/io.h"
-#include "engine/engine.h"
-#include "engine/registry.h"
-#include "util/json.h"
+#include "knn/distance_kernel.h"
+#include "serve/pipeline.h"
+#include "util/cli.h"
+#include "util/thread_pool.h"
 
 using namespace knnshap;
 
-namespace {
+int main(int argc, char** argv) {
+  CommandLine args(argc, argv);
 
-JsonValue ErrorResponse(const std::string& message) {
-  JsonValue out = JsonValue::MakeObject();
-  out.Set("ok", JsonValue(false));
-  out.Set("error", JsonValue(message));
-  return out;
-}
-
-JsonValue CountersJson(const CacheCounters& counters) {
-  JsonValue out = JsonValue::MakeObject();
-  out.Set("hits", JsonValue(static_cast<double>(counters.hits)));
-  out.Set("misses", JsonValue(static_cast<double>(counters.misses)));
-  out.Set("evictions", JsonValue(static_cast<double>(counters.evictions)));
-  return out;
-}
-
-/// The server state: named corpora plus the engine.
-class Server {
- public:
-  JsonValue Handle(const JsonValue& request) {
-    if (!request.IsObject()) return ErrorResponse("request must be a JSON object");
-    const std::string& op = request.Get("op").AsString();
-    if (op == "load") return Load(request);
-    if (op == "value") return Value(request);
-    if (op == "methods") return Methods();
-    if (op == "stats") return Stats();
-    if (op == "drop") return Drop(request);
-    if (op == "ping") {
-      JsonValue out = JsonValue::MakeObject();
-      out.Set("ok", JsonValue(true));
-      return out;
-    }
-    return ErrorResponse("unknown op '" + op + "'");
+  const std::string kernel = args.GetString("kernel", "");
+  if (kernel == "reference") {
+    SetKernelOverride(KernelKind::kReference);
+  } else if (kernel == "blocked") {
+    SetKernelOverride(KernelKind::kBlocked);
+  } else if (kernel == "avx2") {
+    SetKernelOverride(KernelKind::kAvx2);
+  } else if (kernel == "auto") {
+    SetKernelOverride(KernelKind::kAuto);
+  } else if (!kernel.empty()) {
+    std::fprintf(stderr, "unknown --kernel '%s'\n", kernel.c_str());
+    return 1;
   }
 
- private:
-  static bool ParseTargetMode(const std::string& mode, CsvTarget* out) {
-    if (mode.empty() || mode == "label") {
-      *out = CsvTarget::kLabel;
-    } else if (mode == "target") {
-      *out = CsvTarget::kTarget;
-    } else if (mode == "none") {
-      *out = CsvTarget::kNone;
-    } else {
-      return false;
-    }
-    return true;
+  PipelineOptions options;
+  options.pipelined = !args.Has("serial");
+  options.emit_timing = !args.Has("no-timing");
+  options.engine.result_cache_capacity =
+      static_cast<size_t>(args.GetInt("cache", 64));
+  if (args.GetInt("in-flight", 0) > 0) {
+    options.max_in_flight = static_cast<size_t>(args.GetInt("in-flight", 0));
+  }
+  std::unique_ptr<ThreadPool> private_pool;
+  if (args.GetInt("threads", 0) > 0) {
+    private_pool =
+        std::make_unique<ThreadPool>(static_cast<size_t>(args.GetInt("threads", 0)));
+    options.pool = private_pool.get();
   }
 
-  JsonValue Load(const JsonValue& request) {
-    const std::string& name = request.Get("name").AsString();
-    if (name.empty()) return ErrorResponse("load: 'name' is required");
-    CsvTarget target;
-    if (!ParseTargetMode(request.Get("target").AsString(), &target)) {
-      return ErrorResponse("load: target must be label|target|none");
-    }
-
-    Dataset data;
-    if (request.Has("path")) {
-      CsvLoadResult loaded = LoadCsvDataset(request.Get("path").AsString(), target);
-      if (!loaded.ok()) return ErrorResponse("load: " + loaded.error);
-      data = std::move(loaded.data);
-    } else if (request.Has("rows")) {
-      std::string error;
-      if (!FromInlineRows(request.Get("rows"), target, &data, &error)) {
-        return ErrorResponse("load: " + error);
-      }
-    } else {
-      return ErrorResponse("load: need 'path' or 'rows'");
-    }
-    data.name = name;
-
-    datasets_[name] = std::make_shared<const Dataset>(std::move(data));
-    const Dataset& stored = *datasets_[name];
-    JsonValue out = JsonValue::MakeObject();
-    out.Set("ok", JsonValue(true));
-    out.Set("name", JsonValue(name));
-    out.Set("rows", JsonValue(static_cast<double>(stored.Size())));
-    out.Set("dim", JsonValue(static_cast<double>(stored.Dim())));
-    return out;
-  }
-
-  static bool FromInlineRows(const JsonValue& rows, CsvTarget target, Dataset* data,
-                             std::string* error) {
-    if (!rows.IsArray() || rows.Items().empty()) {
-      *error = "'rows' must be a non-empty array of rows";
-      return false;
-    }
-    for (const auto& row : rows.Items()) {
-      if (!row.IsArray() || row.Items().empty()) {
-        *error = "each row must be a non-empty array of numbers";
-        return false;
-      }
-      size_t arity = row.Items().size();
-      size_t num_features = target == CsvTarget::kNone ? arity : arity - 1;
-      if (num_features == 0) {
-        *error = "row has no feature columns";
-        return false;
-      }
-      std::vector<float> features;
-      features.reserve(num_features);
-      for (size_t c = 0; c < num_features; ++c) {
-        const JsonValue& cell = row.Items()[c];
-        if (!cell.IsNumber()) {
-          *error = "non-numeric feature cell";
-          return false;
-        }
-        features.push_back(static_cast<float>(cell.AsNumber()));
-      }
-      if (!data->features.Empty() && features.size() != data->Dim()) {
-        *error = "inconsistent row arity";
-        return false;
-      }
-      data->features.AppendRow(features);
-      if (target != CsvTarget::kNone) {
-        const JsonValue& last = row.Items()[arity - 1];
-        if (!last.IsNumber()) {
-          *error = "non-numeric label/target cell";
-          return false;
-        }
-        if (target == CsvTarget::kLabel) {
-          data->labels.push_back(static_cast<int>(last.AsNumber()));
-        } else {
-          data->targets.push_back(last.AsNumber());
-        }
-      }
-    }
-    return true;
-  }
-
-  static KnnTask ParseTask(const std::string& task, std::string* error) {
-    if (task.empty() || task == "classification") return KnnTask::kClassification;
-    if (task == "regression") return KnnTask::kRegression;
-    if (task == "weighted-classification") return KnnTask::kWeightedClassification;
-    if (task == "weighted-regression") return KnnTask::kWeightedRegression;
-    *error = "unknown task '" + task + "'";
-    return KnnTask::kClassification;
-  }
-
-  JsonValue Value(const JsonValue& request) {
-    ValuationRequest engine_request;
-    engine_request.method = request.Get("method").IsString()
-                                ? request.Get("method").AsString()
-                                : "exact";
-
-    auto train_it = datasets_.find(request.Get("train").AsString());
-    if (train_it == datasets_.end()) {
-      return ErrorResponse("value: unknown train dataset '" +
-                           request.Get("train").AsString() + "'");
-    }
-    engine_request.train = train_it->second;
-
-    if (request.Has("test")) {
-      auto test_it = datasets_.find(request.Get("test").AsString());
-      if (test_it == datasets_.end()) {
-        return ErrorResponse("value: unknown test dataset '" +
-                             request.Get("test").AsString() + "'");
-      }
-      engine_request.test = test_it->second;
-    } else if (request.Has("queries")) {
-      // Inline one-shot query batch; labeled/targeted per the task.
-      std::string task_error;
-      KnnTask task = ParseTask(request.Get("task").AsString(), &task_error);
-      if (!task_error.empty()) return ErrorResponse("value: " + task_error);
-      CsvTarget target = (task == KnnTask::kRegression ||
-                          task == KnnTask::kWeightedRegression)
-                             ? CsvTarget::kTarget
-                             : CsvTarget::kLabel;
-      Dataset queries;
-      std::string error;
-      if (!FromInlineRows(request.Get("queries"), target, &queries, &error)) {
-        return ErrorResponse("value: " + error);
-      }
-      queries.name = "inline-queries";
-      engine_request.test = std::make_shared<const Dataset>(std::move(queries));
-    } else {
-      return ErrorResponse("value: need 'test' (dataset name) or 'queries'");
-    }
-
-    ValuatorParams& params = engine_request.params;
-    std::string task_error;
-    params.task = ParseTask(request.Get("task").AsString(), &task_error);
-    if (!task_error.empty()) return ErrorResponse("value: " + task_error);
-    params.k = static_cast<int>(request.Get("k").AsNumber(params.k));
-    params.epsilon = request.Get("epsilon").AsNumber(params.epsilon);
-    params.delta = request.Get("delta").AsNumber(params.delta);
-    params.seed = static_cast<uint64_t>(request.Get("seed").AsNumber(
-        engine_request.method == "mc" ? 1.0 : 7.0));
-    const std::string& kernel = request.Get("kernel").AsString();
-    if (kernel == "inverse") {
-      params.weights.kernel = WeightKernel::kInverseDistance;
-    } else if (kernel == "gaussian") {
-      params.weights.kernel = WeightKernel::kGaussian;
-    } else if (!kernel.empty() && kernel != "uniform") {
-      return ErrorResponse("value: unknown kernel '" + kernel + "'");
-    }
-    engine_request.use_cache = request.Get("cache").AsBool(true);
-    engine_request.parallel = request.Get("parallel").AsBool(true);
-
-    ValuationReport report = engine_.Value(engine_request);
-    if (!report.ok()) return ErrorResponse(report.error);
-
-    JsonValue out = JsonValue::MakeObject();
-    out.Set("ok", JsonValue(true));
-    out.Set("method", JsonValue(report.method));
-    out.Set("train_size", JsonValue(static_cast<double>(report.train_size)));
-    out.Set("num_queries", JsonValue(static_cast<double>(report.num_queries)));
-    out.Set("seconds", JsonValue(report.seconds));
-    out.Set("cache_hit", JsonValue(report.cache_hit));
-    out.Set("fit_reused", JsonValue(report.fit_reused));
-    out.Set("cache", CountersJson(report.cache));
-    JsonValue summary = JsonValue::MakeObject();
-    summary.Set("mean", JsonValue(report.summary.mean));
-    summary.Set("min", JsonValue(report.summary.min));
-    summary.Set("max", JsonValue(report.summary.max));
-    summary.Set("total", JsonValue(report.summary.total));
-    summary.Set("fraction_negative", JsonValue(report.summary.fraction_negative));
-    out.Set("summary", summary);
-    if (request.Get("include_values").AsBool(true)) {
-      JsonValue values = JsonValue::MakeArray();
-      for (double v : report.values) values.Append(JsonValue(v));
-      out.Set("values", values);
-    }
-    return out;
-  }
-
-  JsonValue Methods() {
-    JsonValue out = JsonValue::MakeObject();
-    out.Set("ok", JsonValue(true));
-    JsonValue methods = JsonValue::MakeArray();
-    for (const auto& info : ValuatorRegistry::Global().Methods()) {
-      JsonValue entry = JsonValue::MakeObject();
-      entry.Set("name", JsonValue(info.name));
-      entry.Set("description", JsonValue(info.description));
-      methods.Append(entry);
-    }
-    out.Set("methods", methods);
-    return out;
-  }
-
-  JsonValue Stats() {
-    JsonValue out = JsonValue::MakeObject();
-    out.Set("ok", JsonValue(true));
-    out.Set("cache", CountersJson(engine_.CacheStats()));
-    out.Set("fitted_valuators", JsonValue(static_cast<double>(engine_.FittedCount())));
-    out.Set("fit_reuses", JsonValue(static_cast<double>(engine_.FitReuses())));
-    JsonValue names = JsonValue::MakeArray();
-    for (const auto& [name, data] : datasets_) {
-      JsonValue entry = JsonValue::MakeObject();
-      entry.Set("name", JsonValue(name));
-      entry.Set("rows", JsonValue(static_cast<double>(data->Size())));
-      entry.Set("dim", JsonValue(static_cast<double>(data->Dim())));
-      names.Append(entry);
-    }
-    out.Set("datasets", names);
-    return out;
-  }
-
-  JsonValue Drop(const JsonValue& request) {
-    const std::string& name = request.Get("name").AsString();
-    JsonValue out = JsonValue::MakeObject();
-    out.Set("ok", JsonValue(datasets_.erase(name) > 0));
-    if (!out.Get("ok").AsBool()) out.Set("error", JsonValue("unknown dataset"));
-    return out;
-  }
-
-  std::map<std::string, std::shared_ptr<const Dataset>> datasets_;
-  ValuationEngine engine_;
-};
-
-}  // namespace
-
-int main() {
-  Server server;
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    if (line.empty()) continue;
-    JsonParseResult parsed = ParseJson(line);
-    JsonValue response;
-    if (!parsed.ok()) {
-      response = ErrorResponse("parse error: " + parsed.error);
-    } else if (parsed.value.Get("op").AsString() == "quit") {
-      response = JsonValue::MakeObject();
-      response.Set("ok", JsonValue(true));
-      response.Set("bye", JsonValue(true));
-      std::printf("%s\n", response.Dump().c_str());
-      std::fflush(stdout);
-      return 0;
-    } else {
-      response = server.Handle(parsed.value);
-    }
-    std::printf("%s\n", response.Dump().c_str());
-    std::fflush(stdout);
-  }
+  RequestPipeline pipeline(options);
+  pipeline.Run(std::cin, std::cout);
   return 0;
 }
