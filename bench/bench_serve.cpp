@@ -30,6 +30,7 @@
 
 #include "bench_util.h"
 #include "serve/pipeline.h"
+#include "util/json.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -66,6 +67,10 @@ std::string RowsJson(size_t n, size_t dim, int num_classes, bool regression,
 struct Workload {
   std::string setup;   // corpus loads
   std::string values;  // the timed value traffic
+  /// The same value traffic replayed by a client that re-seeds every
+  /// request (a uniform client-side knob most methods never read): the
+  /// probe workload for method-scoped vs whole-struct cache fingerprints.
+  std::string reseeded_values;
 };
 
 /// Mixed-method traffic: the big corpus takes exact / exact-corrected /
@@ -92,12 +97,28 @@ Workload MakeWorkload(size_t big_rows, size_t big_dim, size_t requests) {
   // per request — and the expensive-compute methods (capped mc, weighted)
   // appear at realistic minority rates so valuation cost does not drown
   // the serving-layer effects being measured.
-  std::ostringstream values;
+  // Emitted twice: once as the cold traffic, once "reseeded" — the same
+  // requests with a per-request "seed" field, the way a client fleet that
+  // threads a seed through every call replays traffic. Only mc *declares*
+  // seed (1/16 of requests), so under method-scoped fingerprints 15/16 of
+  // the replay are cache hits; under whole-struct fingerprints all 16 miss.
+  std::ostringstream values, reseeded;
+  auto emit = [&](std::ostringstream& out, const std::string& line, uint64_t seed,
+                  bool reseed) {
+    out << R"({"op":"value",)";
+    if (reseed) out << R"("seed":)" << (900000 + seed) << ",";
+    out << line << R"(,"include_values":false})" << "\n";
+  };
+  auto both = [&](const std::string& line, uint64_t seed) {
+    emit(values, line, seed, false);
+    emit(reseeded, line, seed, true);
+  };
   auto big_value = [&](size_t qseed, const char* method, size_t queries,
                        const char* extra) {
-    values << R"({"op":"value","train":"big","queries":)"
-           << RowsJson(queries, big_dim, 3, false, qseed) << R"(,"method":")"
-           << method << R"(",)" << extra << R"("include_values":false})" << "\n";
+    both(R"("train":"big","queries":)" +
+             RowsJson(queries, big_dim, 3, false, qseed) + R"(,"method":")" +
+             method + R"(",)" + extra + R"("cache":true)",
+         qseed);
   };
   for (size_t i = 0; i < requests; ++i) {
     const uint64_t qseed = 1000 + i;
@@ -121,31 +142,29 @@ Workload MakeWorkload(size_t big_rows, size_t big_dim, size_t requests) {
         big_value(qseed, "mc", 1, R"("k":3,"max_permutations":8,)");
         break;
       case 3:
-        values << R"({"op":"value","train":"medium","queries":)"
-               << RowsJson(2, 16, 3, false, qseed)
-               << R"(,"method":"truncated","k":5,"epsilon":0.1,"include_values":false})"
-               << "\n";
+        both(R"("train":"medium","queries":)" + RowsJson(2, 16, 3, false, qseed) +
+                 R"(,"method":"truncated","k":5,"epsilon":0.1)",
+             qseed);
         break;
       case 7:
-        values << R"({"op":"value","train":"small","queries":)"
-               << RowsJson(2, 16, 2, false, qseed)
-               << R"(,"method":"weighted","k":2,"kernel":"inverse","task":"weighted-classification","include_values":false})"
-               << "\n";
+        both(R"("train":"small","queries":)" + RowsJson(2, 16, 2, false, qseed) +
+                 R"(,"method":"weighted","k":2,"kernel":"inverse","task":"weighted-classification")",
+             qseed);
         break;
       case 11:
-        values << R"({"op":"value","train":"reg","queries":)"
-               << RowsJson(2, 32, 0, true, qseed)
-               << R"(,"method":"regression","k":5,"task":"regression","include_values":false})"
-               << "\n";
+        both(R"("train":"reg","queries":)" + RowsJson(2, 32, 0, true, qseed) +
+                 R"(,"method":"regression","k":5,"task":"regression")",
+             qseed);
         break;
       case 15:
-        values << R"({"op":"value","train":"small","queries":)"
-               << RowsJson(4, 16, 2, false, qseed)
-               << R"(,"method":"exact","k":5,"include_values":false})" << "\n";
+        both(R"("train":"small","queries":)" + RowsJson(4, 16, 2, false, qseed) +
+                 R"(,"method":"exact","k":5)",
+             qseed);
         break;
     }
   }
   w.values = values.str();
+  w.reseeded_values = reseeded.str();
   return w;
 }
 
@@ -155,8 +174,10 @@ struct PassResult {
   size_t cache_hits = 0;
 };
 
-/// Runs setup (untimed) then the value traffic (timed) on one pipeline.
-PassResult RunPass(RequestPipeline* pipeline, const Workload& w, bool run_setup) {
+/// Runs setup (untimed) then the given value traffic (timed) on one
+/// pipeline.
+PassResult RunTraffic(RequestPipeline* pipeline, const Workload& w,
+                      const std::string& traffic, bool run_setup) {
   PassResult result;
   std::ostringstream sink;
   if (run_setup) {
@@ -164,7 +185,7 @@ PassResult RunPass(RequestPipeline* pipeline, const Workload& w, bool run_setup)
     pipeline->Run(setup, sink);
     sink.str("");
   }
-  std::istringstream values(w.values + "{\"op\":\"sync\"}\n");
+  std::istringstream values(traffic + "{\"op\":\"sync\"}\n");
   WallTimer timer;
   pipeline->Run(values, sink);
   result.seconds = timer.Seconds();
@@ -173,6 +194,54 @@ PassResult RunPass(RequestPipeline* pipeline, const Workload& w, bool run_setup)
   while ((pos = result.output.find("\"cache_hit\":true", pos)) != std::string::npos) {
     ++result.cache_hits;
     ++pos;
+  }
+  return result;
+}
+
+PassResult RunPass(RequestPipeline* pipeline, const Workload& w, bool run_setup) {
+  return RunTraffic(pipeline, w, w.values, run_setup);
+}
+
+/// Outcome of a cold-pass + reseeded-replay round under one fingerprint
+/// policy.
+struct ReplayResult {
+  size_t hits = 0;
+  size_t requests = 0;
+  /// Replay responses that were cache hits but returned a different
+  /// summary than the cold pass — a cross-request false hit. Must be 0.
+  size_t false_hits = 0;
+};
+
+/// Cold pass then the reseeded replay on a fresh pipeline with the given
+/// fingerprint policy; verifies every replay *hit* returned the cold
+/// pass's exact summary (a hit with different bytes would be a false hit).
+ReplayResult RunReplay(const Workload& w, ThreadPool* pool, size_t cache_capacity,
+                       bool method_scoped) {
+  PipelineOptions options;
+  options.pool = pool;
+  options.emit_timing = false;
+  options.engine.result_cache_capacity = cache_capacity;
+  options.engine.method_scoped_fingerprints = method_scoped;
+  RequestPipeline pipeline(options);
+  PassResult cold = RunTraffic(&pipeline, w, w.values, /*run_setup=*/true);
+  PassResult replay =
+      RunTraffic(&pipeline, w, w.reseeded_values, /*run_setup=*/false);
+
+  ReplayResult result;
+  result.hits = replay.cache_hits;
+  std::istringstream cold_lines(cold.output), replay_lines(replay.output);
+  std::string cold_line, replay_line;
+  while (std::getline(cold_lines, cold_line) &&
+         std::getline(replay_lines, replay_line)) {
+    JsonValue cold_response = ParseJson(cold_line).value;
+    JsonValue replay_response = ParseJson(replay_line).value;
+    if (!replay_response.Has("cache_hit")) continue;  // sync/echo lines
+    ++result.requests;
+    if (replay_response.Get("cache_hit").AsBool() &&
+        replay_response.Get("summary").Dump() !=
+            cold_response.Get("summary").Dump()) {
+      ++result.false_hits;
+    }
   }
   return result;
 }
@@ -259,6 +328,30 @@ int main(int argc, char** argv) {
              restart_warm.seconds, restart_warm.cache_hits, requests);
   std::remove(cache_path.c_str());
 
+  // --- Mixed-method reseeded replay: the method-scoped fingerprint lever.
+  // A client fleet that threads a fresh "seed" through every request
+  // replays the workload. Whole-struct fingerprints treat the seed as
+  // identity for every method and miss everything; method-scoped
+  // fingerprints hit for every method that does not declare seed (15/16
+  // of this traffic — only mc reads it). A hit must return the cold
+  // pass's exact summary: false_hits counts scoped-key aliasing and must
+  // be zero.
+  ReplayResult whole_struct =
+      RunReplay(workload, &pool, requests + 8, /*method_scoped=*/false);
+  ReplayResult scoped =
+      RunReplay(workload, &pool, requests + 8, /*method_scoped=*/true);
+  bench::Row("reseeded replay hit rate: whole-struct %zu/%zu, "
+             "method-scoped %zu/%zu (false hits: %zu)\n",
+             whole_struct.hits, whole_struct.requests, scoped.hits,
+             scoped.requests, scoped.false_hits + whole_struct.false_hits);
+  const bool replay_improved = scoped.hits > whole_struct.hits &&
+                               scoped.false_hits == 0 &&
+                               whole_struct.false_hits == 0;
+  if (!replay_improved) {
+    bench::Row("method-scoped fingerprints did NOT strictly improve the "
+               "replay hit rate — BUG\n");
+  }
+
   const double speedup_total = serial_rehash.seconds / pipelined.seconds;
   const double speedup_fingerprint = serial_rehash.seconds / serial.seconds;
   const double speedup_concurrency = serial.seconds / pipelined.seconds;
@@ -299,9 +392,20 @@ int main(int argc, char** argv) {
   std::fprintf(json, "  \"warm_cache_hits\": %zu,\n", warm.cache_hits);
   std::fprintf(json, "  \"restart_load_cache_seconds\": %.4f,\n",
                restart_warm.seconds);
-  std::fprintf(json, "  \"restart_load_cache_hits\": %zu\n", restart_warm.cache_hits);
+  std::fprintf(json, "  \"restart_load_cache_hits\": %zu,\n", restart_warm.cache_hits);
+  std::fprintf(json, "  \"reseeded_replay_requests\": %zu,\n", scoped.requests);
+  std::fprintf(json, "  \"reseeded_replay_hits_whole_struct_fingerprints\": %zu,\n",
+               whole_struct.hits);
+  std::fprintf(json, "  \"reseeded_replay_hits_method_scoped_fingerprints\": %zu,\n",
+               scoped.hits);
+  std::fprintf(json, "  \"reseeded_replay_hit_rate_whole_struct\": %.4f,\n",
+               scoped.requests ? double(whole_struct.hits) / scoped.requests : 0.0);
+  std::fprintf(json, "  \"reseeded_replay_hit_rate_method_scoped\": %.4f,\n",
+               scoped.requests ? double(scoped.hits) / scoped.requests : 0.0);
+  std::fprintf(json, "  \"reseeded_replay_false_hits\": %zu\n",
+               scoped.false_hits + whole_struct.false_hits);
   std::fprintf(json, "}\n");
   std::fclose(json);
   bench::Row("wrote %s\n", json_path.c_str());
-  return identical ? 0 : 2;
+  return identical && replay_improved ? 0 : 2;
 }

@@ -36,7 +36,7 @@ CsvLoadResult LoadCsvDataset(const std::string& path, CsvTarget target) {
   CsvLoadResult result;
   std::ifstream in(path);
   if (!in.is_open()) {
-    result.error = "cannot open " + path;
+    result.status = Status::NotFound("cannot open " + path);
     return result;
   }
   result.data.name = path;
@@ -98,7 +98,7 @@ CsvLoadResult LoadCsvDataset(const std::string& path, CsvTarget target) {
     ++result.rows_parsed;
   }
   if (result.rows_parsed == 0) {
-    result.error = "no usable rows in " + path;
+    result.status = Status::InvalidArgument("no usable rows in " + path);
     return result;
   }
   result.data.Validate();

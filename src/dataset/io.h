@@ -13,6 +13,7 @@
 #include <string>
 
 #include "dataset/dataset.h"
+#include "util/status.h"
 
 namespace knnshap {
 
@@ -29,9 +30,13 @@ struct CsvLoadResult {
   size_t rows_parsed = 0;
   size_t rows_skipped = 0;  ///< Malformed rows (wrong arity / non-numeric).
   bool had_header = false;
-  std::string error;        ///< Non-empty on fatal failure (file unreadable...).
+  /// OK, or the typed fatal failure: not_found for an unreadable file,
+  /// invalid_argument for a file with no usable rows — so callers (the
+  /// serve load op) map it to a stable wire code without parsing prose.
+  Status status;
 
-  bool ok() const { return error.empty(); }
+  bool ok() const { return status.ok(); }
+  const std::string& error() const { return status.message(); }
 };
 
 /// Loads a dataset from `path`. Rows with the wrong column count or

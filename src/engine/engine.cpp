@@ -30,37 +30,51 @@ ValuationReport ValuationEngine::Value(const ValuationRequest& request) {
   report.method = request.method;
   WallTimer timer;
 
-  // --- Request validation: errors are responses, not aborts. ------------
-  if (!registry_->Contains(request.method)) {
-    report.error = "unknown method '" + request.method + "' (registered: " +
-                   registry_->MethodNames() + ")";
+  // --- Schema-driven validation: errors are responses, not aborts. ------
+  std::shared_ptr<const MethodSchema> schema = registry_->Schema(request.method);
+  if (schema == nullptr) {
+    report.status = registry_->UnknownMethodError(request.method);
     return report;
   }
   if (request.train == nullptr || request.train->Size() == 0) {
-    report.error = "empty training set";
+    report.status = Status::InvalidArgument("empty training set", "train");
+    return report;
+  }
+  if (request.train->Size() < schema->min_train_rows) {
+    report.status = Status::FailedPrecondition(
+        "method '" + request.method + "' needs a training corpus of at least " +
+        std::to_string(schema->min_train_rows) + " rows (got " +
+        std::to_string(request.train->Size()) + ")");
     return report;
   }
   if (request.test == nullptr || request.test->Size() == 0) {
-    report.error = "empty test batch";
+    report.status = Status::InvalidArgument("empty test batch", "test");
     return report;
   }
   if (request.train->Dim() != request.test->Dim()) {
-    report.error = "train/test dimension mismatch";
+    report.status = Status::InvalidArgument("train/test dimension mismatch");
     return report;
   }
-  std::unique_ptr<Valuator> probe = registry_->Create(request.method, request.params);
-  if (probe == nullptr) {
-    report.error = "factory for '" + request.method + "' returned null";
+  // Canonicalize the task and range-check every declared param — the same
+  // checks the serve pipeline and the CLI run at parse time, so a request
+  // built programmatically fails with the identical structured error.
+  ValuatorParams params = request.params;
+  if (Status status = schema->Canonicalize(&params); !status.ok()) {
+    report.status = std::move(status);
     return report;
   }
-  if (probe->RequiresLabels() &&
+  if (schema->RequiresLabels(params.task) &&
       (!request.train->HasLabels() || !request.test->HasLabels())) {
-    report.error = "method '" + request.method + "' requires labeled data";
+    report.status = Status::FailedPrecondition(
+        "method '" + request.method + "' requires labeled data for task '" +
+        TaskName(params.task) + "'");
     return report;
   }
-  if (probe->RequiresTargets() &&
+  if (schema->RequiresTargets(params.task) &&
       (!request.train->HasTargets() || !request.test->HasTargets())) {
-    report.error = "method '" + request.method + "' requires regression targets";
+    report.status = Status::FailedPrecondition(
+        "method '" + request.method + "' requires regression targets for task '" +
+        TaskName(params.task) + "'");
     return report;
   }
 
@@ -73,7 +87,12 @@ ValuationReport ValuationEngine::Value(const ValuationRequest& request) {
   const uint64_t test_fp = request.test_fingerprint != 0
                                ? request.test_fingerprint
                                : DatasetFingerprint(*request.test);
-  const uint64_t params_fp = request.params.Fingerprint();
+  // Method-scoped identity: only params the schema declares can perturb
+  // the key, so e.g. an "exact" entry survives a seed change. The
+  // whole-struct shim remains for before/after measurement.
+  const uint64_t params_fp = options_.method_scoped_fingerprints
+                                 ? schema->ParamsFingerprint(params)
+                                 : params.Fingerprint();
 
   // --- Result cache. ----------------------------------------------------
   ResultCacheKey cache_key{train_fp, test_fp, request.method, params_fp};
@@ -91,7 +110,13 @@ ValuationReport ValuationEngine::Value(const ValuationRequest& request) {
   // --- Fit (or reuse) and run. ------------------------------------------
   FittedKey fitted_key{train_fp, request.method, params_fp};
   std::shared_ptr<Valuator> valuator =
-      GetOrFit(fitted_key, request, &report.fit_reused);
+      GetOrFit(fitted_key, request, params, &report.fit_reused);
+  if (valuator == nullptr) {
+    report.status = Status::Error(
+        StatusCode::kInternal,
+        "method '" + request.method + "' failed to construct or fit");
+    return report;
+  }
   report.values = Run(*valuator, *request.test, request.parallel);
   report.summary = Summarize(report.values);
 
@@ -106,27 +131,86 @@ ValuationReport ValuationEngine::Value(const ValuationRequest& request) {
 
 std::shared_ptr<Valuator> ValuationEngine::GetOrFit(const FittedKey& key,
                                                     const ValuationRequest& request,
+                                                    const ValuatorParams& params,
                                                     bool* reused) {
-  // Fitting runs under the lock: concurrent requests for the same corpus
-  // must not build the same kd-tree / LSH index twice, and fits are the
-  // expensive, rare event in a serving workload.
-  std::lock_guard<std::mutex> lock(fitted_mutex_);
-  auto it = fitted_index_.find(key);
-  if (it != fitted_index_.end()) {
-    fitted_.splice(fitted_.begin(), fitted_, it->second);
+  // Per-corpus fit locking: the engine mutex covers only the bookkeeping.
+  // The first request for a key installs an in-progress slot and fits
+  // *outside* the lock; duplicates for the same key wait on the slot (the
+  // same kd-tree / LSH index must not be built twice), while cold fits of
+  // different corpora — previously serialized here — overlap freely.
+  std::shared_ptr<FitSlot> slot;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(fitted_mutex_);
+    auto it = fitted_index_.find(key);
+    if (it != fitted_index_.end()) {
+      fitted_.splice(fitted_.begin(), fitted_, it->second);
+      ++fit_reuses_;
+      *reused = true;
+      return it->second->second;
+    }
+    auto fit_it = fitting_.find(key);
+    if (fit_it != fitting_.end()) {
+      slot = fit_it->second;
+    } else {
+      slot = std::make_shared<FitSlot>();
+      fitting_[key] = slot;
+      owner = true;
+    }
+  }
+
+  if (!owner) {
+    std::unique_lock<std::mutex> wait_lock(slot->mutex);
+    slot->done_cv.wait(wait_lock, [&] { return slot->done; });
+    if (slot->valuator == nullptr) return nullptr;  // owner's fit failed
+    std::lock_guard<std::mutex> lock(fitted_mutex_);
     ++fit_reuses_;
-    *reused = true;
-    return it->second->second;
+    *reused = true;  // someone else paid for the fit
+    return slot->valuator;
   }
-  std::shared_ptr<Valuator> valuator =
-      registry_->Create(request.method, request.params);
-  valuator->Fit(request.train);
-  fitted_.emplace_front(key, valuator);
-  fitted_index_[key] = fitted_.begin();
-  while (fitted_.size() > std::max<size_t>(options_.fitted_capacity, 1)) {
-    fitted_index_.erase(fitted_.back().first);
-    fitted_.pop_back();
+
+  // The factory is an arbitrary std::function and Fit may allocate large
+  // structures: if either throws, the slot must still be retired and the
+  // waiters released (with a null valuator -> internal-error response), or
+  // every future request for this key would block forever.
+  std::shared_ptr<Valuator> valuator;
+  try {
+    valuator = registry_->Create(request.method, params);
+    if (valuator != nullptr) valuator->Fit(request.train);
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(fitted_mutex_);
+      fitting_.erase(key);
+    }
+    {
+      std::lock_guard<std::mutex> done_lock(slot->mutex);
+      slot->done = true;  // valuator stays null
+    }
+    slot->done_cv.notify_all();
+    throw;
   }
+
+  {
+    std::lock_guard<std::mutex> lock(fitted_mutex_);
+    fitting_.erase(key);
+    // An InvalidateTrain that raced this fit poisoned the slot: the
+    // valuator still answers the requests already waiting on it, but the
+    // dead corpus's structure must not enter the resident set.
+    if (valuator != nullptr && !slot->invalidated) {
+      fitted_.emplace_front(key, valuator);
+      fitted_index_[key] = fitted_.begin();
+      while (fitted_.size() > std::max<size_t>(options_.fitted_capacity, 1)) {
+        fitted_index_.erase(fitted_.back().first);
+        fitted_.pop_back();
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> done_lock(slot->mutex);
+    slot->valuator = valuator;
+    slot->done = true;
+  }
+  slot->done_cv.notify_all();
   *reused = false;
   return valuator;
 }
@@ -180,6 +264,7 @@ void ValuationEngine::InvalidateAll() {
   std::lock_guard<std::mutex> lock(fitted_mutex_);
   fitted_.clear();
   fitted_index_.clear();
+  for (auto& [key, slot] : fitting_) slot->invalidated = true;
 }
 
 ValuationEngine::InvalidationStats ValuationEngine::InvalidateTrain(
@@ -187,6 +272,11 @@ ValuationEngine::InvalidationStats ValuationEngine::InvalidateTrain(
   InvalidationStats stats;
   stats.cache_evicted = cache_.EraseFingerprint(train_fingerprint);
   std::lock_guard<std::mutex> lock(fitted_mutex_);
+  // Poison in-flight fits of this corpus so they finish without
+  // installing (their waiters are still served; the structure is dropped).
+  for (auto& [key, slot] : fitting_) {
+    if (key.train_fingerprint == train_fingerprint) slot->invalidated = true;
+  }
   for (auto it = fitted_.begin(); it != fitted_.end();) {
     if (it->first.train_fingerprint == train_fingerprint) {
       fitted_index_.erase(it->first);

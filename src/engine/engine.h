@@ -21,6 +21,7 @@
 #ifndef KNNSHAP_ENGINE_ENGINE_H_
 #define KNNSHAP_ENGINE_ENGINE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -60,6 +61,12 @@ struct ValuationRequest {
 struct EngineOptions {
   size_t result_cache_capacity = 64;  ///< Entries; 0 disables caching.
   size_t fitted_capacity = 8;         ///< Fitted valuators kept resident.
+  /// Cache / fitted-valuator identity: true hashes only the params the
+  /// method's schema declares (an "exact" result survives a `seed` change;
+  /// mixed-method traffic hits more), false restores the legacy
+  /// whole-struct ValuatorParams::Fingerprint — the compatibility shim and
+  /// the bench baseline.
+  bool method_scoped_fingerprints = true;
   /// Per-query result vectors resident at once: memory is bounded by
   /// max_resident_queries * train_size doubles regardless of batch size.
   /// Accumulation stays in query order, so this never changes output bits.
@@ -73,9 +80,18 @@ class ValuationEngine {
  public:
   explicit ValuationEngine(const EngineOptions& options = {});
 
-  /// Serves one request. Never aborts on malformed requests — inspect
-  /// report.ok() / report.error.
+  /// Serves one request. Never aborts on malformed requests — the request
+  /// is validated against the method's MethodSchema (declared params
+  /// range-checked, task canonicalized, data requirements enforced) and
+  /// failures come back as report.status with a machine-readable code and
+  /// the offending field.
   ValuationReport Value(const ValuationRequest& request);
+
+  /// The registry this engine resolves methods against (the configured
+  /// one, or the global default). The serve pipeline validates and
+  /// describes through this accessor so its view can never diverge from
+  /// what the engine will actually serve.
+  const ValuatorRegistry& Registry() const { return *registry_; }
 
   /// Engine-wide result-cache counters.
   CacheCounters CacheStats() const { return cache_.Counters(); }
@@ -103,15 +119,15 @@ class ValuationEngine {
   InvalidationStats InvalidateTrain(uint64_t train_fingerprint);
 
   /// Persists the result cache to a versioned binary file (see
-  /// ResultCache::SaveTo). Returns entries written, or fills *error.
-  size_t SaveCache(const std::string& path, std::string* error) const {
-    return cache_.SaveTo(path, error);
+  /// ResultCache::SaveTo). Returns entries written.
+  StatusOr<size_t> SaveCache(const std::string& path) const {
+    return cache_.SaveTo(path);
   }
 
   /// Merges a SaveCache file into the result cache so a restarted server
-  /// warm-starts. Returns entries loaded, or fills *error.
-  size_t LoadCache(const std::string& path, std::string* error) {
-    return cache_.LoadFrom(path, error);
+  /// warm-starts. Returns entries loaded.
+  StatusOr<size_t> LoadCache(const std::string& path) {
+    return cache_.LoadFrom(path);
   }
 
  private:
@@ -127,11 +143,30 @@ class ValuationEngine {
   };
   using FittedList = std::list<std::pair<FittedKey, std::shared_ptr<Valuator>>>;
 
+  /// In-progress fit of one key. The map mutex is held only for
+  /// bookkeeping; the fit itself runs outside it, so cold fits of
+  /// *different* corpora proceed concurrently while duplicate requests for
+  /// the same key wait on the slot instead of fitting twice.
+  struct FitSlot {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    bool done = false;
+    std::shared_ptr<Valuator> valuator;
+    /// Set (under fitted_mutex_) by InvalidateTrain/InvalidateAll while
+    /// the fit is in flight: the finished valuator still serves the
+    /// requests already waiting on it, but is NOT installed into fitted_ —
+    /// preserving the reclaim-immediately guarantee for corpora dropped
+    /// mid-fit.
+    bool invalidated = false;
+  };
+
   /// Returns a fitted valuator for (train, method, params), creating and
-  /// fitting one on first use. Serialized: fitting is expensive and must
-  /// not run twice for the same key.
+  /// fitting one on first use. Per-key serialization only: concurrent
+  /// first requests against different (corpus, method, params) keys fit in
+  /// parallel.
   std::shared_ptr<Valuator> GetOrFit(const FittedKey& key,
                                      const ValuationRequest& request,
+                                     const ValuatorParams& params,
                                      bool* reused);
 
   /// Runs the per-query sharded path (or the batch path) on a fitted
@@ -146,6 +181,7 @@ class ValuationEngine {
   mutable std::mutex fitted_mutex_;
   FittedList fitted_;  // MRU-first
   std::unordered_map<FittedKey, FittedList::iterator, FittedKeyHash> fitted_index_;
+  std::unordered_map<FittedKey, std::shared_ptr<FitSlot>, FittedKeyHash> fitting_;
   uint64_t fit_reuses_ = 0;
 };
 

@@ -13,16 +13,36 @@ ValuatorRegistry& ValuatorRegistry::Global() {
   return *registry;
 }
 
-void ValuatorRegistry::Register(const std::string& name,
-                                const std::string& description,
-                                ValuatorFactory factory) {
+void ValuatorRegistry::Register(MethodSchema schema, ValuatorFactory factory) {
+  KNNSHAP_CHECK(!schema.name.empty(), "schema without a name");
+  KNNSHAP_CHECK(!schema.tasks.empty(),
+                "schema '" + schema.name + "' declares no tasks");
   std::lock_guard<std::mutex> lock(mutex_);
-  entries_[name] = Entry{description, std::move(factory)};
+  std::string name = schema.name;
+  entries_[std::move(name)] =
+      Entry{std::make_shared<const MethodSchema>(std::move(schema)),
+            std::move(factory)};
 }
 
 bool ValuatorRegistry::Contains(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.count(name) > 0;
+}
+
+std::shared_ptr<const MethodSchema> ValuatorRegistry::Schema(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.schema;
+}
+
+std::vector<std::shared_ptr<const MethodSchema>> ValuatorRegistry::Schemas()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const MethodSchema>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(entry.schema);
+  return out;
 }
 
 std::unique_ptr<Valuator> ValuatorRegistry::Create(
@@ -42,9 +62,14 @@ std::vector<MethodInfo> ValuatorRegistry::Methods() const {
   std::vector<MethodInfo> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) {
-    out.push_back(MethodInfo{name, entry.description});
+    out.push_back(MethodInfo{name, entry.schema->description});
   }
   return out;
+}
+
+Status ValuatorRegistry::UnknownMethodError(const std::string& name) const {
+  return Status::NotFound("unknown method '" + name + "' (registered: " +
+                          MethodNames() + ")");
 }
 
 std::string ValuatorRegistry::MethodNames() const {

@@ -4,7 +4,11 @@
 // ("exact", "lsh", ...) rather than by #include, so new algorithms — e.g.
 // the corrected WKNN-Shapley recursion of Wang & Jia (arXiv:2304.04258) —
 // plug in by registering a factory instead of growing another parallel
-// entry point.
+// entry point. Each registration carries the method's MethodSchema (its
+// declared hyperparameters, supported tasks and capability flags); the
+// schema is the single source of truth the serve pipeline, the CLI, the
+// cache fingerprints and the describe/--help introspection all derive
+// from.
 
 #ifndef KNNSHAP_ENGINE_REGISTRY_H_
 #define KNNSHAP_ENGINE_REGISTRY_H_
@@ -16,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/schema.h"
 #include "engine/valuator.h"
 
 namespace knnshap {
@@ -24,7 +29,8 @@ namespace knnshap {
 using ValuatorFactory =
     std::function<std::unique_ptr<Valuator>(const ValuatorParams&)>;
 
-/// Registered metadata of a valuation method.
+/// Registered metadata of a valuation method (the short listing; the full
+/// descriptor is the MethodSchema).
 struct MethodInfo {
   std::string name;         ///< Registry key.
   std::string description;  ///< One line, including the paper section.
@@ -36,12 +42,23 @@ class ValuatorRegistry {
   /// The global registry, with the built-in methods pre-registered.
   static ValuatorRegistry& Global();
 
-  /// Registers a method; re-registering a name replaces the factory (tests
-  /// use this to inject instrumented valuators).
-  void Register(const std::string& name, const std::string& description,
-                ValuatorFactory factory);
+  /// Tests may construct private registries to inject instrumented
+  /// valuators without touching the global one.
+  ValuatorRegistry() = default;
+
+  /// Registers a method under schema.name; re-registering a name replaces
+  /// the schema and factory (tests use this to inject instrumented
+  /// valuators).
+  void Register(MethodSchema schema, ValuatorFactory factory);
 
   bool Contains(const std::string& name) const;
+
+  /// The method's declarative descriptor; nullptr for an unknown method.
+  /// Shared ownership so a held schema survives re-registration.
+  std::shared_ptr<const MethodSchema> Schema(const std::string& name) const;
+
+  /// All registered schemas, sorted by name (the describe op's source).
+  std::vector<std::shared_ptr<const MethodSchema>> Schemas() const;
 
   /// Instantiates an unfitted valuator; nullptr for an unknown method.
   std::unique_ptr<Valuator> Create(const std::string& name,
@@ -53,11 +70,14 @@ class ValuatorRegistry {
   /// "a, b, c" — for error messages.
   std::string MethodNames() const;
 
- private:
-  ValuatorRegistry() = default;
+  /// The canonical not_found status for an unresolved method name —
+  /// "unknown method 'x' (registered: a, b, c)". Every surface (engine,
+  /// serve, CLI) answers this one wording so it cannot drift.
+  Status UnknownMethodError(const std::string& name) const;
 
+ private:
   struct Entry {
-    std::string description;
+    std::shared_ptr<const MethodSchema> schema;
     ValuatorFactory factory;
   };
 
@@ -65,9 +85,10 @@ class ValuatorRegistry {
   std::map<std::string, Entry> entries_;
 };
 
-/// Registers the six built-in adapters (exact, truncated, lsh, mc,
-/// weighted, regression). Called once by ValuatorRegistry::Global(); safe
-/// to call again (idempotent re-registration).
+/// Registers the built-in adapters (exact, exact-corrected, truncated,
+/// lsh, mc, weighted, regression) with their schemas. Called once by
+/// ValuatorRegistry::Global(); safe to call again (idempotent
+/// re-registration).
 void RegisterBuiltinValuators(ValuatorRegistry* registry);
 
 }  // namespace knnshap

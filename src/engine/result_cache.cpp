@@ -96,12 +96,11 @@ bool ReadRaw(std::ifstream& in, T* value) {
 
 }  // namespace
 
-size_t ResultCache::SaveTo(const std::string& path, std::string* error) const {
+StatusOr<size_t> ResultCache::SaveTo(const std::string& path) const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
-    *error = "cannot open '" + path + "' for writing";
-    return 0;
+    return Status::NotFound("cannot open '" + path + "' for writing");
   }
   out.write(kCacheFileMagic, sizeof(kCacheFileMagic));
   WriteRaw(out, kCacheFileVersion);
@@ -117,33 +116,28 @@ size_t ResultCache::SaveTo(const std::string& path, std::string* error) const {
               static_cast<std::streamsize>(values->size() * sizeof(double)));
   }
   if (!out) {
-    *error = "write to '" + path + "' failed";
-    return 0;
+    return Status::DataLoss("write to '" + path + "' failed");
   }
   return entries_.size();
 }
 
-size_t ResultCache::LoadFrom(const std::string& path, std::string* error) {
+StatusOr<size_t> ResultCache::LoadFrom(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    *error = "cannot open '" + path + "'";
-    return 0;
+    return Status::NotFound("cannot open '" + path + "'");
   }
   char magic[sizeof(kCacheFileMagic)];
   in.read(magic, sizeof(magic));
   if (!in.good() || std::memcmp(magic, kCacheFileMagic, sizeof(magic)) != 0) {
-    *error = "'" + path + "' is not a knnshap cache file";
-    return 0;
+    return Status::DataLoss("'" + path + "' is not a knnshap cache file");
   }
   uint32_t version = 0;
   if (!ReadRaw(in, &version) || version != kCacheFileVersion) {
-    *error = "unsupported cache file version";
-    return 0;
+    return Status::DataLoss("unsupported cache file version");
   }
   uint64_t count = 0;
   if (!ReadRaw(in, &count)) {
-    *error = "truncated cache file";
-    return 0;
+    return Status::DataLoss("truncated cache file");
   }
   // Parse everything before touching the cache so a corrupt tail cannot
   // leave a half-merged state.
@@ -159,22 +153,19 @@ size_t ResultCache::LoadFrom(const std::string& path, std::string* error) {
     if (!ReadRaw(in, &key.train_fingerprint) || !ReadRaw(in, &key.test_fingerprint) ||
         !ReadRaw(in, &key.params_fingerprint) || !ReadRaw(in, &method_len) ||
         method_len > 4096) {
-      *error = "truncated cache file";
-      return 0;
+      return Status::DataLoss("truncated cache file");
     }
     key.method.resize(method_len);
     in.read(key.method.data(), method_len);
     uint64_t num_values = 0;
     if (!in.good() || !ReadRaw(in, &num_values) || num_values > (1ull << 31)) {
-      *error = "truncated cache file";
-      return 0;
+      return Status::DataLoss("truncated cache file");
     }
     auto values = std::make_shared<std::vector<double>>(static_cast<size_t>(num_values));
     in.read(reinterpret_cast<char*>(values->data()),
             static_cast<std::streamsize>(num_values * sizeof(double)));
     if (!in.good()) {
-      *error = "truncated cache file";
-      return 0;
+      return Status::DataLoss("truncated cache file");
     }
     loaded.emplace_back(std::move(key), std::move(values));
   }

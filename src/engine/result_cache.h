@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "market/valuation_report.h"
+#include "util/status.h"
 
 namespace knnshap {
 
@@ -60,14 +61,15 @@ class ResultCache {
   /// Serializes the resident entries (MRU first) to a versioned binary
   /// file so a restarted server warm-starts. Native endianness — the file
   /// is a same-machine restart artifact, not an interchange format.
-  /// Returns the number of entries written, or fills *error.
-  size_t SaveTo(const std::string& path, std::string* error) const;
+  /// Returns the number of entries written.
+  StatusOr<size_t> SaveTo(const std::string& path) const;
 
   /// Merges entries from a SaveTo file into the cache (least recent
   /// first, so relative recency survives the round trip; capacity and
-  /// eviction apply as usual). Returns entries read, or fills *error on a
-  /// missing/corrupt/mismatched-version file (cache left unchanged).
-  size_t LoadFrom(const std::string& path, std::string* error);
+  /// eviction apply as usual). Returns entries read; a missing file is
+  /// not_found, a corrupt/mismatched-version one data_loss (cache left
+  /// unchanged either way).
+  StatusOr<size_t> LoadFrom(const std::string& path);
 
   size_t Size() const;
   size_t Capacity() const { return capacity_; }

@@ -31,16 +31,6 @@ void Valuator::Fit(std::shared_ptr<const Dataset> train) {
   OnFit();
 }
 
-bool Valuator::RequiresLabels() const {
-  return params_.task == KnnTask::kClassification ||
-         params_.task == KnnTask::kWeightedClassification;
-}
-
-bool Valuator::RequiresTargets() const {
-  return params_.task == KnnTask::kRegression ||
-         params_.task == KnnTask::kWeightedRegression;
-}
-
 const Dataset& Valuator::Train() const {
   KNNSHAP_CHECK(Fitted(), "Valuator not fitted");
   return *train_;

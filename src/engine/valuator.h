@@ -32,8 +32,10 @@
 namespace knnshap {
 
 /// Hyperparameters shared by all valuation methods. Each adapter reads the
-/// fields it understands and ignores the rest; the full struct is hashed
-/// into cache keys so any change invalidates dependent entries.
+/// fields it understands and ignores the rest; which fields a method reads
+/// is declared in its MethodSchema (engine/schema.h), and cache keys hash
+/// only those declared fields — so changing an undeclared field (e.g.
+/// `seed` for the deterministic exact method) invalidates nothing.
 struct ValuatorParams {
   int k = 5;                      ///< KNN hyperparameter.
   double epsilon = 0.1;           ///< Approximation budget (Theorems 2/4/5).
@@ -46,7 +48,11 @@ struct ValuatorParams {
   double utility_range = 0.0;     ///< MC utility range r; 0 = auto (1/k).
   int64_t max_permutations = -1;  ///< MC cap; <0 = stopping rule only.
 
-  /// Content hash over every field, for cache keys.
+  /// Content hash over *every* field — the legacy whole-struct identity.
+  /// The engine's default keys are method-scoped (MethodSchema::
+  /// ParamsFingerprint over declared fields only); this remains as the
+  /// compatibility shim behind EngineOptions::method_scoped_fingerprints
+  /// = false and as the conservative identity for callers with no schema.
   uint64_t Fingerprint() const;
 };
 
@@ -69,12 +75,6 @@ class Valuator {
   /// value, e.g. a corpus without labels for a classification method.
   void Fit(std::shared_ptr<const Dataset> train);
   bool Fitted() const { return train_ != nullptr; }
-
-  /// Data requirements, so the engine can reject an incompatible request
-  /// with an error response instead of tripping a fatal check mid-fit.
-  /// Defaults follow params.task; adapters pinned to one task override.
-  virtual bool RequiresLabels() const;
-  virtual bool RequiresTargets() const;
 
   /// True when the multi-test value is the mean of per-query values (Eq 8)
   /// and ValueOne is implemented; the engine then parallelizes over

@@ -199,38 +199,86 @@ std::vector<double> RegressionValuator::ValueOne(const Dataset& test,
 // ---------------------------------------------------------------------------
 
 void RegisterBuiltinValuators(ValuatorRegistry* registry) {
-  auto add = [registry](const char* name, const char* description, auto make) {
-    registry->Register(name, description, make);
+  // Each schema declares exactly the ValuatorParams fields the adapter
+  // above actually reads — the declaration *is* the cache identity, so an
+  // omission here would alias two requests that differ in a field the
+  // method honors. tests/schema_test.cpp pins declared-vs-honored
+  // behavior per method.
+  auto add = [registry](MethodSchema schema, auto make) {
+    registry->Register(std::move(schema), make);
   };
-  add("exact", "Exact KNN classification SVs, O(N log N)/query (Thm 1, Alg 1)",
-      [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
-        return std::make_unique<ExactValuator>(p);
-      });
-  add("exact-corrected",
-      "Exact SVs under the min(K,|S|)-normalized KNN utility (arXiv:2304.04258)",
-      [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
-        return std::make_unique<CorrectedValuator>(p);
-      });
-  add("truncated", "(eps,0)-approx via top-K* truncation, kd-tree retrieval (Thm 2)",
-      [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
-        return std::make_unique<TruncatedValuator>(p);
-      });
-  add("lsh", "(eps,delta)-approx via contrast-tuned LSH retrieval (Thms 3-4)",
-      [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
-        return std::make_unique<LshValuator>(p);
-      });
-  add("mc", "Improved Monte-Carlo estimator, any KNN task (Alg 2, Thm 5)",
-      [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
-        return std::make_unique<McValuator>(p);
-      });
-  add("weighted", "Exact weighted KNN SVs, O(N^K)/query (Thm 7)",
-      [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
-        return std::make_unique<WeightedValuator>(p);
-      });
-  add("regression", "Exact unweighted KNN regression SVs (Thm 6)",
-      [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
-        return std::make_unique<RegressionValuator>(p);
-      });
+
+  MethodSchema exact;
+  exact.name = "exact";
+  exact.description =
+      "Exact KNN classification SVs, O(N log N)/query (Thm 1, Alg 1)";
+  exact.params = ResolveParams({"k", "metric"});
+  exact.tasks = {KnnTask::kClassification};
+  add(exact, [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
+    return std::make_unique<ExactValuator>(p);
+  });
+
+  MethodSchema corrected = exact;
+  corrected.name = "exact-corrected";
+  corrected.description =
+      "Exact SVs under the min(K,|S|)-normalized KNN utility (arXiv:2304.04258)";
+  add(corrected, [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
+    return std::make_unique<CorrectedValuator>(p);
+  });
+
+  MethodSchema truncated;
+  truncated.name = "truncated";
+  truncated.description =
+      "(eps,0)-approx via top-K* truncation, kd-tree retrieval (Thm 2)";
+  truncated.params = ResolveParams({"k", "epsilon"});  // kd-tree is L2-bound
+  truncated.tasks = {KnnTask::kClassification};
+  add(truncated, [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
+    return std::make_unique<TruncatedValuator>(p);
+  });
+
+  MethodSchema lsh;
+  lsh.name = "lsh";
+  lsh.description =
+      "(eps,delta)-approx via contrast-tuned LSH retrieval (Thms 3-4)";
+  lsh.params = ResolveParams({"k", "epsilon", "delta", "seed", "contrast_sample"});
+  lsh.tasks = {KnnTask::kClassification};
+  lsh.min_train_rows = 2;  // contrast estimation needs a pair
+  add(lsh, [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
+    return std::make_unique<LshValuator>(p);
+  });
+
+  MethodSchema mc;
+  mc.name = "mc";
+  mc.description = "Improved Monte-Carlo estimator, any KNN task (Alg 2, Thm 5)";
+  mc.params = ResolveParams({"k", "epsilon", "delta", "seed", "metric", "kernel",
+                             "kernel_epsilon", "sigma", "utility_range",
+                             "max_permutations"});
+  mc.tasks = {KnnTask::kClassification, KnnTask::kRegression,
+              KnnTask::kWeightedClassification, KnnTask::kWeightedRegression};
+  mc.per_query = false;
+  add(mc, [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
+    return std::make_unique<McValuator>(p);
+  });
+
+  MethodSchema weighted;
+  weighted.name = "weighted";
+  weighted.description = "Exact weighted KNN SVs, O(N^K)/query (Thm 7)";
+  weighted.params =
+      ResolveParams({"k", "metric", "kernel", "kernel_epsilon", "sigma"});
+  weighted.tasks = {KnnTask::kWeightedClassification,
+                    KnnTask::kWeightedRegression};
+  add(weighted, [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
+    return std::make_unique<WeightedValuator>(p);
+  });
+
+  MethodSchema regression;
+  regression.name = "regression";
+  regression.description = "Exact unweighted KNN regression SVs (Thm 6)";
+  regression.params = ResolveParams({"k", "metric"});
+  regression.tasks = {KnnTask::kRegression};
+  add(regression, [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
+    return std::make_unique<RegressionValuator>(p);
+  });
 }
 
 }  // namespace knnshap

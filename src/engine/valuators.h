@@ -35,8 +35,6 @@ class ExactValuator : public Valuator {
  public:
   using Valuator::Valuator;
   const char* Method() const override { return "exact"; }
-  bool RequiresLabels() const override { return true; }
-  bool RequiresTargets() const override { return false; }
   std::vector<double> ValueOne(const Dataset& test, size_t row) const override;
 
  protected:
@@ -55,8 +53,6 @@ class CorrectedValuator : public Valuator {
  public:
   using Valuator::Valuator;
   const char* Method() const override { return "exact-corrected"; }
-  bool RequiresLabels() const override { return true; }
-  bool RequiresTargets() const override { return false; }
   std::vector<double> ValueOne(const Dataset& test, size_t row) const override;
 
  protected:
@@ -73,8 +69,6 @@ class TruncatedValuator : public Valuator {
  public:
   using Valuator::Valuator;
   const char* Method() const override { return "truncated"; }
-  bool RequiresLabels() const override { return true; }
-  bool RequiresTargets() const override { return false; }
   std::vector<double> ValueOne(const Dataset& test, size_t row) const override;
 
   int KStarDepth() const { return k_star_; }
@@ -96,8 +90,6 @@ class LshValuator : public Valuator {
  public:
   using Valuator::Valuator;
   const char* Method() const override { return "lsh"; }
-  bool RequiresLabels() const override { return true; }
-  bool RequiresTargets() const override { return false; }
   std::vector<double> ValueOne(const Dataset& test, size_t row) const override;
   void Finalize(std::vector<double>* accumulator, size_t num_queries) const override;
 
@@ -152,8 +144,6 @@ class RegressionValuator : public Valuator {
  public:
   using Valuator::Valuator;
   const char* Method() const override { return "regression"; }
-  bool RequiresLabels() const override { return false; }
-  bool RequiresTargets() const override { return true; }
   std::vector<double> ValueOne(const Dataset& test, size_t row) const override;
 
  protected:

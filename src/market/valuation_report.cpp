@@ -88,7 +88,7 @@ std::string FormatRanking(const std::vector<RankedValue>& ranking,
 std::string ValuationReport::FormatStatusLine() const {
   char line[256];
   if (!ok()) {
-    std::snprintf(line, sizeof(line), "error: %s", error.c_str());
+    std::snprintf(line, sizeof(line), "error: %s", status.ToString().c_str());
     return line;
   }
   std::snprintf(line, sizeof(line),

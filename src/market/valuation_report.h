@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace knnshap {
 
 /// A (point id, value) pair in a ranking.
@@ -69,9 +71,12 @@ struct ValuationReport {
   bool cache_hit = false;       ///< Served from the result cache.
   bool fit_reused = false;      ///< Reused an already-fitted valuator.
   CacheCounters cache;          ///< Engine-wide counters at response time.
-  std::string error;            ///< Non-empty when the request failed.
+  /// Request outcome: OK, or the structured failure (machine-readable
+  /// code + message + offending field for parameter errors). Replaces the
+  /// old `bool ok + error string` convention at the engine boundary.
+  Status status;
 
-  bool ok() const { return error.empty(); }
+  bool ok() const { return status.ok(); }
 
   /// One-line human-readable summary for logs and CLI output.
   std::string FormatStatusLine() const;

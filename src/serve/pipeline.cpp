@@ -14,17 +14,32 @@
 
 #include "dataset/io.h"
 #include "engine/registry.h"
+#include "engine/schema.h"
 #include "market/valuation_report.h"
+#include "util/status.h"
 
 namespace knnshap {
 
 namespace {
 
-JsonValue ErrorResponse(const std::string& message) {
+/// Failure responses carry the machine-readable Status parts: "error" is
+/// the human message, "code" the stable snake_case class, and "field" —
+/// present for parameter errors — names the offending request field.
+JsonValue ErrorResponse(const Status& status) {
   JsonValue out = JsonValue::MakeObject();
   out.Set("ok", JsonValue(false));
-  out.Set("error", JsonValue(message));
+  out.Set("error", JsonValue(status.message()));
+  out.Set("code", JsonValue(StatusCodeName(status.code())));
+  if (!status.field().empty()) out.Set("field", JsonValue(status.field()));
   return out;
+}
+
+JsonValue ErrorResponse(const std::string& message) {
+  return ErrorResponse(Status::InvalidArgument(message));
+}
+
+JsonValue NotFoundResponse(const std::string& message) {
+  return ErrorResponse(Status::NotFound(message));
 }
 
 JsonValue OkResponse() {
@@ -59,15 +74,6 @@ bool ParseTargetMode(const std::string& mode, CsvTarget* out) {
     return false;
   }
   return true;
-}
-
-KnnTask ParseTask(const std::string& task, std::string* error) {
-  if (task.empty() || task == "classification") return KnnTask::kClassification;
-  if (task == "regression") return KnnTask::kRegression;
-  if (task == "weighted-classification") return KnnTask::kWeightedClassification;
-  if (task == "weighted-regression") return KnnTask::kWeightedRegression;
-  *error = "unknown task '" + task + "'";
-  return KnnTask::kClassification;
 }
 
 bool FromInlineRows(const JsonValue& rows, CsvTarget target, Dataset* data,
@@ -198,12 +204,14 @@ class InFlightWindow {
 /// response shaping fields.
 struct RequestPipeline::PreparedValue {
   ValuationRequest engine_request;
+  /// Schema of the resolved method, for the response's effective-params
+  /// echo (held shared so re-registration cannot dangle it).
+  std::shared_ptr<const MethodSchema> schema;
   bool include_values = true;
   bool ordered = true;
   /// The request carried an explicit "parallel":true — run it inline with
   /// intra-request query sharding instead of dispatching to one worker.
   bool explicit_parallel = false;
-  uint64_t seed = 0;
   bool has_id = false;
   JsonValue id;
 };
@@ -244,8 +252,9 @@ size_t RequestPipeline::Run(std::istream& in, std::ostream& out) {
     // result cache and fitted set as they finish, so draining first makes
     // mutation-driven invalidation (and stats / save_cache contents)
     // deterministic instead of racing job completion. Value traffic — the
-    // data plane — is never stalled by other values. methods/ping answer
-    // from constants and skip the barrier (ping stays a liveness probe).
+    // data plane — is never stalled by other values. methods/describe/ping
+    // answer from registry constants and skip the barrier (ping stays a
+    // liveness probe).
     if (op == "load" || op == "append" || op == "remove" || op == "drop" ||
         op == "save_cache" || op == "load_cache" || op == "stats") {
       window.Drain();
@@ -308,6 +317,7 @@ JsonValue RequestPipeline::HandleSync(const JsonValue& request) {
   if (op == "remove") return RemoveRow(request);
   if (op == "drop") return Drop(request);
   if (op == "methods") return Methods();
+  if (op == "describe") return Describe(request);
   if (op == "stats") return Stats();
   if (op == "save_cache") return SaveCache(request);
   if (op == "load_cache") return LoadCache(request);
@@ -352,7 +362,12 @@ JsonValue RequestPipeline::Load(const JsonValue& request) {
   Dataset data;
   if (request.Has("path")) {
     CsvLoadResult loaded = LoadCsvDataset(request.Get("path").AsString(), target);
-    if (!loaded.ok()) return ErrorResponse("load: " + loaded.error);
+    if (!loaded.ok()) {
+      // Typed pass-through: missing files stay not_found like every other
+      // name/path-resolution failure, malformed content invalid_argument.
+      return ErrorResponse(Status::Error(loaded.status.code(),
+                                         "load: " + loaded.status.message()));
+    }
     data = std::move(loaded.data);
   } else if (request.Has("rows")) {
     std::string error;
@@ -376,7 +391,7 @@ JsonValue RequestPipeline::Load(const JsonValue& request) {
 JsonValue RequestPipeline::AppendRows(const JsonValue& request) {
   const std::string& name = request.Get("name").AsString();
   auto current = store_.Get(name);
-  if (!current) return ErrorResponse("append: unknown dataset '" + name + "'");
+  if (!current) return NotFoundResponse("append: unknown dataset '" + name + "'");
   CsvTarget target = current->data->HasLabels()
                          ? CsvTarget::kLabel
                          : (current->data->HasTargets() ? CsvTarget::kTarget
@@ -400,6 +415,9 @@ JsonValue RequestPipeline::AppendRows(const JsonValue& request) {
 
 JsonValue RequestPipeline::RemoveRow(const JsonValue& request) {
   const std::string& name = request.Get("name").AsString();
+  if (!store_.Get(name)) {
+    return NotFoundResponse("remove: unknown dataset '" + name + "'");
+  }
   if (!request.Get("row").IsNumber()) {
     return ErrorResponse("remove: 'row' (index) is required");
   }
@@ -425,7 +443,7 @@ JsonValue RequestPipeline::Drop(const JsonValue& request) {
   const std::string& name = request.Get("name").AsString();
   uint64_t old_fingerprint = 0;
   if (!store_.Drop(name, &old_fingerprint)) {
-    return ErrorResponse("drop: unknown dataset '" + name + "'");
+    return NotFoundResponse("drop: unknown dataset '" + name + "'");
   }
   // The satellite fix: dropping a corpus reclaims its fitted valuators and
   // cache entries immediately instead of waiting for LRU pressure.
@@ -444,11 +462,35 @@ JsonValue RequestPipeline::Drop(const JsonValue& request) {
 JsonValue RequestPipeline::Methods() const {
   JsonValue out = OkResponse();
   JsonValue methods = JsonValue::MakeArray();
-  for (const auto& info : ValuatorRegistry::Global().Methods()) {
+  for (const auto& info : engine_.Registry().Methods()) {
     JsonValue entry = JsonValue::MakeObject();
     entry.Set("name", JsonValue(info.name));
     entry.Set("description", JsonValue(info.description));
     methods.Append(entry);
+  }
+  out.Set("methods", methods);
+  return out;
+}
+
+JsonValue RequestPipeline::Describe(const JsonValue& request) const {
+  // Full runtime introspection: every registered method's declarative
+  // schema — typed params with defaults/ranges/docs, supported tasks,
+  // data requirements and capability flags — generated from the same
+  // MethodSchema the validator and the cache fingerprints run on.
+  const ValuatorRegistry& registry = engine_.Registry();
+  JsonValue out = OkResponse();
+  JsonValue methods = JsonValue::MakeArray();
+  if (request.Has("method")) {
+    const std::string& name = request.Get("method").AsString();
+    auto schema = registry.Schema(name);
+    if (schema == nullptr) {
+      return ErrorResponse(registry.UnknownMethodError(name));
+    }
+    methods.Append(SchemaToJson(*schema));
+  } else {
+    for (const auto& schema : registry.Schemas()) {
+      methods.Append(SchemaToJson(*schema));
+    }
   }
   out.Set("methods", methods);
   return out;
@@ -476,25 +518,35 @@ JsonValue RequestPipeline::Stats() const {
 
 JsonValue RequestPipeline::SaveCache(const JsonValue& request) {
   const std::string& path = request.Get("path").AsString();
-  if (path.empty()) return ErrorResponse("save_cache: 'path' is required");
-  std::string error;
-  size_t entries = engine_.SaveCache(path, &error);
-  if (!error.empty()) return ErrorResponse("save_cache: " + error);
+  if (path.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("save_cache: 'path' is required", "path"));
+  }
+  StatusOr<size_t> entries = engine_.SaveCache(path);
+  if (!entries.ok()) {
+    return ErrorResponse(Status::Error(entries.status().code(),
+                                       "save_cache: " + entries.status().message()));
+  }
   JsonValue out = OkResponse();
   out.Set("path", JsonValue(path));
-  out.Set("entries", JsonValue(static_cast<double>(entries)));
+  out.Set("entries", JsonValue(static_cast<double>(entries.value())));
   return out;
 }
 
 JsonValue RequestPipeline::LoadCache(const JsonValue& request) {
   const std::string& path = request.Get("path").AsString();
-  if (path.empty()) return ErrorResponse("load_cache: 'path' is required");
-  std::string error;
-  size_t entries = engine_.LoadCache(path, &error);
-  if (!error.empty()) return ErrorResponse("load_cache: " + error);
+  if (path.empty()) {
+    return ErrorResponse(
+        Status::InvalidArgument("load_cache: 'path' is required", "path"));
+  }
+  StatusOr<size_t> entries = engine_.LoadCache(path);
+  if (!entries.ok()) {
+    return ErrorResponse(Status::Error(entries.status().code(),
+                                       "load_cache: " + entries.status().message()));
+  }
   JsonValue out = OkResponse();
   out.Set("path", JsonValue(path));
-  out.Set("entries", JsonValue(static_cast<double>(entries)));
+  out.Set("entries", JsonValue(static_cast<double>(entries.value())));
   return out;
 }
 
@@ -504,8 +556,8 @@ JsonValue RequestPipeline::LoadCache(const JsonValue& request) {
 
 bool RequestPipeline::PrepareValue(const JsonValue& request, PreparedValue* prepared,
                                    JsonValue* error_response) {
-  auto fail = [&](const std::string& message) {
-    *error_response = ErrorResponse(message);
+  auto fail = [&](const Status& status) {
+    *error_response = ErrorResponse(status);
     if (request.Has("id")) error_response->Set("id", request.Get("id"));
     return false;
   };
@@ -515,86 +567,78 @@ bool RequestPipeline::PrepareValue(const JsonValue& request, PreparedValue* prep
                               ? request.Get("method").AsString()
                               : "exact";
 
+  // The method's schema is the validator: hyperparameter parsing below is
+  // derived from its declared ParamSpecs, not hand-rolled per field.
+  prepared->schema = engine_.Registry().Schema(engine_request.method);
+  if (prepared->schema == nullptr) {
+    return fail(engine_.Registry().UnknownMethodError(engine_request.method));
+  }
+
+  // Strict fields: anything that is neither protocol nor a known
+  // hyperparameter is a typo answered with the offending field's name.
+  static const std::vector<std::string> kValueProtocolFields = {
+      "op",    "method",  "train",   "test",           "queries",
+      "cache", "parallel", "ordered", "include_values", "id"};
+  if (Status status = CheckRequestFields(request, kValueProtocolFields);
+      !status.ok()) {
+    return fail(status);
+  }
+
+  // Schema-derived parse/validate of task + hyperparameters. Declared
+  // params are applied; known-but-undeclared ones are range-checked and
+  // ignored (they cannot perturb this method's results or cache identity).
+  // Under the whole-struct fingerprint shim every known param is applied —
+  // the exact pre-schema pipeline, for the bench's before/after arms.
+  if (Status status = ApplyJsonParams(
+          *prepared->schema, request, &engine_request.params,
+          /*apply_undeclared=*/!options_.engine.method_scoped_fingerprints);
+      !status.ok()) {
+    return fail(status);
+  }
+
   auto train = store_.Get(request.Get("train").AsString());
   if (!train) {
-    return fail("value: unknown train dataset '" + request.Get("train").AsString() +
-                "'");
+    return fail(Status::NotFound("value: unknown train dataset '" +
+                                 request.Get("train").AsString() + "'"));
   }
   engine_request.train = train->data;
   if (options_.trust_store_fingerprints) {
     engine_request.train_fingerprint = train->fingerprint;
   }
 
-  std::string task_error;
-  KnnTask task = ParseTask(request.Get("task").AsString(), &task_error);
-  if (!task_error.empty()) return fail("value: " + task_error);
-
   if (request.Has("test")) {
     auto test = store_.Get(request.Get("test").AsString());
     if (!test) {
-      return fail("value: unknown test dataset '" + request.Get("test").AsString() +
-                  "'");
+      return fail(Status::NotFound("value: unknown test dataset '" +
+                                   request.Get("test").AsString() + "'"));
     }
     engine_request.test = test->data;
     if (options_.trust_store_fingerprints) {
       engine_request.test_fingerprint = test->fingerprint;
     }
   } else if (request.Has("queries")) {
-    // Inline one-shot query batch; labeled/targeted per the task.
+    // Inline one-shot query batch; labeled/targeted per the effective task.
     CsvTarget target =
-        (task == KnnTask::kRegression || task == KnnTask::kWeightedRegression)
+        prepared->schema->RequiresTargets(engine_request.params.task)
             ? CsvTarget::kTarget
             : CsvTarget::kLabel;
     Dataset queries;
     std::string error;
     if (!FromInlineRows(request.Get("queries"), target, &queries, &error)) {
-      return fail("value: " + error);
+      return fail(Status::InvalidArgument("value: " + error, "queries"));
     }
     queries.name = "inline-queries";
     engine_request.test = std::make_shared<const Dataset>(std::move(queries));
   } else {
-    return fail("value: need 'test' (dataset name) or 'queries'");
+    return fail(Status::InvalidArgument(
+        "value: need 'test' (dataset name) or 'queries'"));
   }
 
-  ValuatorParams& params = engine_request.params;
-  params.task = task;
-  // Hyperparameters are validated here because the core algorithms enforce
-  // them with fatal KNNSHAP_CHECKs — a malformed request must answer
-  // {"ok":false}, never abort the server.
-  if (request.Get("k").IsNumber()) {
-    const double k_raw = request.Get("k").AsNumber();
-    if (k_raw < 1.0 || k_raw > 1e6 || k_raw != static_cast<int>(k_raw)) {
-      return fail("value: 'k' must be a positive integer");
-    }
-    params.k = static_cast<int>(k_raw);
-  }
-  params.epsilon = request.Get("epsilon").AsNumber(params.epsilon);
-  params.delta = request.Get("delta").AsNumber(params.delta);
-  if (params.epsilon <= 0.0 || params.delta <= 0.0) {
-    return fail("value: 'epsilon' and 'delta' must be > 0");
-  }
-  // One uniform default seed for every method (the old loop special-cased
-  // mc to 1); the effective value is echoed in the response.
-  params.seed = static_cast<uint64_t>(
-      request.Get("seed").AsNumber(static_cast<double>(params.seed)));
-  if (request.Get("max_permutations").IsNumber()) {
-    params.max_permutations =
-        static_cast<int64_t>(request.Get("max_permutations").AsNumber());
-  }
-  const std::string& kernel = request.Get("kernel").AsString();
-  if (kernel == "inverse") {
-    params.weights.kernel = WeightKernel::kInverseDistance;
-  } else if (kernel == "gaussian") {
-    params.weights.kernel = WeightKernel::kGaussian;
-  } else if (!kernel.empty() && kernel != "uniform") {
-    return fail("value: unknown kernel '" + kernel + "'");
-  }
   engine_request.use_cache = request.Get("cache").AsBool(true);
   engine_request.parallel = request.Get("parallel").AsBool(true);
   prepared->explicit_parallel =
       request.Has("parallel") && request.Get("parallel").AsBool();
 
-  prepared->seed = params.seed;
   prepared->include_values = request.Get("include_values").AsBool(true);
   prepared->ordered = request.Get("ordered").AsBool(true);
   prepared->has_id = request.Has("id");
@@ -605,7 +649,7 @@ bool RequestPipeline::PrepareValue(const JsonValue& request, PreparedValue* prep
 JsonValue RequestPipeline::RunValue(const PreparedValue& prepared) {
   ValuationReport report = engine_.Value(prepared.engine_request);
   if (!report.ok()) {
-    JsonValue error_response = ErrorResponse(report.error);
+    JsonValue error_response = ErrorResponse(report.status);
     if (prepared.has_id) error_response.Set("id", prepared.id);
     return error_response;
   }
@@ -615,7 +659,10 @@ JsonValue RequestPipeline::RunValue(const PreparedValue& prepared) {
   out.Set("method", JsonValue(report.method));
   out.Set("train_size", JsonValue(static_cast<double>(report.train_size)));
   out.Set("num_queries", JsonValue(static_cast<double>(report.num_queries)));
-  out.Set("seed", JsonValue(static_cast<double>(prepared.seed)));
+  // Echo of the *effective declared* hyperparameters (schema-serialized):
+  // exactly the fields that determined the result and its cache identity.
+  out.Set("params",
+          ParamsToJson(*prepared.schema, prepared.engine_request.params));
   out.Set("cache_hit", JsonValue(report.cache_hit));
   JsonValue summary = JsonValue::MakeObject();
   summary.Set("mean", JsonValue(report.summary.mean));

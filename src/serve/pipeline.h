@@ -92,6 +92,7 @@ class RequestPipeline {
   JsonValue RemoveRow(const JsonValue& request);
   JsonValue Drop(const JsonValue& request);
   JsonValue Methods() const;
+  JsonValue Describe(const JsonValue& request) const;
   JsonValue Stats() const;
   JsonValue SaveCache(const JsonValue& request);
   JsonValue LoadCache(const JsonValue& request);

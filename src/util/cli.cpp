@@ -26,6 +26,18 @@ CommandLine::CommandLine(int argc, char** argv) {
 
 bool CommandLine::Has(const std::string& name) const { return values_.count(name) > 0; }
 
+const std::string* CommandLine::Raw(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> CommandLine::Names() const {
+  std::vector<std::string> names;
+  names.reserve(values_.size());
+  for (const auto& [name, value] : values_) names.push_back(name);
+  return names;
+}
+
 std::string CommandLine::GetString(const std::string& name,
                                    const std::string& fallback) const {
   auto it = values_.find(name);

@@ -8,6 +8,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 namespace knnshap {
 
@@ -18,6 +19,17 @@ class CommandLine {
   CommandLine(int argc, char** argv);
 
   bool Has(const std::string& name) const;
+
+  /// Raw flag value, or nullptr when absent — the non-aborting accessor
+  /// the schema-derived flag parser validates through (GetDouble/GetInt
+  /// abort on malformed values; request parsing must answer errors).
+  const std::string* Raw(const std::string& name) const;
+
+  /// All flag names present, sorted — lets strict tools (knnshap_value)
+  /// reject typo'd flags the way the serve pipeline rejects unknown
+  /// request fields. Benches keep ignoring unknown flags.
+  std::vector<std::string> Names() const;
+
   std::string GetString(const std::string& name, const std::string& fallback) const;
   double GetDouble(const std::string& name, double fallback) const;
   int GetInt(const std::string& name, int fallback) const;

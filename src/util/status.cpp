@@ -1,0 +1,32 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "util/status.h"
+
+namespace knnshap {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kDataLoss:
+      return "data_loss";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = std::string(StatusCodeName(code_)) + ": " + message_;
+  if (!field_.empty()) out += " (field '" + field_ + "')";
+  return out;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,111 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Status / StatusOr — the error channel at the engine's API boundaries.
+// Request-shaped failures (bad hyperparameter, unknown method, missing
+// corpus, corrupt cache file) are *responses*, carried as a Status with a
+// machine-readable code and, for parameter errors, the offending field —
+// the serve layer maps them onto {"ok":false,"code":...,"field":...}
+// responses and the CLI onto structured stderr lines. Fatal KNNSHAP_CHECK
+// remains reserved for internal invariants that indicate a bug, never for
+// untrusted input.
+
+#ifndef KNNSHAP_UTIL_STATUS_H_
+#define KNNSHAP_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/common.h"
+
+namespace knnshap {
+
+/// Machine-readable failure class, serialized into protocol responses via
+/// StatusCodeName (snake_case, stable strings).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     ///< Malformed or out-of-range request field.
+  kNotFound,            ///< Unknown method / dataset / file.
+  kFailedPrecondition,  ///< Request is well-formed but the data cannot serve it.
+  kDataLoss,            ///< Corrupt or truncated persistent artifact.
+  kInternal,            ///< Invariant violation surfaced as an error.
+};
+
+/// Stable snake_case name of a code ("invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// An operation outcome: OK, or a code + human message + (optionally) the
+/// request field that caused it.
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status Ok() { return Status(); }
+  static Status Error(StatusCode code, std::string message,
+                      std::string field = "") {
+    Status s;
+    s.code_ = code;
+    s.message_ = std::move(message);
+    s.field_ = std::move(field);
+    return s;
+  }
+  static Status InvalidArgument(std::string message, std::string field = "") {
+    return Error(StatusCode::kInvalidArgument, std::move(message),
+                 std::move(field));
+  }
+  static Status NotFound(std::string message) {
+    return Error(StatusCode::kNotFound, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Error(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status DataLoss(std::string message) {
+    return Error(StatusCode::kDataLoss, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  /// Offending request field for kInvalidArgument ("" when not tied to one).
+  const std::string& field() const { return field_; }
+
+  /// "invalid_argument: 'epsilon' must be > 0 (field 'epsilon')" — for logs
+  /// and CLI stderr; protocol responses use the parts separately.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const = default;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  std::string field_;
+};
+
+/// A value or the Status explaining its absence.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    KNNSHAP_CHECK(!status_.ok(), "StatusOr built from OK status without a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const {
+    KNNSHAP_CHECK(ok(), "StatusOr::value() on error: " + status_.message());
+    return value_;
+  }
+  T& value() {
+    KNNSHAP_CHECK(ok(), "StatusOr::value() on error: " + status_.message());
+    return value_;
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_UTIL_STATUS_H_

@@ -119,7 +119,7 @@ TEST(CorrectedShapleyTest, EngineMethodMatchesDirectAverage) {
   request.train = std::make_shared<const Dataset>(train);
   request.test = std::make_shared<const Dataset>(test);
   ValuationReport report = engine.Value(request);
-  ASSERT_TRUE(report.ok()) << report.error;
+  ASSERT_TRUE(report.ok()) << report.status.ToString();
 
   std::vector<double> expected(train.Size(), 0.0);
   for (size_t q = 0; q < test.Size(); ++q) {

@@ -9,12 +9,17 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/engine.h"
+#include "engine/registry.h"
 #include "test_util.h"
 #include "util/fingerprint.h"
 
@@ -86,7 +91,7 @@ TEST(EngineConcurrencyTest, MixedMethodsAcrossThreadsMatchSerial) {
     for (const auto& w : workloads) {
       ValuationReport report = serial.Value(ToRequest(w, /*parallel=*/false,
                                                       /*use_cache=*/false));
-      ASSERT_TRUE(report.ok()) << report.error;
+      ASSERT_TRUE(report.ok()) << report.status.ToString();
       expected.push_back(report.values);
     }
   }
@@ -109,7 +114,7 @@ TEST(EngineConcurrencyTest, MixedMethodsAcrossThreadsMatchSerial) {
         ValuationReport report =
             engine.Value(ToRequest(workloads[w], parallel, use_cache));
         if (!report.ok()) {
-          errors[t] = report.error;
+          errors[t] = report.status.ToString();
           failures.fetch_add(1);
           return;
         }
@@ -161,14 +166,260 @@ TEST(EngineConcurrencyTest, InvalidateTrainRacesWithTraffic) {
   // After the storm, a fresh request still computes correct values.
   ValuationReport report = engine.Value(
       ToRequest(workloads[0], /*parallel=*/false, /*use_cache=*/false));
-  ASSERT_TRUE(report.ok()) << report.error;
+  ASSERT_TRUE(report.ok()) << report.status.ToString();
   EngineOptions options;
   options.result_cache_capacity = 0;
   ValuationEngine serial(options);
   ValuationReport expected = serial.Value(
       ToRequest(workloads[0], /*parallel=*/false, /*use_cache=*/false));
-  ASSERT_TRUE(expected.ok()) << expected.error;
+  ASSERT_TRUE(expected.ok()) << expected.status.ToString();
   EXPECT_EQ(report.values, expected.values);
+}
+
+// --- Per-corpus fit locks ---------------------------------------------------
+
+/// Rendezvous two concurrent OnFit calls: each arrival signals and then
+/// waits (bounded) for the other. Under the per-corpus fit locks both
+/// arrive while neither has finished — under the old engine-wide fit lock
+/// the second could never enter until the first returned, so `overlapped`
+/// stays false and the first fit stalls out the timeout.
+struct FitRendezvous {
+  std::mutex mutex;
+  std::condition_variable cv;
+  int arrived = 0;
+  bool overlapped = false;
+
+  void Enter() {
+    std::unique_lock<std::mutex> lock(mutex);
+    if (++arrived >= 2) {
+      overlapped = true;
+      cv.notify_all();
+      return;
+    }
+    cv.wait_for(lock, std::chrono::seconds(10), [&] { return overlapped; });
+  }
+};
+
+class RendezvousValuator : public Valuator {
+ public:
+  RendezvousValuator(ValuatorParams params, FitRendezvous* rendezvous)
+      : Valuator(std::move(params)), rendezvous_(rendezvous) {}
+  const char* Method() const override { return "rendezvous"; }
+  std::vector<double> ValueOne(const Dataset& /*test*/, size_t /*row*/) const override {
+    return std::vector<double>(Train().Size(), 0.0);
+  }
+
+ protected:
+  void OnFit() override { rendezvous_->Enter(); }
+
+ private:
+  FitRendezvous* rendezvous_;
+};
+
+TEST(EngineConcurrencyTest, ColdFitsOfDifferentCorporaOverlap) {
+  // The ROADMAP open item: fitting used to run under the single engine
+  // mutex, so cold fits of *different* corpora serialized. Two slow fits
+  // must now be in OnFit simultaneously.
+  FitRendezvous rendezvous;
+  ValuatorRegistry registry;
+  MethodSchema schema;
+  schema.name = "rendezvous";
+  schema.params = ResolveParams({"k"});
+  schema.tasks = {KnnTask::kClassification};
+  registry.Register(schema, [&](const ValuatorParams& params) {
+    return std::make_unique<RendezvousValuator>(params, &rendezvous);
+  });
+
+  EngineOptions options;
+  options.registry = &registry;
+  ValuationEngine engine(options);
+
+  auto corpus_a = std::make_shared<const Dataset>(RandomClassDataset(20, 2, 3, 301));
+  auto corpus_b = std::make_shared<const Dataset>(RandomClassDataset(25, 2, 3, 302));
+  auto queries = std::make_shared<const Dataset>(RandomClassDataset(2, 2, 3, 303));
+
+  std::atomic<int> failures{0};
+  auto fire = [&](std::shared_ptr<const Dataset> train) {
+    ValuationRequest request;
+    request.method = "rendezvous";
+    request.train = std::move(train);
+    request.test = queries;
+    if (!engine.Value(request).ok()) failures.fetch_add(1);
+  };
+  std::thread first(fire, corpus_a);
+  std::thread second(fire, corpus_b);
+  first.join();
+  second.join();
+
+  EXPECT_TRUE(rendezvous.overlapped) << "cold fits serialized";
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.FittedCount(), 2u);
+}
+
+TEST(EngineConcurrencyTest, DuplicateColdFitsRunOnce) {
+  // Same (corpus, method, params) from many threads: exactly one factory
+  // call and one fit; the laggards wait on the slot and share the result.
+  std::atomic<int> factory_calls{0};
+  ValuatorRegistry registry;
+  MethodSchema schema;
+  schema.name = "rendezvous";
+  schema.params = ResolveParams({"k"});
+  schema.tasks = {KnnTask::kClassification};
+  registry.Register(schema, [&](const ValuatorParams& params) {
+    factory_calls.fetch_add(1);
+    auto rendezvous = std::make_shared<FitRendezvous>();
+    rendezvous->overlapped = true;  // Enter() returns immediately
+    struct Holder : RendezvousValuator {
+      std::shared_ptr<FitRendezvous> keep;
+      Holder(ValuatorParams p, std::shared_ptr<FitRendezvous> r)
+          : RendezvousValuator(std::move(p), r.get()), keep(std::move(r)) {}
+    };
+    return std::make_unique<Holder>(params, std::move(rendezvous));
+  });
+
+  EngineOptions options;
+  options.registry = &registry;
+  ValuationEngine engine(options);
+  auto corpus = std::make_shared<const Dataset>(RandomClassDataset(30, 2, 3, 311));
+  auto queries = std::make_shared<const Dataset>(RandomClassDataset(2, 2, 3, 312));
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      ValuationRequest request;
+      request.method = "rendezvous";
+      request.train = corpus;
+      request.test = queries;
+      request.use_cache = false;
+      if (!engine.Value(request).ok()) failures.fetch_add(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(factory_calls.load(), 1);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(engine.FittedCount(), 1u);
+}
+
+/// OnFit blocks at a gate the test opens, so invalidation can be timed to
+/// land strictly inside a fit.
+class GatedValuator : public Valuator {
+ public:
+  struct Gate {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool open = false;
+    std::atomic<bool> entered{false};
+  };
+
+  GatedValuator(ValuatorParams params, Gate* gate)
+      : Valuator(std::move(params)), gate_(gate) {}
+  const char* Method() const override { return "gated"; }
+  std::vector<double> ValueOne(const Dataset& /*test*/, size_t /*row*/) const override {
+    return std::vector<double>(Train().Size(), 0.0);
+  }
+
+ protected:
+  void OnFit() override {
+    std::unique_lock<std::mutex> lock(gate_->mutex);
+    gate_->entered.store(true);
+    gate_->cv.wait_for(lock, std::chrono::seconds(10), [&] { return gate_->open; });
+  }
+
+ private:
+  Gate* gate_;
+};
+
+TEST(EngineConcurrencyTest, InvalidateTrainPoisonsAnInFlightFit) {
+  // A corpus dropped while its cold fit is still running must not leave
+  // the finished structure resident: the in-flight request is still
+  // served (its snapshot), but the fitted set ends empty — the
+  // reclaim-immediately guarantee holds across the fit-outside-the-lock
+  // window.
+  GatedValuator::Gate gate;
+  ValuatorRegistry registry;
+  MethodSchema schema;
+  schema.name = "gated";
+  schema.params = ResolveParams({"k"});
+  schema.tasks = {KnnTask::kClassification};
+  registry.Register(schema, [&](const ValuatorParams& params) {
+    return std::make_unique<GatedValuator>(params, &gate);
+  });
+
+  EngineOptions options;
+  options.registry = &registry;
+  ValuationEngine engine(options);
+  auto corpus = std::make_shared<const Dataset>(RandomClassDataset(20, 2, 3, 331));
+  auto queries = std::make_shared<const Dataset>(RandomClassDataset(2, 2, 3, 332));
+  const uint64_t corpus_fp = DatasetFingerprint(*corpus);
+
+  std::atomic<bool> request_ok{false};
+  std::thread fitter([&] {
+    ValuationRequest request;
+    request.method = "gated";
+    request.train = corpus;
+    request.test = queries;
+    request.train_fingerprint = corpus_fp;
+    request_ok.store(engine.Value(request).ok());
+  });
+  while (!gate.entered.load()) std::this_thread::yield();
+
+  // Invalidation lands mid-fit; it must neither block on the fit nor let
+  // the fit install afterwards.
+  engine.InvalidateTrain(corpus_fp);
+  {
+    std::lock_guard<std::mutex> lock(gate.mutex);
+    gate.open = true;
+  }
+  gate.cv.notify_all();
+  fitter.join();
+
+  EXPECT_TRUE(request_ok.load());
+  EXPECT_EQ(engine.FittedCount(), 0u);  // poisoned fit was not installed
+}
+
+TEST(EngineConcurrencyTest, ThrowingFitReleasesTheSlotAndRetries) {
+  // A factory (an arbitrary std::function) that throws must not leave the
+  // in-progress fit slot behind: the exception propagates to the caller,
+  // and the *next* request for the same key retries instead of
+  // deadlocking on an orphaned slot.
+  std::atomic<int> calls{0};
+  ValuatorRegistry registry;
+  MethodSchema schema;
+  schema.name = "flaky";
+  schema.params = ResolveParams({"k"});
+  schema.tasks = {KnnTask::kClassification};
+  registry.Register(schema,
+                    [&](const ValuatorParams& params) -> std::unique_ptr<Valuator> {
+                      if (calls.fetch_add(1) == 0) {
+                        throw std::runtime_error("transient failure");
+                      }
+                      auto rendezvous = std::make_shared<FitRendezvous>();
+                      rendezvous->overlapped = true;
+                      struct Holder : RendezvousValuator {
+                        std::shared_ptr<FitRendezvous> keep;
+                        Holder(ValuatorParams p, std::shared_ptr<FitRendezvous> r)
+                            : RendezvousValuator(std::move(p), r.get()),
+                              keep(std::move(r)) {}
+                      };
+                      return std::make_unique<Holder>(params, std::move(rendezvous));
+                    });
+
+  EngineOptions options;
+  options.registry = &registry;
+  ValuationEngine engine(options);
+  auto corpus = std::make_shared<const Dataset>(RandomClassDataset(20, 2, 3, 321));
+  auto queries = std::make_shared<const Dataset>(RandomClassDataset(2, 2, 3, 322));
+  ValuationRequest request;
+  request.method = "flaky";
+  request.train = corpus;
+  request.test = queries;
+
+  EXPECT_THROW(engine.Value(request), std::runtime_error);
+  // The key is not wedged: the retry fits and serves.
+  ValuationReport retry = engine.Value(request);
+  EXPECT_TRUE(retry.ok()) << retry.status.ToString();
+  EXPECT_EQ(calls.load(), 2);
 }
 
 TEST(EngineConcurrencyTest, PrecomputedFingerprintsMatchEngineHashing) {
@@ -177,7 +428,7 @@ TEST(EngineConcurrencyTest, PrecomputedFingerprintsMatchEngineHashing) {
   // Prime the cache through the hashed path.
   ValuationReport first =
       engine.Value(ToRequest(workloads[0], /*parallel=*/false, /*use_cache=*/true));
-  ASSERT_TRUE(first.ok()) << first.error;
+  ASSERT_TRUE(first.ok()) << first.status.ToString();
   EXPECT_FALSE(first.cache_hit);
   // A request carrying the precomputed fingerprints must hit the same
   // cache entry — the serve layer's CorpusStore relies on this identity.
@@ -186,7 +437,7 @@ TEST(EngineConcurrencyTest, PrecomputedFingerprintsMatchEngineHashing) {
   request.train_fingerprint = DatasetFingerprint(*workloads[0].train);
   request.test_fingerprint = DatasetFingerprint(*workloads[0].test);
   ValuationReport second = engine.Value(request);
-  ASSERT_TRUE(second.ok()) << second.error;
+  ASSERT_TRUE(second.ok()) << second.status.ToString();
   EXPECT_TRUE(second.cache_hit);
   EXPECT_EQ(second.values, first.values);
 
@@ -197,7 +448,7 @@ TEST(EngineConcurrencyTest, PrecomputedFingerprintsMatchEngineHashing) {
   EXPECT_EQ(stats.fitted_evicted, 1u);
   EXPECT_EQ(stats.cache_evicted, 1u);
   ValuationReport third = engine.Value(request);
-  ASSERT_TRUE(third.ok()) << third.error;
+  ASSERT_TRUE(third.ok()) << third.status.ToString();
   EXPECT_FALSE(third.cache_hit);
   EXPECT_EQ(third.values, first.values);
 }

@@ -72,8 +72,8 @@ TEST(RegistryTest, UnknownMethodIsAnEngineErrorNotAnAbort) {
   ValuationReport report = engine.Value(request);
   EXPECT_FALSE(report.ok());
   // The error must name the offender and list what IS registered.
-  EXPECT_NE(report.error.find("no-such-method"), std::string::npos);
-  EXPECT_NE(report.error.find("exact"), std::string::npos);
+  EXPECT_NE(report.status.message().find("no-such-method"), std::string::npos);
+  EXPECT_NE(report.status.message().find("exact"), std::string::npos);
   EXPECT_TRUE(report.values.empty());
 }
 
@@ -94,7 +94,7 @@ TEST(EngineAgreementTest, ExactMatchesLegacyBitwise) {
   ValuationEngine engine;
   ValuationReport report =
       engine.Value(ClassificationRequest(train, test, "exact", 4));
-  ASSERT_TRUE(report.ok()) << report.error;
+  ASSERT_TRUE(report.ok()) << report.status.ToString();
   std::vector<double> legacy = ExactKnnShapley(*train, *test, 4);
   EXPECT_EQ(report.values, legacy);  // bitwise
 }
@@ -106,7 +106,7 @@ TEST(EngineAgreementTest, TruncatedMatchesLegacy) {
   ValuationRequest request = ClassificationRequest(train, test, "truncated", 3);
   request.params.epsilon = 0.05;
   ValuationReport report = engine.Value(request);
-  ASSERT_TRUE(report.ok()) << report.error;
+  ASSERT_TRUE(report.ok()) << report.status.ToString();
   std::vector<double> legacy = TruncatedKnnShapley(*train, *test, 3, 0.05);
   // kd-tree vs partial-selection retrieval: same neighbors on tie-free
   // random data, so same values.
@@ -122,7 +122,7 @@ TEST(EngineAgreementTest, LshMatchesStreamingValuatorBitwise) {
   request.params.delta = 0.1;
   request.params.seed = 7;
   ValuationReport report = engine.Value(request);
-  ASSERT_TRUE(report.ok()) << report.error;
+  ASSERT_TRUE(report.ok()) << report.status.ToString();
 
   StreamingValuatorOptions options;
   options.k = 3;
@@ -145,7 +145,7 @@ TEST(EngineAgreementTest, McMatchesLegacyBitwise) {
   request.params.delta = 0.2;
   request.params.seed = 9;
   ValuationReport report = engine.Value(request);
-  ASSERT_TRUE(report.ok()) << report.error;
+  ASSERT_TRUE(report.ok()) << report.status.ToString();
 
   IncrementalKnnUtility utility(train.get(), test.get(), 3,
                                 KnnTask::kClassification);
@@ -169,7 +169,7 @@ TEST(EngineAgreementTest, RegressionMatchesLegacyBitwise) {
   request.train = train;
   request.test = test;
   ValuationReport report = engine.Value(request);
-  ASSERT_TRUE(report.ok()) << report.error;
+  ASSERT_TRUE(report.ok()) << report.status.ToString();
   EXPECT_EQ(report.values, ExactKnnRegressionShapley(*train, *test, 3));
 }
 
@@ -181,7 +181,7 @@ TEST(EngineAgreementTest, WeightedMatchesLegacyBitwise) {
   request.params.task = KnnTask::kWeightedClassification;
   request.params.weights.kernel = WeightKernel::kInverseDistance;
   ValuationReport report = engine.Value(request);
-  ASSERT_TRUE(report.ok()) << report.error;
+  ASSERT_TRUE(report.ok()) << report.status.ToString();
 
   WeightedShapleyOptions options;
   options.k = 2;
@@ -203,8 +203,8 @@ TEST(EngineDeterminismTest, ParallelAndSerialAreBitwiseEqual) {
     ValuationReport parallel_report = engine.Value(request);
     request.parallel = false;
     ValuationReport serial_report = engine.Value(request);
-    ASSERT_TRUE(parallel_report.ok()) << parallel_report.error;
-    ASSERT_TRUE(serial_report.ok()) << serial_report.error;
+    ASSERT_TRUE(parallel_report.ok()) << parallel_report.status.ToString();
+    ASSERT_TRUE(serial_report.ok()) << serial_report.status.ToString();
     EXPECT_EQ(parallel_report.values, serial_report.values) << method;
   }
 }
@@ -222,7 +222,7 @@ TEST(EngineDeterminismTest, ChunkSizeCannotChangeOutputBits) {
     ValuationEngine engine(options);
     ValuationReport report =
         engine.Value(ClassificationRequest(train, test, "exact", 3));
-    ASSERT_TRUE(report.ok()) << report.error;
+    ASSERT_TRUE(report.ok()) << report.status.ToString();
     results.push_back(report.values);
   }
   EXPECT_EQ(results[0], results[1]);
@@ -346,6 +346,126 @@ TEST(ResultCacheTest, ZeroCapacityDisables) {
   EXPECT_EQ(cache.Size(), 0u);
 }
 
+// --- Method-scoped fingerprints ---------------------------------------------
+
+TEST(EngineScopedFingerprintTest, ExactResultSurvivesUndeclaredParamChange) {
+  // "exact" declares {k, metric}; seed/epsilon/delta cannot perturb its
+  // results. Method-scoped keys make the repeat a cache hit (and reuse the
+  // fitted valuator); the whole-struct compatibility shim reproduces the
+  // legacy miss — the before/after the serve bench measures.
+  auto train = Shared(RandomClassDataset(40, 2, 4, 161));
+  auto test = Shared(RandomClassDataset(5, 2, 4, 162));
+  for (bool scoped : {true, false}) {
+    EngineOptions options;
+    options.method_scoped_fingerprints = scoped;
+    ValuationEngine engine(options);
+    ValuationRequest request = ClassificationRequest(train, test, "exact", 3);
+    ValuationReport first = engine.Value(request);
+    ASSERT_TRUE(first.ok()) << first.status.ToString();
+
+    request.params.seed += 17;
+    request.params.epsilon *= 2;
+    request.params.delta /= 2;
+    ValuationReport second = engine.Value(request);
+    ASSERT_TRUE(second.ok()) << second.status.ToString();
+    EXPECT_EQ(second.cache_hit, scoped);
+    EXPECT_EQ(second.values, first.values);  // bitwise either way
+
+    // With the cache bypassed and yet another undeclared perturbation,
+    // the fitted valuator tells the same story: scoped keys reuse the
+    // fitted structure, the whole-struct shim refits.
+    request.use_cache = false;
+    request.params.seed += 1;
+    ValuationReport third = engine.Value(request);
+    ASSERT_TRUE(third.ok());
+    EXPECT_EQ(third.fit_reused, scoped);
+    EXPECT_EQ(third.values, first.values);
+  }
+}
+
+TEST(EngineScopedFingerprintTest, DeclaredParamChangeStillInvalidates) {
+  // "mc" declares seed: a seed change must miss and recompute.
+  auto train = Shared(RandomClassDataset(30, 2, 3, 163));
+  auto test = Shared(RandomClassDataset(4, 2, 3, 164));
+  ValuationEngine engine;
+  ValuationRequest request = ClassificationRequest(train, test, "mc", 3);
+  request.params.max_permutations = 16;
+  EXPECT_FALSE(engine.Value(request).cache_hit);
+  request.params.seed += 1;
+  EXPECT_FALSE(engine.Value(request).cache_hit);
+  request.params.seed -= 1;
+  EXPECT_TRUE(engine.Value(request).cache_hit);
+}
+
+TEST(EngineScopedFingerprintTest, NoCrossMethodFalseHits) {
+  // Two methods with identical declared params must never alias: same
+  // (train, test, k, metric) through exact and exact-corrected computes
+  // twice and returns different vectors.
+  auto train = Shared(RandomClassDataset(50, 2, 4, 165));
+  auto test = Shared(RandomClassDataset(6, 2, 4, 166));
+  ValuationEngine engine;
+  ValuationReport exact =
+      engine.Value(ClassificationRequest(train, test, "exact", 3));
+  ValuationReport corrected =
+      engine.Value(ClassificationRequest(train, test, "exact-corrected", 3));
+  ASSERT_TRUE(exact.ok() && corrected.ok());
+  EXPECT_FALSE(corrected.cache_hit);
+  EXPECT_NE(exact.values, corrected.values);
+  EXPECT_EQ(engine.CacheStats().hits, 0u);
+}
+
+// --- Structured engine errors ----------------------------------------------
+
+TEST(EngineStatusTest, OutOfRangeDeclaredParamNamesTheField) {
+  auto train = Shared(RandomClassDataset(20, 2, 4, 171));
+  auto test = Shared(RandomClassDataset(3, 2, 4, 172));
+  ValuationEngine engine;
+  ValuationRequest request = ClassificationRequest(train, test, "truncated", 3);
+  request.params.epsilon = -0.5;
+  ValuationReport report = engine.Value(request);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(report.status.field(), "epsilon");
+  EXPECT_EQ(report.status.message(), "'epsilon' must be > 0 (got -0.5)");
+
+  request.params.epsilon = 0.1;
+  request.params.k = 0;
+  report = engine.Value(request);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status.field(), "k");
+}
+
+TEST(EngineStatusTest, DisallowedTaskIsAStructuredError) {
+  auto train = Shared(RandomClassDataset(20, 2, 4, 173));
+  auto test = Shared(RandomClassDataset(3, 2, 4, 174));
+  ValuationEngine engine;
+  ValuationRequest request = ClassificationRequest(train, test, "weighted", 2);
+  request.params.task = KnnTask::kClassification;  // weighted tasks only
+  ValuationReport report = engine.Value(request);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(report.status.field(), "task");
+  EXPECT_NE(report.status.message().find("weighted-classification"),
+            std::string::npos);
+}
+
+TEST(EngineStatusTest, SingleTaskMethodCanonicalizesTask) {
+  // Single-task methods define their task: a programmatic request with the
+  // default (classification) task against the regression method is
+  // coerced, matching the legacy adapters' behavior of ignoring task.
+  auto train = Shared(RandomRegDataset(30, 3, 175));
+  auto test = Shared(RandomRegDataset(4, 3, 176));
+  ValuationEngine engine;
+  ValuationRequest request;
+  request.method = "regression";
+  request.params.k = 3;  // task left at kClassification
+  request.train = train;
+  request.test = test;
+  ValuationReport report = engine.Value(request);
+  EXPECT_TRUE(report.ok()) << report.status.ToString();
+  EXPECT_EQ(report.values, ExactKnnRegressionShapley(*train, *test, 3));
+}
+
 // --- Fingerprints -----------------------------------------------------------
 
 TEST(FingerprintTest, SensitiveToEveryComponent) {
@@ -400,7 +520,7 @@ TEST(EngineValidationTest, RejectsIncompatibleData) {
     request.test = labeled_test;
     ValuationReport report = engine.Value(request);
     EXPECT_FALSE(report.ok());
-    EXPECT_NE(report.error.find("targets"), std::string::npos);
+    EXPECT_NE(report.status.message().find("targets"), std::string::npos);
   }
   {  // classification method on target-only data
     ValuationRequest request = ClassificationRequest(
@@ -413,7 +533,7 @@ TEST(EngineValidationTest, RejectsIncompatibleData) {
         labeled_train, Shared(RandomClassDataset(3, 2, 5, 145)), "exact", 3);
     ValuationReport report = engine.Value(request);
     EXPECT_FALSE(report.ok());
-    EXPECT_NE(report.error.find("dimension"), std::string::npos);
+    EXPECT_NE(report.status.message().find("dimension"), std::string::npos);
   }
   {  // missing datasets
     ValuationRequest request;

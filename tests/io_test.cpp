@@ -28,7 +28,7 @@ TEST(CsvIoTest, RoundTripClassification) {
   std::string path = TempPath("roundtrip_class.csv");
   ASSERT_TRUE(SaveCsvDataset(data, path));
   auto loaded = LoadCsvDataset(path, CsvTarget::kLabel);
-  ASSERT_TRUE(loaded.ok()) << loaded.error;
+  ASSERT_TRUE(loaded.ok()) << loaded.status.ToString();
   EXPECT_EQ(loaded.rows_parsed, 25u);
   EXPECT_EQ(loaded.rows_skipped, 0u);
   ASSERT_EQ(loaded.data.Size(), data.Size());

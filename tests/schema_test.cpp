@@ -1,0 +1,384 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Declarative-schema coverage: the Status primitives, vocabulary sanity,
+// the randomized JSON round-trip property (parse -> validate ->
+// re-serialize -> re-parse is the identity), the method-scoped
+// fingerprint property (the fingerprint changes iff a *declared* param
+// changes), and CLI/serve validation parity (the same bad value answers
+// the byte-identical structured error through flags and through JSON).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/registry.h"
+#include "engine/schema.h"
+#include "util/cli.h"
+#include "util/json.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace knnshap {
+namespace {
+
+// --- Status primitives ------------------------------------------------------
+
+TEST(StatusTest, CarriesCodeMessageAndField) {
+  Status ok = Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), StatusCode::kOk);
+  EXPECT_EQ(ok.ToString(), "ok");
+
+  Status bad = Status::InvalidArgument("'k' must be >= 1 (got 0)", "k");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad.field(), "k");
+  EXPECT_EQ(bad.ToString(),
+            "invalid_argument: 'k' must be >= 1 (got 0) (field 'k')");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "not_found");
+}
+
+TEST(StatusTest, StatusOrHoldsValueOrStatus) {
+  StatusOr<size_t> value(size_t{7});
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value.value(), 7u);
+  StatusOr<size_t> error(Status::NotFound("missing"));
+  ASSERT_FALSE(error.ok());
+  EXPECT_EQ(error.status().code(), StatusCode::kNotFound);
+}
+
+// --- Vocabulary sanity ------------------------------------------------------
+
+TEST(SchemaVocabularyTest, SpecsAreWellFormed) {
+  const auto& vocabulary = ParamVocabulary();
+  ASSERT_GE(vocabulary.size(), 11u);
+  for (const auto& spec : vocabulary) {
+    SCOPED_TRACE(spec.name);
+    EXPECT_FALSE(spec.name.empty());
+    EXPECT_FALSE(spec.doc.empty());
+    ASSERT_TRUE(spec.get && spec.set && spec.add_to_hash);
+    // Defaults must satisfy their own spec (describe shows them as valid).
+    EXPECT_TRUE(spec.ValidateNumber(spec.DefaultValue()).ok())
+        << spec.ValidateNumber(spec.DefaultValue()).ToString();
+    // The accessors must actually round-trip through ValuatorParams.
+    if (spec.type != ParamType::kEnum) {
+      ValuatorParams params;
+      double probe = spec.min_value + (spec.min_exclusive ? 1.0 : 0.0);
+      if (!spec.ValidateNumber(probe).ok()) probe = spec.DefaultValue();
+      spec.set(&params, probe);
+      EXPECT_EQ(spec.get(params), probe);
+    }
+    EXPECT_EQ(FindParamSpec(spec.name), &spec);
+  }
+  EXPECT_EQ(FindParamSpec("no-such-param"), nullptr);
+}
+
+TEST(SchemaVocabularyTest, EveryMethodDeclaresVocabularyParams) {
+  for (const auto& schema : ValuatorRegistry::Global().Schemas()) {
+    SCOPED_TRACE(schema->name);
+    EXPECT_FALSE(schema->tasks.empty());
+    EXPECT_TRUE(schema->Declares("k"));  // every method is a KNN method
+    for (const ParamSpec* spec : schema->params) {
+      EXPECT_EQ(FindParamSpec(spec->name), spec);
+    }
+  }
+}
+
+// --- Randomized round-trip property ----------------------------------------
+
+/// A random *valid* value for one spec.
+double RandomValidValue(const ParamSpec& spec, Rng* rng) {
+  switch (spec.type) {
+    case ParamType::kEnum:
+      return static_cast<double>(
+          rng->NextIndex(static_cast<uint64_t>(spec.enum_values.size())));
+    case ParamType::kInt:
+    case ParamType::kUint: {
+      double lo = spec.min_value;
+      return lo + static_cast<double>(rng->NextIndex(100));
+    }
+    case ParamType::kDouble: {
+      double lo = spec.min_exclusive ? spec.min_value + 1e-3 : spec.min_value;
+      double hi = std::min(spec.max_value, lo + 10.0);
+      return rng->NextUniform(lo, hi);
+    }
+  }
+  return spec.DefaultValue();
+}
+
+TEST(SchemaRoundTripTest, RandomizedJsonRoundTripIsIdentity) {
+  Rng rng(20260731);
+  for (const auto& schema : ValuatorRegistry::Global().Schemas()) {
+    SCOPED_TRACE(schema->name);
+    for (int round = 0; round < 50; ++round) {
+      // Random request over a random subset of declared params + task.
+      JsonValue request = JsonValue::MakeObject();
+      if (schema->tasks.size() > 1) {
+        KnnTask task =
+            schema->tasks[rng.NextIndex(schema->tasks.size())];
+        request.Set("task", JsonValue(TaskName(task)));
+      }
+      for (const ParamSpec* spec : schema->params) {
+        if (rng.NextIndex(2) == 0) continue;
+        double value = RandomValidValue(*spec, &rng);
+        if (spec->type == ParamType::kEnum) {
+          request.Set(spec->name,
+                      JsonValue(spec->enum_values[static_cast<size_t>(value)]));
+        } else {
+          request.Set(spec->name, JsonValue(value));
+        }
+      }
+
+      ValuatorParams params;
+      Status status = ApplyJsonParams(*schema, request, &params);
+      ASSERT_TRUE(status.ok()) << status.ToString() << "  " << request.Dump();
+
+      // validate -> re-serialize -> re-parse: identical params (by the
+      // method-scoped fingerprint) and identical serialization.
+      JsonValue echoed = ParamsToJson(*schema, params);
+      JsonParseResult reparsed = ParseJson(echoed.Dump());
+      ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+      ValuatorParams params2;
+      Status status2 = ApplyJsonParams(*schema, reparsed.value, &params2);
+      ASSERT_TRUE(status2.ok()) << status2.ToString();
+      EXPECT_EQ(schema->ParamsFingerprint(params),
+                schema->ParamsFingerprint(params2));
+      EXPECT_EQ(echoed.Dump(), ParamsToJson(*schema, params2).Dump());
+    }
+  }
+}
+
+// --- Fingerprint iff-declared property --------------------------------------
+
+TEST(SchemaFingerprintTest, ChangesIffADeclaredParamChanges) {
+  for (const auto& schema : ValuatorRegistry::Global().Schemas()) {
+    SCOPED_TRACE(schema->name);
+    ValuatorParams base;
+    base.task = schema->DefaultTask();
+    ASSERT_TRUE(schema->Canonicalize(&base).ok())
+        << schema->Canonicalize(&base).ToString();
+    const uint64_t base_fp = schema->ParamsFingerprint(base);
+    EXPECT_EQ(schema->ParamsFingerprint(base), base_fp);  // deterministic
+
+    for (const auto& spec : ParamVocabulary()) {
+      SCOPED_TRACE(spec.name);
+      ValuatorParams perturbed = base;
+      // A valid value guaranteed to differ from the default.
+      double value = spec.DefaultValue();
+      Rng rng(7);
+      for (int tries = 0; tries < 64 && value == spec.DefaultValue(); ++tries) {
+        value = RandomValidValue(spec, &rng);
+      }
+      ASSERT_NE(value, spec.DefaultValue());
+      spec.set(&perturbed, value);
+      if (schema->Declares(spec.name)) {
+        EXPECT_NE(schema->ParamsFingerprint(perturbed), base_fp)
+            << "declared param must perturb the fingerprint";
+      } else {
+        EXPECT_EQ(schema->ParamsFingerprint(perturbed), base_fp)
+            << "undeclared param must not perturb the fingerprint";
+      }
+    }
+
+    // Task perturbs iff the method supports more than one.
+    if (schema->tasks.size() > 1) {
+      ValuatorParams other = base;
+      other.task = schema->tasks[1];
+      EXPECT_NE(schema->ParamsFingerprint(other), base_fp);
+    }
+  }
+}
+
+TEST(SchemaFingerprintTest, DistinctMethodsNeverCollide) {
+  // Same declared values, different methods: the method name is hashed
+  // into the scoped fingerprint, so cross-method traffic cannot alias even
+  // before the cache key's separate method string.
+  ValuatorParams params;
+  auto exact = ValuatorRegistry::Global().Schema("exact");
+  auto corrected = ValuatorRegistry::Global().Schema("exact-corrected");
+  ASSERT_TRUE(exact && corrected);
+  ASSERT_TRUE(exact->Canonicalize(&params).ok());
+  EXPECT_NE(exact->ParamsFingerprint(params),
+            corrected->ParamsFingerprint(params));
+}
+
+// --- CLI / serve validation parity ------------------------------------------
+
+CommandLine MakeCli(std::vector<std::string> flags) {
+  std::vector<char*> argv;
+  static std::vector<std::string> storage;  // keep c_str()s alive
+  storage = std::move(flags);
+  storage.insert(storage.begin(), "knnshap_value");
+  argv.reserve(storage.size());
+  for (auto& s : storage) argv.push_back(s.data());
+  return CommandLine(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(SchemaParityTest, CliAndJsonRejectIdentically) {
+  // The satellite pin: bad --epsilon/--delta/--k answer the *identical*
+  // structured error (code, field, message) through the CLI flag path and
+  // the serve JSON path — schema-derived parsing cannot drift.
+  struct Case {
+    const char* method;
+    const char* flag;
+    const char* json;
+  };
+  const std::vector<Case> cases = {
+      {"truncated", "--epsilon=0", R"({"epsilon":0})"},
+      {"truncated", "--epsilon=-1", R"({"epsilon":-1})"},
+      {"mc", "--delta=0", R"({"delta":0})"},
+      {"mc", "--delta=2", R"({"delta":2})"},
+      {"exact", "--k=0", R"({"k":0})"},
+      {"exact", "--k=2.5", R"({"k":2.5})"},
+      {"exact", "--metric=hamming", R"({"metric":"hamming"})"},
+      {"weighted", "--kernel=box", R"({"kernel":"box"})"},
+      {"mc", "--max_permutations=1.5", R"({"max_permutations":1.5})"},
+      {"mc", "--seed=-3", R"({"seed":-3})"},
+      // An explicit task the method does not support is an error on both
+      // surfaces — never a silent coercion to the method's fixed task.
+      {"exact", "--task=regression", R"({"task":"regression"})"},
+      {"mc", "--task=ranking", R"({"task":"ranking"})"},
+  };
+  for (const auto& test_case : cases) {
+    SCOPED_TRACE(std::string(test_case.method) + " " + test_case.flag);
+    auto schema = ValuatorRegistry::Global().Schema(test_case.method);
+    ASSERT_NE(schema, nullptr);
+
+    ValuatorParams cli_params;
+    Status cli_status =
+        ApplyCliParams(*schema, MakeCli({test_case.flag}), &cli_params);
+
+    ValuatorParams json_params;
+    JsonParseResult parsed = ParseJson(test_case.json);
+    ASSERT_TRUE(parsed.ok()) << parsed.error;
+    Status json_status = ApplyJsonParams(*schema, parsed.value, &json_params);
+
+    EXPECT_FALSE(cli_status.ok());
+    EXPECT_EQ(cli_status, json_status)
+        << "cli: " << cli_status.ToString()
+        << "  json: " << json_status.ToString();
+    EXPECT_EQ(cli_status.code(), StatusCode::kInvalidArgument);
+    EXPECT_FALSE(cli_status.field().empty());
+  }
+}
+
+TEST(SchemaParityTest, CliAndJsonAcceptIdentically) {
+  auto schema = ValuatorRegistry::Global().Schema("mc");
+  ASSERT_NE(schema, nullptr);
+  ValuatorParams cli_params;
+  ASSERT_TRUE(ApplyCliParams(*schema,
+                             MakeCli({"--k=4", "--epsilon=0.2", "--delta=0.05",
+                                      "--seed=11", "--kernel=gaussian",
+                                      "--sigma=0.7", "--task=regression",
+                                      "--max_permutations=64"}),
+                             &cli_params)
+                  .ok());
+  ValuatorParams json_params;
+  JsonParseResult parsed = ParseJson(
+      R"({"k":4,"epsilon":0.2,"delta":0.05,"seed":11,"kernel":"gaussian",)"
+      R"("sigma":0.7,"task":"regression","max_permutations":64})");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(ApplyJsonParams(*schema, parsed.value, &json_params).ok());
+  EXPECT_EQ(schema->ParamsFingerprint(cli_params),
+            schema->ParamsFingerprint(json_params));
+  EXPECT_EQ(ParamsToJson(*schema, cli_params).Dump(),
+            ParamsToJson(*schema, json_params).Dump());
+}
+
+// --- Undeclared and unknown fields ------------------------------------------
+
+TEST(SchemaUnknownFieldTest, UndeclaredVocabularyParamIsCheckedButIgnored) {
+  auto schema = ValuatorRegistry::Global().Schema("exact");
+  ASSERT_NE(schema, nullptr);
+
+  // Valid but undeclared: accepted, not applied, fingerprint unchanged.
+  ValuatorParams params;
+  JsonParseResult with_seed = ParseJson(R"({"k":3,"seed":999,"epsilon":0.5})");
+  ASSERT_TRUE(ApplyJsonParams(*schema, with_seed.value, &params).ok());
+  EXPECT_EQ(params.seed, ValuatorParams{}.seed);      // not applied
+  EXPECT_EQ(params.epsilon, ValuatorParams{}.epsilon);
+  ValuatorParams declared_only;
+  declared_only.k = 3;
+  ASSERT_TRUE(schema->Canonicalize(&declared_only).ok());
+  EXPECT_EQ(schema->ParamsFingerprint(params),
+            schema->ParamsFingerprint(declared_only));
+
+  // Invalid although undeclared: still a structured error — garbage is
+  // rejected on every path, declared or not.
+  JsonParseResult bad = ParseJson(R"({"k":3,"epsilon":-1})");
+  Status status = ApplyJsonParams(*schema, bad.value, &params);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.field(), "epsilon");
+}
+
+TEST(SchemaUnknownFieldTest, UnknownFieldIsNamed) {
+  JsonParseResult parsed =
+      ParseJson(R"({"op":"value","train":"a","k":3,"epsilonn":0.5})");
+  ASSERT_TRUE(parsed.ok());
+  Status status = CheckRequestFields(parsed.value, {"op", "train"});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.field(), "epsilonn");
+  EXPECT_NE(status.message().find("epsilonn"), std::string::npos);
+}
+
+// --- Introspection ----------------------------------------------------------
+
+TEST(SchemaIntrospectionTest, DescribeJsonListsTypedParams) {
+  for (const auto& schema : ValuatorRegistry::Global().Schemas()) {
+    JsonValue json = SchemaToJson(*schema);
+    EXPECT_EQ(json.Get("name").AsString(), schema->name);
+    EXPECT_FALSE(json.Get("description").AsString().empty());
+    EXPECT_TRUE(json.Get("tasks").IsArray());
+    ASSERT_TRUE(json.Get("params").IsArray());
+    ASSERT_EQ(json.Get("params").Items().size(), schema->params.size());
+    for (const auto& entry : json.Get("params").Items()) {
+      EXPECT_TRUE(entry.Has("name"));
+      EXPECT_TRUE(entry.Has("type"));
+      EXPECT_TRUE(entry.Has("default"));
+      EXPECT_TRUE(entry.Has("doc"));
+    }
+    EXPECT_FALSE(FormatSchemaHelp(*schema).empty());
+  }
+}
+
+TEST(SchemaIntrospectionTest, NativeWidthSeedPassesEngineValidation) {
+  // The 2^53 seed cap is a parse-surface bound (it keeps the JSON/CLI
+  // double→uint64 cast defined); a ValuatorParams built programmatically
+  // at full uint64 width must still canonicalize — and fingerprint
+  // distinctly, since the hash reads the native field.
+  auto schema = ValuatorRegistry::Global().Schema("mc");
+  ASSERT_NE(schema, nullptr);
+  ValuatorParams params;
+  params.seed = uint64_t{1} << 60;
+  EXPECT_TRUE(schema->Canonicalize(&params).ok())
+      << schema->Canonicalize(&params).ToString();
+  ValuatorParams other = params;
+  other.seed += 1;  // distinguishable only at native width
+  EXPECT_NE(schema->ParamsFingerprint(params), schema->ParamsFingerprint(other));
+
+  // The parse surfaces still reject it (the cast would be lossy/UB).
+  JsonParseResult parsed = ParseJson(R"({"seed":1.5e18})");
+  ValuatorParams json_params;
+  Status status = ApplyJsonParams(*schema, parsed.value, &json_params);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.field(), "seed");
+}
+
+TEST(SchemaIntrospectionTest, EngineRejectsWithStructuredStatus) {
+  // The engine boundary speaks the same structured language: a direct
+  // programmatic request with a bad declared param gets the identical
+  // Status the parse layers produce.
+  auto schema = ValuatorRegistry::Global().Schema("truncated");
+  ASSERT_NE(schema, nullptr);
+  ValuatorParams params;
+  params.epsilon = 0.0;
+  Status status = schema->Canonicalize(&params);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.field(), "epsilon");
+  EXPECT_EQ(status.message(), "'epsilon' must be > 0 (got 0)");
+}
+
+}  // namespace
+}  // namespace knnshap

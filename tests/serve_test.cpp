@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/valuators.h"
 #include "knn/distance_kernel.h"
 #include "serve/pipeline.h"
 #include "test_util.h"
@@ -290,6 +291,161 @@ TEST(ServeTest, ExplicitParallelRunsInlineWithIdenticalValues) {
   // byte-identically — the engine's bitwise contract seen end to end.
   EXPECT_EQ(RunSession(session(""), options),
             RunSession(session(R"(,"parallel":true)"), options));
+}
+
+TEST(ServeTest, DescribeListsEveryMethodWithTypedParams) {
+  PipelineOptions options;
+  options.emit_timing = false;
+  RequestPipeline pipeline(options);
+
+  JsonValue response = pipeline.HandleSync(ParseJson(R"({"op":"describe"})").value);
+  ASSERT_TRUE(response.Get("ok").AsBool()) << response.Dump();
+  const auto& methods = response.Get("methods").Items();
+  ASSERT_EQ(methods.size(), ValuatorRegistry::Global().Methods().size());
+  for (const auto& method : methods) {
+    EXPECT_FALSE(method.Get("name").AsString().empty());
+    EXPECT_TRUE(method.Get("tasks").IsArray());
+    EXPECT_TRUE(method.Has("per_query"));
+    EXPECT_TRUE(method.Has("requires"));
+    ASSERT_TRUE(method.Get("params").IsArray()) << method.Dump();
+    for (const auto& param : method.Get("params").Items()) {
+      EXPECT_TRUE(param.Has("name"));
+      EXPECT_TRUE(param.Has("type"));
+      EXPECT_TRUE(param.Has("default"));
+    }
+  }
+
+  // Single-method filter and its not-found error.
+  JsonValue one = pipeline.HandleSync(
+      ParseJson(R"({"op":"describe","method":"mc"})").value);
+  ASSERT_TRUE(one.Get("ok").AsBool());
+  ASSERT_EQ(one.Get("methods").Items().size(), 1u);
+  EXPECT_FALSE(one.Get("methods").Items()[0].Get("per_query").AsBool());
+  JsonValue missing = pipeline.HandleSync(
+      ParseJson(R"({"op":"describe","method":"nope"})").value);
+  EXPECT_FALSE(missing.Get("ok").AsBool());
+  EXPECT_EQ(missing.Get("code").AsString(), "not_found");
+}
+
+TEST(ServeTest, StructuredErrorsNameCodeAndField) {
+  PipelineOptions options;
+  options.emit_timing = false;
+  RequestPipeline pipeline(options);
+  auto handle = [&](const std::string& line) {
+    return pipeline.HandleSync(ParseJson(line).value);
+  };
+  handle(R"({"op":"load","name":"a","rows":)" + RowsJson(12, 3, 2, 41) +
+         R"(,"target":"label"})");
+
+  JsonValue bad_k = handle(R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],"k":0})");
+  EXPECT_FALSE(bad_k.Get("ok").AsBool());
+  EXPECT_EQ(bad_k.Get("code").AsString(), "invalid_argument");
+  EXPECT_EQ(bad_k.Get("field").AsString(), "k");
+
+  JsonValue bad_eps = handle(
+      R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],"method":"truncated","epsilon":-2})");
+  EXPECT_EQ(bad_eps.Get("field").AsString(), "epsilon");
+  EXPECT_EQ(bad_eps.Get("error").AsString(), "'epsilon' must be > 0 (got -2)");
+
+  // A typo'd field is named, with the request id echoed for correlation.
+  JsonValue typo = handle(
+      R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],"epsilonn":0.5,"id":9})");
+  EXPECT_FALSE(typo.Get("ok").AsBool());
+  EXPECT_EQ(typo.Get("field").AsString(), "epsilonn");
+  EXPECT_EQ(typo.Get("id").AsNumber(), 9.0);
+
+  // Unknown method / dataset are not_found.
+  EXPECT_EQ(handle(R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],"method":"nope"})")
+                .Get("code")
+                .AsString(),
+            "not_found");
+  EXPECT_EQ(handle(R"({"op":"value","train":"missing","queries":[[0.1,0.2,0.3,1]]})")
+                .Get("code")
+                .AsString(),
+            "not_found");
+
+  // A disallowed task for the method names the task field — including on
+  // single-task methods, where an explicit conflicting task must error,
+  // not silently coerce to the method's own task.
+  JsonValue bad_task = handle(
+      R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],"method":"weighted","task":"classification"})");
+  EXPECT_FALSE(bad_task.Get("ok").AsBool());
+  EXPECT_EQ(bad_task.Get("field").AsString(), "task");
+  JsonValue coerced = handle(
+      R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],"method":"exact","task":"regression"})");
+  EXPECT_FALSE(coerced.Get("ok").AsBool());
+  EXPECT_EQ(coerced.Get("field").AsString(), "task");
+  EXPECT_NE(coerced.Get("error").AsString().find("supports tasks: classification"),
+            std::string::npos);
+
+  // A method whose schema demands a larger corpus answers a precondition
+  // error — the request must never reach the adapter's fatal internal
+  // check and kill the server.
+  handle(R"({"op":"load","name":"tiny","rows":[[0.1,0.2,1]],"target":"label"})");
+  JsonValue tiny_lsh = handle(
+      R"({"op":"value","train":"tiny","queries":[[0.1,0.2,1]],"method":"lsh"})");
+  EXPECT_FALSE(tiny_lsh.Get("ok").AsBool());
+  EXPECT_EQ(tiny_lsh.Get("code").AsString(), "failed_precondition");
+  EXPECT_NE(tiny_lsh.Get("error").AsString().find("at least 2"),
+            std::string::npos);
+}
+
+TEST(ServeTest, PipelineHonorsACustomEngineRegistry) {
+  // Validation, methods and describe must resolve against the registry
+  // the *engine* serves from, not the global one — a pipeline wired to a
+  // private registry would otherwise reject its own methods at parse time.
+  ValuatorRegistry registry;
+  RegisterBuiltinValuators(&registry);
+  MethodSchema schema;
+  schema.name = "custom-exact";
+  schema.description = "private-registry test double";
+  schema.params = ResolveParams({"k", "metric"});
+  schema.tasks = {KnnTask::kClassification};
+  registry.Register(schema, [](const ValuatorParams& params) {
+    return std::make_unique<ExactValuator>(params);
+  });
+
+  PipelineOptions options;
+  options.emit_timing = false;
+  options.engine.registry = &registry;
+  RequestPipeline pipeline(options);
+  auto handle = [&](const std::string& line) {
+    return pipeline.HandleSync(ParseJson(line).value);
+  };
+  handle(R"({"op":"load","name":"a","rows":)" + RowsJson(15, 3, 2, 61) +
+         R"(,"target":"label"})");
+  JsonValue value = handle(
+      R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],"method":"custom-exact","k":3})");
+  EXPECT_TRUE(value.Get("ok").AsBool()) << value.Dump();
+  EXPECT_EQ(value.Get("method").AsString(), "custom-exact");
+  JsonValue described = handle(R"({"op":"describe","method":"custom-exact"})");
+  EXPECT_TRUE(described.Get("ok").AsBool()) << described.Dump();
+}
+
+TEST(ServeTest, UndeclaredSeedChangeHitsTheCacheThroughServe) {
+  // End-to-end scoped-fingerprint payoff: the same exact request with a
+  // different seed (undeclared by exact) is served from the cache, and
+  // the params echo shows exactly the declared fields that keyed it.
+  PipelineOptions options;
+  options.emit_timing = false;
+  RequestPipeline pipeline(options);
+  auto handle = [&](const std::string& line) {
+    return pipeline.HandleSync(ParseJson(line).value);
+  };
+  handle(R"({"op":"load","name":"a","rows":)" + RowsJson(20, 3, 2, 51) +
+         R"(,"target":"label"})");
+  const std::string queries = RowsJson(2, 3, 2, 52);
+  JsonValue first =
+      handle(R"({"op":"value","train":"a","queries":)" + queries + R"(,"k":3})");
+  ASSERT_TRUE(first.Get("ok").AsBool()) << first.Dump();
+  EXPECT_FALSE(first.Get("cache_hit").AsBool());
+  JsonValue second = handle(R"({"op":"value","train":"a","queries":)" + queries +
+                            R"(,"k":3,"seed":4242})");
+  ASSERT_TRUE(second.Get("ok").AsBool()) << second.Dump();
+  EXPECT_TRUE(second.Get("cache_hit").AsBool());
+  EXPECT_EQ(first.Get("params").Dump(), second.Get("params").Dump());
+  EXPECT_FALSE(second.Get("params").Has("seed"));  // undeclared for exact
+  EXPECT_EQ(first.Get("values").Dump(), second.Get("values").Dump());
 }
 
 TEST(ServeTest, GoldenTranscriptReproduces) {

@@ -2,9 +2,11 @@
 //
 // knnshap_serve — JSONL serving front end: one JSON request per stdin
 // line, one JSON response per stdout line. All of the serving machinery —
-// the versioned CorpusStore, the concurrent RequestPipeline, in-order
-// response emission, engine invalidation and cache persistence — lives in
-// src/serve/; this binary just parses flags and runs the loop.
+// the versioned CorpusStore, the concurrent RequestPipeline, schema-driven
+// request validation ({"op":"describe"} lists every method's typed
+// hyperparameters at runtime), in-order response emission, engine
+// invalidation and cache persistence — lives in src/serve/; this binary
+// just parses flags and runs the loop.
 //
 // Flags:
 //   --serial          process requests inline on the reader thread (the

@@ -14,8 +14,19 @@
 // index,value[,label] rows.
 //
 //   knnshap_value --methods    lists the registered valuation methods.
+//   knnshap_value --describe[=method]
+//                              prints each method's declarative schema —
+//                              typed hyperparameters with defaults, valid
+//                              ranges and docs — generated from the same
+//                              MethodSchema the serve pipeline validates
+//                              against, so the two surfaces cannot drift.
 //   knnshap_value --selftest   exercises the full pipeline on generated
 //                              data and exits nonzero on any mismatch.
+//
+// Hyperparameter flags (--k, --epsilon, --delta, --seed, --metric,
+// --kernel, ...) are parsed and validated through the method's schema: an
+// out-of-range value answers the identical structured error the serve
+// pipeline returns for the same JSON field, naming the offending flag.
 
 #include <cstdio>
 #include <memory>
@@ -27,8 +38,10 @@
 #include "dataset/synthetic.h"
 #include "engine/engine.h"
 #include "engine/registry.h"
+#include "engine/schema.h"
 #include "util/cli.h"
 #include "util/stats.h"
+#include "util/status.h"
 
 using namespace knnshap;
 
@@ -39,57 +52,104 @@ int Usage(const char* msg) {
   std::fprintf(stderr,
                "usage: knnshap_value --train=T.csv --test=E.csv --out=V.csv\n"
                "       [--task=classification|regression] [--method=exact|"
-               "truncated|lsh|mc|weighted|regression]\n"
-               "       [--k=5] [--epsilon=0.1] [--delta=0.1] [--weighted]\n"
-               "       [--seed=N] [--serial] [--no-cache]\n"
+               "exact-corrected|truncated|lsh|mc|weighted|regression]\n"
+               "       [--weighted] [--serial] [--no-cache]\n"
+               "       [hyperparameter flags per method schema; see --describe]\n"
                "       knnshap_value --methods\n"
+               "       knnshap_value --describe[=method]\n"
                "       knnshap_value --selftest\n");
   return 2;
 }
 
-/// Maps the CLI surface onto an engine request. The legacy flags are kept:
-/// --weighted wins over --method, and --task=regression without --weighted
-/// selects the regression method, mirroring the pre-engine dispatch.
-ValuationRequest BuildRequest(const CommandLine& cli,
-                              std::shared_ptr<const Dataset> train,
-                              std::shared_ptr<const Dataset> test) {
-  ValuationRequest request;
-  std::string task = cli.GetString("task", "classification");
-  std::string method = cli.GetString("method", "exact");
-  bool weighted = cli.Has("weighted");
+/// Structured parameter error: same code/field/message the serve pipeline
+/// answers for the identical offense, rendered for stderr.
+int ParamError(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
+}
 
-  if (weighted) {
-    request.method = "weighted";
-    request.params.task = task == "regression" ? KnnTask::kWeightedRegression
-                                               : KnnTask::kWeightedClassification;
-    request.params.weights.kernel = WeightKernel::kInverseDistance;
-  } else if (task == "regression") {
-    request.method = "regression";
-    request.params.task = KnnTask::kRegression;
-  } else {
-    request.method = method;
+/// Resolves the method the flag surface selects: --weighted wins over
+/// --method, and --task=regression *without an explicit --method* selects
+/// the regression method. This deliberately diverges from the pre-schema
+/// dispatch, which silently discarded an explicit --method whenever
+/// --task=regression was set: an explicit method is now honored, and an
+/// incompatible task answers the structured 'task' error instead.
+std::string ResolveMethod(const CommandLine& cli) {
+  if (cli.Has("weighted")) return "weighted";
+  if (cli.GetString("task", "classification") == "regression" &&
+      !cli.Has("method")) {
+    return "regression";
+  }
+  return cli.GetString("method", "exact");
+}
+
+/// Maps the CLI surface onto an engine request; hyperparameters are parsed
+/// and validated through the method's schema (identical checks — and
+/// identical structured errors — to the serve pipeline's JSON fields).
+Status BuildRequest(const CommandLine& cli, ValuationRequest* request) {
+  // Strict flags, mirroring the serve pipeline's unknown-field rejection:
+  // anything that is neither a tool flag nor a schema parameter is a typo
+  // answered with the offending name, not silently ignored.
+  static const char* kToolFlags[] = {"train",  "test",     "out",   "task",
+                                     "method", "weighted", "serial", "no-cache",
+                                     "selftest", "methods", "describe", "help"};
+  for (const std::string& name : cli.Names()) {
+    bool known = FindParamSpec(name) != nullptr;
+    for (const char* flag : kToolFlags) known = known || name == flag;
+    if (!known) {
+      return Status::InvalidArgument(
+          "unknown flag '--" + name + "' (see --describe for the schema flags)",
+          name);
+    }
   }
 
-  request.params.k = cli.GetInt("k", 5);
-  request.params.epsilon = cli.GetDouble("epsilon", 0.1);
-  request.params.delta = cli.GetDouble("delta", 0.1);
-  // Method-specific legacy seeds: the MC estimator defaulted to
-  // ImprovedMcOptions::seed == 1, the LSH pipeline to
-  // StreamingValuatorOptions::seed == 7.
-  uint64_t default_seed = request.method == "mc" ? 1 : 7;
-  request.params.seed =
-      static_cast<uint64_t>(cli.GetInt("seed", static_cast<int>(default_seed)));
-  request.train = std::move(train);
-  request.test = std::move(test);
-  request.parallel = !cli.Has("serial");
-  request.use_cache = !cli.Has("no-cache");
-  return request;
+  request->method = ResolveMethod(cli);
+  auto schema = ValuatorRegistry::Global().Schema(request->method);
+  if (schema == nullptr) {
+    return ValuatorRegistry::Global().UnknownMethodError(request->method);
+  }
+  // The legacy --weighted flag means "the weighted method with the
+  // inverse-distance kernel", and maps --task=classification/regression
+  // onto the weighted tasks before the schema validates "task" (the
+  // canonical names --task=weighted-* work directly).
+  std::string task_override;
+  const std::string* override_ptr = nullptr;
+  if (cli.Has("weighted")) {
+    request->params.weights.kernel = WeightKernel::kInverseDistance;
+    const std::string task = cli.GetString("task", "classification");
+    if (task == "classification" || task == "regression") {
+      task_override = "weighted-" + task;
+      override_ptr = &task_override;
+    }
+  }
+  Status status = ApplyCliParams(*schema, cli, &request->params, override_ptr);
+  if (!status.ok()) return status;
+  request->parallel = !cli.Has("serial");
+  request->use_cache = !cli.Has("no-cache");
+  return Status::Ok();
 }
 
 int ListMethods() {
   std::printf("registered valuation methods:\n");
   for (const auto& info : ValuatorRegistry::Global().Methods()) {
     std::printf("  %-10s  %s\n", info.name.c_str(), info.description.c_str());
+  }
+  return 0;
+}
+
+int DescribeMethods(const CommandLine& cli) {
+  auto& registry = ValuatorRegistry::Global();
+  const std::string which = cli.GetString("describe", "1");
+  if (which != "1") {  // --describe=method
+    auto schema = registry.Schema(which);
+    if (schema == nullptr) {
+      return ParamError(registry.UnknownMethodError(which));
+    }
+    std::printf("%s", FormatSchemaHelp(*schema).c_str());
+    return 0;
+  }
+  for (const auto& schema : registry.Schemas()) {
+    std::printf("%s\n", FormatSchemaHelp(*schema).c_str());
   }
   return 0;
 }
@@ -127,7 +187,8 @@ int SelfTest() {
 
   ValuationReport exact = engine.Value(request);
   if (!exact.ok()) {
-    std::fprintf(stderr, "selftest: exact failed: %s\n", exact.error.c_str());
+    std::fprintf(stderr, "selftest: exact failed: %s\n",
+                 exact.status.ToString().c_str());
     return 1;
   }
   // Engine output must be bit-identical to the pre-engine entry point.
@@ -167,7 +228,7 @@ int SelfTest() {
     ValuationReport approx = engine.Value(approx_request);
     if (!approx.ok()) {
       std::fprintf(stderr, "selftest: %s failed: %s\n", method,
-                   approx.error.c_str());
+                   approx.status.ToString().c_str());
       return 1;
     }
     double err = MaxAbsDifference(approx.values, exact.values);
@@ -191,6 +252,15 @@ int main(int argc, char** argv) {
   CommandLine cli(argc, argv);
   if (cli.Has("selftest")) return SelfTest();
   if (cli.Has("methods")) return ListMethods();
+  if (cli.Has("describe") || cli.Has("help")) return DescribeMethods(cli);
+
+  // Hyperparameters are validated before any file I/O, so a bad --epsilon
+  // answers its structured error (identical to the serve pipeline's) even
+  // when the CSVs do not exist yet.
+  ValuationRequest request;
+  if (Status status = BuildRequest(cli, &request); !status.ok()) {
+    return ParamError(status);
+  }
 
   std::string train_path = cli.GetString("train", "");
   std::string test_path = cli.GetString("test", "");
@@ -198,27 +268,32 @@ int main(int argc, char** argv) {
   if (train_path.empty() || test_path.empty() || out_path.empty()) {
     return Usage("--train, --test and --out are required");
   }
-  std::string task = cli.GetString("task", "classification");
-  CsvTarget target = task == "regression" ? CsvTarget::kTarget : CsvTarget::kLabel;
+  // The CSV target follows the *validated* effective task (so the
+  // canonical --task=weighted-regression loads targets exactly like the
+  // legacy --weighted --task=regression spelling) — the same derivation
+  // the serve pipeline uses for inline query rows.
+  const bool regression_task =
+      request.params.task == KnnTask::kRegression ||
+      request.params.task == KnnTask::kWeightedRegression;
+  CsvTarget target = regression_task ? CsvTarget::kTarget : CsvTarget::kLabel;
 
   auto train_load = LoadCsvDataset(train_path, target);
-  if (!train_load.ok()) return Usage(train_load.error.c_str());
+  if (!train_load.ok()) return ParamError(train_load.status);
   auto test_load = LoadCsvDataset(test_path, target);
-  if (!test_load.ok()) return Usage(test_load.error.c_str());
+  if (!test_load.ok()) return ParamError(test_load.status);
   std::printf("train: %zu rows (%zu skipped), test: %zu rows, dim %zu\n",
               train_load.rows_parsed, train_load.rows_skipped, test_load.rows_parsed,
               train_load.data.Dim());
 
-  auto train = std::make_shared<const Dataset>(std::move(train_load.data));
-  auto test = std::make_shared<const Dataset>(std::move(test_load.data));
-  ValuationRequest request = BuildRequest(cli, train, test);
+  request.train = std::make_shared<const Dataset>(std::move(train_load.data));
+  request.test = std::make_shared<const Dataset>(std::move(test_load.data));
 
   ValuationEngine engine;
   ValuationReport report = engine.Value(request);
-  if (!report.ok()) return Usage(report.error.c_str());
+  if (!report.ok()) return ParamError(report.status);
   std::printf("%s\n", report.FormatStatusLine().c_str());
 
-  if (!SaveValuesCsv(report.values, *train, out_path)) {
+  if (!SaveValuesCsv(report.values, *request.train, out_path)) {
     return Usage(("cannot write " + out_path).c_str());
   }
   double total =
