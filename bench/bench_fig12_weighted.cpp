@@ -2,15 +2,18 @@
 //
 // Figure 12: weighted KNN classification — the exact O(N^K) algorithm
 // (Theorem 7) vs the improved MC approximation (Algorithm 2 with the
-// heuristic stopping rule, eps = delta = 0.01, as in Sec 6.2.2):
-//   (a) K = 3 fixed, N sweep: exact grows polynomially, MC stays flat;
-//   (b) N = 100 fixed, K sweep: exact grows exponentially in K, MC flat.
+// heuristic stopping rule, eps = delta = 0.01, as in Sec 6.2.2), plus the
+// quadratic-time discretized WKNN-Shapley (arXiv:2401.11103, registered as
+// weighted-fast) the library now prefers at these shapes:
+//   (a) K = 3 fixed, N sweep: exact grows polynomially, MC and fast stay low;
+//   (b) N = 100 fixed, K sweep: exact grows exponentially in K, MC/fast flat.
 
 #include <vector>
 
 #include "bench_util.h"
 #include "core/improved_mc.h"
 #include "core/weighted_knn_shapley.h"
+#include "core/wknn_shapley.h"
 #include "dataset/synthetic.h"
 #include "util/cli.h"
 #include "util/csv.h"
@@ -28,6 +31,16 @@ double RunExact(const Dataset& train, const Dataset& test, int k,
   options.task = KnnTask::kWeightedClassification;
   WallTimer timer;
   *sv = ExactWeightedKnnShapley(train, test, options, /*parallel=*/false);
+  return timer.Seconds();
+}
+
+double RunFast(const Dataset& train, const Dataset& test, int k,
+               std::vector<double>* sv) {
+  WknnShapleyOptions options;
+  options.k = k;
+  options.weights.kernel = WeightKernel::kInverseDistance;
+  WallTimer timer;
+  *sv = WknnShapley(train, test, options, /*parallel=*/false);
   return timer.Seconds();
 }
 
@@ -63,42 +76,47 @@ int main(int argc, char** argv) {
   Rng trng(71);
   Dataset test = MakeDogFishLike(4, &trng);
   CsvWriter csv(cli.CsvPath());
-  csv.Header({"panel", "n", "k", "exact_s", "mc_s", "mc_perms", "max_disagreement"});
+  csv.Header({"panel", "n", "k", "exact_s", "mc_s", "fast_s", "mc_perms",
+              "max_disagreement", "max_exact_fast_gap"});
 
   bench::Row("(a) K = 3, training-size sweep\n");
-  bench::Row("%8s %12s %12s %10s %16s\n", "N", "exact(s)", "mc(s)", "mc perms",
-             "max|exact-mc|");
+  bench::Row("%8s %12s %12s %12s %10s %16s %16s\n", "N", "exact(s)", "mc(s)",
+             "fast(s)", "mc perms", "max|exact-mc|", "max|exact-fast|");
   std::vector<size_t> sizes = {40, 70, 100, 140};
   for (auto& s : sizes) s = static_cast<size_t>(s * cli.Scale());
   for (size_t n : sizes) {
     Rng rng(72);
     Dataset train = MakeDogFishLike(n, &rng);
-    std::vector<double> exact_sv, mc_sv;
+    std::vector<double> exact_sv, mc_sv, fast_sv;
     int64_t perms = 0;
     double exact_s = RunExact(train, test, 3, &exact_sv);
     double mc_s = RunMc(train, test, 3, eps, &mc_sv, &perms);
+    double fast_s = RunFast(train, test, 3, &fast_sv);
     double gap = MaxAbsDifference(exact_sv, mc_sv);
-    bench::Row("%8zu %12.3f %12.3f %10lld %16.5f\n", n, exact_s, mc_s,
-               static_cast<long long>(perms), gap);
-    csv.Row({0, static_cast<double>(n), 3, exact_s, mc_s,
-             static_cast<double>(perms), gap});
+    double fast_gap = MaxAbsDifference(exact_sv, fast_sv);
+    bench::Row("%8zu %12.3f %12.3f %12.3f %10lld %16.5f %16.5f\n", n, exact_s,
+               mc_s, fast_s, static_cast<long long>(perms), gap, fast_gap);
+    csv.Row({0, static_cast<double>(n), 3, exact_s, mc_s, fast_s,
+             static_cast<double>(perms), gap, fast_gap});
   }
 
   bench::Row("\n(b) N = 100, K sweep\n");
-  bench::Row("%8s %12s %12s %10s %16s\n", "K", "exact(s)", "mc(s)", "mc perms",
-             "max|exact-mc|");
+  bench::Row("%8s %12s %12s %12s %10s %16s %16s\n", "K", "exact(s)", "mc(s)",
+             "fast(s)", "mc perms", "max|exact-mc|", "max|exact-fast|");
   Rng rng(73);
   Dataset train = MakeDogFishLike(static_cast<size_t>(100 * cli.Scale()), &rng);
   for (int k : {1, 2, 3, 4}) {
-    std::vector<double> exact_sv, mc_sv;
+    std::vector<double> exact_sv, mc_sv, fast_sv;
     int64_t perms = 0;
     double exact_s = RunExact(train, test, k, &exact_sv);
     double mc_s = RunMc(train, test, k, eps, &mc_sv, &perms);
+    double fast_s = RunFast(train, test, k, &fast_sv);
     double gap = MaxAbsDifference(exact_sv, mc_sv);
-    bench::Row("%8d %12.3f %12.3f %10lld %16.5f\n", k, exact_s, mc_s,
-               static_cast<long long>(perms), gap);
-    csv.Row({1, 100, static_cast<double>(k), exact_s, mc_s,
-             static_cast<double>(perms), gap});
+    double fast_gap = MaxAbsDifference(exact_sv, fast_sv);
+    bench::Row("%8d %12.3f %12.3f %12.3f %10lld %16.5f %16.5f\n", k, exact_s,
+               mc_s, fast_s, static_cast<long long>(perms), gap, fast_gap);
+    csv.Row({1, 100, static_cast<double>(k), exact_s, mc_s, fast_s,
+             static_cast<double>(perms), gap, fast_gap});
   }
   return 0;
 }

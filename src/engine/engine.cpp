@@ -77,6 +77,15 @@ ValuationReport ValuationEngine::Value(const ValuationRequest& request) {
         TaskName(params.task) + "'");
     return report;
   }
+  // Joint params-x-data preconditions (e.g. weighted-fast's count-table
+  // budget): still a structured response, never a fatal core check.
+  if (schema->precondition) {
+    if (Status status = schema->precondition(params, request.train->Size());
+        !status.ok()) {
+      report.status = std::move(status);
+      return report;
+    }
+  }
 
   report.train_size = request.train->Size();
   report.num_queries = request.test->Size();

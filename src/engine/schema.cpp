@@ -203,6 +203,16 @@ std::vector<ParamSpec> BuildVocabulary() {
     hash->Add(p.max_permutations);  // native width, like seed
   };
   specs.push_back(std::move(max_permutations));
+  specs.push_back(NumberSpec(
+      "weight_bits", ParamType::kInt,
+      "Weight discretization bits b for weighted-fast (levels = 2^b - 1)", 1,
+      8, false, [](const ValuatorParams& p) { return double(p.weight_bits); },
+      [](ValuatorParams* p, double v) { p->weight_bits = static_cast<int>(v); }));
+  specs.push_back(NumberSpec(
+      "approx_error", ParamType::kDouble,
+      "weighted-fast deterministic truncation budget; 0 = exact", 0, 1, false,
+      [](const ValuatorParams& p) { return p.approx_error; },
+      [](ValuatorParams* p, double v) { p->approx_error = v; }));
   return specs;
 }
 

@@ -126,6 +126,13 @@ struct MethodSchema {
   /// with a structured error so the request never reaches the adapter's
   /// fatal internal check.
   size_t min_train_rows = 1;
+  /// Optional joint params-x-data precondition beyond min_train_rows and
+  /// the per-param ranges: the engine calls it with the canonicalized
+  /// params and the training-corpus size after validation, and a non-OK
+  /// status becomes the request's structured response. weighted-fast uses
+  /// it to bound its (K, weight_bits) count-table footprint
+  /// (WknnTableBudget) so no request reaches a fatal core check.
+  std::function<Status(const ValuatorParams&, size_t train_rows)> precondition;
 
   bool Declares(const std::string& param_name) const;
   KnnTask DefaultTask() const;

@@ -21,6 +21,8 @@ uint64_t ValuatorParams::Fingerprint() const {
   hash.Add(contrast_sample);
   hash.Add(utility_range);
   hash.Add(max_permutations);
+  hash.Add(weight_bits);
+  hash.Add(approx_error);
   return hash.Digest();
 }
 

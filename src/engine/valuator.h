@@ -47,6 +47,8 @@ struct ValuatorParams {
   size_t contrast_sample = 500;   ///< Corpus rows sampled for contrast.
   double utility_range = 0.0;     ///< MC utility range r; 0 = auto (1/k).
   int64_t max_permutations = -1;  ///< MC cap; <0 = stopping rule only.
+  int weight_bits = 3;            ///< weighted-fast discretization width.
+  double approx_error = 0.0;      ///< weighted-fast truncation budget; 0 = exact.
 
   /// Content hash over *every* field — the legacy whole-struct identity.
   /// The engine's default keys are method-scoped (MethodSchema::

@@ -155,6 +155,31 @@ std::vector<double> McValuator::ValueBatch(const Dataset& test) const {
 }
 
 // ---------------------------------------------------------------------------
+// weighted-fast
+// ---------------------------------------------------------------------------
+
+void WeightedFastValuator::OnFit() {
+  KNNSHAP_CHECK(Train().HasLabels(), "weighted-fast: labeled corpus required");
+  norms_ = NormsForMetric(Train().features, params_.metric);
+  // The coalition-weight tables depend only on (N, K); every query on this
+  // fitted corpus reuses them, like the kd-tree/LSH retrieval structures.
+  coalition_ = std::make_unique<WknnCoalitionWeights>(
+      static_cast<int>(Train().Size()), params_.k);
+}
+
+std::vector<double> WeightedFastValuator::ValueOne(const Dataset& test,
+                                                   size_t row) const {
+  WknnShapleyOptions options;
+  options.k = params_.k;
+  options.weights = params_.weights;
+  options.metric = params_.metric;
+  options.weight_bits = params_.weight_bits;
+  options.approx_error = params_.approx_error;
+  return WknnShapleySingle(Train(), test.features.Row(row), TestLabel(test, row),
+                           options, &norms_, coalition_.get());
+}
+
+// ---------------------------------------------------------------------------
 // weighted
 // ---------------------------------------------------------------------------
 
@@ -269,6 +294,24 @@ void RegisterBuiltinValuators(ValuatorRegistry* registry) {
                     KnnTask::kWeightedRegression};
   add(weighted, [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
     return std::make_unique<WeightedValuator>(p);
+  });
+
+  MethodSchema weighted_fast;
+  weighted_fast.name = "weighted-fast";
+  weighted_fast.description =
+      "Discretized weighted KNN SVs, O(N^2)/query (arXiv:2401.11103)";
+  weighted_fast.params =
+      ResolveParams({"k", "metric", "kernel", "kernel_epsilon", "sigma",
+                     "weight_bits", "approx_error"});
+  weighted_fast.tasks = {KnnTask::kWeightedClassification};
+  // k and weight_bits are individually in range long before their joint
+  // count-table footprint explodes; screen the combination against the
+  // corpus so an oversized request is a response, not an abort.
+  weighted_fast.precondition = [](const ValuatorParams& p, size_t rows) {
+    return WknnTableBudget(static_cast<int>(rows), p.k, p.weight_bits);
+  };
+  add(weighted_fast, [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
+    return std::make_unique<WeightedFastValuator>(p);
   });
 
   MethodSchema regression;

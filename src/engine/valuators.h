@@ -8,6 +8,7 @@
 //   lsh         Theorems 3-4              LSH retrieval, contrast-tuned
 //   mc          Algorithm 2 / Theorem 5   improved Monte-Carlo estimator
 //   weighted    Theorem 7                 exact weighted KNN, O(N^K)
+//   weighted-fast  arXiv:2401.11103       discretized weighted KNN, O(N^2)
 //   regression  Theorem 6                 exact unweighted KNN regression
 //
 // Each adapter is a thin shim over the corresponding src/core function, so
@@ -22,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/wknn_shapley.h"
 #include "engine/valuator.h"
 #include "knn/kd_tree.h"
 #include "lsh/lsh_index.h"
@@ -120,6 +122,25 @@ class McValuator : public Valuator {
 
  protected:
   void OnFit() override;
+};
+
+/// Quadratic-time WKNN-Shapley (arXiv:2401.11103): exact SVs of the
+/// discretized-weight Eq-26 classifier in O(N^2 K 4^b)/query, with an
+/// optional deterministic truncation budget (params.approx_error). Fit
+/// precomputes corpus norms plus the (N, K) coalition-weight tables the
+/// ranked-neighbor recursion shares across every query on the corpus.
+class WeightedFastValuator : public Valuator {
+ public:
+  using Valuator::Valuator;
+  const char* Method() const override { return "weighted-fast"; }
+  std::vector<double> ValueOne(const Dataset& test, size_t row) const override;
+
+ protected:
+  void OnFit() override;
+
+ private:
+  CorpusNorms norms_;
+  std::unique_ptr<WknnCoalitionWeights> coalition_;
 };
 
 /// Exact weighted KNN values (Theorem 7), classification or regression per

@@ -8,28 +8,30 @@
 
 namespace knnshap {
 
+double RawKernelWeight(double distance, const WeightConfig& config) {
+  switch (config.kernel) {
+    case WeightKernel::kUniform:
+      return 1.0;
+    case WeightKernel::kInverseDistance:
+      KNNSHAP_CHECK(distance >= 0.0, "negative distance");
+      return 1.0 / (distance + config.epsilon);
+    case WeightKernel::kGaussian: {
+      // Multiply by the reciprocal, matching the historical hoisted-inverse
+      // loop bit for bit (values are pinned by golden transcripts).
+      double inv = 1.0 / (2.0 * config.sigma * config.sigma);
+      return std::exp(-distance * distance * inv);
+    }
+  }
+  KNNSHAP_CHECK(false, "unknown weight kernel");
+}
+
 std::vector<double> ComputeWeights(const std::vector<double>& distances,
                                    const WeightConfig& config) {
   std::vector<double> weights(distances.size());
   if (distances.empty()) return weights;
   double total = 0.0;
-  switch (config.kernel) {
-    case WeightKernel::kUniform:
-      for (auto& w : weights) w = 1.0;
-      break;
-    case WeightKernel::kInverseDistance:
-      for (size_t i = 0; i < distances.size(); ++i) {
-        KNNSHAP_CHECK(distances[i] >= 0.0, "negative distance");
-        weights[i] = 1.0 / (distances[i] + config.epsilon);
-      }
-      break;
-    case WeightKernel::kGaussian: {
-      double inv = 1.0 / (2.0 * config.sigma * config.sigma);
-      for (size_t i = 0; i < distances.size(); ++i) {
-        weights[i] = std::exp(-distances[i] * distances[i] * inv);
-      }
-      break;
-    }
+  for (size_t i = 0; i < distances.size(); ++i) {
+    weights[i] = RawKernelWeight(distances[i], config);
   }
   for (double w : weights) total += w;
   KNNSHAP_CHECK(total > 0.0, "degenerate weights");

@@ -25,6 +25,12 @@ struct WeightConfig {
   double sigma = 1.0;     ///< Bandwidth for the Gaussian kernel.
 };
 
+/// Unnormalized kernel weight of one neighbor at the given distance — the
+/// one formula behind both ComputeWeights' normalized weights and the
+/// discretized WKNN-Shapley's raw weights (core/wknn_shapley.h); the two
+/// games must agree on it for the discretization bound to hold.
+double RawKernelWeight(double distance, const WeightConfig& config);
+
 /// Computes normalized weights (summing to 1) for neighbors at the given
 /// ascending distances. Empty input yields an empty result.
 std::vector<double> ComputeWeights(const std::vector<double>& distances,

@@ -8,6 +8,15 @@
 
 namespace knnshap {
 
+// GCC 12 at -O2 issues a -Wrestrict false positive through the inlined
+// std::string assignments below, claiming an impossible self-overlap with
+// offsets near SIZE_MAX/2 (GCC bug 105329, fixed in GCC 13). Suppressed
+// locally so the library builds warning-clean under -Werror in CI.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
 CommandLine::CommandLine(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -23,6 +32,10 @@ CommandLine::CommandLine(int argc, char** argv) {
     }
   }
 }
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 bool CommandLine::Has(const std::string& name) const { return values_.count(name) > 0; }
 

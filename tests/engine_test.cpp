@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -16,6 +18,7 @@
 #include "core/lsh_knn_shapley.h"
 #include "core/streaming_valuator.h"
 #include "core/weighted_knn_shapley.h"
+#include "core/wknn_shapley.h"
 #include "engine/engine.h"
 #include "engine/registry.h"
 #include "engine/result_cache.h"
@@ -48,8 +51,8 @@ ValuationRequest ClassificationRequest(std::shared_ptr<const Dataset> train,
 
 TEST(RegistryTest, BuiltinMethodsRegistered) {
   auto& registry = ValuatorRegistry::Global();
-  for (const char* name :
-       {"exact", "truncated", "lsh", "mc", "weighted", "regression"}) {
+  for (const char* name : {"exact", "truncated", "lsh", "mc", "weighted",
+                           "weighted-fast", "regression"}) {
     EXPECT_TRUE(registry.Contains(name)) << name;
     auto valuator = registry.Create(name, ValuatorParams{});
     ASSERT_NE(valuator, nullptr) << name;
@@ -188,6 +191,41 @@ TEST(EngineAgreementTest, WeightedMatchesLegacyBitwise) {
   options.weights.kernel = WeightKernel::kInverseDistance;
   options.task = KnnTask::kWeightedClassification;
   EXPECT_EQ(report.values, ExactWeightedKnnShapley(*train, *test, options));
+}
+
+TEST(EngineAgreementTest, WeightedFastMatchesCoreBitwise) {
+  auto train = Shared(RandomClassDataset(40, 2, 3, 63));
+  auto test = Shared(RandomClassDataset(4, 2, 3, 64));
+  ValuationEngine engine;
+  ValuationRequest request =
+      ClassificationRequest(train, test, "weighted-fast", 3);
+  request.params.task = KnnTask::kWeightedClassification;
+  request.params.weights.kernel = WeightKernel::kInverseDistance;
+  request.params.weight_bits = 4;
+  ValuationReport report = engine.Value(request);
+  ASSERT_TRUE(report.ok()) << report.status.ToString();
+
+  WknnShapleyOptions options;
+  options.k = 3;
+  options.weights.kernel = WeightKernel::kInverseDistance;
+  options.weight_bits = 4;
+  EXPECT_EQ(report.values, WknnShapley(*train, *test, options));
+
+  // A repeat must be served from the cache with bitwise-equal values, and
+  // an approx_error change (declared) must miss — the method-scoped
+  // fingerprint covers the new params.
+  ValuationReport repeat = engine.Value(request);
+  EXPECT_TRUE(repeat.cache_hit);
+  EXPECT_EQ(repeat.values, report.values);
+  request.params.approx_error = 0.01;
+  ValuationReport truncated = engine.Value(request);
+  ASSERT_TRUE(truncated.ok()) << truncated.status.ToString();
+  EXPECT_FALSE(truncated.cache_hit);
+  double worst = 0.0;
+  for (size_t i = 0; i < report.values.size(); ++i) {
+    worst = std::max(worst, std::fabs(truncated.values[i] - report.values[i]));
+  }
+  EXPECT_LE(worst, 0.01 + 1e-12);
 }
 
 // --- Determinism ------------------------------------------------------------
@@ -433,6 +471,36 @@ TEST(EngineStatusTest, OutOfRangeDeclaredParamNamesTheField) {
   report = engine.Value(request);
   ASSERT_FALSE(report.ok());
   EXPECT_EQ(report.status.field(), "k");
+}
+
+TEST(EngineStatusTest, WeightedFastTableBudgetIsAStructuredError) {
+  // k=70 and weight_bits=3 are each inside their schema ranges, but their
+  // joint count-table footprint on a 80-row corpus exceeds the per-query
+  // budget. The schema precondition must turn that into a response — the
+  // previous behavior was a fatal KNNSHAP_CHECK that killed the process
+  // (and with it, a serve instance and every in-flight request).
+  auto train = Shared(RandomClassDataset(80, 2, 3, 65));
+  auto test = Shared(RandomClassDataset(2, 2, 3, 66));
+  ValuationEngine engine;
+  ValuationRequest request =
+      ClassificationRequest(train, test, "weighted-fast", 70);
+  request.params.task = KnnTask::kWeightedClassification;
+  ValuationReport report = engine.Value(request);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(report.status.field(), "k");
+
+  // The same k on a tiny corpus is fine: the effective K is min(k, N).
+  auto small = Shared(RandomClassDataset(6, 2, 3, 67));
+  ValuationRequest capped = ClassificationRequest(small, test, "weighted-fast", 70);
+  capped.params.task = KnnTask::kWeightedClassification;
+  EXPECT_TRUE(engine.Value(capped).ok());
+
+  // The core exposes the same verdicts directly.
+  EXPECT_FALSE(WknnTableBudget(80, 70, 3).ok());
+  EXPECT_TRUE(WknnTableBudget(6, 70, 3).ok());
+  EXPECT_TRUE(WknnTableBudget(80, 5, 8).ok());
+  EXPECT_FALSE(WknnTableBudget(10000, 30, 8).ok());
 }
 
 TEST(EngineStatusTest, DisallowedTaskIsAStructuredError) {

@@ -111,7 +111,9 @@ TEST(ExactShapleyTest, AllCorrectLabelsGiveHarmonicLikeDecay) {
   auto sv = KnnShapleyRecursion(labels, 1, 3);
   for (size_t i = 0; i < sv.size(); ++i) {
     EXPECT_GT(sv[i], 0.0);
-    if (i > 0) EXPECT_LE(sv[i], sv[i - 1] + 1e-15);
+    if (i > 0) {
+      EXPECT_LE(sv[i], sv[i - 1] + 1e-15);
+    }
   }
   // Group rationality: total = nu(I) = 1 (all neighbors correct).
   EXPECT_NEAR(std::accumulate(sv.begin(), sv.end(), 0.0), 1.0, 1e-12);

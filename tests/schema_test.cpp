@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -96,8 +97,12 @@ double RandomValidValue(const ParamSpec& spec, Rng* rng) {
           rng->NextIndex(static_cast<uint64_t>(spec.enum_values.size())));
     case ParamType::kInt:
     case ParamType::kUint: {
+      // Stay inside [min, max] — narrow-range params like weight_bits
+      // (1..8) bound the draw, wide ones keep the legacy 100-value span.
       double lo = spec.min_value;
-      return lo + static_cast<double>(rng->NextIndex(100));
+      double span = std::min(100.0, spec.max_value - lo + 1.0);
+      return lo + static_cast<double>(rng->NextIndex(
+                      static_cast<uint64_t>(span)));
     }
     case ParamType::kDouble: {
       double lo = spec.min_exclusive ? spec.min_value + 1e-3 : spec.min_value;
@@ -321,6 +326,70 @@ TEST(SchemaUnknownFieldTest, UnknownFieldIsNamed) {
   EXPECT_FALSE(status.ok());
   EXPECT_EQ(status.field(), "epsilonn");
   EXPECT_NE(status.message().find("epsilonn"), std::string::npos);
+}
+
+// --- weighted-fast param coverage -------------------------------------------
+
+TEST(SchemaWeightedFastTest, WeightBitsAndApproxErrorRoundTripAndFingerprint) {
+  // The satellite pin for the PR-4 contract on the newest method: the two
+  // params added with weighted-fast behave exactly like the veterans —
+  // they round-trip through JSON, perturb the method-scoped fingerprint
+  // when (and only when) declared, and answer structured range errors.
+  auto fast = ValuatorRegistry::Global().Schema("weighted-fast");
+  ASSERT_NE(fast, nullptr);
+  EXPECT_TRUE(fast->Declares("weight_bits"));
+  EXPECT_TRUE(fast->Declares("approx_error"));
+  EXPECT_TRUE(fast->per_query);
+
+  ValuatorParams params;
+  JsonParseResult parsed =
+      ParseJson(R"({"k":2,"weight_bits":6,"approx_error":0.01})");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(ApplyJsonParams(*fast, parsed.value, &params).ok());
+  EXPECT_EQ(params.weight_bits, 6);
+  EXPECT_EQ(params.approx_error, 0.01);
+  JsonValue echoed = ParamsToJson(*fast, params);
+  ValuatorParams reparsed;
+  ASSERT_TRUE(ApplyJsonParams(*fast, ParseJson(echoed.Dump()).value, &reparsed)
+                  .ok());
+  EXPECT_EQ(fast->ParamsFingerprint(params), fast->ParamsFingerprint(reparsed));
+
+  // Declared on weighted-fast: the fingerprint moves. Undeclared on the
+  // O(N^K) weighted method: the identical perturbation is invisible, so a
+  // weight_bits change can never evict a 'weighted' cache entry.
+  ValuatorParams base;
+  ASSERT_TRUE(fast->Canonicalize(&base).ok());
+  ValuatorParams perturbed = base;
+  perturbed.weight_bits = 7;
+  EXPECT_NE(fast->ParamsFingerprint(perturbed), fast->ParamsFingerprint(base));
+  perturbed = base;
+  perturbed.approx_error = 0.5;
+  EXPECT_NE(fast->ParamsFingerprint(perturbed), fast->ParamsFingerprint(base));
+
+  auto weighted = ValuatorRegistry::Global().Schema("weighted");
+  ASSERT_NE(weighted, nullptr);
+  EXPECT_FALSE(weighted->Declares("weight_bits"));
+  ValuatorParams wbase;
+  wbase.task = weighted->DefaultTask();
+  ASSERT_TRUE(weighted->Canonicalize(&wbase).ok());
+  ValuatorParams wperturbed = wbase;
+  wperturbed.weight_bits = 7;
+  wperturbed.approx_error = 0.5;
+  EXPECT_EQ(weighted->ParamsFingerprint(wperturbed),
+            weighted->ParamsFingerprint(wbase));
+
+  // Range errors are structured and identical across surfaces.
+  for (const char* bad : {R"({"weight_bits":0})", R"({"weight_bits":9})",
+                          R"({"weight_bits":2.5})", R"({"approx_error":-0.1})",
+                          R"({"approx_error":2})"}) {
+    SCOPED_TRACE(bad);
+    ValuatorParams scratch;
+    Status status =
+        ApplyJsonParams(*fast, ParseJson(bad).value, &scratch);
+    EXPECT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_FALSE(status.field().empty());
+  }
 }
 
 // --- Introspection ----------------------------------------------------------

@@ -5,7 +5,8 @@
 //
 //   knnshap_value --train=train.csv --test=test.csv --out=values.csv
 //                 [--task=classification|regression]
-//                 [--method=exact|truncated|lsh|mc|weighted|regression]
+//                 [--method=exact|truncated|lsh|mc|weighted|weighted-fast|
+//                  regression]
 //                 [--k=5] [--epsilon=0.1] [--delta=0.1] [--weighted]
 //                 [--seed=N] [--serial] [--no-cache]
 //
@@ -28,12 +29,14 @@
 // out-of-range value answers the identical structured error the serve
 // pipeline returns for the same JSON field, naming the offending flag.
 
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <numeric>
 #include <string>
 
 #include "core/exact_knn_shapley.h"
+#include "core/wknn_shapley.h"
 #include "dataset/io.h"
 #include "dataset/synthetic.h"
 #include "engine/engine.h"
@@ -52,7 +55,8 @@ int Usage(const char* msg) {
   std::fprintf(stderr,
                "usage: knnshap_value --train=T.csv --test=E.csv --out=V.csv\n"
                "       [--task=classification|regression] [--method=exact|"
-               "exact-corrected|truncated|lsh|mc|weighted|regression]\n"
+               "exact-corrected|truncated|lsh|mc|weighted|weighted-fast|"
+               "regression]\n"
                "       [--weighted] [--serial] [--no-cache]\n"
                "       [hyperparameter flags per method schema; see --describe]\n"
                "       knnshap_value --methods\n"
@@ -234,6 +238,42 @@ int SelfTest() {
     double err = MaxAbsDifference(approx.values, exact.values);
     if (err > 0.12) {  // eps=0.1 plus retrieval slack
       std::fprintf(stderr, "selftest: %s error %.4f exceeds budget\n", method, err);
+      return 1;
+    }
+  }
+  // weighted-fast values a different (discretized weighted) game, so it is
+  // checked against its own ground truth: the efficiency axiom — values
+  // must sum to the mean discretized grand-coalition utility.
+  {
+    ValuationRequest fast_request = request;
+    fast_request.method = "weighted-fast";
+    fast_request.params.task = KnnTask::kWeightedClassification;
+    fast_request.params.weights.kernel = WeightKernel::kInverseDistance;
+    ValuationReport fast = engine.Value(fast_request);
+    if (!fast.ok()) {
+      std::fprintf(stderr, "selftest: weighted-fast failed: %s\n",
+                   fast.status.ToString().c_str());
+      return 1;
+    }
+    WknnShapleyOptions options;
+    options.k = fast_request.params.k;
+    options.weights = fast_request.params.weights;
+    double grand_mean = 0.0;
+    std::vector<int> everyone(train->Size());
+    std::iota(everyone.begin(), everyone.end(), 0);
+    for (size_t j = 0; j < test->Size(); ++j) {
+      WknnQueryContext ctx = MakeWknnQueryContext(
+          *train, test->features.Row(j), test->labels[j], options);
+      grand_mean += WknnDiscretizedUtility(ctx, everyone, options.k);
+    }
+    grand_mean /= static_cast<double>(test->Size());
+    const double total =
+        std::accumulate(fast.values.begin(), fast.values.end(), 0.0);
+    if (std::fabs(total - grand_mean) > 1e-9) {
+      std::fprintf(stderr,
+                   "selftest: weighted-fast efficiency violated "
+                   "(total %.12f vs grand %.12f)\n",
+                   total, grand_mean);
       return 1;
     }
   }
