@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "knn/neighbors.h"
+#include "obs/trace.h"
 #include "util/common.h"
 
 namespace knnshap {
@@ -80,6 +81,7 @@ std::vector<double> CorrectedKnnShapleySingle(const Dataset& train,
                                               const CorpusNorms* norms) {
   KNNSHAP_CHECK(train.HasLabels(), "labels required");
   std::vector<int> order = ArgsortByDistance(train.features, query, metric, norms);
+  ScopedPhase span(Phase::kRecursion);
   std::vector<int> sorted_labels(order.size());
   for (size_t i = 0; i < order.size(); ++i) {
     sorted_labels[i] = train.labels[static_cast<size_t>(order[i])];

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "knn/neighbors.h"
+#include "obs/trace.h"
 #include "util/common.h"
 #include "util/thread_pool.h"
 
@@ -81,6 +82,7 @@ std::vector<double> ExactKnnRegressionShapleySingle(const Dataset& train,
                                                     const CorpusNorms* norms) {
   KNNSHAP_CHECK(train.HasTargets(), "targets required");
   std::vector<int> order = ArgsortByDistance(train.features, query, metric, norms);
+  ScopedPhase span(Phase::kRecursion);
   std::vector<double> sorted_targets(order.size());
   for (size_t i = 0; i < order.size(); ++i) {
     sorted_targets[i] = train.targets[static_cast<size_t>(order[i])];

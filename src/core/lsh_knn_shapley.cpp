@@ -7,6 +7,7 @@
 
 #include "core/exact_knn_shapley.h"
 #include "dataset/contrast.h"
+#include "obs/trace.h"
 #include "lsh/tuning.h"
 #include "util/common.h"
 #include "util/stats.h"
@@ -50,6 +51,7 @@ std::vector<double> TruncatedShapleyFromNeighbors(const Dataset& train,
                                                   std::span<const Neighbor> neighbors,
                                                   int test_label, int k, int k_star) {
   KNNSHAP_CHECK(k >= 1 && k_star >= k, "require k_star >= k >= 1");
+  ScopedPhase span(Phase::kRecursion);
   const int r = static_cast<int>(neighbors.size());
   std::vector<double> sv(static_cast<size_t>(r), 0.0);
   if (r == 0) return sv;

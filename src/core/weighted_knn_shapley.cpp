@@ -8,6 +8,7 @@
 #include "knn/knn_classifier.h"
 #include "knn/knn_regressor.h"
 #include "knn/neighbors.h"
+#include "obs/trace.h"
 #include "util/binomial.h"
 #include "util/common.h"
 #include "util/thread_pool.h"
@@ -109,6 +110,9 @@ std::vector<double> ExactWeightedKnnShapleySingle(
 
   std::vector<int> order =
       ArgsortByDistance(train.features, query, options.metric, norms);
+  // Everything after the ranking is coalition enumeration — the O(2^N)
+  // part of the exact weighted method.
+  ScopedPhase span(Phase::kRecursion);
   RankUtility nu(train, order, query, test_label, test_target, options);
 
   // Shapley weight of a group of coalitions in the relevant game. In the

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "knn/neighbors.h"
+#include "obs/trace.h"
 #include "util/binomial.h"
 #include "util/common.h"
 #include "util/thread_pool.h"
@@ -85,14 +86,17 @@ WknnQueryContext MakeWknnQueryContext(const Dataset& train,
       AllDistances(train.features, query, options.metric, norms);
   ctx.order.resize(n);
   std::iota(ctx.order.begin(), ctx.order.end(), 0);
-  // Ascending distance, ties by row index — the ArgsortByDistance /
-  // TopKAmongRows ordering every other valuation core uses.
-  std::sort(ctx.order.begin(), ctx.order.end(), [&](int lhs, int rhs) {
-    double dl = dist[static_cast<size_t>(lhs)];
-    double dr = dist[static_cast<size_t>(rhs)];
-    if (dl != dr) return dl < dr;
-    return lhs < rhs;
-  });
+  {
+    // Ascending distance, ties by row index — the ArgsortByDistance /
+    // TopKAmongRows ordering every other valuation core uses.
+    ScopedPhase span(Phase::kSort);
+    std::sort(ctx.order.begin(), ctx.order.end(), [&](int lhs, int rhs) {
+      double dl = dist[static_cast<size_t>(lhs)];
+      double dr = dist[static_cast<size_t>(rhs)];
+      if (dl != dr) return dl < dr;
+      return lhs < rhs;
+    });
+  }
   ctx.rank_of.resize(n);
   ctx.correct.resize(n);
   ctx.raw.resize(n);
@@ -316,6 +320,8 @@ std::vector<double> WknnShapleySingle(const Dataset& train,
   const WknnQueryContext ctx =
       MakeWknnQueryContext(train, query, test_label, options, norms);
 
+  // The quadratic DP over count tables — the weighted-fast "recursion".
+  ScopedPhase recursion_span(Phase::kRecursion);
   const int k = shared->K();
   const int levels = (1 << options.weight_bits) - 1;
   const int wmax = (k - 1) * levels;  // sums of at most K-1 companion levels

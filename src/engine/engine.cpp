@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "knn/distance_kernel.h"
 #include "util/fingerprint.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -23,119 +24,217 @@ ValuationEngine::ValuationEngine(const EngineOptions& options)
     : options_(options),
       registry_(options.registry != nullptr ? options.registry
                                             : &ValuatorRegistry::Global()),
-      cache_(options.result_cache_capacity) {}
+      cache_(options.result_cache_capacity) {
+  if (options_.metrics != nullptr) {
+    for (size_t i = 0; i < kNumPhases; ++i) {
+      phase_nanos_[i] = options_.metrics->GetCounter(
+          std::string("knnshap_phase_nanos_total{phase=\"") +
+          PhaseName(static_cast<Phase>(i)) + "\"}");
+    }
+  }
+}
 
 ValuationReport ValuationEngine::Value(const ValuationRequest& request) {
+  // A trace exists when the caller asked for one OR a metrics registry is
+  // wired (phase totals feed the registry). `deep` — the per-query spans —
+  // stays opt-in either way, so metrics-only serving never pays per-query
+  // clock reads. Only a requested trace is heap-allocated and attached to
+  // the report; the metrics-only flavor lives on this stack frame — it
+  // exists solely to be drained into the registry, and skipping the
+  // allocation keeps the always-on path cheap.
+  std::shared_ptr<RequestTrace> trace;
+  RequestTrace metrics_only;
+  RequestTrace* active = nullptr;
+  if (request.trace) {
+    trace = std::make_shared<RequestTrace>();
+    trace->deep = true;
+    active = trace.get();
+  } else if (options_.metrics != nullptr) {
+    active = &metrics_only;
+  }
+  WallTimer timer;
+  ValuationReport report = ValueImpl(request, active);
+  report.seconds = timer.Seconds();
+  if (active != nullptr) {
+    active->kernel = KernelName(ActiveKernel());
+    active->cache_hit = report.cache_hit;
+    active->fit_reused = report.fit_reused;
+    report.trace = trace;  // null in metrics-only mode
+    if (options_.metrics != nullptr) RecordMetrics(report, *active);
+  }
+  return report;
+}
+
+ValuationReport ValuationEngine::ValueImpl(const ValuationRequest& request,
+                                           RequestTrace* trace) {
   ValuationReport report;
   report.method = request.method;
-  WallTimer timer;
 
   // --- Schema-driven validation: errors are responses, not aborts. ------
-  std::shared_ptr<const MethodSchema> schema = registry_->Schema(request.method);
-  if (schema == nullptr) {
-    report.status = registry_->UnknownMethodError(request.method);
-    return report;
-  }
-  if (request.train == nullptr || request.train->Size() == 0) {
-    report.status = Status::InvalidArgument("empty training set", "train");
-    return report;
-  }
-  if (request.train->Size() < schema->min_train_rows) {
-    report.status = Status::FailedPrecondition(
-        "method '" + request.method + "' needs a training corpus of at least " +
-        std::to_string(schema->min_train_rows) + " rows (got " +
-        std::to_string(request.train->Size()) + ")");
-    return report;
-  }
-  if (request.test == nullptr || request.test->Size() == 0) {
-    report.status = Status::InvalidArgument("empty test batch", "test");
-    return report;
-  }
-  if (request.train->Dim() != request.test->Dim()) {
-    report.status = Status::InvalidArgument("train/test dimension mismatch");
-    return report;
-  }
-  // Canonicalize the task and range-check every declared param — the same
-  // checks the serve pipeline and the CLI run at parse time, so a request
-  // built programmatically fails with the identical structured error.
+  std::shared_ptr<const MethodSchema> schema;
   ValuatorParams params = request.params;
-  if (Status status = schema->Canonicalize(&params); !status.ok()) {
-    report.status = std::move(status);
-    return report;
-  }
-  if (schema->RequiresLabels(params.task) &&
-      (!request.train->HasLabels() || !request.test->HasLabels())) {
-    report.status = Status::FailedPrecondition(
-        "method '" + request.method + "' requires labeled data for task '" +
-        TaskName(params.task) + "'");
-    return report;
-  }
-  if (schema->RequiresTargets(params.task) &&
-      (!request.train->HasTargets() || !request.test->HasTargets())) {
-    report.status = Status::FailedPrecondition(
-        "method '" + request.method + "' requires regression targets for task '" +
-        TaskName(params.task) + "'");
-    return report;
-  }
-  // Joint params-x-data preconditions (e.g. weighted-fast's count-table
-  // budget): still a structured response, never a fatal core check.
-  if (schema->precondition) {
-    if (Status status = schema->precondition(params, request.train->Size());
-        !status.ok()) {
+  {
+    ScopedPhase span(trace, Phase::kValidate);
+    schema = registry_->Schema(request.method);
+    if (schema == nullptr) {
+      report.status = registry_->UnknownMethodError(request.method);
+      return report;
+    }
+    if (request.train == nullptr || request.train->Size() == 0) {
+      report.status = Status::InvalidArgument("empty training set", "train");
+      return report;
+    }
+    if (request.train->Size() < schema->min_train_rows) {
+      report.status = Status::FailedPrecondition(
+          "method '" + request.method + "' needs a training corpus of at least " +
+          std::to_string(schema->min_train_rows) + " rows (got " +
+          std::to_string(request.train->Size()) + ")");
+      return report;
+    }
+    if (request.test == nullptr || request.test->Size() == 0) {
+      report.status = Status::InvalidArgument("empty test batch", "test");
+      return report;
+    }
+    if (request.train->Dim() != request.test->Dim()) {
+      report.status = Status::InvalidArgument("train/test dimension mismatch");
+      return report;
+    }
+    // Canonicalize the task and range-check every declared param — the same
+    // checks the serve pipeline and the CLI run at parse time, so a request
+    // built programmatically fails with the identical structured error.
+    if (Status status = schema->Canonicalize(&params); !status.ok()) {
       report.status = std::move(status);
       return report;
+    }
+    if (schema->RequiresLabels(params.task) &&
+        (!request.train->HasLabels() || !request.test->HasLabels())) {
+      report.status = Status::FailedPrecondition(
+          "method '" + request.method + "' requires labeled data for task '" +
+          TaskName(params.task) + "'");
+      return report;
+    }
+    if (schema->RequiresTargets(params.task) &&
+        (!request.train->HasTargets() || !request.test->HasTargets())) {
+      report.status = Status::FailedPrecondition(
+          "method '" + request.method + "' requires regression targets for task '" +
+          TaskName(params.task) + "'");
+      return report;
+    }
+    // Joint params-x-data preconditions (e.g. weighted-fast's count-table
+    // budget): still a structured response, never a fatal core check.
+    if (schema->precondition) {
+      if (Status status = schema->precondition(params, request.train->Size());
+          !status.ok()) {
+        report.status = std::move(status);
+        return report;
+      }
     }
   }
 
   report.train_size = request.train->Size();
   report.num_queries = request.test->Size();
 
-  const uint64_t train_fp = request.train_fingerprint != 0
-                                ? request.train_fingerprint
-                                : DatasetFingerprint(*request.train);
-  const uint64_t test_fp = request.test_fingerprint != 0
-                               ? request.test_fingerprint
-                               : DatasetFingerprint(*request.test);
-  // Method-scoped identity: only params the schema declares can perturb
-  // the key, so e.g. an "exact" entry survives a seed change. The
-  // whole-struct shim remains for before/after measurement.
-  const uint64_t params_fp = options_.method_scoped_fingerprints
-                                 ? schema->ParamsFingerprint(params)
-                                 : params.Fingerprint();
+  uint64_t train_fp, test_fp, params_fp;
+  {
+    ScopedPhase span(trace, Phase::kFingerprint);
+    train_fp = request.train_fingerprint != 0 ? request.train_fingerprint
+                                              : DatasetFingerprint(*request.train);
+    test_fp = request.test_fingerprint != 0 ? request.test_fingerprint
+                                            : DatasetFingerprint(*request.test);
+    // Method-scoped identity: only params the schema declares can perturb
+    // the key, so e.g. an "exact" entry survives a seed change. The
+    // whole-struct shim remains for before/after measurement.
+    params_fp = options_.method_scoped_fingerprints
+                    ? schema->ParamsFingerprint(params)
+                    : params.Fingerprint();
+  }
 
   // --- Result cache. ----------------------------------------------------
   ResultCacheKey cache_key{train_fp, test_fp, request.method, params_fp};
   if (request.use_cache) {
-    if (auto cached = cache_.Get(cache_key)) {
+    std::shared_ptr<const std::vector<double>> cached;
+    {
+      ScopedPhase span(trace, Phase::kCacheProbe);
+      cached = cache_.Get(cache_key);
+    }
+    if (cached != nullptr) {
       report.values = *cached;
-      report.summary = Summarize(report.values);
+      {
+        ScopedPhase span(trace, Phase::kFinalize);
+        report.summary = Summarize(report.values);
+      }
       report.cache_hit = true;
       report.cache = cache_.Counters();
-      report.seconds = timer.Seconds();
       return report;
     }
   }
 
   // --- Fit (or reuse) and run. ------------------------------------------
   FittedKey fitted_key{train_fp, request.method, params_fp};
-  std::shared_ptr<Valuator> valuator =
-      GetOrFit(fitted_key, request, params, &report.fit_reused);
+  std::shared_ptr<Valuator> valuator;
+  {
+    // The fit split is measured unconditionally (two clock reads on an
+    // uncached request) so FormatStatusLine can always tell a cold fit
+    // from a fast reuse; the trace span reuses the same interval.
+    WallTimer fit_timer;
+    valuator = GetOrFit(fitted_key, request, params, &report.fit_reused);
+    report.fit_seconds = fit_timer.Seconds();
+    if (trace != nullptr) {
+      trace->Add(Phase::kFit,
+                 static_cast<uint64_t>(report.fit_seconds * 1e9));
+    }
+  }
   if (valuator == nullptr) {
     report.status = Status::Error(
         StatusCode::kInternal,
         "method '" + request.method + "' failed to construct or fit");
     return report;
   }
-  report.values = Run(*valuator, *request.test, request.parallel);
-  report.summary = Summarize(report.values);
+  {
+    ScopedPhase span(trace, Phase::kValue);
+    report.values = Run(*valuator, *request.test, request.parallel, trace);
+  }
+  {
+    ScopedPhase span(trace, Phase::kFinalize);
+    report.summary = Summarize(report.values);
+  }
 
   if (request.use_cache) {
+    ScopedPhase span(trace, Phase::kCacheStore);
     cache_.Put(cache_key,
                std::make_shared<const std::vector<double>>(report.values));
   }
   report.cache = cache_.Counters();
-  report.seconds = timer.Seconds();
   return report;
+}
+
+ValuationEngine::MethodMetrics& ValuationEngine::MetricsFor(
+    const std::string& method) {
+  std::lock_guard<std::mutex> lock(method_metrics_mutex_);
+  auto it = method_metrics_.find(method);
+  if (it == method_metrics_.end()) {
+    MethodMetrics handles;
+    handles.requests = options_.metrics->GetCounter(
+        "knnshap_requests_total{method=\"" + method + "\"}");
+    handles.errors = options_.metrics->GetCounter(
+        "knnshap_request_errors_total{method=\"" + method + "\"}");
+    handles.seconds = options_.metrics->GetHistogram(
+        "knnshap_request_seconds{method=\"" + method + "\"}");
+    it = method_metrics_.emplace(method, handles).first;
+  }
+  return it->second;
+}
+
+void ValuationEngine::RecordMetrics(const ValuationReport& report,
+                                    const RequestTrace& trace) {
+  MethodMetrics& handles = MetricsFor(report.method);
+  handles.requests->Add(1);
+  if (!report.ok()) handles.errors->Add(1);
+  handles.seconds->Observe(report.seconds);
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    const uint64_t nanos = trace.Nanos(static_cast<Phase>(i));
+    if (nanos != 0) phase_nanos_[i]->Add(nanos);
+  }
 }
 
 std::shared_ptr<Valuator> ValuationEngine::GetOrFit(const FittedKey& key,
@@ -225,8 +324,14 @@ std::shared_ptr<Valuator> ValuationEngine::GetOrFit(const FittedKey& key,
 }
 
 std::vector<double> ValuationEngine::Run(const Valuator& valuator,
-                                         const Dataset& test, bool parallel) const {
+                                         const Dataset& test, bool parallel,
+                                         RequestTrace* trace) const {
+  // Deep per-query spans (distance/sort/retrieve/recursion, recorded by
+  // the shared kernels through the thread-local active trace) are opt-in:
+  // a metrics-only trace never reaches worker threads.
+  RequestTrace* deep = (trace != nullptr && trace->deep) ? trace : nullptr;
   if (!valuator.SupportsPerQuery()) {
+    TraceActivation activation(deep);
     return valuator.ValueBatch(test);
   }
   // Shard queries across the pool (ParallelFor hands out contiguous
@@ -242,6 +347,7 @@ std::vector<double> ValuationEngine::Run(const Valuator& valuator,
   for (size_t start = 0; start < test.Size(); start += chunk) {
     const size_t count = std::min(chunk, test.Size() - start);
     auto run_one = [&](size_t j) {
+      TraceActivation activation(deep);
       per_query[j] = valuator.ValueOne(test, start + j);
     };
     if (parallel && count > 1) {
@@ -249,18 +355,31 @@ std::vector<double> ValuationEngine::Run(const Valuator& valuator,
     } else {
       for (size_t j = 0; j < count; ++j) run_one(j);
     }
+    ScopedPhase span(trace, Phase::kMerge);
     for (size_t j = 0; j < count; ++j) {
       valuator.MergeInto(&sv, per_query[j]);
       per_query[j] = {};  // release before the next chunk computes
     }
   }
-  valuator.Finalize(&sv, test.Size());
+  {
+    ScopedPhase span(trace, Phase::kFinalize);
+    valuator.Finalize(&sv, test.Size());
+  }
   return sv;
 }
 
 size_t ValuationEngine::FittedCount() const {
   std::lock_guard<std::mutex> lock(fitted_mutex_);
   return fitted_.size();
+}
+
+std::unordered_map<uint64_t, size_t> ValuationEngine::FittedByTrain() const {
+  std::lock_guard<std::mutex> lock(fitted_mutex_);
+  std::unordered_map<uint64_t, size_t> counts;
+  for (const auto& [key, valuator] : fitted_) {
+    ++counts[key.train_fingerprint];
+  }
+  return counts;
 }
 
 uint64_t ValuationEngine::FitReuses() const {

@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -35,6 +36,8 @@
 #include "engine/result_cache.h"
 #include "engine/valuator.h"
 #include "market/valuation_report.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace knnshap {
 
@@ -48,6 +51,12 @@ struct ValuationRequest {
   std::shared_ptr<const Dataset> test;
   bool use_cache = true;   ///< Consult/populate the result cache.
   bool parallel = true;    ///< Shard queries across the shared pool.
+  /// Record deep per-query phase spans (distance / sort / retrieve /
+  /// recursion) in addition to the engine-level phases. Off by default:
+  /// deep spans cost a handful of clock reads per query. The report
+  /// carries a trace whenever this is set OR the engine has a
+  /// MetricsRegistry wired (engine-level phases only in that case).
+  bool trace = false;
   /// Precomputed content fingerprints (0 = unset: the engine hashes the
   /// dataset itself). The serve layer's CorpusStore maintains fingerprints
   /// incrementally across mutations and passes them here, so a request
@@ -73,6 +82,13 @@ struct EngineOptions {
   size_t max_resident_queries = 256;
   /// Registry to resolve methods against (default: the global one).
   ValuatorRegistry* registry = nullptr;
+  /// Metrics sink (not owned; may outlive-engine scoped by the caller).
+  /// When set, every request updates per-method request counters +
+  /// latency histograms and per-phase time totals; when null the engine
+  /// reads no clocks beyond the two it always paid (request wall time,
+  /// fit split) — the disabled-by-default contract the warm-replay bench
+  /// gates at <1%.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Serves batched valuation requests over any registered method.
@@ -98,6 +114,17 @@ class ValuationEngine {
 
   /// Fitted valuators currently resident.
   size_t FittedCount() const;
+
+  /// Resident fitted-valuator count per training-corpus fingerprint (the
+  /// serve `stats` op joins this against the corpus store for per-corpus
+  /// counts).
+  std::unordered_map<uint64_t, size_t> FittedByTrain() const;
+
+  /// Result-cache sizing facts for `stats` (entries, capacity, payload
+  /// bytes).
+  size_t CacheEntries() const { return cache_.Size(); }
+  size_t CacheCapacity() const { return cache_.Capacity(); }
+  size_t CacheBytes() const { return cache_.BytesUsed(); }
 
   /// Times a fitted valuator was reused instead of refitted.
   uint64_t FitReuses() const;
@@ -170,13 +197,36 @@ class ValuationEngine {
                                      bool* reused);
 
   /// Runs the per-query sharded path (or the batch path) on a fitted
-  /// valuator.
+  /// valuator. `trace` (nullable) receives merge/finalize spans; deep
+  /// per-query phases are recorded only when trace->deep.
   std::vector<double> Run(const Valuator& valuator, const Dataset& test,
-                          bool parallel) const;
+                          bool parallel, RequestTrace* trace) const;
+
+  /// Value() minus trace/metrics bookkeeping; all spans recorded here.
+  ValuationReport ValueImpl(const ValuationRequest& request,
+                            RequestTrace* trace);
+
+  /// Cached per-method metric handles (pointer-stable; resolved once per
+  /// method so the hot path pays one small-map lookup, not three registry
+  /// mutex trips).
+  struct MethodMetrics {
+    Counter* requests = nullptr;
+    Counter* errors = nullptr;
+    Histogram* seconds = nullptr;
+  };
+  MethodMetrics& MetricsFor(const std::string& method);
+  void RecordMetrics(const ValuationReport& report, const RequestTrace& trace);
 
   EngineOptions options_;
   ValuatorRegistry* registry_;
   ResultCache cache_;
+
+  /// Per-phase time-total counters, resolved at construction (null slots
+  /// when no registry). Serve-layer phases (parse/serialize/queue_wait)
+  /// are credited by the pipeline, not here.
+  Counter* phase_nanos_[kNumPhases] = {};
+  mutable std::mutex method_metrics_mutex_;
+  std::map<std::string, MethodMetrics> method_metrics_;
 
   mutable std::mutex fitted_mutex_;
   FittedList fitted_;  // MRU-first

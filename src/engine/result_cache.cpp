@@ -40,13 +40,17 @@ void ResultCache::Put(const ResultCacheKey& key,
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {
+    bytes_ -= it->second->second->size() * sizeof(double);
+    bytes_ += values->size() * sizeof(double);
     it->second->second = std::move(values);
     entries_.splice(entries_.begin(), entries_, it->second);
     return;
   }
+  bytes_ += values->size() * sizeof(double);
   entries_.emplace_front(key, std::move(values));
   index_[key] = entries_.begin();
   while (entries_.size() > capacity_) {
+    bytes_ -= entries_.back().second->size() * sizeof(double);
     index_.erase(entries_.back().first);
     entries_.pop_back();
     ++counters_.evictions;
@@ -57,6 +61,7 @@ void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   index_.clear();
+  bytes_ = 0;
 }
 
 size_t ResultCache::EraseFingerprint(uint64_t fingerprint) {
@@ -65,6 +70,7 @@ size_t ResultCache::EraseFingerprint(uint64_t fingerprint) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->first.train_fingerprint == fingerprint ||
         it->first.test_fingerprint == fingerprint) {
+      bytes_ -= it->second->size() * sizeof(double);
       index_.erase(it->first);
       it = entries_.erase(it);
       ++erased;
@@ -180,6 +186,11 @@ StatusOr<size_t> ResultCache::LoadFrom(const std::string& path) {
 size_t ResultCache::Size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+size_t ResultCache::BytesUsed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
 }
 
 CacheCounters ResultCache::Counters() const {

@@ -74,6 +74,11 @@ class ResultCache {
   size_t Size() const;
   size_t Capacity() const { return capacity_; }
 
+  /// Resident value-vector payload in bytes (entries × train_size × 8;
+  /// key/bookkeeping overhead excluded). Maintained incrementally — this
+  /// is what `stats` reports so operators can size --cache for a corpus.
+  size_t BytesUsed() const;
+
   /// Lifetime hit/miss/eviction counts.
   CacheCounters Counters() const;
 
@@ -90,6 +95,7 @@ class ResultCache {
   LruList entries_;
   std::unordered_map<ResultCacheKey, LruList::iterator, KeyHash> index_;
   CacheCounters counters_;
+  size_t bytes_ = 0;  // payload bytes of resident entries
 };
 
 }  // namespace knnshap

@@ -11,6 +11,7 @@
 #include "core/lsh_knn_shapley.h"
 #include "core/weighted_knn_shapley.h"
 #include "engine/registry.h"
+#include "obs/trace.h"
 #include "util/common.h"
 
 namespace knnshap {
@@ -81,8 +82,12 @@ void TruncatedValuator::OnFit() {
 
 std::vector<double> TruncatedValuator::ValueOne(const Dataset& test,
                                                 size_t row) const {
-  std::vector<Neighbor> neighbors =
-      kd_tree_->Query(test.features.Row(row), static_cast<size_t>(k_star_));
+  std::vector<Neighbor> neighbors;
+  {
+    ScopedPhase span(Phase::kRetrieve);
+    neighbors =
+        kd_tree_->Query(test.features.Row(row), static_cast<size_t>(k_star_));
+  }
   std::vector<double> by_rank = TruncatedShapleyFromNeighbors(
       Train(), neighbors, TestLabel(test, row), params_.k, k_star_);
   return ScatterByRank(Train().Size(), neighbors, by_rank);
@@ -113,8 +118,11 @@ std::vector<double> LshValuator::ValueOne(const Dataset& test, size_t row) const
   // The corpus copy was rescaled; queries arrive in the original space.
   std::vector<float> scaled(query.begin(), query.end());
   for (auto& x : scaled) x = static_cast<float>(x * scale_);
-  std::vector<Neighbor> neighbors =
-      index_->Query(scaled, static_cast<size_t>(k_star_));
+  std::vector<Neighbor> neighbors;
+  {
+    ScopedPhase span(Phase::kRetrieve);
+    neighbors = index_->Query(scaled, static_cast<size_t>(k_star_));
+  }
   std::vector<double> by_rank = TruncatedShapleyFromNeighbors(
       corpus_, neighbors, TestLabel(test, row), params_.k, k_star_);
   return ScatterByRank(corpus_.Size(), neighbors, by_rank);

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/common.h"
 
 namespace knnshap {
@@ -22,8 +23,15 @@ std::vector<double>& DistanceScratch(size_t rows) {
 
 }  // namespace
 
+// Distance/sort spans are recorded against the thread-local active trace
+// (null — and free — except inside an explicitly traced request). Only the
+// per-query entry points are instrumented; TopKAmongRows is called an
+// exponential number of times by the enumeration baselines and must stay
+// span-free.
+
 std::vector<double> AllDistances(const Matrix& train, std::span<const float> query,
                                  Metric metric, const CorpusNorms* norms) {
+  ScopedPhase span(Phase::kDistance);
   std::vector<double> dists(train.Rows());
   ComputeDistances(train, query, metric, norms, dists);
   return dists;
@@ -32,7 +40,11 @@ std::vector<double> AllDistances(const Matrix& train, std::span<const float> que
 std::vector<int> ArgsortByDistance(const Matrix& train, std::span<const float> query,
                                    Metric metric, const CorpusNorms* norms) {
   std::vector<double>& dists = DistanceScratch(train.Rows());
-  ComputeDistances(train, query, metric, norms, dists);
+  {
+    ScopedPhase span(Phase::kDistance);
+    ComputeDistances(train, query, metric, norms, dists);
+  }
+  ScopedPhase span(Phase::kSort);
   std::vector<int> order;
   ArgsortDistances(dists, &order);
   return order;
@@ -43,7 +55,11 @@ std::vector<Neighbor> TopKNeighbors(const Matrix& train, std::span<const float> 
   k = std::min(k, train.Rows());
   if (k == 0) return {};
   std::vector<double>& dists = DistanceScratch(train.Rows());
-  ComputeDistances(train, query, metric, norms, dists);
+  {
+    ScopedPhase span(Phase::kDistance);
+    ComputeDistances(train, query, metric, norms, dists);
+  }
+  ScopedPhase span(Phase::kSort);
   return SelectTopK(dists, {}, k);
 }
 
@@ -76,10 +92,18 @@ void ForEachBatchedTopK(
       std::copy(src.begin(), src.end(), block.MutableRow(j - q0).begin());
     }
     buffer.resize((q1 - q0) * rows);
-    ComputeDistanceMatrix(train, block, metric, norms, buffer);
+    {
+      ScopedPhase span(Phase::kDistance);
+      ComputeDistanceMatrix(train, block, metric, norms, buffer);
+    }
     for (size_t j = q0; j < q1; ++j) {
-      fn(j, SelectTopK(std::span<const double>(buffer.data() + (j - q0) * rows, rows),
-                       {}, k));
+      std::vector<Neighbor> top;
+      {
+        ScopedPhase span(Phase::kSort);
+        top = SelectTopK(
+            std::span<const double>(buffer.data() + (j - q0) * rows, rows), {}, k);
+      }
+      fn(j, top);
     }
   }
 }

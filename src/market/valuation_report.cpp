@@ -86,17 +86,29 @@ std::string FormatRanking(const std::vector<RankedValue>& ranking,
 }
 
 std::string ValuationReport::FormatStatusLine() const {
-  char line[256];
+  char line[320];
   if (!ok()) {
     std::snprintf(line, sizeof(line), "error: %s", status.ToString().c_str());
     return line;
   }
+  // The fit-vs-value split is what tells a 6-second cold fit from a cache
+  // hit at a glance; queue wait flags pipeline backpressure.
+  char breakdown[96] = "";
+  if (cache_hit) {
+    std::snprintf(breakdown, sizeof(breakdown), " [cache hit]");
+  } else {
+    std::snprintf(breakdown, sizeof(breakdown), " [fit %.3fs + value %.3fs]",
+                  fit_seconds, std::max(0.0, seconds - fit_seconds));
+  }
+  char queue[48] = "";
+  if (queue_seconds > 0.0) {
+    std::snprintf(queue, sizeof(queue), " [queue %.3fs]", queue_seconds);
+  }
   std::snprintf(line, sizeof(line),
-                "%s: %zu points x %zu queries in %.3fs%s%s (cache %llu hit / "
+                "%s: %zu points x %zu queries in %.3fs%s%s%s (cache %llu hit / "
                 "%llu miss)",
-                method.c_str(), train_size, num_queries, seconds,
-                cache_hit ? " [cache hit]" : "",
-                fit_reused ? " [fit reused]" : "",
+                method.c_str(), train_size, num_queries, seconds, breakdown,
+                queue, fit_reused ? " [fit reused]" : "",
                 static_cast<unsigned long long>(cache.hits),
                 static_cast<unsigned long long>(cache.misses));
   return line;

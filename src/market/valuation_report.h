@@ -10,12 +10,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "util/status.h"
 
 namespace knnshap {
+
+class RequestTrace;  // obs/trace.h; reports may carry a phase trace.
 
 /// A (point id, value) pair in a ranking.
 struct RankedValue {
@@ -68,9 +71,21 @@ struct ValuationReport {
   size_t train_size = 0;        ///< Corpus rows valued.
   size_t num_queries = 0;       ///< Test rows in the request batch.
   double seconds = 0.0;         ///< Wall time spent serving the request.
+  /// Of `seconds`, the time spent inside fit-or-reuse (always measured —
+  /// two clock reads per uncached request; 0 on cache hits). A reused
+  /// valuator reads ~0; a waiter on someone else's in-flight fit reads the
+  /// wait. This is what lets a log line tell a 6-second fit from a hit.
+  double fit_seconds = 0.0;
+  /// Serve-layer dispatch-to-run wait (0 outside the pipelined loop;
+  /// filled by the serve layer, not the engine — NOT part of `seconds`).
+  double queue_seconds = 0.0;
   bool cache_hit = false;       ///< Served from the result cache.
   bool fit_reused = false;      ///< Reused an already-fitted valuator.
   CacheCounters cache;          ///< Engine-wide counters at response time.
+  /// Per-phase spans; set when the engine has a MetricsRegistry wired or
+  /// the request asked for tracing, null otherwise. Shared because worker
+  /// threads write it through atomics; treat as read-only once returned.
+  std::shared_ptr<RequestTrace> trace;
   /// Request outcome: OK, or the structured failure (machine-readable
   /// code + message + offending field for parameter errors). Replaces the
   /// old `bool ok + error string` convention at the engine boundary.

@@ -1,0 +1,316 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "util/common.h"
+#include "util/json.h"
+
+namespace knnshap {
+
+namespace internal {
+
+size_t ThisThreadShard() {
+  static std::atomic<uint32_t> next{0};
+  static thread_local uint32_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kMetricShards;
+  return shard;
+}
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* target, double value) {
+  double current = target->load(std::memory_order_relaxed);
+  while (current < value &&
+         !target->compare_exchange_weak(current, value,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the target observation, 1-based; q=0 maps to rank 1.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(count) + 0.5));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (cumulative + counts[i] >= rank) {
+      // Interpolate inside bucket i: lower bound is the previous finite
+      // bound (0 below the first), upper bound is bounds[i] (or `max` for
+      // the overflow bucket, whose width is otherwise unbounded).
+      const double lower = (i == 0) ? 0.0 : bounds[i - 1];
+      const double upper = (i < bounds.size()) ? bounds[i] : max;
+      const double fraction = static_cast<double>(rank - cumulative) /
+                              static_cast<double>(counts[i]);
+      const double estimate = lower + (upper - lower) * fraction;
+      // Clamp to the exact observed max so small-sample readouts are
+      // exact: a single-sample histogram reports the sample itself.
+      return std::min(estimate, max);
+    }
+    cumulative += counts[i];
+  }
+  return max;  // Unreachable when counts are consistent with `count`.
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  KNNSHAP_CHECK(!bounds_.empty(), "Histogram: need at least one bucket bound");
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    KNNSHAP_CHECK(bounds_[i - 1] < bounds_[i],
+                  "Histogram: bounds must be strictly ascending");
+  }
+  shards_ = std::vector<Shard>(kMetricShards);
+  const size_t buckets = bounds_.size() + 1;
+  for (Shard& shard : shards_) {
+    shard.buckets = std::make_unique<std::atomic<uint64_t>[]>(buckets);
+    for (size_t i = 0; i < buckets; ++i) shard.buckets[i].store(0);
+  }
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound satisfies value <= bound (`le`
+  // semantics); past the last bound → overflow bucket.
+  const size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  Shard& shard = shards_[internal::ThisThreadShard()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAddDouble(&shard.sum, value);
+  internal::AtomicMaxDouble(&shard.max, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(bounds_.size() + 1, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < snap.counts.size(); ++i) {
+      snap.counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    snap.max = std::max(snap.max, shard.max.load(std::memory_order_relaxed));
+  }
+  return snap;
+}
+
+const std::vector<double>& LatencyBucketsSeconds() {
+  static const std::vector<double> kBuckets = [] {
+    std::vector<double> bounds;
+    for (double decade = 1e-6; decade < 20.0; decade *= 10.0) {
+      bounds.push_back(decade);
+      bounds.push_back(decade * 2.5);
+      bounds.push_back(decade * 5.0);
+    }
+    return bounds;  // 1µs, 2.5µs, 5µs, ... 10s, 25s, 50s.
+  }();
+  return kBuckets;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::vector<double>* bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(name, std::make_unique<Histogram>(
+                                bounds ? *bounds : LatencyBucketsSeconds()))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsRegistry::RegistrySnapshot MetricsRegistry::Snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.push_back({name, histogram->Snapshot()});
+  }
+  return snap;  // std::map iteration: already sorted by name.
+}
+
+namespace {
+
+// Splits `knnshap_foo_total{method="exact"}` into base name and the inner
+// label list (`method="exact"`, no braces); labels empty when absent.
+void SplitLabels(const std::string& name, std::string* base,
+                 std::string* labels) {
+  const size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  const size_t close = name.rfind('}');
+  *labels = name.substr(brace + 1, close == std::string::npos
+                                       ? std::string::npos
+                                       : close - brace - 1);
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+// `base{labels,extra}` with correct comma/brace placement.
+std::string WithLabels(const std::string& base, const std::string& labels,
+                       const std::string& extra = "") {
+  std::string joined = labels;
+  if (!extra.empty()) {
+    if (!joined.empty()) joined += ",";
+    joined += extra;
+  }
+  if (joined.empty()) return base;
+  return base + "{" + joined + "}";
+}
+
+void EmitTypeOnce(std::string* out, std::string* last_base,
+                  const std::string& base, const char* type) {
+  if (*last_base == base) return;
+  *last_base = base;
+  out->append("# TYPE " + base + " " + type + "\n");
+}
+
+}  // namespace
+
+std::string MetricsRegistry::PrometheusText() const {
+  const RegistrySnapshot snap = Snapshot();
+  std::string out;
+  std::string base, labels, last_base;
+  char line[256];
+
+  for (const auto& entry : snap.counters) {
+    SplitLabels(entry.name, &base, &labels);
+    EmitTypeOnce(&out, &last_base, base, "counter");
+    std::snprintf(line, sizeof(line), " %" PRIu64 "\n", entry.value);
+    out += WithLabels(base, labels) + line;
+  }
+  last_base.clear();
+  for (const auto& entry : snap.gauges) {
+    SplitLabels(entry.name, &base, &labels);
+    EmitTypeOnce(&out, &last_base, base, "gauge");
+    std::snprintf(line, sizeof(line), " %lld\n",
+                  static_cast<long long>(entry.value));
+    out += WithLabels(base, labels) + line;
+  }
+  last_base.clear();
+  for (const auto& entry : snap.histograms) {
+    SplitLabels(entry.name, &base, &labels);
+    EmitTypeOnce(&out, &last_base, base, "histogram");
+    const HistogramSnapshot& h = entry.snapshot;
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.counts[i];
+      std::snprintf(line, sizeof(line), " %" PRIu64 "\n", cumulative);
+      out += WithLabels(base + "_bucket", labels,
+                        "le=\"" + FormatDouble(h.bounds[i]) + "\"") +
+             line;
+    }
+    std::snprintf(line, sizeof(line), " %" PRIu64 "\n", h.count);
+    out += WithLabels(base + "_bucket", labels, "le=\"+Inf\"") + line;
+    out += WithLabels(base + "_sum", labels) + " " + FormatDouble(h.sum) + "\n";
+    std::snprintf(line, sizeof(line), " %" PRIu64 "\n", h.count);
+    out += WithLabels(base + "_count", labels) + line;
+  }
+  return out;
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  const RegistrySnapshot snap = Snapshot();
+  JsonValue out = JsonValue::MakeObject();
+
+  JsonValue counters = JsonValue::MakeObject();
+  for (const auto& entry : snap.counters) {
+    counters.Set(entry.name, JsonValue(static_cast<double>(entry.value)));
+  }
+  out.Set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::MakeObject();
+  for (const auto& entry : snap.gauges) {
+    gauges.Set(entry.name, JsonValue(static_cast<double>(entry.value)));
+  }
+  out.Set("gauges", std::move(gauges));
+
+  JsonValue histograms = JsonValue::MakeObject();
+  for (const auto& entry : snap.histograms) {
+    const HistogramSnapshot& h = entry.snapshot;
+    JsonValue hist = JsonValue::MakeObject();
+    hist.Set("count", JsonValue(static_cast<double>(h.count)));
+    hist.Set("sum", JsonValue(h.sum));
+    hist.Set("max", JsonValue(h.max));
+    hist.Set("p50", JsonValue(h.Quantile(0.50)));
+    hist.Set("p95", JsonValue(h.Quantile(0.95)));
+    hist.Set("p99", JsonValue(h.Quantile(0.99)));
+    JsonValue buckets = JsonValue::MakeArray();
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      JsonValue bucket = JsonValue::MakeObject();
+      if (i < h.bounds.size()) {
+        bucket.Set("le", JsonValue(h.bounds[i]));
+      } else {
+        bucket.Set("le", JsonValue("+Inf"));
+      }
+      bucket.Set("count", JsonValue(static_cast<double>(h.counts[i])));
+      buckets.Append(std::move(bucket));
+    }
+    hist.Set("buckets", std::move(buckets));
+    histograms.Set(entry.name, std::move(hist));
+  }
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace knnshap

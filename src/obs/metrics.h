@@ -1,0 +1,201 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// MetricsRegistry — lock-cheap named counters, gauges and fixed-bucket
+// histograms for the serving stack. Design goals, in order:
+//
+//  * Hot-path writes are one relaxed atomic add. Counters and histograms
+//    shard their state by thread (kMetricShards cache-line-padded slots,
+//    round-robin assigned on first use per thread), so concurrent request
+//    threads never contend on a line. Reads (Value / Snapshot) sum the
+//    shards — they are O(shards) and meant for scrape time, not per
+//    request.
+//  * Instruments are append-only and pointer-stable: Get* registers on
+//    first use (one mutex acquisition) and returns a pointer that stays
+//    valid for the registry's lifetime, so callers cache it and never
+//    touch the registry mutex again.
+//  * Exposition is built in: PrometheusText() renders the whole registry
+//    in Prometheus text format (histograms as cumulative `_bucket{le=}`
+//    series plus `_sum`/`_count`), ToJson() as a JSON document with
+//    p50/p95/p99/max readouts per histogram.
+//
+// Naming convention: an instrument name may carry Prometheus-style labels
+// inline — `knnshap_requests_total{method="exact"}`. The registry treats
+// the whole string as the key; exposition splits base name and labels.
+//
+// Histogram bucket contract: a value v lands in the first bucket whose
+// upper bound satisfies v <= bound (upper bound INCLUSIVE, lower bound
+// exclusive — Prometheus `le` semantics); values above the last bound land
+// in the implicit +Inf overflow bucket. Percentiles interpolate linearly
+// inside a bucket and are clamped to the exact observed max, so an empty
+// histogram reads 0 and a single-sample histogram reads the sample.
+
+#ifndef KNNSHAP_OBS_METRICS_H_
+#define KNNSHAP_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace knnshap {
+
+class JsonValue;
+
+/// Number of per-thread shards behind each counter/histogram. More threads
+/// than shards still work (two threads may share a slot); 16 covers the
+/// request pools this project runs.
+inline constexpr size_t kMetricShards = 16;
+
+namespace internal {
+/// This thread's shard index (round-robin assigned on first use).
+size_t ThisThreadShard();
+/// CAS-loop add for pre-C++20-hardware atomic doubles (relaxed).
+void AtomicAddDouble(std::atomic<double>* target, double delta);
+/// CAS-loop max (relaxed).
+void AtomicMaxDouble(std::atomic<double>* target, double value);
+}  // namespace internal
+
+/// Monotonic counter. Add() is one relaxed fetch_add on the caller's
+/// thread shard.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(uint64_t n = 1) {
+    shards_[internal::ThisThreadShard()].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards (scrape-time read; not linearizable with writers, as
+  /// is standard for statistical counters).
+  uint64_t Value() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  Shard shards_[kMetricShards];
+};
+
+/// Point-in-time value (queue depth, in-flight requests). Set/Add are a
+/// single atomic — gauges are not hot-path instruments here.
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Merged, immutable view of a histogram at one scrape.
+struct HistogramSnapshot {
+  std::vector<double> bounds;    ///< Finite upper bounds, ascending.
+  std::vector<uint64_t> counts;  ///< Per-bucket; counts.size() == bounds.size()+1
+                                 ///< (last = +Inf overflow bucket).
+  uint64_t count = 0;            ///< Total observations.
+  double sum = 0.0;              ///< Sum of observed values.
+  double max = 0.0;              ///< Largest observed value (0 when empty).
+
+  /// Quantile estimate for q in [0, 1]: linear interpolation inside the
+  /// owning bucket, clamped to `max`. Returns 0 on an empty histogram —
+  /// never divides by zero. A single-sample histogram returns the sample.
+  double Quantile(double q) const;
+};
+
+/// Fixed-bucket histogram with per-thread shards; Observe() is one bucket
+/// fetch_add plus two relaxed CAS updates (sum, max) on the caller's shard.
+class Histogram {
+ public:
+  /// `bounds` are the finite upper bucket bounds, strictly ascending; an
+  /// implicit +Inf overflow bucket is always appended.
+  explicit Histogram(std::vector<double> bounds);
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Observe(double value);
+  HistogramSnapshot Snapshot() const;
+  const std::vector<double>& Bounds() const { return bounds_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::unique_ptr<std::atomic<uint64_t>[]> buckets;
+    std::atomic<double> sum{0.0};
+    std::atomic<double> max{0.0};
+    std::atomic<uint64_t> count{0};
+  };
+
+  std::vector<double> bounds_;
+  std::vector<Shard> shards_;
+};
+
+/// Default latency buckets, in seconds: 1µs .. 10s on a 1–2.5–5 decade
+/// grid, the range a valuation request can realistically span.
+const std::vector<double>& LatencyBucketsSeconds();
+
+/// The registry: named instruments, created on first Get*, pointer-stable.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// Registers with the given bounds on first use; later calls return the
+  /// existing instrument (bounds argument ignored). Default: latency grid.
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>* bounds = nullptr);
+
+  /// Scrape-time views, sorted by instrument name.
+  struct CounterEntry {
+    std::string name;
+    uint64_t value;
+  };
+  struct GaugeEntry {
+    std::string name;
+    int64_t value;
+  };
+  struct HistogramEntry {
+    std::string name;
+    HistogramSnapshot snapshot;
+  };
+  struct RegistrySnapshot {
+    std::vector<CounterEntry> counters;
+    std::vector<GaugeEntry> gauges;
+    std::vector<HistogramEntry> histograms;
+  };
+  RegistrySnapshot Snapshot() const;
+
+  /// Prometheus text exposition of the whole registry (the serve `metrics`
+  /// op returns this).
+  std::string PrometheusText() const;
+
+  /// JSON document: {"counters":{name:value},"gauges":{...},
+  /// "histograms":{name:{count,sum,max,p50,p95,p99,buckets:[{le,count}]}}}.
+  /// `knnshap_serve --metrics-file` dumps this at exit.
+  JsonValue ToJson() const;
+
+  /// Process-wide default registry (tools that want one without plumbing).
+  static MetricsRegistry& Global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_OBS_METRICS_H_

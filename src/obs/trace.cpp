@@ -1,0 +1,58 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "obs/trace.h"
+
+namespace knnshap {
+
+namespace {
+thread_local RequestTrace* g_active_trace = nullptr;
+}  // namespace
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kParse:
+      return "parse";
+    case Phase::kValidate:
+      return "validate";
+    case Phase::kFingerprint:
+      return "fingerprint";
+    case Phase::kCacheProbe:
+      return "cache_probe";
+    case Phase::kFit:
+      return "fit";
+    case Phase::kValue:
+      return "value";
+    case Phase::kDistance:
+      return "distance";
+    case Phase::kSort:
+      return "sort";
+    case Phase::kRetrieve:
+      return "retrieve";
+    case Phase::kRecursion:
+      return "recursion";
+    case Phase::kMerge:
+      return "merge";
+    case Phase::kFinalize:
+      return "finalize";
+    case Phase::kCacheStore:
+      return "cache_store";
+    case Phase::kSerialize:
+      return "serialize";
+    case Phase::kQueueWait:
+      return "queue_wait";
+    case Phase::kNumPhases:
+      break;
+  }
+  return "unknown";
+}
+
+RequestTrace* ActiveTrace() { return g_active_trace; }
+
+TraceActivation::TraceActivation(RequestTrace* trace)
+    : previous_(g_active_trace) {
+  g_active_trace = trace;
+}
+
+TraceActivation::~TraceActivation() { g_active_trace = previous_; }
+
+}  // namespace knnshap

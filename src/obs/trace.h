@@ -1,0 +1,160 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// RequestTrace — per-request phase spans for the valuation engine.
+//
+// A trace is a fixed array of (nanos, count) pairs, one slot per Phase.
+// Spans are recorded with ScopedPhase (RAII around a steady_clock pair)
+// either against an explicit trace pointer (engine-level phases) or
+// against the thread-local *active* trace (deep phases recorded from
+// inside shared kernels — distance, sort, recursion — which know nothing
+// about requests). The engine activates the trace on each worker thread
+// for the duration of a query batch via TraceActivation; slots are
+// atomics so workers on different threads can add to the same trace
+// concurrently.
+//
+// Cost model:
+//  * trace pointer null → ScopedPhase is two branch-only constructions;
+//    no clock is read. This is the disabled-by-default path (<1% on the
+//    warm-replay bench, gated in bench_serve).
+//  * metrics-only requests (registry wired, no "trace":true) record the
+//    engine-level phases — a dozen clock pairs per request — but skip the
+//    deep per-query phases (`deep` stays false, the thread-local active
+//    trace is never set).
+//  * traced requests ("trace":true, --trace-all, or a slow-log threshold)
+//    record everything, including per-query distance/sort/recursion spans.
+//
+// Phase names are a STABLE CONTRACT (serve trace output, slow log, and
+// the knnshap_phase_nanos_total metric label all use them); see
+// src/serve/README.md before renaming anything.
+
+#ifndef KNNSHAP_OBS_TRACE_H_
+#define KNNSHAP_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace knnshap {
+
+/// Request phases, in rough execution order. Deep phases (kDistance …
+/// kRecursion) nest inside kValue; kQueueWait and kParse/kSerialize are
+/// recorded by the serve layer, the rest by the engine.
+enum class Phase : int {
+  kParse = 0,    ///< JSONL parse + request decoding (serve layer).
+  kValidate,     ///< Schema lookup, param canonicalization, preconditions.
+  kFingerprint,  ///< Corpus fingerprint computation (0 reuses when cached).
+  kCacheProbe,   ///< Result-cache lookup.
+  kFit,          ///< Valuator build (kd-tree/LSH/norms) or fit-slot wait.
+  kValue,        ///< The per-query valuation loop (parent of deep phases).
+  kDistance,     ///< Deep: distance kernel passes.
+  kSort,         ///< Deep: neighbor argsort / top-K selection.
+  kRetrieve,     ///< Deep: kd-tree / LSH index queries.
+  kRecursion,    ///< Deep: Shapley recursion / DP over the ranking.
+  kMerge,        ///< In-order merge of per-query shards.
+  kFinalize,     ///< Valuator finalize + summary statistics.
+  kCacheStore,   ///< Result-cache insert.
+  kSerialize,    ///< Response JSON build (serve layer).
+  kQueueWait,    ///< Dispatch-to-run wait in the pipelined loop.
+  kNumPhases,
+};
+
+inline constexpr size_t kNumPhases = static_cast<size_t>(Phase::kNumPhases);
+
+/// Stable lowercase span name ("distance", "cache_probe", ...).
+const char* PhaseName(Phase phase);
+
+/// Per-phase accumulated wall time and span count for one request.
+class RequestTrace {
+ public:
+  RequestTrace() = default;
+  RequestTrace(const RequestTrace&) = delete;
+  RequestTrace& operator=(const RequestTrace&) = delete;
+
+  void Add(Phase phase, uint64_t nanos) {
+    Slot& slot = slots_[static_cast<size_t>(phase)];
+    slot.nanos.fetch_add(nanos, std::memory_order_relaxed);
+    slot.count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t Nanos(Phase phase) const {
+    return slots_[static_cast<size_t>(phase)].nanos.load(
+        std::memory_order_relaxed);
+  }
+  uint64_t SpanCount(Phase phase) const {
+    return slots_[static_cast<size_t>(phase)].count.load(
+        std::memory_order_relaxed);
+  }
+  double Seconds(Phase phase) const {
+    return static_cast<double>(Nanos(phase)) * 1e-9;
+  }
+
+  /// When false (metrics-only mode) the engine never activates the trace
+  /// on worker threads, so deep per-query phases stay empty and their
+  /// clock cost is never paid.
+  bool deep = false;
+
+  // Request labels, filled by the engine after the run (single-threaded
+  // at that point; plain fields are fine).
+  std::string kernel;      ///< Active distance-kernel variant name.
+  bool fit_reused = false;
+  bool cache_hit = false;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> nanos{0};
+    std::atomic<uint64_t> count{0};
+  };
+  Slot slots_[kNumPhases];
+};
+
+/// The calling thread's active trace (deep-phase target), or nullptr.
+RequestTrace* ActiveTrace();
+
+/// RAII: makes `trace` the calling thread's active trace, restoring the
+/// previous one on destruction. Passing nullptr deactivates tracing for
+/// the scope (used to shield untraced work).
+class TraceActivation {
+ public:
+  explicit TraceActivation(RequestTrace* trace);
+  ~TraceActivation();
+  TraceActivation(const TraceActivation&) = delete;
+  TraceActivation& operator=(const TraceActivation&) = delete;
+
+ private:
+  RequestTrace* previous_;
+};
+
+/// RAII span: records elapsed steady-clock nanos into one phase slot.
+/// With a null trace neither constructor nor destructor reads the clock.
+class ScopedPhase {
+ public:
+  /// Records into the thread-local active trace (deep phases).
+  explicit ScopedPhase(Phase phase) : ScopedPhase(ActiveTrace(), phase) {}
+
+  /// Records into an explicit trace (engine/serve-level phases).
+  ScopedPhase(RequestTrace* trace, Phase phase) : trace_(trace), phase_(phase) {
+    if (trace_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedPhase() {
+    if (trace_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    trace_->Add(phase_, static_cast<uint64_t>(
+                            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                elapsed)
+                                .count()));
+  }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  RequestTrace* trace_;
+  Phase phase_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_OBS_TRACE_H_

@@ -2,8 +2,10 @@
 
 #include "serve/pipeline.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <iostream>
 #include <istream>
 #include <map>
 #include <memory>
@@ -16,6 +18,7 @@
 #include "engine/registry.h"
 #include "engine/schema.h"
 #include "market/valuation_report.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace knnshap {
@@ -60,6 +63,56 @@ JsonValue CountersJson(const CacheCounters& counters) {
   out.Set("hits", JsonValue(static_cast<double>(counters.hits)));
   out.Set("misses", JsonValue(static_cast<double>(counters.misses)));
   out.Set("evictions", JsonValue(static_cast<double>(counters.evictions)));
+  return out;
+}
+
+/// Extracts a label value from an inline-labeled instrument name, e.g.
+/// `knnshap_requests_total{method="exact"}` -> "exact"; empty when absent.
+std::string ExtractLabel(const std::string& name, const std::string& label) {
+  const std::string needle = label + "=\"";
+  const size_t start = name.find(needle);
+  if (start == std::string::npos) return "";
+  const size_t value_start = start + needle.size();
+  const size_t end = name.find('"', value_start);
+  if (end == std::string::npos) return "";
+  return name.substr(value_start, end - value_start);
+}
+
+/// The response/slow-log "trace" object. Timed form: per-span seconds and
+/// counts plus queue/total. Masked form (emit_timing off — golden
+/// transcripts): span names and counts only, and only the engine-recorded
+/// phases — parse/serialize/queue_wait are serve-layer spans whose
+/// presence differs between the serial and pipelined loops, and the two
+/// must stay byte-identical.
+JsonValue TraceJson(const ValuationReport& report, bool timed) {
+  const RequestTrace& trace = *report.trace;
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("kernel", JsonValue(trace.kernel));
+  out.Set("cache_hit", JsonValue(trace.cache_hit));
+  out.Set("fit_reused", JsonValue(trace.fit_reused));
+  if (timed) {
+    out.Set("total_seconds", JsonValue(report.seconds));
+    out.Set("queue_seconds", JsonValue(report.queue_seconds));
+  }
+  JsonValue spans = JsonValue::MakeObject();
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    const Phase phase = static_cast<Phase>(i);
+    const uint64_t count = trace.SpanCount(phase);
+    if (count == 0) continue;
+    if (!timed && (phase == Phase::kParse || phase == Phase::kSerialize ||
+                   phase == Phase::kQueueWait)) {
+      continue;
+    }
+    if (timed) {
+      JsonValue span = JsonValue::MakeObject();
+      span.Set("seconds", JsonValue(trace.Seconds(phase)));
+      span.Set("count", JsonValue(static_cast<double>(count)));
+      spans.Set(PhaseName(phase), std::move(span));
+    } else {
+      spans.Set(PhaseName(phase), JsonValue(static_cast<double>(count)));
+    }
+  }
+  out.Set("spans", std::move(spans));
   return out;
 }
 
@@ -214,14 +267,54 @@ struct RequestPipeline::PreparedValue {
   bool explicit_parallel = false;
   bool has_id = false;
   JsonValue id;
+  /// The client set {"trace":true}: echo the trace in the response.
+  bool echo_trace = false;
+  /// JSONL parse + request decode time (pipelined loop only).
+  uint64_t parse_nanos = 0;
+  /// Set when the job was dispatched to the pool; RunValue derives the
+  /// queue wait from it.
+  bool dispatched = false;
+  std::chrono::steady_clock::time_point dispatch_time;
 };
+
+namespace {
+
+EngineOptions EngineOptionsWith(const PipelineOptions& options,
+                                MetricsRegistry* metrics) {
+  EngineOptions engine = options.engine;
+  if (engine.metrics == nullptr) engine.metrics = metrics;
+  return engine;
+}
+
+}  // namespace
 
 RequestPipeline::RequestPipeline(const PipelineOptions& options)
     : options_(options),
       pool_(options.pool != nullptr ? options.pool : &ThreadPool::Shared()),
       max_in_flight_(options.max_in_flight != 0 ? options.max_in_flight
                                                 : 2 * pool_->NumThreads()),
-      engine_(options.engine) {}
+      owned_metrics_(options.observability && options.metrics == nullptr
+                         ? std::make_unique<MetricsRegistry>()
+                         : nullptr),
+      metrics_(options.observability
+                   ? (options.metrics != nullptr ? options.metrics
+                                                 : owned_metrics_.get())
+                   : nullptr),
+      engine_(EngineOptionsWith(options, metrics_)) {
+  if (metrics_ != nullptr) {
+    parse_nanos_ = metrics_->GetCounter(
+        std::string("knnshap_phase_nanos_total{phase=\"") +
+        PhaseName(Phase::kParse) + "\"}");
+    serialize_nanos_ = metrics_->GetCounter(
+        std::string("knnshap_phase_nanos_total{phase=\"") +
+        PhaseName(Phase::kSerialize) + "\"}");
+    queue_nanos_ = metrics_->GetCounter(
+        std::string("knnshap_phase_nanos_total{phase=\"") +
+        PhaseName(Phase::kQueueWait) + "\"}");
+    queue_seconds_ = metrics_->GetHistogram("knnshap_queue_wait_seconds");
+    in_flight_ = metrics_->GetGauge("knnshap_in_flight_requests");
+  }
+}
 
 size_t RequestPipeline::Run(std::istream& in, std::ostream& out) {
   OrderedEmitter emitter(&out);
@@ -231,6 +324,10 @@ size_t RequestPipeline::Run(std::istream& in, std::ostream& out) {
   while (std::getline(in, line)) {
     if (line.empty()) continue;
     ++served;
+    // Clock reads are metrics-gated: with observability off this loop
+    // reads no clocks at all.
+    std::chrono::steady_clock::time_point parse_start;
+    if (metrics_ != nullptr) parse_start = std::chrono::steady_clock::now();
     JsonParseResult parsed = ParseJson(line);
     if (!parsed.ok()) {
       emitter.EmitOrdered(ErrorResponse("parse error: " + parsed.error).Dump());
@@ -256,7 +353,8 @@ size_t RequestPipeline::Run(std::istream& in, std::ostream& out) {
     // answer from registry constants and skip the barrier (ping stays a
     // liveness probe).
     if (op == "load" || op == "append" || op == "remove" || op == "drop" ||
-        op == "save_cache" || op == "load_cache" || op == "stats") {
+        op == "save_cache" || op == "load_cache" || op == "stats" ||
+        op == "metrics") {
       window.Drain();
     }
 
@@ -266,6 +364,12 @@ size_t RequestPipeline::Run(std::istream& in, std::ostream& out) {
       if (!PrepareValue(parsed.value, prepared.get(), &error_response)) {
         emitter.EmitOrdered(error_response.Dump());
         continue;
+      }
+      if (metrics_ != nullptr) {
+        prepared->parse_nanos = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - parse_start)
+                .count());
       }
       // A request that *explicitly* asks for intra-request sharding runs
       // inline on the reader (sharded across the pool, like --serial) —
@@ -285,6 +389,11 @@ size_t RequestPipeline::Run(std::istream& in, std::ostream& out) {
       const bool ordered = prepared->ordered;
       const uint64_t slot = ordered ? emitter.ReserveSlot() : 0;
       window.Acquire(max_in_flight_);
+      if (in_flight_ != nullptr) in_flight_->Add(1);
+      if (metrics_ != nullptr || prepared->engine_request.trace) {
+        prepared->dispatched = true;  // queue wait will be measured
+        prepared->dispatch_time = std::chrono::steady_clock::now();
+      }
       pool_->Submit([this, prepared, ordered, slot, &emitter, &window] {
         std::string response = RunValue(*prepared).Dump();
         if (ordered) {
@@ -292,6 +401,7 @@ size_t RequestPipeline::Run(std::istream& in, std::ostream& out) {
         } else {
           emitter.EmitNow(response);
         }
+        if (in_flight_ != nullptr) in_flight_->Add(-1);
         window.Release();
       });
       continue;
@@ -319,6 +429,7 @@ JsonValue RequestPipeline::HandleSync(const JsonValue& request) {
   if (op == "methods") return Methods();
   if (op == "describe") return Describe(request);
   if (op == "stats") return Stats();
+  if (op == "metrics") return MetricsText();
   if (op == "save_cache") return SaveCache(request);
   if (op == "load_cache") return LoadCache(request);
   if (op == "ping" || op == "sync") return OkResponse();
@@ -498,10 +609,17 @@ JsonValue RequestPipeline::Describe(const JsonValue& request) const {
 
 JsonValue RequestPipeline::Stats() const {
   JsonValue out = OkResponse();
-  out.Set("cache", CountersJson(engine_.CacheStats()));
+  // Cache sizing facts next to the hit/miss counters: entries vs capacity
+  // and resident payload bytes are what size a --cache choice.
+  JsonValue cache = CountersJson(engine_.CacheStats());
+  cache.Set("entries", JsonValue(static_cast<double>(engine_.CacheEntries())));
+  cache.Set("capacity", JsonValue(static_cast<double>(engine_.CacheCapacity())));
+  cache.Set("bytes", JsonValue(static_cast<double>(engine_.CacheBytes())));
+  out.Set("cache", std::move(cache));
   out.Set("fitted_valuators",
           JsonValue(static_cast<double>(engine_.FittedCount())));
   out.Set("fit_reuses", JsonValue(static_cast<double>(engine_.FitReuses())));
+  const auto fitted_by_train = engine_.FittedByTrain();
   JsonValue datasets = JsonValue::MakeArray();
   for (const auto& corpus : store_.List()) {
     JsonValue entry = JsonValue::MakeObject();
@@ -510,9 +628,89 @@ JsonValue RequestPipeline::Stats() const {
     entry.Set("dim", JsonValue(static_cast<double>(corpus.dim)));
     entry.Set("version", JsonValue(static_cast<double>(corpus.version)));
     entry.Set("fingerprint", JsonValue(FingerprintHex(corpus.fingerprint)));
+    const auto fitted = fitted_by_train.find(corpus.fingerprint);
+    entry.Set("fitted",
+              JsonValue(static_cast<double>(
+                  fitted != fitted_by_train.end() ? fitted->second : 0)));
     datasets.Append(entry);
   }
   out.Set("datasets", datasets);
+  if (metrics_ != nullptr) out.Set("metrics", StatsMetricsJson());
+  return out;
+}
+
+JsonValue RequestPipeline::StatsMetricsJson() const {
+  const MetricsRegistry::RegistrySnapshot snap = metrics_->Snapshot();
+  JsonValue out = JsonValue::MakeObject();
+  // Deterministic under --no-timing: request/error counts and the (drained
+  // to zero) in-flight depth. Everything time-valued is timing-gated.
+  JsonValue requests = JsonValue::MakeObject();
+  JsonValue errors = JsonValue::MakeObject();
+  for (const auto& counter : snap.counters) {
+    const std::string method = ExtractLabel(counter.name, "method");
+    if (method.empty()) continue;
+    if (counter.name.compare(0, 22, "knnshap_requests_total") == 0) {
+      requests.Set(method, JsonValue(static_cast<double>(counter.value)));
+    } else if (counter.name.compare(0, 28, "knnshap_request_errors_total") == 0 &&
+               counter.value > 0) {
+      errors.Set(method, JsonValue(static_cast<double>(counter.value)));
+    }
+  }
+  out.Set("requests", std::move(requests));
+  out.Set("errors", std::move(errors));
+  out.Set("in_flight",
+          JsonValue(static_cast<double>(
+              in_flight_ != nullptr ? in_flight_->Value() : 0)));
+  if (!options_.emit_timing) return out;
+
+  auto histogram_json = [](const HistogramSnapshot& h) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("count", JsonValue(static_cast<double>(h.count)));
+    entry.Set("p50", JsonValue(h.Quantile(0.50)));
+    entry.Set("p95", JsonValue(h.Quantile(0.95)));
+    entry.Set("p99", JsonValue(h.Quantile(0.99)));
+    entry.Set("max", JsonValue(h.max));
+    return entry;
+  };
+  JsonValue latency = JsonValue::MakeObject();
+  JsonValue queue_wait;
+  for (const auto& histogram : snap.histograms) {
+    const std::string method = ExtractLabel(histogram.name, "method");
+    if (!method.empty() &&
+        histogram.name.compare(0, 23, "knnshap_request_seconds") == 0) {
+      latency.Set(method, histogram_json(histogram.snapshot));
+    } else if (histogram.name == "knnshap_queue_wait_seconds" &&
+               histogram.snapshot.count > 0) {
+      queue_wait = histogram_json(histogram.snapshot);
+    }
+  }
+  out.Set("latency", std::move(latency));
+  if (queue_wait.IsObject()) out.Set("queue_wait", std::move(queue_wait));
+  JsonValue phases = JsonValue::MakeObject();
+  for (const auto& counter : snap.counters) {
+    const std::string phase = ExtractLabel(counter.name, "phase");
+    if (phase.empty() || counter.value == 0) continue;
+    phases.Set(phase, JsonValue(static_cast<double>(counter.value) * 1e-9));
+  }
+  out.Set("phase_seconds", std::move(phases));
+  return out;
+}
+
+JsonValue RequestPipeline::MetricsText() const {
+  if (metrics_ == nullptr) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "metrics: observability is disabled on this pipeline"));
+  }
+  // Scrape-time gauges mirroring engine state the registry cannot see.
+  metrics_->GetGauge("knnshap_result_cache_entries")
+      ->Set(static_cast<int64_t>(engine_.CacheEntries()));
+  metrics_->GetGauge("knnshap_result_cache_bytes")
+      ->Set(static_cast<int64_t>(engine_.CacheBytes()));
+  metrics_->GetGauge("knnshap_fitted_valuators")
+      ->Set(static_cast<int64_t>(engine_.FittedCount()));
+  JsonValue out = OkResponse();
+  out.Set("content_type", JsonValue("text/plain; version=0.0.4"));
+  out.Set("text", JsonValue(metrics_->PrometheusText()));
   return out;
 }
 
@@ -577,8 +775,9 @@ bool RequestPipeline::PrepareValue(const JsonValue& request, PreparedValue* prep
   // Strict fields: anything that is neither protocol nor a known
   // hyperparameter is a typo answered with the offending field's name.
   static const std::vector<std::string> kValueProtocolFields = {
-      "op",    "method",  "train",   "test",           "queries",
-      "cache", "parallel", "ordered", "include_values", "id"};
+      "op",    "method",   "train",   "test",           "queries",
+      "cache", "parallel", "ordered", "include_values", "id",
+      "trace"};
   if (Status status = CheckRequestFields(request, kValueProtocolFields);
       !status.ok()) {
     return fail(status);
@@ -636,6 +835,12 @@ bool RequestPipeline::PrepareValue(const JsonValue& request, PreparedValue* prep
 
   engine_request.use_cache = request.Get("cache").AsBool(true);
   engine_request.parallel = request.Get("parallel").AsBool(true);
+  // Deep tracing is on when the client asks ({"trace":true}), the server
+  // forces it (--trace-all), or a slow-log threshold needs the breakdown
+  // ready before it knows the request is slow. Only the first two echo
+  // the trace back in the response.
+  prepared->echo_trace = request.Get("trace").AsBool(false) || options_.trace_all;
+  engine_request.trace = prepared->echo_trace || options_.slow_ms > 0.0;
   prepared->explicit_parallel =
       request.Has("parallel") && request.Get("parallel").AsBool();
 
@@ -647,13 +852,41 @@ bool RequestPipeline::PrepareValue(const JsonValue& request, PreparedValue* prep
 }
 
 JsonValue RequestPipeline::RunValue(const PreparedValue& prepared) {
+  // Queue wait: dispatch-to-run latency of the pipelined loop. Inline
+  // requests (serial loop, explicit_parallel, HandleSync) have none.
+  uint64_t queue_nanos = 0;
+  if (prepared.dispatched) {
+    queue_nanos = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - prepared.dispatch_time)
+            .count());
+  }
+
   ValuationReport report = engine_.Value(prepared.engine_request);
+  report.queue_seconds = static_cast<double>(queue_nanos) * 1e-9;
+  if (report.trace != nullptr) {
+    if (queue_nanos != 0) report.trace->Add(Phase::kQueueWait, queue_nanos);
+    if (prepared.parse_nanos != 0) {
+      report.trace->Add(Phase::kParse, prepared.parse_nanos);
+    }
+  }
+  if (metrics_ != nullptr) {
+    if (prepared.parse_nanos != 0) parse_nanos_->Add(prepared.parse_nanos);
+    if (prepared.dispatched) {
+      queue_nanos_->Add(queue_nanos);
+      queue_seconds_->Observe(report.queue_seconds);
+    }
+  }
+
   if (!report.ok()) {
     JsonValue error_response = ErrorResponse(report.status);
     if (prepared.has_id) error_response.Set("id", prepared.id);
     return error_response;
   }
 
+  const bool time_serialize = metrics_ != nullptr || report.trace != nullptr;
+  std::chrono::steady_clock::time_point serialize_start;
+  if (time_serialize) serialize_start = std::chrono::steady_clock::now();
   JsonValue out = OkResponse();
   if (prepared.has_id) out.Set("id", prepared.id);
   out.Set("method", JsonValue(report.method));
@@ -677,7 +910,49 @@ JsonValue RequestPipeline::RunValue(const PreparedValue& prepared) {
     out.Set("values", values);
   }
   if (options_.emit_timing) out.Set("seconds", JsonValue(report.seconds));
+
+  // The serialize span covers the response build above; it is credited
+  // before the trace is rendered so the echoed trace includes it.
+  if (time_serialize) {
+    const uint64_t serialize_nanos = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - serialize_start)
+            .count());
+    if (report.trace != nullptr) {
+      report.trace->Add(Phase::kSerialize, serialize_nanos);
+    }
+    if (metrics_ != nullptr) serialize_nanos_->Add(serialize_nanos);
+  }
+  if (prepared.echo_trace && report.trace != nullptr) {
+    out.Set("trace", TraceJson(report, options_.emit_timing));
+  }
+  MaybeLogSlow(prepared, report);
   return out;
+}
+
+void RequestPipeline::MaybeLogSlow(const PreparedValue& prepared,
+                                   const ValuationReport& report) {
+  if (options_.slow_ms <= 0.0 || report.trace == nullptr) return;
+  const double total_ms = (report.seconds + report.queue_seconds) * 1e3;
+  if (total_ms < options_.slow_ms) return;
+  JsonValue line = JsonValue::MakeObject();
+  line.Set("slow_request", JsonValue(true));
+  if (prepared.has_id) line.Set("id", prepared.id);
+  line.Set("method", JsonValue(report.method));
+  line.Set("train_size", JsonValue(static_cast<double>(report.train_size)));
+  line.Set("num_queries", JsonValue(static_cast<double>(report.num_queries)));
+  line.Set("seconds", JsonValue(report.seconds));
+  line.Set("queue_seconds", JsonValue(report.queue_seconds));
+  line.Set("fit_seconds", JsonValue(report.fit_seconds));
+  line.Set("cache_hit", JsonValue(report.cache_hit));
+  line.Set("trace", TraceJson(report, /*timed=*/true));
+  std::ostream* sink =
+      options_.slow_log != nullptr ? options_.slow_log : &std::cerr;
+  // One lock per offending request; the log stays line-atomic under
+  // concurrent completions.
+  std::lock_guard<std::mutex> lock(slow_log_mutex_);
+  (*sink) << line.Dump() << '\n';
+  sink->flush();
 }
 
 }  // namespace knnshap

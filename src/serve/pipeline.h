@@ -33,9 +33,12 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "engine/engine.h"
+#include "obs/metrics.h"
 #include "serve/corpus_store.h"
 #include "util/json.h"
 #include "util/thread_pool.h"
@@ -61,6 +64,23 @@ struct PipelineOptions {
   /// pre-store behavior of hashing every corpus per request — kept for the
   /// bench's before/after attribution.
   bool trust_store_fingerprints = true;
+  /// Wire a MetricsRegistry through the engine and the serve loop:
+  /// per-method request counts + latency histograms, per-phase time
+  /// totals, queue-wait histogram and in-flight gauge, surfaced by the
+  /// `stats`/`metrics` ops. false removes every metrics clock read — the
+  /// bench's obs-off baseline arm.
+  bool observability = true;
+  /// External registry to use; nullptr = the pipeline owns a private one.
+  MetricsRegistry* metrics = nullptr;
+  /// Record deep per-query trace spans on every value request, as if each
+  /// carried {"trace":true} (knnshap_serve --trace-all).
+  bool trace_all = false;
+  /// > 0: every ok value request slower than this (engine + queue wait,
+  /// milliseconds) emits one JSONL line with its full phase breakdown to
+  /// `slow_log`. Forces deep tracing on every value request.
+  double slow_ms = 0.0;
+  /// Slow-request log sink; nullptr = std::cerr (responses own stdout).
+  std::ostream* slow_log = nullptr;
   EngineOptions engine;
 };
 
@@ -84,6 +104,10 @@ class RequestPipeline {
   ValuationEngine& Engine() { return engine_; }
   CorpusStore& Store() { return store_; }
 
+  /// The wired registry (null when observability is off). knnshap_serve
+  /// uses this for --metrics-file.
+  MetricsRegistry* Metrics() { return metrics_; }
+
  private:
   struct PreparedValue;  // parsed+validated value request (pipeline.cpp)
 
@@ -94,8 +118,14 @@ class RequestPipeline {
   JsonValue Methods() const;
   JsonValue Describe(const JsonValue& request) const;
   JsonValue Stats() const;
+  JsonValue MetricsText() const;
   JsonValue SaveCache(const JsonValue& request);
   JsonValue LoadCache(const JsonValue& request);
+
+  /// Per-method/latency/phase subsections of `stats` (time-valued parts
+  /// omitted when emit_timing is off, keeping golden transcripts stable).
+  JsonValue StatsMetricsJson() const;
+  void MaybeLogSlow(const PreparedValue& prepared, const ValuationReport& report);
 
   /// Parses/validates a value request against current store state. On
   /// error returns false with *error_response filled.
@@ -109,8 +139,21 @@ class RequestPipeline {
   PipelineOptions options_;
   ThreadPool* pool_;
   size_t max_in_flight_;
+  /// Declared before engine_: the engine's options embed the registry
+  /// pointer, so it must exist first.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
   CorpusStore store_;
   ValuationEngine engine_;
+
+  // Serve-layer instrument handles (null when observability is off). The
+  // engine credits its own phases; these cover what it cannot see.
+  Counter* parse_nanos_ = nullptr;
+  Counter* serialize_nanos_ = nullptr;
+  Counter* queue_nanos_ = nullptr;
+  Histogram* queue_seconds_ = nullptr;
+  Gauge* in_flight_ = nullptr;
+  std::mutex slow_log_mutex_;
 };
 
 }  // namespace knnshap

@@ -1,0 +1,292 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Unit tests for the observability primitives: the sharded MetricsRegistry
+// (counters, gauges, histograms, quantiles, exposition) and the
+// RequestTrace / ScopedPhase / TraceActivation span machinery.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/json.h"
+
+namespace knnshap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+// ---------------------------------------------------------------------------
+
+TEST(CounterTest, SingleThreadAddsSum) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  // The sharded design must lose nothing: 8 threads x 100k increments is
+  // exactly 800k, no matter how threads map onto the 16 shards.
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter.Add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(GaugeTest, SetAddValue) {
+  Gauge gauge;
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Set(7);
+  gauge.Add(5);
+  gauge.Add(-12);
+  EXPECT_EQ(gauge.Value(), 0);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.Value(), -3);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram buckets
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketUpperBoundIsInclusive) {
+  // Documented contract (Prometheus `le`): v lands in the first bucket
+  // with v <= bound; above the last bound -> the +Inf overflow bucket.
+  Histogram histogram(std::vector<double>{1.0, 2.0, 4.0});
+  histogram.Observe(1.0);     // == bound 1.0 -> bucket 0 (inclusive)
+  histogram.Observe(1.0001);  // just above  -> bucket 1 (exclusive below)
+  histogram.Observe(2.0);     // == bound 2.0 -> bucket 1
+  histogram.Observe(4.0);     // == last bound -> bucket 2
+  histogram.Observe(5.0);     // above all    -> overflow
+  HistogramSnapshot snap = histogram.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 2u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.max, 5.0);
+  EXPECT_NEAR(snap.sum, 1.0 + 1.0001 + 2.0 + 4.0 + 5.0, 1e-9);
+}
+
+TEST(HistogramTest, ConcurrentObservationsSumExactly) {
+  Histogram histogram(std::vector<double>{0.5});
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (uint64_t i = 0; i < kPerThread; ++i) histogram.Observe(1.0);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  HistogramSnapshot snap = histogram.Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kPerThread);
+  EXPECT_EQ(snap.counts[1], kThreads * kPerThread);  // all overflow
+  EXPECT_NEAR(snap.sum, static_cast<double>(kThreads * kPerThread), 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, QuantileOnEmptyHistogramIsZero) {
+  Histogram histogram(std::vector<double>{1.0, 2.0});
+  HistogramSnapshot snap = histogram.Snapshot();
+  // No observations: every quantile reads 0, no division by zero.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, QuantileOnSingleSampleIsTheSample) {
+  Histogram histogram(std::vector<double>{1.0, 2.0, 4.0});
+  histogram.Observe(1.7);
+  HistogramSnapshot snap = histogram.Snapshot();
+  // Clamped to the exact observed max: a lone sample reads as itself at
+  // every quantile rather than as a bucket-interpolated estimate.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 1.7);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.99), 1.7);
+}
+
+TEST(HistogramTest, QuantilesAreMonotoneAndBounded) {
+  Histogram histogram(LatencyBucketsSeconds());
+  for (int i = 1; i <= 1000; ++i) {
+    histogram.Observe(static_cast<double>(i) * 1e-4);  // 0.1ms .. 100ms
+  }
+  HistogramSnapshot snap = histogram.Snapshot();
+  const double p50 = snap.Quantile(0.50);
+  const double p95 = snap.Quantile(0.95);
+  const double p99 = snap.Quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, snap.max);
+  EXPECT_DOUBLE_EQ(snap.max, 0.1);
+  // Interpolated estimates stay within a bucket of the true values.
+  EXPECT_NEAR(p50, 0.05, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Registry + exposition
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, InstrumentsArePointerStable) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x_total");
+  Counter* b = registry.GetCounter("x_total");
+  EXPECT_EQ(a, b);
+  Histogram* h1 = registry.GetHistogram("h");
+  Histogram* h2 = registry.GetHistogram("h");
+  EXPECT_EQ(h1, h2);
+  // Default bounds = the latency grid.
+  EXPECT_EQ(h1->Bounds(), LatencyBucketsSeconds());
+}
+
+TEST(MetricsRegistryTest, PrometheusTextExposition) {
+  MetricsRegistry registry;
+  registry.GetCounter("knnshap_requests_total{method=\"exact\"}")->Add(3);
+  registry.GetGauge("knnshap_in_flight_requests")->Set(2);
+  registry.GetHistogram("knnshap_request_seconds{method=\"exact\"}")
+      ->Observe(0.01);
+  std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE knnshap_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("knnshap_requests_total{method=\"exact\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE knnshap_in_flight_requests gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("knnshap_in_flight_requests 2"), std::string::npos);
+  EXPECT_NE(text.find("knnshap_request_seconds_bucket"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("knnshap_request_seconds_count"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAreCumulativeInText) {
+  MetricsRegistry registry;
+  std::vector<double> bounds{1.0, 2.0};
+  Histogram* h = registry.GetHistogram("lat", &bounds);
+  h->Observe(0.5);
+  h->Observe(1.5);
+  h->Observe(9.0);
+  std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 3"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ToJsonHasQuantiles) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total")->Add(5);
+  std::vector<double> bounds{1.0};
+  registry.GetHistogram("h", &bounds)->Observe(0.25);
+  JsonValue doc = registry.ToJson();
+  EXPECT_DOUBLE_EQ(doc.Get("counters").Get("c_total").AsNumber(), 5.0);
+  const JsonValue& h = doc.Get("histograms").Get("h");
+  EXPECT_DOUBLE_EQ(h.Get("count").AsNumber(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Get("p50").AsNumber(), 0.25);
+  EXPECT_DOUBLE_EQ(h.Get("p99").AsNumber(), 0.25);
+  EXPECT_DOUBLE_EQ(h.Get("max").AsNumber(), 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// RequestTrace / spans
+// ---------------------------------------------------------------------------
+
+TEST(RequestTraceTest, AddAccumulatesNanosAndCounts) {
+  RequestTrace trace;
+  trace.Add(Phase::kDistance, 1500);
+  trace.Add(Phase::kDistance, 500);
+  EXPECT_EQ(trace.Nanos(Phase::kDistance), 2000u);
+  EXPECT_EQ(trace.SpanCount(Phase::kDistance), 2u);
+  EXPECT_DOUBLE_EQ(trace.Seconds(Phase::kDistance), 2e-6);
+  EXPECT_EQ(trace.SpanCount(Phase::kSort), 0u);
+}
+
+TEST(RequestTraceTest, ScopedPhaseRecordsIntoExplicitTrace) {
+  RequestTrace trace;
+  { ScopedPhase span(&trace, Phase::kFit); }
+  EXPECT_EQ(trace.SpanCount(Phase::kFit), 1u);
+}
+
+TEST(RequestTraceTest, ScopedPhaseWithoutActiveTraceIsInert) {
+  ASSERT_EQ(ActiveTrace(), nullptr);
+  { ScopedPhase span(Phase::kDistance); }  // records nowhere, crashes never
+  SUCCEED();
+}
+
+TEST(RequestTraceTest, TraceActivationNestsAndRestores) {
+  RequestTrace outer, inner;
+  ASSERT_EQ(ActiveTrace(), nullptr);
+  {
+    TraceActivation activate_outer(&outer);
+    EXPECT_EQ(ActiveTrace(), &outer);
+    {
+      TraceActivation activate_inner(&inner);
+      EXPECT_EQ(ActiveTrace(), &inner);
+      ScopedPhase span(Phase::kRecursion);
+    }
+    EXPECT_EQ(ActiveTrace(), &outer);
+    {
+      // nullptr deactivates tracing for a scope.
+      TraceActivation shield(nullptr);
+      EXPECT_EQ(ActiveTrace(), nullptr);
+    }
+    EXPECT_EQ(ActiveTrace(), &outer);
+  }
+  EXPECT_EQ(ActiveTrace(), nullptr);
+  EXPECT_EQ(inner.SpanCount(Phase::kRecursion), 1u);
+  EXPECT_EQ(outer.SpanCount(Phase::kRecursion), 0u);
+}
+
+TEST(RequestTraceTest, ConcurrentAddsAreLossless) {
+  RequestTrace trace;
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&trace] {
+      for (uint64_t i = 0; i < kPerThread; ++i) trace.Add(Phase::kValue, 2);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(trace.SpanCount(Phase::kValue), kThreads * kPerThread);
+  EXPECT_EQ(trace.Nanos(Phase::kValue), 2 * kThreads * kPerThread);
+}
+
+TEST(PhaseNameTest, NamesAreTheStableContract) {
+  // These strings appear in serve trace output, the slow log and metric
+  // labels; renaming one is a protocol break (see src/serve/README.md).
+  EXPECT_STREQ(PhaseName(Phase::kParse), "parse");
+  EXPECT_STREQ(PhaseName(Phase::kValidate), "validate");
+  EXPECT_STREQ(PhaseName(Phase::kFingerprint), "fingerprint");
+  EXPECT_STREQ(PhaseName(Phase::kCacheProbe), "cache_probe");
+  EXPECT_STREQ(PhaseName(Phase::kFit), "fit");
+  EXPECT_STREQ(PhaseName(Phase::kValue), "value");
+  EXPECT_STREQ(PhaseName(Phase::kDistance), "distance");
+  EXPECT_STREQ(PhaseName(Phase::kSort), "sort");
+  EXPECT_STREQ(PhaseName(Phase::kRetrieve), "retrieve");
+  EXPECT_STREQ(PhaseName(Phase::kRecursion), "recursion");
+  EXPECT_STREQ(PhaseName(Phase::kMerge), "merge");
+  EXPECT_STREQ(PhaseName(Phase::kFinalize), "finalize");
+  EXPECT_STREQ(PhaseName(Phase::kCacheStore), "cache_store");
+  EXPECT_STREQ(PhaseName(Phase::kSerialize), "serialize");
+  EXPECT_STREQ(PhaseName(Phase::kQueueWait), "queue_wait");
+}
+
+}  // namespace
+}  // namespace knnshap

@@ -448,6 +448,250 @@ TEST(ServeTest, UndeclaredSeedChangeHitsTheCacheThroughServe) {
   EXPECT_EQ(first.Get("values").Dump(), second.Get("values").Dump());
 }
 
+// ---------------------------------------------------------------------------
+// Observability: traces, metrics, slow log
+// ---------------------------------------------------------------------------
+
+std::string DumpWithoutTrace(const JsonValue& response) {
+  JsonValue out = JsonValue::MakeObject();
+  for (const auto& [key, value] : response.Fields()) {
+    if (key != "trace") out.Set(key, value);
+  }
+  return out.Dump();
+}
+
+TEST(ServeTest, TracedValuesAreByteIdenticalToUntraced) {
+  // Instrumentation observes, never reorders: {"trace":true} may only add
+  // the "trace" field — every other response byte is unchanged.
+  PipelineOptions options;
+  options.emit_timing = false;
+  const std::string load = R"({"op":"load","name":"a","rows":)" +
+                           RowsJson(30, 4, 2, 71) + R"(,"target":"label"})";
+  const std::string queries = RowsJson(3, 4, 2, 72);
+
+  RequestPipeline untraced_pipeline(options);
+  untraced_pipeline.HandleSync(ParseJson(load).value);
+  JsonValue untraced = untraced_pipeline.HandleSync(
+      ParseJson(R"({"op":"value","train":"a","queries":)" + queries +
+                R"(,"method":"exact","k":3})")
+          .value);
+  ASSERT_TRUE(untraced.Get("ok").AsBool()) << untraced.Dump();
+  ASSERT_FALSE(untraced.Has("trace"));
+
+  RequestPipeline traced_pipeline(options);
+  traced_pipeline.HandleSync(ParseJson(load).value);
+  JsonValue traced = traced_pipeline.HandleSync(
+      ParseJson(R"({"op":"value","train":"a","queries":)" + queries +
+                R"(,"method":"exact","k":3,"trace":true})")
+          .value);
+  ASSERT_TRUE(traced.Get("ok").AsBool()) << traced.Dump();
+  ASSERT_TRUE(traced.Has("trace"));
+  EXPECT_EQ(DumpWithoutTrace(traced), untraced.Dump());
+
+  // Masked form (emit_timing off): span name -> count only, and no
+  // serve-layer spans (those differ between the serial and pipelined
+  // loops, which must stay byte-identical).
+  const JsonValue& spans = traced.Get("trace").Get("spans");
+  EXPECT_TRUE(spans.Has("validate"));
+  EXPECT_TRUE(spans.Has("fit"));
+  EXPECT_TRUE(spans.Has("value"));
+  EXPECT_TRUE(spans.Has("distance"));
+  EXPECT_TRUE(spans.Has("recursion"));
+  EXPECT_FALSE(spans.Has("parse"));
+  EXPECT_FALSE(spans.Has("serialize"));
+  EXPECT_FALSE(spans.Has("queue_wait"));
+  EXPECT_FALSE(traced.Get("trace").Has("total_seconds"));
+}
+
+TEST(ServeTest, TraceSpansSumToReportedSeconds) {
+  // The accounting must balance: on a compute-heavy request the
+  // non-overlapping engine phases cover the reported wall time within 5%.
+  PipelineOptions options;  // emit_timing on
+  RequestPipeline pipeline(options);
+  pipeline.HandleSync(
+      ParseJson(R"({"op":"load","name":"big","rows":)" +
+                RowsJson(2500, 16, 2, 81) + R"(,"target":"label"})")
+          .value);
+  JsonValue response = pipeline.HandleSync(
+      ParseJson(R"({"op":"value","train":"big","queries":)" +
+                RowsJson(8, 16, 2, 82) +
+                R"(,"method":"exact","k":5,"trace":true,"parallel":false,)" +
+                R"("include_values":false})")
+          .value);
+  ASSERT_TRUE(response.Get("ok").AsBool()) << response.Dump();
+  const double seconds = response.Get("seconds").AsNumber();
+  ASSERT_GT(seconds, 0.0);
+  const JsonValue& trace = response.Get("trace");
+  EXPECT_DOUBLE_EQ(trace.Get("total_seconds").AsNumber(), seconds);
+  const JsonValue& spans = trace.Get("spans");
+  auto span_seconds = [&](const char* name) {
+    return spans.Has(name) ? spans.Get(name).Get("seconds").AsNumber() : 0.0;
+  };
+  // Top-level phases, mutually exclusive in ValueImpl. "finalize" also has
+  // a nested occurrence inside "value" (valuator finalize), negligible for
+  // exact; the dominant terms are fit + value.
+  const double top_level = span_seconds("validate") +
+                           span_seconds("fingerprint") +
+                           span_seconds("cache_probe") + span_seconds("fit") +
+                           span_seconds("value") + span_seconds("finalize") +
+                           span_seconds("cache_store");
+  EXPECT_GE(top_level, 0.95 * seconds)
+      << "unaccounted request time; trace: " << trace.Dump();
+  EXPECT_LE(top_level, 1.05 * seconds)
+      << "double-counted request time; trace: " << trace.Dump();
+  // Deep spans (per-query kernels) must carry most of the value phase.
+  const double deep = span_seconds("distance") + span_seconds("sort") +
+                      span_seconds("recursion");
+  EXPECT_GE(deep, 0.3 * span_seconds("value")) << trace.Dump();
+  EXPECT_GT(spans.Get("distance").Get("count").AsNumber(), 0.0);
+}
+
+TEST(ServeTest, MetricsOpExposesHistogramsAndSpanNames) {
+  PipelineOptions options;
+  RequestPipeline pipeline(options);
+  pipeline.HandleSync(ParseJson(R"({"op":"load","name":"a","rows":)" +
+                                RowsJson(25, 3, 2, 91) +
+                                R"(,"target":"label"})")
+                          .value);
+  const std::string queries = RowsJson(2, 3, 2, 92);
+  for (int i = 0; i < 3; ++i) {
+    JsonValue response = pipeline.HandleSync(
+        ParseJson(R"({"op":"value","train":"a","queries":)" + queries +
+                  R"(,"method":"exact","k":3})")
+            .value);
+    ASSERT_TRUE(response.Get("ok").AsBool()) << response.Dump();
+  }
+  JsonValue metrics = pipeline.HandleSync(ParseJson(R"({"op":"metrics"})").value);
+  ASSERT_TRUE(metrics.Get("ok").AsBool()) << metrics.Dump();
+  const std::string& text = metrics.Get("text").AsString();
+  EXPECT_NE(text.find("knnshap_requests_total{method=\"exact\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("knnshap_request_seconds_bucket"), std::string::npos);
+  EXPECT_NE(text.find("knnshap_phase_nanos_total{phase=\"fit\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("knnshap_phase_nanos_total{phase=\"value\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("knnshap_result_cache_entries"), std::string::npos);
+
+  // The stats op carries the same registry as a structured section.
+  JsonValue stats = pipeline.HandleSync(ParseJson(R"({"op":"stats"})").value);
+  ASSERT_TRUE(stats.Get("ok").AsBool());
+  const JsonValue& section = stats.Get("metrics");
+  EXPECT_DOUBLE_EQ(section.Get("requests").Get("exact").AsNumber(), 3.0);
+  EXPECT_DOUBLE_EQ(section.Get("in_flight").AsNumber(), 0.0);
+  const JsonValue& latency = section.Get("latency").Get("exact");
+  EXPECT_DOUBLE_EQ(latency.Get("count").AsNumber(), 3.0);
+  EXPECT_LE(latency.Get("p50").AsNumber(), latency.Get("p95").AsNumber());
+  EXPECT_LE(latency.Get("p95").AsNumber(), latency.Get("p99").AsNumber());
+  EXPECT_LE(latency.Get("p99").AsNumber(), latency.Get("max").AsNumber());
+  EXPECT_GT(section.Get("phase_seconds").Get("value").AsNumber(), 0.0);
+}
+
+TEST(ServeTest, MetricsOpErrorsWhenObservabilityIsOff) {
+  PipelineOptions options;
+  options.observability = false;
+  RequestPipeline pipeline(options);
+  EXPECT_EQ(pipeline.Metrics(), nullptr);
+  JsonValue metrics = pipeline.HandleSync(ParseJson(R"({"op":"metrics"})").value);
+  EXPECT_FALSE(metrics.Get("ok").AsBool());
+  EXPECT_EQ(metrics.Get("code").AsString(), "failed_precondition");
+  // stats still answers, just without the metrics section.
+  JsonValue stats = pipeline.HandleSync(ParseJson(R"({"op":"stats"})").value);
+  EXPECT_TRUE(stats.Get("ok").AsBool());
+  EXPECT_FALSE(stats.Has("metrics"));
+}
+
+TEST(ServeTest, StatsReportsCacheBytesAndPerCorpusFittedCounts) {
+  PipelineOptions options;
+  options.emit_timing = false;
+  options.engine.result_cache_capacity = 8;
+  RequestPipeline pipeline(options);
+  auto handle = [&](const std::string& line) {
+    return pipeline.HandleSync(ParseJson(line).value);
+  };
+  handle(R"({"op":"load","name":"a","rows":)" + RowsJson(20, 3, 2, 95) +
+         R"(,"target":"label"})");
+  handle(R"({"op":"load","name":"b","rows":)" + RowsJson(15, 3, 2, 96) +
+         R"(,"target":"label"})");
+  const std::string queries = RowsJson(2, 3, 2, 97);
+  ASSERT_TRUE(handle(R"({"op":"value","train":"a","queries":)" + queries +
+                     R"(,"method":"exact","k":3})")
+                  .Get("ok")
+                  .AsBool());
+  ASSERT_TRUE(handle(R"({"op":"value","train":"a","queries":)" + queries +
+                     R"(,"method":"truncated","k":3,"epsilon":0.2})")
+                  .Get("ok")
+                  .AsBool());
+
+  JsonValue stats = handle(R"({"op":"stats"})");
+  ASSERT_TRUE(stats.Get("ok").AsBool()) << stats.Dump();
+  const JsonValue& cache = stats.Get("cache");
+  EXPECT_DOUBLE_EQ(cache.Get("entries").AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(cache.Get("capacity").AsNumber(), 8.0);
+  EXPECT_GT(cache.Get("bytes").AsNumber(), 0.0);
+  for (const auto& dataset : stats.Get("datasets").Items()) {
+    const double fitted = dataset.Get("fitted").AsNumber();
+    if (dataset.Get("name").AsString() == "a") {
+      EXPECT_DOUBLE_EQ(fitted, 2.0) << stats.Dump();  // exact + truncated
+    } else {
+      EXPECT_DOUBLE_EQ(fitted, 0.0) << stats.Dump();  // never valued
+    }
+  }
+}
+
+TEST(ServeTest, SlowLogEmitsOneLinePerOffendingRequest) {
+  std::ostringstream slow_log;
+  PipelineOptions options;
+  options.slow_ms = 1e-6;  // everything is slow
+  options.slow_log = &slow_log;
+  RequestPipeline pipeline(options);
+  pipeline.HandleSync(ParseJson(R"({"op":"load","name":"a","rows":)" +
+                                RowsJson(25, 3, 2, 98) +
+                                R"(,"target":"label"})")
+                          .value);
+  JsonValue response = pipeline.HandleSync(
+      ParseJson(R"({"op":"value","train":"a","queries":)" +
+                RowsJson(2, 3, 2, 99) + R"(,"method":"exact","k":3,"id":"s1"})")
+          .value);
+  ASSERT_TRUE(response.Get("ok").AsBool()) << response.Dump();
+  // The slow-log threshold forces deep tracing but does NOT echo it.
+  EXPECT_FALSE(response.Has("trace"));
+
+  std::istringstream lines(slow_log.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line)) << "no slow-log line emitted";
+  JsonParseResult parsed = ParseJson(line);
+  ASSERT_TRUE(parsed.ok()) << line;
+  EXPECT_TRUE(parsed.value.Get("slow_request").AsBool());
+  EXPECT_EQ(parsed.value.Get("id").AsString(), "s1");
+  EXPECT_EQ(parsed.value.Get("method").AsString(), "exact");
+  EXPECT_GT(parsed.value.Get("seconds").AsNumber(), 0.0);
+  const JsonValue& spans = parsed.value.Get("trace").Get("spans");
+  EXPECT_TRUE(spans.Has("fit"));
+  EXPECT_TRUE(spans.Has("distance"));  // threshold forced deep spans
+  EXPECT_GT(spans.Get("value").Get("seconds").AsNumber(), 0.0);
+  EXPECT_FALSE(std::getline(lines, line)) << "more than one line: " << line;
+}
+
+TEST(ServeTest, TraceAllTracesEveryValueResponse) {
+  PipelineOptions options;
+  options.emit_timing = false;
+  options.trace_all = true;
+  RequestPipeline pipeline(options);
+  pipeline.HandleSync(ParseJson(R"({"op":"load","name":"a","rows":)" +
+                                RowsJson(20, 3, 2, 101) +
+                                R"(,"target":"label"})")
+                          .value);
+  JsonValue response = pipeline.HandleSync(
+      ParseJson(R"({"op":"value","train":"a","queries":)" +
+                RowsJson(2, 3, 2, 102) + R"(,"method":"exact","k":3})")
+          .value);
+  ASSERT_TRUE(response.Get("ok").AsBool()) << response.Dump();
+  EXPECT_TRUE(response.Has("trace"));
+  EXPECT_TRUE(response.Get("trace").Get("spans").Has("distance"));
+}
+
 TEST(ServeTest, GoldenTranscriptReproduces) {
   // The same session/golden pair CI pipes through the knnshap_serve
   // binary. Reference kernel pinned: value bytes must not depend on the

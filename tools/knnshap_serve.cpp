@@ -22,11 +22,20 @@
 //                     auto); outranks the KNNSHAP_KERNEL environment
 //                     variable — used with --no-timing for deterministic
 //                     transcripts
+//   --no-obs          disable the metrics registry entirely (no metrics
+//                     clock reads; the `metrics` op errors)
+//   --trace-all       record deep per-query trace spans on every value
+//                     request, as if each carried {"trace":true}
+//   --slow-ms=N       log one JSONL line (with the full phase breakdown)
+//                     to stderr for every ok value request slower than N
+//                     milliseconds, engine time + queue wait
+//   --metrics-file=P  dump the metrics registry as JSON to P on exit
 //
 // See README.md for the protocol and src/serve/README.md for the
-// ordering/concurrency contract.
+// ordering/concurrency contract and the observability surface.
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -34,6 +43,7 @@
 #include "knn/distance_kernel.h"
 #include "serve/pipeline.h"
 #include "util/cli.h"
+#include "util/json.h"
 #include "util/thread_pool.h"
 
 using namespace knnshap;
@@ -69,8 +79,25 @@ int main(int argc, char** argv) {
         std::make_unique<ThreadPool>(static_cast<size_t>(args.GetInt("threads", 0)));
     options.pool = private_pool.get();
   }
+  options.observability = !args.Has("no-obs");
+  options.trace_all = args.Has("trace-all");
+  options.slow_ms = args.GetDouble("slow-ms", 0.0);
+  const std::string metrics_file = args.GetString("metrics-file", "");
+  if (!options.observability && (!metrics_file.empty() || options.slow_ms > 0)) {
+    std::fprintf(stderr, "--no-obs conflicts with --metrics-file/--slow-ms\n");
+    return 1;
+  }
 
   RequestPipeline pipeline(options);
   pipeline.Run(std::cin, std::cout);
+  if (!metrics_file.empty() && pipeline.Metrics() != nullptr) {
+    std::ofstream out(metrics_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot open --metrics-file '%s'\n",
+                   metrics_file.c_str());
+      return 1;
+    }
+    out << pipeline.Metrics()->ToJson().Dump() << '\n';
+  }
   return 0;
 }
