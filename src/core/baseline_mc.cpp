@@ -3,6 +3,7 @@
 #include "core/baseline_mc.h"
 
 #include "core/bennett.h"
+#include "util/cancel.h"
 #include "util/common.h"
 #include "util/random.h"
 
@@ -25,6 +26,9 @@ McEstimate BaselineMcShapley(const SubsetUtility& utility,
   prefix.reserve(static_cast<size_t>(n));
 
   for (int64_t t = 1; t <= budget; ++t) {
+    // Per-permutation cancellation poll: the completed permutations still
+    // form a valid (if high-variance) estimate; the engine discards it.
+    if (CancelRequested()) break;
     std::vector<int> perm = rng.Permutation(n);
     prefix.clear();
     double prev = utility.Value(prefix);
@@ -47,6 +51,7 @@ McEstimate BaselineMcShapley(const SubsetUtility& utility,
       options.snapshot(t, estimate);
     }
   }
+  if (result.permutations == 0) return result;  // cancelled before pass 1
   for (int i = 0; i < n; ++i) {
     result.shapley[static_cast<size_t>(i)] =
         sums[static_cast<size_t>(i)] / static_cast<double>(result.permutations);

@@ -6,6 +6,7 @@
 
 #include "knn/neighbors.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/common.h"
 #include "util/thread_pool.h"
 
@@ -73,6 +74,9 @@ std::vector<double> ExactKnnShapleySingle(const Dataset& train,
                                           const CorpusNorms* norms) {
   KNNSHAP_CHECK(train.HasLabels(), "labels required");
   std::vector<int> order = ArgsortByDistance(train.features, query, metric, norms);
+  // Cancellation poll between the ranking and the SV recursion: skip the
+  // recursion, return right-sized zeros (the engine discards them).
+  if (CancelRequested()) return std::vector<double>(train.Size(), 0.0);
   // Span covers ranking-to-SV work: label gather, recursion, scatter.
   ScopedPhase span(Phase::kRecursion);
   std::vector<int> sorted_labels(order.size());

@@ -7,6 +7,7 @@
 
 #include "core/bennett.h"
 #include "knn/neighbors.h"
+#include "util/cancel.h"
 #include "util/common.h"
 #include "util/random.h"
 
@@ -268,6 +269,9 @@ McEstimate ImprovedMcShapley(IncrementalUtility* utility,
 
   int64_t t = 0;
   while (t < budget) {
+    // Per-permutation cancellation poll (block granularity for TMC too:
+    // one permutation is one pass over the players).
+    if (CancelRequested()) break;
     ++t;
     std::vector<int> perm = rng.Permutation(n);
     utility->Reset();
@@ -306,7 +310,8 @@ McEstimate ImprovedMcShapley(IncrementalUtility* utility,
     }
   }
   result.permutations = t;
-  result.shapley.resize(static_cast<size_t>(n));
+  result.shapley.assign(static_cast<size_t>(n), 0.0);
+  if (t == 0) return result;  // cancelled before the first permutation
   for (int i = 0; i < n; ++i) {
     result.shapley[static_cast<size_t>(i)] =
         sums[static_cast<size_t>(i)] / static_cast<double>(t);

@@ -12,6 +12,7 @@
 #include "knn/neighbors.h"
 #include "obs/trace.h"
 #include "util/binomial.h"
+#include "util/cancel.h"
 #include "util/common.h"
 #include "util/thread_pool.h"
 
@@ -342,6 +343,9 @@ std::vector<double> WknnShapleySingle(const Dataset& train,
   std::vector<double> without(tables.Size(), 0.0);
   const int tmax = std::min(k - 1, n - 1);
   for (int r = 1; r <= n; ++r) {
+    // Per-rank cancellation poll (each r is one O(K wmax^2) DP row); the
+    // partial sv is right-sized and discarded by the engine.
+    if (CancelRequested()) return sv;
     const int ci = ctx.correct[static_cast<size_t>(r - 1)];
     const int wi = ctx.level[static_cast<size_t>(r - 1)];
     tables.Remove(all, ci, wi, &without);
@@ -378,6 +382,7 @@ std::vector<double> WknnShapleySingle(const Dataset& train,
     prefix[TriIndex(0, 0)] = 1.0;
     std::vector<double> between(tables.Size());
     for (int r = 1; r <= n; ++r) {
+      if (CancelRequested()) return sv;
       const int ci = ctx.correct[static_cast<size_t>(r - 1)];
       const int wi = ctx.level[static_cast<size_t>(r - 1)];
       if (r < q_star) {

@@ -3,9 +3,12 @@
 #include "engine/engine.h"
 
 #include <algorithm>
+#include <exception>
+#include <stdexcept>
 #include <utility>
 
 #include "knn/distance_kernel.h"
+#include "util/fault.h"
 #include "util/fingerprint.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -31,6 +34,18 @@ ValuationEngine::ValuationEngine(const EngineOptions& options)
           std::string("knnshap_phase_nanos_total{phase=\"") +
           PhaseName(static_cast<Phase>(i)) + "\"}");
     }
+    deadline_metric_ =
+        options_.metrics->GetCounter("knnshap_deadline_exceeded_total");
+    overshoot_metric_ =
+        options_.metrics->GetHistogram("knnshap_cancel_overshoot_seconds");
+  }
+}
+
+void ValuationEngine::RecordDeadlineExceeded(const CancelToken* cancel) {
+  deadline_exceeded_.fetch_add(1, std::memory_order_relaxed);
+  if (deadline_metric_ != nullptr) deadline_metric_->Add(1);
+  if (overshoot_metric_ != nullptr && cancel != nullptr) {
+    overshoot_metric_->Observe(cancel->OvershootSeconds());
   }
 }
 
@@ -53,8 +68,14 @@ ValuationReport ValuationEngine::Value(const ValuationRequest& request) {
     active = &metrics_only;
   }
   WallTimer timer;
+  // The token rides the requesting thread for the whole request (covers
+  // validation, fingerprinting, the fit, and the serial run path); the
+  // parallel run re-activates it per worker.
+  CancelActivation cancel_scope(request.cancel.get());
   ValuationReport report = ValueImpl(request, active);
   report.seconds = timer.Seconds();
+  report.deadline_exceeded_total =
+      deadline_exceeded_.load(std::memory_order_relaxed);
   if (active != nullptr) {
     active->kernel = KernelName(ActiveKernel());
     active->cache_hit = report.cache_hit;
@@ -134,6 +155,17 @@ ValuationReport ValuationEngine::ValueImpl(const ValuationRequest& request,
   report.train_size = request.train->Size();
   report.num_queries = request.test->Size();
 
+  // An already-expired deadline answers before any real work — in
+  // particular before the cache probe, so "deadline_ms":0 is
+  // deterministically deadline_exceeded whatever the cache holds (the
+  // golden transcript relies on this). The message carries no timing.
+  const CancelToken* cancel = request.cancel.get();
+  if (cancel != nullptr && cancel->Expired()) {
+    RecordDeadlineExceeded(cancel);
+    report.status = Status::DeadlineExceeded("deadline exceeded");
+    return report;
+  }
+
   uint64_t train_fp, test_fp, params_fp;
   {
     ScopedPhase span(trace, Phase::kFingerprint);
@@ -172,17 +204,37 @@ ValuationReport ValuationEngine::ValueImpl(const ValuationRequest& request,
   // --- Fit (or reuse) and run. ------------------------------------------
   FittedKey fitted_key{train_fp, request.method, params_fp};
   std::shared_ptr<Valuator> valuator;
+  bool fit_cancelled = false;
   {
     // The fit split is measured unconditionally (two clock reads on an
     // uncached request) so FormatStatusLine can always tell a cold fit
     // from a fast reuse; the trace span reuses the same interval.
     WallTimer fit_timer;
-    valuator = GetOrFit(fitted_key, request, params, &report.fit_reused);
+    // A throwing factory/Fit (or an injected `fit` fault) must become a
+    // structured response here: Value() runs on pool worker threads, and
+    // an escaped exception would take the process down with it.
+    try {
+      valuator = GetOrFit(fitted_key, request, params, &report.fit_reused,
+                          &fit_cancelled);
+    } catch (const std::exception& e) {
+      report.status = Status::Error(
+          StatusCode::kInternal,
+          "method '" + request.method + "' fit failed: " + e.what());
+    } catch (...) {
+      report.status = Status::Error(
+          StatusCode::kInternal, "method '" + request.method + "' fit failed");
+    }
     report.fit_seconds = fit_timer.Seconds();
     if (trace != nullptr) {
       trace->Add(Phase::kFit,
                  static_cast<uint64_t>(report.fit_seconds * 1e9));
     }
+    if (!report.status.ok()) return report;
+  }
+  if (fit_cancelled) {
+    RecordDeadlineExceeded(cancel);
+    report.status = Status::DeadlineExceeded("deadline exceeded");
+    return report;
   }
   if (valuator == nullptr) {
     report.status = Status::Error(
@@ -192,7 +244,17 @@ ValuationReport ValuationEngine::ValueImpl(const ValuationRequest& request,
   }
   {
     ScopedPhase span(trace, Phase::kValue);
-    report.values = Run(*valuator, *request.test, request.parallel, trace);
+    report.values =
+        Run(*valuator, *request.test, request.parallel, trace, cancel);
+  }
+  // A deadline that fired mid-run left right-sized garbage in the partial
+  // result: discard it, answer the structured error, and keep it out of
+  // the cache.
+  if (cancel != nullptr && cancel->Expired()) {
+    RecordDeadlineExceeded(cancel);
+    report.values.clear();
+    report.status = Status::DeadlineExceeded("deadline exceeded");
+    return report;
   }
   {
     ScopedPhase span(trace, Phase::kFinalize);
@@ -240,98 +302,137 @@ void ValuationEngine::RecordMetrics(const ValuationReport& report,
 std::shared_ptr<Valuator> ValuationEngine::GetOrFit(const FittedKey& key,
                                                     const ValuationRequest& request,
                                                     const ValuatorParams& params,
-                                                    bool* reused) {
+                                                    bool* reused,
+                                                    bool* cancelled) {
   // Per-corpus fit locking: the engine mutex covers only the bookkeeping.
   // The first request for a key installs an in-progress slot and fits
   // *outside* the lock; duplicates for the same key wait on the slot (the
   // same kd-tree / LSH index must not be built twice), while cold fits of
   // different corpora — previously serialized here — overlap freely.
-  std::shared_ptr<FitSlot> slot;
-  bool owner = false;
-  {
-    std::lock_guard<std::mutex> lock(fitted_mutex_);
-    auto it = fitted_index_.find(key);
-    if (it != fitted_index_.end()) {
-      fitted_.splice(fitted_.begin(), fitted_, it->second);
+  //
+  // Cancellation makes this a retry loop: an owner whose deadline expires
+  // releases the slot as `cancelled` without a valuator, and its waiters
+  // come back around — one becomes the new owner — so one client's
+  // deadline never costs another client its fit.
+  const CancelToken* cancel = request.cancel.get();
+  for (;;) {
+    if (cancel != nullptr && cancel->Expired()) {
+      *cancelled = true;
+      return nullptr;
+    }
+    std::shared_ptr<FitSlot> slot;
+    bool owner = false;
+    {
+      std::lock_guard<std::mutex> lock(fitted_mutex_);
+      auto it = fitted_index_.find(key);
+      if (it != fitted_index_.end()) {
+        fitted_.splice(fitted_.begin(), fitted_, it->second);
+        ++fit_reuses_;
+        *reused = true;
+        return it->second->second;
+      }
+      auto fit_it = fitting_.find(key);
+      if (fit_it != fitting_.end()) {
+        slot = fit_it->second;
+      } else {
+        slot = std::make_shared<FitSlot>();
+        fitting_[key] = slot;
+        owner = true;
+      }
+    }
+
+    if (!owner) {
+      std::unique_lock<std::mutex> wait_lock(slot->mutex);
+      slot->done_cv.wait(wait_lock, [&] { return slot->done; });
+      if (slot->cancelled) continue;  // owner gave up its deadline; retry
+      if (slot->valuator == nullptr) return nullptr;  // owner's fit failed
+      std::lock_guard<std::mutex> lock(fitted_mutex_);
       ++fit_reuses_;
-      *reused = true;
-      return it->second->second;
+      *reused = true;  // someone else paid for the fit
+      return slot->valuator;
     }
-    auto fit_it = fitting_.find(key);
-    if (fit_it != fitting_.end()) {
-      slot = fit_it->second;
-    } else {
-      slot = std::make_shared<FitSlot>();
-      fitting_[key] = slot;
-      owner = true;
+
+    // Retires this owner's slot with the given outcome and wakes waiters.
+    auto retire = [&](std::shared_ptr<Valuator> outcome, bool was_cancelled) {
+      {
+        std::lock_guard<std::mutex> lock(fitted_mutex_);
+        fitting_.erase(key);
+      }
+      {
+        std::lock_guard<std::mutex> done_lock(slot->mutex);
+        slot->valuator = std::move(outcome);
+        slot->cancelled = was_cancelled;
+        slot->done = true;
+      }
+      slot->done_cv.notify_all();
+    };
+
+    // The factory is an arbitrary std::function and Fit may allocate large
+    // structures: if either throws (or the injected `fit` fault fires),
+    // the slot must still be retired and the waiters released (with a null
+    // valuator -> internal-error response), or every future request for
+    // this key would block forever.
+    std::shared_ptr<Valuator> valuator;
+    try {
+      if (FaultInjectionEnabled() && Fault("fit")) {
+        throw std::runtime_error("injected fit fault");
+      }
+      // The token stays active during the fit so a Fit implementation may
+      // poll it; expiry is also checked when the fit returns.
+      valuator = registry_->Create(request.method, params);
+      if (valuator != nullptr) valuator->Fit(request.train);
+    } catch (...) {
+      retire(nullptr, /*was_cancelled=*/false);
+      throw;
     }
-  }
 
-  if (!owner) {
-    std::unique_lock<std::mutex> wait_lock(slot->mutex);
-    slot->done_cv.wait(wait_lock, [&] { return slot->done; });
-    if (slot->valuator == nullptr) return nullptr;  // owner's fit failed
-    std::lock_guard<std::mutex> lock(fitted_mutex_);
-    ++fit_reuses_;
-    *reused = true;  // someone else paid for the fit
-    return slot->valuator;
-  }
+    // Deadline expired while fitting: whether Fit finished or bailed at a
+    // poll, the structure is not trusted — release the slot (waiters
+    // retry, a fresh owner refits) and answer deadline_exceeded. The
+    // registry holds no trace of this attempt.
+    if (cancel != nullptr && cancel->Expired()) {
+      retire(nullptr, /*was_cancelled=*/true);
+      *cancelled = true;
+      return nullptr;
+    }
 
-  // The factory is an arbitrary std::function and Fit may allocate large
-  // structures: if either throws, the slot must still be retired and the
-  // waiters released (with a null valuator -> internal-error response), or
-  // every future request for this key would block forever.
-  std::shared_ptr<Valuator> valuator;
-  try {
-    valuator = registry_->Create(request.method, params);
-    if (valuator != nullptr) valuator->Fit(request.train);
-  } catch (...) {
     {
       std::lock_guard<std::mutex> lock(fitted_mutex_);
       fitting_.erase(key);
+      // An InvalidateTrain that raced this fit poisoned the slot: the
+      // valuator still answers the requests already waiting on it, but the
+      // dead corpus's structure must not enter the resident set.
+      if (valuator != nullptr && !slot->invalidated) {
+        fitted_.emplace_front(key, valuator);
+        fitted_index_[key] = fitted_.begin();
+        while (fitted_.size() > std::max<size_t>(options_.fitted_capacity, 1)) {
+          fitted_index_.erase(fitted_.back().first);
+          fitted_.pop_back();
+        }
+      }
     }
     {
       std::lock_guard<std::mutex> done_lock(slot->mutex);
-      slot->done = true;  // valuator stays null
+      slot->valuator = valuator;
+      slot->done = true;
     }
     slot->done_cv.notify_all();
-    throw;
+    *reused = false;
+    return valuator;
   }
-
-  {
-    std::lock_guard<std::mutex> lock(fitted_mutex_);
-    fitting_.erase(key);
-    // An InvalidateTrain that raced this fit poisoned the slot: the
-    // valuator still answers the requests already waiting on it, but the
-    // dead corpus's structure must not enter the resident set.
-    if (valuator != nullptr && !slot->invalidated) {
-      fitted_.emplace_front(key, valuator);
-      fitted_index_[key] = fitted_.begin();
-      while (fitted_.size() > std::max<size_t>(options_.fitted_capacity, 1)) {
-        fitted_index_.erase(fitted_.back().first);
-        fitted_.pop_back();
-      }
-    }
-  }
-  {
-    std::lock_guard<std::mutex> done_lock(slot->mutex);
-    slot->valuator = valuator;
-    slot->done = true;
-  }
-  slot->done_cv.notify_all();
-  *reused = false;
-  return valuator;
 }
 
 std::vector<double> ValuationEngine::Run(const Valuator& valuator,
                                          const Dataset& test, bool parallel,
-                                         RequestTrace* trace) const {
+                                         RequestTrace* trace,
+                                         const CancelToken* cancel) const {
   // Deep per-query spans (distance/sort/retrieve/recursion, recorded by
   // the shared kernels through the thread-local active trace) are opt-in:
   // a metrics-only trace never reaches worker threads.
   RequestTrace* deep = (trace != nullptr && trace->deep) ? trace : nullptr;
   if (!valuator.SupportsPerQuery()) {
     TraceActivation activation(deep);
+    CancelActivation cancel_scope(cancel);
     return valuator.ValueBatch(test);
   }
   // Shard queries across the pool (ParallelFor hands out contiguous
@@ -348,6 +449,11 @@ std::vector<double> ValuationEngine::Run(const Valuator& valuator,
     const size_t count = std::min(chunk, test.Size() - start);
     auto run_one = [&](size_t j) {
       TraceActivation activation(deep);
+      CancelActivation cancel_scope(cancel);
+      // Queries past an expired deadline are skipped outright; queries in
+      // flight bail at the deep loops' own block-granularity polls. Either
+      // way the caller observes Expired() and discards the whole result.
+      if (cancel != nullptr && cancel->Expired()) return;
       per_query[j] = valuator.ValueOne(test, start + j);
     };
     if (parallel && count > 1) {
@@ -357,9 +463,12 @@ std::vector<double> ValuationEngine::Run(const Valuator& valuator,
     }
     ScopedPhase span(trace, Phase::kMerge);
     for (size_t j = 0; j < count; ++j) {
-      valuator.MergeInto(&sv, per_query[j]);
+      // Skipped (cancelled) queries left empty vectors; merging them
+      // would be a size mismatch.
+      if (!per_query[j].empty()) valuator.MergeInto(&sv, per_query[j]);
       per_query[j] = {};  // release before the next chunk computes
     }
+    if (cancel != nullptr && cancel->Expired()) break;
   }
   {
     ScopedPhase span(trace, Phase::kFinalize);

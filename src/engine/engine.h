@@ -21,6 +21,7 @@
 #ifndef KNNSHAP_ENGINE_ENGINE_H_
 #define KNNSHAP_ENGINE_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -38,6 +39,7 @@
 #include "market/valuation_report.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 
 namespace knnshap {
 
@@ -64,6 +66,12 @@ struct ValuationRequest {
   /// these own the contract that the value equals DatasetFingerprint(data).
   uint64_t train_fingerprint = 0;
   uint64_t test_fingerprint = 0;
+  /// Cooperative deadline/cancellation (null = uncancellable). The engine
+  /// activates the token on every thread working the request, so the deep
+  /// loops poll it at block granularity; once it expires the request
+  /// answers a deadline_exceeded Status, partial work is discarded and
+  /// nothing partial ever enters the result cache or the fitted registry.
+  std::shared_ptr<const CancelToken> cancel;
 };
 
 /// Engine construction options.
@@ -145,16 +153,22 @@ class ValuationEngine {
   /// instead of lingering until LRU pressure.
   InvalidationStats InvalidateTrain(uint64_t train_fingerprint);
 
-  /// Persists the result cache to a versioned binary file (see
-  /// ResultCache::SaveTo). Returns entries written.
+  /// Persists the result cache to a versioned binary file, atomically
+  /// (see ResultCache::SaveTo). Returns entries written.
   StatusOr<size_t> SaveCache(const std::string& path) const {
     return cache_.SaveTo(path);
   }
 
   /// Merges a SaveCache file into the result cache so a restarted server
-  /// warm-starts. Returns entries loaded.
-  StatusOr<size_t> LoadCache(const std::string& path) {
+  /// warm-starts; a corrupt tail salvages the valid prefix (see
+  /// ResultCache::LoadFrom).
+  StatusOr<CacheLoadResult> LoadCache(const std::string& path) {
     return cache_.LoadFrom(path);
+  }
+
+  /// Requests answered deadline_exceeded since construction.
+  uint64_t DeadlineExceededCount() const {
+    return deadline_exceeded_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -185,22 +199,39 @@ class ValuationEngine {
     /// preserving the reclaim-immediately guarantee for corpora dropped
     /// mid-fit.
     bool invalidated = false;
+    /// The owner's deadline expired before a usable valuator existed: the
+    /// slot is released (erased from fitting_) and waiters RETRY — one of
+    /// them becomes the new owner — instead of inheriting a failure. A
+    /// cancelled fit therefore never poisons the registry for later
+    /// requests.
+    bool cancelled = false;
   };
 
   /// Returns a fitted valuator for (train, method, params), creating and
   /// fitting one on first use. Per-key serialization only: concurrent
   /// first requests against different (corpus, method, params) keys fit in
-  /// parallel.
+  /// parallel. Sets *cancelled and returns null when the request's
+  /// deadline expired before a valuator was fitted (the fit slot is
+  /// released so other requests are unaffected). Throws whatever the
+  /// method factory or Fit throws (slot released first).
   std::shared_ptr<Valuator> GetOrFit(const FittedKey& key,
                                      const ValuationRequest& request,
                                      const ValuatorParams& params,
-                                     bool* reused);
+                                     bool* reused, bool* cancelled);
 
   /// Runs the per-query sharded path (or the batch path) on a fitted
   /// valuator. `trace` (nullable) receives merge/finalize spans; deep
-  /// per-query phases are recorded only when trace->deep.
+  /// per-query phases are recorded only when trace->deep. `cancel`
+  /// (nullable) is activated on every worker; once it expires remaining
+  /// queries are skipped and the (partial, garbage) result is discarded by
+  /// the caller.
   std::vector<double> Run(const Valuator& valuator, const Dataset& test,
-                          bool parallel, RequestTrace* trace) const;
+                          bool parallel, RequestTrace* trace,
+                          const CancelToken* cancel) const;
+
+  /// Bookkeeping for a request that ran out of deadline: counter +
+  /// (metrics wired) deadline metric and overshoot histogram.
+  void RecordDeadlineExceeded(const CancelToken* cancel);
 
   /// Value() minus trace/metrics bookkeeping; all spans recorded here.
   ValuationReport ValueImpl(const ValuationRequest& request,
@@ -233,6 +264,15 @@ class ValuationEngine {
   std::unordered_map<FittedKey, FittedList::iterator, FittedKeyHash> fitted_index_;
   std::unordered_map<FittedKey, std::shared_ptr<FitSlot>, FittedKeyHash> fitting_;
   uint64_t fit_reuses_ = 0;
+
+  std::atomic<uint64_t> deadline_exceeded_{0};
+  /// knnshap_deadline_exceeded_total / knnshap_cancel_overshoot_seconds
+  /// (null when no registry). The overshoot histogram records how far past
+  /// its deadline a cancelled request ran before the block-granularity
+  /// checks caught it — the observable cost of cooperative (vs preemptive)
+  /// cancellation.
+  Counter* deadline_metric_ = nullptr;
+  Histogram* overshoot_metric_ = nullptr;
 };
 
 }  // namespace knnshap

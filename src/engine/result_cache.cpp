@@ -3,9 +3,16 @@
 #include "engine/result_cache.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "util/fault.h"
 #include "util/fingerprint.h"
 
 namespace knnshap {
@@ -84,10 +91,12 @@ size_t ResultCache::EraseFingerprint(uint64_t fingerprint) {
 namespace {
 
 // Cache file framing: magic + format version, then length-prefixed
-// entries. Bump kCacheFileVersion on any layout change; Load rejects
-// mismatches instead of guessing.
+// entries, each followed by an FNV-64 checksum over its serialized
+// fields. Bump kCacheFileVersion on any layout change; Load rejects
+// header mismatches instead of guessing (v1 files, which carried no
+// checksums, are rejected the same way — regenerate with save_cache).
 constexpr char kCacheFileMagic[8] = {'K', 'S', 'H', 'A', 'P', 'R', 'C', '\0'};
-constexpr uint32_t kCacheFileVersion = 1;
+constexpr uint32_t kCacheFileVersion = 2;
 
 template <typename T>
 void WriteRaw(std::ofstream& out, const T& value) {
@@ -100,38 +109,96 @@ bool ReadRaw(std::ifstream& in, T* value) {
   return in.good();
 }
 
+// The per-entry integrity checksum persisted after each entry's payload.
+uint64_t EntryChecksum(const ResultCacheKey& key,
+                       const std::vector<double>& values) {
+  Fnv64 hash;
+  hash.Add(key.train_fingerprint);
+  hash.Add(key.test_fingerprint);
+  hash.Add(key.params_fingerprint);
+  hash.AddString(key.method);
+  hash.AddSpan(std::span<const double>(values.data(), values.size()));
+  return hash.Digest();
+}
+
+// Flushes userspace + kernel buffers for `path` to stable storage. On
+// non-POSIX builds this is a no-op (the rename below still gives
+// atomicity against process crashes, just not power loss).
+bool SyncFile(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;
+#endif
+}
+
 }  // namespace
 
 StatusOr<size_t> ResultCache::SaveTo(const std::string& path) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::NotFound("cannot open '" + path + "' for writing");
+  // Never open the destination itself for writing: all bytes go to a
+  // sibling tmp file that only replaces `path` (rename, atomic on POSIX)
+  // once fully written and fsync'd. A crash or failure at any point
+  // leaves the previous snapshot readable.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::NotFound("cannot open '" + tmp_path + "' for writing");
+    }
+    out.write(kCacheFileMagic, sizeof(kCacheFileMagic));
+    WriteRaw(out, kCacheFileVersion);
+    WriteRaw(out, static_cast<uint64_t>(entries_.size()));
+    for (const auto& [key, values] : entries_) {  // MRU first
+      if (FaultInjectionEnabled() && Fault("cache_write")) {
+        // Simulated kill mid-save: stop writing, leaving a torn tmp file
+        // behind (as a real crash would). The destination is untouched.
+        out.close();
+        return Status::DataLoss("injected cache_write fault: save to '" +
+                                path + "' aborted mid-write");
+      }
+      WriteRaw(out, key.train_fingerprint);
+      WriteRaw(out, key.test_fingerprint);
+      WriteRaw(out, key.params_fingerprint);
+      WriteRaw(out, static_cast<uint32_t>(key.method.size()));
+      out.write(key.method.data(),
+                static_cast<std::streamsize>(key.method.size()));
+      WriteRaw(out, static_cast<uint64_t>(values->size()));
+      out.write(reinterpret_cast<const char*>(values->data()),
+                static_cast<std::streamsize>(values->size() * sizeof(double)));
+      WriteRaw(out, EntryChecksum(key, *values));
+    }
+    out.flush();
+    if (!out) {
+      std::remove(tmp_path.c_str());
+      return Status::DataLoss("write to '" + tmp_path + "' failed");
+    }
   }
-  out.write(kCacheFileMagic, sizeof(kCacheFileMagic));
-  WriteRaw(out, kCacheFileVersion);
-  WriteRaw(out, static_cast<uint64_t>(entries_.size()));
-  for (const auto& [key, values] : entries_) {  // MRU first
-    WriteRaw(out, key.train_fingerprint);
-    WriteRaw(out, key.test_fingerprint);
-    WriteRaw(out, key.params_fingerprint);
-    WriteRaw(out, static_cast<uint32_t>(key.method.size()));
-    out.write(key.method.data(), static_cast<std::streamsize>(key.method.size()));
-    WriteRaw(out, static_cast<uint64_t>(values->size()));
-    out.write(reinterpret_cast<const char*>(values->data()),
-              static_cast<std::streamsize>(values->size() * sizeof(double)));
+  if (!SyncFile(tmp_path)) {
+    std::remove(tmp_path.c_str());
+    return Status::DataLoss("fsync of '" + tmp_path + "' failed");
   }
-  if (!out) {
-    return Status::DataLoss("write to '" + path + "' failed");
+  if ((FaultInjectionEnabled() && Fault("cache_rename")) ||
+      std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::DataLoss("rename '" + tmp_path + "' -> '" + path +
+                            "' failed");
   }
   return entries_.size();
 }
 
-StatusOr<size_t> ResultCache::LoadFrom(const std::string& path) {
+StatusOr<CacheLoadResult> ResultCache::LoadFrom(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  if (!in || (FaultInjectionEnabled() && Fault("cache_read"))) {
     return Status::NotFound("cannot open '" + path + "'");
   }
+  // Header corruption is a hard error: with no readable framing there is
+  // nothing trustworthy to salvage.
   char magic[sizeof(kCacheFileMagic)];
   in.read(magic, sizeof(magic));
   if (!in.good() || std::memcmp(magic, kCacheFileMagic, sizeof(magic)) != 0) {
@@ -145,33 +212,65 @@ StatusOr<size_t> ResultCache::LoadFrom(const std::string& path) {
   if (!ReadRaw(in, &count)) {
     return Status::DataLoss("truncated cache file");
   }
-  // Parse everything before touching the cache so a corrupt tail cannot
-  // leave a half-merged state.
+  // File size bounds every untrusted length field below: an absurd count
+  // or payload length is detected *before* any allocation sized by it.
+  const std::streamoff header_end = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_size = in.tellg();
+  in.seekg(header_end, std::ios::beg);
+  // Past the header, damage means a crash-torn or bit-flipped snapshot:
+  // salvage every entry parsed before the damage instead of discarding a
+  // still-useful warm start. Entries are parsed into `loaded` before any
+  // Put so a salvage never leaves a half-merged cache state.
   std::vector<std::pair<ResultCacheKey, std::shared_ptr<const std::vector<double>>>>
       loaded;
   // The header count is untrusted input: reserve only a sane prefix and
   // let push_back grow for (legitimate) larger files — a corrupt count
-  // must yield the error path below, not an allocation failure here.
+  // must yield the salvage path below, not an allocation failure here.
   loaded.reserve(static_cast<size_t>(std::min<uint64_t>(count, 4096)));
-  for (uint64_t i = 0; i < count; ++i) {
+  std::string damage;
+  for (uint64_t i = 0; i < count && damage.empty(); ++i) {
     ResultCacheKey key;
     uint32_t method_len = 0;
-    if (!ReadRaw(in, &key.train_fingerprint) || !ReadRaw(in, &key.test_fingerprint) ||
-        !ReadRaw(in, &key.params_fingerprint) || !ReadRaw(in, &method_len) ||
-        method_len > 4096) {
-      return Status::DataLoss("truncated cache file");
+    if (!ReadRaw(in, &key.train_fingerprint) ||
+        !ReadRaw(in, &key.test_fingerprint) ||
+        !ReadRaw(in, &key.params_fingerprint) || !ReadRaw(in, &method_len)) {
+      damage = "truncated in entry " + std::to_string(i) + " header";
+      break;
+    }
+    if (method_len > 4096) {
+      damage = "entry " + std::to_string(i) + " method length out of bounds";
+      break;
     }
     key.method.resize(method_len);
     in.read(key.method.data(), method_len);
     uint64_t num_values = 0;
-    if (!in.good() || !ReadRaw(in, &num_values) || num_values > (1ull << 31)) {
-      return Status::DataLoss("truncated cache file");
+    if (!in.good() || !ReadRaw(in, &num_values)) {
+      damage = "truncated in entry " + std::to_string(i) + " method/length";
+      break;
     }
-    auto values = std::make_shared<std::vector<double>>(static_cast<size_t>(num_values));
+    // The declared payload must fit in what is left of the file (plus its
+    // trailing checksum); anything larger is a lie that would otherwise
+    // size an allocation. The 2^48 pre-check keeps the multiply exact.
+    const std::streamoff entry_pos = in.tellg();
+    if (num_values > (1ull << 48) || entry_pos < 0 ||
+        static_cast<uint64_t>(file_size - entry_pos) <
+            num_values * sizeof(double) + sizeof(uint64_t)) {
+      damage = "entry " + std::to_string(i) + " value count out of bounds";
+      break;
+    }
+    auto values =
+        std::make_shared<std::vector<double>>(static_cast<size_t>(num_values));
     in.read(reinterpret_cast<char*>(values->data()),
             static_cast<std::streamsize>(num_values * sizeof(double)));
-    if (!in.good()) {
-      return Status::DataLoss("truncated cache file");
+    uint64_t checksum = 0;
+    if (!in.good() || !ReadRaw(in, &checksum)) {
+      damage = "truncated in entry " + std::to_string(i) + " payload";
+      break;
+    }
+    if (checksum != EntryChecksum(key, *values)) {
+      damage = "entry " + std::to_string(i) + " checksum mismatch";
+      break;
     }
     loaded.emplace_back(std::move(key), std::move(values));
   }
@@ -180,7 +279,15 @@ StatusOr<size_t> ResultCache::LoadFrom(const std::string& path) {
   for (auto it = loaded.rbegin(); it != loaded.rend(); ++it) {
     Put(it->first, std::move(it->second));
   }
-  return loaded.size();
+  CacheLoadResult result;
+  result.entries = loaded.size();
+  if (!damage.empty()) {
+    result.salvaged = true;
+    result.warning = "'" + path + "' corrupt (" + damage + "); salvaged " +
+                     std::to_string(loaded.size()) + " of " +
+                     std::to_string(count) + " entries";
+  }
+  return result;
 }
 
 size_t ResultCache::Size() const {

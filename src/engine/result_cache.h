@@ -24,6 +24,16 @@
 
 namespace knnshap {
 
+/// Outcome of ResultCache::LoadFrom. `salvaged` is true when the file was
+/// truncated or corrupt past its header and only the valid prefix was
+/// merged; `warning` then says where parsing stopped. A clean load has
+/// `salvaged == false` and an empty warning.
+struct CacheLoadResult {
+  size_t entries = 0;
+  bool salvaged = false;
+  std::string warning;
+};
+
 /// Content-derived identity of a valuation request.
 struct ResultCacheKey {
   uint64_t train_fingerprint = 0;
@@ -61,15 +71,25 @@ class ResultCache {
   /// Serializes the resident entries (MRU first) to a versioned binary
   /// file so a restarted server warm-starts. Native endianness — the file
   /// is a same-machine restart artifact, not an interchange format.
-  /// Returns the number of entries written.
+  ///
+  /// The write is ATOMIC: bytes go to `path + ".tmp"`, are fsync'd, and
+  /// replace `path` with a rename only once durable. A failed or
+  /// interrupted save therefore leaves any previous snapshot at `path`
+  /// readable and untouched. Each entry carries an FNV-64 checksum so a
+  /// torn or bit-flipped file is detected at load. Returns the number of
+  /// entries written.
   StatusOr<size_t> SaveTo(const std::string& path) const;
 
   /// Merges entries from a SaveTo file into the cache (least recent
   /// first, so relative recency survives the round trip; capacity and
-  /// eviction apply as usual). Returns entries read; a missing file is
-  /// not_found, a corrupt/mismatched-version one data_loss (cache left
-  /// unchanged either way).
-  StatusOr<size_t> LoadFrom(const std::string& path);
+  /// eviction apply as usual). A missing file is not_found; a file whose
+  /// HEADER is corrupt (bad magic, unsupported version, missing count) is
+  /// data_loss with nothing loaded. A file corrupt PAST the header —
+  /// truncated mid-entry, bad checksum, absurd length field — is
+  /// salvaged: every entry before the damage is merged and the result
+  /// reports `salvaged = true` plus a warning, so a crash-torn snapshot
+  /// still warm-starts the valid prefix.
+  StatusOr<CacheLoadResult> LoadFrom(const std::string& path);
 
   size_t Size() const;
   size_t Capacity() const { return capacity_; }

@@ -3,8 +3,10 @@
 #include "knn/neighbors.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/common.h"
 
 namespace knnshap {
@@ -43,6 +45,16 @@ std::vector<int> ArgsortByDistance(const Matrix& train, std::span<const float> q
   {
     ScopedPhase span(Phase::kDistance);
     ComputeDistances(train, query, metric, norms, dists);
+  }
+  // Cancellation poll between the two O(N)+O(N log N) passes. The early
+  // out must stay structurally valid — downstream recursions
+  // KNNSHAP_CHECK a full-sized ranking — so it returns the identity
+  // order; the engine discards the garbage result once it observes the
+  // expired token.
+  if (CancelRequested()) {
+    std::vector<int> identity(train.Rows());
+    std::iota(identity.begin(), identity.end(), 0);
+    return identity;
   }
   ScopedPhase span(Phase::kSort);
   std::vector<int> order;
@@ -85,6 +97,14 @@ void ForEachBatchedTopK(
   std::vector<double> buffer;
   Matrix block;
   for (size_t q0 = 0; q0 < num_queries; q0 += chunk) {
+    // Per-chunk cancellation poll: remaining queries get an empty
+    // neighbor list (right-shaped for `fn`; the request's result is
+    // discarded by the engine anyway).
+    if (CancelRequested()) {
+      const std::vector<Neighbor> empty;
+      for (size_t j = q0; j < num_queries; ++j) fn(j, empty);
+      return;
+    }
     const size_t q1 = std::min(num_queries, q0 + chunk);
     block = Matrix(q1 - q0, queries.Cols());
     for (size_t j = q0; j < q1; ++j) {

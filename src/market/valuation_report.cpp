@@ -104,11 +104,20 @@ std::string ValuationReport::FormatStatusLine() const {
   if (queue_seconds > 0.0) {
     std::snprintf(queue, sizeof(queue), " [queue %.3fs]", queue_seconds);
   }
+  // Server-wide distress shows up on every line once it starts: a nonzero
+  // shed or deadline count is the operator's cue to look at `stats`.
+  char robustness[64] = "";
+  if (shed_total != 0 || deadline_exceeded_total != 0) {
+    std::snprintf(robustness, sizeof(robustness),
+                  " [shed %llu / deadline %llu]",
+                  static_cast<unsigned long long>(shed_total),
+                  static_cast<unsigned long long>(deadline_exceeded_total));
+  }
   std::snprintf(line, sizeof(line),
-                "%s: %zu points x %zu queries in %.3fs%s%s%s (cache %llu hit / "
-                "%llu miss)",
+                "%s: %zu points x %zu queries in %.3fs%s%s%s%s (cache %llu hit "
+                "/ %llu miss)",
                 method.c_str(), train_size, num_queries, seconds, breakdown,
-                queue, fit_reused ? " [fit reused]" : "",
+                queue, fit_reused ? " [fit reused]" : "", robustness,
                 static_cast<unsigned long long>(cache.hits),
                 static_cast<unsigned long long>(cache.misses));
   return line;

@@ -82,6 +82,12 @@ struct ValuationReport {
   bool cache_hit = false;       ///< Served from the result cache.
   bool fit_reused = false;      ///< Reused an already-fitted valuator.
   CacheCounters cache;          ///< Engine-wide counters at response time.
+  /// Server-wide robustness counters at response time, same convention as
+  /// `cache`: requests abandoned at their deadline (engine-filled) and
+  /// value requests shed by admission control (serve-layer-filled).
+  /// FormatStatusLine appends them when nonzero.
+  uint64_t deadline_exceeded_total = 0;
+  uint64_t shed_total = 0;
   /// Per-phase spans; set when the engine has a MetricsRegistry wired or
   /// the request asked for tracing, null otherwise. Shared because worker
   /// threads write it through atomics; treat as read-only once returned.

@@ -19,6 +19,8 @@
 #include "engine/schema.h"
 #include "market/valuation_report.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
+#include "util/fault.h"
 #include "util/status.h"
 
 namespace knnshap {
@@ -244,6 +246,12 @@ class InFlightWindow {
     cv_.wait(lock, [&] { return count_ == 0; });
   }
 
+  /// Jobs currently outstanding (the shed policy's queue-depth probe).
+  size_t Count() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+  }
+
  private:
   std::mutex mutex_;
   std::condition_variable cv_;
@@ -313,6 +321,38 @@ RequestPipeline::RequestPipeline(const PipelineOptions& options)
         PhaseName(Phase::kQueueWait) + "\"}");
     queue_seconds_ = metrics_->GetHistogram("knnshap_queue_wait_seconds");
     in_flight_ = metrics_->GetGauge("knnshap_in_flight_requests");
+    shed_metric_ = metrics_->GetCounter("knnshap_shed_total");
+    snapshot_failures_metric_ =
+        metrics_->GetCounter("knnshap_snapshot_failures_total");
+  }
+}
+
+JsonValue RequestPipeline::ShedResponse(const JsonValue& request) {
+  shed_total_.fetch_add(1, std::memory_order_relaxed);
+  if (shed_metric_ != nullptr) shed_metric_->Add(1);
+  JsonValue out =
+      ErrorResponse(Status::Unavailable("server overloaded: value queue full"));
+  out.Set("retry_after_ms",
+          JsonValue(static_cast<double>(options_.shed_retry_after_ms)));
+  if (request.Has("id")) out.Set("id", request.Get("id"));
+  return out;
+}
+
+void RequestPipeline::SnapshotNow() {
+  if (options_.snapshot_path.empty()) return;
+  if (FaultInjectionEnabled() && Fault("snapshot")) {
+    snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (snapshot_failures_metric_ != nullptr) snapshot_failures_metric_->Add(1);
+    return;
+  }
+  StatusOr<size_t> saved = engine_.SaveCache(options_.snapshot_path);
+  if (saved.ok()) {
+    snapshots_taken_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    // A failed snapshot never kills serving, and SaveCache's atomicity
+    // means the previous snapshot file is still intact.
+    snapshot_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (snapshot_failures_metric_ != nullptr) snapshot_failures_metric_->Add(1);
   }
 }
 
@@ -321,9 +361,34 @@ size_t RequestPipeline::Run(std::istream& in, std::ostream& out) {
   InFlightWindow window;
   size_t served = 0;
   std::string line;
-  while (std::getline(in, line)) {
+  // Periodic-snapshot cadence, ticked once per accepted value request on
+  // the reader thread (shed and malformed requests do not count).
+  auto value_snapshot_tick = [&] {
+    if (options_.snapshot_every == 0) return;
+    if (++values_since_snapshot_ >= options_.snapshot_every) {
+      values_since_snapshot_ = 0;
+      SnapshotNow();
+    }
+  };
+  auto shutdown_requested = [&] {
+    return options_.shutdown != nullptr &&
+           options_.shutdown->load(std::memory_order_relaxed);
+  };
+  while (!shutdown_requested() && std::getline(in, line)) {
     if (line.empty()) continue;
     ++served;
+    // Bound the parse: an over-long line is rejected before JSON-parsing
+    // (no "id" echo — the line was never parsed).
+    if (options_.max_line_bytes != 0 && line.size() > options_.max_line_bytes) {
+      emitter.EmitOrdered(
+          ErrorResponse(Status::InvalidArgument(
+                            "request line of " + std::to_string(line.size()) +
+                            " bytes exceeds the " +
+                            std::to_string(options_.max_line_bytes) +
+                            "-byte limit"))
+              .Dump());
+      continue;
+    }
     // Clock reads are metrics-gated: with observability off this loop
     // reads no clocks at all.
     std::chrono::steady_clock::time_point parse_start;
@@ -341,7 +406,10 @@ size_t RequestPipeline::Run(std::istream& in, std::ostream& out) {
       JsonValue response = OkResponse();
       if (op == "quit") response.Set("bye", JsonValue(true));
       emitter.EmitOrdered(response.Dump());
-      if (op == "quit") return served;
+      if (op == "quit") {
+        SnapshotNow();  // final flush: quit is a graceful exit
+        return served;
+      }
       continue;
     }
 
@@ -356,6 +424,18 @@ size_t RequestPipeline::Run(std::istream& in, std::ostream& out) {
         op == "save_cache" || op == "load_cache" || op == "stats" ||
         op == "metrics") {
       window.Drain();
+    }
+
+    // Admission control: with a bounded queue configured, an over-limit
+    // value request is shed on the reader thread — the client gets an
+    // immediate, structured unavailable instead of a frozen input stream.
+    // (In the serial loop nothing is ever in flight, so only max_queue=0
+    // sheds there — which is exactly the deterministic mode the
+    // serial-vs-pipelined byte-identity test runs.)
+    if (op == "value" && options_.max_queue >= 0 &&
+        window.Count() >= static_cast<size_t>(options_.max_queue)) {
+      emitter.EmitOrdered(ShedResponse(parsed.value).Dump());
+      continue;
     }
 
     if (op == "value" && options_.pipelined) {
@@ -380,12 +460,19 @@ size_t RequestPipeline::Run(std::istream& in, std::ostream& out) {
       if (prepared->explicit_parallel) {
         window.Drain();  // keep response-completion order == request order
         emitter.EmitOrdered(RunValue(*prepared).Dump());
+        value_snapshot_tick();
         continue;
       }
       // Otherwise cross-request concurrency replaces intra-request
       // sharding: a pool worker must not re-enter ParallelFor
       // (non-reentrant, see util/thread_pool.h).
       prepared->engine_request.parallel = false;
+      // Fault site: a simulated dispatch failure degrades to a shed — the
+      // request is declined, not lost, and the loop keeps serving.
+      if (FaultInjectionEnabled() && Fault("dispatch")) {
+        emitter.EmitOrdered(ShedResponse(parsed.value).Dump());
+        continue;
+      }
       const bool ordered = prepared->ordered;
       const uint64_t slot = ordered ? emitter.ReserveSlot() : 0;
       window.Acquire(max_in_flight_);
@@ -404,12 +491,17 @@ size_t RequestPipeline::Run(std::istream& in, std::ostream& out) {
         if (in_flight_ != nullptr) in_flight_->Add(-1);
         window.Release();
       });
+      value_snapshot_tick();
       continue;
     }
 
     emitter.EmitOrdered(HandleSync(parsed.value).Dump());
+    if (op == "value") value_snapshot_tick();
   }
+  // EOF or graceful shutdown: drain in-flight work, then one final
+  // snapshot so a restart resumes from the last served state.
   window.Drain();
+  SnapshotNow();
   return served;
 }
 
@@ -635,6 +727,32 @@ JsonValue RequestPipeline::Stats() const {
     datasets.Append(entry);
   }
   out.Set("datasets", datasets);
+  // Robustness counters: what the server declined or failed to do, next
+  // to what it did. Deterministic under --no-timing: uptime is
+  // timing-gated and the queue depth is drained to zero by the stats
+  // barrier.
+  JsonValue server = JsonValue::MakeObject();
+  if (options_.emit_timing) {
+    server.Set("uptime_seconds",
+               JsonValue(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_time_)
+                             .count()));
+  }
+  server.Set("queue_depth",
+             JsonValue(static_cast<double>(
+                 in_flight_ != nullptr ? in_flight_->Value() : 0)));
+  server.Set("shed_total",
+             JsonValue(static_cast<double>(
+                 shed_total_.load(std::memory_order_relaxed))));
+  server.Set("deadline_exceeded_total",
+             JsonValue(static_cast<double>(engine_.DeadlineExceededCount())));
+  server.Set("snapshots_taken",
+             JsonValue(static_cast<double>(
+                 snapshots_taken_.load(std::memory_order_relaxed))));
+  server.Set("snapshot_failures",
+             JsonValue(static_cast<double>(
+                 snapshot_failures_.load(std::memory_order_relaxed))));
+  out.Set("server", std::move(server));
   if (metrics_ != nullptr) out.Set("metrics", StatsMetricsJson());
   return out;
 }
@@ -737,14 +855,20 @@ JsonValue RequestPipeline::LoadCache(const JsonValue& request) {
     return ErrorResponse(
         Status::InvalidArgument("load_cache: 'path' is required", "path"));
   }
-  StatusOr<size_t> entries = engine_.LoadCache(path);
-  if (!entries.ok()) {
-    return ErrorResponse(Status::Error(entries.status().code(),
-                                       "load_cache: " + entries.status().message()));
+  StatusOr<CacheLoadResult> loaded = engine_.LoadCache(path);
+  if (!loaded.ok()) {
+    return ErrorResponse(Status::Error(loaded.status().code(),
+                                       "load_cache: " + loaded.status().message()));
   }
   JsonValue out = OkResponse();
   out.Set("path", JsonValue(path));
-  out.Set("entries", JsonValue(static_cast<double>(entries.value())));
+  out.Set("entries", JsonValue(static_cast<double>(loaded.value().entries)));
+  // Salvage is a success with a scar: the valid prefix of a damaged file
+  // was loaded, and the warning says where the damage started.
+  if (loaded.value().salvaged) {
+    out.Set("salvaged", JsonValue(true));
+    out.Set("warning", JsonValue(loaded.value().warning));
+  }
   return out;
 }
 
@@ -777,7 +901,7 @@ bool RequestPipeline::PrepareValue(const JsonValue& request, PreparedValue* prep
   static const std::vector<std::string> kValueProtocolFields = {
       "op",    "method",   "train",   "test",           "queries",
       "cache", "parallel", "ordered", "include_values", "id",
-      "trace"};
+      "trace", "deadline_ms"};
   if (Status status = CheckRequestFields(request, kValueProtocolFields);
       !status.ok()) {
     return fail(status);
@@ -833,6 +957,27 @@ bool RequestPipeline::PrepareValue(const JsonValue& request, PreparedValue* prep
         "value: need 'test' (dataset name) or 'queries'"));
   }
 
+  // Deadline: a per-request "deadline_ms" wins over the server-wide
+  // default. 0 is a valid (already-expired) deadline — the deterministic
+  // way to exercise the deadline_exceeded path.
+  int64_t deadline_ms = -1;
+  if (request.Has("deadline_ms")) {
+    const JsonValue& raw = request.Get("deadline_ms");
+    const double ms = raw.IsNumber() ? raw.AsNumber() : -1.0;
+    if (!raw.IsNumber() || ms < 0 || ms > 1e15 ||
+        ms != static_cast<double>(static_cast<int64_t>(ms))) {
+      return fail(Status::InvalidArgument(
+          "value: 'deadline_ms' must be a non-negative integer",
+          "deadline_ms"));
+    }
+    deadline_ms = static_cast<int64_t>(ms);
+  } else if (options_.default_deadline_ms > 0) {
+    deadline_ms = options_.default_deadline_ms;
+  }
+  if (deadline_ms >= 0) {
+    engine_request.cancel = std::make_shared<const CancelToken>(deadline_ms);
+  }
+
   engine_request.use_cache = request.Get("cache").AsBool(true);
   engine_request.parallel = request.Get("parallel").AsBool(true);
   // Deep tracing is on when the client asks ({"trace":true}), the server
@@ -864,6 +1009,7 @@ JsonValue RequestPipeline::RunValue(const PreparedValue& prepared) {
 
   ValuationReport report = engine_.Value(prepared.engine_request);
   report.queue_seconds = static_cast<double>(queue_nanos) * 1e-9;
+  report.shed_total = shed_total_.load(std::memory_order_relaxed);
   if (report.trace != nullptr) {
     if (queue_nanos != 0) report.trace->Add(Phase::kQueueWait, queue_nanos);
     if (prepared.parse_nanos != 0) {
@@ -881,6 +1027,13 @@ JsonValue RequestPipeline::RunValue(const PreparedValue& prepared) {
   if (!report.ok()) {
     JsonValue error_response = ErrorResponse(report.status);
     if (prepared.has_id) error_response.Set("id", prepared.id);
+    // A deadline error still echoes the partial trace when one was
+    // requested: the phases that ran before the deadline fired are
+    // exactly the diagnosis the client needs.
+    if (report.status.code() == StatusCode::kDeadlineExceeded &&
+        prepared.echo_trace && report.trace != nullptr) {
+      error_response.Set("trace", TraceJson(report, options_.emit_timing));
+    }
     return error_response;
   }
 

@@ -31,6 +31,8 @@
 #ifndef KNNSHAP_SERVE_PIPELINE_H_
 #define KNNSHAP_SERVE_PIPELINE_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -81,6 +83,37 @@ struct PipelineOptions {
   double slow_ms = 0.0;
   /// Slow-request log sink; nullptr = std::cerr (responses own stdout).
   std::ostream* slow_log = nullptr;
+  /// Admission control. -1 (default) keeps the legacy blocking
+  /// backpressure: the reader stalls when max_in_flight jobs are out.
+  /// >= 0 replaces blocking with load shedding — a value request arriving
+  /// while this many are already in flight is answered
+  /// {"ok":false,"code":"unavailable","retry_after_ms":...} immediately
+  /// on the reader thread, so overload degrades visibly instead of
+  /// silently freezing the input stream. 0 sheds every value request
+  /// (deterministic; the serial-vs-pipelined byte-identity test uses it).
+  int max_queue = -1;
+  /// retry_after_ms echoed on shed responses. A constant, not a latency
+  /// estimate, so shed responses are byte-deterministic.
+  int shed_retry_after_ms = 100;
+  /// Server-wide deadline (ms) applied to every value request that does
+  /// not carry its own "deadline_ms". 0 = none.
+  int64_t default_deadline_ms = 0;
+  /// Crash-safe periodic snapshots: after every `snapshot_every` value
+  /// requests, persist the result cache to `snapshot_path` (atomic
+  /// tmp+fsync+rename; a failure bumps a counter, never kills serving).
+  /// The path is also flushed once when Run exits (EOF / quit / graceful
+  /// shutdown). Empty path or 0 disables.
+  std::string snapshot_path;
+  size_t snapshot_every = 0;
+  /// Reject request lines longer than this many bytes with a structured
+  /// invalid_argument before JSON-parsing them (a malformed client cannot
+  /// make the reader allocate unboundedly). 0 = unlimited.
+  size_t max_line_bytes = 0;
+  /// Graceful shutdown (SIGINT/SIGTERM): when non-null and the pointee
+  /// becomes true, Run stops reading further requests, drains in-flight
+  /// work, flushes the snapshot and returns. knnshap_serve points this at
+  /// its signal-handler flag.
+  const std::atomic<bool>* shutdown = nullptr;
   EngineOptions engine;
 };
 
@@ -107,6 +140,13 @@ class RequestPipeline {
   /// The wired registry (null when observability is off). knnshap_serve
   /// uses this for --metrics-file.
   MetricsRegistry* Metrics() { return metrics_; }
+
+  /// Value requests shed by admission control since construction.
+  uint64_t ShedCount() const { return shed_total_.load(std::memory_order_relaxed); }
+  /// Periodic/final snapshot attempts that failed since construction.
+  uint64_t SnapshotFailures() const {
+    return snapshot_failures_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct PreparedValue;  // parsed+validated value request (pipeline.cpp)
@@ -136,6 +176,13 @@ class RequestPipeline {
   /// Invalidate engine state keyed by a corpus's pre-mutation contents.
   void InvalidateOld(uint64_t old_fingerprint);
 
+  /// One crash-safe snapshot to options_.snapshot_path (no-op when the
+  /// path is empty). Failures bump snapshot_failures_, never throw.
+  void SnapshotNow();
+
+  /// Shed bookkeeping + the unavailable response for one value request.
+  JsonValue ShedResponse(const JsonValue& request);
+
   PipelineOptions options_;
   ThreadPool* pool_;
   size_t max_in_flight_;
@@ -153,7 +200,18 @@ class RequestPipeline {
   Counter* queue_nanos_ = nullptr;
   Histogram* queue_seconds_ = nullptr;
   Gauge* in_flight_ = nullptr;
+  Counter* shed_metric_ = nullptr;
+  Counter* snapshot_failures_metric_ = nullptr;
   std::mutex slow_log_mutex_;
+
+  // Robustness counters (surfaced by the stats `server` section and
+  // FormatStatusLine). Values-since-last-snapshot is reader-thread-only.
+  std::atomic<uint64_t> shed_total_{0};
+  std::atomic<uint64_t> snapshots_taken_{0};
+  std::atomic<uint64_t> snapshot_failures_{0};
+  size_t values_since_snapshot_ = 0;
+  std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace knnshap

@@ -1,0 +1,11 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "util/cancel.h"
+
+namespace knnshap {
+namespace internal {
+
+thread_local const CancelToken* active_cancel = nullptr;
+
+}  // namespace internal
+}  // namespace knnshap

@@ -1,0 +1,130 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "util/fault.h"
+
+#include <cstdlib>
+
+namespace knnshap {
+namespace {
+
+// FNV-1a over the site name; mixed into the seed so distinct sites get
+// decorrelated p= sequences under one KNNSHAP_FAULTS_SEED.
+uint64_t HashName(const std::string& name) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t XorShift(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  *state = x;
+  return x;
+}
+
+}  // namespace
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = [] {
+    auto* r = new FaultRegistry();
+    const char* spec = std::getenv("KNNSHAP_FAULTS");
+    if (spec != nullptr && spec[0] != '\0') {
+      uint64_t seed = 0;
+      const char* seed_env = std::getenv("KNNSHAP_FAULTS_SEED");
+      if (seed_env != nullptr) seed = std::strtoull(seed_env, nullptr, 10);
+      r->Configure(spec, seed);
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+bool FaultRegistry::Configure(const std::string& spec, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  enabled_ = false;
+  if (spec.empty()) return true;
+
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      sites_.clear();
+      return false;
+    }
+    const std::string site = entry.substr(0, colon);
+    const std::string mode = entry.substr(colon + 1);
+    Site& s = sites_[site];
+    if (mode.rfind("after=", 0) == 0) {
+      char* parse_end = nullptr;
+      const std::string num = mode.substr(6);
+      const uint64_t value = std::strtoull(num.c_str(), &parse_end, 10);
+      if (num.empty() || parse_end == nullptr || *parse_end != '\0') {
+        sites_.clear();
+        return false;
+      }
+      s.has_after = true;
+      s.after = value;
+    } else if (mode.rfind("p=", 0) == 0) {
+      char* parse_end = nullptr;
+      const std::string num = mode.substr(2);
+      const double value = std::strtod(num.c_str(), &parse_end);
+      if (num.empty() || parse_end == nullptr || *parse_end != '\0' ||
+          value < 0.0 || value > 1.0) {
+        sites_.clear();
+        return false;
+      }
+      s.has_p = true;
+      s.p = value;
+      uint64_t state = seed ^ HashName(site);
+      if (state == 0) state = 0x9e3779b97f4a7c15ull;
+      s.rng_state = state;
+    } else {
+      sites_.clear();
+      return false;
+    }
+  }
+  enabled_ = !sites_.empty();
+  return true;
+}
+
+void FaultRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  enabled_ = false;
+}
+
+bool FaultRegistry::ShouldFail(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return false;
+  Site& s = it->second;
+  const uint64_t call = s.calls++;
+  if (s.has_after && call >= s.after) return true;
+  if (s.has_p && s.p > 0.0) {
+    // 53-bit uniform in [0,1): deterministic given the seeded state.
+    const double u = static_cast<double>(XorShift(&s.rng_state) >> 11) *
+                     (1.0 / 9007199254740992.0);
+    if (u < s.p) return true;
+  }
+  return false;
+}
+
+uint64_t FaultRegistry::CallCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.calls;
+}
+
+}  // namespace knnshap

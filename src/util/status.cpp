@@ -18,6 +18,10 @@ const char* StatusCodeName(StatusCode code) {
       return "data_loss";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

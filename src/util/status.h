@@ -28,6 +28,8 @@ enum class StatusCode {
   kFailedPrecondition,  ///< Request is well-formed but the data cannot serve it.
   kDataLoss,            ///< Corrupt or truncated persistent artifact.
   kInternal,            ///< Invariant violation surfaced as an error.
+  kDeadlineExceeded,    ///< Request deadline elapsed before completion.
+  kUnavailable,         ///< Transient overload: shed now, retry later.
 };
 
 /// Stable snake_case name of a code ("invalid_argument", ...).
@@ -60,6 +62,12 @@ class Status {
   }
   static Status DataLoss(std::string message) {
     return Error(StatusCode::kDataLoss, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Error(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Error(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

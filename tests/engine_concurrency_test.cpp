@@ -21,6 +21,8 @@
 #include "engine/engine.h"
 #include "engine/registry.h"
 #include "test_util.h"
+#include "util/cancel.h"
+#include "util/fault.h"
 #include "util/fingerprint.h"
 
 namespace knnshap {
@@ -380,9 +382,11 @@ TEST(EngineConcurrencyTest, InvalidateTrainPoisonsAnInFlightFit) {
 
 TEST(EngineConcurrencyTest, ThrowingFitReleasesTheSlotAndRetries) {
   // A factory (an arbitrary std::function) that throws must not leave the
-  // in-progress fit slot behind: the exception propagates to the caller,
-  // and the *next* request for the same key retries instead of
-  // deadlocking on an orphaned slot.
+  // in-progress fit slot behind — and the exception must not unwind into
+  // the caller either: on the serve path Value() runs on pool worker
+  // threads, where an escaping exception would terminate the process. It
+  // becomes a structured internal error, and the *next* request for the
+  // same key retries instead of deadlocking on an orphaned slot.
   std::atomic<int> calls{0};
   ValuatorRegistry registry;
   MethodSchema schema;
@@ -415,11 +419,88 @@ TEST(EngineConcurrencyTest, ThrowingFitReleasesTheSlotAndRetries) {
   request.train = corpus;
   request.test = queries;
 
-  EXPECT_THROW(engine.Value(request), std::runtime_error);
+  ValuationReport failed = engine.Value(request);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status.code(), StatusCode::kInternal);
+  EXPECT_NE(failed.status.message().find("fit failed"), std::string::npos)
+      << failed.status.ToString();
   // The key is not wedged: the retry fits and serves.
   ValuationReport retry = engine.Value(request);
   EXPECT_TRUE(retry.ok()) << retry.status.ToString();
   EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(EngineConcurrencyTest, CancelledFitReleasesTheSlotWithoutPoisoning) {
+  // A fit whose deadline fires mid-flight must retire its slot as
+  // cancelled — installing nothing in the registry — and the next request
+  // for the same key must become a fresh owner and fit cleanly, not
+  // deadlock on an orphaned slot or inherit a half-built structure.
+  auto cancel = std::make_shared<const CancelToken>();
+  std::atomic<int> calls{0};
+  ValuatorRegistry registry;
+  MethodSchema schema;
+  schema.name = "cancelly";
+  schema.params = ResolveParams({"k"});
+  schema.tasks = {KnnTask::kClassification};
+  registry.Register(schema, [&](const ValuatorParams& params)
+                                -> std::unique_ptr<Valuator> {
+    // First factory call simulates the deadline expiring during the fit.
+    if (calls.fetch_add(1) == 0) cancel->Cancel();
+    auto rendezvous = std::make_shared<FitRendezvous>();
+    rendezvous->overlapped = true;
+    struct Holder : RendezvousValuator {
+      std::shared_ptr<FitRendezvous> keep;
+      Holder(ValuatorParams p, std::shared_ptr<FitRendezvous> r)
+          : RendezvousValuator(std::move(p), r.get()), keep(std::move(r)) {}
+    };
+    return std::make_unique<Holder>(params, std::move(rendezvous));
+  });
+
+  EngineOptions options;
+  options.registry = &registry;
+  ValuationEngine engine(options);
+  auto corpus = std::make_shared<const Dataset>(RandomClassDataset(20, 2, 3, 341));
+  auto queries = std::make_shared<const Dataset>(RandomClassDataset(2, 2, 3, 342));
+  ValuationRequest request;
+  request.method = "cancelly";
+  request.train = corpus;
+  request.test = queries;
+  request.cancel = cancel;
+
+  ValuationReport cancelled = engine.Value(request);
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(engine.FittedCount(), 0u);  // nothing installed
+  EXPECT_EQ(engine.DeadlineExceededCount(), 1u);
+
+  // The same key from an uncancelled client fits from scratch.
+  request.cancel = nullptr;
+  ValuationReport retry = engine.Value(request);
+  EXPECT_TRUE(retry.ok()) << retry.status.ToString();
+  EXPECT_FALSE(retry.fit_reused);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(engine.FittedCount(), 1u);
+}
+
+TEST(EngineConcurrencyTest, InjectedFitFaultIsAStructuredInternalError) {
+  // The `fit` chaos site: with KNNSHAP_FAULTS=fit:after=0 semantics the
+  // fit fails as a structured kInternal response (never an escaped
+  // exception), and once the fault is cleared the same key recovers.
+  std::vector<Workload> workloads = MixedWorkloads();
+  ValuationEngine engine;
+  ASSERT_TRUE(FaultRegistry::Global().Configure("fit:after=0"));
+  ValuationReport faulted = engine.Value(
+      ToRequest(workloads[0], /*parallel=*/false, /*use_cache=*/false));
+  FaultRegistry::Global().Reset();
+  EXPECT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status.code(), StatusCode::kInternal);
+  EXPECT_NE(faulted.status.message().find("injected fit fault"),
+            std::string::npos)
+      << faulted.status.ToString();
+
+  ValuationReport recovered = engine.Value(
+      ToRequest(workloads[0], /*parallel=*/false, /*use_cache=*/false));
+  EXPECT_TRUE(recovered.ok()) << recovered.status.ToString();
 }
 
 TEST(EngineConcurrencyTest, PrecomputedFingerprintsMatchEngineHashing) {

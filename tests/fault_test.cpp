@@ -1,0 +1,133 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Tests for the deterministic fault-injection registry: spec parsing,
+// after=N and p=F firing semantics, seeded reproducibility, and the
+// disabled fast path the production binary rides.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/fault.h"
+
+namespace knnshap {
+namespace {
+
+// Every test drives a fresh local registry; the process-global instance
+// (the one the KNNSHAP_FAULTS env feeds) is deliberately left alone so
+// tests cannot poison each other through it.
+TEST(FaultRegistryTest, UnconfiguredRegistryNeverFails) {
+  FaultRegistry faults;
+  EXPECT_FALSE(faults.enabled());
+  EXPECT_FALSE(faults.ShouldFail("cache_write"));
+  EXPECT_EQ(faults.CallCount("cache_write"), 0u);  // not even counted
+}
+
+TEST(FaultRegistryTest, AfterFiresOnEveryCallStrictlyAfterN) {
+  FaultRegistry faults;
+  ASSERT_TRUE(faults.Configure("fit:after=3"));
+  EXPECT_TRUE(faults.enabled());
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(faults.ShouldFail("fit"));
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, false, true, true, true}));
+  EXPECT_EQ(faults.CallCount("fit"), 6u);
+}
+
+TEST(FaultRegistryTest, AfterZeroAlwaysFires) {
+  FaultRegistry faults;
+  ASSERT_TRUE(faults.Configure("snapshot:after=0"));
+  EXPECT_TRUE(faults.ShouldFail("snapshot"));
+  EXPECT_TRUE(faults.ShouldFail("snapshot"));
+}
+
+TEST(FaultRegistryTest, SitesAreIndependent) {
+  FaultRegistry faults;
+  ASSERT_TRUE(faults.Configure("cache_write:after=1,cache_rename:after=0"));
+  EXPECT_FALSE(faults.ShouldFail("cache_write"));   // call 0
+  EXPECT_TRUE(faults.ShouldFail("cache_rename"));   // fires immediately
+  EXPECT_TRUE(faults.ShouldFail("cache_write"));    // call 1
+  EXPECT_FALSE(faults.ShouldFail("unlisted_site")); // never configured
+  EXPECT_EQ(faults.CallCount("unlisted_site"), 0u);
+}
+
+TEST(FaultRegistryTest, ProbabilityZeroAndOneAreExact) {
+  FaultRegistry never;
+  ASSERT_TRUE(never.Configure("fit:p=0", /*seed=*/7));
+  FaultRegistry always;
+  ASSERT_TRUE(always.Configure("fit:p=1", /*seed=*/7));
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(never.ShouldFail("fit"));
+    EXPECT_TRUE(always.ShouldFail("fit"));
+  }
+}
+
+TEST(FaultRegistryTest, ProbabilityDrawsAreSeedDeterministic) {
+  auto draw = [](uint64_t seed) {
+    FaultRegistry faults;
+    EXPECT_TRUE(faults.Configure("fit:p=0.5", seed));
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) outcomes.push_back(faults.ShouldFail("fit"));
+    return outcomes;
+  };
+  EXPECT_EQ(draw(42), draw(42));   // same seed, same chaos
+  EXPECT_NE(draw(42), draw(43));   // different seed, different chaos
+}
+
+TEST(FaultRegistryTest, ProbabilityStreamsArePerSite) {
+  // Two sites with the same p under one seed draw from distinct streams
+  // (the per-site FNV mix) — site A's draws do not shift site B's.
+  FaultRegistry both;
+  ASSERT_TRUE(both.Configure("a:p=0.5,b:p=0.5", /*seed=*/9));
+  FaultRegistry only_b;
+  ASSERT_TRUE(only_b.Configure("b:p=0.5", /*seed=*/9));
+  std::vector<bool> b_with_a, b_alone;
+  for (int i = 0; i < 64; ++i) {
+    (void)both.ShouldFail("a");
+    b_with_a.push_back(both.ShouldFail("b"));
+    b_alone.push_back(only_b.ShouldFail("b"));
+  }
+  EXPECT_EQ(b_with_a, b_alone);
+}
+
+TEST(FaultRegistryTest, MalformedSpecsAreRejectedWhole) {
+  const char* bad[] = {
+      "fit",             // no mode
+      "fit:after=",      // empty value
+      "fit:after=x",     // not a number
+      "fit:p=1.5",       // out of [0,1]
+      "fit:p=-0.1",      // out of [0,1]
+      "fit:count=3",     // unknown mode
+      ":after=1",        // empty site
+      "fit:after=1,bad", // one bad clause poisons the spec
+  };
+  for (const char* spec : bad) {
+    FaultRegistry faults;
+    EXPECT_FALSE(faults.Configure(spec)) << spec;
+    // Rejection is atomic: nothing from the bad spec is live.
+    EXPECT_FALSE(faults.enabled()) << spec;
+    EXPECT_FALSE(faults.ShouldFail("fit")) << spec;
+  }
+}
+
+TEST(FaultRegistryTest, EmptySpecDisables) {
+  FaultRegistry faults;
+  ASSERT_TRUE(faults.Configure("fit:after=0"));
+  ASSERT_TRUE(faults.ShouldFail("fit"));
+  ASSERT_TRUE(faults.Configure(""));
+  EXPECT_FALSE(faults.enabled());
+  EXPECT_FALSE(faults.ShouldFail("fit"));
+}
+
+TEST(FaultRegistryTest, ResetClearsConfigurationAndCounts) {
+  FaultRegistry faults;
+  ASSERT_TRUE(faults.Configure("fit:after=0"));
+  ASSERT_TRUE(faults.ShouldFail("fit"));
+  faults.Reset();
+  EXPECT_FALSE(faults.enabled());
+  EXPECT_FALSE(faults.ShouldFail("fit"));
+  EXPECT_EQ(faults.CallCount("fit"), 0u);
+}
+
+}  // namespace
+}  // namespace knnshap

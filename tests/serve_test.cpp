@@ -9,17 +9,24 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "engine/result_cache.h"
 #include "engine/valuators.h"
 #include "knn/distance_kernel.h"
 #include "serve/pipeline.h"
 #include "test_util.h"
+#include "util/fault.h"
 #include "util/json.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -690,6 +697,482 @@ TEST(ServeTest, TraceAllTracesEveryValueResponse) {
   ASSERT_TRUE(response.Get("ok").AsBool()) << response.Dump();
   EXPECT_TRUE(response.Has("trace"));
   EXPECT_TRUE(response.Get("trace").Get("spans").Has("distance"));
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: deadlines, shedding, line limits, snapshots, salvage.
+// ---------------------------------------------------------------------------
+
+TEST(ServeTest, DeadlineZeroIsDeterministicAcrossSerialAndPipelined) {
+  // "deadline_ms":0 is an already-expired deadline checked before the
+  // cache probe: the response is deadline_exceeded on every machine, so
+  // it can interleave with ok traffic in a byte-stable transcript.
+  std::vector<std::string> lines;
+  lines.push_back(R"({"op":"load","name":"a","rows":)" + RowsJson(25, 3, 2, 61) +
+                  R"(,"target":"label"})");
+  lines.push_back(R"({"op":"value","train":"a","queries":)" +
+                  RowsJson(2, 3, 2, 62) + R"(,"method":"exact","k":3})");
+  lines.push_back(R"({"op":"value","train":"a","queries":)" +
+                  RowsJson(2, 3, 2, 62) +
+                  R"(,"method":"exact","k":3,"deadline_ms":0,"id":"dl"})");
+  lines.push_back(R"({"op":"value","train":"a","queries":)" +
+                  RowsJson(2, 3, 2, 62) + R"(,"method":"exact","k":3})");
+  lines.push_back(R"({"op":"quit"})");
+  const std::string input = Join(lines);
+
+  ThreadPool pool(4);
+  PipelineOptions serial;
+  serial.pipelined = false;
+  serial.emit_timing = false;
+  PipelineOptions pipelined;
+  pipelined.pool = &pool;
+  pipelined.emit_timing = false;
+  const std::string serial_out = RunSession(input, serial);
+  EXPECT_EQ(serial_out, RunSession(input, pipelined));
+
+  std::istringstream parse(serial_out);
+  std::string line;
+  std::vector<JsonValue> responses;
+  while (std::getline(parse, line)) responses.push_back(ParseJson(line).value);
+  ASSERT_EQ(responses.size(), lines.size());
+  EXPECT_TRUE(responses[1].Get("ok").AsBool());
+  EXPECT_FALSE(responses[2].Get("ok").AsBool());
+  EXPECT_EQ(responses[2].Get("code").AsString(), "deadline_exceeded");
+  EXPECT_EQ(responses[2].Get("id").AsString(), "dl");
+  // The expired request poisons nothing: its identical successor is fine
+  // (and still a cache hit from the first run — the deadline check runs
+  // before the probe, so nothing partial was ever cached).
+  EXPECT_TRUE(responses[3].Get("ok").AsBool());
+  EXPECT_TRUE(responses[3].Get("cache_hit").AsBool());
+}
+
+TEST(ServeTest, DeadlineErrorEchoesThePartialTrace) {
+  PipelineOptions options;
+  options.emit_timing = false;
+  RequestPipeline pipeline(options);
+  pipeline.HandleSync(ParseJson(R"({"op":"load","name":"a","rows":)" +
+                                RowsJson(20, 3, 2, 63) +
+                                R"(,"target":"label"})")
+                          .value);
+  JsonValue response = pipeline.HandleSync(
+      ParseJson(R"({"op":"value","train":"a","queries":)" +
+                RowsJson(2, 3, 2, 64) +
+                R"(,"method":"exact","k":3,"deadline_ms":0,"trace":true})")
+          .value);
+  EXPECT_FALSE(response.Get("ok").AsBool());
+  EXPECT_EQ(response.Get("code").AsString(), "deadline_exceeded");
+  // The phases that ran before the deadline fired come back with the
+  // error — for deadline_ms:0 that is exactly the validate span.
+  ASSERT_TRUE(response.Has("trace")) << response.Dump();
+  EXPECT_TRUE(response.Get("trace").Get("spans").Has("validate"));
+}
+
+TEST(ServeTest, TightDeadlineOnLargeCorpusAnswersPromptly) {
+  // The acceptance pin: a 1 ms deadline on a corpus whose valuation takes
+  // far longer must come back deadline_exceeded promptly (block-granular
+  // polling bounds the overshoot), and a concurrent normal request on the
+  // same pipeline completes untouched.
+  const std::string corpus = RowsJson(3000, 8, 2, 65);
+  const std::string queries = RowsJson(16, 8, 2, 66);
+  PipelineOptions options;
+  options.emit_timing = false;
+  RequestPipeline pipeline(options);
+  pipeline.HandleSync(ParseJson(R"({"op":"load","name":"big","rows":)" +
+                                corpus + R"(,"target":"label"})")
+                          .value);
+
+  // Uncancelled baseline (also warms the fit, isolating the value loop).
+  JsonValue baseline = pipeline.HandleSync(
+      ParseJson(R"({"op":"value","train":"big","queries":)" + queries +
+                R"(,"method":"exact","k":5,"cache":false})")
+          .value);
+  ASSERT_TRUE(baseline.Get("ok").AsBool()) << baseline.Dump();
+
+  const auto start = std::chrono::steady_clock::now();
+  JsonValue expired = pipeline.HandleSync(
+      ParseJson(R"({"op":"value","train":"big","queries":)" + queries +
+                R"(,"method":"exact","k":5,"cache":false,"deadline_ms":1})")
+          .value);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(expired.Get("ok").AsBool()) << expired.Dump();
+  EXPECT_EQ(expired.Get("code").AsString(), "deadline_exceeded");
+  // Pinned latency bound: generous enough for a loaded CI box, far below
+  // the uncancelled runtime of a 3000x16 valuation on one thread.
+  EXPECT_LT(elapsed, 2.0);
+
+  // The same request without a deadline still completes normally.
+  JsonValue after = pipeline.HandleSync(
+      ParseJson(R"({"op":"value","train":"big","queries":)" + queries +
+                R"(,"method":"exact","k":5,"cache":false})")
+          .value);
+  EXPECT_TRUE(after.Get("ok").AsBool()) << after.Dump();
+}
+
+TEST(ServeTest, InvalidDeadlineIsAStructuredFieldError) {
+  PipelineOptions options;
+  options.emit_timing = false;
+  RequestPipeline pipeline(options);
+  pipeline.HandleSync(ParseJson(R"({"op":"load","name":"a","rows":)" +
+                                RowsJson(10, 3, 2, 67) +
+                                R"(,"target":"label"})")
+                          .value);
+  for (const char* bad : {R"("soon")", "-1", "2.5"}) {
+    JsonValue response = pipeline.HandleSync(
+        ParseJson(R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],)"
+                  R"("deadline_ms":)" +
+                  std::string(bad) + "}")
+            .value);
+    EXPECT_FALSE(response.Get("ok").AsBool()) << bad;
+    EXPECT_EQ(response.Get("code").AsString(), "invalid_argument") << bad;
+    EXPECT_EQ(response.Get("field").AsString(), "deadline_ms") << bad;
+  }
+}
+
+TEST(ServeTest, DefaultDeadlineAppliesWhenRequestCarriesNone) {
+  PipelineOptions options;
+  options.emit_timing = false;
+  options.default_deadline_ms = 1;
+  RequestPipeline pipeline(options);
+  pipeline.HandleSync(ParseJson(R"({"op":"load","name":"big","rows":)" +
+                                RowsJson(3000, 8, 2, 68) +
+                                R"(,"target":"label"})")
+                          .value);
+  JsonValue response = pipeline.HandleSync(
+      ParseJson(R"({"op":"value","train":"big","queries":)" +
+                RowsJson(16, 8, 2, 69) + R"(,"method":"exact","k":5})")
+          .value);
+  // 1 ms covers neither the fit nor the first distance block of a
+  // 3000-row corpus: the server-wide default deadline fires.
+  EXPECT_FALSE(response.Get("ok").AsBool());
+  EXPECT_EQ(response.Get("code").AsString(), "deadline_exceeded");
+}
+
+TEST(ServeTest, ShedModeIsByteStableAcrossSerialAndPipelined) {
+  // max_queue=0 sheds every value request in both loops (the serial loop
+  // never has anything in flight, so 0 is the one deterministic setting):
+  // shed responses interleaved with control-plane ok responses must be
+  // byte-identical serial vs pipelined.
+  std::vector<std::string> lines;
+  lines.push_back(R"({"op":"load","name":"a","rows":)" + RowsJson(15, 3, 2, 71) +
+                  R"(,"target":"label"})");
+  lines.push_back(R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],"id":"v1"})");
+  lines.push_back(R"({"op":"ping"})");
+  lines.push_back(R"({"op":"value","train":"a","queries":[[0.4,0.5,0.6,0]],"id":"v2"})");
+  lines.push_back(R"({"op":"stats"})");
+  lines.push_back(R"({"op":"quit"})");
+  const std::string input = Join(lines);
+
+  ThreadPool pool(4);
+  PipelineOptions serial;
+  serial.pipelined = false;
+  serial.emit_timing = false;
+  serial.max_queue = 0;
+  PipelineOptions pipelined;
+  pipelined.pool = &pool;
+  pipelined.emit_timing = false;
+  pipelined.max_queue = 0;
+  const std::string serial_out = RunSession(input, serial);
+  EXPECT_EQ(serial_out, RunSession(input, pipelined));
+
+  std::istringstream parse(serial_out);
+  std::string line;
+  std::vector<JsonValue> responses;
+  while (std::getline(parse, line)) responses.push_back(ParseJson(line).value);
+  ASSERT_EQ(responses.size(), lines.size());
+  for (int i : {1, 3}) {
+    EXPECT_FALSE(responses[i].Get("ok").AsBool()) << i;
+    EXPECT_EQ(responses[i].Get("code").AsString(), "unavailable") << i;
+    EXPECT_EQ(responses[i].Get("retry_after_ms").AsNumber(), 100.0) << i;
+  }
+  EXPECT_EQ(responses[1].Get("id").AsString(), "v1");
+  EXPECT_EQ(responses[3].Get("id").AsString(), "v2");
+  // The stats barrier sees both sheds in the server section.
+  EXPECT_EQ(responses[4].Get("server").Get("shed_total").AsNumber(), 2.0);
+  EXPECT_EQ(responses[4].Get("server").Get("queue_depth").AsNumber(), 0.0);
+}
+
+TEST(ServeTest, OverloadShedsInsteadOfBlockingTheReader) {
+  // Real backpressure shedding: a one-thread pool wedged by a directly
+  // submitted blocker, max_queue=1. The first value occupies the window;
+  // the second arrives over-limit and is shed on the reader thread. The
+  // blocker is released only after the shed proves the reader never
+  // blocked behind the wedged pool.
+  ThreadPool pool(1);
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_open; });
+  });
+
+  PipelineOptions options;
+  options.pool = &pool;
+  options.emit_timing = false;
+  options.max_queue = 1;
+  RequestPipeline pipeline(options);
+
+  std::vector<std::string> lines;
+  lines.push_back(R"({"op":"load","name":"a","rows":)" + RowsJson(15, 3, 2, 72) +
+                  R"(,"target":"label"})");
+  lines.push_back(R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],"id":"runs"})");
+  lines.push_back(R"({"op":"value","train":"a","queries":[[0.4,0.5,0.6,0]],"id":"shed"})");
+  lines.push_back(R"({"op":"quit"})");
+  std::istringstream in(Join(lines));
+  std::ostringstream out;
+  std::thread server([&] { pipeline.Run(in, out); });
+  // The reader sheds the second value without waiting for the pool; once
+  // the shed lands, open the gate so the first value (and quit's drain)
+  // can finish.
+  while (pipeline.ShedCount() == 0) std::this_thread::yield();
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+  }
+  gate_cv.notify_all();
+  server.join();
+
+  std::istringstream parse(out.str());
+  std::string line;
+  std::vector<JsonValue> responses;
+  while (std::getline(parse, line)) responses.push_back(ParseJson(line).value);
+  ASSERT_EQ(responses.size(), lines.size());
+  EXPECT_TRUE(responses[1].Get("ok").AsBool());
+  EXPECT_EQ(responses[1].Get("id").AsString(), "runs");
+  EXPECT_FALSE(responses[2].Get("ok").AsBool());
+  EXPECT_EQ(responses[2].Get("code").AsString(), "unavailable");
+  EXPECT_EQ(responses[2].Get("id").AsString(), "shed");
+  EXPECT_EQ(pipeline.ShedCount(), 1u);
+}
+
+TEST(ServeTest, OversizedLinesAreRejectedDeterministically) {
+  std::vector<std::string> lines;
+  lines.push_back(R"({"op":"load","name":"a","rows":)" + RowsJson(10, 3, 2, 73) +
+                  R"(,"target":"label"})");
+  // A huge (syntactically valid) request line: rejected before parsing.
+  std::string big = R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],"id":")";
+  big += std::string(200'000, 'x');
+  big += R"("})";
+  lines.push_back(big);
+  lines.push_back(R"({"op":"ping"})");
+  lines.push_back(R"({"op":"quit"})");
+  const std::string input = Join(lines);
+
+  ThreadPool pool(2);
+  PipelineOptions serial;
+  serial.pipelined = false;
+  serial.emit_timing = false;
+  serial.max_line_bytes = 64 * 1024;
+  PipelineOptions pipelined = serial;
+  pipelined.pipelined = true;
+  pipelined.pool = &pool;
+  const std::string serial_out = RunSession(input, serial);
+  EXPECT_EQ(serial_out, RunSession(input, pipelined));
+
+  std::istringstream parse(serial_out);
+  std::string line;
+  std::vector<JsonValue> responses;
+  while (std::getline(parse, line)) responses.push_back(ParseJson(line).value);
+  ASSERT_EQ(responses.size(), lines.size());
+  EXPECT_FALSE(responses[1].Get("ok").AsBool());
+  EXPECT_EQ(responses[1].Get("code").AsString(), "invalid_argument");
+  EXPECT_TRUE(responses[2].Get("ok").AsBool());  // loop keeps serving
+}
+
+TEST(ServeTest, PeriodicSnapshotsAndFinalFlushPersistTheCache) {
+  const std::string snap_path = "serve_test_snapshot.bin";
+  std::remove(snap_path.c_str());
+  PipelineOptions options;
+  options.emit_timing = false;
+  options.snapshot_path = snap_path;
+  options.snapshot_every = 2;
+
+  std::vector<std::string> lines;
+  lines.push_back(R"({"op":"load","name":"a","rows":)" + RowsJson(20, 3, 2, 74) +
+                  R"(,"target":"label"})");
+  for (int i = 0; i < 3; ++i) {
+    lines.push_back(R"({"op":"value","train":"a","queries":)" +
+                    RowsJson(2, 3, 2, 75 + static_cast<uint64_t>(i)) +
+                    R"(,"method":"exact","k":3})");
+  }
+  lines.push_back(R"({"op":"quit"})");
+  RunSession(Join(lines), options);
+
+  // The exit flush (and the periodic snapshot before it) persisted all
+  // three results: a fresh cache warm-starts from the file.
+  ResultCache restored(8);
+  StatusOr<CacheLoadResult> loaded = restored.LoadFrom(snap_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().entries, 3u);
+  EXPECT_FALSE(loaded.value().salvaged);
+  std::remove(snap_path.c_str());
+}
+
+TEST(ServeTest, SnapshotFailuresAreCountedNeverFatal) {
+  const std::string snap_path = "serve_test_snapfail.bin";
+  std::remove(snap_path.c_str());
+  PipelineOptions options;
+  options.emit_timing = false;
+  options.snapshot_path = snap_path;
+  options.snapshot_every = 1;
+  ASSERT_TRUE(FaultRegistry::Global().Configure("snapshot:after=0"));
+
+  std::vector<std::string> lines;
+  lines.push_back(R"({"op":"load","name":"a","rows":)" + RowsJson(15, 3, 2, 78) +
+                  R"(,"target":"label"})");
+  lines.push_back(R"({"op":"value","train":"a","queries":[[0.1,0.2,0.3,1]],"k":3})");
+  lines.push_back(R"({"op":"stats"})");
+  lines.push_back(R"({"op":"quit"})");
+  RequestPipeline pipeline(options);
+  std::istringstream in(Join(lines));
+  std::ostringstream out;
+  pipeline.Run(in, out);
+  FaultRegistry::Global().Reset();
+
+  // Serving continued; the failures were counted (periodic + exit flush)
+  // and surfaced in stats; no snapshot file was produced.
+  EXPECT_GE(pipeline.SnapshotFailures(), 2u);
+  std::istringstream parse(out.str());
+  std::string line;
+  std::vector<JsonValue> responses;
+  while (std::getline(parse, line)) responses.push_back(ParseJson(line).value);
+  ASSERT_EQ(responses.size(), lines.size());
+  EXPECT_TRUE(responses[1].Get("ok").AsBool());
+  EXPECT_GE(responses[2].Get("server").Get("snapshot_failures").AsNumber(), 1.0);
+  std::ifstream snap(snap_path, std::ios::binary);
+  EXPECT_FALSE(snap.good());
+}
+
+TEST(ServeTest, LoadCacheSalvagesTornSnapshotsThroughServe) {
+  const std::string cache_path = "serve_test_salvage.bin";
+  std::remove(cache_path.c_str());
+  PipelineOptions options;
+  options.emit_timing = false;
+
+  // Build a two-entry cache file through the serve surface.
+  std::vector<std::string> lines;
+  lines.push_back(R"({"op":"load","name":"a","rows":)" + RowsJson(20, 3, 2, 81) +
+                  R"(,"target":"label"})");
+  lines.push_back(R"({"op":"value","train":"a","queries":)" +
+                  RowsJson(2, 3, 2, 82) + R"(,"method":"exact","k":3})");
+  lines.push_back(R"({"op":"value","train":"a","queries":)" +
+                  RowsJson(2, 3, 2, 83) + R"(,"method":"exact","k":4})");
+  lines.push_back(R"({"op":"save_cache","path":")" + cache_path + R"("})");
+  lines.push_back(R"({"op":"quit"})");
+  RunSession(Join(lines), options);
+
+  // Tear off the tail (simulated crash mid-write of a *non-atomic*
+  // producer, or torn tmp file picked up after a kill).
+  std::ifstream in_file(cache_path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in_file)),
+                    std::istreambuf_iterator<char>());
+  in_file.close();
+  ASSERT_GT(bytes.size(), 30u);
+  std::ofstream(cache_path, std::ios::binary | std::ios::trunc)
+      .write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 9));
+
+  RequestPipeline fresh(options);
+  JsonValue response = fresh.HandleSync(
+      ParseJson(R"({"op":"load_cache","path":")" + cache_path + R"("})").value);
+  ASSERT_TRUE(response.Get("ok").AsBool()) << response.Dump();
+  EXPECT_EQ(response.Get("entries").AsNumber(), 1.0);
+  EXPECT_TRUE(response.Get("salvaged").AsBool());
+  EXPECT_NE(response.Get("warning").AsString().find("salvaged 1 of 2"),
+            std::string::npos)
+      << response.Dump();
+  std::remove(cache_path.c_str());
+}
+
+TEST(ServeTest, KillMidSaveThenRestartRecoversThePriorSnapshot) {
+  // The acceptance flow end to end: a good snapshot exists; a later save
+  // is killed mid-write by fault injection; the "restarted" server
+  // load_caches the same path and recovers the prior snapshot intact.
+  const std::string cache_path = "serve_test_killsave.bin";
+  std::remove(cache_path.c_str());
+  PipelineOptions options;
+  options.emit_timing = false;
+
+  {
+    RequestPipeline pipeline(options);
+    auto handle = [&](const std::string& line) {
+      return pipeline.HandleSync(ParseJson(line).value);
+    };
+    handle(R"({"op":"load","name":"a","rows":)" + RowsJson(20, 3, 2, 84) +
+           R"(,"target":"label"})");
+    handle(R"({"op":"value","train":"a","queries":)" + RowsJson(2, 3, 2, 85) +
+           R"(,"method":"exact","k":3})");
+    JsonValue saved =
+        handle(R"({"op":"save_cache","path":")" + cache_path + R"("})");
+    ASSERT_TRUE(saved.Get("ok").AsBool()) << saved.Dump();
+
+    // Second save dies mid-write: the response is a structured data_loss
+    // error and the on-disk snapshot is untouched.
+    handle(R"({"op":"value","train":"a","queries":)" + RowsJson(2, 3, 2, 86) +
+           R"(,"method":"exact","k":4})");
+    ASSERT_TRUE(FaultRegistry::Global().Configure("cache_write:after=1"));
+    JsonValue crashed =
+        handle(R"({"op":"save_cache","path":")" + cache_path + R"("})");
+    FaultRegistry::Global().Reset();
+    EXPECT_FALSE(crashed.Get("ok").AsBool());
+    EXPECT_EQ(crashed.Get("code").AsString(), "data_loss");
+  }
+
+  RequestPipeline restarted(options);
+  JsonValue recovered = restarted.HandleSync(
+      ParseJson(R"({"op":"load_cache","path":")" + cache_path + R"("})").value);
+  ASSERT_TRUE(recovered.Get("ok").AsBool()) << recovered.Dump();
+  EXPECT_EQ(recovered.Get("entries").AsNumber(), 1.0);
+  EXPECT_FALSE(recovered.Has("salvaged"));
+  std::remove(cache_path.c_str());
+  std::remove((cache_path + ".tmp").c_str());
+}
+
+TEST(ServeTest, GracefulShutdownFlagStopsTheLoopAndFlushes) {
+  const std::string snap_path = "serve_test_shutdown.bin";
+  std::remove(snap_path.c_str());
+  std::atomic<bool> shutdown{false};
+  PipelineOptions options;
+  options.emit_timing = false;
+  options.snapshot_path = snap_path;
+  options.shutdown = &shutdown;
+  RequestPipeline pipeline(options);
+
+  // The flag is already up: the loop must not read a single request, but
+  // still runs its exit path (drain + snapshot flush).
+  shutdown.store(true);
+  std::istringstream in(R"({"op":"ping"})" "\n");
+  std::ostringstream out;
+  const size_t served = pipeline.Run(in, out);
+  EXPECT_EQ(served, 0u);
+  EXPECT_TRUE(out.str().empty());
+  std::ifstream snap(snap_path, std::ios::binary);
+  EXPECT_TRUE(snap.good());  // exit flush wrote (an empty) snapshot
+  std::remove(snap_path.c_str());
+}
+
+TEST(ServeTest, StatsServerSectionReportsRobustnessCounters) {
+  PipelineOptions options;
+  RequestPipeline pipeline(options);  // timing ON: uptime present
+  JsonValue stats = pipeline.HandleSync(ParseJson(R"({"op":"stats"})").value);
+  ASSERT_TRUE(stats.Get("ok").AsBool());
+  const JsonValue& server = stats.Get("server");
+  ASSERT_TRUE(server.IsObject()) << stats.Dump();
+  EXPECT_GE(server.Get("uptime_seconds").AsNumber(), 0.0);
+  EXPECT_EQ(server.Get("queue_depth").AsNumber(), 0.0);
+  EXPECT_EQ(server.Get("shed_total").AsNumber(), 0.0);
+  EXPECT_EQ(server.Get("deadline_exceeded_total").AsNumber(), 0.0);
+  EXPECT_EQ(server.Get("snapshots_taken").AsNumber(), 0.0);
+  EXPECT_EQ(server.Get("snapshot_failures").AsNumber(), 0.0);
+
+  PipelineOptions untimed;
+  untimed.emit_timing = false;
+  RequestPipeline masked(untimed);
+  JsonValue masked_stats =
+      masked.HandleSync(ParseJson(R"({"op":"stats"})").value);
+  // Byte-determinism: no wall-clock value under --no-timing.
+  EXPECT_FALSE(masked_stats.Get("server").Has("uptime_seconds"));
 }
 
 TEST(ServeTest, GoldenTranscriptReproduces) {

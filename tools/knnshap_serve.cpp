@@ -31,9 +31,27 @@
 //                     milliseconds, engine time + queue wait
 //   --metrics-file=P  dump the metrics registry as JSON to P on exit
 //
+// Robustness flags (see src/serve/README.md, "Failure semantics"):
+//   --max-queue=N            shed value requests arriving while N are
+//                            already in flight ({"code":"unavailable"} +
+//                            retry_after_ms) instead of blocking the
+//                            reader; -1 (default) keeps blocking
+//                            backpressure
+//   --default-deadline-ms=N  server-wide deadline for value requests that
+//                            carry no "deadline_ms" of their own
+//   --snapshot=P             crash-safe result-cache snapshot path
+//                            (atomic tmp+fsync+rename), flushed on exit
+//   --snapshot-every=N       also snapshot after every N value requests
+//   --max-line-bytes=N       reject request lines longer than N bytes
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: stop reading, drain
+// in-flight work, flush the snapshot and the metrics file, exit 0.
+//
 // See README.md for the protocol and src/serve/README.md for the
 // ordering/concurrency contract and the observability surface.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -47,6 +65,31 @@
 #include "util/thread_pool.h"
 
 using namespace knnshap;
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+extern "C" void HandleShutdownSignal(int) { g_shutdown.store(true); }
+
+// Install without SA_RESTART so a signal interrupts the blocking stdin
+// read (getline fails with EINTR) and the serve loop falls out into its
+// drain + snapshot-flush exit path instead of waiting for the next line.
+void InstallShutdownHandlers() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct sigaction action = {};
+  action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+#else
+  std::signal(SIGINT, HandleShutdownSignal);
+  std::signal(SIGTERM, HandleShutdownSignal);
+#endif
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   CommandLine args(argc, argv);
@@ -87,6 +130,19 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--no-obs conflicts with --metrics-file/--slow-ms\n");
     return 1;
   }
+  options.max_queue = static_cast<int>(args.GetInt("max-queue", -1));
+  options.default_deadline_ms = args.GetInt("default-deadline-ms", 0);
+  options.snapshot_path = args.GetString("snapshot", "");
+  options.snapshot_every =
+      static_cast<size_t>(args.GetInt("snapshot-every", 0));
+  if (options.snapshot_every != 0 && options.snapshot_path.empty()) {
+    std::fprintf(stderr, "--snapshot-every needs --snapshot=PATH\n");
+    return 1;
+  }
+  options.max_line_bytes =
+      static_cast<size_t>(args.GetInt("max-line-bytes", 0));
+  InstallShutdownHandlers();
+  options.shutdown = &g_shutdown;
 
   RequestPipeline pipeline(options);
   pipeline.Run(std::cin, std::cout);
