@@ -19,6 +19,15 @@
 //   batch_kernel_ms[kind]  ComputeDistanceMatrix amortized per query
 //                          (the engine's many-queries-per-corpus shape)
 //   speedup[kind]          scalar / batch-kernel per-query time
+//
+// A second "selection" grid times the two end-to-end single-query paths the
+// exact valuators actually run — distance pass + full packed argsort
+// (ArgsortByDistanceInto) versus distance pass + streaming top-R selection
+// (TopROrderByDistance, the approx_error path at R = K*(k, 1e-3)) — at
+// corpus sizes up to 10M rows, where the argsort dominates the query. In
+// --smoke mode the selection arm doubles as a perf regression gate: the
+// process exits nonzero if the select path is slower than the argsort path
+// at N=100k.
 
 #include <algorithm>
 #include <cstdio>
@@ -29,6 +38,7 @@
 #include "knn/distance_kernel.h"
 #include "knn/metric.h"
 #include "knn/neighbors.h"
+#include "knn/selection.h"
 #include "util/random.h"
 
 using namespace knnshap;
@@ -84,6 +94,30 @@ double TimeComparatorArgsort(const std::vector<double>& dists, size_t repeats) {
     });
   }
   return timer.Millis() / static_cast<double>(repeats);
+}
+
+// End-to-end per-query time of the full-argsort valuation prologue:
+// batched distance pass + complete packed-key rank order.
+double TimeArgsortPath(const Matrix& corpus, const CorpusNorms& norms,
+                       const Matrix& queries, Metric metric) {
+  std::vector<int> order;
+  WallTimer timer;
+  for (size_t j = 0; j < queries.Rows(); ++j) {
+    ArgsortByDistanceInto(corpus, queries.Row(j), metric, &norms, &order);
+  }
+  return timer.Millis() / static_cast<double>(queries.Rows());
+}
+
+// End-to-end per-query time of the truncated prologue: batched distance
+// pass + streaming top-R selection (the approx_error > 0 path).
+double TimeSelectPath(const Matrix& corpus, const CorpusNorms& norms,
+                      const Matrix& queries, Metric metric, size_t r) {
+  std::vector<int> order;
+  WallTimer timer;
+  for (size_t j = 0; j < queries.Rows(); ++j) {
+    TopROrderByDistance(corpus, queries.Row(j), r, metric, &norms, &order);
+  }
+  return timer.Millis() / static_cast<double>(queries.Rows());
 }
 
 ModeResult TimeKernel(const Matrix& corpus, const Matrix& queries, Metric metric,
@@ -192,8 +226,50 @@ int main(int argc, char** argv) {
       std::fprintf(json, "}");
     }
   }
+  std::fprintf(json, "\n  ],\n");
+
+  // Selection grid: end-to-end single-query prologue, argsort vs top-R.
+  // R = 1000 = K*(k, eps) at the paper's eps = 1e-3 working point.
+  const size_t select_r = 1000;
+  std::vector<GridPoint> select_grid;
+  if (smoke) {
+    select_grid = {{100000, 16}};
+  } else {
+    select_grid = {{100000, 16}, {1000000, 16}, {10000000, 16}, {10000000, 8}};
+  }
+  std::fprintf(json, "  \"selection\": [\n");
+  bool select_ok = true;
+  first = true;
+  for (const GridPoint& g : select_grid) {
+    Matrix corpus = RandomMatrix(g.n, g.d, /*seed=*/17);
+    Matrix queries = RandomMatrix(smoke ? 2 : 4, g.d, /*seed=*/29);
+    const CorpusNorms norms(corpus);
+    const Metric metric = Metric::kSquaredL2;
+    const double argsort_ms = TimeArgsortPath(corpus, norms, queries, metric);
+    const double select_ms =
+        TimeSelectPath(corpus, norms, queries, metric, select_r);
+    const double cut = select_ms > 0.0 ? argsort_ms / select_ms : 0.0;
+    bench::Row(
+        "N=%-8zu d=%-4zu r=%-5zu argsort-path %9.3f ms/query  "
+        "select-path %9.3f ms/query  (%.2fx)\n",
+        g.n, g.d, select_r, argsort_ms, select_ms, cut);
+    if (!first) std::fprintf(json, ",\n");
+    first = false;
+    std::fprintf(json,
+                 "    {\"n\": %zu, \"d\": %zu, \"r\": %zu, "
+                 "\"argsort_path_per_query_ms\": %.4f, "
+                 "\"select_path_per_query_ms\": %.4f, "
+                 "\"end_to_end_cut\": %.2f}",
+                 g.n, g.d, select_r, argsort_ms, select_ms, cut);
+    if (smoke && select_ms > argsort_ms) select_ok = false;
+  }
   std::fprintf(json, "\n  ]\n}\n");
   std::fclose(json);
   bench::Row("wrote %s\n", json_path.c_str());
+  if (!select_ok) {
+    std::fprintf(stderr,
+                 "FAIL: select path slower than argsort path in smoke gate\n");
+    return 1;
+  }
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "knn/neighbors.h"
 #include "obs/trace.h"
+#include "util/cancel.h"
 #include "util/common.h"
 
 namespace knnshap {
@@ -80,7 +81,9 @@ std::vector<double> CorrectedKnnShapleySingle(const Dataset& train,
                                               int test_label, int k, Metric metric,
                                               const CorpusNorms* norms) {
   KNNSHAP_CHECK(train.HasLabels(), "labels required");
-  std::vector<int> order = ArgsortByDistance(train.features, query, metric, norms);
+  // Per-thread order scratch, matching ExactKnnShapleySingle.
+  static thread_local std::vector<int> order;
+  ArgsortByDistanceInto(train.features, query, metric, norms, &order);
   ScopedPhase span(Phase::kRecursion);
   std::vector<int> sorted_labels(order.size());
   for (size_t i = 0; i < order.size(); ++i) {
@@ -93,6 +96,68 @@ std::vector<double> CorrectedKnnShapleySingle(const Dataset& train,
     sv[static_cast<size_t>(order[i])] = by_rank[i];
   }
   return sv;
+}
+
+std::vector<double> TruncatedCorrectedKnnShapleySingle(
+    const Dataset& train, std::span<const float> query, int test_label, int k,
+    size_t r, Metric metric, const CorpusNorms* norms) {
+  KNNSHAP_CHECK(train.HasLabels(), "labels required");
+  KNNSHAP_CHECK(k >= 1, "k must be >= 1");
+  const size_t n = train.Size();
+  KNNSHAP_CHECK(n >= 1, "empty training set");
+  const int ni = static_cast<int>(n);
+  double total_matches = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (train.labels[i] == test_label) total_matches += 1.0;
+  }
+  const double base0 = SmallCoalitionTerm(0.0, total_matches, ni, k);
+  const double base1 = SmallCoalitionTerm(1.0, total_matches, ni, k);
+  if (ni - 1 < k) {
+    // No coalition ever reaches size K, so only the rank-independent term
+    // exists: exact values from labels alone, no distance pass at all.
+    std::vector<double> sv(n);
+    for (size_t i = 0; i < n; ++i) {
+      sv[i] = train.labels[i] == test_label ? base1 : base0;
+    }
+    return sv;
+  }
+  r = std::max(r, static_cast<size_t>(k));
+  if (r >= n) {
+    return CorrectedKnnShapleySingle(train, query, test_label, k, metric, norms);
+  }
+  static thread_local std::vector<int> order;
+  TopROrderByDistance(train.features, query, r, metric, norms, &order);
+  if (CancelRequested()) return std::vector<double>(n, 0.0);
+  ScopedPhase span(Phase::kRecursion);
+  // Tail points get their rank-independent term; the dropped rank-dependent
+  // sum is bounded by c_r for every one of them.
+  std::vector<double> sv(n);
+  for (size_t i = 0; i < n; ++i) {
+    sv[i] = train.labels[i] == test_label ? base1 : base0;
+  }
+  auto match = [&](int rank) {  // rank is 1-based, within the prefix
+    const int row = order[static_cast<size_t>(rank - 1)];
+    return train.labels[static_cast<size_t>(row)] == test_label ? 1.0 : 0.0;
+  };
+  // phi_r = g(a_r) + sum_{i=r}^{R-1} (a_i - a_{i+1}) c_i, accumulated
+  // backwards from the truncation point (rank R keeps its g(a) value,
+  // absorbing the whole dropped sum into the error bound).
+  const double nd = static_cast<double>(ni);
+  double acc = 0.0;
+  for (int i = static_cast<int>(r) - 1; i >= 1; --i) {
+    const double c = 1.0 / static_cast<double>(std::max(i, k)) - 1.0 / nd;
+    acc += (match(i) - match(i + 1)) * c;
+    const size_t row = static_cast<size_t>(order[static_cast<size_t>(i - 1)]);
+    sv[row] = (match(i) == 1.0 ? base1 : base0) + acc;
+  }
+  return sv;
+}
+
+double TruncatedCorrectedKnnShapleyBound(size_t r, size_t n, int k) {
+  if (n == 0 || r >= n) return 0.0;
+  if (static_cast<size_t>(k) >= n) return 0.0;  // N-1 < K: exact already.
+  r = std::max<size_t>(r, 1);
+  return 1.0 / static_cast<double>(r) - 1.0 / static_cast<double>(n);
 }
 
 }  // namespace knnshap

@@ -58,6 +58,27 @@ std::vector<double> CorrectedKnnShapleySingle(const Dataset& train,
                                               Metric metric = Metric::kL2,
                                               const CorpusNorms* norms = nullptr);
 
+/// Truncated corrected SVs for one test point — the `approx_error` path.
+/// Telescoping the recursion from the farthest rank and using that g(a) is
+/// affine gives the closed form
+///   phi_{alpha_r} = g(a_r) + sum_{i=r}^{N-1} (a_i - a_{i+1}) c_i,
+///   c_i = W_i / (N K) = 1/max(i, K) - 1/N   (0 when N-1 < K),
+/// whose rank-dependent sum telescopes with |partial sums| <= 1 and c_i
+/// decreasing, so dropping ranks past r changes any value by at most
+/// c_r = 1/r - 1/N. Only the first r ranks are retrieved; every tail point
+/// receives its rank-independent g(a) term, which needs just the point's
+/// own label and the global match count. r is raised to min(k, N)
+/// internally; r >= N (and the N-1 < K regime, where every c_i vanishes
+/// and the result is exact) delegates accordingly.
+std::vector<double> TruncatedCorrectedKnnShapleySingle(
+    const Dataset& train, std::span<const float> query, int test_label, int k,
+    size_t r, Metric metric = Metric::kL2, const CorpusNorms* norms = nullptr);
+
+/// Sup-norm truncation error of the above: 1/r - 1/N, exactly 0 when
+/// r >= N or N-1 < k (no coalition of size >= k exists — the
+/// rank-dependent term vanishes and truncation is exact).
+double TruncatedCorrectedKnnShapleyBound(size_t r, size_t n, int k);
+
 }  // namespace knnshap
 
 #endif  // KNNSHAP_CORE_CORRECTED_KNN_SHAPLEY_H_

@@ -73,7 +73,10 @@ std::vector<double> ExactKnnShapleySingle(const Dataset& train,
                                           int k, Metric metric,
                                           const CorpusNorms* norms) {
   KNNSHAP_CHECK(train.HasLabels(), "labels required");
-  std::vector<int> order = ArgsortByDistance(train.features, query, metric, norms);
+  // Per-thread order scratch: the engine drives many queries per pool
+  // thread and the N-int ranking would otherwise be reallocated per query.
+  static thread_local std::vector<int> order;
+  ArgsortByDistanceInto(train.features, query, metric, norms, &order);
   // Cancellation poll between the ranking and the SV recursion: skip the
   // recursion, return right-sized zeros (the engine discards them).
   if (CancelRequested()) return std::vector<double>(train.Size(), 0.0);
@@ -89,6 +92,57 @@ std::vector<double> ExactKnnShapleySingle(const Dataset& train,
     sv[static_cast<size_t>(order[i])] = by_rank[i];
   }
   return sv;
+}
+
+std::vector<double> TruncatedExactKnnShapleySingle(const Dataset& train,
+                                                   std::span<const float> query,
+                                                   int test_label, int k, size_t r,
+                                                   Metric metric,
+                                                   const CorpusNorms* norms) {
+  KNNSHAP_CHECK(train.HasLabels(), "labels required");
+  KNNSHAP_CHECK(k >= 1, "k must be >= 1");
+  const size_t n = train.Size();
+  // The i < K branch of Eq (46) reads the suffix at rank min(K, N), so the
+  // prefix must reach it; and once r covers every rank the truncation is
+  // the exact computation — delegate so the two paths cannot drift.
+  r = std::max(r, std::min(static_cast<size_t>(k), n));
+  if (r >= n) {
+    return ExactKnnShapleySingle(train, query, test_label, k, metric, norms);
+  }
+  static thread_local std::vector<int> order;
+  TopROrderByDistance(train.features, query, r, metric, norms, &order);
+  if (CancelRequested()) return std::vector<double>(n, 0.0);
+  ScopedPhase span(Phase::kRecursion);
+  auto match = [&](int rank) {  // rank is 1-based, within the prefix
+    const int row = order[static_cast<size_t>(rank - 1)];
+    return train.labels[static_cast<size_t>(row)] == test_label ? 1.0 : 0.0;
+  };
+  // Truncated suffix sums T^(i) = sum_{j=i+1}^{r} 1[y_j = y]/(j (j-1));
+  // the dropped tail is sum_{j>r} 1/(j(j-1)) <= 1/r - 1/N at most.
+  const int ri = static_cast<int>(r);
+  std::vector<double> suffix(r + 1, 0.0);
+  for (int j = ri; j >= 2; --j) {
+    suffix[static_cast<size_t>(j - 1)] =
+        suffix[static_cast<size_t>(j)] +
+        match(j) / (static_cast<double>(j) * static_cast<double>(j - 1));
+  }
+  // k <= r < n here, so min(K, N) = k.
+  std::vector<double> sv(n, 0.0);
+  for (int i = 1; i <= ri; ++i) {
+    const double value =
+        i >= k ? match(i) / static_cast<double>(i) - suffix[static_cast<size_t>(i)]
+               : match(i) / static_cast<double>(k) - suffix[static_cast<size_t>(k)];
+    sv[static_cast<size_t>(order[static_cast<size_t>(i - 1)])] = value;
+  }
+  return sv;
+}
+
+double TruncatedExactKnnShapleyBound(size_t r, size_t n) {
+  if (n == 0 || r >= n) return 0.0;
+  r = std::max<size_t>(r, 1);
+  const double head = 1.0 / static_cast<double>(r) - 1.0 / static_cast<double>(n);
+  const double tail = 1.0 / static_cast<double>(r + 1);
+  return std::max(head, tail);
 }
 
 std::vector<double> ExactKnnShapley(const Dataset& train, const Dataset& test, int k,

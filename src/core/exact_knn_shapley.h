@@ -48,6 +48,22 @@ std::vector<double> KnnShapleyRecursion(const std::vector<int>& sorted_labels,
 std::vector<double> KnnShapleyClosedForm(const std::vector<int>& sorted_labels,
                                          int test_label, int k);
 
+/// Truncated Theorem-1 SVs for one test point — the `approx_error` path.
+/// Only the first r ranks are retrieved (streaming top-R selection, no
+/// full argsort): they receive Eq (45)/(46) values with the suffix sum
+/// truncated at rank r, and every tail point receives 0. Since the suffix
+/// tail is at most 1/r - 1/N and |s_i| <= 1/(r+1) past rank r, the
+/// sup-norm error is bounded by TruncatedExactKnnShapleyBound(r, N).
+/// r is raised to min(k, N) internally; r >= N delegates to the exact
+/// path (bound 0). O(N d + N + r log r) per test point.
+std::vector<double> TruncatedExactKnnShapleySingle(
+    const Dataset& train, std::span<const float> query, int test_label, int k,
+    size_t r, Metric metric = Metric::kL2, const CorpusNorms* norms = nullptr);
+
+/// Sup-norm truncation error of the above: max(1/r - 1/N, 1/(r+1)),
+/// exactly 0 when r >= N. Returned to clients as `approx_bound`.
+double TruncatedExactKnnShapleyBound(size_t r, size_t n);
+
 /// Exact SVs averaged over a test set (Algorithm 1). Parallelizes over
 /// test points when `parallel` is true. O(N_test * N (d + log N)).
 std::vector<double> ExactKnnShapley(const Dataset& train, const Dataset& test, int k,

@@ -154,6 +154,11 @@ ValuationReport ValuationEngine::ValueImpl(const ValuationRequest& request,
 
   report.train_size = request.train->Size();
   report.num_queries = request.test->Size();
+  // Analytic approximation bound for these canonicalized params — set
+  // before the cache probe so hits and fresh computations report it alike.
+  report.approx_bound =
+      schema->approx_bound ? schema->approx_bound(params, request.train->Size())
+                           : 0.0;
 
   // An already-expired deadline answers before any real work — in
   // particular before the cache probe, so "deadline_ms":0 is

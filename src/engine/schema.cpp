@@ -2,6 +2,7 @@
 
 #include "engine/schema.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -210,7 +211,7 @@ std::vector<ParamSpec> BuildVocabulary() {
       [](ValuatorParams* p, double v) { p->weight_bits = static_cast<int>(v); }));
   specs.push_back(NumberSpec(
       "approx_error", ParamType::kDouble,
-      "weighted-fast deterministic truncation budget; 0 = exact", 0, 1, false,
+      "deterministic truncation budget (sup-norm); 0 = exact", 0, 1, false,
       [](const ValuatorParams& p) { return p.approx_error; },
       [](ValuatorParams* p, double v) { p->approx_error = v; }));
   return specs;
@@ -477,6 +478,15 @@ JsonValue ParamsToJson(const MethodSchema& schema,
   }
   for (const ParamSpec* spec : schema.params) {
     double value = spec->get(params);
+    if (value == spec->DefaultValue() &&
+        std::find(schema.echo_if_nondefault.begin(),
+                  schema.echo_if_nondefault.end(),
+                  spec->name) != schema.echo_if_nondefault.end()) {
+      // Omitted at default by declaration (wire compat for params
+      // retrofitted onto a long-lived method); re-applying the echo
+      // reproduces the same params, so the round-trip property holds.
+      continue;
+    }
     if (spec->type == ParamType::kEnum) {
       out.Set(spec->name, JsonValue(spec->enum_values[static_cast<size_t>(value)]));
     } else {

@@ -133,6 +133,19 @@ struct MethodSchema {
   /// it to bound its (K, weight_bits) count-table footprint
   /// (WknnTableBudget) so no request reaches a fatal core check.
   std::function<Status(const ValuatorParams&, size_t train_rows)> precondition;
+  /// Params listed here are omitted from ParamsToJson (the value-response
+  /// echo) while they sit at their default value. Retrofitting a parameter
+  /// onto a long-lived method (approx_error on exact/exact-corrected) would
+  /// otherwise change the params echo of every existing default request —
+  /// a wire-compat break the golden serve transcript pins. Fingerprints are
+  /// unaffected: a default-valued param hashes identically either way.
+  std::vector<std::string> echo_if_nondefault;
+  /// Optional sup-norm error bound of the method's approximation for the
+  /// canonicalized params against a corpus of `train_rows` rows. When set
+  /// and positive, the engine stores it in ValuationReport::approx_bound
+  /// and the serve layer echoes it as "approx_bound". The exact methods use
+  /// it to report the analytic truncation bound of the approx_error path.
+  std::function<double(const ValuatorParams&, size_t train_rows)> approx_bound;
 
   bool Declares(const std::string& param_name) const;
   KnnTask DefaultTask() const;

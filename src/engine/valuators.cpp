@@ -50,6 +50,15 @@ void ExactValuator::OnFit() {
 }
 
 std::vector<double> ExactValuator::ValueOne(const Dataset& test, size_t row) const {
+  if (params_.approx_error > 0.0) {
+    // Truncated-exact: only the top KStar(k, approx_error) ranks are
+    // retrieved (streaming selection, no full argsort); the sup-norm error
+    // is bounded analytically and reported via the schema's approx_bound.
+    const size_t r = static_cast<size_t>(KStar(params_.k, params_.approx_error));
+    return TruncatedExactKnnShapleySingle(Train(), test.features.Row(row),
+                                          TestLabel(test, row), params_.k, r,
+                                          params_.metric, &norms_);
+  }
   return ExactKnnShapleySingle(Train(), test.features.Row(row), TestLabel(test, row),
                                params_.k, params_.metric, &norms_);
 }
@@ -65,6 +74,12 @@ void CorrectedValuator::OnFit() {
 
 std::vector<double> CorrectedValuator::ValueOne(const Dataset& test,
                                                 size_t row) const {
+  if (params_.approx_error > 0.0) {
+    const size_t r = static_cast<size_t>(KStar(params_.k, params_.approx_error));
+    return TruncatedCorrectedKnnShapleySingle(Train(), test.features.Row(row),
+                                              TestLabel(test, row), params_.k, r,
+                                              params_.metric, &norms_);
+  }
   return CorrectedKnnShapleySingle(Train(), test.features.Row(row),
                                    TestLabel(test, row), params_.k, params_.metric,
                                    &norms_);
@@ -245,8 +260,17 @@ void RegisterBuiltinValuators(ValuatorRegistry* registry) {
   exact.name = "exact";
   exact.description =
       "Exact KNN classification SVs, O(N log N)/query (Thm 1, Alg 1)";
-  exact.params = ResolveParams({"k", "metric"});
+  exact.params = ResolveParams({"k", "metric", "approx_error"});
   exact.tasks = {KnnTask::kClassification};
+  // approx_error was retrofitted onto this method: omit it from the params
+  // echo at its default so existing default-request transcripts stay
+  // byte-identical.
+  exact.echo_if_nondefault = {"approx_error"};
+  exact.approx_bound = [](const ValuatorParams& p, size_t rows) {
+    if (p.approx_error <= 0.0) return 0.0;
+    return TruncatedExactKnnShapleyBound(
+        static_cast<size_t>(KStar(p.k, p.approx_error)), rows);
+  };
   add(exact, [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
     return std::make_unique<ExactValuator>(p);
   });
@@ -255,6 +279,11 @@ void RegisterBuiltinValuators(ValuatorRegistry* registry) {
   corrected.name = "exact-corrected";
   corrected.description =
       "Exact SVs under the min(K,|S|)-normalized KNN utility (arXiv:2304.04258)";
+  corrected.approx_bound = [](const ValuatorParams& p, size_t rows) {
+    if (p.approx_error <= 0.0) return 0.0;
+    return TruncatedCorrectedKnnShapleyBound(
+        static_cast<size_t>(KStar(p.k, p.approx_error)), rows, p.k);
+  };
   add(corrected, [](const ValuatorParams& p) -> std::unique_ptr<Valuator> {
     return std::make_unique<CorrectedValuator>(p);
   });

@@ -33,6 +33,8 @@ namespace knnshap {
 /// Exact recursion of Theorem 1. Fit precomputes corpus row norms so each
 /// query's distance pass runs the fast kernel path; the norms amortize
 /// across every request sharing the corpus, like the kd-tree/LSH reuse.
+/// params.approx_error > 0 switches to the truncated-exact path (streaming
+/// top-R selection, analytic tail bound reported as approx_bound).
 class ExactValuator : public Valuator {
  public:
   using Valuator::Valuator;

@@ -15,9 +15,11 @@
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define KNNSHAP_KERNEL_HAS_AVX2 1
+#define KNNSHAP_KERNEL_HAS_AVX512 1
 #include <immintrin.h>
 #else
 #define KNNSHAP_KERNEL_HAS_AVX2 0
+#define KNNSHAP_KERNEL_HAS_AVX512 0
 #endif
 
 namespace knnshap {
@@ -38,9 +40,17 @@ KernelKind EnvKernel() {
     if (value == "reference") return KernelKind::kReference;
     if (value == "blocked") return KernelKind::kBlocked;
     if (value == "avx2") return KernelKind::kAvx2;
+    if (value == "avx512") return KernelKind::kAvx512;
     return KernelKind::kAuto;
   }();
   return env_kind;
+}
+
+// True when neither an override nor the environment pins the kernel —
+// the auto-dispatch case ResolveDistanceKernel may refine per call.
+bool KernelChoiceIsAuto() {
+  return g_override.load(std::memory_order_relaxed) == KernelKind::kAuto &&
+         EnvKernel() == KernelKind::kAuto;
 }
 
 }  // namespace
@@ -49,6 +59,15 @@ bool CpuSupportsAvx2Fma() {
 #if KNNSHAP_KERNEL_HAS_AVX2
   static const bool supported =
       __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+bool CpuSupportsAvx512() {
+#if KNNSHAP_KERNEL_HAS_AVX512
+  static const bool supported = __builtin_cpu_supports("avx512f");
   return supported;
 #else
   return false;
@@ -65,6 +84,8 @@ const char* KernelName(KernelKind kind) {
       return "blocked";
     case KernelKind::kAvx2:
       return "avx2";
+    case KernelKind::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -77,13 +98,35 @@ KernelKind ActiveKernel() {
   KernelKind kind = g_override.load(std::memory_order_relaxed);
   if (kind == KernelKind::kAuto) kind = EnvKernel();
   if (kind == KernelKind::kAuto) {
+    // avx512 stays opt-in: downclocking on 512-bit ports is part-specific,
+    // so auto keeps the conservatively fast avx2 pick.
     kind = CpuSupportsAvx2Fma() ? KernelKind::kAvx2 : KernelKind::kBlocked;
+  }
+  if (kind == KernelKind::kAvx512 && !CpuSupportsAvx512()) {
+    kind = KernelKind::kAvx2;
   }
   if (kind == KernelKind::kAvx2 && !CpuSupportsAvx2Fma()) {
     kind = KernelKind::kBlocked;
   }
   return kind;
 }
+
+namespace internal {
+
+KernelKind ResolveDistanceKernel(KernelKind resolved, bool was_auto,
+                                 Metric metric, size_t d) {
+  // Only second-guess auto-detection, and only where the bench shows the
+  // blocked path losing to the scalar loop: plain L2 (the per-row sqrt
+  // serializes the pass) at small d (the norm-identity guard's overhead is
+  // not amortized). Pinned kernels are never rerouted.
+  if (was_auto && resolved == KernelKind::kBlocked && metric == Metric::kL2 &&
+      d < 32) {
+    return KernelKind::kReference;
+  }
+  return resolved;
+}
+
+}  // namespace internal
 
 // ---------------------------------------------------------------------------
 // Inner loops. All accumulate in double (float inputs), like the reference;
@@ -194,6 +237,48 @@ __attribute__((target("avx2,fma"))) double SquaredDiffAvx2(const float* a,
   return total;
 }
 
+// Four independent row·query dots with the accumulator chains interleaved.
+// A single row's chain (cvt, fmadd, horizontal sum) is latency-bound at
+// small d — the reduce alone costs more cycles than the arithmetic — so
+// running four rows' chains in flight roughly quadruples throughput on the
+// single-query pass. Each row's operation sequence (chunk order, acc0/acc1
+// split, HorizontalSum, scalar remainder) is exactly DotAvx2's, so the
+// results are bit-identical to four independent DotAvx2 calls; the query
+// chunks are converted once and shared.
+__attribute__((target("avx2,fma"))) void DotAvx2x4(const float* r0, const float* r1,
+                                                   const float* r2, const float* r3,
+                                                   const float* q, size_t d,
+                                                   double* dots) {
+  __m256d a00 = _mm256_setzero_pd(), a01 = _mm256_setzero_pd();
+  __m256d a10 = _mm256_setzero_pd(), a11 = _mm256_setzero_pd();
+  __m256d a20 = _mm256_setzero_pd(), a21 = _mm256_setzero_pd();
+  __m256d a30 = _mm256_setzero_pd(), a31 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m256d q0 = _mm256_cvtps_pd(_mm_loadu_ps(q + i));
+    const __m256d q1 = _mm256_cvtps_pd(_mm_loadu_ps(q + i + 4));
+    a00 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm_loadu_ps(r0 + i)), q0, a00);
+    a01 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm_loadu_ps(r0 + i + 4)), q1, a01);
+    a10 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm_loadu_ps(r1 + i)), q0, a10);
+    a11 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm_loadu_ps(r1 + i + 4)), q1, a11);
+    a20 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm_loadu_ps(r2 + i)), q0, a20);
+    a21 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm_loadu_ps(r2 + i + 4)), q1, a21);
+    a30 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm_loadu_ps(r3 + i)), q0, a30);
+    a31 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm_loadu_ps(r3 + i + 4)), q1, a31);
+  }
+  dots[0] = HorizontalSum(_mm256_add_pd(a00, a01));
+  dots[1] = HorizontalSum(_mm256_add_pd(a10, a11));
+  dots[2] = HorizontalSum(_mm256_add_pd(a20, a21));
+  dots[3] = HorizontalSum(_mm256_add_pd(a30, a31));
+  for (; i < d; ++i) {
+    const double qi = static_cast<double>(q[i]);
+    dots[0] += static_cast<double>(r0[i]) * qi;
+    dots[1] += static_cast<double>(r1[i]) * qi;
+    dots[2] += static_cast<double>(r2[i]) * qi;
+    dots[3] += static_cast<double>(r3[i]) * qi;
+  }
+}
+
 __attribute__((target("avx2,fma"))) double L1Avx2(const float* a, const float* b,
                                                   size_t d) {
   const __m256d sign_mask = _mm256_set1_pd(-0.0);
@@ -216,6 +301,77 @@ __attribute__((target("avx2,fma"))) double L1Avx2(const float* a, const float* b
 }
 
 #endif  // KNNSHAP_KERNEL_HAS_AVX2
+
+#if KNNSHAP_KERNEL_HAS_AVX512
+
+// AVX-512F variants: two 512-bit double accumulators (16 lanes/iteration).
+// _mm512_reduce_add_pd is a fixed pairwise tree, so results are
+// deterministic per kernel even though the summation order differs from
+// the avx2/blocked splits (parity tests bound the difference at 1e-9).
+
+__attribute__((target("avx512f"))) double DotAvx512(const float* a, const float* b,
+                                                    size_t d) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    __m512d a0 = _mm512_cvtps_pd(_mm256_loadu_ps(a + i));
+    __m512d b0 = _mm512_cvtps_pd(_mm256_loadu_ps(b + i));
+    acc0 = _mm512_fmadd_pd(a0, b0, acc0);
+    __m512d a1 = _mm512_cvtps_pd(_mm256_loadu_ps(a + i + 8));
+    __m512d b1 = _mm512_cvtps_pd(_mm256_loadu_ps(b + i + 8));
+    acc1 = _mm512_fmadd_pd(a1, b1, acc1);
+  }
+  double total = _mm512_reduce_add_pd(_mm512_add_pd(acc0, acc1));
+  for (; i < d; ++i) {
+    total += static_cast<double>(a[i]) * static_cast<double>(b[i]);
+  }
+  return total;
+}
+
+__attribute__((target("avx512f"))) double SquaredDiffAvx512(const float* a,
+                                                            const float* b,
+                                                            size_t d) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    __m512d d0 = _mm512_sub_pd(_mm512_cvtps_pd(_mm256_loadu_ps(a + i)),
+                               _mm512_cvtps_pd(_mm256_loadu_ps(b + i)));
+    acc0 = _mm512_fmadd_pd(d0, d0, acc0);
+    __m512d d1 = _mm512_sub_pd(_mm512_cvtps_pd(_mm256_loadu_ps(a + i + 8)),
+                               _mm512_cvtps_pd(_mm256_loadu_ps(b + i + 8)));
+    acc1 = _mm512_fmadd_pd(d1, d1, acc1);
+  }
+  double total = _mm512_reduce_add_pd(_mm512_add_pd(acc0, acc1));
+  for (; i < d; ++i) {
+    double diff = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    total += diff * diff;
+  }
+  return total;
+}
+
+__attribute__((target("avx512f"))) double L1Avx512(const float* a, const float* b,
+                                                   size_t d) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    __m512d d0 = _mm512_sub_pd(_mm512_cvtps_pd(_mm256_loadu_ps(a + i)),
+                               _mm512_cvtps_pd(_mm256_loadu_ps(b + i)));
+    acc0 = _mm512_add_pd(acc0, _mm512_abs_pd(d0));
+    __m512d d1 = _mm512_sub_pd(_mm512_cvtps_pd(_mm256_loadu_ps(a + i + 8)),
+                               _mm512_cvtps_pd(_mm256_loadu_ps(b + i + 8)));
+    acc1 = _mm512_add_pd(acc1, _mm512_abs_pd(d1));
+  }
+  double total = _mm512_reduce_add_pd(_mm512_add_pd(acc0, acc1));
+  for (; i < d; ++i) {
+    total += std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return total;
+}
+
+#endif  // KNNSHAP_KERNEL_HAS_AVX512
 
 // Double-precision dot over pre-converted rows — the inner microkernel of
 // the query-block × corpus-block path. float→double conversion is exact
@@ -255,7 +411,29 @@ __attribute__((target("avx2,fma"))) double DotDDAvx2(const double* a,
 
 #endif  // KNNSHAP_KERNEL_HAS_AVX2
 
+#if KNNSHAP_KERNEL_HAS_AVX512
+
+__attribute__((target("avx512f"))) double DotDDAvx512(const double* a,
+                                                      const double* b, size_t d) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    acc0 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i), _mm512_loadu_pd(b + i), acc0);
+    acc1 = _mm512_fmadd_pd(_mm512_loadu_pd(a + i + 8), _mm512_loadu_pd(b + i + 8),
+                           acc1);
+  }
+  double total = _mm512_reduce_add_pd(_mm512_add_pd(acc0, acc1));
+  for (; i < d; ++i) total += a[i] * b[i];
+  return total;
+}
+
+#endif  // KNNSHAP_KERNEL_HAS_AVX512
+
 double DotDD(KernelKind kind, const double* a, const double* b, size_t d) {
+#if KNNSHAP_KERNEL_HAS_AVX512
+  if (kind == KernelKind::kAvx512) return DotDDAvx512(a, b, d);
+#endif
 #if KNNSHAP_KERNEL_HAS_AVX2
   if (kind == KernelKind::kAvx2) return DotDDAvx2(a, b, d);
 #endif
@@ -268,6 +446,9 @@ void ToDouble(const float* src, double* dst, size_t d) {
 }
 
 double Dot(KernelKind kind, const float* a, const float* b, size_t d) {
+#if KNNSHAP_KERNEL_HAS_AVX512
+  if (kind == KernelKind::kAvx512) return DotAvx512(a, b, d);
+#endif
 #if KNNSHAP_KERNEL_HAS_AVX2
   if (kind == KernelKind::kAvx2) return DotAvx2(a, b, d);
 #endif
@@ -276,6 +457,9 @@ double Dot(KernelKind kind, const float* a, const float* b, size_t d) {
 }
 
 double SquaredDiff(KernelKind kind, const float* a, const float* b, size_t d) {
+#if KNNSHAP_KERNEL_HAS_AVX512
+  if (kind == KernelKind::kAvx512) return SquaredDiffAvx512(a, b, d);
+#endif
 #if KNNSHAP_KERNEL_HAS_AVX2
   if (kind == KernelKind::kAvx2) return SquaredDiffAvx2(a, b, d);
 #endif
@@ -284,6 +468,9 @@ double SquaredDiff(KernelKind kind, const float* a, const float* b, size_t d) {
 }
 
 double L1Dist(KernelKind kind, const float* a, const float* b, size_t d) {
+#if KNNSHAP_KERNEL_HAS_AVX512
+  if (kind == KernelKind::kAvx512) return L1Avx512(a, b, d);
+#endif
 #if KNNSHAP_KERNEL_HAS_AVX2
   if (kind == KernelKind::kAvx2) return L1Avx2(a, b, d);
 #endif
@@ -406,18 +593,21 @@ CorpusNorms NormsForMetric(const Matrix& corpus, Metric metric) {
 // Batch entry points
 // ---------------------------------------------------------------------------
 
-void ComputeDistances(const Matrix& corpus, std::span<const float> query,
-                      Metric metric, const CorpusNorms* norms,
-                      std::span<double> out) {
-  const size_t rows = corpus.Rows();
+namespace {
+
+// Shared row-range core of ComputeDistances / ComputeDistancesRange:
+// out[i - row_begin] = distance(corpus.Row(i), q) for i in [row_begin,
+// row_end). The kernel has already been resolved by the caller so every
+// block of a sharded single-query pass runs the same arithmetic.
+void ComputeDistancesCore(KernelKind kind, const Matrix& corpus, const float* q,
+                          Metric metric, const CorpusNorms* norms,
+                          size_t row_begin, size_t row_end,
+                          std::span<double> out) {
   const size_t d = corpus.Cols();
-  KNNSHAP_CHECK(query.size() == d, "query dimension mismatch");
-  KNNSHAP_CHECK(out.size() >= rows, "output buffer too small");
-  const KernelKind kind = ActiveKernel();
-  const float* q = query.data();
   if (kind == KernelKind::kReference) {
-    for (size_t i = 0; i < rows; ++i) {
-      out[i] = knnshap::internal::DistanceUnchecked(corpus.Row(i).data(), q, d, metric);
+    for (size_t i = row_begin; i < row_end; ++i) {
+      out[i - row_begin] =
+          knnshap::internal::DistanceUnchecked(corpus.Row(i).data(), q, d, metric);
     }
     return;
   }
@@ -432,34 +622,84 @@ void ComputeDistances(const Matrix& corpus, std::span<const float> query,
       if (ctx.row_sq != nullptr) {
         const double* row_sq = ctx.row_sq;
         const double qnorm = ctx.qnorm;
-        for (size_t i = 0; i < rows; ++i) {
+        size_t i = row_begin;
+#if KNNSHAP_KERNEL_HAS_AVX2
+        if (kind == KernelKind::kAvx2) {
+          // Interleaved 4-row dots (bit-identical to DotAvx2 per row, see
+          // DotAvx2x4); the rare cancellation-guard recompute and the <4
+          // row tail fall through to the generic per-row path below.
+          double dots[4];
+          for (; i + 4 <= row_end; i += 4) {
+            DotAvx2x4(corpus.Row(i).data(), corpus.Row(i + 1).data(),
+                      corpus.Row(i + 2).data(), corpus.Row(i + 3).data(), q, d,
+                      dots);
+            for (size_t j = 0; j < 4; ++j) {
+              double sq = (row_sq[i + j] - 2.0 * dots[j]) + qnorm;
+              if (sq < (row_sq[i + j] + qnorm) * kCancellationGuard) {
+                sq = SquaredDiff(kind, corpus.Row(i + j).data(), q, d);
+              }
+              out[i + j - row_begin] = take_root ? std::sqrt(sq) : sq;
+            }
+          }
+        }
+#endif
+        for (; i < row_end; ++i) {
           const float* row = corpus.Row(i).data();
           double sq = (row_sq[i] - 2.0 * Dot(kind, row, q, d)) + qnorm;
           if (sq < (row_sq[i] + qnorm) * kCancellationGuard) {
             sq = SquaredDiff(kind, row, q, d);
           }
-          out[i] = take_root ? std::sqrt(sq) : sq;
+          out[i - row_begin] = take_root ? std::sqrt(sq) : sq;
         }
       } else {
-        for (size_t i = 0; i < rows; ++i) {
+        for (size_t i = row_begin; i < row_end; ++i) {
           double sq = SquaredDiff(kind, corpus.Row(i).data(), q, d);
-          out[i] = take_root ? std::sqrt(sq) : sq;
+          out[i - row_begin] = take_root ? std::sqrt(sq) : sq;
         }
       }
       return;
     }
     case Metric::kL1:
-      for (size_t i = 0; i < rows; ++i) {
-        out[i] = L1Dist(kind, corpus.Row(i).data(), q, d);
+      for (size_t i = row_begin; i < row_end; ++i) {
+        out[i - row_begin] = L1Dist(kind, corpus.Row(i).data(), q, d);
       }
       return;
     case Metric::kCosine:
-      for (size_t i = 0; i < rows; ++i) {
-        out[i] = ContextRowDistance(ctx, corpus.Row(i).data(), q, d, i);
+      for (size_t i = row_begin; i < row_end; ++i) {
+        out[i - row_begin] = ContextRowDistance(ctx, corpus.Row(i).data(), q, d, i);
       }
       return;
   }
   KNNSHAP_CHECK(false, "unknown metric");
+}
+
+}  // namespace
+
+void ComputeDistances(const Matrix& corpus, std::span<const float> query,
+                      Metric metric, const CorpusNorms* norms,
+                      std::span<double> out) {
+  const size_t rows = corpus.Rows();
+  const size_t d = corpus.Cols();
+  KNNSHAP_CHECK(query.size() == d, "query dimension mismatch");
+  KNNSHAP_CHECK(out.size() >= rows, "output buffer too small");
+  const KernelKind kind = internal::ResolveDistanceKernel(
+      ActiveKernel(), KernelChoiceIsAuto(), metric, d);
+  ComputeDistancesCore(kind, corpus, query.data(), metric, norms, 0, rows, out);
+}
+
+void ComputeDistancesRange(const Matrix& corpus, std::span<const float> query,
+                           Metric metric, const CorpusNorms* norms,
+                           size_t row_begin, size_t row_end,
+                           std::span<double> out) {
+  const size_t d = corpus.Cols();
+  KNNSHAP_CHECK(query.size() == d, "query dimension mismatch");
+  KNNSHAP_CHECK(row_begin <= row_end && row_end <= corpus.Rows(),
+                "row range out of bounds");
+  KNNSHAP_CHECK(out.size() >= row_end - row_begin, "output buffer too small");
+  const KernelKind kind = internal::ResolveDistanceKernel(
+      ActiveKernel(), KernelChoiceIsAuto(), metric, d);
+  ComputeDistancesCore(kind, corpus, query.data(), metric, norms, row_begin,
+                       row_end, out);
 }
 
 void ComputeDistanceMatrix(const Matrix& corpus, const Matrix& queries,
@@ -563,7 +803,8 @@ void ComputeDistancesFor(const Matrix& corpus, std::span<const int> rows,
   const size_t d = corpus.Cols();
   KNNSHAP_CHECK(query.size() == d, "query dimension mismatch");
   KNNSHAP_CHECK(out.size() >= rows.size(), "output buffer too small");
-  const KernelKind kind = ActiveKernel();
+  const KernelKind kind = internal::ResolveDistanceKernel(
+      ActiveKernel(), KernelChoiceIsAuto(), metric, d);
   const float* q = query.data();
   if (kind == KernelKind::kReference) {
     for (size_t i = 0; i < rows.size(); ++i) {
@@ -579,105 +820,8 @@ void ComputeDistancesFor(const Matrix& corpus, std::span<const int> rows,
   }
 }
 
-// ---------------------------------------------------------------------------
-// Packed-key ordering
-// ---------------------------------------------------------------------------
-
-namespace {
-
-// Monotone map from a double distance to 32 sortable bits: round to float
-// (monotone), then flip IEEE bits so unsigned comparison matches numeric
-// order for negatives too (cosine can round a hair below zero).
-uint32_t SortableBits(double value) {
-  float f = static_cast<float>(value);
-  uint32_t bits;
-  std::memcpy(&bits, &f, sizeof(bits));
-  return (bits & 0x80000000u) ? ~bits : (bits | 0x80000000u);
-}
-
-}  // namespace
-
-void ArgsortDistances(std::span<const double> dists, std::vector<int>* order) {
-  const size_t n = dists.size();
-  KNNSHAP_CHECK(n < (size_t{1} << 31), "corpus too large for packed argsort");
-  static thread_local std::vector<uint64_t> keys;
-  ResizeScratch(&keys, n);
-  for (size_t i = 0; i < n; ++i) {
-    keys[i] = (static_cast<uint64_t>(SortableBits(dists[i])) << 32) |
-              static_cast<uint32_t>(i);
-  }
-  std::sort(keys.begin(), keys.end());
-  order->resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    (*order)[i] = static_cast<int>(keys[i] & 0xffffffffu);
-  }
-  // Float rounding is monotone, so only runs of equal float keys can
-  // deviate from the exact (double distance, index) order; re-sort them.
-  size_t run = 0;
-  for (size_t i = 1; i <= n; ++i) {
-    if (i == n || (keys[i] >> 32) != (keys[run] >> 32)) {
-      if (i - run > 1) {
-        std::sort(order->begin() + static_cast<long>(run),
-                  order->begin() + static_cast<long>(i), [&dists](int a, int b) {
-                    double da = dists[static_cast<size_t>(a)];
-                    double db = dists[static_cast<size_t>(b)];
-                    if (da != db) return da < db;
-                    return a < b;
-                  });
-      }
-      run = i;
-    }
-  }
-}
-
-std::vector<Neighbor> SelectTopK(std::span<const double> dists,
-                                 std::span<const int> ids, size_t k) {
-  const size_t n = dists.size();
-  KNNSHAP_CHECK(n < (size_t{1} << 31), "corpus too large for packed selection");
-  KNNSHAP_CHECK(ids.empty() || ids.size() == n, "id map size mismatch");
-  k = std::min(k, n);
-  if (k == 0) return {};
-  auto id_of = [&ids](size_t pos) {
-    return ids.empty() ? static_cast<int>(pos) : ids[pos];
-  };
-  static thread_local std::vector<uint64_t> keys;
-  static thread_local std::vector<uint32_t> band;
-  ResizeScratch(&keys, n);
-  ShrinkScratch(&band, n);
-  for (size_t i = 0; i < n; ++i) {
-    keys[i] = (static_cast<uint64_t>(SortableBits(dists[i])) << 32) |
-              static_cast<uint32_t>(i);
-  }
-  band.clear();
-  if (k == n) {
-    for (size_t i = 0; i < n; ++i) band.push_back(static_cast<uint32_t>(i));
-  } else {
-    std::nth_element(keys.begin(), keys.begin() + static_cast<long>(k - 1),
-                     keys.end());
-    // Everything strictly below the k-th float key landed in the prefix;
-    // boundary ties can straddle it, so pull in the whole tie band and
-    // resolve it with the exact (double, id) comparison below.
-    const uint32_t kth_bits = static_cast<uint32_t>(keys[k - 1] >> 32);
-    for (size_t i = 0; i < k; ++i) {
-      band.push_back(static_cast<uint32_t>(keys[i] & 0xffffffffu));
-    }
-    for (size_t i = k; i < n; ++i) {
-      if (static_cast<uint32_t>(keys[i] >> 32) == kth_bits) {
-        band.push_back(static_cast<uint32_t>(keys[i] & 0xffffffffu));
-      }
-    }
-  }
-  std::sort(band.begin(), band.end(), [&](uint32_t a, uint32_t b) {
-    double da = dists[a];
-    double db = dists[b];
-    if (da != db) return da < db;
-    return id_of(a) < id_of(b);
-  });
-  band.resize(k);
-  std::vector<Neighbor> out;
-  out.reserve(k);
-  for (uint32_t pos : band) out.push_back({id_of(pos), dists[pos]});
-  return out;
-}
+// ArgsortDistances and SelectTopK are declared in this header for their
+// historical call sites but implemented in knn/selection.cpp alongside the
+// streaming top-R selectors that share their packed-key ordering.
 
 }  // namespace knnshap

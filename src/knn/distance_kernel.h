@@ -14,10 +14,14 @@
 //      blocked    portable multi-accumulator loops (breaks the serial
 //                 double-add dependence chain, auto-vectorizable);
 //      avx2       AVX2/FMA intrinsics, compiled with target attributes and
-//                 selected only when cpuid reports avx2+fma.
-//    The blocked/avx2 paths use the ‖x−q‖² = ‖x‖² − 2x·q + ‖q‖² identity
-//    when precomputed corpus row norms are supplied, turning the inner loop
-//    into a pure dot product; without norms they run a single fused pass.
+//                 selected only when cpuid reports avx2+fma;
+//      avx512     AVX-512F intrinsics (512-bit double accumulators),
+//                 cpuid-gated, opt-in via override/env — kAuto prefers
+//                 avx2 because 512-bit frequency behaviour varies by part.
+//    The blocked/avx2/avx512 paths use the ‖x−q‖² = ‖x‖² − 2x·q + ‖q‖²
+//    identity when precomputed corpus row norms are supplied, turning the
+//    inner loop into a pure dot product; without norms they run a single
+//    fused pass.
 //
 //  * ArgsortDistances / SelectTopK — ordering over packed 64-bit keys
 //    (float-rounded distance bits in the high word, row index in the low
@@ -25,11 +29,17 @@
 //    sort is branch-light and cache-linear; float rounding is monotone, so
 //    a final pass re-sorting runs of equal float keys by the exact (double
 //    distance, index) pair reproduces the reference comparator order bit
-//    for bit, ties broken by index by construction.
+//    for bit, ties broken by index by construction. Declared here for the
+//    historical call sites; the implementations (and the streaming top-R
+//    selectors that share their packed keys) live in knn/selection.
 //
 // Kernel selection: SetKernelOverride() (strongest), else the
 // KNNSHAP_KERNEL environment variable ("reference", "blocked", "avx2",
-// "auto"), else auto (avx2 when supported, blocked otherwise).
+// "avx512", "auto"), else auto (avx2 when supported, blocked otherwise) —
+// refined per call by internal::ResolveDistanceKernel, which sends
+// auto-dispatched small-d plain-l2 single-query passes back to the
+// reference loop (the blocked norm-identity path measures slower than the
+// scalar one there; see BENCH_kernel.json).
 
 #ifndef KNNSHAP_KNN_DISTANCE_KERNEL_H_
 #define KNNSHAP_KNN_DISTANCE_KERNEL_H_
@@ -53,6 +63,7 @@ enum class KernelKind {
   kReference,  ///< Scalar per-pair loops, bit-exact with Distance().
   kBlocked,    ///< Portable multi-accumulator fallback.
   kAvx2,       ///< AVX2/FMA intrinsics (x86-64 with cpuid support).
+  kAvx512,     ///< AVX-512F intrinsics, opt-in (override/env only).
 };
 
 /// Human-readable kernel name.
@@ -61,9 +72,13 @@ const char* KernelName(KernelKind kind);
 /// True when this build and CPU can run the AVX2/FMA path.
 bool CpuSupportsAvx2Fma();
 
+/// True when this build and CPU can run the AVX-512F path.
+bool CpuSupportsAvx512();
+
 /// Forces a kernel for the whole process (tests, benchmarks, and the
 /// KNNSHAP_KERNEL escape hatch use this). kAuto restores auto-detection.
-/// Requesting kAvx2 without CPU support falls back to kBlocked.
+/// Requesting kAvx512 without CPU support falls back to kAvx2, and kAvx2
+/// without support falls back to kBlocked.
 void SetKernelOverride(KernelKind kind);
 
 /// The kernel every batch entry point will actually run, after applying
@@ -112,6 +127,16 @@ void ComputeDistances(const Matrix& corpus, std::span<const float> query,
                       Metric metric, const CorpusNorms* norms,
                       std::span<double> out);
 
+/// Distances from `query` to corpus rows [row_begin, row_end) only,
+/// written to out[row_begin - row_begin .. row_end - row_begin). The
+/// block-parallel single-query path shards the corpus into ranges and
+/// points each worker here; results are bit-identical to the matching
+/// slice of ComputeDistances.
+void ComputeDistancesRange(const Matrix& corpus, std::span<const float> query,
+                           Metric metric, const CorpusNorms* norms,
+                           size_t row_begin, size_t row_end,
+                           std::span<double> out);
+
 /// Query-block × corpus-block distance matrix: out[q * corpus.Rows() + i]
 /// is the distance from queries.Row(q) to corpus.Row(i). Corpus blocks are
 /// sized to stay cache-resident across the query block, so the corpus is
@@ -143,6 +168,18 @@ namespace internal {
 /// Dot product under the active kernel (exposed so CorpusNorms and tests
 /// share the exact accumulation order of the distance pass).
 double KernelDot(const float* a, const float* b, size_t d);
+
+/// Pure per-call dispatch policy applied on top of ActiveKernel() by the
+/// single-query entry points (ComputeDistances / ComputeDistancesRange /
+/// ComputeDistancesFor): when the kernel was chosen by auto-detection
+/// (`was_auto`, i.e. neither an override nor the environment pinned it)
+/// and resolved to the blocked path for a plain-L2 pass at small d, the
+/// reference loop is returned instead — BENCH_kernel.json shows blocked
+/// 0.82-0.90x *slower* than scalar there (the per-row sqrt hides the
+/// multi-accumulator win and the norm-identity guard adds work). Exposed
+/// pure so the policy is testable on machines whose own auto pick differs.
+KernelKind ResolveDistanceKernel(KernelKind resolved, bool was_auto,
+                                 Metric metric, size_t d);
 }  // namespace internal
 
 }  // namespace knnshap

@@ -3,11 +3,14 @@
 #include "knn/neighbors.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
+#include "knn/selection.h"
 #include "obs/trace.h"
 #include "util/cancel.h"
 #include "util/common.h"
+#include "util/thread_pool.h"
 
 namespace knnshap {
 
@@ -23,7 +26,90 @@ std::vector<double>& DistanceScratch(size_t rows) {
   return scratch;
 }
 
+// IntraQueryOptions storage, split into atomics so readers on the hot path
+// never take a lock (tearing between the two fields is harmless — both
+// orderings of a torn update are valid configurations).
+std::atomic<size_t> g_intra_min_rows{IntraQueryOptions{}.min_rows};
+std::atomic<size_t> g_intra_block_rows{IntraQueryOptions{}.block_rows};
+
+// Top-min(r, n) of `dists` by (distance, index): serial streaming selection
+// below the intra-query threshold, per-block selection with an exact
+// candidate merge above it. Either way bit-identical to the same-length
+// ArgsortDistances prefix.
+void BlockedTopR(std::span<const double> dists, size_t r,
+                 std::vector<int>* order) {
+  const size_t n = dists.size();
+  r = std::min(r, n);
+  const IntraQueryOptions opt = GetIntraQueryOptions();
+  ThreadPool& pool = ThreadPool::Shared();
+  if (n < opt.min_rows || pool.NumThreads() <= 1 || r >= n) {
+    PartialArgsortDistances(dists, r, order);
+    return;
+  }
+  const size_t block = opt.block_rows;
+  const size_t num_blocks = (n + block - 1) / block;
+  std::vector<std::vector<int>> block_tops(num_blocks);
+  pool.ParallelForHelping(num_blocks, [&](size_t b) {
+    const size_t begin = b * block;
+    const size_t end = std::min(n, begin + block);
+    std::vector<int>& top = block_tops[b];
+    // Block-local indices order identically to their global counterparts
+    // (the offset is monotone), so the per-block exact top-r is the
+    // restriction of the global order to the block.
+    PartialArgsortDistances(dists.subspan(begin, end - begin), r, &top);
+    for (int& idx : top) idx += static_cast<int>(begin);
+  });
+  order->clear();
+  for (const std::vector<int>& top : block_tops) {
+    order->insert(order->end(), top.begin(), top.end());
+  }
+  MergeTopCandidates(dists, order, r);
+}
+
 }  // namespace
+
+void SetIntraQueryOptions(const IntraQueryOptions& options) {
+  g_intra_min_rows.store(options.min_rows, std::memory_order_relaxed);
+  g_intra_block_rows.store(std::max<size_t>(1, options.block_rows),
+                           std::memory_order_relaxed);
+}
+
+IntraQueryOptions GetIntraQueryOptions() {
+  IntraQueryOptions options;
+  options.min_rows = g_intra_min_rows.load(std::memory_order_relaxed);
+  options.block_rows = g_intra_block_rows.load(std::memory_order_relaxed);
+  return options;
+}
+
+void SingleQueryDistances(const Matrix& train, std::span<const float> query,
+                          Metric metric, const CorpusNorms* norms,
+                          std::span<double> out) {
+  // Wall-clock distance span on the calling thread; helper threads run
+  // untraced (the span is the query's elapsed time, not CPU time).
+  ScopedPhase span(Phase::kDistance);
+  const size_t rows = train.Rows();
+  const IntraQueryOptions opt = GetIntraQueryOptions();
+  ThreadPool& pool = ThreadPool::Shared();
+  if (rows < opt.min_rows || pool.NumThreads() <= 1) {
+    ComputeDistances(train, query, metric, norms, out);
+    return;
+  }
+  const size_t block = opt.block_rows;
+  const size_t num_blocks = (rows + block - 1) / block;
+  const CancelToken* token = ActiveCancelToken();
+  pool.ParallelForHelping(num_blocks, [&, token](size_t b) {
+    // Helpers re-establish the query's cancel token (it is thread-local)
+    // and skip their block once it fires: the buffer keeps stale-but-
+    // defined values and the caller's own post-pass poll discards the
+    // result.
+    CancelActivation activate(token);
+    if (CancelRequested()) return;
+    const size_t begin = b * block;
+    const size_t end = std::min(rows, begin + block);
+    ComputeDistancesRange(train, query, metric, norms, begin, end,
+                          out.subspan(begin, end - begin));
+  });
+}
 
 // Distance/sort spans are recorded against the thread-local active trace
 // (null — and free — except inside an explicitly traced request). Only the
@@ -39,40 +125,74 @@ std::vector<double> AllDistances(const Matrix& train, std::span<const float> que
   return dists;
 }
 
-std::vector<int> ArgsortByDistance(const Matrix& train, std::span<const float> query,
-                                   Metric metric, const CorpusNorms* norms) {
+void ArgsortByDistanceInto(const Matrix& train, std::span<const float> query,
+                           Metric metric, const CorpusNorms* norms,
+                           std::vector<int>* order) {
   std::vector<double>& dists = DistanceScratch(train.Rows());
-  {
-    ScopedPhase span(Phase::kDistance);
-    ComputeDistances(train, query, metric, norms, dists);
-  }
+  SingleQueryDistances(train, query, metric, norms, dists);
   // Cancellation poll between the two O(N)+O(N log N) passes. The early
   // out must stay structurally valid — downstream recursions
   // KNNSHAP_CHECK a full-sized ranking — so it returns the identity
   // order; the engine discards the garbage result once it observes the
   // expired token.
   if (CancelRequested()) {
-    std::vector<int> identity(train.Rows());
-    std::iota(identity.begin(), identity.end(), 0);
-    return identity;
+    order->resize(train.Rows());
+    std::iota(order->begin(), order->end(), 0);
+    return;
   }
   ScopedPhase span(Phase::kSort);
+  ArgsortDistances(dists, order);
+}
+
+std::vector<int> ArgsortByDistance(const Matrix& train, std::span<const float> query,
+                                   Metric metric, const CorpusNorms* norms) {
   std::vector<int> order;
-  ArgsortDistances(dists, &order);
+  ArgsortByDistanceInto(train, query, metric, norms, &order);
   return order;
+}
+
+void TopROrderByDistance(const Matrix& train, std::span<const float> query,
+                         size_t r, Metric metric, const CorpusNorms* norms,
+                         std::vector<int>* order) {
+  const size_t rows = train.Rows();
+  r = std::min(r, rows);
+  if (r == 0) {
+    order->clear();
+    return;
+  }
+  std::vector<double>& dists = DistanceScratch(rows);
+  SingleQueryDistances(train, query, metric, norms, dists);
+  if (CancelRequested()) {
+    order->resize(r);
+    std::iota(order->begin(), order->end(), 0);
+    return;
+  }
+  ScopedPhase span(Phase::kSelect);
+  BlockedTopR(dists, r, order);
+}
+
+void TopKNeighborsInto(const Matrix& train, std::span<const float> query,
+                       size_t k, Metric metric, const CorpusNorms* norms,
+                       std::vector<Neighbor>* out) {
+  out->clear();
+  k = std::min(k, train.Rows());
+  if (k == 0) return;
+  std::vector<double>& dists = DistanceScratch(train.Rows());
+  SingleQueryDistances(train, query, metric, norms, dists);
+  ScopedPhase span(Phase::kSelect);
+  static thread_local std::vector<int> order;
+  BlockedTopR(dists, k, &order);
+  out->reserve(k);
+  for (int pos : order) {
+    out->push_back({pos, dists[static_cast<size_t>(pos)]});
+  }
 }
 
 std::vector<Neighbor> TopKNeighbors(const Matrix& train, std::span<const float> query,
                                     size_t k, Metric metric, const CorpusNorms* norms) {
-  k = std::min(k, train.Rows());
-  if (k == 0) return {};
-  std::vector<double>& dists = DistanceScratch(train.Rows());
-  {
-    ScopedPhase span(Phase::kDistance);
-    ComputeDistances(train, query, metric, norms, dists);
-  }
-  ScopedPhase span(Phase::kSort);
-  return SelectTopK(dists, {}, k);
+  std::vector<Neighbor> out;
+  TopKNeighborsInto(train, query, k, metric, norms, &out);
+  return out;
 }
 
 void ForEachBatchedTopK(
@@ -119,7 +239,7 @@ void ForEachBatchedTopK(
     for (size_t j = q0; j < q1; ++j) {
       std::vector<Neighbor> top;
       {
-        ScopedPhase span(Phase::kSort);
+        ScopedPhase span(Phase::kSelect);
         top = SelectTopK(
             std::span<const double>(buffer.data() + (j - q0) * rows, rows), {}, k);
       }

@@ -33,11 +33,52 @@ struct Neighbor {
   double distance;
 };
 
+/// Tuning knobs for intra-query block parallelism. ParallelFor shards
+/// across *queries*; one huge query against a million-row corpus would
+/// otherwise run serial. At or above `min_rows` rows the single-query entry
+/// points shard the distance pass (and the top-R selection, on the partial
+/// path) into `block_rows`-row blocks drained cooperatively by the shared
+/// pool — ThreadPool::ParallelForHelping, so the path composes with the
+/// serve pipeline's request-per-worker model. Results are bit-identical to
+/// the serial path at any block size (per-block exact top-R + exact merge).
+struct IntraQueryOptions {
+  size_t min_rows = size_t{1} << 18;    ///< Stay serial below this corpus size.
+  size_t block_rows = size_t{1} << 16;  ///< Rows per block.
+};
+
+/// Process-wide intra-query options (tests shrink the thresholds to cover
+/// the blocked path on small fixtures). block_rows is clamped to >= 1.
+void SetIntraQueryOptions(const IntraQueryOptions& options);
+IntraQueryOptions GetIntraQueryOptions();
+
+/// Distances from `query` to every training row, written to `out` (length
+/// >= train.Rows()), sharded across the pool per IntraQueryOptions.
+/// Records the kDistance span on the calling thread (wall clock).
+void SingleQueryDistances(const Matrix& train, std::span<const float> query,
+                          Metric metric, const CorpusNorms* norms,
+                          std::span<double> out);
+
 /// Indices of all training rows sorted by ascending distance to `query`
 /// (ties broken by index, making results deterministic).
 std::vector<int> ArgsortByDistance(const Matrix& train, std::span<const float> query,
                                    Metric metric = Metric::kL2,
                                    const CorpusNorms* norms = nullptr);
+
+/// Scratch-reusing ArgsortByDistance: writes the order into *order instead
+/// of returning a fresh vector, so per-query callers (the exact-SV loops)
+/// amortize the allocation across a request.
+void ArgsortByDistanceInto(const Matrix& train, std::span<const float> query,
+                           Metric metric, const CorpusNorms* norms,
+                           std::vector<int>* order);
+
+/// The first min(r, N) entries of the ArgsortByDistance order — ascending
+/// (distance, index) — without ordering the tail: streaming top-R selection
+/// (knn/selection.h), block-parallel per IntraQueryOptions with an exact
+/// shard merge. The truncated-exact valuation path. On cancellation the
+/// order degrades to an identity prefix (the engine discards the result).
+void TopROrderByDistance(const Matrix& train, std::span<const float> query,
+                         size_t r, Metric metric, const CorpusNorms* norms,
+                         std::vector<int>* order);
 
 /// The k nearest rows to `query`, ascending by distance. k is clamped to
 /// the number of rows. One batched distance pass plus O(N + k log k)
@@ -45,6 +86,11 @@ std::vector<int> ArgsortByDistance(const Matrix& train, std::span<const float> q
 std::vector<Neighbor> TopKNeighbors(const Matrix& train, std::span<const float> query,
                                     size_t k, Metric metric = Metric::kL2,
                                     const CorpusNorms* norms = nullptr);
+
+/// Scratch-reusing TopKNeighbors: appends into *out (cleared first).
+void TopKNeighborsInto(const Matrix& train, std::span<const float> query,
+                       size_t k, Metric metric, const CorpusNorms* norms,
+                       std::vector<Neighbor>* out);
 
 /// Calls fn(query_row, neighbors) for every row of `queries`, retrieving
 /// the k nearest training rows through the query-block × corpus batched

@@ -81,6 +81,11 @@ struct ValuationReport {
   double queue_seconds = 0.0;
   bool cache_hit = false;       ///< Served from the result cache.
   bool fit_reused = false;      ///< Reused an already-fitted valuator.
+  /// Analytic sup-norm error bound of the method's approximation for this
+  /// request (schema approx_bound); 0 for exact computations. Serve echoes
+  /// it as "approx_bound" only when positive, keeping default responses
+  /// byte-identical.
+  double approx_bound = 0.0;
   CacheCounters cache;          ///< Engine-wide counters at response time.
   /// Server-wide robustness counters at response time, same convention as
   /// `cache`: requests abandoned at their deadline (engine-filled) and

@@ -26,6 +26,8 @@ const char* PhaseName(Phase phase) {
       return "distance";
     case Phase::kSort:
       return "sort";
+    case Phase::kSelect:
+      return "select";
     case Phase::kRetrieve:
       return "retrieve";
     case Phase::kRecursion:

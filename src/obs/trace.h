@@ -48,7 +48,8 @@ enum class Phase : int {
   kFit,          ///< Valuator build (kd-tree/LSH/norms) or fit-slot wait.
   kValue,        ///< The per-query valuation loop (parent of deep phases).
   kDistance,     ///< Deep: distance kernel passes.
-  kSort,         ///< Deep: neighbor argsort / top-K selection.
+  kSort,         ///< Deep: full neighbor argsort (complete rank order).
+  kSelect,       ///< Deep: streaming top-R selection / shard merge.
   kRetrieve,     ///< Deep: kd-tree / LSH index queries.
   kRecursion,    ///< Deep: Shapley recursion / DP over the ranking.
   kMerge,        ///< In-order merge of per-query shards.

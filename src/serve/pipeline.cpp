@@ -1050,6 +1050,11 @@ JsonValue RequestPipeline::RunValue(const PreparedValue& prepared) {
   out.Set("params",
           ParamsToJson(*prepared.schema, prepared.engine_request.params));
   out.Set("cache_hit", JsonValue(report.cache_hit));
+  if (report.approx_bound > 0.0) {
+    // Only approximate requests carry the analytic error bound; default
+    // (exact) responses stay byte-identical to the pre-truncation wire.
+    out.Set("approx_bound", JsonValue(report.approx_bound));
+  }
   JsonValue summary = JsonValue::MakeObject();
   summary.Set("mean", JsonValue(report.summary.mean));
   summary.Set("min", JsonValue(report.summary.min));

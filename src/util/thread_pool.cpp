@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 
 namespace knnshap {
 
@@ -72,6 +73,49 @@ void ThreadPool::ParallelFor(size_t count, const std::function<void(size_t)>& fn
   }
   std::unique_lock<std::mutex> lock(done_mutex);
   done_cv.wait(lock, [&] { return remaining.load() == 0; });
+}
+
+void ThreadPool::ParallelForHelping(size_t count, std::function<void(size_t)> fn) {
+  if (count == 0) return;
+  if (count == 1 || NumThreads() == 0) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  // Shared state outlives this call via shared_ptr: a helper task that is
+  // dequeued *after* the caller has drained the loop and returned must
+  // still be able to observe next >= count and exit without touching
+  // anything freed.
+  struct State {
+    std::function<void(size_t)> fn;
+    size_t count;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mutex;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->fn = std::move(fn);
+  state->count = count;
+  auto drain = [](const std::shared_ptr<State>& s) {
+    for (;;) {
+      const size_t i = s->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= s->count) return;
+      s->fn(i);
+      if (s->done.fetch_add(1, std::memory_order_acq_rel) + 1 == s->count) {
+        std::lock_guard<std::mutex> lock(s->mutex);
+        s->cv.notify_all();
+      }
+    }
+  };
+  const size_t helpers = std::min(count - 1, NumThreads());
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([state, drain] { drain(state); });
+  }
+  drain(state);
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->cv.wait(lock,
+                 [&] { return state->done.load(std::memory_order_acquire) ==
+                              state->count; });
 }
 
 ThreadPool& ThreadPool::Shared() {

@@ -38,6 +38,17 @@ class ThreadPool {
   /// concurrently.
   void ParallelFor(size_t count, const std::function<void(size_t)>& fn);
 
+  /// Like ParallelFor, but the caller *helps*: indices are claimed one at a
+  /// time from a shared atomic counter, and the calling thread drains them
+  /// alongside up to NumThreads() enqueued helpers instead of parking on a
+  /// condition variable. Safe to call from a pool worker (the helper tasks
+  /// it enqueues are optional — if every worker is busy, the caller simply
+  /// finishes the loop alone), which is what makes intra-query block
+  /// parallelism composable with the serve pipeline's request-per-worker
+  /// model. Returns once every iteration has completed. `fn` must be safe
+  /// to invoke concurrently from multiple threads.
+  void ParallelForHelping(size_t count, std::function<void(size_t)> fn);
+
   /// Enqueues one task and returns immediately. The serve pipeline uses
   /// this to run whole requests on workers; such tasks must not call
   /// ParallelFor (see above).

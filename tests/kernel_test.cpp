@@ -38,6 +38,7 @@ class KernelTest : public ::testing::Test {
   static std::vector<KernelKind> FastKernels() {
     std::vector<KernelKind> kinds = {KernelKind::kBlocked};
     if (CpuSupportsAvx2Fma()) kinds.push_back(KernelKind::kAvx2);
+    if (CpuSupportsAvx512()) kinds.push_back(KernelKind::kAvx512);
     return kinds;
   }
 
@@ -74,14 +75,56 @@ TEST_F(KernelTest, OverrideAndNames) {
   // Falls back to blocked when the CPU lacks avx2+fma.
   EXPECT_EQ(ActiveKernel(),
             CpuSupportsAvx2Fma() ? KernelKind::kAvx2 : KernelKind::kBlocked);
+  SetKernelOverride(KernelKind::kAvx512);
+  // Fallback chain: avx512 -> avx2 -> blocked, per cpuid.
+  EXPECT_EQ(ActiveKernel(),
+            CpuSupportsAvx512()
+                ? KernelKind::kAvx512
+                : (CpuSupportsAvx2Fma() ? KernelKind::kAvx2
+                                        : KernelKind::kBlocked));
   SetKernelOverride(KernelKind::kAuto);
   if (std::getenv("KNNSHAP_KERNEL") == nullptr) {
-    // With no env override, auto never picks the reference kernel.
+    // With no env override, auto never picks the reference kernel — and
+    // stays off avx512, which is opt-in (frequency behavior varies by
+    // part).
     EXPECT_NE(ActiveKernel(), KernelKind::kReference);
+    EXPECT_NE(ActiveKernel(), KernelKind::kAvx512);
   }
   EXPECT_STREQ(KernelName(KernelKind::kReference), "reference");
   EXPECT_STREQ(KernelName(KernelKind::kBlocked), "blocked");
   EXPECT_STREQ(KernelName(KernelKind::kAvx2), "avx2");
+  EXPECT_STREQ(KernelName(KernelKind::kAvx512), "avx512");
+}
+
+// Satellite pin: when auto-dispatch resolved to the blocked kernel for a
+// plain-l2 single-query pass at small d, the policy routes it back to the
+// scalar reference loop (BENCH_kernel.json measures blocked 0.82-0.90x
+// *slower* there). Pure-function pin so the policy is testable on machines
+// whose own auto pick is avx2.
+TEST_F(KernelTest, AutoDispatchRoutesSmallDimPlainL2ToReference) {
+  using internal::ResolveDistanceKernel;
+  // The regression case: auto picked blocked, plain l2, small d.
+  EXPECT_EQ(ResolveDistanceKernel(KernelKind::kBlocked, /*was_auto=*/true,
+                                  Metric::kL2, 16),
+            KernelKind::kReference);
+  EXPECT_EQ(ResolveDistanceKernel(KernelKind::kBlocked, true, Metric::kL2, 31),
+            KernelKind::kReference);
+  // d >= 32: the multi-accumulator win outweighs the sqrt, keep blocked.
+  EXPECT_EQ(ResolveDistanceKernel(KernelKind::kBlocked, true, Metric::kL2, 32),
+            KernelKind::kBlocked);
+  // Other metrics keep the fast path (squared-l2 has no per-row sqrt).
+  EXPECT_EQ(ResolveDistanceKernel(KernelKind::kBlocked, true,
+                                  Metric::kSquaredL2, 16),
+            KernelKind::kBlocked);
+  EXPECT_EQ(ResolveDistanceKernel(KernelKind::kBlocked, true, Metric::kL1, 16),
+            KernelKind::kBlocked);
+  // An explicit override or env pin is never second-guessed.
+  EXPECT_EQ(ResolveDistanceKernel(KernelKind::kBlocked, /*was_auto=*/false,
+                                  Metric::kL2, 16),
+            KernelKind::kBlocked);
+  // Auto resolving to avx2/avx512 is also left alone.
+  EXPECT_EQ(ResolveDistanceKernel(KernelKind::kAvx2, true, Metric::kL2, 16),
+            KernelKind::kAvx2);
 }
 
 // ---------------------------------------------------- distance parity ----

@@ -1,0 +1,331 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Parity suite for streaming top-R selection (knn/selection.h) and the
+// truncated-exact valuation path built on it. The contract under test: for
+// every strategy and every input — tie-heavy ones especially — the top-R
+// prefix is bit-identical to the same-length prefix of ArgsortDistances,
+// block-parallel selection is bit-identical to serial, and the observed
+// sup-norm error of the truncated recursions never exceeds the analytic
+// bound reported to clients.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/corrected_knn_shapley.h"
+#include "core/exact_knn_shapley.h"
+#include "dataset/dataset.h"
+#include "knn/distance_kernel.h"
+#include "knn/neighbors.h"
+#include "knn/selection.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace knnshap {
+namespace {
+
+using testing_util::RandomClassDataset;
+using testing_util::SingleQuery;
+
+class SelectTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetSelectOverride(SelectKind::kAuto);
+    SetIntraQueryOptions(IntraQueryOptions{});
+  }
+
+  static std::vector<SelectKind> AllStrategies() {
+    return {SelectKind::kAuto, SelectKind::kHeap, SelectKind::kNth,
+            SelectKind::kSort};
+  }
+
+  // Distance fixtures chosen to stress the boundary band: long runs of
+  // duplicate values, sub-float-ulp perturbations that collapse to one
+  // float key but differ as doubles, tiny negatives (cosine rounding), and
+  // infinities.
+  static std::vector<std::vector<double>> TieHeavyFixtures() {
+    std::vector<std::vector<double>> fixtures;
+    fixtures.push_back({0.0});                          // single element
+    fixtures.push_back({2.0, 2.0, 2.0, 2.0, 2.0});      // all equal
+    fixtures.push_back({5.0, 1.0, 5.0, 1.0, 5.0, 1.0, 5.0, 1.0});
+    {
+      // Doubles that round to the same float but differ exactly.
+      std::vector<double> v;
+      for (int i = 0; i < 64; ++i) {
+        v.push_back(1.0 + (i % 4) * 1e-12);
+      }
+      fixtures.push_back(std::move(v));
+    }
+    {
+      std::vector<double> v = {-1e-18, 0.0, -0.0, 1e-18,
+                               std::numeric_limits<double>::infinity(), 3.0,
+                               3.0, -1e-18, 0.0};
+      fixtures.push_back(std::move(v));
+    }
+    {
+      // Quantized random values: every value collides with ~n/8 others.
+      Rng rng(7);
+      std::vector<double> v(257);
+      for (auto& x : v) x = std::floor(rng.NextDouble() * 8.0) / 8.0;
+      fixtures.push_back(std::move(v));
+    }
+    {
+      Rng rng(11);
+      std::vector<double> v(513);
+      for (auto& x : v) x = rng.NextGaussian();
+      fixtures.push_back(std::move(v));
+    }
+    return fixtures;
+  }
+
+  static std::vector<size_t> InterestingRs(size_t n) {
+    std::vector<size_t> rs = {0, 1, n, n + 5};
+    if (n >= 1) rs.push_back(n - 1);
+    if (n >= 2) rs.push_back(n / 2);
+    if (n >= 3) rs.push_back(3);  // a typical K
+    rs.push_back(n / 16);         // straddles the auto heap/nth cutoff
+    rs.push_back(n / 16 + 1);
+    std::sort(rs.begin(), rs.end());
+    rs.erase(std::unique(rs.begin(), rs.end()), rs.end());
+    return rs;
+  }
+};
+
+TEST_F(SelectTest, NamesAndDispatch) {
+  EXPECT_STREQ(SelectName(SelectKind::kAuto), "auto");
+  EXPECT_STREQ(SelectName(SelectKind::kHeap), "heap");
+  EXPECT_STREQ(SelectName(SelectKind::kNth), "nth");
+  EXPECT_STREQ(SelectName(SelectKind::kSort), "sort");
+
+  SetSelectOverride(SelectKind::kHeap);
+  EXPECT_EQ(ActiveSelect(999, 1000), SelectKind::kHeap);
+  SetSelectOverride(SelectKind::kNth);
+  EXPECT_EQ(ActiveSelect(1, 1000), SelectKind::kNth);
+  SetSelectOverride(SelectKind::kAuto);
+  if (std::getenv("KNNSHAP_SELECT") == nullptr) {
+    // Auto: heap while r is a small fraction of n, nth otherwise.
+    EXPECT_EQ(ActiveSelect(10, 1000), SelectKind::kHeap);
+    EXPECT_EQ(ActiveSelect(500, 1000), SelectKind::kNth);
+  }
+}
+
+TEST_F(SelectTest, PartialPrefixMatchesArgsortOnTieHeavyFixtures) {
+  for (const auto& dists : TieHeavyFixtures()) {
+    std::vector<int> full;
+    ArgsortDistances(dists, &full);
+    for (SelectKind kind : AllStrategies()) {
+      SetSelectOverride(kind);
+      for (size_t r : InterestingRs(dists.size())) {
+        std::vector<int> got;
+        PartialArgsortDistances(dists, r, &got);
+        const size_t want = std::min(r, dists.size());
+        ASSERT_EQ(got.size(), want)
+            << SelectName(kind) << " n=" << dists.size() << " r=" << r;
+        for (size_t i = 0; i < want; ++i) {
+          ASSERT_EQ(got[i], full[i])
+              << SelectName(kind) << " n=" << dists.size() << " r=" << r
+              << " rank=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SelectTest, MergeTopCandidatesEqualsGlobalTopR) {
+  for (const auto& dists : TieHeavyFixtures()) {
+    const size_t n = dists.size();
+    std::vector<int> full;
+    ArgsortDistances(dists, &full);
+    for (size_t r : InterestingRs(n)) {
+      for (size_t block : {size_t{1}, size_t{3}, size_t{64}}) {
+        // Per-block exact top-r (block-local selection, offset to global
+        // indices) then one exact merge — the BlockedTopR recipe.
+        std::vector<int> candidates;
+        for (size_t begin = 0; begin < n; begin += block) {
+          const size_t end = std::min(begin + block, n);
+          std::vector<int> local;
+          PartialArgsortDistances(
+              std::span<const double>(dists).subspan(begin, end - begin), r,
+              &local);
+          for (int idx : local) candidates.push_back(idx + static_cast<int>(begin));
+        }
+        MergeTopCandidates(dists, &candidates, r);
+        const size_t want = std::min(r, n);
+        ASSERT_EQ(candidates.size(), want) << "n=" << n << " r=" << r;
+        for (size_t i = 0; i < want; ++i) {
+          ASSERT_EQ(candidates[i], full[i])
+              << "n=" << n << " r=" << r << " block=" << block << " rank=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SelectTest, BlockedTopROrderMatchesSerial) {
+  const Dataset train = RandomClassDataset(300, 3, 4, 21);
+  const Dataset query = SingleQuery(4, 22);
+  const auto q = query.features.Row(0);
+  for (Metric metric : {Metric::kSquaredL2, Metric::kCosine}) {
+    const std::vector<int> full = ArgsortByDistance(train.features, q, metric);
+    for (size_t r : {size_t{1}, size_t{7}, size_t{299}, size_t{300}, size_t{400}}) {
+      // Serial reference (thresholds at defaults keep the path serial).
+      std::vector<int> serial;
+      TopROrderByDistance(train.features, q, r, metric, nullptr, &serial);
+      // Forced-blocked run with a block size that doesn't divide n.
+      SetIntraQueryOptions({.min_rows = 1, .block_rows = 7});
+      std::vector<int> blocked;
+      TopROrderByDistance(train.features, q, r, metric, nullptr, &blocked);
+      SetIntraQueryOptions(IntraQueryOptions{});
+      const size_t want = std::min(r, static_cast<size_t>(300));
+      ASSERT_EQ(serial.size(), want);
+      ASSERT_EQ(blocked, serial) << "metric=" << static_cast<int>(metric)
+                                 << " r=" << r;
+      for (size_t i = 0; i < want; ++i) ASSERT_EQ(serial[i], full[i]);
+    }
+  }
+}
+
+TEST_F(SelectTest, TopKNeighborsBlockedMatchesSerialIncludingDistances) {
+  const Dataset train = RandomClassDataset(200, 2, 1, 33);  // d = 1
+  const Dataset query = SingleQuery(1, 34);
+  const auto q = query.features.Row(0);
+  const auto serial = TopKNeighbors(train.features, q, 13, Metric::kL2);
+  SetIntraQueryOptions({.min_rows = 1, .block_rows = 9});
+  std::vector<Neighbor> blocked;
+  TopKNeighborsInto(train.features, q, 13, Metric::kL2, nullptr, &blocked);
+  ASSERT_EQ(blocked.size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(blocked[i].index, serial[i].index) << i;
+    EXPECT_EQ(blocked[i].distance, serial[i].distance) << i;
+  }
+}
+
+TEST_F(SelectTest, SingleRowCorpusAndDegenerateR) {
+  const Dataset train = RandomClassDataset(1, 2, 3, 41);
+  const Dataset query = SingleQuery(3, 42);
+  const auto q = query.features.Row(0);
+  for (SelectKind kind : AllStrategies()) {
+    SetSelectOverride(kind);
+    std::vector<int> order;
+    TopROrderByDistance(train.features, q, 5, Metric::kL2, nullptr, &order);
+    ASSERT_EQ(order.size(), 1u);
+    EXPECT_EQ(order[0], 0);
+    TopROrderByDistance(train.features, q, 0, Metric::kL2, nullptr, &order);
+    EXPECT_TRUE(order.empty());
+  }
+}
+
+// The truncated recursions must (a) never exceed the bound they report and
+// (b) degrade to bit-identical exact values when r >= N.
+TEST_F(SelectTest, TruncatedExactErrorWithinReportedBound) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const Dataset train = RandomClassDataset(120, 3, 4, seed);
+    const Dataset query = SingleQuery(4, seed + 100, /*label=*/1);
+    const auto q = query.features.Row(0);
+    const size_t n = train.Size();
+    for (int k : {1, 3, 10}) {
+      const auto exact = ExactKnnShapleySingle(train, q, 1, k);
+      for (size_t r : {size_t{1}, size_t{5}, size_t{20}, size_t{60},
+                       size_t{119}, size_t{120}, size_t{200}}) {
+        const auto truncated =
+            TruncatedExactKnnShapleySingle(train, q, 1, k, r);
+        const double bound = TruncatedExactKnnShapleyBound(r, n);
+        ASSERT_EQ(truncated.size(), exact.size());
+        double err = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          err = std::max(err, std::abs(truncated[i] - exact[i]));
+        }
+        if (r >= n) {
+          EXPECT_EQ(bound, 0.0);
+          EXPECT_EQ(truncated, exact) << "k=" << k << " r=" << r;
+        } else {
+          EXPECT_LE(err, bound + 1e-12)
+              << "seed=" << seed << " k=" << k << " r=" << r;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SelectTest, TruncatedCorrectedErrorWithinReportedBound) {
+  for (uint64_t seed : {4u, 5u, 6u}) {
+    const Dataset train = RandomClassDataset(120, 3, 4, seed);
+    const Dataset query = SingleQuery(4, seed + 100, /*label=*/1);
+    const auto q = query.features.Row(0);
+    const size_t n = train.Size();
+    for (int k : {1, 3, 10, 200}) {  // k=200 > N: the exact small-N regime
+      const auto exact = CorrectedKnnShapleySingle(train, q, 1, k);
+      for (size_t r : {size_t{1}, size_t{5}, size_t{20}, size_t{60},
+                       size_t{119}, size_t{120}, size_t{200}}) {
+        const auto truncated =
+            TruncatedCorrectedKnnShapleySingle(train, q, 1, k, r);
+        const double bound = TruncatedCorrectedKnnShapleyBound(r, n, k);
+        ASSERT_EQ(truncated.size(), exact.size());
+        double err = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+          err = std::max(err, std::abs(truncated[i] - exact[i]));
+        }
+        if (r >= n || k >= static_cast<int>(n)) {
+          EXPECT_EQ(bound, 0.0) << "k=" << k << " r=" << r;
+          testing_util::ExpectVectorNear(truncated, exact, 1e-12);
+        } else {
+          EXPECT_LE(err, bound + 1e-12)
+              << "seed=" << seed << " k=" << k << " r=" << r;
+        }
+      }
+    }
+  }
+}
+
+// The truncated path must agree with itself across every selection strategy
+// and the blocked shard path — the values are a pure function of the top-R
+// prefix, which is bit-identical everywhere.
+TEST_F(SelectTest, TruncatedValuesIdenticalAcrossStrategiesAndBlocking) {
+  const Dataset train = RandomClassDataset(150, 3, 4, 9);
+  const Dataset query = SingleQuery(4, 10, /*label=*/0);
+  const auto q = query.features.Row(0);
+  const auto reference =
+      TruncatedExactKnnShapleySingle(train, q, 0, 3, 25);
+  for (SelectKind kind : {SelectKind::kHeap, SelectKind::kNth, SelectKind::kSort}) {
+    SetSelectOverride(kind);
+    EXPECT_EQ(TruncatedExactKnnShapleySingle(train, q, 0, 3, 25), reference)
+        << SelectName(kind);
+    SetIntraQueryOptions({.min_rows = 1, .block_rows = 11});
+    EXPECT_EQ(TruncatedExactKnnShapleySingle(train, q, 0, 3, 25), reference)
+        << SelectName(kind) << " blocked";
+    SetIntraQueryOptions(IntraQueryOptions{});
+  }
+}
+
+TEST_F(SelectTest, BoundShapes) {
+  // Exact regimes report exactly zero.
+  EXPECT_EQ(TruncatedExactKnnShapleyBound(10, 10), 0.0);
+  EXPECT_EQ(TruncatedExactKnnShapleyBound(11, 10), 0.0);
+  EXPECT_EQ(TruncatedExactKnnShapleyBound(5, 0), 0.0);
+  EXPECT_EQ(TruncatedCorrectedKnnShapleyBound(10, 10, 3), 0.0);
+  EXPECT_EQ(TruncatedCorrectedKnnShapleyBound(2, 10, 10), 0.0);
+  // Otherwise positive and non-increasing in r.
+  double prev = std::numeric_limits<double>::infinity();
+  for (size_t r = 1; r < 100; ++r) {
+    const double b = TruncatedExactKnnShapleyBound(r, 100);
+    EXPECT_GT(b, 0.0);
+    EXPECT_LE(b, prev);
+    prev = b;
+  }
+  prev = std::numeric_limits<double>::infinity();
+  for (size_t r = 1; r < 100; ++r) {
+    const double b = TruncatedCorrectedKnnShapleyBound(r, 100, 5);
+    EXPECT_GT(b, 0.0);
+    EXPECT_LE(b, prev);
+    prev = b;
+  }
+}
+
+}  // namespace
+}  // namespace knnshap
