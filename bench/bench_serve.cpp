@@ -396,6 +396,89 @@ int main(int argc, char** argv) {
                "replay hit rate — BUG\n");
   }
 
+  // --- Shard scaling: the shard router's single-query parallelism.
+  // Sequential HandleSync (no cross-request concurrency) with the result
+  // cache off, so the timing isolates the per-query fan-out + merge path;
+  // full exact (r = N) is the method where the shards parallelize the
+  // most work. Cold includes the fit (plan, norms, workers); warm is the
+  // steady state, min-of-N. Responses must stay byte-identical across
+  // every shard count. The warm >= 2x gate at 4 shards needs real cores
+  // and a full-size run; otherwise the numbers are recorded and the gate
+  // reported unenforced.
+  const size_t shard_rows = static_cast<size_t>(
+      cli.GetInt("shard-rows", smoke ? 4096 : 20000));
+  const size_t shard_requests = smoke ? 8 : 16;
+  std::vector<JsonValue> shard_traffic;
+  for (size_t i = 0; i < shard_requests; ++i) {
+    shard_traffic.push_back(
+        ParseJson(R"({"op":"value","train":"sh","queries":)" +
+                  RowsJson(2, 32, 3, false, 2000 + i) +
+                  R"(,"method":"exact","k":5,"cache":false,"include_values":false})")
+            .value);
+  }
+  const JsonValue shard_corpus =
+      ParseJson(R"({"op":"load","name":"sh","rows":)" +
+                RowsJson(shard_rows, 32, 3, false, 17) + R"(,"target":"label"})")
+          .value;
+  struct ShardArm {
+    int shards = 1;
+    double cold = 0.0;
+    double warm = 0.0;
+  };
+  std::vector<ShardArm> shard_arms;
+  std::string shard_baseline_output;
+  bool shard_identical = true;
+  for (int shards : {1, 2, 4, 8}) {
+    PipelineOptions shard_options;
+    shard_options.emit_timing = false;
+    shard_options.shards = shards;
+    RequestPipeline shard_pipeline(shard_options);
+    shard_pipeline.HandleSync(shard_corpus);
+    auto run_once = [&](std::string* out) {
+      WallTimer timer;
+      for (const JsonValue& request : shard_traffic) {
+        std::string line = shard_pipeline.HandleSync(request).Dump();
+        if (out != nullptr) {
+          *out += line;
+          *out += '\n';
+        }
+      }
+      return timer.Seconds();
+    };
+    ShardArm arm;
+    arm.shards = shards;
+    std::string output;
+    arm.cold = run_once(&output);
+    arm.warm = 1e100;
+    for (int rep = 0; rep < (smoke ? 2 : 5); ++rep) {
+      arm.warm = std::min(arm.warm, run_once(nullptr));
+    }
+    if (shards == 1) {
+      shard_baseline_output = output;
+    } else if (output != shard_baseline_output) {
+      shard_identical = false;
+    }
+    shard_arms.push_back(arm);
+    bench::Row("shards=%d        cold %7.3f s   warm %7.3f s   (%.1f req/s)\n",
+               shards, arm.cold, arm.warm, shard_requests / arm.warm);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  const double shard_speedup_4 = shard_arms[0].warm / shard_arms[2].warm;
+  const bool shard_gate_enforced = !smoke && hw >= 4;
+  const std::string shard_gate_reason =
+      shard_gate_enforced
+          ? "full run on >= 4 cores"
+          : (smoke ? "smoke run"
+                   : "machine has " + std::to_string(hw) +
+                         " cores; the 2x warm gate needs >= 4");
+  const bool shard_gate_ok = !shard_gate_enforced || shard_speedup_4 >= 2.0;
+  bench::Row("shard responses identical across counts: %s\n",
+             shard_identical ? "yes" : "NO — BUG");
+  bench::Row("shard warm speedup at 4 shards: %.2fx (gate 2x: %s)\n\n",
+             shard_speedup_4,
+             shard_gate_enforced ? (shard_gate_ok ? "ok" : "FAILED")
+                                 : "not enforced");
+
   const double speedup_total = serial_rehash.seconds / pipelined.seconds;
   const double speedup_fingerprint = serial_rehash.seconds / serial.seconds;
   const double speedup_concurrency = serial.seconds / pipelined.seconds;
@@ -444,6 +527,27 @@ int main(int argc, char** argv) {
   std::fprintf(json, "  \"trace_overhead_pct\": %.2f,\n", trace_overhead_pct);
   std::fprintf(json, "  \"obs_overhead_under_1pct\": %s,\n",
                overhead_ok ? "true" : "false");
+  std::fprintf(json, "  \"shard_rows\": %zu,\n", shard_rows);
+  std::fprintf(json, "  \"shard_requests\": %zu,\n", shard_requests);
+  std::fprintf(json, "  \"shard_scaling\": [\n");
+  for (size_t i = 0; i < shard_arms.size(); ++i) {
+    std::fprintf(json,
+                 "    {\"shards\": %d, \"cold_seconds\": %.4f, "
+                 "\"warm_seconds\": %.4f}%s\n",
+                 shard_arms[i].shards, shard_arms[i].cold, shard_arms[i].warm,
+                 i + 1 < shard_arms.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"shard_responses_identical\": %s,\n",
+               shard_identical ? "true" : "false");
+  std::fprintf(json, "  \"shard_warm_speedup_4_shards\": %.2f,\n",
+               shard_speedup_4);
+  std::fprintf(json, "  \"shard_gate_enforced\": %s,\n",
+               shard_gate_enforced ? "true" : "false");
+  std::fprintf(json, "  \"shard_gate_reason\": \"%s\",\n",
+               shard_gate_reason.c_str());
+  std::fprintf(json, "  \"shard_gate_ok\": %s,\n",
+               shard_gate_ok ? "true" : "false");
   std::fprintf(json, "  \"reseeded_replay_requests\": %zu,\n", scoped.requests);
   std::fprintf(json, "  \"reseeded_replay_hits_whole_struct_fingerprints\": %zu,\n",
                whole_struct.hits);
@@ -458,5 +562,8 @@ int main(int argc, char** argv) {
   std::fprintf(json, "}\n");
   std::fclose(json);
   bench::Row("wrote %s\n", json_path.c_str());
-  return identical && replay_improved && overhead_ok ? 0 : 2;
+  return identical && replay_improved && overhead_ok && shard_identical &&
+                 shard_gate_ok
+             ? 0
+             : 2;
 }

@@ -76,6 +76,24 @@ std::vector<double> CorrectedKnnShapleyRecursion(const std::vector<int>& sorted_
   return sv;
 }
 
+std::vector<double> CorrectedKnnShapleyFromOrder(std::span<const int> order,
+                                                 std::span<const int> labels,
+                                                 int test_label, int k) {
+  // Span covers ranking-to-SV work: label gather, recursion, scatter.
+  ScopedPhase span(Phase::kRecursion);
+  std::vector<int> sorted_labels(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    sorted_labels[i] = labels[static_cast<size_t>(order[i])];
+  }
+  std::vector<double> by_rank =
+      CorrectedKnnShapleyRecursion(sorted_labels, test_label, k);
+  std::vector<double> sv(labels.size(), 0.0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    sv[static_cast<size_t>(order[i])] = by_rank[i];
+  }
+  return sv;
+}
+
 std::vector<double> CorrectedKnnShapleySingle(const Dataset& train,
                                               std::span<const float> query,
                                               int test_label, int k, Metric metric,
@@ -84,16 +102,62 @@ std::vector<double> CorrectedKnnShapleySingle(const Dataset& train,
   // Per-thread order scratch, matching ExactKnnShapleySingle.
   static thread_local std::vector<int> order;
   ArgsortByDistanceInto(train.features, query, metric, norms, &order);
-  ScopedPhase span(Phase::kRecursion);
-  std::vector<int> sorted_labels(order.size());
-  for (size_t i = 0; i < order.size(); ++i) {
-    sorted_labels[i] = train.labels[static_cast<size_t>(order[i])];
+  return CorrectedKnnShapleyFromOrder(order, train.labels, test_label, k);
+}
+
+size_t TruncatedCorrectedEffectiveRank(size_t r, size_t n, int k) {
+  // The accumulated c_i coefficients read ranks down to K, so the prefix
+  // must reach it. (The N-1 < K regime never asks for a prefix at all.)
+  (void)n;
+  return std::max(r, static_cast<size_t>(k));
+}
+
+std::vector<double> TruncatedCorrectedKnnShapleyFromOrder(
+    std::span<const int> order_prefix, std::span<const int> labels,
+    int test_label, int k) {
+  const size_t n = labels.size();
+  KNNSHAP_CHECK(n >= 1, "empty training set");
+  KNNSHAP_CHECK(k >= 1, "k must be >= 1");
+  const int ni = static_cast<int>(n);
+  double total_matches = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] == test_label) total_matches += 1.0;
   }
-  std::vector<double> by_rank =
-      CorrectedKnnShapleyRecursion(sorted_labels, test_label, k);
-  std::vector<double> sv(train.Size(), 0.0);
-  for (size_t i = 0; i < order.size(); ++i) {
-    sv[static_cast<size_t>(order[i])] = by_rank[i];
+  const double base0 = SmallCoalitionTerm(0.0, total_matches, ni, k);
+  const double base1 = SmallCoalitionTerm(1.0, total_matches, ni, k);
+  if (ni - 1 < k) {
+    // No coalition ever reaches size K, so only the rank-independent term
+    // exists: exact values from labels alone, the ranking is irrelevant.
+    std::vector<double> sv(n);
+    for (size_t i = 0; i < n; ++i) {
+      sv[i] = labels[i] == test_label ? base1 : base0;
+    }
+    return sv;
+  }
+  const size_t r = order_prefix.size();
+  KNNSHAP_CHECK(r >= static_cast<size_t>(k) && r < n,
+                "prefix length must be TruncatedCorrectedEffectiveRank and < n");
+  ScopedPhase span(Phase::kRecursion);
+  // Tail points get their rank-independent term; the dropped rank-dependent
+  // sum is bounded by c_r for every one of them.
+  std::vector<double> sv(n);
+  for (size_t i = 0; i < n; ++i) {
+    sv[i] = labels[i] == test_label ? base1 : base0;
+  }
+  auto match = [&](int rank) {  // rank is 1-based, within the prefix
+    const int row = order_prefix[static_cast<size_t>(rank - 1)];
+    return labels[static_cast<size_t>(row)] == test_label ? 1.0 : 0.0;
+  };
+  // phi_r = g(a_r) + sum_{i=r}^{R-1} (a_i - a_{i+1}) c_i, accumulated
+  // backwards from the truncation point (rank R keeps its g(a) value,
+  // absorbing the whole dropped sum into the error bound).
+  const double nd = static_cast<double>(ni);
+  double acc = 0.0;
+  for (int i = static_cast<int>(r) - 1; i >= 1; --i) {
+    const double c = 1.0 / static_cast<double>(std::max(i, k)) - 1.0 / nd;
+    acc += (match(i) - match(i + 1)) * c;
+    const size_t row = static_cast<size_t>(order_prefix[static_cast<size_t>(i - 1)]);
+    sv[row] = (match(i) == 1.0 ? base1 : base0) + acc;
   }
   return sv;
 }
@@ -106,51 +170,18 @@ std::vector<double> TruncatedCorrectedKnnShapleySingle(
   const size_t n = train.Size();
   KNNSHAP_CHECK(n >= 1, "empty training set");
   const int ni = static_cast<int>(n);
-  double total_matches = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    if (train.labels[i] == test_label) total_matches += 1.0;
-  }
-  const double base0 = SmallCoalitionTerm(0.0, total_matches, ni, k);
-  const double base1 = SmallCoalitionTerm(1.0, total_matches, ni, k);
   if (ni - 1 < k) {
-    // No coalition ever reaches size K, so only the rank-independent term
-    // exists: exact values from labels alone, no distance pass at all.
-    std::vector<double> sv(n);
-    for (size_t i = 0; i < n; ++i) {
-      sv[i] = train.labels[i] == test_label ? base1 : base0;
-    }
-    return sv;
+    // Labels-only regime: no distance pass at all.
+    return TruncatedCorrectedKnnShapleyFromOrder({}, train.labels, test_label, k);
   }
-  r = std::max(r, static_cast<size_t>(k));
+  r = TruncatedCorrectedEffectiveRank(r, n, k);
   if (r >= n) {
     return CorrectedKnnShapleySingle(train, query, test_label, k, metric, norms);
   }
   static thread_local std::vector<int> order;
   TopROrderByDistance(train.features, query, r, metric, norms, &order);
   if (CancelRequested()) return std::vector<double>(n, 0.0);
-  ScopedPhase span(Phase::kRecursion);
-  // Tail points get their rank-independent term; the dropped rank-dependent
-  // sum is bounded by c_r for every one of them.
-  std::vector<double> sv(n);
-  for (size_t i = 0; i < n; ++i) {
-    sv[i] = train.labels[i] == test_label ? base1 : base0;
-  }
-  auto match = [&](int rank) {  // rank is 1-based, within the prefix
-    const int row = order[static_cast<size_t>(rank - 1)];
-    return train.labels[static_cast<size_t>(row)] == test_label ? 1.0 : 0.0;
-  };
-  // phi_r = g(a_r) + sum_{i=r}^{R-1} (a_i - a_{i+1}) c_i, accumulated
-  // backwards from the truncation point (rank R keeps its g(a) value,
-  // absorbing the whole dropped sum into the error bound).
-  const double nd = static_cast<double>(ni);
-  double acc = 0.0;
-  for (int i = static_cast<int>(r) - 1; i >= 1; --i) {
-    const double c = 1.0 / static_cast<double>(std::max(i, k)) - 1.0 / nd;
-    acc += (match(i) - match(i + 1)) * c;
-    const size_t row = static_cast<size_t>(order[static_cast<size_t>(i - 1)]);
-    sv[row] = (match(i) == 1.0 ? base1 : base0) + acc;
-  }
-  return sv;
+  return TruncatedCorrectedKnnShapleyFromOrder(order, train.labels, test_label, k);
 }
 
 double TruncatedCorrectedKnnShapleyBound(size_t r, size_t n, int k) {

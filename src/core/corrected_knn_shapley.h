@@ -79,6 +79,27 @@ std::vector<double> TruncatedCorrectedKnnShapleySingle(
 /// rank-dependent term vanishes and truncation is exact).
 double TruncatedCorrectedKnnShapleyBound(size_t r, size_t n, int k);
 
+/// Corrected SVs evaluated on an externally supplied full distance
+/// ordering (ascending (distance, index); `labels` indexed by row) —
+/// the post-ranking body of CorrectedKnnShapleySingle, bit for bit.
+std::vector<double> CorrectedKnnShapleyFromOrder(std::span<const int> order,
+                                                 std::span<const int> labels,
+                                                 int test_label, int k);
+
+/// Truncated corrected SVs from an externally supplied top-r order prefix.
+/// In the N-1 < K regime the result is labels-only and `order_prefix` is
+/// ignored (pass empty); otherwise the prefix length must be
+/// TruncatedCorrectedEffectiveRank(r, n, k) and < n — at r >= n use
+/// CorrectedKnnShapleyFromOrder, exactly as the Single delegates.
+std::vector<double> TruncatedCorrectedKnnShapleyFromOrder(
+    std::span<const int> order_prefix, std::span<const int> labels,
+    int test_label, int k);
+
+/// The prefix length the truncated corrected path retrieves for a nominal
+/// r: max(r, k). Shared with the shard router so a fanned-out retrieval
+/// requests the identical prefix.
+size_t TruncatedCorrectedEffectiveRank(size_t r, size_t n, int k);
+
 }  // namespace knnshap
 
 #endif  // KNNSHAP_CORE_CORRECTED_KNN_SHAPLEY_H_

@@ -68,6 +68,23 @@ std::vector<double> KnnShapleyClosedForm(const std::vector<int>& sorted_labels,
   return sv;
 }
 
+std::vector<double> ExactKnnShapleyFromOrder(std::span<const int> order,
+                                             std::span<const int> labels,
+                                             int test_label, int k) {
+  // Span covers ranking-to-SV work: label gather, recursion, scatter.
+  ScopedPhase span(Phase::kRecursion);
+  std::vector<int> sorted_labels(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    sorted_labels[i] = labels[static_cast<size_t>(order[i])];
+  }
+  std::vector<double> by_rank = KnnShapleyRecursion(sorted_labels, test_label, k);
+  std::vector<double> sv(labels.size(), 0.0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    sv[static_cast<size_t>(order[i])] = by_rank[i];
+  }
+  return sv;
+}
+
 std::vector<double> ExactKnnShapleySingle(const Dataset& train,
                                           std::span<const float> query, int test_label,
                                           int k, Metric metric,
@@ -80,42 +97,23 @@ std::vector<double> ExactKnnShapleySingle(const Dataset& train,
   // Cancellation poll between the ranking and the SV recursion: skip the
   // recursion, return right-sized zeros (the engine discards them).
   if (CancelRequested()) return std::vector<double>(train.Size(), 0.0);
-  // Span covers ranking-to-SV work: label gather, recursion, scatter.
-  ScopedPhase span(Phase::kRecursion);
-  std::vector<int> sorted_labels(order.size());
-  for (size_t i = 0; i < order.size(); ++i) {
-    sorted_labels[i] = train.labels[static_cast<size_t>(order[i])];
-  }
-  std::vector<double> by_rank = KnnShapleyRecursion(sorted_labels, test_label, k);
-  std::vector<double> sv(train.Size(), 0.0);
-  for (size_t i = 0; i < order.size(); ++i) {
-    sv[static_cast<size_t>(order[i])] = by_rank[i];
-  }
-  return sv;
+  return ExactKnnShapleyFromOrder(order, train.labels, test_label, k);
 }
 
-std::vector<double> TruncatedExactKnnShapleySingle(const Dataset& train,
-                                                   std::span<const float> query,
-                                                   int test_label, int k, size_t r,
-                                                   Metric metric,
-                                                   const CorpusNorms* norms) {
-  KNNSHAP_CHECK(train.HasLabels(), "labels required");
-  KNNSHAP_CHECK(k >= 1, "k must be >= 1");
-  const size_t n = train.Size();
+size_t TruncatedExactEffectiveRank(size_t r, size_t n, int k) {
   // The i < K branch of Eq (46) reads the suffix at rank min(K, N), so the
-  // prefix must reach it; and once r covers every rank the truncation is
-  // the exact computation — delegate so the two paths cannot drift.
-  r = std::max(r, std::min(static_cast<size_t>(k), n));
-  if (r >= n) {
-    return ExactKnnShapleySingle(train, query, test_label, k, metric, norms);
-  }
-  static thread_local std::vector<int> order;
-  TopROrderByDistance(train.features, query, r, metric, norms, &order);
-  if (CancelRequested()) return std::vector<double>(n, 0.0);
+  // prefix must reach it.
+  return std::max(r, std::min(static_cast<size_t>(k), n));
+}
+
+std::vector<double> TruncatedExactKnnShapleyFromOrder(
+    std::span<const int> order_prefix, std::span<const int> labels,
+    int test_label, int k, size_t n) {
   ScopedPhase span(Phase::kRecursion);
+  const size_t r = order_prefix.size();
   auto match = [&](int rank) {  // rank is 1-based, within the prefix
-    const int row = order[static_cast<size_t>(rank - 1)];
-    return train.labels[static_cast<size_t>(row)] == test_label ? 1.0 : 0.0;
+    const int row = order_prefix[static_cast<size_t>(rank - 1)];
+    return labels[static_cast<size_t>(row)] == test_label ? 1.0 : 0.0;
   };
   // Truncated suffix sums T^(i) = sum_{j=i+1}^{r} 1[y_j = y]/(j (j-1));
   // the dropped tail is sum_{j>r} 1/(j(j-1)) <= 1/r - 1/N at most.
@@ -132,9 +130,29 @@ std::vector<double> TruncatedExactKnnShapleySingle(const Dataset& train,
     const double value =
         i >= k ? match(i) / static_cast<double>(i) - suffix[static_cast<size_t>(i)]
                : match(i) / static_cast<double>(k) - suffix[static_cast<size_t>(k)];
-    sv[static_cast<size_t>(order[static_cast<size_t>(i - 1)])] = value;
+    sv[static_cast<size_t>(order_prefix[static_cast<size_t>(i - 1)])] = value;
   }
   return sv;
+}
+
+std::vector<double> TruncatedExactKnnShapleySingle(const Dataset& train,
+                                                   std::span<const float> query,
+                                                   int test_label, int k, size_t r,
+                                                   Metric metric,
+                                                   const CorpusNorms* norms) {
+  KNNSHAP_CHECK(train.HasLabels(), "labels required");
+  KNNSHAP_CHECK(k >= 1, "k must be >= 1");
+  const size_t n = train.Size();
+  // Once r covers every rank the truncation is the exact computation —
+  // delegate so the two paths cannot drift.
+  r = TruncatedExactEffectiveRank(r, n, k);
+  if (r >= n) {
+    return ExactKnnShapleySingle(train, query, test_label, k, metric, norms);
+  }
+  static thread_local std::vector<int> order;
+  TopROrderByDistance(train.features, query, r, metric, norms, &order);
+  if (CancelRequested()) return std::vector<double>(n, 0.0);
+  return TruncatedExactKnnShapleyFromOrder(order, train.labels, test_label, k, n);
 }
 
 double TruncatedExactKnnShapleyBound(size_t r, size_t n) {

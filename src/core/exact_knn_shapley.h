@@ -64,6 +64,30 @@ std::vector<double> TruncatedExactKnnShapleySingle(
 /// exactly 0 when r >= N. Returned to clients as `approx_bound`.
 double TruncatedExactKnnShapleyBound(size_t r, size_t n);
 
+/// Theorem-1 SVs evaluated on an externally supplied full distance
+/// ordering — `order` must be all of train's rows ascending by (distance,
+/// index), e.g. a per-shard candidate merge. `labels` is indexed by row.
+/// Returns dense row-indexed SVs, bit-identical to ExactKnnShapleySingle
+/// on the ordering it would compute itself (this *is* its post-ranking
+/// body, including the kRecursion span).
+std::vector<double> ExactKnnShapleyFromOrder(std::span<const int> order,
+                                             std::span<const int> labels,
+                                             int test_label, int k);
+
+/// Truncated Theorem-1 SVs from an externally supplied top-r order prefix
+/// (ascending (distance, index)) of an n-row corpus. The prefix length
+/// must be TruncatedExactEffectiveRank(r, n, k) and < n — at r >= n use
+/// ExactKnnShapleyFromOrder, exactly as the Single delegates.
+std::vector<double> TruncatedExactKnnShapleyFromOrder(
+    std::span<const int> order_prefix, std::span<const int> labels,
+    int test_label, int k, size_t n);
+
+/// The prefix length the truncated path actually retrieves for a nominal
+/// r: max(r, min(k, n)) — the i < K branch of Eq (46) reads the suffix at
+/// rank min(K, N). Shared with the shard router so a fanned-out retrieval
+/// requests the identical prefix.
+size_t TruncatedExactEffectiveRank(size_t r, size_t n, int k);
+
 /// Exact SVs averaged over a test set (Algorithm 1). Parallelizes over
 /// test points when `parallel` is true. O(N_test * N (d + log N)).
 std::vector<double> ExactKnnShapley(const Dataset& train, const Dataset& test, int k,

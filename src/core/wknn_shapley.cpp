@@ -72,32 +72,20 @@ int WknnCoalitionWeights::TruncationRank(double approx_error) const {
 // Query context: ranking + discretization
 // ---------------------------------------------------------------------------
 
-WknnQueryContext MakeWknnQueryContext(const Dataset& train,
-                                      std::span<const float> query, int test_label,
-                                      const WknnShapleyOptions& options,
-                                      const CorpusNorms* norms) {
-  const size_t n = train.Size();
+WknnQueryContext MakeWknnQueryContextFromRanking(std::vector<int> order,
+                                                 std::span<const double> dists,
+                                                 std::span<const int> labels,
+                                                 int test_label,
+                                                 const WknnShapleyOptions& options) {
+  const size_t n = labels.size();
   KNNSHAP_CHECK(n >= 1, "empty training set");
-  KNNSHAP_CHECK(train.HasLabels(), "weighted-fast: labeled corpus required");
+  KNNSHAP_CHECK(order.size() == n && dists.size() == n,
+                "full ranking and row-indexed distances required");
   KNNSHAP_CHECK(options.weight_bits >= 1 && options.weight_bits <= 12,
                 "weight_bits must be in [1, 12]");
 
   WknnQueryContext ctx;
-  std::vector<double> dist =
-      AllDistances(train.features, query, options.metric, norms);
-  ctx.order.resize(n);
-  std::iota(ctx.order.begin(), ctx.order.end(), 0);
-  {
-    // Ascending distance, ties by row index — the ArgsortByDistance /
-    // TopKAmongRows ordering every other valuation core uses.
-    ScopedPhase span(Phase::kSort);
-    std::sort(ctx.order.begin(), ctx.order.end(), [&](int lhs, int rhs) {
-      double dl = dist[static_cast<size_t>(lhs)];
-      double dr = dist[static_cast<size_t>(rhs)];
-      if (dl != dr) return dl < dr;
-      return lhs < rhs;
-    });
-  }
+  ctx.order = std::move(order);
   ctx.rank_of.resize(n);
   ctx.correct.resize(n);
   ctx.raw.resize(n);
@@ -105,10 +93,9 @@ WknnQueryContext MakeWknnQueryContext(const Dataset& train,
   for (size_t rank = 0; rank < n; ++rank) {
     const int row = ctx.order[rank];
     ctx.rank_of[static_cast<size_t>(row)] = static_cast<int>(rank);
-    ctx.correct[rank] =
-        train.labels[static_cast<size_t>(row)] == test_label ? 1 : 0;
+    ctx.correct[rank] = labels[static_cast<size_t>(row)] == test_label ? 1 : 0;
     ctx.raw[rank] =
-        RawKernelWeight(dist[static_cast<size_t>(row)], options.weights);
+        RawKernelWeight(dists[static_cast<size_t>(row)], options.weights);
   }
   // Snap to the integer grid {1, ..., 2^b - 1} after scaling by the largest
   // finite raw weight. Normalization makes the scale cancel (the utility is
@@ -131,6 +118,33 @@ WknnQueryContext MakeWknnQueryContext(const Dataset& train,
     ctx.level[rank] = std::clamp(level, 1, levels);
   }
   return ctx;
+}
+
+WknnQueryContext MakeWknnQueryContext(const Dataset& train,
+                                      std::span<const float> query, int test_label,
+                                      const WknnShapleyOptions& options,
+                                      const CorpusNorms* norms) {
+  const size_t n = train.Size();
+  KNNSHAP_CHECK(n >= 1, "empty training set");
+  KNNSHAP_CHECK(train.HasLabels(), "weighted-fast: labeled corpus required");
+
+  std::vector<double> dist =
+      AllDistances(train.features, query, options.metric, norms);
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  {
+    // Ascending distance, ties by row index — the ArgsortByDistance /
+    // TopKAmongRows ordering every other valuation core uses.
+    ScopedPhase span(Phase::kSort);
+    std::sort(order.begin(), order.end(), [&](int lhs, int rhs) {
+      double dl = dist[static_cast<size_t>(lhs)];
+      double dr = dist[static_cast<size_t>(rhs)];
+      if (dl != dr) return dl < dr;
+      return lhs < rhs;
+    });
+  }
+  return MakeWknnQueryContextFromRanking(std::move(order), dist, train.labels,
+                                         test_label, options);
 }
 
 // ---------------------------------------------------------------------------
@@ -309,7 +323,16 @@ std::vector<double> WknnShapleySingle(const Dataset& train,
                                       const WknnShapleyOptions& options,
                                       const CorpusNorms* norms,
                                       const WknnCoalitionWeights* shared) {
-  const int n = static_cast<int>(train.Size());
+  const WknnQueryContext ctx =
+      MakeWknnQueryContext(train, query, test_label, options, norms);
+  return WknnShapleyFromContext(ctx, options, shared);
+}
+
+std::vector<double> WknnShapleyFromContext(const WknnQueryContext& context,
+                                           const WknnShapleyOptions& options,
+                                           const WknnCoalitionWeights* shared) {
+  const WknnQueryContext& ctx = context;
+  const int n = static_cast<int>(ctx.order.size());
   KNNSHAP_CHECK(options.approx_error >= 0.0, "approx_error must be >= 0");
   std::optional<WknnCoalitionWeights> local;
   if (shared == nullptr) {
@@ -318,8 +341,6 @@ std::vector<double> WknnShapleySingle(const Dataset& train,
   }
   KNNSHAP_CHECK(shared->N() == n && shared->K() == std::min(options.k, n),
                 "coalition weights built for a different (N, K)");
-  const WknnQueryContext ctx =
-      MakeWknnQueryContext(train, query, test_label, options, norms);
 
   // The quadratic DP over count tables — the weighted-fast "recursion".
   ScopedPhase recursion_span(Phase::kRecursion);

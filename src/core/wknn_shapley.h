@@ -124,6 +124,18 @@ WknnQueryContext MakeWknnQueryContext(const Dataset& train,
                                       const WknnShapleyOptions& options,
                                       const CorpusNorms* norms = nullptr);
 
+/// Same context built from an externally supplied full ranking: `order`
+/// must be every training row ascending by (dists[row], row) — e.g. a
+/// per-shard candidate merge — and `dists` the row-indexed raw distances
+/// that produced it (the kernel weights need the exact doubles).
+/// Bit-identical to MakeWknnQueryContext on the ranking and distances it
+/// would compute itself.
+WknnQueryContext MakeWknnQueryContextFromRanking(std::vector<int> order,
+                                                 std::span<const double> dists,
+                                                 std::span<const int> labels,
+                                                 int test_label,
+                                                 const WknnShapleyOptions& options);
+
 /// The discretized weighted utility nu-hat(S): level-sum ratio A/B over the
 /// top-min(K,|S|) of `subset` (training-row ids). The ground-truth
 /// evaluator the enumeration oracle uses to pin the recursion.
@@ -153,6 +165,15 @@ std::vector<double> WknnShapleySingle(const Dataset& train,
                                       const WknnShapleyOptions& options,
                                       const CorpusNorms* norms = nullptr,
                                       const WknnCoalitionWeights* shared = nullptr);
+
+/// The counting recursion evaluated on a prebuilt query context — the
+/// post-ranking body of WknnShapleySingle, bit for bit (including the
+/// kRecursion span and per-rank cancellation polls). Entry point for the
+/// shard router, which assembles the context from merged per-shard
+/// candidates via MakeWknnQueryContextFromRanking.
+std::vector<double> WknnShapleyFromContext(const WknnQueryContext& context,
+                                           const WknnShapleyOptions& options,
+                                           const WknnCoalitionWeights* shared = nullptr);
 
 /// SVs averaged over a test set (additivity, Eq 8).
 std::vector<double> WknnShapley(const Dataset& train, const Dataset& test,

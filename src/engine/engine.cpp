@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "knn/distance_kernel.h"
+#include "shard/sharded_valuator.h"
 #include "util/fault.h"
 #include "util/fingerprint.h"
 #include "util/thread_pool.h"
@@ -208,6 +209,14 @@ ValuationReport ValuationEngine::ValueImpl(const ValuationRequest& request,
 
   // --- Fit (or reuse) and run. ------------------------------------------
   FittedKey fitted_key{train_fp, request.method, params_fp};
+  // The fitted-valuator key carries the topology (a 3-shard router and an
+  // unsharded valuator are different resident structures), but the result
+  // cache above deliberately does not: sharded values are bit-identical to
+  // unsharded ones, so cached results warm-start across topologies.
+  if (request.shard.count > 1 && ShardedValuatorSupports(request.method)) {
+    fitted_key.method += "#shards=" + std::to_string(request.shard.count) +
+                         (request.shard.process ? "/proc" : "/thread");
+  }
   std::shared_ptr<Valuator> valuator;
   bool fit_cancelled = false;
   {
@@ -259,6 +268,24 @@ ValuationReport ValuationEngine::ValueImpl(const ValuationRequest& request,
     RecordDeadlineExceeded(cancel);
     report.values.clear();
     report.status = Status::DeadlineExceeded("deadline exceeded");
+    return report;
+  }
+  // A valuator that degraded mid-run (a shard worker died) latches
+  // Health() non-OK and its queries merged nothing. The dead structure is
+  // evicted so the NEXT request re-fits (respawning workers), and this
+  // request answers the latched status — typically Unavailable, which the
+  // serve layer decorates with retry_after_ms. Never a partial result.
+  if (Status health = valuator->Health(); !health.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(fitted_mutex_);
+      auto it = fitted_index_.find(fitted_key);
+      if (it != fitted_index_.end()) {
+        fitted_.erase(it->second);
+        fitted_index_.erase(it);
+      }
+    }
+    report.values.clear();
+    report.status = std::move(health);
     return report;
   }
   {
@@ -384,7 +411,17 @@ std::shared_ptr<Valuator> ValuationEngine::GetOrFit(const FittedKey& key,
       }
       // The token stays active during the fit so a Fit implementation may
       // poll it; expiry is also checked when the fit returns.
-      valuator = registry_->Create(request.method, params);
+      if (request.shard.count > 1 && ShardedValuatorSupports(request.method)) {
+        ShardedValuatorSpec spec;
+        spec.shard_count = request.shard.count;
+        spec.process = request.shard.process;
+        spec.worker_command = request.shard.worker_command;
+        spec.train_digests = request.shard.train_digests;
+        spec.corpus_name = request.shard.corpus_name;
+        valuator = MakeShardedValuator(request.method, params, std::move(spec));
+      } else {
+        valuator = registry_->Create(request.method, params);
+      }
       if (valuator != nullptr) valuator->Fit(request.train);
     } catch (...) {
       retire(nullptr, /*was_cancelled=*/false);

@@ -40,8 +40,25 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/cancel.h"
+#include "util/fingerprint.h"
 
 namespace knnshap {
+
+/// Sharded-topology request: count > 1 routes supported methods through the
+/// shard subsystem (src/shard) — per-shard candidate workers plus a
+/// bit-identical top-R merge. Unsupported methods ignore this and run
+/// unsharded.
+struct ShardSpec {
+  int count = 1;       ///< 1 = unsharded (the default topology).
+  bool process = false;  ///< true: process-per-shard over JSONL pipes.
+  /// argv of the worker binary (process mode only).
+  std::vector<std::string> worker_command;
+  /// The corpus's maintained block digests; null makes the router hash the
+  /// corpus itself at fit.
+  std::shared_ptr<const CorpusDigests> train_digests;
+  /// Store name of the corpus, echoed to worker processes.
+  std::string corpus_name = "corpus";
+};
 
 /// One valuation request: value every row of `train` against the query
 /// batch `test` with the given method. Datasets are shared_ptr so the
@@ -72,6 +89,13 @@ struct ValuationRequest {
   /// answers a deadline_exceeded Status, partial work is discarded and
   /// nothing partial ever enters the result cache or the fitted registry.
   std::shared_ptr<const CancelToken> cancel;
+  /// Shard topology. Affects only HOW supported methods compute (the
+  /// result-cache key is deliberately topology-free: values are
+  /// bit-identical across topologies, so a cache written unsharded
+  /// warm-starts a sharded server and vice versa). The fitted-valuator key
+  /// DOES carry the topology — a router and an unsharded valuator are
+  /// different resident structures.
+  ShardSpec shard;
 };
 
 /// Engine construction options.

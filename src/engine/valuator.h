@@ -28,6 +28,7 @@
 #include "dataset/dataset.h"
 #include "knn/metric.h"
 #include "knn/weights.h"
+#include "util/status.h"
 
 namespace knnshap {
 
@@ -105,6 +106,15 @@ class Valuator {
 
   /// Whole-batch valuation for methods with SupportsPerQuery() == false.
   virtual std::vector<double> ValueBatch(const Dataset& test) const;
+
+  /// Liveness of the fitted structure. In-process valuators are always
+  /// healthy; the sharded valuator latches a non-OK status when a worker
+  /// process dies or answers garbage (ValueOne must stay noexcept-ish on
+  /// pool threads, so failures surface here). The engine checks after
+  /// every Run: a non-OK health evicts the fitted entry — the next
+  /// request re-fits, respawning workers — and the current request is
+  /// answered with that status instead of a partial merge.
+  virtual Status Health() const { return Status::Ok(); }
 
   /// Serial convenience entry (primarily for tests and tools that bypass
   /// the engine): per-query loop + Merge, or ValueBatch.

@@ -72,4 +72,15 @@ const char* MetricName(Metric metric) {
   return "unknown";
 }
 
+bool MetricFromName(std::string_view name, Metric* out) {
+  for (Metric metric : {Metric::kL2, Metric::kSquaredL2, Metric::kL1,
+                        Metric::kCosine}) {
+    if (name == MetricName(metric)) {
+      *out = metric;
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace knnshap

@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <span>
+#include <string_view>
 
 namespace knnshap {
 
@@ -29,6 +30,11 @@ double SquaredL2(std::span<const float> a, std::span<const float> b);
 
 /// Human-readable metric name.
 const char* MetricName(Metric metric);
+
+/// Inverse of MetricName ("l2", "squared-l2", "l1", "cosine"); false when
+/// `name` matches no metric. The shard-worker wire protocol sends metrics
+/// by name.
+bool MetricFromName(std::string_view name, Metric* out);
 
 namespace internal {
 

@@ -331,6 +331,42 @@ void MergeTopCandidates(std::span<const double> dists,
   candidates->resize(r);
 }
 
+void MergeSortedCandidateRuns(std::span<const double> dists,
+                              std::span<const std::vector<int>> runs, size_t r,
+                              std::vector<int>* out) {
+  out->clear();
+  size_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  r = std::min(r, total);
+  out->reserve(r);
+  // Linear scan over the run heads: with a handful of shards this beats a
+  // heap (no sift overhead) and, unlike re-sorting the concatenation,
+  // stays O(total * runs) at r = total. The comparator is the ordering
+  // contract's (double distance, index) pair — each run already obeys it,
+  // so the merged sequence is the global ArgsortDistances prefix.
+  static thread_local std::vector<size_t> heads;
+  heads.assign(runs.size(), 0);
+  while (out->size() < r) {
+    size_t best_run = runs.size();
+    int best = -1;
+    double best_dist = 0.0;
+    for (size_t s = 0; s < runs.size(); ++s) {
+      if (heads[s] >= runs[s].size()) continue;
+      const int candidate = runs[s][heads[s]];
+      const double dist = dists[static_cast<size_t>(candidate)];
+      if (best < 0 || dist < best_dist ||
+          (dist == best_dist && candidate < best)) {
+        best_run = s;
+        best = candidate;
+        best_dist = dist;
+      }
+    }
+    // total >= r guarantees a head exists until out is full.
+    ++heads[best_run];
+    out->push_back(best);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // SelectTopK (declared in knn/distance_kernel.h)
 // ---------------------------------------------------------------------------

@@ -21,6 +21,19 @@
 // same-length prefix of ArgsortDistances, on every input, including
 // tie-heavy ones.
 //
+// Negative zero. The packed key canonicalizes -0.0 to +0.0 before the
+// IEEE bit flip (SortableBits adds +0.0f after the float rounding). -0.0
+// and +0.0 are the only two distinct floats that compare equal, so
+// without the canonicalization the packed order and the (double
+// distance, index) comparator could disagree on exactly that pair; with
+// it, a distance of -0.0 keys identically to +0.0 and the tie breaks by
+// index — the same answer every double comparator gives, because
+// -0.0 == +0.0 under operator== and operator<. External callers merging
+// per-shard candidate runs (MergeTopCandidates below) may therefore
+// compare raw double distances with (dist, index) and reproduce the
+// packed order bit for bit; -0.0 distances (cosine rounding) need no
+// special-casing on their side. Pinned by select_test.cpp.
+//
 // Three interchangeable strategies (KNNSHAP_SELECT forces one in CI):
 //   heap   one streaming pass with a bounded max-heap of packed keys plus
 //          a second O(n) scan for the boundary band — O(n + r log r) and
@@ -80,6 +93,18 @@ void PartialArgsortDistances(std::span<const double> dists, size_t r,
 /// single-query parallelism and multi-shard serving.
 void MergeTopCandidates(std::span<const double> dists,
                         std::vector<int>* candidates, size_t r);
+
+/// K-way merge of per-shard candidate *runs*, each already ascending by
+/// (dists[i], i) — exactly what PartialArgsortDistances over a contiguous
+/// shard produces after offsetting to global indices. Appends the first
+/// min(r, total) entries of the merged order into *out (cleared first),
+/// bit-identical to MergeTopCandidates over the concatenation but in
+/// O(total * runs) comparisons instead of a full sort — the multi-shard
+/// serving path runs it at r = N for the full-recursion methods, where
+/// re-sorting would repay the argsort the shards just parallelized.
+void MergeSortedCandidateRuns(std::span<const double> dists,
+                              std::span<const std::vector<int>> runs, size_t r,
+                              std::vector<int>* out);
 
 namespace internal {
 /// Monotone map from a double distance to 32 sortable bits: round to float

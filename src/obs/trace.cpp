@@ -42,6 +42,10 @@ const char* PhaseName(Phase phase) {
       return "serialize";
     case Phase::kQueueWait:
       return "queue_wait";
+    case Phase::kShardFanout:
+      return "shard_fanout";
+    case Phase::kShardMerge:
+      return "shard_merge";
     case Phase::kNumPhases:
       break;
   }

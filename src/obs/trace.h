@@ -57,6 +57,8 @@ enum class Phase : int {
   kCacheStore,   ///< Result-cache insert.
   kSerialize,    ///< Response JSON build (serve layer).
   kQueueWait,    ///< Dispatch-to-run wait in the pipelined loop.
+  kShardFanout,  ///< Per-query fan-out to shard workers (shard router).
+  kShardMerge,   ///< K-way merge of per-shard candidate runs.
   kNumPhases,
 };
 

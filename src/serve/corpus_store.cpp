@@ -12,10 +12,11 @@ CorpusMutation CorpusStore::InstallLocked(const std::string& name, Dataset next,
   result.old_fingerprint = entry->fingerprint;
   next.name = name;
   entry->data = std::make_shared<const Dataset>(std::move(next));
-  entry->digests = std::move(digests);
-  entry->fingerprint = entry->digests.Combined();
+  entry->digests = std::make_shared<const CorpusDigests>(std::move(digests));
+  entry->fingerprint = entry->digests->Combined();
   entry->version += 1;
-  result.snapshot = {entry->data, entry->fingerprint, entry->version};
+  result.snapshot = {entry->data, entry->fingerprint, entry->version,
+                     entry->digests};
   return result;
 }
 
@@ -29,7 +30,8 @@ std::optional<CorpusSnapshot> CorpusStore::Get(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) return std::nullopt;
-  return CorpusSnapshot{it->second.data, it->second.fingerprint, it->second.version};
+  return CorpusSnapshot{it->second.data, it->second.fingerprint,
+                        it->second.version, it->second.digests};
 }
 
 bool CorpusStore::Append(const std::string& name, const Dataset& rows,
@@ -64,7 +66,7 @@ bool CorpusStore::Append(const std::string& name, const Dataset& rows,
 
   // Incremental: only the trailing (possibly partial) block and the new
   // blocks are rehashed.
-  CorpusDigests digests = it->second.digests;
+  CorpusDigests digests = *it->second.digests;
   RehashBlocksFrom(next, old_rows, &digests);
   *out = InstallLocked(name, std::move(next), std::move(digests), &it->second);
   return true;
@@ -96,7 +98,7 @@ bool CorpusStore::RemoveRow(const std::string& name, size_t row, CorpusMutation*
   Dataset next = current.Subset(keep);
 
   // Blocks before `row`'s block are untouched by the shift-down.
-  CorpusDigests digests = it->second.digests;
+  CorpusDigests digests = *it->second.digests;
   RehashBlocksFrom(next, row, &digests);
   *out = InstallLocked(name, std::move(next), std::move(digests), &it->second);
   return true;

@@ -40,6 +40,10 @@ struct CorpusSnapshot {
   std::shared_ptr<const Dataset> data;
   uint64_t fingerprint = 0;  ///< == DatasetFingerprint(*data).
   uint64_t version = 0;      ///< 1 on first put, bumped per mutation.
+  /// Per-block digests of this version (never null from Get/mutations):
+  /// the shard planner derives content-addressed shard fingerprints from
+  /// them without rehashing the corpus.
+  std::shared_ptr<const CorpusDigests> digests;
 };
 
 /// Outcome of a mutating operation: the new snapshot plus the fingerprint
@@ -91,7 +95,7 @@ class CorpusStore {
  private:
   struct Entry {
     std::shared_ptr<const Dataset> data;
-    CorpusDigests digests;
+    std::shared_ptr<const CorpusDigests> digests;  ///< shared with snapshots
     uint64_t fingerprint = 0;
     uint64_t version = 0;
   };

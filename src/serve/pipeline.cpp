@@ -14,11 +14,15 @@
 #include <utility>
 #include <vector>
 
+#include <unistd.h>
+
 #include "dataset/io.h"
 #include "engine/registry.h"
 #include "engine/schema.h"
+#include "knn/selection.h"
 #include "market/valuation_report.h"
 #include "obs/trace.h"
+#include "shard/shard_planner.h"
 #include "util/cancel.h"
 #include "util/fault.h"
 #include "util/status.h"
@@ -524,6 +528,7 @@ JsonValue RequestPipeline::HandleSync(const JsonValue& request) {
   if (op == "metrics") return MetricsText();
   if (op == "save_cache") return SaveCache(request);
   if (op == "load_cache") return LoadCache(request);
+  if (op == "candidates") return Candidates(request);
   if (op == "ping" || op == "sync") return OkResponse();
   if (op == "quit") {
     JsonValue response = OkResponse();
@@ -753,6 +758,35 @@ JsonValue RequestPipeline::Stats() const {
              JsonValue(static_cast<double>(
                  snapshot_failures_.load(std::memory_order_relaxed))));
   out.Set("server", std::move(server));
+  // Topology is emitted only when sharding is on: the unsharded stats
+  // response stays byte-identical to the pre-shard wire (golden
+  // transcripts). Plans are pure functions of corpus digests — no timing,
+  // no worker state — so this section is deterministic too.
+  if (options_.shards > 1) {
+    JsonValue topology = JsonValue::MakeObject();
+    topology.Set("shards", JsonValue(static_cast<double>(options_.shards)));
+    topology.Set("workers",
+                 JsonValue(options_.shard_process ? "process" : "thread"));
+    JsonValue plans = JsonValue::MakeObject();
+    for (const auto& corpus : store_.List()) {
+      auto snapshot = store_.Get(corpus.name);
+      if (!snapshot) continue;
+      JsonValue ranges = JsonValue::MakeArray();
+      for (const ShardRange& range :
+           PlanShards(*snapshot->digests,
+                      static_cast<size_t>(options_.shards))) {
+        JsonValue entry = JsonValue::MakeObject();
+        entry.Set("row_begin",
+                  JsonValue(static_cast<double>(range.row_begin)));
+        entry.Set("row_end", JsonValue(static_cast<double>(range.row_end)));
+        entry.Set("fingerprint", JsonValue(FingerprintHex(range.fingerprint)));
+        ranges.Append(entry);
+      }
+      plans.Set(corpus.name, std::move(ranges));
+    }
+    topology.Set("plans", std::move(plans));
+    out.Set("topology", std::move(topology));
+  }
   if (metrics_ != nullptr) out.Set("metrics", StatsMetricsJson());
   return out;
 }
@@ -873,6 +907,149 @@ JsonValue RequestPipeline::LoadCache(const JsonValue& request) {
 }
 
 // ---------------------------------------------------------------------------
+// candidates (the shard-worker data plane)
+// ---------------------------------------------------------------------------
+
+JsonValue RequestPipeline::Candidates(const JsonValue& request) {
+  // Chaos site: a worker that dies mid-query exercises the router's
+  // dead-worker path (EOF on the response pipe -> Unavailable + retry).
+  // Exit, not a structured error: the point is an abrupt death.
+  if (FaultInjectionEnabled() && Fault("shard_candidates")) _exit(3);
+
+  const std::string& name = request.Get("train").AsString();
+  auto snapshot = store_.Get(name);
+  if (!snapshot) {
+    return NotFoundResponse("candidates: unknown dataset '" + name + "'");
+  }
+  Metric metric;
+  if (!MetricFromName(request.Get("metric").AsString(), &metric)) {
+    return ErrorResponse("candidates: unknown metric '" +
+                         request.Get("metric").AsString() + "'");
+  }
+  auto parse_index = [&](const char* field, size_t* out) {
+    const JsonValue& raw = request.Get(field);
+    const double value = raw.IsNumber() ? raw.AsNumber() : -1.0;
+    if (!raw.IsNumber() || value < 0 || value > 1e15 ||
+        value != static_cast<double>(static_cast<size_t>(value))) {
+      return false;
+    }
+    *out = static_cast<size_t>(value);
+    return true;
+  };
+  size_t r = 0, row_begin = 0, row_end = 0;
+  if (!parse_index("r", &r) || !parse_index("row_begin", &row_begin) ||
+      !parse_index("row_end", &row_end)) {
+    return ErrorResponse(
+        "candidates: 'r', 'row_begin', 'row_end' must be non-negative integers");
+  }
+  if (row_begin >= row_end || row_end > snapshot->data->Size()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "candidates: row range [" + std::to_string(row_begin) + ", " +
+        std::to_string(row_end) + ") is not within the " +
+        std::to_string(snapshot->data->Size()) + "-row corpus"));
+  }
+  // ShardFingerprint requires block alignment (a core check, fatal);
+  // requests are validated to structured errors here instead.
+  const size_t block_rows = snapshot->digests->block_rows;
+  if (row_begin % block_rows != 0 ||
+      (row_end % block_rows != 0 && row_end != snapshot->data->Size())) {
+    return ErrorResponse(Status::InvalidArgument(
+        "candidates: row range must be aligned to the " +
+        std::to_string(block_rows) + "-row fingerprint blocks"));
+  }
+  // Content addressing: the router's plan named this shard by the
+  // fingerprint of exactly the rows it expects. A mismatch means this
+  // worker holds a different corpus version — refuse rather than answer
+  // candidates the merge would silently mis-rank.
+  const uint64_t expected =
+      ShardFingerprint(*snapshot->digests, row_begin, row_end);
+  if (request.Get("fingerprint").AsString() != FingerprintHex(expected)) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "candidates: shard fingerprint mismatch for rows [" +
+        std::to_string(row_begin) + ", " + std::to_string(row_end) +
+        ") (expected " + FingerprintHex(expected) + ", got '" +
+        request.Get("fingerprint").AsString() + "')"));
+  }
+  const JsonValue& query_json = request.Get("query");
+  if (!query_json.IsArray() ||
+      query_json.Items().size() != snapshot->data->Dim()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "candidates: 'query' must be an array of " +
+        std::to_string(snapshot->data->Dim()) + " numbers",
+        "query"));
+  }
+  std::vector<float> query;
+  query.reserve(query_json.Items().size());
+  for (const JsonValue& cell : query_json.Items()) {
+    if (!cell.IsNumber()) {
+      return ErrorResponse(
+          Status::InvalidArgument("candidates: non-numeric query cell", "query"));
+    }
+    query.push_back(static_cast<float>(cell.AsNumber()));
+  }
+  // The router forwards its *remaining* deadline budget; arming a fresh
+  // token from it means this worker can never fire before its parent.
+  std::unique_ptr<CancelToken> token;
+  if (request.Has("deadline_ms")) {
+    const JsonValue& raw = request.Get("deadline_ms");
+    if (!raw.IsNumber() || raw.AsNumber() < 0) {
+      return ErrorResponse(Status::InvalidArgument(
+          "candidates: 'deadline_ms' must be a non-negative integer",
+          "deadline_ms"));
+    }
+    token = std::make_unique<CancelToken>(
+        static_cast<int64_t>(raw.AsNumber()));
+  }
+  CancelActivation cancel_scope(token.get());
+
+  const CorpusNorms* norms = nullptr;
+  {
+    // One slot keyed by corpus identity: a worker answers a stream of
+    // queries against one version, so the norms pass runs once per
+    // (corpus, metric), not per query.
+    std::lock_guard<std::mutex> lock(norms_cache_mutex_);
+    if (!norms_cache_.valid || norms_cache_.name != name ||
+        norms_cache_.version != snapshot->version ||
+        norms_cache_.metric != metric) {
+      norms_cache_.norms = NormsForMetric(snapshot->data->features, metric);
+      norms_cache_.name = name;
+      norms_cache_.version = snapshot->version;
+      norms_cache_.metric = metric;
+      norms_cache_.valid = true;
+    }
+    norms = &norms_cache_.norms;
+  }
+
+  const size_t rows = row_end - row_begin;
+  std::vector<double> dists(rows);
+  ComputeDistancesRange(snapshot->data->features, query, metric, norms,
+                        row_begin, row_end, dists);
+  if (CancelRequested()) {
+    return ErrorResponse(Status::DeadlineExceeded("deadline exceeded"));
+  }
+  std::vector<int> local;
+  PartialArgsortDistances(dists, r, &local);
+  if (CancelRequested()) {
+    return ErrorResponse(Status::DeadlineExceeded("deadline exceeded"));
+  }
+
+  JsonValue out = OkResponse();
+  JsonValue indices = JsonValue::MakeArray();
+  JsonValue run_dists = JsonValue::MakeArray();
+  for (int i : local) {
+    indices.Append(
+        JsonValue(static_cast<double>(i + static_cast<int>(row_begin))));
+    // Raw doubles: %.17g round-trips them bit-exactly, so the router's
+    // merged ranking — and weighted-fast's kernel weights — match the
+    // unsharded computation to the last bit.
+    run_dists.Append(JsonValue(dists[static_cast<size_t>(i)]));
+  }
+  out.Set("indices", std::move(indices));
+  out.Set("dists", std::move(run_dists));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // value
 // ---------------------------------------------------------------------------
 
@@ -927,6 +1104,16 @@ bool RequestPipeline::PrepareValue(const JsonValue& request, PreparedValue* prep
   engine_request.train = train->data;
   if (options_.trust_store_fingerprints) {
     engine_request.train_fingerprint = train->fingerprint;
+  }
+  if (options_.shards > 1) {
+    // The shard plan is content-addressed through the snapshot's block
+    // digests, so this request values exactly the corpus version it
+    // snapshotted even if a mutation lands while it is queued.
+    engine_request.shard.count = options_.shards;
+    engine_request.shard.process = options_.shard_process;
+    engine_request.shard.worker_command = options_.shard_worker_command;
+    engine_request.shard.train_digests = train->digests;
+    engine_request.shard.corpus_name = request.Get("train").AsString();
   }
 
   if (request.Has("test")) {
@@ -1027,6 +1214,14 @@ JsonValue RequestPipeline::RunValue(const PreparedValue& prepared) {
   if (!report.ok()) {
     JsonValue error_response = ErrorResponse(report.status);
     if (prepared.has_id) error_response.Set("id", prepared.id);
+    // Unavailable means "a retry can succeed" (a dead shard worker is
+    // respawned by the re-fit the retry triggers), so it carries the same
+    // deterministic retry hint as a shed response.
+    if (report.status.code() == StatusCode::kUnavailable) {
+      error_response.Set(
+          "retry_after_ms",
+          JsonValue(static_cast<double>(options_.shed_retry_after_ms)));
+    }
     // A deadline error still echoes the partial trace when one was
     // requested: the phases that ran before the deadline fired are
     // exactly the diagnosis the client needs.

@@ -38,8 +38,10 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "engine/engine.h"
+#include "knn/distance_kernel.h"
 #include "obs/metrics.h"
 #include "serve/corpus_store.h"
 #include "util/json.h"
@@ -114,6 +116,15 @@ struct PipelineOptions {
   /// work, flushes the snapshot and returns. knnshap_serve points this at
   /// its signal-handler flag.
   const std::atomic<bool>* shutdown = nullptr;
+  /// > 1: route supported value methods (exact / exact-corrected /
+  /// weighted-fast) through the shard subsystem — responses stay
+  /// byte-identical to the unsharded server (see src/shard/README.md).
+  /// The `stats` op grows a "topology" section when sharding is on.
+  int shards = 1;
+  /// true: process-per-shard workers speaking the JSONL protocol over
+  /// pipes (argv below); false: thread-per-shard in-process workers.
+  bool shard_process = false;
+  std::vector<std::string> shard_worker_command;
   EngineOptions engine;
 };
 
@@ -162,6 +173,13 @@ class RequestPipeline {
   JsonValue SaveCache(const JsonValue& request);
   JsonValue LoadCache(const JsonValue& request);
 
+  /// The shard-worker data plane: one exact top-r candidate run over a
+  /// contiguous row range of a stored corpus, fingerprint-verified.
+  /// Answered inline on the reader thread — a worker process serves these
+  /// between its parent's barrier ops, so they must never queue behind the
+  /// pool.
+  JsonValue Candidates(const JsonValue& request);
+
   /// Per-method/latency/phase subsections of `stats` (time-valued parts
   /// omitted when emit_timing is off, keeping golden transcripts stable).
   JsonValue StatsMetricsJson() const;
@@ -203,6 +221,20 @@ class RequestPipeline {
   Counter* shed_metric_ = nullptr;
   Counter* snapshot_failures_metric_ = nullptr;
   std::mutex slow_log_mutex_;
+
+  /// Single-entry norms cache for the candidates op, keyed by corpus
+  /// identity: a worker process answers a stream of candidates against one
+  /// corpus version, so one slot removes the per-query norms recompute
+  /// (which only cosine actually populates).
+  struct NormsCacheEntry {
+    bool valid = false;
+    std::string name;
+    uint64_t version = 0;
+    Metric metric = Metric::kL2;
+    CorpusNorms norms;
+  };
+  std::mutex norms_cache_mutex_;
+  NormsCacheEntry norms_cache_;
 
   // Robustness counters (surfaced by the stats `server` section and
   // FormatStatusLine). Values-since-last-snapshot is reader-thread-only.

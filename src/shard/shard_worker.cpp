@@ -1,0 +1,327 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "shard/shard_worker.h"
+
+#include <fcntl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <utility>
+
+#include "knn/selection.h"
+#include "util/cancel.h"
+#include "util/common.h"
+#include "util/json.h"
+
+namespace knnshap {
+
+namespace {
+
+/// A dead child makes the next write raise SIGPIPE, which would kill the
+/// *router* process; with it ignored the write fails with EPIPE and the
+/// worker latches Unavailable instead. Installed once, process-wide.
+std::once_flag sigpipe_once;
+void IgnoreSigpipe() {
+  std::call_once(sigpipe_once, [] { std::signal(SIGPIPE, SIG_IGN); });
+}
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+bool ParseHexFingerprint(const std::string& hex, uint64_t* out) {
+  if (hex.size() < 3 || hex[0] != '0' || (hex[1] != 'x' && hex[1] != 'X')) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(hex.c_str() + 2, &end, 16);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// InProcessShardWorker
+// ---------------------------------------------------------------------------
+
+bool InProcessShardWorker::Candidates(std::span<const float> query, size_t r,
+                                      std::span<double> dists,
+                                      std::vector<int>* run) {
+  const size_t begin = range_.row_begin;
+  const size_t rows = range_.Rows();
+  // Compact-out contract: the slice written here is bit-identical to the
+  // matching slice of a whole-corpus ComputeDistances pass.
+  ComputeDistancesRange(corpus_->features, query, metric_, norms_, begin,
+                        range_.row_end, dists.subspan(begin, rows));
+  if (CancelRequested()) {
+    run->clear();
+    return true;  // the router re-checks the token and discards the query
+  }
+  // Local selection == restriction of the global order: the tie break by
+  // local index is monotone under the constant row offset.
+  thread_local std::vector<int> local;
+  PartialArgsortDistances(std::span<const double>(dists.data() + begin, rows), r,
+                          &local);
+  run->clear();
+  run->reserve(local.size());
+  for (int i : local) run->push_back(i + static_cast<int>(begin));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ProcessShardWorker
+// ---------------------------------------------------------------------------
+
+ProcessShardWorker::ProcessShardWorker(ShardRange range,
+                                       std::vector<std::string> command,
+                                       std::string corpus_name, Metric metric,
+                                       uint64_t expected_fingerprint)
+    : ShardWorker(range),
+      command_(std::move(command)),
+      corpus_name_(std::move(corpus_name)),
+      metric_(metric),
+      expected_fingerprint_(expected_fingerprint) {}
+
+ProcessShardWorker::~ProcessShardWorker() {
+  // Closing the child's stdin is the shutdown signal: its serve loop sees
+  // EOF, drains and exits; the wait reaps it so no zombie outlives a
+  // router re-fit.
+  if (write_stream_ != nullptr) std::fclose(write_stream_);
+  if (read_stream_ != nullptr) std::fclose(read_stream_);
+  if (child_pid_ > 0) {
+    int status = 0;
+    waitpid(child_pid_, &status, 0);
+  }
+}
+
+void ProcessShardWorker::Spawn(const Dataset& corpus) {
+  KNNSHAP_CHECK(child_pid_ == -1, "shard worker already spawned");
+  if (command_.empty()) {
+    throw std::runtime_error("shard worker: empty worker command");
+  }
+  if (corpus.HasLabels() && corpus.HasTargets()) {
+    // The inline load wire carries one trailing column; a two-channel
+    // corpus cannot round-trip content-identically.
+    throw std::runtime_error(
+        "shard worker: corpus with both labels and targets cannot be shipped");
+  }
+  IgnoreSigpipe();
+
+  int to_child[2] = {-1, -1};
+  int from_child[2] = {-1, -1};
+  if (pipe(to_child) != 0) {
+    throw std::runtime_error("shard worker: pipe() failed");
+  }
+  if (pipe(from_child) != 0) {
+    close(to_child[0]);
+    close(to_child[1]);
+    throw std::runtime_error("shard worker: pipe() failed");
+  }
+  // Close-on-exec on every end: a LATER sibling's fork+exec must not
+  // inherit this worker's pipe fds, or this child's stdin would never see
+  // EOF (shutdown would deadlock in waitpid — every child holding every
+  // other child's write end open). The child's dup2 onto stdin/stdout
+  // below clears the flag on the two copies it actually uses.
+  for (int fd : {to_child[0], to_child[1], from_child[0], from_child[1]}) {
+    fcntl(fd, F_SETFD, FD_CLOEXEC);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    throw std::runtime_error("shard worker: fork() failed");
+  }
+  if (pid == 0) {
+    dup2(to_child[0], STDIN_FILENO);
+    dup2(from_child[1], STDOUT_FILENO);
+    close(to_child[0]);
+    close(to_child[1]);
+    close(from_child[0]);
+    close(from_child[1]);
+    std::vector<char*> argv;
+    argv.reserve(command_.size() + 1);
+    for (const std::string& arg : command_) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    execv(argv[0], argv.data());
+    _exit(127);
+  }
+  close(to_child[0]);
+  close(from_child[1]);
+  child_pid_ = pid;
+  write_stream_ = fdopen(to_child[1], "w");
+  read_stream_ = fdopen(from_child[0], "r");
+  if (write_stream_ == nullptr || read_stream_ == nullptr) {
+    throw std::runtime_error("shard worker: fdopen() failed");
+  }
+
+  // Ship the corpus once. Feature floats widen to double and print as
+  // %.17g, which round-trips bit-exactly back to the same float in the
+  // child — so the child's independently computed content fingerprint must
+  // equal the parent's, and any transport corruption is caught here.
+  JsonValue load = JsonValue::MakeObject();
+  load.Set("op", JsonValue("load"));
+  load.Set("name", JsonValue(corpus_name_));
+  load.Set("target", JsonValue(corpus.HasLabels()
+                                   ? "label"
+                                   : (corpus.HasTargets() ? "target" : "none")));
+  JsonValue rows = JsonValue::MakeArray();
+  for (size_t i = 0; i < corpus.Size(); ++i) {
+    JsonValue row = JsonValue::MakeArray();
+    for (float f : corpus.features.Row(i)) {
+      row.Append(JsonValue(static_cast<double>(f)));
+    }
+    if (corpus.HasLabels()) {
+      row.Append(JsonValue(static_cast<double>(corpus.labels[i])));
+    } else if (corpus.HasTargets()) {
+      row.Append(JsonValue(corpus.targets[i]));
+    }
+    rows.Append(row);
+  }
+  load.Set("rows", std::move(rows));
+
+  std::string response;
+  if (!Exchange(load.Dump(), &response)) {
+    throw std::runtime_error("shard worker: load failed: " + Health().message());
+  }
+  JsonParseResult parsed = ParseJson(response);
+  if (!parsed.ok() || !parsed.value.Get("ok").AsBool(false)) {
+    throw std::runtime_error("shard worker: load rejected: " + response);
+  }
+  uint64_t echoed = 0;
+  if (!ParseHexFingerprint(parsed.value.Get("fingerprint").AsString(), &echoed) ||
+      echoed != expected_fingerprint_) {
+    throw std::runtime_error(
+        "shard worker: corpus fingerprint mismatch after load (expected " +
+        FingerprintHex(expected_fingerprint_) + ", got " +
+        parsed.value.Get("fingerprint").AsString() + ")");
+  }
+}
+
+void ProcessShardWorker::Latch(Status status) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  if (health_.ok()) health_ = std::move(status);
+}
+
+Status ProcessShardWorker::Health() const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  return health_;
+}
+
+bool ProcessShardWorker::Exchange(const std::string& line, std::string* response) {
+  if (write_stream_ == nullptr || read_stream_ == nullptr) {
+    Latch(Status::Unavailable("shard worker is not running"));
+    return false;
+  }
+  if (std::fputs(line.c_str(), write_stream_) < 0 ||
+      std::fputc('\n', write_stream_) == EOF ||
+      std::fflush(write_stream_) != 0) {
+    Latch(Status::Unavailable("shard worker pipe closed on write"));
+    return false;
+  }
+  char* buf = nullptr;
+  size_t cap = 0;
+  const ssize_t len = getline(&buf, &cap, read_stream_);
+  if (len < 0) {
+    std::free(buf);
+    Latch(Status::Unavailable("shard worker died (eof on response pipe)"));
+    return false;
+  }
+  response->assign(buf, static_cast<size_t>(len));
+  std::free(buf);
+  while (!response->empty() &&
+         (response->back() == '\n' || response->back() == '\r')) {
+    response->pop_back();
+  }
+  return true;
+}
+
+bool ProcessShardWorker::Candidates(std::span<const float> query, size_t r,
+                                    std::span<double> dists,
+                                    std::vector<int>* run) {
+  run->clear();
+  if (!Health().ok()) return false;
+
+  JsonValue request = JsonValue::MakeObject();
+  request.Set("op", JsonValue("candidates"));
+  request.Set("train", JsonValue(corpus_name_));
+  request.Set("metric", JsonValue(MetricName(metric_)));
+  request.Set("r", JsonValue(static_cast<double>(r)));
+  request.Set("row_begin", JsonValue(static_cast<double>(range_.row_begin)));
+  request.Set("row_end", JsonValue(static_cast<double>(range_.row_end)));
+  request.Set("fingerprint", JsonValue(FingerprintHex(range_.fingerprint)));
+  JsonValue q = JsonValue::MakeArray();
+  for (float f : query) q.Append(JsonValue(static_cast<double>(f)));
+  request.Set("query", std::move(q));
+  // Forward the *remaining* budget: the child's token, constructed after
+  // this read, can never fire later than the parent's — so a child-side
+  // deadline_exceeded implies the parent token is (about to be) expired
+  // and the router's own post-fan-out check stays the authority.
+  const CancelToken* token = ActiveCancelToken();
+  if (token != nullptr && token->has_deadline()) {
+    request.Set("deadline_ms",
+                JsonValue(static_cast<double>(token->RemainingMs())));
+  }
+
+  std::string line;
+  if (!Exchange(request.Dump(), &line)) return false;
+  JsonParseResult parsed = ParseJson(line);
+  if (!parsed.ok()) {
+    Latch(Status::Error(StatusCode::kInternal,
+                        "shard worker sent an unparseable response"));
+    return false;
+  }
+  const JsonValue& response = parsed.value;
+  if (!response.Get("ok").AsBool(false)) {
+    if (response.Get("code").AsString() == "deadline_exceeded") {
+      return false;  // propagated deadline; health stays OK
+    }
+    Latch(Status::Unavailable("shard worker error: " +
+                              response.Get("error").AsString()));
+    return false;
+  }
+  const JsonValue& indices = response.Get("indices");
+  const JsonValue& distances = response.Get("dists");
+  if (!indices.IsArray() || !distances.IsArray() ||
+      indices.Items().size() != distances.Items().size()) {
+    Latch(Status::Error(StatusCode::kInternal,
+                        "shard worker returned a malformed candidate run"));
+    return false;
+  }
+  run->reserve(indices.Items().size());
+  for (size_t i = 0; i < indices.Items().size(); ++i) {
+    const JsonValue& index = indices.Items()[i];
+    const JsonValue& dist = distances.Items()[i];
+    const double raw = index.AsNumber(-1.0);
+    const int row = static_cast<int>(raw);
+    if (!index.IsNumber() || !dist.IsNumber() ||
+        static_cast<double>(row) != raw ||
+        row < static_cast<int>(range_.row_begin) ||
+        row >= static_cast<int>(range_.row_end)) {
+      Latch(Status::Error(StatusCode::kInternal,
+                          "shard worker returned an out-of-range candidate"));
+      run->clear();
+      return false;
+    }
+    dists[static_cast<size_t>(row)] = dist.AsNumber();
+    run->push_back(row);
+  }
+  return true;
+}
+
+}  // namespace knnshap

@@ -1,0 +1,217 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "shard/sharded_valuator.h"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+#include "core/corrected_knn_shapley.h"
+#include "core/exact_knn_shapley.h"
+#include "core/lsh_knn_shapley.h"  // KStar
+#include "knn/selection.h"
+#include "obs/trace.h"
+#include "util/cancel.h"
+#include "util/common.h"
+#include "util/thread_pool.h"
+
+namespace knnshap {
+
+bool ShardedValuatorSupports(const std::string& method) {
+  return method == "exact" || method == "exact-corrected" ||
+         method == "weighted-fast";
+}
+
+ShardedValuator::ShardedValuator(ValuatorParams params, std::string method,
+                                 ShardedValuatorSpec spec)
+    : Valuator(std::move(params)),
+      method_(std::move(method)),
+      spec_(std::move(spec)) {
+  if (method_ == "exact") {
+    kind_ = Kind::kExact;
+  } else if (method_ == "exact-corrected") {
+    kind_ = Kind::kCorrected;
+  } else {
+    KNNSHAP_CHECK(method_ == "weighted-fast",
+                  "no sharded implementation for method '" + method_ + "'");
+    kind_ = Kind::kWeightedFast;
+  }
+}
+
+void ShardedValuator::OnFit() {
+  const Dataset& train = Train();
+  KNNSHAP_CHECK(train.HasLabels(), method_ + ": labeled corpus required");
+  std::shared_ptr<const CorpusDigests> digests = spec_.train_digests;
+  if (digests == nullptr) {
+    // No maintained digests (engine used outside the serve layer): one
+    // full hash here buys content-addressed shard identity all the same.
+    digests = std::make_shared<const CorpusDigests>(ComputeCorpusDigests(train));
+  }
+  plan_ = PlanShards(*digests,
+                     static_cast<size_t>(std::max(spec_.shard_count, 1)));
+  norms_ = NormsForMetric(train.features, params_.metric);
+  if (kind_ == Kind::kWeightedFast) {
+    coalition_ = std::make_unique<WknnCoalitionWeights>(
+        static_cast<int>(train.Size()), params_.k);
+  }
+  workers_.clear();
+  workers_.reserve(plan_.size());
+  if (spec_.process) {
+    // Spawn failures (bad command, dead pipe, fingerprint mismatch after
+    // the inline load) throw — the engine turns that into a structured
+    // internal-error response and retires the fit slot.
+    const uint64_t fingerprint = digests->Combined();
+    for (const ShardRange& range : plan_) {
+      auto worker = std::make_unique<ProcessShardWorker>(
+          range, spec_.worker_command, spec_.corpus_name, params_.metric,
+          fingerprint);
+      worker->Spawn(train);
+      workers_.push_back(std::move(worker));
+    }
+  } else {
+    for (const ShardRange& range : plan_) {
+      workers_.push_back(std::make_unique<InProcessShardWorker>(
+          range, &train, &norms_, params_.metric));
+    }
+  }
+}
+
+Status ShardedValuator::Health() const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  return health_;
+}
+
+bool ShardedValuator::FanOut(std::span<const float> query, size_t r,
+                             std::span<double> dists,
+                             std::vector<std::vector<int>>* runs) const {
+  runs->resize(workers_.size());
+  if (!spec_.process) {
+    // Thread-per-shard: the caller helps drain shard indices alongside
+    // pool workers (ParallelForHelping is safe from pool threads, which is
+    // where the engine runs ValueOne). The active token is re-established
+    // per helper, same as the block-parallel distance path.
+    const CancelToken* token = ActiveCancelToken();
+    std::atomic<bool> failed{false};
+    ThreadPool::Shared().ParallelForHelping(workers_.size(), [&](size_t s) {
+      CancelActivation activation(token);
+      if (!workers_[s]->Candidates(query, r, dists, &(*runs)[s])) {
+        failed.store(true, std::memory_order_relaxed);
+      }
+    });
+    return !failed.load(std::memory_order_relaxed);
+  }
+  // Process mode: each worker's pipe pair is a single-lane channel and
+  // queries arrive concurrently from the pool, so fan-outs serialize.
+  std::lock_guard<std::mutex> lock(fan_out_mutex_);
+  for (size_t s = 0; s < workers_.size(); ++s) {
+    if (!workers_[s]->Candidates(query, r, dists, &(*runs)[s])) return false;
+  }
+  return true;
+}
+
+std::vector<double> ShardedValuator::ValueOne(const Dataset& test,
+                                              size_t row) const {
+  const Dataset& train = Train();
+  const size_t n = train.Size();
+  const int test_label = test.HasLabels() ? test.labels[row] : 0;
+  const bool truncated = params_.approx_error > 0.0;
+
+  // The corrected N-1 < K regime is labels-only: the unsharded path runs
+  // no distance pass there, so neither does the router (no fan-out spans,
+  // no worker traffic — bit- and trace-identical).
+  if (kind_ == Kind::kCorrected && truncated &&
+      static_cast<int>(n) - 1 < params_.k) {
+    return TruncatedCorrectedKnnShapleyFromOrder({}, train.labels, test_label,
+                                                 params_.k);
+  }
+
+  // Fan-out depth: the exact prefix length the unsharded truncated path
+  // would retrieve, or the full corpus.
+  size_t r = n;
+  if (truncated && kind_ == Kind::kExact) {
+    r = TruncatedExactEffectiveRank(
+        static_cast<size_t>(KStar(params_.k, params_.approx_error)), n,
+        params_.k);
+  } else if (truncated && kind_ == Kind::kCorrected) {
+    r = TruncatedCorrectedEffectiveRank(
+        static_cast<size_t>(KStar(params_.k, params_.approx_error)), n,
+        params_.k);
+  }
+  const bool full = r >= n;
+  if (full) r = n;
+
+  thread_local std::vector<double> dists;
+  thread_local std::vector<std::vector<int>> runs;
+  thread_local std::vector<int> order;
+  dists.resize(n);
+
+  const std::span<const float> query = test.features.Row(row);
+  bool fanned_out;
+  {
+    ScopedPhase span(Phase::kShardFanout);
+    fanned_out = FanOut(query, r, dists, &runs);
+  }
+  // A deadline that fired anywhere in the fan-out (local poll or a child's
+  // propagated deadline_exceeded, whose token can never fire earlier than
+  // ours) comes back here: right-sized zeros, discarded by the engine's
+  // post-run Expired() check — never a partial merge.
+  if (CancelRequested()) return std::vector<double>(n, 0.0);
+  if (!fanned_out) {
+    // Worker failure on a live request: latch the first worker's status
+    // (Unavailable/Internal) and return empty — the engine skips empty
+    // merges, reads Health() after the run, evicts this fitted entry and
+    // answers the status instead of values.
+    Status latched = Status::Unavailable("shard fan-out failed");
+    for (const auto& worker : workers_) {
+      if (Status health = worker->Health(); !health.ok()) {
+        latched = std::move(health);
+        break;
+      }
+    }
+    std::lock_guard<std::mutex> lock(health_mutex_);
+    if (health_.ok()) health_ = std::move(latched);
+    return {};
+  }
+
+  {
+    ScopedPhase span(Phase::kShardMerge);
+    MergeSortedCandidateRuns(dists, runs, r, &order);
+  }
+
+  switch (kind_) {
+    case Kind::kExact:
+      return full ? ExactKnnShapleyFromOrder(order, train.labels, test_label,
+                                             params_.k)
+                  : TruncatedExactKnnShapleyFromOrder(order, train.labels,
+                                                      test_label, params_.k, n);
+    case Kind::kCorrected:
+      return full ? CorrectedKnnShapleyFromOrder(order, train.labels,
+                                                 test_label, params_.k)
+                  : TruncatedCorrectedKnnShapleyFromOrder(
+                        order, train.labels, test_label, params_.k);
+    case Kind::kWeightedFast: {
+      WknnShapleyOptions options;
+      options.k = params_.k;
+      options.weights = params_.weights;
+      options.metric = params_.metric;
+      options.weight_bits = params_.weight_bits;
+      options.approx_error = params_.approx_error;
+      // The raw double distances crossed the shard boundary losslessly
+      // (%.17g in process mode), so the kernel weights — functions of the
+      // exact doubles — match the unsharded context bit for bit.
+      WknnQueryContext context = MakeWknnQueryContextFromRanking(
+          order, dists, train.labels, test_label, options);
+      return WknnShapleyFromContext(context, options, coalition_.get());
+    }
+  }
+  KNNSHAP_CHECK(false, "unreachable");
+}
+
+std::unique_ptr<Valuator> MakeShardedValuator(const std::string& method,
+                                              const ValuatorParams& params,
+                                              ShardedValuatorSpec spec) {
+  if (!ShardedValuatorSupports(method)) return nullptr;
+  return std::make_unique<ShardedValuator>(params, method, std::move(spec));
+}
+
+}  // namespace knnshap

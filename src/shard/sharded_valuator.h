@@ -1,0 +1,117 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// ShardedValuator — the shard router. A Valuator that fans each query out
+// to per-shard workers (thread-per-shard or process-per-shard, see
+// shard_worker.h), merges the per-shard candidate runs into the global
+// (distance, index) ranking, and runs the method's recursion on it —
+// bit-identical to the unsharded valuator, because the recursions consume
+// only the ranking and the merge of exact per-shard top-R runs *is* the
+// global top-R (knn/selection.h).
+//
+// Supported methods: exact, exact-corrected, weighted-fast — the
+// distance-ordering family. Per-method fan-out depth r:
+//
+//   exact            TruncatedExactEffectiveRank(KStar(k, approx_error))
+//                    when truncated, else N
+//   exact-corrected  TruncatedCorrectedEffectiveRank(...) when truncated
+//                    (the N-1 < K labels-only regime skips the fan-out
+//                    entirely, exactly like the unsharded path), else N
+//   weighted-fast    always N — the DP consumes the full ranking, and the
+//                    raw double distances ride along losslessly for the
+//                    kernel weights
+//
+// Failure semantics: a fan-out that fails on a healthy topology (a worker
+// died or answered garbage) latches Health() non-OK and the query returns
+// an empty vector — the engine skips empty merges, checks Health() after
+// the run, evicts this fitted entry and answers Unavailable + retry; the
+// next request re-fits, respawning workers. A partial merge is never
+// produced. A local deadline expiry returns right-sized zeros and is
+// discarded by the engine's own Expired() check, same as every valuator.
+
+#ifndef KNNSHAP_SHARD_SHARDED_VALUATOR_H_
+#define KNNSHAP_SHARD_SHARDED_VALUATOR_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/wknn_shapley.h"
+#include "engine/valuator.h"
+#include "knn/distance_kernel.h"
+#include "shard/shard_planner.h"
+#include "shard/shard_worker.h"
+#include "util/fingerprint.h"
+
+namespace knnshap {
+
+/// Topology of a sharded fit, carried from the serve layer through the
+/// engine request.
+struct ShardedValuatorSpec {
+  /// Planned shard count (clamped to the corpus's fingerprint-block count).
+  int shard_count = 2;
+  /// false: thread-per-shard in-process workers fanned across the shared
+  /// pool. true: one forked worker process per shard.
+  bool process = false;
+  /// argv of the worker binary (process mode); must speak the JSONL serve
+  /// protocol on stdin/stdout.
+  std::vector<std::string> worker_command;
+  /// The corpus's incrementally maintained block digests (null: recomputed
+  /// at fit). Shard identity is content-addressed through these.
+  std::shared_ptr<const CorpusDigests> train_digests;
+  /// Store name of the corpus, echoed into worker processes.
+  std::string corpus_name = "corpus";
+};
+
+/// True when `method` has a sharded implementation; the engine consults
+/// this before rerouting a request, so unsupported methods silently fall
+/// back to their unsharded valuator.
+bool ShardedValuatorSupports(const std::string& method);
+
+/// The router valuator. Health() reflects the latched worker status.
+class ShardedValuator : public Valuator {
+ public:
+  ShardedValuator(ValuatorParams params, std::string method,
+                  ShardedValuatorSpec spec);
+
+  const char* Method() const override { return method_.c_str(); }
+  std::vector<double> ValueOne(const Dataset& test, size_t row) const override;
+  Status Health() const override;
+
+ protected:
+  void OnFit() override;
+
+ private:
+  enum class Kind { kExact, kCorrected, kWeightedFast };
+
+  /// Fan the query out to every worker; false latches health (unless the
+  /// failure was a propagated deadline — the caller re-checks the token).
+  bool FanOut(std::span<const float> query, size_t r, std::span<double> dists,
+              std::vector<std::vector<int>>* runs) const;
+
+  std::string method_;
+  Kind kind_;
+  ShardedValuatorSpec spec_;
+
+  std::vector<ShardRange> plan_;
+  CorpusNorms norms_;
+  std::unique_ptr<WknnCoalitionWeights> coalition_;  // weighted-fast only
+  std::vector<std::unique_ptr<ShardWorker>> workers_;
+
+  /// Process-mode fan-outs are serialized: the pipe pair per worker is a
+  /// single-lane channel, and queries arrive concurrently from the pool.
+  mutable std::mutex fan_out_mutex_;
+  mutable std::mutex health_mutex_;
+  mutable Status health_;
+};
+
+/// Factory the engine calls when a request carries shard_count > 1: a
+/// router for supported methods, null otherwise (caller falls back to the
+/// registry's unsharded valuator).
+std::unique_ptr<Valuator> MakeShardedValuator(const std::string& method,
+                                              const ValuatorParams& params,
+                                              ShardedValuatorSpec spec);
+
+}  // namespace knnshap
+
+#endif  // KNNSHAP_SHARD_SHARDED_VALUATOR_H_

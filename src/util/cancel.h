@@ -66,6 +66,20 @@ class CancelToken {
 
   bool has_deadline() const { return has_deadline_; }
 
+  /// Milliseconds until the deadline, clamped at 0 once it has passed;
+  /// -1 for a deadline-free token. The shard router forwards *remaining*
+  /// budget (not the original deadline_ms) across the worker boundary, so
+  /// a child token constructed from this value can never fire later than
+  /// its parent — the parent's post-run Expired() check stays the
+  /// authority on whether a partial result is discarded.
+  int64_t RemainingMs() const {
+    if (!has_deadline_) return -1;
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline_) return 0;
+    return std::chrono::duration_cast<std::chrono::milliseconds>(deadline_ - now)
+        .count();
+  }
+
   /// Seconds the clock now stands past the deadline (0 for deadline-free
   /// or unexpired tokens). Observability: the engine's cancellation
   /// overshoot histogram records this when a request is abandoned —

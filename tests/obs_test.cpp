@@ -286,6 +286,8 @@ TEST(PhaseNameTest, NamesAreTheStableContract) {
   EXPECT_STREQ(PhaseName(Phase::kCacheStore), "cache_store");
   EXPECT_STREQ(PhaseName(Phase::kSerialize), "serialize");
   EXPECT_STREQ(PhaseName(Phase::kQueueWait), "queue_wait");
+  EXPECT_STREQ(PhaseName(Phase::kShardFanout), "shard_fanout");
+  EXPECT_STREQ(PhaseName(Phase::kShardMerge), "shard_merge");
 }
 
 }  // namespace

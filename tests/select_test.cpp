@@ -15,7 +15,10 @@
 #include <cstddef>
 #include <cstdlib>
 #include <limits>
+#include <numeric>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/corrected_knn_shapley.h"
@@ -324,6 +327,84 @@ TEST_F(SelectTest, BoundShapes) {
     EXPECT_GT(b, 0.0);
     EXPECT_LE(b, prev);
     prev = b;
+  }
+}
+
+// The -0.0 paragraph of the selection.h ordering contract: the packed key
+// canonicalizes -0.0 to +0.0, so external callers (the shard merge) may
+// compare raw double distances with a plain (dist, index) comparator and
+// reproduce the packed order bit for bit — no signed-zero special-casing.
+TEST_F(SelectTest, SignedZeroKeysIdenticallyToPositiveZero) {
+  EXPECT_EQ(internal::SortableBits(-0.0), internal::SortableBits(0.0));
+
+  // -0.0/+0.0 interleaved (plus sub-float-ulp neighbors that round into
+  // the same float band) — the exact inputs where a non-canonicalized key
+  // would disagree with the double comparator.
+  const std::vector<double> dists = {-0.0, 1e-300,  0.0, -0.0,
+                                     0.0,  -1e-300, -0.0};
+  std::vector<int> expected(dists.size());
+  std::iota(expected.begin(), expected.end(), 0);
+  std::sort(expected.begin(), expected.end(), [&](int a, int b) {
+    return dists[a] < dists[b] || (dists[a] == dists[b] && a < b);
+  });
+
+  std::vector<int> packed;
+  ArgsortDistances(dists, &packed);
+  EXPECT_EQ(packed, expected);
+
+  for (SelectKind kind : AllStrategies()) {
+    SetSelectOverride(kind);
+    for (size_t r : InterestingRs(dists.size())) {
+      std::vector<int> prefix;
+      PartialArgsortDistances(dists, r, &prefix);
+      const size_t len = std::min(r, dists.size());
+      EXPECT_EQ(prefix, std::vector<int>(expected.begin(),
+                                         expected.begin() + len))
+          << SelectName(kind) << " r=" << r;
+    }
+  }
+}
+
+// The k-way run merge the shard router uses at r = N: merging each
+// contiguous part's exact top-r (offset to global indices) must reproduce
+// the global top-r bit for bit, and agree with the sort-based
+// MergeTopCandidates over the concatenated runs.
+TEST_F(SelectTest, MergeSortedCandidateRunsMatchesGlobalTopR) {
+  for (const auto& dists : TieHeavyFixtures()) {
+    const size_t n = dists.size();
+    std::vector<int> full;
+    ArgsortDistances(dists, &full);
+
+    for (size_t parts : {1u, 2u, 3u, 5u}) {
+      std::vector<std::pair<size_t, size_t>> ranges;
+      for (size_t p = 0; p < parts; ++p) {
+        const size_t begin = p * n / parts, end = (p + 1) * n / parts;
+        if (begin < end) ranges.emplace_back(begin, end);
+      }
+      for (size_t r : InterestingRs(n)) {
+        std::vector<std::vector<int>> runs;
+        for (const auto& [begin, end] : ranges) {
+          std::vector<int> local;
+          PartialArgsortDistances(
+              std::span<const double>(dists).subspan(begin, end - begin), r,
+              &local);
+          for (int& index : local) index += static_cast<int>(begin);
+          runs.push_back(std::move(local));
+        }
+        const std::vector<int> expected(full.begin(),
+                                        full.begin() + std::min(r, n));
+        std::vector<int> merged;
+        MergeSortedCandidateRuns(dists, runs, r, &merged);
+        EXPECT_EQ(merged, expected) << "parts=" << parts << " r=" << r;
+
+        std::vector<int> concatenated;
+        for (const auto& run : runs) {
+          concatenated.insert(concatenated.end(), run.begin(), run.end());
+        }
+        MergeTopCandidates(dists, &concatenated, r);
+        EXPECT_EQ(concatenated, expected) << "parts=" << parts << " r=" << r;
+      }
+    }
   }
 }
 

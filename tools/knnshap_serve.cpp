@@ -30,6 +30,14 @@
 //                     to stderr for every ok value request slower than N
 //                     milliseconds, engine time + queue wait
 //   --metrics-file=P  dump the metrics registry as JSON to P on exit
+//   --shards=N        route exact / exact-corrected / weighted-fast value
+//                     requests through N shard workers (thread-per-shard);
+//                     responses stay byte-identical to the unsharded
+//                     server (src/shard/README.md)
+//   --shard-workers=W process-per-shard instead: W is "self" (re-exec this
+//                     binary via /proc/self/exe) or a path to a serve
+//                     binary; workers speak the JSONL protocol over pipes
+//                     and inherit the environment (KNNSHAP_FAULTS included)
 //
 // Robustness flags (see src/serve/README.md, "Failure semantics"):
 //   --max-queue=N            shed value requests arriving while N are
@@ -141,6 +149,28 @@ int main(int argc, char** argv) {
   }
   options.max_line_bytes =
       static_cast<size_t>(args.GetInt("max-line-bytes", 0));
+  options.shards = static_cast<int>(args.GetInt("shards", 1));
+  if (options.shards < 1) {
+    std::fprintf(stderr, "--shards must be >= 1\n");
+    return 1;
+  }
+  const std::string shard_workers = args.GetString("shard-workers", "");
+  if (!shard_workers.empty()) {
+    if (options.shards < 2) {
+      std::fprintf(stderr, "--shard-workers needs --shards=N (N >= 2)\n");
+      return 1;
+    }
+    options.shard_process = true;
+    const std::string worker_path =
+        shard_workers == "self" ? "/proc/self/exe" : shard_workers;
+    // Workers must answer deterministically whatever this server's timing
+    // flags are, and must compute on the same kernel so candidate
+    // distances are bit-identical to the router's expectations.
+    options.shard_worker_command = {worker_path, "--serial", "--no-timing",
+                                    "--no-obs",
+                                    "--kernel=" + std::string(KernelName(
+                                        ActiveKernel()))};
+  }
   InstallShutdownHandlers();
   options.shutdown = &g_shutdown;
 
