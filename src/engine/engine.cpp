@@ -214,8 +214,11 @@ ValuationReport ValuationEngine::ValueImpl(const ValuationRequest& request,
   // cache above deliberately does not: sharded values are bit-identical to
   // unsharded ones, so cached results warm-start across topologies.
   if (request.shard.count > 1 && ShardedValuatorSupports(request.method)) {
-    fitted_key.method += "#shards=" + std::to_string(request.shard.count) +
-                         (request.shard.process ? "/proc" : "/thread");
+    fitted_key.method +=
+        "#shards=" + std::to_string(request.shard.count) +
+        (!request.shard.remote_replicas.empty()
+             ? "/remote"
+             : (request.shard.process ? "/proc" : "/thread"));
   }
   std::shared_ptr<Valuator> valuator;
   bool fit_cancelled = false;
@@ -416,6 +419,11 @@ std::shared_ptr<Valuator> ValuationEngine::GetOrFit(const FittedKey& key,
         spec.shard_count = request.shard.count;
         spec.process = request.shard.process;
         spec.worker_command = request.shard.worker_command;
+        spec.remote_replicas = request.shard.remote_replicas;
+        spec.connect_timeout_ms = request.shard.connect_timeout_ms;
+        spec.io_timeout_ms = request.shard.io_timeout_ms;
+        spec.connect_attempts = request.shard.connect_attempts;
+        spec.metrics = options_.metrics;
         spec.train_digests = request.shard.train_digests;
         spec.corpus_name = request.shard.corpus_name;
         valuator = MakeShardedValuator(request.method, params, std::move(spec));

@@ -53,6 +53,15 @@ struct ShardSpec {
   bool process = false;  ///< true: process-per-shard over JSONL pipes.
   /// argv of the worker binary (process mode only).
   std::vector<std::string> worker_command;
+  /// Remote socket topology: one ordered replica endpoint list
+  /// ("host:port") per shard. Non-empty selects the TCP transport with
+  /// per-shard failover (shard/socket_worker.h); mutually exclusive with
+  /// `process`.
+  std::vector<std::vector<std::string>> remote_replicas;
+  /// Socket transport knobs (remote mode only).
+  int connect_timeout_ms = 2000;
+  int io_timeout_ms = 30000;
+  int connect_attempts = 3;
   /// The corpus's maintained block digests; null makes the router hash the
   /// corpus itself at fit.
   std::shared_ptr<const CorpusDigests> train_digests;

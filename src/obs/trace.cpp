@@ -46,6 +46,10 @@ const char* PhaseName(Phase phase) {
       return "shard_fanout";
     case Phase::kShardMerge:
       return "shard_merge";
+    case Phase::kShardConnect:
+      return "shard_connect";
+    case Phase::kShardFailover:
+      return "shard_failover";
     case Phase::kNumPhases:
       break;
   }

@@ -59,6 +59,8 @@ enum class Phase : int {
   kQueueWait,    ///< Dispatch-to-run wait in the pipelined loop.
   kShardFanout,  ///< Per-query fan-out to shard workers (shard router).
   kShardMerge,   ///< K-way merge of per-shard candidate runs.
+  kShardConnect,   ///< Remote-shard dial + corpus sync (socket transport).
+  kShardFailover,  ///< Replica failover: reconnect + retry on a sibling.
   kNumPhases,
 };
 

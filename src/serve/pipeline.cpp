@@ -23,6 +23,7 @@
 #include "market/valuation_report.h"
 #include "obs/trace.h"
 #include "shard/shard_planner.h"
+#include "shard/wire.h"
 #include "util/cancel.h"
 #include "util/fault.h"
 #include "util/status.h"
@@ -424,9 +425,9 @@ size_t RequestPipeline::Run(std::istream& in, std::ostream& out) {
     // data plane — is never stalled by other values. methods/describe/ping
     // answer from registry constants and skip the barrier (ping stays a
     // liveness probe).
-    if (op == "load" || op == "append" || op == "remove" || op == "drop" ||
-        op == "save_cache" || op == "load_cache" || op == "stats" ||
-        op == "metrics") {
+    if (op == "load" || op == "load_delta" || op == "append" ||
+        op == "remove" || op == "drop" || op == "save_cache" ||
+        op == "load_cache" || op == "stats" || op == "metrics") {
       window.Drain();
     }
 
@@ -519,6 +520,7 @@ JsonValue RequestPipeline::HandleSync(const JsonValue& request) {
     return RunValue(prepared);
   }
   if (op == "load") return Load(request);
+  if (op == "load_delta") return LoadDelta(request);
   if (op == "append") return AppendRows(request);
   if (op == "remove") return RemoveRow(request);
   if (op == "drop") return Drop(request);
@@ -529,6 +531,8 @@ JsonValue RequestPipeline::HandleSync(const JsonValue& request) {
   if (op == "save_cache") return SaveCache(request);
   if (op == "load_cache") return LoadCache(request);
   if (op == "candidates") return Candidates(request);
+  if (op == "digests") return Digests(request);
+  if (op == "protocol") return Protocol();
   if (op == "ping" || op == "sync") return OkResponse();
   if (op == "quit") {
     JsonValue response = OkResponse();
@@ -593,6 +597,154 @@ JsonValue RequestPipeline::Load(const JsonValue& request) {
   }
   JsonValue out = OkResponse();
   SetSnapshotFields(&out, name, mutation.snapshot);
+  return out;
+}
+
+JsonValue RequestPipeline::LoadDelta(const JsonValue& request) {
+  // Delta corpus sync (docs/PROTOCOL.md): splice the provided blocks into
+  // the stored corpus, keeping every other block's rows. The router sends
+  // this instead of a full inline load when the worker already holds a
+  // previous version; any rejection here (structured error, never a crash)
+  // makes the router fall back to the full load, so this op can only ever
+  // save bytes, not correctness.
+  const std::string& name = request.Get("name").AsString();
+  if (name.empty()) return ErrorResponse("load_delta: 'name' is required");
+  auto base = store_.Get(name);
+  if (!base) {
+    return NotFoundResponse("load_delta: unknown dataset '" + name +
+                            "' (send a full load first)");
+  }
+  CsvTarget target;
+  if (!ParseTargetMode(request.Get("target").AsString(), &target)) {
+    return ErrorResponse("load_delta: target must be label|target|none");
+  }
+  const CsvTarget base_target =
+      base->data->HasLabels()
+          ? CsvTarget::kLabel
+          : (base->data->HasTargets() ? CsvTarget::kTarget : CsvTarget::kNone);
+  if (target != base_target) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "load_delta: target mode does not match the stored corpus"));
+  }
+  auto parse_count = [&](const char* field, size_t* out) {
+    const JsonValue& raw = request.Get(field);
+    const double value = raw.IsNumber() ? raw.AsNumber() : -1.0;
+    if (!raw.IsNumber() || value <= 0 || value > 1e15 ||
+        value != static_cast<double>(static_cast<size_t>(value))) {
+      return false;
+    }
+    *out = static_cast<size_t>(value);
+    return true;
+  };
+  size_t rows = 0, dim = 0;
+  if (!parse_count("rows", &rows) || !parse_count("dim", &dim)) {
+    return ErrorResponse(
+        "load_delta: 'rows' and 'dim' must be positive integers");
+  }
+  if (dim != base->data->Dim()) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "load_delta: dim " + std::to_string(dim) +
+        " does not match the stored corpus (" +
+        std::to_string(base->data->Dim()) + ")"));
+  }
+  uint64_t expected = 0;
+  if (!wire::ParseHexFingerprint(request.Get("fingerprint").AsString(),
+                                 &expected)) {
+    return ErrorResponse(
+        "load_delta: 'fingerprint' must be a 0x-prefixed hex string");
+  }
+  const JsonValue& blocks = request.Get("blocks");
+  if (!blocks.IsArray()) {
+    return ErrorResponse("load_delta: 'blocks' must be an array");
+  }
+  // Fault site: a worker that cannot apply deltas (disk, version skew)
+  // answers a structured internal error; the router falls back to a full
+  // load and the topology keeps serving.
+  if (FaultInjectionEnabled() && Fault("delta_apply")) {
+    return ErrorResponse(
+        Status::Error(StatusCode::kInternal, "injected delta_apply fault"));
+  }
+
+  const size_t block_rows = base->digests->block_rows;
+  const size_t num_blocks = (rows + block_rows - 1) / block_rows;
+  std::map<size_t, const JsonValue*> provided;
+  for (const JsonValue& entry : blocks.Items()) {
+    const JsonValue& index = entry.Get("block");
+    const double raw = index.IsNumber() ? index.AsNumber() : -1.0;
+    if (!index.IsNumber() || raw < 0 ||
+        raw != static_cast<double>(static_cast<size_t>(raw)) ||
+        static_cast<size_t>(raw) >= num_blocks) {
+      return ErrorResponse(
+          "load_delta: each block entry needs an in-range integer 'block'");
+    }
+    const size_t b = static_cast<size_t>(raw);
+    if (!provided.emplace(b, &entry.Get("rows")).second) {
+      return ErrorResponse("load_delta: duplicate block " + std::to_string(b));
+    }
+  }
+
+  Dataset next;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t begin = b * block_rows;
+    const size_t end = std::min(begin + block_rows, rows);
+    auto it = provided.find(b);
+    if (it != provided.end()) {
+      if (!it->second->IsArray() || it->second->Items().size() != end - begin) {
+        return ErrorResponse("load_delta: block " + std::to_string(b) +
+                             " must carry exactly " + std::to_string(end - begin) +
+                             " rows");
+      }
+      std::string error;
+      if (!FromInlineRows(*it->second, target, &next, &error)) {
+        return ErrorResponse("load_delta: block " + std::to_string(b) + ": " +
+                             error);
+      }
+    } else {
+      // Unchanged block: keep the stored rows. The router only plans a
+      // delta when the geometry matches, so these rows must exist.
+      if (end > base->data->Size()) {
+        return ErrorResponse(Status::FailedPrecondition(
+            "load_delta: unchanged block " + std::to_string(b) +
+            " is outside the stored corpus"));
+      }
+      for (size_t i = begin; i < end; ++i) {
+        next.features.AppendRow(base->data->features.Row(i));
+        if (target == CsvTarget::kLabel) {
+          next.labels.push_back(base->data->labels[i]);
+        } else if (target == CsvTarget::kTarget) {
+          next.targets.push_back(base->data->targets[i]);
+        }
+      }
+    }
+  }
+  if (next.Dim() != dim) {
+    return ErrorResponse("load_delta: block rows disagree with 'dim'");
+  }
+  const size_t applied = provided.size();
+
+  CorpusMutation mutation = store_.Put(name, std::move(next));
+  if (mutation.snapshot.fingerprint != expected) {
+    // The splice produced the wrong contents (corruption in flight, or a
+    // router/worker disagreement the plan missed). Serving candidates off
+    // it would silently mis-rank, so drop it outright: the router's
+    // fallback full load repopulates from scratch.
+    uint64_t dropped = 0;
+    store_.Drop(name, &dropped);
+    InvalidateOld(mutation.old_fingerprint);
+    InvalidateOld(dropped);
+    return ErrorResponse(Status::Error(
+        StatusCode::kDataLoss,
+        "load_delta: corpus fingerprint mismatch after splice (expected " +
+            wire::FingerprintHex(expected) + ", got " +
+            wire::FingerprintHex(mutation.snapshot.fingerprint) +
+            "); corpus dropped — send a full load"));
+  }
+  if (mutation.old_fingerprint != mutation.snapshot.fingerprint) {
+    InvalidateOld(mutation.old_fingerprint);
+  }
+  JsonValue out = OkResponse();
+  SetSnapshotFields(&out, name, mutation.snapshot);
+  out.Set("applied", JsonValue(static_cast<double>(applied)));
   return out;
 }
 
@@ -765,8 +917,24 @@ JsonValue RequestPipeline::Stats() const {
   if (options_.shards > 1) {
     JsonValue topology = JsonValue::MakeObject();
     topology.Set("shards", JsonValue(static_cast<double>(options_.shards)));
-    topology.Set("workers",
-                 JsonValue(options_.shard_process ? "process" : "thread"));
+    const bool remote = !options_.shard_remote.empty();
+    topology.Set(
+        "workers",
+        JsonValue(remote ? "remote"
+                         : (options_.shard_process ? "process" : "thread")));
+    if (remote) {
+      // The configured replica endpoints per shard — static topology facts
+      // only (no liveness probes: stats stays deterministic and cheap).
+      JsonValue replicas = JsonValue::MakeArray();
+      for (const auto& group : options_.shard_remote) {
+        JsonValue endpoints = JsonValue::MakeArray();
+        for (const std::string& endpoint : group) {
+          endpoints.Append(JsonValue(endpoint));
+        }
+        replicas.Append(std::move(endpoints));
+      }
+      topology.Set("replicas", std::move(replicas));
+    }
     JsonValue plans = JsonValue::MakeObject();
     for (const auto& corpus : store_.List()) {
       auto snapshot = store_.Get(corpus.name);
@@ -1050,6 +1218,54 @@ JsonValue RequestPipeline::Candidates(const JsonValue& request) {
 }
 
 // ---------------------------------------------------------------------------
+// digests / protocol (remote-worker control plane)
+// ---------------------------------------------------------------------------
+
+JsonValue RequestPipeline::Digests(const JsonValue& request) {
+  // What corpus version does this worker hold? The router diffs the
+  // per-block digests against its own (wire::PlanCorpusSync) and ships
+  // nothing, a delta, or a full load. Digests are maintained incrementally
+  // by the store, so this answers without touching the corpus rows.
+  const std::string& name = request.Get("name").AsString();
+  auto snapshot = store_.Get(name);
+  if (!snapshot) {
+    return NotFoundResponse("digests: unknown dataset '" + name + "'");
+  }
+  const CorpusDigests& digests = *snapshot->digests;
+  JsonValue out = OkResponse();
+  out.Set("name", JsonValue(name));
+  out.Set("rows", JsonValue(static_cast<double>(snapshot->data->Size())));
+  out.Set("dim", JsonValue(static_cast<double>(snapshot->data->Dim())));
+  out.Set("block_rows", JsonValue(static_cast<double>(digests.block_rows)));
+  out.Set("target", JsonValue(wire::TargetMode(*snapshot->data)));
+  out.Set("version", JsonValue(static_cast<double>(snapshot->version)));
+  out.Set("fingerprint", JsonValue(FingerprintHex(snapshot->fingerprint)));
+  JsonValue blocks = JsonValue::MakeArray();
+  for (size_t b = 0; b < digests.NumBlocks(); ++b) {
+    blocks.Append(JsonValue(FingerprintHex(wire::BlockDigest(digests, b))));
+  }
+  out.Set("blocks", std::move(blocks));
+  return out;
+}
+
+JsonValue RequestPipeline::Protocol() const {
+  // Self-description for clients and the CI docs gate: every op this
+  // server dispatches, sorted. Keep in lockstep with HandleSync and
+  // docs/PROTOCOL.md (CI greps the doc for each name listed here).
+  static const char* const kOps[] = {
+      "append",  "candidates", "describe",   "digests", "drop",
+      "load",    "load_cache", "load_delta", "methods", "metrics",
+      "ping",    "protocol",   "quit",       "remove",  "save_cache",
+      "stats",   "sync",       "value"};
+  JsonValue out = OkResponse();
+  out.Set("protocol", JsonValue(1.0));
+  JsonValue ops = JsonValue::MakeArray();
+  for (const char* op : kOps) ops.Append(JsonValue(op));
+  out.Set("ops", std::move(ops));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
 // value
 // ---------------------------------------------------------------------------
 
@@ -1112,6 +1328,10 @@ bool RequestPipeline::PrepareValue(const JsonValue& request, PreparedValue* prep
     engine_request.shard.count = options_.shards;
     engine_request.shard.process = options_.shard_process;
     engine_request.shard.worker_command = options_.shard_worker_command;
+    engine_request.shard.remote_replicas = options_.shard_remote;
+    engine_request.shard.connect_timeout_ms = options_.shard_connect_timeout_ms;
+    engine_request.shard.io_timeout_ms = options_.shard_io_timeout_ms;
+    engine_request.shard.connect_attempts = options_.shard_connect_attempts;
     engine_request.shard.train_digests = train->digests;
     engine_request.shard.corpus_name = request.Get("train").AsString();
   }

@@ -117,14 +117,23 @@ struct PipelineOptions {
   /// its signal-handler flag.
   const std::atomic<bool>* shutdown = nullptr;
   /// > 1: route supported value methods (exact / exact-corrected /
-  /// weighted-fast) through the shard subsystem — responses stay
-  /// byte-identical to the unsharded server (see src/shard/README.md).
+  /// weighted-fast / truncated) through the shard subsystem — responses
+  /// stay byte-identical to the unsharded server (see src/shard/README.md).
   /// The `stats` op grows a "topology" section when sharding is on.
   int shards = 1;
   /// true: process-per-shard workers speaking the JSONL protocol over
   /// pipes (argv below); false: thread-per-shard in-process workers.
   bool shard_process = false;
   std::vector<std::string> shard_worker_command;
+  /// Remote socket topology: one ordered replica endpoint list
+  /// ("host:port") per shard (knnshap_serve --shard-remote). Non-empty
+  /// selects the TCP transport with per-shard failover and delta corpus
+  /// sync (docs/DEPLOYMENT.md); mutually exclusive with shard_process.
+  std::vector<std::vector<std::string>> shard_remote;
+  /// Socket transport knobs (remote mode only).
+  int shard_connect_timeout_ms = 2000;
+  int shard_io_timeout_ms = 30000;
+  int shard_connect_attempts = 3;
   EngineOptions engine;
 };
 
@@ -179,6 +188,17 @@ class RequestPipeline {
   /// between its parent's barrier ops, so they must never queue behind the
   /// pool.
   JsonValue Candidates(const JsonValue& request);
+
+  /// Remote-worker corpus sync (docs/PROTOCOL.md): `digests` reports a
+  /// stored corpus's per-block content digests; `load_delta` splices
+  /// changed blocks into it, verifying the resulting combined fingerprint
+  /// against the router's expectation (mismatch = data_loss + drop).
+  JsonValue Digests(const JsonValue& request);
+  JsonValue LoadDelta(const JsonValue& request);
+
+  /// Protocol self-description: version + the sorted op list (the CI docs
+  /// gate cross-checks docs/PROTOCOL.md against it).
+  JsonValue Protocol() const;
 
   /// Per-method/latency/phase subsections of `stats` (time-valued parts
   /// omitted when emit_timing is off, keeping golden transcripts stable).

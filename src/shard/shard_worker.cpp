@@ -15,42 +15,21 @@
 #include <utility>
 
 #include "knn/selection.h"
+#include "shard/wire.h"
 #include "util/cancel.h"
 #include "util/common.h"
 #include "util/json.h"
 
 namespace knnshap {
 
-namespace {
-
-/// A dead child makes the next write raise SIGPIPE, which would kill the
-/// *router* process; with it ignored the write fails with EPIPE and the
-/// worker latches Unavailable instead. Installed once, process-wide.
-std::once_flag sigpipe_once;
-void IgnoreSigpipe() {
+void IgnoreSigpipeForShardTransport() {
+  // A dead peer makes the next write raise SIGPIPE, which would kill the
+  // *router* process; with it ignored the write fails with EPIPE and the
+  // worker latches Unavailable instead. Installed once, process-wide
+  // (shared with the socket transport, socket_worker.cpp).
+  static std::once_flag sigpipe_once;
   std::call_once(sigpipe_once, [] { std::signal(SIGPIPE, SIG_IGN); });
 }
-
-std::string FingerprintHex(uint64_t fingerprint) {
-  char buf[19];
-  std::snprintf(buf, sizeof buf, "0x%016llx",
-                static_cast<unsigned long long>(fingerprint));
-  return buf;
-}
-
-bool ParseHexFingerprint(const std::string& hex, uint64_t* out) {
-  if (hex.size() < 3 || hex[0] != '0' || (hex[1] != 'x' && hex[1] != 'X')) {
-    return false;
-  }
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long value = std::strtoull(hex.c_str() + 2, &end, 16);
-  if (errno != 0 || end == nullptr || *end != '\0') return false;
-  *out = static_cast<uint64_t>(value);
-  return true;
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // InProcessShardWorker
@@ -117,7 +96,7 @@ void ProcessShardWorker::Spawn(const Dataset& corpus) {
     throw std::runtime_error(
         "shard worker: corpus with both labels and targets cannot be shipped");
   }
-  IgnoreSigpipe();
+  IgnoreSigpipeForShardTransport();
 
   int to_child[2] = {-1, -1};
   int from_child[2] = {-1, -1};
@@ -174,29 +153,9 @@ void ProcessShardWorker::Spawn(const Dataset& corpus) {
   // %.17g, which round-trips bit-exactly back to the same float in the
   // child — so the child's independently computed content fingerprint must
   // equal the parent's, and any transport corruption is caught here.
-  JsonValue load = JsonValue::MakeObject();
-  load.Set("op", JsonValue("load"));
-  load.Set("name", JsonValue(corpus_name_));
-  load.Set("target", JsonValue(corpus.HasLabels()
-                                   ? "label"
-                                   : (corpus.HasTargets() ? "target" : "none")));
-  JsonValue rows = JsonValue::MakeArray();
-  for (size_t i = 0; i < corpus.Size(); ++i) {
-    JsonValue row = JsonValue::MakeArray();
-    for (float f : corpus.features.Row(i)) {
-      row.Append(JsonValue(static_cast<double>(f)));
-    }
-    if (corpus.HasLabels()) {
-      row.Append(JsonValue(static_cast<double>(corpus.labels[i])));
-    } else if (corpus.HasTargets()) {
-      row.Append(JsonValue(corpus.targets[i]));
-    }
-    rows.Append(row);
-  }
-  load.Set("rows", std::move(rows));
-
   std::string response;
-  if (!Exchange(load.Dump(), &response)) {
+  if (!Exchange(wire::BuildInlineLoadRequest(corpus_name_, corpus).Dump(),
+                &response)) {
     throw std::runtime_error("shard worker: load failed: " + Health().message());
   }
   JsonParseResult parsed = ParseJson(response);
@@ -204,11 +163,12 @@ void ProcessShardWorker::Spawn(const Dataset& corpus) {
     throw std::runtime_error("shard worker: load rejected: " + response);
   }
   uint64_t echoed = 0;
-  if (!ParseHexFingerprint(parsed.value.Get("fingerprint").AsString(), &echoed) ||
+  if (!wire::ParseHexFingerprint(parsed.value.Get("fingerprint").AsString(),
+                                 &echoed) ||
       echoed != expected_fingerprint_) {
     throw std::runtime_error(
         "shard worker: corpus fingerprint mismatch after load (expected " +
-        FingerprintHex(expected_fingerprint_) + ", got " +
+        wire::FingerprintHex(expected_fingerprint_) + ", got " +
         parsed.value.Get("fingerprint").AsString() + ")");
   }
 }
@@ -257,71 +217,19 @@ bool ProcessShardWorker::Candidates(std::span<const float> query, size_t r,
   run->clear();
   if (!Health().ok()) return false;
 
-  JsonValue request = JsonValue::MakeObject();
-  request.Set("op", JsonValue("candidates"));
-  request.Set("train", JsonValue(corpus_name_));
-  request.Set("metric", JsonValue(MetricName(metric_)));
-  request.Set("r", JsonValue(static_cast<double>(r)));
-  request.Set("row_begin", JsonValue(static_cast<double>(range_.row_begin)));
-  request.Set("row_end", JsonValue(static_cast<double>(range_.row_end)));
-  request.Set("fingerprint", JsonValue(FingerprintHex(range_.fingerprint)));
-  JsonValue q = JsonValue::MakeArray();
-  for (float f : query) q.Append(JsonValue(static_cast<double>(f)));
-  request.Set("query", std::move(q));
-  // Forward the *remaining* budget: the child's token, constructed after
-  // this read, can never fire later than the parent's — so a child-side
-  // deadline_exceeded implies the parent token is (about to be) expired
-  // and the router's own post-fan-out check stays the authority.
-  const CancelToken* token = ActiveCancelToken();
-  if (token != nullptr && token->has_deadline()) {
-    request.Set("deadline_ms",
-                JsonValue(static_cast<double>(token->RemainingMs())));
-  }
-
   std::string line;
-  if (!Exchange(request.Dump(), &line)) return false;
-  JsonParseResult parsed = ParseJson(line);
-  if (!parsed.ok()) {
-    Latch(Status::Error(StatusCode::kInternal,
-                        "shard worker sent an unparseable response"));
+  if (!Exchange(
+          wire::BuildCandidatesRequest(range_, corpus_name_, metric_, query, r)
+              .Dump(),
+          &line)) {
     return false;
   }
-  const JsonValue& response = parsed.value;
-  if (!response.Get("ok").AsBool(false)) {
-    if (response.Get("code").AsString() == "deadline_exceeded") {
-      return false;  // propagated deadline; health stays OK
-    }
-    Latch(Status::Unavailable("shard worker error: " +
-                              response.Get("error").AsString()));
-    return false;
-  }
-  const JsonValue& indices = response.Get("indices");
-  const JsonValue& distances = response.Get("dists");
-  if (!indices.IsArray() || !distances.IsArray() ||
-      indices.Items().size() != distances.Items().size()) {
-    Latch(Status::Error(StatusCode::kInternal,
-                        "shard worker returned a malformed candidate run"));
-    return false;
-  }
-  run->reserve(indices.Items().size());
-  for (size_t i = 0; i < indices.Items().size(); ++i) {
-    const JsonValue& index = indices.Items()[i];
-    const JsonValue& dist = distances.Items()[i];
-    const double raw = index.AsNumber(-1.0);
-    const int row = static_cast<int>(raw);
-    if (!index.IsNumber() || !dist.IsNumber() ||
-        static_cast<double>(row) != raw ||
-        row < static_cast<int>(range_.row_begin) ||
-        row >= static_cast<int>(range_.row_end)) {
-      Latch(Status::Error(StatusCode::kInternal,
-                          "shard worker returned an out-of-range candidate"));
-      run->clear();
-      return false;
-    }
-    dists[static_cast<size_t>(row)] = dist.AsNumber();
-    run->push_back(row);
-  }
-  return true;
+  Status status = wire::ParseCandidatesResponse(line, range_, dists, run);
+  if (status.ok()) return true;
+  // A propagated deadline leaves health OK (the router's own token is the
+  // authority and is re-checked after the fan-out); anything else latches.
+  if (status.code() != StatusCode::kDeadlineExceeded) Latch(std::move(status));
+  return false;
 }
 
 }  // namespace knnshap

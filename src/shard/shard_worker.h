@@ -48,6 +48,11 @@
 
 namespace knnshap {
 
+/// Installs the process-wide SIGPIPE ignore every shard transport needs
+/// (a dead peer must surface as an EPIPE write error, not a signal).
+/// Idempotent; called by the pipe and socket transports before first I/O.
+void IgnoreSigpipeForShardTransport();
+
 /// One shard's candidate server.
 class ShardWorker {
  public:

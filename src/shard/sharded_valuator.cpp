@@ -6,20 +6,25 @@
 #include <atomic>
 #include <utility>
 
+#include <stdexcept>
+
 #include "core/corrected_knn_shapley.h"
 #include "core/exact_knn_shapley.h"
-#include "core/lsh_knn_shapley.h"  // KStar
+#include "core/lsh_knn_shapley.h"  // KStar, TruncatedShapleyFromNeighbors
+#include "knn/neighbors.h"
 #include "knn/selection.h"
 #include "obs/trace.h"
+#include "shard/socket_worker.h"
 #include "util/cancel.h"
 #include "util/common.h"
+#include "util/net.h"
 #include "util/thread_pool.h"
 
 namespace knnshap {
 
 bool ShardedValuatorSupports(const std::string& method) {
   return method == "exact" || method == "exact-corrected" ||
-         method == "weighted-fast";
+         method == "weighted-fast" || method == "truncated";
 }
 
 ShardedValuator::ShardedValuator(ValuatorParams params, std::string method,
@@ -31,6 +36,8 @@ ShardedValuator::ShardedValuator(ValuatorParams params, std::string method,
     kind_ = Kind::kExact;
   } else if (method_ == "exact-corrected") {
     kind_ = Kind::kCorrected;
+  } else if (method_ == "truncated") {
+    kind_ = Kind::kTruncated;
   } else {
     KNNSHAP_CHECK(method_ == "weighted-fast",
                   "no sharded implementation for method '" + method_ + "'");
@@ -41,13 +48,15 @@ ShardedValuator::ShardedValuator(ValuatorParams params, std::string method,
 void ShardedValuator::OnFit() {
   const Dataset& train = Train();
   KNNSHAP_CHECK(train.HasLabels(), method_ + ": labeled corpus required");
-  std::shared_ptr<const CorpusDigests> digests = spec_.train_digests;
-  if (digests == nullptr) {
+  digests_ = spec_.train_digests;
+  if (digests_ == nullptr) {
     // No maintained digests (engine used outside the serve layer): one
     // full hash here buys content-addressed shard identity all the same.
-    digests = std::make_shared<const CorpusDigests>(ComputeCorpusDigests(train));
+    digests_ =
+        std::make_shared<const CorpusDigests>(ComputeCorpusDigests(train));
   }
-  plan_ = PlanShards(*digests,
+  const CorpusDigests& digests = *digests_;
+  plan_ = PlanShards(digests,
                      static_cast<size_t>(std::max(spec_.shard_count, 1)));
   norms_ = NormsForMetric(train.features, params_.metric);
   if (kind_ == Kind::kWeightedFast) {
@@ -56,11 +65,67 @@ void ShardedValuator::OnFit() {
   }
   workers_.clear();
   workers_.reserve(plan_.size());
-  if (spec_.process) {
+  if (!spec_.remote_replicas.empty()) {
+    // Remote sockets: one ReplicaShardWorker per planned shard, each with
+    // its ordered replica list. Endpoint parse errors throw (bad flag —
+    // the engine answers a structured internal error); dial failures do
+    // NOT — the eager Connect below is best-effort, so an all-dead
+    // topology surfaces as unavailable + retry_after_ms through the
+    // normal fan-out health path instead of poisoning the fit.
+    if (spec_.remote_replicas.size() < plan_.size()) {
+      throw std::runtime_error(
+          "sharded fit: " + std::to_string(plan_.size()) +
+          " planned shards but only " +
+          std::to_string(spec_.remote_replicas.size()) +
+          " remote replica group(s)");
+    }
+    SocketWorkerOptions socket_options;
+    socket_options.connect_timeout_ms = spec_.connect_timeout_ms;
+    socket_options.io_timeout_ms = spec_.io_timeout_ms;
+    socket_options.connect_attempts = spec_.connect_attempts;
+    ShardTransportCounters counters;
+    if (spec_.metrics != nullptr) {
+      counters.connects =
+          spec_.metrics->GetCounter("knnshap_shard_connects_total");
+      counters.connect_failures =
+          spec_.metrics->GetCounter("knnshap_shard_connect_failures_total");
+      counters.failovers =
+          spec_.metrics->GetCounter("knnshap_shard_failovers_total");
+      counters.full_loads =
+          spec_.metrics->GetCounter("knnshap_shard_full_loads_total");
+      counters.delta_loads =
+          spec_.metrics->GetCounter("knnshap_shard_delta_loads_total");
+      counters.delta_blocks =
+          spec_.metrics->GetCounter("knnshap_shard_delta_blocks_total");
+    }
+    const uint64_t fingerprint = digests.Combined();
+    for (size_t s = 0; s < plan_.size(); ++s) {
+      std::vector<Endpoint> replicas;
+      replicas.reserve(spec_.remote_replicas[s].size());
+      for (const std::string& spec : spec_.remote_replicas[s]) {
+        Endpoint endpoint;
+        std::string error;
+        if (!ParseEndpoint(spec, &endpoint, &error, "127.0.0.1")) {
+          throw std::runtime_error("sharded fit: bad replica endpoint '" +
+                                   spec + "': " + error);
+        }
+        replicas.push_back(std::move(endpoint));
+      }
+      if (replicas.empty()) {
+        throw std::runtime_error("sharded fit: shard " + std::to_string(s) +
+                                 " has no replica endpoints");
+      }
+      auto worker = std::make_unique<ReplicaShardWorker>(
+          plan_[s], std::move(replicas), spec_.corpus_name, params_.metric,
+          fingerprint, socket_options, counters, &train, digests_.get());
+      worker->Connect();
+      workers_.push_back(std::move(worker));
+    }
+  } else if (spec_.process) {
     // Spawn failures (bad command, dead pipe, fingerprint mismatch after
     // the inline load) throw — the engine turns that into a structured
     // internal-error response and retires the fit slot.
-    const uint64_t fingerprint = digests->Combined();
+    const uint64_t fingerprint = digests.Combined();
     for (const ShardRange& range : plan_) {
       auto worker = std::make_unique<ProcessShardWorker>(
           range, spec_.worker_command, spec_.corpus_name, params_.metric,
@@ -85,7 +150,7 @@ bool ShardedValuator::FanOut(std::span<const float> query, size_t r,
                              std::span<double> dists,
                              std::vector<std::vector<int>>* runs) const {
   runs->resize(workers_.size());
-  if (!spec_.process) {
+  if (!spec_.process && spec_.remote_replicas.empty()) {
     // Thread-per-shard: the caller helps drain shard indices alongside
     // pool workers (ParallelForHelping is safe from pool threads, which is
     // where the engine runs ValueOne). The active token is re-established
@@ -100,8 +165,10 @@ bool ShardedValuator::FanOut(std::span<const float> query, size_t r,
     });
     return !failed.load(std::memory_order_relaxed);
   }
-  // Process mode: each worker's pipe pair is a single-lane channel and
-  // queries arrive concurrently from the pool, so fan-outs serialize.
+  // Process/remote mode: each worker's pipe pair / socket is a
+  // single-lane channel and queries arrive concurrently from the pool, so
+  // fan-outs serialize. (Serialization also keeps replica failover sane:
+  // at most one query is ever in flight when a replica dies.)
   std::lock_guard<std::mutex> lock(fan_out_mutex_);
   for (size_t s = 0; s < workers_.size(); ++s) {
     if (!workers_[s]->Candidates(query, r, dists, &(*runs)[s])) return false;
@@ -128,7 +195,9 @@ std::vector<double> ShardedValuator::ValueOne(const Dataset& test,
   // Fan-out depth: the exact prefix length the unsharded truncated path
   // would retrieve, or the full corpus.
   size_t r = n;
-  if (truncated && kind_ == Kind::kExact) {
+  if (kind_ == Kind::kTruncated) {
+    r = std::min(static_cast<size_t>(KStar(params_.k, params_.epsilon)), n);
+  } else if (truncated && kind_ == Kind::kExact) {
     r = TruncatedExactEffectiveRank(
         static_cast<size_t>(KStar(params_.k, params_.approx_error)), n,
         params_.k);
@@ -189,6 +258,28 @@ std::vector<double> ShardedValuator::ValueOne(const Dataset& test,
                                                  test_label, params_.k)
                   : TruncatedCorrectedKnnShapleyFromOrder(
                         order, train.labels, test_label, params_.k);
+    case Kind::kTruncated: {
+      // The merged prefix is the exact global top-r in the same
+      // (distance, index) order the unsharded kd-tree retrieval returns,
+      // so the Theorem-2 recursion sees identical neighbor/label inputs
+      // and the rank scatter produces identical bytes. (The recursion
+      // consumes only indices and labels; the distances ride along for
+      // interface parity.)
+      std::vector<Neighbor> neighbors;
+      neighbors.reserve(order.size());
+      for (int i : order) {
+        neighbors.push_back(
+            Neighbor{i, dists[static_cast<size_t>(i)]});
+      }
+      const std::vector<double> by_rank = TruncatedShapleyFromNeighbors(
+          train, neighbors, test_label, params_.k,
+          KStar(params_.k, params_.epsilon));
+      std::vector<double> sv(n, 0.0);
+      for (size_t i = 0; i < neighbors.size(); ++i) {
+        sv[static_cast<size_t>(neighbors[i].index)] = by_rank[i];
+      }
+      return sv;
+    }
     case Kind::kWeightedFast: {
       WknnShapleyOptions options;
       options.k = params_.k;

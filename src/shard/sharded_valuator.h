@@ -1,15 +1,15 @@
 // Copyright 2026 the knnshap authors. Apache-2.0 license.
 //
 // ShardedValuator — the shard router. A Valuator that fans each query out
-// to per-shard workers (thread-per-shard or process-per-shard, see
-// shard_worker.h), merges the per-shard candidate runs into the global
-// (distance, index) ranking, and runs the method's recursion on it —
-// bit-identical to the unsharded valuator, because the recursions consume
-// only the ranking and the merge of exact per-shard top-R runs *is* the
-// global top-R (knn/selection.h).
+// to per-shard workers (thread-per-shard, process-per-shard, or remote
+// socket replicas — see shard_worker.h and socket_worker.h), merges the
+// per-shard candidate runs into the global (distance, index) ranking, and
+// runs the method's recursion on it — bit-identical to the unsharded
+// valuator, because the recursions consume only the ranking and the merge
+// of exact per-shard top-R runs *is* the global top-R (knn/selection.h).
 //
-// Supported methods: exact, exact-corrected, weighted-fast — the
-// distance-ordering family. Per-method fan-out depth r:
+// Supported methods: exact, exact-corrected, weighted-fast, truncated —
+// the distance-ordering family. Per-method fan-out depth r:
 //
 //   exact            TruncatedExactEffectiveRank(KStar(k, approx_error))
 //                    when truncated, else N
@@ -19,6 +19,10 @@
 //   weighted-fast    always N — the DP consumes the full ranking, and the
 //                    raw double distances ride along losslessly for the
 //                    kernel weights
+//   truncated        min(KStar(k, epsilon), N) — the merged prefix plays
+//                    the role of the unsharded kd-tree retrieval (exact
+//                    top-K* either way), feeding the same truncated
+//                    Theorem-2 recursion
 //
 // Failure semantics: a fan-out that fails on a healthy topology (a worker
 // died or answered garbage) latches Health() non-OK and the query returns
@@ -39,6 +43,7 @@
 #include "core/wknn_shapley.h"
 #include "engine/valuator.h"
 #include "knn/distance_kernel.h"
+#include "obs/metrics.h"
 #include "shard/shard_planner.h"
 #include "shard/shard_worker.h"
 #include "util/fingerprint.h"
@@ -56,6 +61,19 @@ struct ShardedValuatorSpec {
   /// argv of the worker binary (process mode); must speak the JSONL serve
   /// protocol on stdin/stdout.
   std::vector<std::string> worker_command;
+  /// Remote socket topology: one ordered replica list ("host:port"
+  /// strings) per shard. Non-empty selects the TCP transport
+  /// (socket_worker.h) — `process` must be false, and there must be at
+  /// least as many replica groups as planned shards (the planner may
+  /// clamp the shard count below the flag on tiny corpora; trailing
+  /// groups then go unused).
+  std::vector<std::vector<std::string>> remote_replicas;
+  /// Socket transport knobs (remote mode only).
+  int connect_timeout_ms = 2000;
+  int io_timeout_ms = 30000;
+  int connect_attempts = 3;
+  /// Transport counter sink (remote mode; null = no counters).
+  MetricsRegistry* metrics = nullptr;
   /// The corpus's incrementally maintained block digests (null: recomputed
   /// at fit). Shard identity is content-addressed through these.
   std::shared_ptr<const CorpusDigests> train_digests;
@@ -82,7 +100,7 @@ class ShardedValuator : public Valuator {
   void OnFit() override;
 
  private:
-  enum class Kind { kExact, kCorrected, kWeightedFast };
+  enum class Kind { kExact, kCorrected, kWeightedFast, kTruncated };
 
   /// Fan the query out to every worker; false latches health (unless the
   /// failure was a propagated deadline — the caller re-checks the token).
@@ -96,10 +114,14 @@ class ShardedValuator : public Valuator {
   std::vector<ShardRange> plan_;
   CorpusNorms norms_;
   std::unique_ptr<WknnCoalitionWeights> coalition_;  // weighted-fast only
+  /// Kept alive for remote workers, which re-sync from these digests on
+  /// every replica (re)connect.
+  std::shared_ptr<const CorpusDigests> digests_;
   std::vector<std::unique_ptr<ShardWorker>> workers_;
 
-  /// Process-mode fan-outs are serialized: the pipe pair per worker is a
-  /// single-lane channel, and queries arrive concurrently from the pool.
+  /// Process- and remote-mode fan-outs are serialized: each worker's pipe
+  /// pair / socket is a single-lane channel, and queries arrive
+  /// concurrently from the pool.
   mutable std::mutex fan_out_mutex_;
   mutable std::mutex health_mutex_;
   mutable Status health_;

@@ -1,0 +1,359 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "shard/socket_worker.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+#include "obs/trace.h"
+#include "shard/wire.h"
+#include "util/fault.h"
+#include "util/json.h"
+
+namespace knnshap {
+
+namespace {
+
+inline void Bump(Counter* counter, uint64_t n = 1) {
+  if (counter != nullptr) counter->Add(n);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SocketShardWorker
+// ---------------------------------------------------------------------------
+
+SocketShardWorker::SocketShardWorker(ShardRange range, Endpoint endpoint,
+                                     std::string corpus_name, Metric metric,
+                                     uint64_t expected_fingerprint,
+                                     SocketWorkerOptions options,
+                                     ShardTransportCounters counters)
+    : ShardWorker(range),
+      endpoint_(std::move(endpoint)),
+      corpus_name_(std::move(corpus_name)),
+      metric_(metric),
+      expected_fingerprint_(expected_fingerprint),
+      options_(options),
+      counters_(counters) {}
+
+SocketShardWorker::~SocketShardWorker() { CloseStreams(); }
+
+void SocketShardWorker::CloseStreams() {
+  // write_stream_ owns a dup of the socket fd; read_stream_ owns the fd
+  // itself. Closing both fully shuts the connection down.
+  if (write_stream_ != nullptr) std::fclose(write_stream_);
+  if (read_stream_ != nullptr) std::fclose(read_stream_);
+  write_stream_ = nullptr;
+  read_stream_ = nullptr;
+}
+
+void SocketShardWorker::Latch(Status status) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  if (health_.ok()) health_ = std::move(status);
+}
+
+Status SocketShardWorker::Health() const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  return health_;
+}
+
+Status SocketShardWorker::Connect(const Dataset& corpus,
+                                  const CorpusDigests& digests) {
+  if (read_stream_ != nullptr) return Health();
+  IgnoreSigpipeForShardTransport();
+  ScopedPhase span(ActiveTrace(), Phase::kShardConnect);
+
+  // Bounded dial attempts with doubling backoff: a worker that is
+  // restarting (or not yet up in a deploy race) gets a short grace window;
+  // one that is truly gone fails fast enough for the replica layer to move
+  // on.
+  int fd = -1;
+  std::string error;
+  int backoff_ms = options_.backoff_initial_ms;
+  const int attempts = options_.connect_attempts > 0 ? options_.connect_attempts : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms *= 2;
+    }
+    if (FaultInjectionEnabled() && Fault("shard_connect")) {
+      error = "injected shard_connect fault";
+      Bump(counters_.connect_failures);
+      continue;
+    }
+    fd = DialTcp(endpoint_, options_.connect_timeout_ms, options_.io_timeout_ms,
+                 &error);
+    if (fd >= 0) break;
+    Bump(counters_.connect_failures);
+  }
+  if (fd < 0) {
+    Status status = Status::Unavailable("shard worker " + endpoint_.ToString() +
+                                        " unreachable: " + error);
+    Latch(status);
+    return status;
+  }
+  read_stream_ = fdopen(fd, "r");
+  const int write_fd = read_stream_ != nullptr ? dup(fd) : -1;
+  write_stream_ = write_fd >= 0 ? fdopen(write_fd, "w") : nullptr;
+  if (read_stream_ == nullptr || write_stream_ == nullptr) {
+    if (read_stream_ == nullptr) close(fd);
+    if (write_stream_ == nullptr && write_fd >= 0) close(write_fd);
+    CloseStreams();
+    Status status = Status::Unavailable("shard worker " + endpoint_.ToString() +
+                                        ": fdopen() failed");
+    Latch(status);
+    return status;
+  }
+
+  // Corpus sync: ask what the worker holds, ship the difference. A worker
+  // that kept the corpus across a router re-fit (the common warm case)
+  // costs one digests round trip and zero rows; a mutated corpus costs
+  // only its changed blocks; everything else falls back to the full
+  // inline load.
+  std::string line;
+  if (!Exchange(wire::BuildDigestsRequest(corpus_name_).Dump(), &line)) {
+    return Health();
+  }
+  JsonParseResult parsed = ParseJson(line);
+  if (!parsed.ok()) {
+    Status status = Status::Unavailable("shard worker " + endpoint_.ToString() +
+                                        " sent an unparseable digests response");
+    Latch(status);
+    CloseStreams();
+    return status;
+  }
+  wire::CorpusSyncPlan plan = wire::PlanCorpusSync(corpus, digests, parsed.value);
+  if (plan.mode == wire::CorpusSyncPlan::Mode::kDelta) {
+    if (!Exchange(wire::BuildDeltaLoadRequest(corpus_name_, corpus, digests,
+                                              plan.blocks)
+                      .Dump(),
+                  &line)) {
+      return Health();
+    }
+    parsed = ParseJson(line);
+    if (!parsed.ok() || !parsed.value.Get("ok").AsBool(false)) {
+      // A worker that rejects the delta (row-count drift it cannot splice,
+      // an older binary without the op, an injected delta_apply fault) is
+      // still usable — fall back to the always-correct full load.
+      plan.mode = wire::CorpusSyncPlan::Mode::kFull;
+    } else {
+      Bump(counters_.delta_loads);
+      Bump(counters_.delta_blocks, plan.blocks.size());
+    }
+  }
+  if (plan.mode == wire::CorpusSyncPlan::Mode::kFull) {
+    if (!Exchange(wire::BuildInlineLoadRequest(corpus_name_, corpus).Dump(),
+                  &line)) {
+      return Health();
+    }
+    parsed = ParseJson(line);
+    if (!parsed.ok() || !parsed.value.Get("ok").AsBool(false)) {
+      Status status = Status::Unavailable("shard worker " +
+                                          endpoint_.ToString() +
+                                          " rejected the corpus load: " + line);
+      Latch(status);
+      CloseStreams();
+      return status;
+    }
+    Bump(counters_.full_loads);
+  }
+
+  // Every path ends fingerprint-verified: kNone verified inside
+  // PlanCorpusSync (the digests response fingerprint equals ours), delta
+  // and full loads via the echo below.
+  if (plan.mode != wire::CorpusSyncPlan::Mode::kNone) {
+    uint64_t echoed = 0;
+    if (!wire::ParseHexFingerprint(parsed.value.Get("fingerprint").AsString(),
+                                   &echoed) ||
+        echoed != expected_fingerprint_) {
+      Status status = Status::Error(
+          StatusCode::kDataLoss,
+          "shard worker " + endpoint_.ToString() +
+              " corpus fingerprint mismatch after sync (expected " +
+              wire::FingerprintHex(expected_fingerprint_) + ", got " +
+              parsed.value.Get("fingerprint").AsString() + ")");
+      Latch(status);
+      CloseStreams();
+      return status;
+    }
+  }
+  Bump(counters_.connects);
+  return Status::Ok();
+}
+
+bool SocketShardWorker::Exchange(const std::string& line,
+                                 std::string* response) {
+  if (write_stream_ == nullptr || read_stream_ == nullptr) {
+    Latch(Status::Unavailable("shard worker " + endpoint_.ToString() +
+                              " is not connected"));
+    return false;
+  }
+  if (std::fputs(line.c_str(), write_stream_) < 0 ||
+      std::fputc('\n', write_stream_) == EOF ||
+      std::fflush(write_stream_) != 0) {
+    Latch(Status::Unavailable("shard worker " + endpoint_.ToString() +
+                              " closed the connection on write"));
+    CloseStreams();
+    return false;
+  }
+  if (FaultInjectionEnabled() && Fault("shard_read")) {
+    Latch(Status::Unavailable("injected shard_read fault (" +
+                              endpoint_.ToString() + ")"));
+    CloseStreams();
+    return false;
+  }
+  char* buf = nullptr;
+  size_t cap = 0;
+  const ssize_t len = getline(&buf, &cap, read_stream_);
+  if (len < 0) {
+    std::free(buf);
+    // EOF or SO_RCVTIMEO expiry — either way this connection is done (a
+    // timed-out response would desynchronize the one-line framing if we
+    // kept reading).
+    Latch(Status::Unavailable("shard worker " + endpoint_.ToString() +
+                              " died or timed out on read"));
+    CloseStreams();
+    return false;
+  }
+  response->assign(buf, static_cast<size_t>(len));
+  std::free(buf);
+  while (!response->empty() &&
+         (response->back() == '\n' || response->back() == '\r')) {
+    response->pop_back();
+  }
+  return true;
+}
+
+bool SocketShardWorker::Candidates(std::span<const float> query, size_t r,
+                                   std::span<double> dists,
+                                   std::vector<int>* run) {
+  run->clear();
+  if (!Health().ok()) return false;
+  std::string line;
+  if (!Exchange(
+          wire::BuildCandidatesRequest(range_, corpus_name_, metric_, query, r)
+              .Dump(),
+          &line)) {
+    return false;
+  }
+  Status status = wire::ParseCandidatesResponse(line, range_, dists, run);
+  if (status.ok()) return true;
+  // Same contract as the pipe transport: a propagated deadline leaves
+  // health OK (no failover — the router's token is the authority); any
+  // other failure latches this connection dead.
+  if (status.code() != StatusCode::kDeadlineExceeded) Latch(std::move(status));
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaShardWorker
+// ---------------------------------------------------------------------------
+
+ReplicaShardWorker::ReplicaShardWorker(
+    ShardRange range, std::vector<Endpoint> replicas, std::string corpus_name,
+    Metric metric, uint64_t expected_fingerprint, SocketWorkerOptions options,
+    ShardTransportCounters counters, const Dataset* corpus,
+    const CorpusDigests* digests)
+    : ShardWorker(range),
+      replicas_(std::move(replicas)),
+      corpus_name_(std::move(corpus_name)),
+      metric_(metric),
+      expected_fingerprint_(expected_fingerprint),
+      options_(options),
+      counters_(counters),
+      corpus_(corpus),
+      digests_(digests) {}
+
+Status ReplicaShardWorker::Health() const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  return health_;
+}
+
+size_t ReplicaShardWorker::DeadReplicas() const {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  return dead_replicas_;
+}
+
+void ReplicaShardWorker::LatchAllDead(const Status& last_error) {
+  std::lock_guard<std::mutex> lock(health_mutex_);
+  if (health_.ok()) {
+    health_ = Status::Unavailable(
+        "all " + std::to_string(replicas_.size()) + " replica(s) of shard [" +
+        std::to_string(range_.row_begin) + ", " + std::to_string(range_.row_end) +
+        ") are dead; last error: " + last_error.message());
+  }
+}
+
+bool ReplicaShardWorker::EnsureActive() {
+  Status last_error = Status::Unavailable("no replicas configured");
+  while (active_ < replicas_.size()) {
+    if (conn_ == nullptr) {
+      conn_ = std::make_unique<SocketShardWorker>(
+          range_, replicas_[active_], corpus_name_, metric_,
+          expected_fingerprint_, options_, counters_);
+      const Status status = conn_->Connect(*corpus_, *digests_);
+      if (!status.ok()) {
+        last_error = status;
+        conn_.reset();
+        {
+          std::lock_guard<std::mutex> lock(health_mutex_);
+          ++dead_replicas_;
+        }
+        ++active_;
+        continue;
+      }
+    }
+    return true;
+  }
+  LatchAllDead(last_error);
+  return false;
+}
+
+void ReplicaShardWorker::Connect() {
+  // Best-effort: a dead primary here just advances `active_`; total
+  // failure latches Health and the router's fan-out answers unavailable.
+  EnsureActive();
+}
+
+bool ReplicaShardWorker::Candidates(std::span<const float> query, size_t r,
+                                    std::span<double> dists,
+                                    std::vector<int>* run) {
+  run->clear();
+  if (!Health().ok()) return false;
+  while (EnsureActive()) {
+    if (conn_->Candidates(query, r, dists, run)) return true;
+    if (conn_->Health().ok()) {
+      // Propagated deadline — the replica is fine, the budget is not.
+      // Retrying a sibling would only burn what little remains.
+      return false;
+    }
+    // The active replica died mid-query. Fail over: mark it dead, connect
+    // + sync the next one, retry the same query there. The candidate run
+    // is a pure function of the fingerprint-verified corpus, so the
+    // retried answer is byte-identical to what the dead replica would
+    // have sent. (Rows the aborted attempt already wrote into `dists` are
+    // harmless: the router only reads distances at indices named by the
+    // merged runs.)
+    ScopedPhase span(ActiveTrace(), Phase::kShardFailover);
+    conn_.reset();
+    {
+      std::lock_guard<std::mutex> lock(health_mutex_);
+      ++dead_replicas_;
+    }
+    ++active_;
+    Bump(counters_.failovers);
+    if (FaultInjectionEnabled() && Fault("shard_failover")) {
+      // Chaos hook: the failover target is unreachable too — drive the
+      // all-replicas-dead path deterministically.
+      active_ = replicas_.size();
+    }
+  }
+  return false;
+}
+
+}  // namespace knnshap

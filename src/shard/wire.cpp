@@ -1,0 +1,229 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+
+#include "shard/wire.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/cancel.h"
+#include "util/common.h"
+
+namespace knnshap {
+namespace wire {
+
+std::string FingerprintHex(uint64_t fingerprint) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buf;
+}
+
+bool ParseHexFingerprint(const std::string& hex, uint64_t* out) {
+  if (hex.size() < 3 || hex[0] != '0' || (hex[1] != 'x' && hex[1] != 'X')) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(hex.c_str() + 2, &end, 16);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
+std::string TargetMode(const Dataset& data) {
+  if (data.HasLabels()) return "label";
+  if (data.HasTargets()) return "target";
+  return "none";
+}
+
+namespace {
+
+/// One corpus row in the inline-load encoding: features widened to double
+/// (%.17g round-trips bit-exactly) plus the trailing label/target column.
+JsonValue RowJson(const Dataset& corpus, size_t i) {
+  JsonValue row = JsonValue::MakeArray();
+  for (float f : corpus.features.Row(i)) {
+    row.Append(JsonValue(static_cast<double>(f)));
+  }
+  if (corpus.HasLabels()) {
+    row.Append(JsonValue(static_cast<double>(corpus.labels[i])));
+  } else if (corpus.HasTargets()) {
+    row.Append(JsonValue(corpus.targets[i]));
+  }
+  return row;
+}
+
+}  // namespace
+
+JsonValue BuildCandidatesRequest(const ShardRange& range,
+                                 const std::string& corpus_name, Metric metric,
+                                 std::span<const float> query, size_t r) {
+  JsonValue request = JsonValue::MakeObject();
+  request.Set("op", JsonValue("candidates"));
+  request.Set("train", JsonValue(corpus_name));
+  request.Set("metric", JsonValue(MetricName(metric)));
+  request.Set("r", JsonValue(static_cast<double>(r)));
+  request.Set("row_begin", JsonValue(static_cast<double>(range.row_begin)));
+  request.Set("row_end", JsonValue(static_cast<double>(range.row_end)));
+  request.Set("fingerprint", JsonValue(FingerprintHex(range.fingerprint)));
+  JsonValue q = JsonValue::MakeArray();
+  for (float f : query) q.Append(JsonValue(static_cast<double>(f)));
+  request.Set("query", std::move(q));
+  // Forward the *remaining* budget: the worker's token, constructed after
+  // this read, can never fire later than the router's — so a worker-side
+  // deadline_exceeded implies the router token is (about to be) expired
+  // and the router's own post-fan-out check stays the authority.
+  const CancelToken* token = ActiveCancelToken();
+  if (token != nullptr && token->has_deadline()) {
+    request.Set("deadline_ms",
+                JsonValue(static_cast<double>(token->RemainingMs())));
+  }
+  return request;
+}
+
+Status ParseCandidatesResponse(const std::string& line, const ShardRange& range,
+                               std::span<double> dists, std::vector<int>* run) {
+  run->clear();
+  JsonParseResult parsed = ParseJson(line);
+  if (!parsed.ok()) {
+    return Status::Error(StatusCode::kInternal,
+                         "shard worker sent an unparseable response");
+  }
+  const JsonValue& response = parsed.value;
+  if (!response.Get("ok").AsBool(false)) {
+    if (response.Get("code").AsString() == "deadline_exceeded") {
+      return Status::DeadlineExceeded("shard worker deadline");
+    }
+    return Status::Unavailable("shard worker error: " +
+                               response.Get("error").AsString());
+  }
+  const JsonValue& indices = response.Get("indices");
+  const JsonValue& distances = response.Get("dists");
+  if (!indices.IsArray() || !distances.IsArray() ||
+      indices.Items().size() != distances.Items().size()) {
+    return Status::Error(StatusCode::kInternal,
+                         "shard worker returned a malformed candidate run");
+  }
+  run->reserve(indices.Items().size());
+  for (size_t i = 0; i < indices.Items().size(); ++i) {
+    const JsonValue& index = indices.Items()[i];
+    const JsonValue& dist = distances.Items()[i];
+    const double raw = index.AsNumber(-1.0);
+    const int row = static_cast<int>(raw);
+    if (!index.IsNumber() || !dist.IsNumber() ||
+        static_cast<double>(row) != raw ||
+        row < static_cast<int>(range.row_begin) ||
+        row >= static_cast<int>(range.row_end)) {
+      run->clear();
+      return Status::Error(StatusCode::kInternal,
+                           "shard worker returned an out-of-range candidate");
+    }
+    dists[static_cast<size_t>(row)] = dist.AsNumber();
+    run->push_back(row);
+  }
+  return Status::Ok();
+}
+
+JsonValue BuildInlineLoadRequest(const std::string& corpus_name,
+                                 const Dataset& corpus) {
+  JsonValue load = JsonValue::MakeObject();
+  load.Set("op", JsonValue("load"));
+  load.Set("name", JsonValue(corpus_name));
+  load.Set("target", JsonValue(TargetMode(corpus)));
+  JsonValue rows = JsonValue::MakeArray();
+  for (size_t i = 0; i < corpus.Size(); ++i) rows.Append(RowJson(corpus, i));
+  load.Set("rows", std::move(rows));
+  return load;
+}
+
+JsonValue BuildDigestsRequest(const std::string& corpus_name) {
+  JsonValue request = JsonValue::MakeObject();
+  request.Set("op", JsonValue("digests"));
+  request.Set("name", JsonValue(corpus_name));
+  return request;
+}
+
+uint64_t BlockDigest(const CorpusDigests& digests, size_t block) {
+  KNNSHAP_CHECK(block < digests.NumBlocks(), "block index out of range");
+  Fnv64 hash;
+  hash.Add(digests.feature_blocks[block]);
+  // Presence flags keep "no labels" distinct from "labels hashing to 0".
+  hash.Add(!digests.label_blocks.empty());
+  if (!digests.label_blocks.empty()) hash.Add(digests.label_blocks[block]);
+  hash.Add(!digests.target_blocks.empty());
+  if (!digests.target_blocks.empty()) hash.Add(digests.target_blocks[block]);
+  return hash.Digest();
+}
+
+CorpusSyncPlan PlanCorpusSync(const Dataset& corpus, const CorpusDigests& local,
+                              const JsonValue& remote_response) {
+  CorpusSyncPlan plan;
+  plan.mode = CorpusSyncPlan::Mode::kFull;
+  if (!remote_response.Get("ok").AsBool(false)) return plan;  // not_found etc.
+  // A delta splices blocks into the worker's existing corpus, so every
+  // structural parameter must match; anything else falls back to a full
+  // load (correct by construction, just more bytes).
+  if (static_cast<size_t>(remote_response.Get("dim").AsNumber(0)) !=
+          local.cols ||
+      static_cast<size_t>(remote_response.Get("block_rows").AsNumber(0)) !=
+          local.block_rows ||
+      remote_response.Get("target").AsString() != TargetMode(corpus)) {
+    return plan;
+  }
+  uint64_t remote_fingerprint = 0;
+  if (!ParseHexFingerprint(remote_response.Get("fingerprint").AsString(),
+                           &remote_fingerprint)) {
+    return plan;
+  }
+  if (remote_fingerprint == local.Combined()) {
+    plan.mode = CorpusSyncPlan::Mode::kNone;
+    return plan;
+  }
+  const JsonValue& remote_blocks = remote_response.Get("blocks");
+  if (!remote_blocks.IsArray()) return plan;
+  plan.mode = CorpusSyncPlan::Mode::kDelta;
+  plan.blocks.clear();
+  for (size_t b = 0; b < local.NumBlocks(); ++b) {
+    uint64_t remote_digest = 0;
+    const bool have_remote =
+        b < remote_blocks.Items().size() &&
+        ParseHexFingerprint(remote_blocks.Items()[b].AsString(),
+                            &remote_digest);
+    if (!have_remote || remote_digest != BlockDigest(local, b)) {
+      plan.blocks.push_back(b);
+    }
+  }
+  return plan;
+}
+
+JsonValue BuildDeltaLoadRequest(const std::string& corpus_name,
+                                const Dataset& corpus,
+                                const CorpusDigests& digests,
+                                const std::vector<size_t>& blocks) {
+  JsonValue request = JsonValue::MakeObject();
+  request.Set("op", JsonValue("load_delta"));
+  request.Set("name", JsonValue(corpus_name));
+  request.Set("target", JsonValue(TargetMode(corpus)));
+  request.Set("rows", JsonValue(static_cast<double>(corpus.Size())));
+  request.Set("dim", JsonValue(static_cast<double>(corpus.Dim())));
+  request.Set("fingerprint", JsonValue(FingerprintHex(digests.Combined())));
+  JsonValue block_array = JsonValue::MakeArray();
+  for (size_t b : blocks) {
+    KNNSHAP_CHECK(b < digests.NumBlocks(), "delta block out of range");
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("block", JsonValue(static_cast<double>(b)));
+    JsonValue rows = JsonValue::MakeArray();
+    const size_t begin = b * digests.block_rows;
+    const size_t end = std::min(begin + digests.block_rows, corpus.Size());
+    for (size_t i = begin; i < end; ++i) rows.Append(RowJson(corpus, i));
+    entry.Set("rows", std::move(rows));
+    block_array.Append(std::move(entry));
+  }
+  request.Set("blocks", std::move(block_array));
+  return request;
+}
+
+}  // namespace wire
+}  // namespace knnshap

@@ -1,0 +1,104 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// The shard wire layer: builders and parsers for the JSONL messages the
+// router exchanges with shard workers, shared by every transport (pipes —
+// shard_worker.h — and TCP sockets — socket_worker.h). The messages are
+// ordinary serve-protocol requests (docs/PROTOCOL.md is the normative
+// spec); this header is the single in-tree encoding of them, so a framing
+// change cannot drift between transports.
+//
+// Also here: corpus-sync planning. A remote worker is a long-lived
+// process that keeps its corpus between router re-fits, so the router
+// asks it for its per-block content digests (`digests` op) and ships only
+// the blocks that changed (`load_delta`) instead of the full inline
+// `load`. The plan is computed from CorpusStore's incrementally
+// maintained CorpusDigests — the same digests that content-address the
+// shards — so "what changed" costs zero rehashing.
+
+#ifndef KNNSHAP_SHARD_WIRE_H_
+#define KNNSHAP_SHARD_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "knn/metric.h"
+#include "shard/shard_planner.h"
+#include "util/fingerprint.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace knnshap {
+namespace wire {
+
+/// Canonical fingerprint encoding on the wire: "0x%016llx".
+std::string FingerprintHex(uint64_t fingerprint);
+bool ParseHexFingerprint(const std::string& hex, uint64_t* out);
+
+/// The trailing-column target mode of a dataset ("label"|"target"|"none").
+/// Datasets with both channels cannot ship over the one-column wire.
+std::string TargetMode(const Dataset& data);
+
+/// One `candidates` request for a planned shard. Forwards the *remaining*
+/// budget of the active CancelToken (if any) as `deadline_ms`, so a
+/// worker-side deadline can never fire before the router's own.
+JsonValue BuildCandidatesRequest(const ShardRange& range,
+                                 const std::string& corpus_name, Metric metric,
+                                 std::span<const float> query, size_t r);
+
+/// Parses a `candidates` response into the global row-indexed `dists`
+/// buffer and the candidate run. Returns:
+///   OK                  — run is usable
+///   kDeadlineExceeded   — the worker propagated the forwarded deadline
+///                         (health stays OK; the router's token is the
+///                         authority)
+///   kUnavailable        — the worker answered a structured error
+///   kInternal           — unparseable / malformed / out-of-range payload
+Status ParseCandidatesResponse(const std::string& line, const ShardRange& range,
+                               std::span<double> dists, std::vector<int>* run);
+
+/// The full inline `load` op: every row with its trailing label/target
+/// column. float -> %.17g -> float round-trips bit-exactly, so the
+/// receiver's independently computed content fingerprint must equal the
+/// sender's.
+JsonValue BuildInlineLoadRequest(const std::string& corpus_name,
+                                 const Dataset& corpus);
+
+/// `digests` op: ask a worker which corpus version (per-block) it holds.
+JsonValue BuildDigestsRequest(const std::string& corpus_name);
+
+/// Per-block combined digest (features + labels + targets of one row
+/// block) — the unit of delta sync, and what the `digests` op reports.
+uint64_t BlockDigest(const CorpusDigests& digests, size_t block);
+
+/// How to bring a worker's corpus up to date with `local`.
+struct CorpusSyncPlan {
+  enum class Mode {
+    kNone,   ///< Fingerprints match — nothing to send.
+    kDelta,  ///< Ship only `blocks` via `load_delta`.
+    kFull,   ///< Unknown/incompatible remote state — full inline `load`.
+  };
+  Mode mode = Mode::kFull;
+  std::vector<size_t> blocks;  ///< Changed block indices (kDelta only).
+};
+
+/// Plans the sync from the local digests and the worker's parsed
+/// `digests` response (ok:false — typically not_found — plans a full
+/// load, as does any shape/target/block-size mismatch).
+CorpusSyncPlan PlanCorpusSync(const Dataset& corpus,
+                              const CorpusDigests& local,
+                              const JsonValue& remote_response);
+
+/// `load_delta` op carrying exactly `blocks` (ascending) of `corpus`,
+/// the new row/dim totals and the expected combined fingerprint.
+JsonValue BuildDeltaLoadRequest(const std::string& corpus_name,
+                                const Dataset& corpus,
+                                const CorpusDigests& digests,
+                                const std::vector<size_t>& blocks);
+
+}  // namespace wire
+}  // namespace knnshap
+
+#endif  // KNNSHAP_SHARD_WIRE_H_

@@ -1,0 +1,435 @@
+// Copyright 2026 the knnshap authors. Apache-2.0 license.
+//
+// Remote shard transport coverage (src/shard/socket_worker.h, src/util/
+// net.h, the `digests`/`load_delta` sync ops): a router whose shards live
+// behind TCP sockets must answer byte-for-byte identically to the
+// unsharded pipeline — through mutations, through a primary replica dying
+// mid-session (failover to the secondary is transparent), and with only
+// the changed corpus blocks crossing the wire on re-sync. When every
+// replica of a shard is dead the server answers a structured
+// `unavailable` with retry_after_ms and recovers as soon as a worker
+// comes back. Plus unit coverage for the wire helpers (endpoint parsing,
+// fingerprint encoding, corpus-sync planning).
+//
+// The workers here are LoopbackWorker: a real RequestPipeline served over
+// a real 127.0.0.1 socket by an in-test accept loop — the same per-
+// connection FdInBuf/FdOutBuf plumbing knnshap_serve --shard-listen uses,
+// without forking a binary (CI owns the out-of-process arm).
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "dataset/dataset.h"
+#include "serve/pipeline.h"
+#include "shard/wire.h"
+#include "util/fingerprint.h"
+#include "util/json.h"
+#include "util/net.h"
+#include "util/random.h"
+
+namespace knnshap {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LoopbackWorker: one remote shard worker on an ephemeral 127.0.0.1 port.
+
+class LoopbackWorker {
+ public:
+  explicit LoopbackWorker(int port = 0) {
+    PipelineOptions options;
+    options.pipelined = false;  // what --shard-listen forces
+    options.emit_timing = false;
+    pipeline_ = std::make_unique<RequestPipeline>(options);
+    std::string error;
+    listen_fd_ = ListenTcp(Endpoint{"127.0.0.1", port}, 16, &error);
+    EXPECT_GE(listen_fd_, 0) << error;
+    port_ = BoundPort(listen_fd_);
+    EXPECT_GT(port_, 0);
+    acceptor_ = std::thread([this] { AcceptLoop(); });
+  }
+
+  ~LoopbackWorker() { Stop(); }
+
+  int Port() const { return port_; }
+  std::string Address() const { return "127.0.0.1:" + std::to_string(port_); }
+
+  /// "Kill" the worker: stop accepting and force-close every live
+  /// connection so the router sees a mid-query transport death, not a
+  /// graceful goodbye. Idempotent.
+  void Stop() {
+    if (stopped_.exchange(true)) return;
+    shutdown(listen_fd_, SHUT_RDWR);  // wakes the blocking accept
+    close(listen_fd_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      for (int fd : open_fds_) shutdown(fd, SHUT_RDWR);
+    }
+    acceptor_.join();
+    // No new handlers can appear once the acceptor has exited.
+    for (std::thread& handler : handlers_) handler.join();
+  }
+
+ private:
+  void AcceptLoop() {
+    while (true) {
+      const int fd = AcceptTcp(listen_fd_);
+      if (fd < 0) {
+        if (errno == EINTR && !stopped_.load()) continue;
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        open_fds_.push_back(fd);
+      }
+      handlers_.emplace_back([this, fd] {
+        FdInBuf in_buf(fd);
+        FdOutBuf out_buf(fd);
+        std::istream in(&in_buf);
+        std::ostream out(&out_buf);
+        pipeline_->Run(in, out);
+        out.flush();
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          const auto it = std::find(open_fds_.begin(), open_fds_.end(), fd);
+          if (it != open_fds_.end()) open_fds_.erase(it);
+        }
+        close(fd);
+      });
+    }
+  }
+
+  std::unique_ptr<RequestPipeline> pipeline_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> stopped_{false};
+  std::thread acceptor_;
+  std::mutex mutex_;
+  std::vector<int> open_fds_;
+  std::vector<std::thread> handlers_;  // acceptor-thread-only until Stop
+};
+
+// ---------------------------------------------------------------------------
+// Shared request plumbing (mirrors shard_test.cpp).
+
+std::string RowsJson(size_t n, size_t dim, int num_classes, uint64_t seed) {
+  Rng rng(seed);
+  std::string out = "[";
+  for (size_t r = 0; r < n; ++r) {
+    if (r > 0) out += ",";
+    out += "[";
+    for (size_t d = 0; d < dim; ++d) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.4f,", rng.NextGaussian());
+      out += buf;
+    }
+    out += std::to_string(rng.NextIndex(static_cast<uint64_t>(num_classes)));
+    out += "]";
+  }
+  out += "]";
+  return out;
+}
+
+std::string Answer(RequestPipeline& pipeline, const std::string& line) {
+  JsonParseResult parsed = ParseJson(line);
+  EXPECT_TRUE(parsed.ok()) << parsed.error << " in " << line;
+  return pipeline.HandleSync(parsed.value).Dump();
+}
+
+std::unique_ptr<RequestPipeline> MakeBaseline() {
+  PipelineOptions options;
+  options.emit_timing = false;
+  return std::make_unique<RequestPipeline>(options);
+}
+
+std::unique_ptr<RequestPipeline> MakeRemoteRouter(
+    std::vector<std::vector<std::string>> groups) {
+  PipelineOptions options;
+  options.emit_timing = false;
+  options.shards = static_cast<int>(groups.size());
+  options.shard_remote = std::move(groups);
+  // Short dial budget: dead replicas fail fast in the chaos tests.
+  options.shard_connect_timeout_ms = 1000;
+  options.shard_connect_attempts = 2;
+  options.shard_io_timeout_ms = 10000;
+  return std::make_unique<RequestPipeline>(options);
+}
+
+uint64_t CounterValue(RequestPipeline& pipeline, const std::string& name) {
+  return pipeline.Metrics()->GetCounter(name)->Value();
+}
+
+// The session both servers must answer identically — every routed method
+// (truncated included) plus value traffic interleaved with mutations, so
+// the remote workers re-sync mid-session.
+std::vector<std::string> RemoteEquivalenceSession(uint64_t seed) {
+  std::vector<std::string> lines;
+  lines.push_back(R"({"op":"load","name":"train","rows":)" +
+                  RowsJson(600, 4, 3, seed) + R"(,"target":"label"})");
+  lines.push_back(R"({"op":"load","name":"q","rows":)" +
+                  RowsJson(3, 4, 3, seed + 1) + R"(,"target":"label"})");
+  const auto value = [](const std::string& fields) {
+    return R"({"op":"value","train":"train","test":"q",)" + fields + "}";
+  };
+  lines.push_back(value(R"("method":"exact","k":3)"));
+  lines.push_back(value(R"("method":"exact","k":3,"approx_error":0.2)"));
+  lines.push_back(value(R"("method":"exact-corrected","k":3)"));
+  lines.push_back(
+      value(R"("method":"weighted-fast","k":2,"kernel":"inverse")"));
+  lines.push_back(value(R"("method":"truncated","k":3,"epsilon":0.1)"));
+  // Mutate, then revalue: the routers' long-lived workers must delta-sync
+  // and keep agreeing.
+  lines.push_back(R"({"op":"append","name":"train","rows":)" +
+                  RowsJson(5, 4, 3, seed + 2) + "}");
+  lines.push_back(value(R"("method":"exact","k":3)"));
+  lines.push_back(value(R"("method":"truncated","k":3,"epsilon":0.1)"));
+  lines.push_back(R"({"op":"remove","name":"train","row":17})");
+  lines.push_back(value(R"("method":"exact-corrected","k":3)"));
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// Byte equivalence over real sockets.
+
+TEST(RemoteShardTest, SocketShardedResponsesAreByteIdentical) {
+  for (uint64_t seed : {131u, 257u}) {
+    const std::vector<std::string> session = RemoteEquivalenceSession(seed);
+
+    std::unique_ptr<RequestPipeline> baseline = MakeBaseline();
+    std::vector<std::string> expected;
+    for (const std::string& line : session) {
+      expected.push_back(Answer(*baseline, line));
+    }
+
+    LoopbackWorker worker0, worker1;
+    std::unique_ptr<RequestPipeline> remote =
+        MakeRemoteRouter({{worker0.Address()}, {worker1.Address()}});
+    for (size_t i = 0; i < session.size(); ++i) {
+      EXPECT_EQ(Answer(*remote, session[i]), expected[i])
+          << "seed=" << seed << " request: " << session[i];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Failover chaos: primaries die mid-session, secondaries answer — and the
+// transcript does not change by a byte.
+
+TEST(RemoteShardTest, PrimaryDeathMidSessionFailsOverByteIdentically) {
+  const std::vector<std::string> session = RemoteEquivalenceSession(977);
+  std::unique_ptr<RequestPipeline> baseline = MakeBaseline();
+  std::vector<std::string> expected;
+  for (const std::string& line : session) {
+    expected.push_back(Answer(*baseline, line));
+  }
+
+  LoopbackWorker primary0, primary1, secondary0, secondary1;
+  std::unique_ptr<RequestPipeline> remote = MakeRemoteRouter(
+      {{primary0.Address(), secondary0.Address()},
+       {primary1.Address(), secondary1.Address()}});
+
+  // The probe pins one fitted router whose worker connections stay
+  // established across the kill (cache:false so every issue reaches the
+  // shards; no mutation in between so the fit is reused, not rebuilt).
+  const std::string probe =
+      R"({"op":"value","train":"train","test":"q","method":"exact","k":3,"cache":false})";
+
+  // First half through the primaries (probe expectation computed on a
+  // baseline in the same pre-mutation state)...
+  const size_t half = session.size() / 2;
+  std::unique_ptr<RequestPipeline> half_baseline = MakeBaseline();
+  for (size_t i = 0; i < half; ++i) {
+    Answer(*half_baseline, session[i]);
+    ASSERT_EQ(Answer(*remote, session[i]), expected[i])
+        << "request: " << session[i];
+  }
+  const std::string expected_probe = Answer(*half_baseline, probe);
+  ASSERT_EQ(Answer(*remote, probe), expected_probe);
+
+  // ...then both primaries die under the established connections. The
+  // next fan-out's exchange hits a dead socket mid-query, latches the
+  // replica, and retries the same query on the secondary — which gets a
+  // fresh corpus sync and must produce the identical bytes.
+  primary0.Stop();
+  primary1.Stop();
+  EXPECT_EQ(Answer(*remote, probe), expected_probe);
+  EXPECT_GE(CounterValue(*remote, "knnshap_shard_failovers_total"), 2u);
+
+  // The rest of the session (mutations included — new fits dial the
+  // secondaries directly) also stays byte-identical.
+  for (size_t i = half; i < session.size(); ++i) {
+    EXPECT_EQ(Answer(*remote, session[i]), expected[i])
+        << "request: " << session[i];
+  }
+}
+
+TEST(RemoteShardTest, AllReplicasDeadAnswersUnavailableThenRecovers) {
+  std::unique_ptr<RequestPipeline> baseline = MakeBaseline();
+  auto worker0 = std::make_unique<LoopbackWorker>();
+  auto worker1 = std::make_unique<LoopbackWorker>();
+  const int port0 = worker0->Port(), port1 = worker1->Port();
+  std::unique_ptr<RequestPipeline> remote =
+      MakeRemoteRouter({{worker0->Address()}, {worker1->Address()}});
+
+  const std::string load = R"({"op":"load","name":"c","rows":)" +
+                           RowsJson(600, 3, 2, 313) + R"(,"target":"label"})";
+  const std::string load_q = R"({"op":"load","name":"q","rows":)" +
+                             RowsJson(2, 3, 2, 314) + R"(,"target":"label"})";
+  // cache:false — every request must reach the shards, not the result
+  // cache.
+  const std::string value =
+      R"({"op":"value","train":"c","test":"q","method":"exact","k":3,"cache":false})";
+  const std::string expected_value =
+      (Answer(*baseline, load), Answer(*baseline, load_q),
+       Answer(*baseline, value));
+
+  Answer(*remote, load);
+  Answer(*remote, load_q);
+  ASSERT_EQ(Answer(*remote, value), expected_value);
+
+  // Kill the only replica of each shard: the fan-out fails, the fit is
+  // evicted, and the server answers a structured unavailable with a
+  // retry hint instead of a partial (or wrong) result.
+  worker0->Stop();
+  worker1->Stop();
+  JsonValue down = remote->HandleSync(ParseJson(value).value);
+  EXPECT_FALSE(down.Get("ok").AsBool(true)) << down.Dump();
+  EXPECT_EQ(down.Get("code").AsString(), "unavailable");
+  EXPECT_TRUE(down.Has("retry_after_ms")) << down.Dump();
+
+  // Workers come back on the same ports (blank corpus state): the next
+  // request re-fits, re-dials, full-loads, and the answer is again
+  // byte-identical.
+  worker0 = std::make_unique<LoopbackWorker>(port0);
+  worker1 = std::make_unique<LoopbackWorker>(port1);
+  EXPECT_EQ(Answer(*remote, value), expected_value);
+}
+
+// ---------------------------------------------------------------------------
+// Delta sync: a mutation ships only the changed blocks, never the corpus.
+
+TEST(RemoteShardTest, ResyncShipsOnlyChangedBlocks) {
+  LoopbackWorker worker0, worker1;
+  std::unique_ptr<RequestPipeline> remote =
+      MakeRemoteRouter({{worker0.Address()}, {worker1.Address()}});
+  std::unique_ptr<RequestPipeline> baseline = MakeBaseline();
+
+  const std::string load = R"({"op":"load","name":"c","rows":)" +
+                           RowsJson(600, 3, 2, 517) + R"(,"target":"label"})";
+  const std::string load_q = R"({"op":"load","name":"q","rows":)" +
+                             RowsJson(2, 3, 2, 518) + R"(,"target":"label"})";
+  const std::string value =
+      R"({"op":"value","train":"c","test":"q","method":"exact","k":3})";
+  for (const std::string& line : {load, load_q, value}) {
+    EXPECT_EQ(Answer(*remote, line), Answer(*baseline, line));
+  }
+  // First fit: each worker had no corpus — one full inline load apiece.
+  EXPECT_EQ(CounterValue(*remote, "knnshap_shard_full_loads_total"), 2u);
+  EXPECT_EQ(CounterValue(*remote, "knnshap_shard_delta_loads_total"), 0u);
+
+  // Append 5 rows: 600 rows -> 605 keeps 3 fingerprint blocks, and only
+  // the tail block's content changes.
+  const std::string append = R"({"op":"append","name":"c","rows":)" +
+                             RowsJson(5, 3, 2, 519) + "}";
+  for (const std::string& line : {append, value}) {
+    EXPECT_EQ(Answer(*remote, line), Answer(*baseline, line));
+  }
+  // The re-fit re-synced both long-lived workers via load_delta — one
+  // changed block each — with no further full load.
+  EXPECT_EQ(CounterValue(*remote, "knnshap_shard_full_loads_total"), 2u);
+  EXPECT_EQ(CounterValue(*remote, "knnshap_shard_delta_loads_total"), 2u);
+  EXPECT_EQ(CounterValue(*remote, "knnshap_shard_delta_blocks_total"), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire helpers.
+
+TEST(WireTest, FingerprintHexRoundTrips) {
+  for (uint64_t fp : {0ull, 1ull, 0xdeadbeefcafef00dull, ~0ull}) {
+    uint64_t parsed = 0;
+    ASSERT_TRUE(wire::ParseHexFingerprint(wire::FingerprintHex(fp), &parsed));
+    EXPECT_EQ(parsed, fp);
+  }
+  uint64_t ignored;
+  EXPECT_FALSE(wire::ParseHexFingerprint("", &ignored));
+  EXPECT_FALSE(wire::ParseHexFingerprint("12345", &ignored));
+  EXPECT_FALSE(wire::ParseHexFingerprint("0xnothex", &ignored));
+}
+
+TEST(WireTest, PlanCorpusSyncPicksTheCheapestSufficientMode) {
+  std::unique_ptr<RequestPipeline> holder = MakeBaseline();
+  Answer(*holder, R"({"op":"load","name":"c","rows":)" +
+                      RowsJson(600, 3, 2, 611) + R"(,"target":"label"})");
+  const JsonValue held =
+      holder->HandleSync(ParseJson(R"({"op":"digests","name":"c"})").value);
+  ASSERT_TRUE(held.Get("ok").AsBool(false)) << held.Dump();
+
+  const CorpusSnapshot snapshot = *holder->Store().Get("c");
+  // Identical corpus: nothing to send.
+  wire::CorpusSyncPlan plan =
+      wire::PlanCorpusSync(*snapshot.data, *snapshot.digests, held);
+  EXPECT_EQ(plan.mode, wire::CorpusSyncPlan::Mode::kNone);
+
+  // One appended row: exactly the tail block is stale.
+  std::unique_ptr<RequestPipeline> mutated = MakeBaseline();
+  Answer(*mutated, R"({"op":"load","name":"c","rows":)" +
+                       RowsJson(600, 3, 2, 611) + R"(,"target":"label"})");
+  Answer(*mutated, R"({"op":"append","name":"c","rows":)" +
+                       RowsJson(1, 3, 2, 612) + "}");
+  const CorpusSnapshot changed = *mutated->Store().Get("c");
+  plan = wire::PlanCorpusSync(*changed.data, *changed.digests, held);
+  ASSERT_EQ(plan.mode, wire::CorpusSyncPlan::Mode::kDelta);
+  ASSERT_EQ(plan.blocks.size(), 1u);
+  EXPECT_EQ(plan.blocks[0], changed.digests->NumBlocks() - 1);
+
+  // A worker that never heard of the corpus answers not_found: full load.
+  const JsonValue missing = holder->HandleSync(
+      ParseJson(R"({"op":"digests","name":"nope"})").value);
+  plan = wire::PlanCorpusSync(*snapshot.data, *snapshot.digests, missing);
+  EXPECT_EQ(plan.mode, wire::CorpusSyncPlan::Mode::kFull);
+
+  // Incompatible geometry (different dim under the same name): full load.
+  std::unique_ptr<RequestPipeline> other = MakeBaseline();
+  Answer(*other, R"({"op":"load","name":"c","rows":)" +
+                     RowsJson(600, 5, 2, 613) + R"(,"target":"label"})");
+  const JsonValue other_digests =
+      other->HandleSync(ParseJson(R"({"op":"digests","name":"c"})").value);
+  plan = wire::PlanCorpusSync(*snapshot.data, *snapshot.digests, other_digests);
+  EXPECT_EQ(plan.mode, wire::CorpusSyncPlan::Mode::kFull);
+}
+
+TEST(NetTest, ParseEndpointForms) {
+  Endpoint endpoint;
+  std::string error;
+  ASSERT_TRUE(ParseEndpoint("host.example:7001", &endpoint, &error));
+  EXPECT_EQ(endpoint.host, "host.example");
+  EXPECT_EQ(endpoint.port, 7001);
+
+  // Bare port picks up the caller's default host.
+  ASSERT_TRUE(ParseEndpoint("7002", &endpoint, &error, "127.0.0.1"));
+  EXPECT_EQ(endpoint.host, "127.0.0.1");
+  EXPECT_EQ(endpoint.port, 7002);
+
+  EXPECT_FALSE(ParseEndpoint("", &endpoint, &error));
+  EXPECT_FALSE(ParseEndpoint("host:", &endpoint, &error));
+  EXPECT_FALSE(ParseEndpoint("host:notaport", &endpoint, &error));
+  EXPECT_FALSE(ParseEndpoint("host:70000", &endpoint, &error));
+  // Port 0 is listen-only (ephemeral bind) and off by default.
+  EXPECT_FALSE(ParseEndpoint("host:0", &endpoint, &error));
+  EXPECT_TRUE(ParseEndpoint("host:0", &endpoint, &error, "0.0.0.0",
+                            /*allow_port_zero=*/true));
+}
+
+}  // namespace
+}  // namespace knnshap

@@ -252,10 +252,17 @@ std::vector<std::string> EquivalenceSession(uint64_t seed) {
     lines.push_back(std::string(R"({"op":"value","train":")") + train +
                     R"(","test":")" + test +
                     R"(","method":"weighted-fast","k":2,"kernel":"inverse"})");
-    // Unsupported by the router: must fall back and still agree.
+    // Routed through the shard fan-out since the socket-transport PR
+    // (depth min(K*, N), then the same truncated recursion).
     lines.push_back(std::string(R"({"op":"value","train":")") + train +
                     R"(","test":")" + test +
                     R"(","method":"truncated","k":3,"epsilon":0.1})");
+    // Genuinely unsupported by the router (randomized retrieval): must
+    // fall back to the unsharded valuator inside the same server and
+    // still agree, seed pinned.
+    lines.push_back(std::string(R"({"op":"value","train":")") + train +
+                    R"(","test":")" + test +
+                    R"(","method":"lsh","k":3,"epsilon":0.5,"delta":0.2,"seed":7})");
   }
   return lines;
 }

@@ -39,6 +39,28 @@
 //                     binary; workers speak the JSONL protocol over pipes
 //                     and inherit the environment (KNNSHAP_FAULTS included)
 //
+// Remote shards over TCP (docs/DEPLOYMENT.md; docs/PROTOCOL.md is the
+// wire spec):
+//   --shard-listen=[HOST:]PORT   run as a remote shard worker: serve the
+//                     JSONL protocol to every TCP connection (serial,
+//                     thread-per-connection over one shared store, so the
+//                     corpus persists across router reconnects for delta
+//                     sync). Port 0 binds an ephemeral port; the bound
+//                     endpoint is announced on stderr. Start workers with
+//                     the same --kernel as the router.
+//   --shard-remote=SPEC          route shards to remote workers: replica
+//                     groups separated by ';', replicas within a group by
+//                     ',' — e.g. "h1:7001,h2:7001;h1:7002,h2:7002" is two
+//                     shards with a failover replica each. Group count
+//                     must equal --shards (and sets it when --shards is
+//                     absent). Conflicts with --shard-workers.
+//   --shard-connect-timeout-ms=N per dial attempt (default 2000)
+//   --shard-io-timeout-ms=N      per request/response read/write on a
+//                                worker socket (default 30000; 0 = none)
+//   --shard-connect-attempts=N   bounded dial retries with doubling
+//                                backoff before a replica is marked dead
+//                                (default 3)
+//
 // Robustness flags (see src/serve/README.md, "Failure semantics"):
 //   --max-queue=N            shed value requests arriving while N are
 //                            already in flight ({"code":"unavailable"} +
@@ -58,18 +80,27 @@
 // See README.md for the protocol and src/serve/README.md for the
 // ordering/concurrency contract and the observability surface.
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "knn/distance_kernel.h"
 #include "serve/pipeline.h"
 #include "util/cli.h"
 #include "util/json.h"
+#include "util/net.h"
 #include "util/thread_pool.h"
 
 using namespace knnshap;
@@ -171,8 +202,162 @@ int main(int argc, char** argv) {
                                     "--kernel=" + std::string(KernelName(
                                         ActiveKernel()))};
   }
+  const std::string shard_remote = args.GetString("shard-remote", "");
+  if (!shard_remote.empty()) {
+    if (!shard_workers.empty()) {
+      std::fprintf(stderr, "--shard-remote conflicts with --shard-workers\n");
+      return 1;
+    }
+    std::vector<std::vector<std::string>> groups;
+    std::vector<std::string> group;
+    std::string token;
+    auto flush_token = [&] {
+      if (!token.empty()) group.push_back(token);
+      token.clear();
+    };
+    auto flush_group = [&]() -> bool {
+      flush_token();
+      if (group.empty()) return false;
+      groups.push_back(group);
+      group.clear();
+      return true;
+    };
+    bool ok = true;
+    for (char c : shard_remote) {
+      if (c == ',') {
+        flush_token();
+        if (group.empty()) ok = false;  // ",h:p" / "h:p,," — empty replica
+      } else if (c == ';') {
+        if (!flush_group()) ok = false;
+      } else {
+        token.push_back(c);
+      }
+    }
+    if (!flush_group()) ok = false;
+    if (!ok || groups.empty()) {
+      std::fprintf(stderr,
+                   "--shard-remote: expected ';'-separated replica groups of "
+                   "','-separated host:port endpoints, got '%s'\n",
+                   shard_remote.c_str());
+      return 1;
+    }
+    // Endpoints are validated here so a typo fails at startup, not at the
+    // first value request.
+    for (const auto& replicas : groups) {
+      for (const std::string& spec : replicas) {
+        Endpoint endpoint;
+        std::string error;
+        if (!ParseEndpoint(spec, &endpoint, &error, "127.0.0.1")) {
+          std::fprintf(stderr, "--shard-remote: bad endpoint '%s': %s\n",
+                       spec.c_str(), error.c_str());
+          return 1;
+        }
+      }
+    }
+    if (!args.Has("shards")) {
+      options.shards = static_cast<int>(groups.size());
+    } else if (options.shards != static_cast<int>(groups.size())) {
+      std::fprintf(stderr,
+                   "--shard-remote has %zu replica groups but --shards=%d\n",
+                   groups.size(), options.shards);
+      return 1;
+    }
+    if (options.shards < 2) {
+      std::fprintf(stderr, "--shard-remote needs >= 2 replica groups\n");
+      return 1;
+    }
+    options.shard_remote = std::move(groups);
+    options.shard_connect_timeout_ms =
+        static_cast<int>(args.GetInt("shard-connect-timeout-ms", 2000));
+    options.shard_io_timeout_ms =
+        static_cast<int>(args.GetInt("shard-io-timeout-ms", 30000));
+    options.shard_connect_attempts =
+        static_cast<int>(args.GetInt("shard-connect-attempts", 3));
+  }
   InstallShutdownHandlers();
   options.shutdown = &g_shutdown;
+
+  const std::string shard_listen = args.GetString("shard-listen", "");
+  if (!shard_listen.empty()) {
+    if (options.shards != 1 || !shard_workers.empty()) {
+      std::fprintf(stderr,
+                   "--shard-listen is a worker mode; it conflicts with "
+                   "--shards/--shard-workers/--shard-remote\n");
+      return 1;
+    }
+    Endpoint endpoint;
+    std::string error;
+    if (!ParseEndpoint(shard_listen, &endpoint, &error, "0.0.0.0",
+                       /*allow_port_zero=*/true)) {
+      std::fprintf(stderr, "--shard-listen: %s\n", error.c_str());
+      return 1;
+    }
+    const int listen_fd = ListenTcp(endpoint, /*backlog=*/64, &error);
+    if (listen_fd < 0) {
+      std::fprintf(stderr, "--shard-listen: %s\n", error.c_str());
+      return 1;
+    }
+    // Connections are served serially, one thread per connection, against
+    // ONE shared pipeline: the corpus a router loaded survives its
+    // reconnects, which is what makes `digests` + `load_delta` re-syncs
+    // cheap. Concurrent connections are safe — the store and engine are
+    // thread-safe — and each connection's own request stream stays ordered.
+    options.pipelined = false;
+    RequestPipeline pipeline(options);
+    // Announced on stderr (stdout belongs to nothing in this mode); tests
+    // bind port 0 and parse this line for the ephemeral port.
+    std::fprintf(stderr, "knnshap_serve: shard worker listening on %s:%d\n",
+                 endpoint.host.c_str(), BoundPort(listen_fd));
+    std::fflush(stderr);
+    std::mutex conn_mutex;
+    std::vector<int> open_fds;
+    std::vector<std::thread> handlers;
+    while (!g_shutdown.load(std::memory_order_relaxed)) {
+      const int fd = AcceptTcp(listen_fd);
+      if (fd < 0) {
+        if (errno == EINTR && !g_shutdown.load(std::memory_order_relaxed)) {
+          continue;
+        }
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> lock(conn_mutex);
+        open_fds.push_back(fd);
+      }
+      handlers.emplace_back([fd, &pipeline, &conn_mutex, &open_fds] {
+        FdInBuf in_buf(fd);
+        FdOutBuf out_buf(fd);
+        std::istream in(&in_buf);
+        std::ostream out(&out_buf);
+        pipeline.Run(in, out);
+        out.flush();
+        {
+          std::lock_guard<std::mutex> lock(conn_mutex);
+          const auto it = std::find(open_fds.begin(), open_fds.end(), fd);
+          if (it != open_fds.end()) open_fds.erase(it);
+        }
+        close(fd);
+      });
+    }
+    close(listen_fd);
+    {
+      // Unblock handler threads still waiting on a read so join() cannot
+      // hang past a SIGTERM: shutdown() forces their next read to EOF.
+      std::lock_guard<std::mutex> lock(conn_mutex);
+      for (int fd : open_fds) shutdown(fd, SHUT_RDWR);
+    }
+    for (auto& handler : handlers) handler.join();
+    if (!metrics_file.empty() && pipeline.Metrics() != nullptr) {
+      std::ofstream out(metrics_file);
+      if (!out) {
+        std::fprintf(stderr, "cannot open --metrics-file '%s'\n",
+                     metrics_file.c_str());
+        return 1;
+      }
+      out << pipeline.Metrics()->ToJson().Dump() << '\n';
+    }
+    return 0;
+  }
 
   RequestPipeline pipeline(options);
   pipeline.Run(std::cin, std::cout);
